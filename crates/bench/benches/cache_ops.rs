@@ -1,0 +1,47 @@
+//! Micro-benchmarks for cache operations under each replacement policy —
+//! the ablation of DESIGN.md §5 on LRU vs GD-Size vs piggyback-aware.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piggyback_core::types::{ResourceId, Timestamp};
+use piggyback_webcache::{Cache, CacheEntry, PolicyKind};
+use std::hint::black_box;
+
+fn churn(kind: PolicyKind, n: usize) -> u64 {
+    let mut cache = Cache::new(512 * 1024, kind.build());
+    for i in 0..n {
+        let r = ResourceId((i % 2048) as u32);
+        let now = Timestamp::from_millis(i as u64);
+        if cache.lookup(r, now).is_none() {
+            cache.insert(
+                r,
+                CacheEntry {
+                    size: 500 + (i as u64 % 3000),
+                    last_modified: Timestamp::ZERO,
+                    expires: now,
+                    prefetched: false,
+                    used: false,
+                },
+                now,
+            );
+        }
+        if i % 7 == 0 {
+            cache.note_piggyback_mention(ResourceId(((i * 31) % 2048) as u32), now);
+        }
+    }
+    cache.evictions()
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_churn_20k");
+    for (name, kind) in [
+        ("lru", PolicyKind::Lru),
+        ("gdsize", PolicyKind::GdSize),
+        ("piggyback_aware", PolicyKind::PiggybackAware),
+    ] {
+        group.bench_function(name, |b| b.iter(|| black_box(churn(kind, 20_000))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Micro-benchmarks for chunked transfer-coding with trailers — the wire
+//! mechanism carrying piggybacks (Section 2.3).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use piggyback_httpwire::{read_chunked, write_chunked, HeaderMap};
+use std::hint::black_box;
+use std::io::BufReader;
+
+fn bench_chunked(c: &mut Criterion) {
+    let body = vec![0x42u8; 16 * 1024];
+    let mut trailers = HeaderMap::new();
+    trailers.insert(
+        "P-volume",
+        "7; \"/a/b.html\" 887725423 5243, \"/a/c.gif\" 887725001 10230",
+    );
+    let mut wire = Vec::new();
+    write_chunked(&mut wire, &body, &trailers, 8 * 1024).unwrap();
+
+    let mut group = c.benchmark_group("chunked_16k");
+    group.throughput(Throughput::Bytes(body.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(wire.len());
+            write_chunked(&mut out, black_box(&body), &trailers, 8 * 1024).unwrap();
+            black_box(out.len())
+        })
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut r = BufReader::new(wire.as_slice());
+            black_box(read_chunked(&mut r).unwrap().0.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunked);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Micro-benchmarks for `Piggy-filter` / `P-volume` header processing —
+//! per-request string work at both endpoints.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piggyback_core::element::{PiggybackElement, PiggybackMessage};
+use piggyback_core::filter::ProxyFilter;
+use piggyback_core::table::ResourceTable;
+use piggyback_core::types::{Timestamp, VolumeId};
+use piggyback_core::wire::{decode_p_volume, encode_p_volume};
+use std::hint::black_box;
+
+fn bench_filter(c: &mut Criterion) {
+    let header = "maxpiggy=10; rpv=\"3,4,17,95\"; minacc=50; pt=0.25; maxsize=65536; types=\"html,text\"";
+    c.bench_function("filter_parse", |b| {
+        b.iter(|| black_box(ProxyFilter::parse(black_box(header)).unwrap()))
+    });
+    let filter = ProxyFilter::parse(header).unwrap();
+    c.bench_function("filter_format", |b| {
+        b.iter(|| black_box(filter.to_header_value()))
+    });
+}
+
+fn bench_p_volume(c: &mut Criterion) {
+    let mut table = ResourceTable::new();
+    let mut msg = PiggybackMessage::new(VolumeId(7));
+    for i in 0..10 {
+        let id = table.register_path(
+            &format!("/press/releases/1998/january/item{i}.html"),
+            1000 + i,
+            Timestamp::from_secs(i),
+        );
+        msg.elements.push(PiggybackElement {
+            resource: id,
+            size: 1000 + i,
+            last_modified: Timestamp::from_secs(i),
+        });
+    }
+    let encoded = encode_p_volume(&msg, &table).unwrap();
+    c.bench_function("p_volume_encode_10", |b| {
+        b.iter(|| black_box(encode_p_volume(black_box(&msg), &table).unwrap()))
+    });
+    c.bench_function("p_volume_decode_10", |b| {
+        b.iter(|| black_box(decode_p_volume(black_box(&encoded)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_filter, bench_p_volume);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro-benchmark for the trace-replay metrics engine: requests per
+//! second through the full per-source bookkeeping (prediction windows,
+//! update decomposition, RPV state).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use piggyback_bench::{build_probability_volumes, load_server_log};
+use piggyback_core::filter::ProxyFilter;
+use piggyback_core::metrics::{replay, ReplayConfig, RpvConfig};
+use piggyback_core::types::DurationMs;
+use piggyback_core::volume::{DirectoryVolumes, VolumeProvider};
+use std::hint::black_box;
+
+fn bench_replay(c: &mut Criterion) {
+    std::env::set_var("PB_SCALE", "0.1");
+    let log = load_server_log("aiusa");
+    let n = log.entries.len() as u64;
+    let (prob, _) = build_probability_volumes(&log, 0.1);
+
+    let mut group = c.benchmark_group("metrics_replay");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("directory_level1", |b| {
+        b.iter(|| {
+            let mut table = log.table.clone();
+            for e in &log.entries {
+                table.count_access(e.resource);
+            }
+            let mut vols = DirectoryVolumes::new(1);
+            for (id, path, _) in table.iter() {
+                vols.assign(id, path);
+            }
+            let report = replay(
+                log.requests(),
+                &mut table,
+                &mut vols,
+                &ReplayConfig {
+                    base_filter: ProxyFilter::builder().max_piggy(50).build(),
+                    rpv: Some(RpvConfig {
+                        max_len: 32,
+                        timeout: DurationMs::from_secs(30),
+                    }),
+                    ..Default::default()
+                },
+            );
+            black_box(report.predicted)
+        })
+    });
+
+    group.bench_function("probability", |b| {
+        b.iter(|| {
+            let mut table = log.table.clone();
+            let mut vols = prob.clone();
+            let report = replay(
+                log.requests(),
+                &mut table,
+                &mut vols,
+                &ReplayConfig::default(),
+            );
+            black_box(report.predicted)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Micro-benchmarks for per-request piggyback generation — the operation
+//! on the server's critical path (it must not delay responses).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piggyback_bench::{build_probability_volumes, load_server_log};
+use piggyback_core::filter::ProxyFilter;
+use piggyback_core::types::Timestamp;
+use piggyback_core::volume::{DirectoryVolumes, VolumeProvider};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    std::env::set_var("PB_SCALE", "0.2");
+    let log = load_server_log("aiusa");
+    let mut table = log.table.clone();
+    for e in &log.entries {
+        table.count_access(e.resource);
+    }
+
+    // Warm directory volumes.
+    let mut dir = DirectoryVolumes::new(1);
+    for (id, path, _) in table.iter() {
+        dir.assign(id, path);
+    }
+    for e in &log.entries {
+        dir.record_access(e.resource, e.client, e.time, &table);
+    }
+    let (prob, _) = build_probability_volumes(&log, 0.1);
+
+    let requests: Vec<_> = log.entries.iter().take(1000).map(|e| e.resource).collect();
+    let filter = ProxyFilter::builder().max_piggy(10).build();
+    let now = Timestamp::from_secs(1_000_000);
+
+    c.bench_function("directory_piggyback_1k", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for &r in &requests {
+                if let Some(m) = dir.piggyback(r, &filter, now, &table) {
+                    n += m.len();
+                }
+            }
+            black_box(n)
+        })
+    });
+    c.bench_function("probability_piggyback_1k", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for &r in &requests {
+                if let Some(m) = prob.piggyback(r, &filter, now, &table) {
+                    n += m.len();
+                }
+            }
+            black_box(n)
+        })
+    });
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro-benchmarks for volume construction: directory FIFO maintenance
+//! and probability-counter building (exact vs sampled — the ablation of
+//! DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piggyback_core::types::{DurationMs, SourceId};
+use piggyback_core::volume::{
+    DirectoryVolumes, ProbabilityVolumesBuilder, SamplingMode, VolumeProvider,
+};
+use piggyback_trace::profiles;
+use std::hint::black_box;
+
+fn bench_directory_maintenance(c: &mut Criterion) {
+    let log = profiles::aiusa(0.05).generate();
+    c.bench_function("directory_record_access_50k", |b| {
+        b.iter(|| {
+            let mut table = log.table.clone();
+            let mut vols = DirectoryVolumes::new(1);
+            for (id, path, _) in table.iter() {
+                vols.assign(id, path);
+            }
+            // Safe: assign above used an immutable iter; re-borrow mutably.
+            for e in &log.entries {
+                table.count_access(e.resource);
+                vols.record_access(e.resource, e.client, e.time, &table);
+            }
+            black_box(vols.volume_count())
+        })
+    });
+}
+
+fn bench_probability_builder(c: &mut Criterion) {
+    let log = profiles::aiusa(0.05).generate();
+    let mut group = c.benchmark_group("probability_builder");
+    group.sample_size(10);
+    group.bench_function("exact", |b| {
+        b.iter(|| {
+            let mut builder = ProbabilityVolumesBuilder::new(
+                DurationMs::from_secs(300),
+                0.1,
+                SamplingMode::Exact,
+            );
+            for (t, src, r) in log.triples() {
+                builder.observe(src, r, t);
+            }
+            black_box(builder.counter_count())
+        })
+    });
+    group.bench_function("sampled", |b| {
+        b.iter(|| {
+            let mut builder = ProbabilityVolumesBuilder::new(
+                DurationMs::from_secs(300),
+                0.1,
+                SamplingMode::Sampled { factor: 2.0 },
+            );
+            for (t, src, r) in log.triples() {
+                builder.observe(src, r, t);
+            }
+            black_box(builder.counter_count())
+        })
+    });
+    group.finish();
+    let _ = SourceId(0);
+}
+
+criterion_group!(benches, bench_directory_maintenance, bench_probability_builder);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 6 — fraction predicted vs average piggyback size for
+//! probability-based volumes (AIUSA and Sun logs).
+//!
+//! Each row is one probability threshold; recall grows with piggyback size
+//! with diminishing returns, and probability volumes reach a given recall
+//! at much smaller piggyback sizes than directory volumes (compare fig3).
+//! Thinning (effective >= 0.2) and same-prefix restriction shrink the
+//! piggyback further at nearly equal recall — most dramatically for Sun.
+
+use piggyback_bench::{
+    banner, build_probability_volumes, f2, load_server_log, pct, print_table,
+    probability_replay, thin_volumes,
+};
+use piggyback_core::filter::ProxyFilter;
+
+fn main() {
+    banner(
+        "fig6",
+        "fraction predicted vs avg piggyback size (probability volumes)",
+    );
+    let thresholds = [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5];
+    for profile in ["aiusa", "sun"] {
+        let log = load_server_log(profile);
+        println!("\n{} log ({} requests)", profile, log.entries.len());
+        let (base, _) = build_probability_volumes(&log, 0.01);
+        let thinned = thin_volumes(&log, &base, 0.2);
+        let combined = base.restrict_same_prefix(1, &log.table);
+
+        let mut rows = Vec::new();
+        for &pt in &thresholds {
+            let mut row = vec![f2(pt)];
+            for vols in [&base, &thinned, &combined] {
+                let report =
+                    probability_replay(&log, &vols.rethreshold(pt), ProxyFilter::default());
+                row.push(f2(report.avg_piggyback_size()));
+                row.push(pct(report.fraction_predicted()));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &[
+                "p_t",
+                "base size",
+                "base recall",
+                "eff0.2 size",
+                "eff0.2 recall",
+                "combined size",
+                "combined recall",
+            ],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 7 — true-prediction fraction (precision) vs average piggyback
+//! size for probability-based volumes (AIUSA and Sun logs).
+//!
+//! The paper's headline subtlety: without thinning, precision is *not*
+//! monotone in piggyback size — pairs with high implication probability
+//! but low *effective* probability add size without adding true
+//! predictions. Thinning at effective >= 0.2 restores the monotone
+//! smaller-is-more-precise relationship (most dramatic on Sun).
+
+use piggyback_bench::{
+    banner, build_probability_volumes, f2, load_server_log, pct, print_table,
+    probability_replay, thin_volumes,
+};
+use piggyback_core::filter::ProxyFilter;
+
+fn main() {
+    banner(
+        "fig7",
+        "true predictions vs avg piggyback size (probability volumes)",
+    );
+    let thresholds = [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5];
+    for profile in ["aiusa", "sun"] {
+        let log = load_server_log(profile);
+        println!("\n{} log ({} requests)", profile, log.entries.len());
+        let (base, _) = build_probability_volumes(&log, 0.01);
+        let thinned = thin_volumes(&log, &base, 0.2);
+
+        let mut rows = Vec::new();
+        for &pt in &thresholds {
+            let base_report =
+                probability_replay(&log, &base.rethreshold(pt), ProxyFilter::default());
+            let thin_report =
+                probability_replay(&log, &thinned.rethreshold(pt), ProxyFilter::default());
+            rows.push(vec![
+                f2(pt),
+                f2(base_report.avg_piggyback_size()),
+                pct(base_report.true_prediction_fraction()),
+                f2(thin_report.avg_piggyback_size()),
+                pct(thin_report.true_prediction_fraction()),
+            ]);
+        }
+        print_table(
+            &[
+                "p_t",
+                "base size",
+                "base precision",
+                "eff0.2 size",
+                "eff0.2 precision",
+            ],
+            &rows,
+        );
+    }
+}

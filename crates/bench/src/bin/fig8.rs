@@ -1,0 +1,51 @@
+//! Figure 8 — precision vs recall for the best volumes (all four server
+//! logs).
+//!
+//! Volumes thinned at effective probability 0.2 ("consistently produced
+//! the best volumes for a given piggyback size") swept over `p_t`, with
+//! combined volumes for comparison ("worse tradeoffs"). Marimba's
+//! prediction probabilities collapse (Appendix A) — expect its points at
+//! the bottom.
+
+use piggyback_bench::{
+    banner, build_probability_volumes, f2, load_server_log, pct, print_table,
+    probability_replay, thin_volumes,
+};
+use piggyback_core::filter::ProxyFilter;
+
+fn main() {
+    banner("fig8", "precision vs recall (effective-0.2 vs combined volumes)");
+    let thresholds = [0.02, 0.05, 0.1, 0.2, 0.3, 0.5];
+    for profile in ["aiusa", "apache", "sun", "marimba"] {
+        let log = load_server_log(profile);
+        println!("\n{} log ({} requests)", profile, log.entries.len());
+        let (base, _) = build_probability_volumes(&log, 0.02);
+        let thinned = thin_volumes(&log, &base, 0.2);
+        let combined = base.restrict_same_prefix(1, &log.table);
+
+        let mut rows = Vec::new();
+        for &pt in &thresholds {
+            let t = probability_replay(&log, &thinned.rethreshold(pt), ProxyFilter::default());
+            let c = probability_replay(&log, &combined.rethreshold(pt), ProxyFilter::default());
+            rows.push(vec![
+                f2(pt),
+                pct(t.fraction_predicted()),
+                pct(t.true_prediction_fraction()),
+                f2(t.avg_piggyback_size()),
+                pct(c.fraction_predicted()),
+                pct(c.true_prediction_fraction()),
+            ]);
+        }
+        print_table(
+            &[
+                "p_t",
+                "eff0.2 recall",
+                "eff0.2 precision",
+                "eff0.2 size",
+                "combined recall",
+                "combined precision",
+            ],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! `make-clf` — export a synthetic profile log as a Common Log Format
+//! file (useful for testing `replay-clf` and for interop with standard
+//! log tooling).
+//!
+//! ```text
+//! make-clf [--profile aiusa] [--scale 0.05] > access.log
+//! ```
+
+use piggyback_trace::clf::to_clf_string;
+use piggyback_trace::profiles;
+
+fn main() {
+    let mut profile = "aiusa".to_owned();
+    let mut scale = 0.05f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--profile" => profile = value("--profile"),
+            "--scale" => scale = value("--scale").parse().expect("number"),
+            "--help" | "-h" => {
+                println!("make-clf [--profile aiusa|apache|sun|marimba] [--scale 0.05]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let log = match profile.as_str() {
+        "aiusa" => profiles::aiusa(scale),
+        "apache" => profiles::apache(scale),
+        "sun" => profiles::sun(scale),
+        "marimba" => profiles::marimba(scale),
+        other => {
+            eprintln!("unknown profile {other}");
+            std::process::exit(2);
+        }
+    }
+    .generate();
+    print!("{}", to_clf_string(&log));
+}

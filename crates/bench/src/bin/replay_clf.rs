@@ -1,0 +1,130 @@
+//! `replay-clf` — run the paper's evaluation pipeline on a **real** server
+//! log in Common Log Format.
+//!
+//! The synthetic profiles stand in for the paper's proprietary logs, but
+//! the machinery is log-agnostic: feed any CLF access log and get the
+//! directory- and probability-volume metrics for it.
+//!
+//! ```text
+//! cargo run --release -p piggyback-bench --bin replay-clf -- ACCESS_LOG \
+//!     [--level 1] [--pt 0.25] [--eff 0.2] [--maxpiggy 200]
+//! ```
+
+use piggyback_bench::{banner, f2, pct, print_table};
+use piggyback_core::datetime::DEFAULT_TRACE_EPOCH_UNIX;
+use piggyback_core::filter::ProxyFilter;
+use piggyback_core::metrics::{replay, ReplayConfig};
+use piggyback_core::types::DurationMs;
+use piggyback_core::volume::effective::thin_with_trace;
+use piggyback_core::volume::{
+    DirectoryVolumes, ProbabilityVolumesBuilder, SamplingMode, VolumeProvider,
+};
+use piggyback_trace::clf::parse_clf_log;
+use piggyback_trace::stats::server_log_stats;
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut level = 1usize;
+    let mut pt = 0.25f64;
+    let mut eff = 0.2f64;
+    let mut maxpiggy = 200u32;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--level" => level = value("--level").parse().expect("number"),
+            "--pt" => pt = value("--pt").parse().expect("number"),
+            "--eff" => eff = value("--eff").parse().expect("number"),
+            "--maxpiggy" => maxpiggy = value("--maxpiggy").parse().expect("number"),
+            "--help" | "-h" => {
+                println!(
+                    "replay-clf ACCESS_LOG [--level 1] [--pt 0.25] [--eff 0.2] [--maxpiggy 200]"
+                );
+                return;
+            }
+            other if !other.starts_with('-') => path = Some(other.to_owned()),
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: replay-clf ACCESS_LOG [--level N] [--pt P] [--eff E]");
+        std::process::exit(2);
+    };
+
+    banner("replay-clf", &format!("volume evaluation of {path}"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut log = parse_clf_log(&path, &text, DEFAULT_TRACE_EPOCH_UNIX).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    log.entries.sort_by_key(|e| e.time);
+
+    let stats = server_log_stats(&log);
+    println!(
+        "{} requests over {:.1} days, {} sources, {} unique resources\n",
+        stats.requests, stats.days, stats.clients, stats.unique_resources
+    );
+
+    // Directory volumes at the requested level.
+    let mut table = log.table.clone();
+    for e in &log.entries {
+        table.count_access(e.resource);
+    }
+    let mut dir = DirectoryVolumes::new(level);
+    for (id, p, _) in table.iter() {
+        dir.assign(id, p);
+    }
+    let cfg = ReplayConfig {
+        base_filter: ProxyFilter::builder().max_piggy(maxpiggy).build(),
+        ..Default::default()
+    };
+    let dir_report = replay(log.requests(), &mut table.clone(), &mut dir, &cfg);
+
+    // Probability volumes with thinning.
+    let mut builder =
+        ProbabilityVolumesBuilder::new(DurationMs::from_secs(300), 0.02, SamplingMode::Exact);
+    for (t, src, r) in log.triples() {
+        builder.observe(src, r, t);
+    }
+    let base = builder.build(0.02);
+    let thinned =
+        thin_with_trace(&base, DurationMs::from_secs(300), log.triples(), eff).rethreshold(pt);
+    let mut prob = thinned.clone();
+    let prob_report = replay(log.requests(), &mut table, &mut prob, &cfg);
+
+    print_table(
+        &[
+            "volumes",
+            "avg piggyback",
+            "fraction predicted",
+            "true predictions",
+            "update fraction",
+        ],
+        &[
+            vec![
+                format!("directory level-{level}"),
+                f2(dir_report.avg_piggyback_size()),
+                pct(dir_report.fraction_predicted()),
+                pct(dir_report.true_prediction_fraction()),
+                pct(dir_report.update_fraction_table1()),
+            ],
+            vec![
+                format!("probability pt={pt} eff={eff}"),
+                f2(prob_report.avg_piggyback_size()),
+                pct(prob_report.fraction_predicted()),
+                pct(prob_report.true_prediction_fraction()),
+                pct(prob_report.update_fraction_table1()),
+            ],
+        ],
+    );
+}

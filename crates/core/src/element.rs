@@ -1,0 +1,146 @@
+//! Piggyback messages and their wire-cost model (paper Section 2.3).
+//!
+//! A piggyback message carries a two-byte volume identifier and a sequence
+//! of elements, each holding a resource identifier (URL), its size, and its
+//! Last-Modified time. The paper budgets ~50 bytes for a URL (server name
+//! omitted) and 8-byte integers for time and size — 66 bytes per element.
+
+use crate::types::{ResourceId, Timestamp, VolumeId};
+use serde::{Deserialize, Serialize};
+
+/// One entry of a piggyback message: the metadata a proxy needs to freshen,
+/// invalidate, or prefetch a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PiggybackElement {
+    /// The resource being described (interned URL path).
+    pub resource: ResourceId,
+    /// Size of the resource body in bytes.
+    pub size: u64,
+    /// Last-Modified time of the server's current copy.
+    pub last_modified: Timestamp,
+}
+
+/// A complete piggyback message, as carried in the `P-volume` trailer of a
+/// chunked HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PiggybackMessage {
+    /// The volume the requested resource belongs to; the proxy appends this
+    /// to its recently-piggybacked-volume (RPV) list.
+    pub volume: VolumeId,
+    /// Elements describing related resources (never includes the requested
+    /// resource itself).
+    pub elements: Vec<PiggybackElement>,
+}
+
+impl PiggybackMessage {
+    pub fn new(volume: VolumeId) -> Self {
+        PiggybackMessage {
+            volume,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Number of piggybacked elements (the paper's "piggyback size").
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Estimated on-the-wire size of this message in bytes under the paper's
+    /// accounting: 2 bytes of volume id plus [`WireCost`]-modelled elements.
+    pub fn wire_bytes(&self, cost: &WireCost) -> u64 {
+        cost.message_bytes(self.len())
+    }
+}
+
+/// The paper's byte-cost model for piggyback messages (Section 2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireCost {
+    /// Average URL length after omitting the redundant server-name portion.
+    /// The paper measured "about 50 bytes" across its logs.
+    pub avg_url_bytes: u64,
+    /// Bytes for the Last-Modified time field.
+    pub last_modified_bytes: u64,
+    /// Bytes for the resource-size field.
+    pub size_bytes: u64,
+    /// Bytes for the volume identifier ("2 byte volume identifier").
+    pub volume_id_bytes: u64,
+}
+
+impl Default for WireCost {
+    fn default() -> Self {
+        WireCost {
+            avg_url_bytes: 50,
+            last_modified_bytes: 8,
+            size_bytes: 8,
+            volume_id_bytes: 2,
+        }
+    }
+}
+
+impl WireCost {
+    /// Bytes per piggyback element. With defaults this is the paper's 66.
+    pub fn element_bytes(&self) -> u64 {
+        self.avg_url_bytes + self.last_modified_bytes + self.size_bytes
+    }
+
+    /// Bytes for a whole message of `n` elements. With defaults and the
+    /// paper's Sun example (6 elements) this is 398 bytes.
+    pub fn message_bytes(&self, n: usize) -> u64 {
+        self.volume_id_bytes + self.element_bytes() * n as u64
+    }
+
+    /// Number of extra TCP/IP packets a piggyback of `n` elements needs,
+    /// given `spare` bytes of room left in the packet carrying the response.
+    /// The paper argues small piggybacks "might often fit in the same packet
+    /// as the response or at most require one additional packet".
+    pub fn extra_packets(&self, n: usize, spare: u64, mss: u64) -> u64 {
+        let bytes = self.message_bytes(n);
+        if bytes <= spare {
+            0
+        } else {
+            (bytes - spare).div_ceil(mss.max(1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_byte_accounting() {
+        let cost = WireCost::default();
+        assert_eq!(cost.element_bytes(), 66);
+        // Section 2.3: 6 elements => 398 bytes total.
+        assert_eq!(cost.message_bytes(6), 398);
+        assert_eq!(cost.message_bytes(0), 2);
+    }
+
+    #[test]
+    fn extra_packet_math() {
+        let cost = WireCost::default();
+        // Fits in the spare room of the response packet.
+        assert_eq!(cost.extra_packets(6, 400, 1460), 0);
+        // Slightly over: one extra packet.
+        assert_eq!(cost.extra_packets(6, 300, 1460), 1);
+        // A giant piggyback needs several.
+        assert_eq!(cost.extra_packets(200, 0, 1460), (2 + 66 * 200u64).div_ceil(1460));
+    }
+
+    #[test]
+    fn message_basics() {
+        let mut m = PiggybackMessage::new(VolumeId(3));
+        assert!(m.is_empty());
+        m.elements.push(PiggybackElement {
+            resource: ResourceId(1),
+            size: 100,
+            last_modified: Timestamp::from_secs(5),
+        });
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.wire_bytes(&WireCost::default()), 68);
+    }
+}

@@ -1,0 +1,202 @@
+//! Stateless-ish piggyback frequency control (paper Section 2.2).
+//!
+//! When a server has too many volumes for RPV lists to be practical (e.g.
+//! probability-based volumes, one per resource), the proxy paces piggybacks
+//! with cheap per-server techniques instead: a random enable/disable bit, a
+//! minimum interval since the last piggyback from that server, or an
+//! adaptive variant that backs off when recent piggybacks were useless.
+
+use crate::types::{DurationMs, Timestamp};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+/// A policy deciding, per request, whether to set the filter's enable bit.
+pub trait FrequencyControl {
+    /// Should the next request to `server` enable piggybacking?
+    fn should_enable(&mut self, server: u64, now: Timestamp) -> bool;
+
+    /// Inform the policy that a piggyback arrived from `server` at `now`
+    /// containing `useful` elements the proxy acted on, of `total` sent.
+    fn on_piggyback(&mut self, server: u64, now: Timestamp, useful: usize, total: usize);
+}
+
+/// Always enable (the protocol's default behaviour, no pacing).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AlwaysEnable;
+
+impl FrequencyControl for AlwaysEnable {
+    fn should_enable(&mut self, _server: u64, _now: Timestamp) -> bool {
+        true
+    }
+    fn on_piggyback(&mut self, _: u64, _: Timestamp, _: usize, _: usize) {}
+}
+
+/// "Randomly set an enable/disable bit": enable with probability `p`.
+#[derive(Debug)]
+pub struct RandomBit {
+    p: f64,
+    rng: StdRng,
+}
+
+impl RandomBit {
+    /// Enable each request's piggyback independently with probability `p`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        RandomBit {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl FrequencyControl for RandomBit {
+    fn should_enable(&mut self, _server: u64, _now: Timestamp) -> bool {
+        self.rng.random::<f64>() < self.p
+    }
+    fn on_piggyback(&mut self, _: u64, _: Timestamp, _: usize, _: usize) {}
+}
+
+/// "Disabling piggybacks from servers which have sent piggybacks within the
+/// last minute": a minimum interval between piggybacks per server.
+#[derive(Debug)]
+pub struct MinInterval {
+    interval: DurationMs,
+    last: HashMap<u64, Timestamp>,
+}
+
+impl MinInterval {
+    pub fn new(interval: DurationMs) -> Self {
+        MinInterval {
+            interval,
+            last: HashMap::new(),
+        }
+    }
+}
+
+impl FrequencyControl for MinInterval {
+    fn should_enable(&mut self, server: u64, now: Timestamp) -> bool {
+        match self.last.get(&server) {
+            Some(&t) => now.since(t) >= self.interval,
+            None => true,
+        }
+    }
+
+    fn on_piggyback(&mut self, server: u64, now: Timestamp, _useful: usize, _total: usize) {
+        self.last.insert(server, now);
+    }
+}
+
+/// Usefulness-adaptive pacing: a minimum interval that stretches when recent
+/// piggybacks from a server were useless and shrinks when they were useful.
+///
+/// The effective interval is `base * 2^level`, where `level` (0..=max_level)
+/// rises after a piggyback with zero useful elements and falls after one
+/// where at least half the elements were useful.
+#[derive(Debug)]
+pub struct AdaptiveInterval {
+    base: DurationMs,
+    max_level: u32,
+    state: HashMap<u64, (Timestamp, u32)>,
+}
+
+impl AdaptiveInterval {
+    pub fn new(base: DurationMs, max_level: u32) -> Self {
+        AdaptiveInterval {
+            base,
+            max_level,
+            state: HashMap::new(),
+        }
+    }
+
+    fn interval_for(&self, level: u32) -> DurationMs {
+        DurationMs(self.base.0.saturating_mul(1u64 << level.min(63)))
+    }
+}
+
+impl FrequencyControl for AdaptiveInterval {
+    fn should_enable(&mut self, server: u64, now: Timestamp) -> bool {
+        match self.state.get(&server) {
+            Some(&(t, level)) => now.since(t) >= self.interval_for(level),
+            None => true,
+        }
+    }
+
+    fn on_piggyback(&mut self, server: u64, now: Timestamp, useful: usize, total: usize) {
+        let entry = self.state.entry(server).or_insert((now, 0));
+        entry.0 = now;
+        if total > 0 && useful == 0 {
+            entry.1 = (entry.1 + 1).min(self.max_level);
+        } else if total > 0 && useful * 2 >= total {
+            entry.1 = entry.1.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn always_enable() {
+        let mut p = AlwaysEnable;
+        assert!(p.should_enable(1, ts(0)));
+        p.on_piggyback(1, ts(0), 0, 10);
+        assert!(p.should_enable(1, ts(0)));
+    }
+
+    #[test]
+    fn random_bit_respects_probability() {
+        let mut p = RandomBit::new(0.3, 42);
+        let n = 10_000;
+        let enabled = (0..n).filter(|_| p.should_enable(1, ts(0))).count();
+        let frac = enabled as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.02, "got {frac}");
+        // Degenerate probabilities.
+        let mut never = RandomBit::new(0.0, 1);
+        assert!(!(0..100).any(|_| never.should_enable(1, ts(0))));
+        let mut always = RandomBit::new(1.0, 1);
+        assert!((0..100).all(|_| always.should_enable(1, ts(0))));
+    }
+
+    #[test]
+    fn min_interval_gates_per_server() {
+        let mut p = MinInterval::new(DurationMs::from_secs(60));
+        assert!(p.should_enable(1, ts(0)));
+        p.on_piggyback(1, ts(0), 1, 1);
+        assert!(!p.should_enable(1, ts(59)));
+        assert!(p.should_enable(1, ts(60)));
+        // Other servers are independent.
+        assert!(p.should_enable(2, ts(1)));
+    }
+
+    #[test]
+    fn adaptive_backs_off_on_useless_piggybacks() {
+        let mut p = AdaptiveInterval::new(DurationMs::from_secs(10), 3);
+        p.on_piggyback(1, ts(0), 0, 5); // useless -> level 1 (20s)
+        assert!(!p.should_enable(1, ts(15)));
+        assert!(p.should_enable(1, ts(20)));
+        p.on_piggyback(1, ts(20), 0, 5); // level 2 (40s)
+        assert!(!p.should_enable(1, ts(50)));
+        assert!(p.should_enable(1, ts(60)));
+        // A useful piggyback brings the level back down.
+        p.on_piggyback(1, ts(60), 5, 5); // level 1 (20s)
+        assert!(p.should_enable(1, ts(80)));
+    }
+
+    #[test]
+    fn adaptive_level_saturates() {
+        let mut p = AdaptiveInterval::new(DurationMs::from_secs(1), 2);
+        for i in 0..10 {
+            p.on_piggyback(1, ts(i * 100), 0, 1);
+        }
+        // Level capped at 2 => interval 4s, not 2^10 s.
+        let last = ts(900);
+        assert!(p.should_enable(1, Timestamp::from_secs(904)));
+        assert!(!p.should_enable(1, Timestamp::from_millis(last.as_millis() + 3_999)));
+    }
+}

@@ -1,0 +1,583 @@
+//! Trace replay and the paper's evaluation metrics (Section 3.1).
+//!
+//! The engine replays a time-ordered request stream (a server log, with one
+//! pseudo-proxy per source IP) against a volume provider, simulating the
+//! piggyback exchange each source would have had, and computes:
+//!
+//! * **fraction predicted** (recall): requests that appeared in a piggyback
+//!   to the same source within the last `T` seconds;
+//! * **true prediction fraction** (precision): piggybacked resources that
+//!   were then requested within `T` (duplicates within one interval counted
+//!   once);
+//! * **update fraction**: requests for recently-cached resources that a
+//!   piggyback refreshed (Table 1's decomposition);
+//! * **average piggyback size**: elements per sent piggyback message.
+
+use crate::element::WireCost;
+use crate::filter::ProxyFilter;
+use crate::rpv::RpvList;
+use crate::table::ResourceTable;
+use crate::types::{DurationMs, ResourceId, SourceId, Timestamp};
+use crate::volume::VolumeProvider;
+use std::collections::HashMap;
+
+/// One trace request, as the server sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    pub time: Timestamp,
+    pub source: SourceId,
+    pub resource: ResourceId,
+}
+
+/// Per-source RPV list bounds used during replay.
+#[derive(Debug, Clone, Copy)]
+pub struct RpvConfig {
+    pub max_len: usize,
+    pub timeout: DurationMs,
+}
+
+/// Replay configuration.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Prediction window `T` (the paper evaluates 300 s).
+    pub window: DurationMs,
+    /// Cache window `C` for the update metric (the paper uses 2 hours).
+    pub update_window: DurationMs,
+    /// Content-oriented filter fields each source sends (maxpiggy, minacc,
+    /// pt, maxsize, types). Its `rpv` list is ignored — the engine manages
+    /// per-source RPV state via [`ReplayConfig::rpv`].
+    pub base_filter: ProxyFilter,
+    /// Per-source RPV lists; `None` disables RPV filtering.
+    pub rpv: Option<RpvConfig>,
+    /// Per-source minimum interval between piggybacks (Figure 4's x-axis);
+    /// `None` disables pacing.
+    pub min_piggyback_interval: Option<DurationMs>,
+    /// Count accesses into the resource table during replay. The paper's
+    /// access filters use whole-trace counts, so experiments usually
+    /// precount via [`precount_accesses`] and leave this off.
+    pub count_accesses_online: bool,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            window: DurationMs::from_secs(300),
+            update_window: DurationMs::from_secs(7200),
+            base_filter: ProxyFilter::default(),
+            rpv: None,
+            min_piggyback_interval: None,
+            count_accesses_online: false,
+        }
+    }
+}
+
+/// Aggregated counters from a replay.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct MetricsReport {
+    /// Total requests replayed.
+    pub requests: u64,
+    /// Requests predicted by a piggyback to the same source within `T`.
+    pub predicted: u64,
+    /// Requests predicted within `T` whose previous occurrence (same
+    /// source) was within `C` — Figure 3(b)'s update metric.
+    pub predicted_and_prev_within_c: u64,
+    /// Requests whose previous occurrence was within `C` (Table 1 col 2).
+    pub prev_within_c: u64,
+    /// Requests whose previous occurrence was within `T` (Table 1 col 3).
+    pub prev_within_t: u64,
+    /// Requests predicted within `T` with previous occurrence in `(T, C]`
+    /// (Table 1 col 4: piggybacks delivered new updates to cached copies).
+    pub updated_by_piggyback: u64,
+    /// Piggyback messages sent across all sources.
+    pub piggyback_messages: u64,
+    /// Elements across all piggyback messages.
+    pub piggybacked_elements: u64,
+    /// Distinct prediction events (piggybacked resource per source, deduped
+    /// within one `T` interval).
+    pub prediction_events: u64,
+    /// Prediction events fulfilled by a request within `T`.
+    pub true_predictions: u64,
+}
+
+impl MetricsReport {
+    fn frac(n: u64, d: u64) -> f64 {
+        if d == 0 {
+            0.0
+        } else {
+            n as f64 / d as f64
+        }
+    }
+
+    /// Recall: fraction of requests predicted in the last `T` seconds.
+    pub fn fraction_predicted(&self) -> f64 {
+        Self::frac(self.predicted, self.requests)
+    }
+
+    /// Precision: fraction of predictions that came true.
+    pub fn true_prediction_fraction(&self) -> f64 {
+        Self::frac(self.true_predictions, self.prediction_events)
+    }
+
+    /// Figure 3(b): predicted within `T` and previously requested within `C`.
+    pub fn update_fraction_fig3(&self) -> f64 {
+        Self::frac(self.predicted_and_prev_within_c, self.requests)
+    }
+
+    /// Table 1's update fraction: "the sum of the third and fourth columns".
+    pub fn update_fraction_table1(&self) -> f64 {
+        Self::frac(self.prev_within_t + self.updated_by_piggyback, self.requests)
+    }
+
+    /// Table 1 column 2.
+    pub fn prev_within_c_fraction(&self) -> f64 {
+        Self::frac(self.prev_within_c, self.requests)
+    }
+
+    /// Table 1 column 3.
+    pub fn prev_within_t_fraction(&self) -> f64 {
+        Self::frac(self.prev_within_t, self.requests)
+    }
+
+    /// Table 1 column 4.
+    pub fn updated_by_piggyback_fraction(&self) -> f64 {
+        Self::frac(self.updated_by_piggyback, self.requests)
+    }
+
+    /// Mean elements per piggyback message.
+    pub fn avg_piggyback_size(&self) -> f64 {
+        Self::frac(self.piggybacked_elements, self.piggyback_messages)
+    }
+
+    /// Mean piggyback bytes per *response* (not per message), under `cost`.
+    pub fn avg_piggyback_bytes_per_response(&self, cost: &WireCost) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        let total = cost.volume_id_bytes * self.piggyback_messages
+            + cost.element_bytes() * self.piggybacked_elements;
+        total as f64 / self.requests as f64
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingPrediction {
+    at: Timestamp,
+    fulfilled: bool,
+}
+
+#[derive(Default)]
+struct SourceState {
+    /// resource -> time of most recent piggyback mentioning it.
+    last_predicted: HashMap<ResourceId, Timestamp>,
+    /// resource -> time of its previous request.
+    last_request: HashMap<ResourceId, Timestamp>,
+    /// Active (deduplicated) prediction events.
+    pending: HashMap<ResourceId, PendingPrediction>,
+    rpv: Option<RpvList>,
+    last_piggyback: Option<Timestamp>,
+}
+
+/// Set whole-trace access counts on `table`, for access filters that use
+/// totals ("accessed less than 100 times in the entire trace").
+pub fn precount_accesses<'a, I>(requests: I, table: &mut ResourceTable)
+where
+    I: IntoIterator<Item = &'a Request>,
+{
+    for req in requests {
+        table.count_access(req.resource);
+    }
+}
+
+/// Replay `requests` (time-ordered) and compute the evaluation metrics.
+///
+/// The provider's `record_access` is invoked for every request, so online
+/// schemes (directory FIFOs) evolve exactly as a live server's would.
+pub fn replay<V, I>(
+    requests: I,
+    table: &mut ResourceTable,
+    provider: &mut V,
+    cfg: &ReplayConfig,
+) -> MetricsReport
+where
+    V: VolumeProvider,
+    I: IntoIterator<Item = Request>,
+{
+    let mut report = MetricsReport::default();
+    let mut sources: HashMap<SourceId, SourceState> = HashMap::new();
+    let t_win = cfg.window;
+    let c_win = cfg.update_window;
+
+    for req in requests {
+        let Request {
+            time: now,
+            source,
+            resource: r,
+        } = req;
+        report.requests += 1;
+
+        let state = sources.entry(source).or_insert_with(|| SourceState {
+            rpv: cfg
+                .rpv
+                .map(|rc| RpvList::new(rc.max_len, rc.timeout)),
+            ..Default::default()
+        });
+
+        // --- 1. Prediction / update metrics for this request -------------
+        let was_predicted = state
+            .last_predicted
+            .get(&r)
+            .is_some_and(|&tp| now.since(tp) <= t_win);
+        if was_predicted {
+            report.predicted += 1;
+        }
+        if let Some(p) = state.pending.get_mut(&r) {
+            if now.since(p.at) <= t_win {
+                p.fulfilled = true;
+            }
+        }
+        let prev = state.last_request.get(&r).copied();
+        if let Some(tp) = prev {
+            let age = now.since(tp);
+            if age <= c_win {
+                report.prev_within_c += 1;
+                if was_predicted {
+                    report.predicted_and_prev_within_c += 1;
+                }
+                if age <= t_win {
+                    report.prev_within_t += 1;
+                } else if was_predicted {
+                    report.updated_by_piggyback += 1;
+                }
+            }
+        }
+        state.last_request.insert(r, now);
+
+        if cfg.count_accesses_online {
+            table.count_access(r);
+        }
+
+        // --- 2. Build this request's filter and generate the piggyback ---
+        let paced_out = cfg
+            .min_piggyback_interval
+            .is_some_and(|min| {
+                state
+                    .last_piggyback
+                    .is_some_and(|t| now.since(t) < min)
+            });
+        if !paced_out {
+            let mut filter = cfg.base_filter.clone();
+            if let Some(rpv) = &mut state.rpv {
+                filter.rpv = rpv.filter_ids(now);
+            }
+            if let Some(msg) = provider.piggyback(r, &filter, now, table) {
+                report.piggyback_messages += 1;
+                report.piggybacked_elements += msg.len() as u64;
+                state.last_piggyback = Some(now);
+                if let Some(rpv) = &mut state.rpv {
+                    rpv.record(msg.volume, now);
+                }
+                for e in &msg.elements {
+                    let s = e.resource;
+                    state.last_predicted.insert(s, now);
+                    match state.pending.get(&s) {
+                        Some(p) if now.since(p.at) <= t_win => {
+                            // Same prediction interval: counted once.
+                        }
+                        Some(p) => {
+                            // Expired event: tally it, start a new one.
+                            report.prediction_events += 1;
+                            if p.fulfilled {
+                                report.true_predictions += 1;
+                            }
+                            state
+                                .pending
+                                .insert(s, PendingPrediction { at: now, fulfilled: false });
+                        }
+                        None => {
+                            state
+                                .pending
+                                .insert(s, PendingPrediction { at: now, fulfilled: false });
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- 3. Server-side bookkeeping ----------------------------------
+        provider.record_access(r, source, now, table);
+    }
+
+    // Flush outstanding prediction events.
+    for state in sources.values() {
+        for p in state.pending.values() {
+            report.prediction_events += 1;
+            if p.fulfilled {
+                report.true_predictions += 1;
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::{DirectoryVolumes, ProbabilityVolumesBuilder, SamplingMode};
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn req(t: u64, src: u32, r: ResourceId) -> Request {
+        Request {
+            time: ts(t),
+            source: SourceId(src),
+            resource: r,
+        }
+    }
+
+    /// Two resources in one volume, accessed alternately by one source.
+    fn simple_setup() -> (ResourceTable, DirectoryVolumes, ResourceId, ResourceId) {
+        let mut table = ResourceTable::new();
+        let mut vols = DirectoryVolumes::new(0);
+        let a = table.register_path("/a.html", 100, ts(0));
+        let b = table.register_path("/b.html", 100, ts(0));
+        vols.assign(a, "/a.html");
+        vols.assign(b, "/b.html");
+        (table, vols, a, b)
+    }
+
+    #[test]
+    fn empty_trace_yields_zeroes() {
+        let (mut table, mut vols, _, _) = simple_setup();
+        let report = replay(Vec::new(), &mut table, &mut vols, &ReplayConfig::default());
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.fraction_predicted(), 0.0);
+        assert_eq!(report.avg_piggyback_size(), 0.0);
+    }
+
+    #[test]
+    fn piggyback_predicts_next_request() {
+        let (mut table, mut vols, a, b) = simple_setup();
+        // a at t=0 (no piggyback: volume FIFO empty), b at t=10 (response
+        // piggybacks a), a at t=20 (predicted!).
+        let trace = vec![req(0, 1, a), req(10, 1, b), req(20, 1, a)];
+        let report = replay(trace, &mut table, &mut vols, &ReplayConfig::default());
+        assert_eq!(report.requests, 3);
+        assert_eq!(report.predicted, 1, "third request was predicted");
+        assert_eq!(report.piggyback_messages, 2, "responses to b and to a@20");
+        // Prediction events: a predicted once (fulfilled), b predicted once
+        // by the response to a@20 (never fulfilled).
+        assert_eq!(report.prediction_events, 2);
+        assert_eq!(report.true_predictions, 1);
+        assert!((report.true_prediction_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prediction_expires_after_window() {
+        let (mut table, mut vols, a, b) = simple_setup();
+        let trace = vec![req(0, 1, a), req(10, 1, b), req(10 + 301, 1, a)];
+        let report = replay(trace, &mut table, &mut vols, &ReplayConfig::default());
+        assert_eq!(report.predicted, 0, "prediction of a expired at T=300");
+    }
+
+    #[test]
+    fn sources_are_isolated() {
+        let (mut table, mut vols, a, b) = simple_setup();
+        // Source 1 gets a piggyback predicting a; source 2 then requests a.
+        let trace = vec![req(0, 1, a), req(10, 1, b), req(20, 2, a)];
+        let report = replay(trace, &mut table, &mut vols, &ReplayConfig::default());
+        assert_eq!(report.predicted, 0);
+    }
+
+    #[test]
+    fn duplicate_predictions_counted_once_per_interval() {
+        let (mut table, mut vols, a, b) = simple_setup();
+        // b requested twice quickly: a is piggybacked twice within T but
+        // that is a single prediction event; a never arrives.
+        let trace = vec![req(0, 1, a), req(10, 1, b), req(20, 1, b)];
+        let report = replay(trace, &mut table, &mut vols, &ReplayConfig::default());
+        // Events: prediction of a (unfulfilled, counted once)... plus the
+        // response to a@0 predicted nothing (empty volume), and responses
+        // to b@10/b@20 each piggyback a only (b is self-excluded).
+        assert_eq!(report.prediction_events, 1);
+        assert_eq!(report.true_predictions, 0);
+    }
+
+    #[test]
+    fn update_fraction_decomposition() {
+        let (mut table, mut vols, a, b) = simple_setup();
+        let trace = vec![
+            req(0, 1, a),
+            req(10, 1, b),   // response piggybacks a
+            req(400, 1, a),  // a's prediction (t=10) expired; piggybacks b
+            req(410, 1, b),  // predicted 10s ago, prev occ 400s ago: col 4
+            req(500, 1, a),  // predicted (t=410), prev occ 100s ago: col 3
+        ];
+        let report = replay(trace, &mut table, &mut vols, &ReplayConfig::default());
+        // prev_within_c: a@400 (prev 0), b@410 (prev 10), a@500 (prev 400).
+        assert_eq!(report.prev_within_c, 3);
+        // prev_within_t: only a@500 (100 s).
+        assert_eq!(report.prev_within_t, 1);
+        // updated_by_piggyback: only b@410 (predicted, prev occ in (T, C]);
+        // a@400's prediction expired, a@500's prev occ is within T.
+        assert_eq!(report.updated_by_piggyback, 1);
+        assert_eq!(report.predicted, 2, "b@410 and a@500");
+        assert_eq!(report.predicted_and_prev_within_c, 2);
+
+        // A minimal trace isolating column 4:
+        let (mut table, mut vols, a, b) = simple_setup();
+        let trace = vec![req(0, 1, a), req(350, 1, b), req(400, 1, a)];
+        // a@400: prev occ at 0 (400s: in (T, C]); predicted at 350 (50s ago).
+        let report = replay(trace, &mut table, &mut vols, &ReplayConfig::default());
+        assert_eq!(report.updated_by_piggyback, 1);
+        assert_eq!(report.predicted_and_prev_within_c, 1);
+        assert!((report.update_fraction_table1() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rpv_suppresses_redundant_piggybacks() {
+        let (mut table, mut vols, a, b) = simple_setup();
+        let trace = vec![req(0, 1, a), req(1, 1, b), req(2, 1, a), req(3, 1, b)];
+        let base = replay(
+            trace.clone(),
+            &mut table,
+            &mut vols,
+            &ReplayConfig::default(),
+        );
+        // Every response after the first carries a piggyback.
+        assert_eq!(base.piggyback_messages, 3);
+
+        let (mut table, mut vols, _a, _b) = simple_setup();
+        let cfg = ReplayConfig {
+            rpv: Some(RpvConfig {
+                max_len: 8,
+                timeout: DurationMs::from_secs(60),
+            }),
+            ..Default::default()
+        };
+        let rpv = replay(trace, &mut table, &mut vols, &cfg);
+        // Only the first piggyback goes out; the volume is then in the RPV
+        // list for 60 s.
+        assert_eq!(rpv.piggyback_messages, 1);
+        // But the earlier piggyback still predicts the later requests.
+        assert!(rpv.predicted >= 1);
+    }
+
+    #[test]
+    fn min_interval_paces_piggybacks() {
+        let (mut table, mut vols, a, b) = simple_setup();
+        let trace = vec![req(0, 1, a), req(1, 1, b), req(2, 1, a), req(40, 1, b)];
+        let cfg = ReplayConfig {
+            min_piggyback_interval: Some(DurationMs::from_secs(30)),
+            ..Default::default()
+        };
+        let report = replay(trace, &mut table, &mut vols, &cfg);
+        // Piggyback at t=1 (response to b); t=2 suppressed (1s later);
+        // t=40 allowed again.
+        assert_eq!(report.piggyback_messages, 2);
+    }
+
+    #[test]
+    fn online_access_counting_with_access_filter() {
+        let (mut table, mut vols, a, b) = simple_setup();
+        let cfg = ReplayConfig {
+            base_filter: ProxyFilter::builder().min_access_count(3).build(),
+            count_accesses_online: true,
+            ..Default::default()
+        };
+        // a accessed 3 times before b: response to b piggybacks a.
+        let trace = vec![
+            req(0, 1, a),
+            req(1, 1, a),
+            req(2, 1, a),
+            req(3, 1, b),
+            req(4, 1, a),
+        ];
+        let report = replay(trace, &mut table, &mut vols, &cfg);
+        // Only b@3 sends a piggyback: responses to a find either an empty
+        // FIFO or only b, whose count (at most 1) fails the access filter;
+        // a@4's candidate b has count 1 < 3, so it is suppressed too.
+        assert_eq!(report.piggyback_messages, 1);
+        // a@4 itself was predicted by the piggyback at t=3.
+        assert_eq!(report.predicted, 1);
+    }
+
+    #[test]
+    fn precount_matches_whole_trace() {
+        let (mut table, _, a, b) = simple_setup();
+        let trace = [req(0, 1, a), req(1, 1, a), req(2, 1, b)];
+        precount_accesses(trace.iter(), &mut table);
+        assert_eq!(table.meta(a).unwrap().access_count, 2);
+        assert_eq!(table.meta(b).unwrap().access_count, 1);
+    }
+
+    #[test]
+    fn wire_bytes_per_response_accounting() {
+        let (mut table, mut vols, a, b) = simple_setup();
+        // a@0 (no piggyback), b@1 (piggybacks a), a@2 (piggybacks b).
+        let trace = vec![req(0, 1, a), req(1, 1, b), req(2, 1, a)];
+        let report = replay(trace, &mut table, &mut vols, &ReplayConfig::default());
+        assert_eq!(report.piggyback_messages, 2);
+        assert_eq!(report.piggybacked_elements, 2);
+        let cost = crate::element::WireCost::default();
+        // (2 msgs * 2B id + 2 elements * 66B) / 3 responses.
+        let expected = (2 * 2 + 2 * 66) as f64 / 3.0;
+        assert!((report.avg_piggyback_bytes_per_response(&cost) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_update_window() {
+        let (mut table, mut vols, a, _b) = simple_setup();
+        // Re-request 400 s later: inside a 500 s C-window, outside T.
+        let trace = vec![req(0, 1, a), req(400, 1, a)];
+        let cfg = ReplayConfig {
+            update_window: DurationMs::from_secs(500),
+            ..Default::default()
+        };
+        let report = replay(trace.clone(), &mut table, &mut vols, &cfg);
+        assert_eq!(report.prev_within_c, 1);
+        // With a 300 s C-window the previous occurrence is too old.
+        let (mut table, mut vols, _, _) = simple_setup();
+        let cfg = ReplayConfig {
+            update_window: DurationMs::from_secs(300),
+            ..Default::default()
+        };
+        let report = replay(trace, &mut table, &mut vols, &cfg);
+        assert_eq!(report.prev_within_c, 0);
+    }
+
+    #[test]
+    fn simultaneous_requests_process_in_order() {
+        // Two requests at the same instant: the first's piggyback counts
+        // as predicting the second (processing order is stream order).
+        let (mut table, mut vols, a, b) = simple_setup();
+        let trace = vec![req(0, 1, a), req(5, 1, b), req(5, 1, a)];
+        let report = replay(trace, &mut table, &mut vols, &ReplayConfig::default());
+        // b@5's response piggybacks a; a@5 (same instant, later in stream)
+        // is predicted.
+        assert_eq!(report.predicted, 1);
+    }
+
+    #[test]
+    fn works_with_probability_volumes() {
+        let mut table = ResourceTable::new();
+        let a = table.register_path("/a", 10, ts(0));
+        let b = table.register_path("/b", 10, ts(0));
+        // Train: a implies b.
+        let mut builder =
+            ProbabilityVolumesBuilder::new(DurationMs::from_secs(300), 0.1, SamplingMode::Exact);
+        for i in 0..5u64 {
+            builder.observe(SourceId(1), a, ts(i * 10_000));
+            builder.observe(SourceId(1), b, ts(i * 10_000 + 1));
+        }
+        let mut vols = builder.build(0.5);
+        let trace = vec![req(100_000, 7, a), req(100_005, 7, b)];
+        let report = replay(trace, &mut table, &mut vols, &ReplayConfig::default());
+        assert_eq!(report.piggyback_messages, 1, "a's volume piggybacks b");
+        assert_eq!(report.predicted, 1, "b was predicted");
+        assert_eq!(report.true_predictions, 1);
+        assert_eq!(report.prediction_events, 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Recently-piggybacked-volume (RPV) lists (paper Section 2.2).
+//!
+//! The proxy keeps, per server, a short FIFO of volume ids it has recently
+//! received piggybacks for, each with the time of the last piggyback. The
+//! list rides in the `Piggy-filter` header so the *server* — which knows the
+//! volume membership — can suppress redundant piggybacks. The list is
+//! transient state: bounded by both a timeout and a maximum length, and the
+//! table of per-server lists is itself bounded.
+
+use crate::types::{DurationMs, Timestamp, VolumeId};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Per-server FIFO of recently piggybacked volumes.
+///
+/// Invariants:
+/// * at most `max_len` entries;
+/// * no entry older than `timeout` (purged lazily on access);
+/// * at most one entry per volume id (refreshed in place, moved to back).
+///
+/// The paper notes the timeout must not exceed the cache freshness interval
+/// Δ, "since this would preclude the server from sending refresh information
+/// for resources in this volume".
+#[derive(Debug, Clone)]
+pub struct RpvList {
+    entries: VecDeque<(VolumeId, Timestamp)>,
+    max_len: usize,
+    timeout: DurationMs,
+}
+
+impl RpvList {
+    /// Create a list bounded by `max_len` entries and `timeout` age.
+    pub fn new(max_len: usize, timeout: DurationMs) -> Self {
+        RpvList {
+            entries: VecDeque::with_capacity(max_len.min(64)),
+            max_len,
+            timeout,
+        }
+    }
+
+    /// Record a piggyback received for `volume` at `now`.
+    pub fn record(&mut self, volume: VolumeId, now: Timestamp) {
+        self.purge(now);
+        if let Some(pos) = self.entries.iter().position(|(v, _)| *v == volume) {
+            self.entries.remove(pos);
+        }
+        self.entries.push_back((volume, now));
+        while self.entries.len() > self.max_len {
+            self.entries.pop_front();
+        }
+    }
+
+    /// Whether `volume` was piggybacked within the timeout as of `now`.
+    pub fn contains(&mut self, volume: VolumeId, now: Timestamp) -> bool {
+        self.purge(now);
+        self.entries.iter().any(|(v, _)| *v == volume)
+    }
+
+    /// The volume ids to send in the filter's `rpv` attribute, oldest first.
+    pub fn filter_ids(&mut self, now: Timestamp) -> Vec<VolumeId> {
+        self.purge(now);
+        self.entries.iter().map(|(v, _)| *v).collect()
+    }
+
+    /// Time the last piggyback for `volume` was received, if fresh.
+    pub fn last_piggyback(&mut self, volume: VolumeId, now: Timestamp) -> Option<Timestamp> {
+        self.purge(now);
+        self.entries
+            .iter()
+            .find(|(v, _)| *v == volume)
+            .map(|&(_, t)| t)
+    }
+
+    /// Current number of fresh entries.
+    pub fn len(&mut self, now: Timestamp) -> usize {
+        self.purge(now);
+        self.entries.len()
+    }
+
+    pub fn is_empty(&mut self, now: Timestamp) -> bool {
+        self.len(now) == 0
+    }
+
+    fn purge(&mut self, now: Timestamp) {
+        let cutoff = now.before(self.timeout);
+        while let Some(&(_, t)) = self.entries.front() {
+            if t < cutoff {
+                self.entries.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// The proxy's table of RPV lists, "maintain[ed] efficiently as FIFO lists
+/// in a hash table keyed on the server IP address".
+///
+/// The table is bounded to `max_servers`; when full, the server whose most
+/// recent piggyback is oldest is evicted — the paper suggests keeping lists
+/// only "for a small subset of servers that are visited frequently".
+#[derive(Debug)]
+pub struct RpvTable<K: std::hash::Hash + Eq + Clone> {
+    lists: HashMap<K, RpvList>,
+    max_servers: usize,
+    per_list_len: usize,
+    timeout: DurationMs,
+}
+
+impl<K: std::hash::Hash + Eq + Clone> RpvTable<K> {
+    pub fn new(max_servers: usize, per_list_len: usize, timeout: DurationMs) -> Self {
+        RpvTable {
+            lists: HashMap::new(),
+            max_servers: max_servers.max(1),
+            per_list_len,
+            timeout,
+        }
+    }
+
+    /// Record a piggyback from `server` for `volume` at `now`.
+    pub fn record(&mut self, server: &K, volume: VolumeId, now: Timestamp) {
+        if !self.lists.contains_key(server) {
+            if self.lists.len() >= self.max_servers {
+                self.evict_stalest(now);
+            }
+            self.lists.insert(
+                server.clone(),
+                RpvList::new(self.per_list_len, self.timeout),
+            );
+        }
+        self.lists
+            .get_mut(server)
+            .expect("just inserted")
+            .record(volume, now);
+    }
+
+    /// RPV ids to include in a request filter to `server`.
+    pub fn filter_ids(&mut self, server: &K, now: Timestamp) -> Vec<VolumeId> {
+        match self.lists.get_mut(server) {
+            Some(list) => list.filter_ids(now),
+            None => Vec::new(),
+        }
+    }
+
+    /// Direct access to one server's list (e.g. for tests or policies).
+    pub fn list_mut(&mut self, server: &K) -> Option<&mut RpvList> {
+        self.lists.get_mut(server)
+    }
+
+    /// Number of tracked servers (including ones whose lists may be stale).
+    pub fn servers(&self) -> usize {
+        self.lists.len()
+    }
+
+    fn evict_stalest(&mut self, _now: Timestamp) {
+        // Evict the server with the oldest most-recent entry; empty lists
+        // are the stalest of all.
+        let victim = self
+            .lists
+            .iter()
+            .min_by_key(|(_, l)| l.entries.back().map(|&(_, t)| t).unwrap_or(Timestamp::ZERO))
+            .map(|(k, _)| k.clone());
+        if let Some(k) = victim {
+            self.lists.remove(&k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn records_and_expires() {
+        let mut l = RpvList::new(8, DurationMs::from_secs(30));
+        l.record(VolumeId(1), ts(0));
+        assert!(l.contains(VolumeId(1), ts(10)));
+        assert!(l.contains(VolumeId(1), ts(30)));
+        assert!(!l.contains(VolumeId(1), ts(31)), "past timeout");
+        assert!(l.is_empty(ts(31)));
+    }
+
+    #[test]
+    fn bounded_length_drops_oldest() {
+        let mut l = RpvList::new(2, DurationMs::from_secs(1000));
+        l.record(VolumeId(1), ts(1));
+        l.record(VolumeId(2), ts(2));
+        l.record(VolumeId(3), ts(3));
+        assert!(!l.contains(VolumeId(1), ts(3)));
+        assert_eq!(l.filter_ids(ts(3)), vec![VolumeId(2), VolumeId(3)]);
+    }
+
+    #[test]
+    fn re_record_refreshes_and_dedupes() {
+        let mut l = RpvList::new(8, DurationMs::from_secs(30));
+        l.record(VolumeId(1), ts(0));
+        l.record(VolumeId(2), ts(5));
+        l.record(VolumeId(1), ts(20));
+        // Only one entry for volume 1, refreshed to t=20.
+        assert_eq!(l.filter_ids(ts(20)), vec![VolumeId(2), VolumeId(1)]);
+        assert!(l.contains(VolumeId(1), ts(49)));
+        assert!(!l.contains(VolumeId(2), ts(40)));
+        assert_eq!(l.last_piggyback(VolumeId(1), ts(21)), Some(ts(20)));
+    }
+
+    #[test]
+    fn table_tracks_per_server() {
+        let mut t: RpvTable<&'static str> = RpvTable::new(4, 8, DurationMs::from_secs(60));
+        t.record(&"a.com", VolumeId(1), ts(0));
+        t.record(&"b.com", VolumeId(2), ts(1));
+        assert_eq!(t.filter_ids(&"a.com", ts(5)), vec![VolumeId(1)]);
+        assert_eq!(t.filter_ids(&"b.com", ts(5)), vec![VolumeId(2)]);
+        assert_eq!(t.filter_ids(&"c.com", ts(5)), Vec::<VolumeId>::new());
+    }
+
+    #[test]
+    fn table_evicts_stalest_server() {
+        let mut t: RpvTable<u32> = RpvTable::new(2, 8, DurationMs::from_secs(600));
+        t.record(&1, VolumeId(1), ts(0));
+        t.record(&2, VolumeId(2), ts(50));
+        t.record(&3, VolumeId(3), ts(100)); // evicts server 1 (stalest)
+        assert_eq!(t.servers(), 2);
+        assert!(t.filter_ids(&1, ts(100)).is_empty());
+        assert_eq!(t.filter_ids(&2, ts(100)), vec![VolumeId(2)]);
+        assert_eq!(t.filter_ids(&3, ts(100)), vec![VolumeId(3)]);
+    }
+
+    #[test]
+    fn timeout_boundary_is_inclusive() {
+        // An entry exactly `timeout` old is still fresh; one millisecond
+        // older is purged.
+        let mut l = RpvList::new(8, DurationMs::from_millis(1000));
+        l.record(VolumeId(7), Timestamp::from_millis(500));
+        assert!(l.contains(VolumeId(7), Timestamp::from_millis(1500)));
+        assert!(!l.contains(VolumeId(7), Timestamp::from_millis(1501)));
+    }
+}

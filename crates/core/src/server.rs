@@ -1,0 +1,215 @@
+//! Server-side piggybacking façade.
+//!
+//! [`PiggybackServer`] glues together the resource table and a volume
+//! provider, implementing the server half of the protocol in Section 2.1:
+//! record each access, and on each response construct a piggyback message
+//! honouring the proxy's filter.
+
+use crate::element::PiggybackMessage;
+use crate::filter::ProxyFilter;
+use crate::table::ResourceTable;
+use crate::types::{ContentType, ResourceId, SourceId, Timestamp, VolumeId};
+use crate::volume::VolumeProvider;
+
+/// Counters describing a server's piggybacking activity.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests recorded.
+    pub requests: u64,
+    /// Responses that carried a piggyback message.
+    pub piggybacks_sent: u64,
+    /// Total elements across all piggyback messages.
+    pub elements_sent: u64,
+    /// Piggyback attempts suppressed by the filter (disabled, RPV, or
+    /// nothing surviving the content filters).
+    pub suppressed: u64,
+}
+
+impl ServerStats {
+    /// Mean elements per sent piggyback message (the paper's "average
+    /// piggyback size").
+    pub fn avg_piggyback_size(&self) -> f64 {
+        if self.piggybacks_sent == 0 {
+            0.0
+        } else {
+            self.elements_sent as f64 / self.piggybacks_sent as f64
+        }
+    }
+}
+
+/// A piggybacking origin server: resource metadata plus a volume scheme.
+#[derive(Debug)]
+pub struct PiggybackServer<V: VolumeProvider> {
+    table: ResourceTable,
+    volumes: V,
+    stats: ServerStats,
+}
+
+impl<V: VolumeProvider> PiggybackServer<V> {
+    pub fn new(volumes: V) -> Self {
+        PiggybackServer {
+            table: ResourceTable::new(),
+            volumes,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Register a resource with explicit metadata, assigning it to a volume.
+    pub fn register(
+        &mut self,
+        path: &str,
+        size: u64,
+        last_modified: Timestamp,
+        content_type: ContentType,
+    ) -> ResourceId {
+        let id = self.table.register(path, size, last_modified, content_type);
+        let owned = self.table.path(id).expect("just registered").to_owned();
+        self.volumes.assign(id, &owned);
+        id
+    }
+
+    /// Register inferring the content type from the path extension.
+    pub fn register_path(&mut self, path: &str, size: u64, last_modified: Timestamp) -> ResourceId {
+        self.register(path, size, last_modified, ContentType::from_path(path))
+    }
+
+    /// Record a request for `resource` (updates access counts and volume
+    /// recency state).
+    pub fn record_access(&mut self, resource: ResourceId, source: SourceId, now: Timestamp) {
+        self.stats.requests += 1;
+        self.table.count_access(resource);
+        self.volumes.record_access(resource, source, now, &self.table);
+    }
+
+    /// Mark `resource` modified at `when`.
+    pub fn touch_modified(&mut self, resource: ResourceId, when: Timestamp) {
+        self.table.touch_modified(resource, when);
+    }
+
+    /// Build the piggyback for a response to `resource` under `filter`.
+    pub fn piggyback(
+        &mut self,
+        resource: ResourceId,
+        filter: &ProxyFilter,
+        now: Timestamp,
+    ) -> Option<PiggybackMessage> {
+        match self.volumes.piggyback(resource, filter, now, &self.table) {
+            Some(msg) => {
+                self.stats.piggybacks_sent += 1;
+                self.stats.elements_sent += msg.len() as u64;
+                Some(msg)
+            }
+            None => {
+                self.stats.suppressed += 1;
+                None
+            }
+        }
+    }
+
+    /// Record the access *and* build the piggyback, the full per-request
+    /// server flow of Section 2.1.
+    pub fn handle_request(
+        &mut self,
+        resource: ResourceId,
+        source: SourceId,
+        filter: &ProxyFilter,
+        now: Timestamp,
+    ) -> Option<PiggybackMessage> {
+        self.record_access(resource, source, now);
+        self.piggyback(resource, filter, now)
+    }
+
+    /// Absorb a proxy's `Piggy-report` of cache-served accesses
+    /// (Section 5 extension): folds hit counts into access statistics and
+    /// volume recency. Returns the number of entries absorbed.
+    pub fn absorb_report(
+        &mut self,
+        entries: &[crate::report::ReportEntry],
+        source: SourceId,
+        now: Timestamp,
+    ) -> usize {
+        crate::report::absorb_report(entries, source, now, &mut self.table, &mut self.volumes)
+    }
+
+    /// The volume containing `resource`.
+    pub fn volume_of(&self, resource: ResourceId) -> Option<VolumeId> {
+        self.volumes.volume_of(resource)
+    }
+
+    pub fn table(&self) -> &ResourceTable {
+        self.table_ref()
+    }
+
+    fn table_ref(&self) -> &ResourceTable {
+        &self.table
+    }
+
+    pub fn table_mut(&mut self) -> &mut ResourceTable {
+        &mut self.table
+    }
+
+    pub fn volumes(&self) -> &V {
+        &self.volumes
+    }
+
+    pub fn volumes_mut(&mut self) -> &mut V {
+        &mut self.volumes
+    }
+
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::DirectoryVolumes;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn end_to_end_server_flow() {
+        let mut server = PiggybackServer::new(DirectoryVolumes::new(1));
+        let a = server.register_path("/docs/a.html", 1000, ts(1));
+        let b = server.register_path("/docs/b.html", 2000, ts(1));
+        let c = server.register_path("/img/c.gif", 3000, ts(1));
+
+        let src = SourceId(1);
+        assert!(server.handle_request(a, src, &ProxyFilter::default(), ts(10)).is_none());
+        assert!(server.handle_request(b, src, &ProxyFilter::default(), ts(11)).is_some());
+        // c is in a different 1-level volume.
+        let msg = server.handle_request(c, src, &ProxyFilter::default(), ts(12));
+        assert!(msg.is_none());
+
+        let stats = server.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.piggybacks_sent, 1);
+        assert_eq!(stats.elements_sent, 1);
+        assert_eq!(stats.suppressed, 2);
+        assert!((stats.avg_piggyback_size() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn touch_modified_reflected_in_piggyback() {
+        let mut server = PiggybackServer::new(DirectoryVolumes::new(0));
+        let a = server.register_path("/a", 10, ts(1));
+        let b = server.register_path("/b", 10, ts(1));
+        server.record_access(b, SourceId(1), ts(2));
+        server.touch_modified(b, ts(50));
+        let msg = server
+            .handle_request(a, SourceId(1), &ProxyFilter::default(), ts(60))
+            .unwrap();
+        assert_eq!(msg.elements[0].resource, b);
+        assert_eq!(msg.elements[0].last_modified, ts(50));
+    }
+
+    #[test]
+    fn stats_with_no_piggybacks() {
+        let server: PiggybackServer<DirectoryVolumes> =
+            PiggybackServer::new(DirectoryVolumes::new(1));
+        assert_eq!(server.stats().avg_piggyback_size(), 0.0);
+    }
+}

@@ -1,0 +1,428 @@
+//! Foundational identifier and time types shared across the workspace.
+//!
+//! All trace processing uses a compact millisecond [`Timestamp`] relative to
+//! an arbitrary epoch (trace start), interned [`ResourceId`]s for URL paths,
+//! and small integer ids for volumes and request sources (proxies/clients).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Milliseconds since an arbitrary trace epoch.
+///
+/// The paper's logs have one-second granularity, but the synthetic
+/// generators emit sub-second spacing for embedded-image bursts (Figure 1
+/// reports a 0.9 s *median* interarrival at directory level 0), so we keep
+/// millisecond resolution throughout.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The trace epoch.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Build from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Timestamp(secs * 1000)
+    }
+
+    /// Build from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Whole seconds since the epoch (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Milliseconds since the epoch.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn since(self, earlier: Timestamp) -> DurationMs {
+        DurationMs(self.0.saturating_sub(earlier.0))
+    }
+
+    /// `self + d`, saturating at the numeric range.
+    pub fn after(self, d: DurationMs) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+
+    /// `self - d`, saturating at the epoch.
+    pub fn before(self, d: DurationMs) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:03}s", self.0 / 1000, self.0 % 1000)
+    }
+}
+
+/// A span of time in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DurationMs(pub u64);
+
+impl DurationMs {
+    pub const ZERO: DurationMs = DurationMs(0);
+
+    pub const fn from_secs(secs: u64) -> Self {
+        DurationMs(secs * 1000)
+    }
+
+    pub const fn from_millis(ms: u64) -> Self {
+        DurationMs(ms)
+    }
+
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds, for reporting.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+}
+
+impl Add<DurationMs> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: DurationMs) -> Timestamp {
+        self.after(rhs)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = DurationMs;
+    fn sub(self, rhs: Timestamp) -> DurationMs {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for DurationMs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:03}s", self.0 / 1000, self.0 % 1000)
+    }
+}
+
+/// Interned identifier for a resource (URL path) at one server.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ResourceId(pub u32);
+
+impl ResourceId {
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifier for a volume at one server.
+///
+/// The wire format (Section 2.3 of the paper) allots two bytes, "allowing up
+/// to 32767 volumes per server"; in memory we keep a full `u32` so that
+/// probability-based volume sets (one volume per resource) are not capped,
+/// and enforce the wire bound only at encoding time.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VolumeId(pub u32);
+
+impl VolumeId {
+    /// Largest id encodable in the paper's two-byte wire field.
+    pub const WIRE_MAX: u32 = 32767;
+
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this id fits the two-byte wire encoding.
+    pub const fn wire_encodable(self) -> bool {
+        self.0 <= Self::WIRE_MAX
+    }
+}
+
+impl fmt::Display for VolumeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier for a request source as seen by a server: a proxy or client
+/// (the paper's pseudo-proxy traces key on source IP address).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SourceId(pub u32);
+
+impl SourceId {
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "src{}", self.0)
+    }
+}
+
+/// Identifier for a server in a multi-server client trace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ServerId(pub u32);
+
+impl ServerId {
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "srv{}", self.0)
+    }
+}
+
+/// Coarse content classes used by proxy filters and volume partitioning.
+///
+/// The paper motivates filtering by content type (e.g. proxies for
+/// low-bandwidth wireless clients disable image transfer); we model the
+/// classes that matter for those policies rather than full MIME types.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ContentType {
+    Html,
+    Image,
+    Text,
+    Binary,
+    Other,
+}
+
+impl ContentType {
+    pub const ALL: [ContentType; 5] = [
+        ContentType::Html,
+        ContentType::Image,
+        ContentType::Text,
+        ContentType::Binary,
+        ContentType::Other,
+    ];
+
+    /// Stable small index, used for partitioned volume FIFOs.
+    pub const fn index(self) -> usize {
+        match self {
+            ContentType::Html => 0,
+            ContentType::Image => 1,
+            ContentType::Text => 2,
+            ContentType::Binary => 3,
+            ContentType::Other => 4,
+        }
+    }
+
+    /// Token used in the `Piggy-filter` header syntax.
+    pub const fn token(self) -> &'static str {
+        match self {
+            ContentType::Html => "html",
+            ContentType::Image => "image",
+            ContentType::Text => "text",
+            ContentType::Binary => "binary",
+            ContentType::Other => "other",
+        }
+    }
+
+    /// Inverse of [`ContentType::token`].
+    pub fn from_token(s: &str) -> Option<ContentType> {
+        match s {
+            "html" => Some(ContentType::Html),
+            "image" => Some(ContentType::Image),
+            "text" => Some(ContentType::Text),
+            "binary" => Some(ContentType::Binary),
+            "other" => Some(ContentType::Other),
+            _ => None,
+        }
+    }
+
+    /// Guess a class from a path extension, the way a 1998 server would.
+    pub fn from_path(path: &str) -> ContentType {
+        let ext = path.rsplit('.').next().unwrap_or("");
+        match ext {
+            "html" | "htm" | "shtml" => ContentType::Html,
+            "gif" | "jpg" | "jpeg" | "png" | "xbm" | "bmp" => ContentType::Image,
+            "txt" | "ps" | "pdf" | "css" => ContentType::Text,
+            "zip" | "gz" | "tar" | "exe" | "class" | "jar" => ContentType::Binary,
+            _ => ContentType::Other,
+        }
+    }
+}
+
+impl fmt::Display for ContentType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// A set of [`ContentType`]s, stored as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ContentTypeSet(u8);
+
+impl ContentTypeSet {
+    /// The empty set.
+    pub const EMPTY: ContentTypeSet = ContentTypeSet(0);
+    /// The set of all classes.
+    pub const ALL: ContentTypeSet = ContentTypeSet(0b11111);
+
+    pub fn new<I: IntoIterator<Item = ContentType>>(types: I) -> Self {
+        let mut s = Self::EMPTY;
+        for t in types {
+            s.insert(t);
+        }
+        s
+    }
+
+    pub fn insert(&mut self, t: ContentType) {
+        self.0 |= 1 << t.index();
+    }
+
+    pub fn remove(&mut self, t: ContentType) {
+        self.0 &= !(1 << t.index());
+    }
+
+    pub fn contains(self, t: ContentType) -> bool {
+        self.0 & (1 << t.index()) != 0
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    pub fn iter(self) -> impl Iterator<Item = ContentType> {
+        ContentType::ALL
+            .into_iter()
+            .filter(move |t| self.contains(*t))
+    }
+}
+
+impl Default for ContentTypeSet {
+    /// Defaults to all classes (no restriction).
+    fn default() -> Self {
+        Self::ALL
+    }
+}
+
+impl FromIterator<ContentType> for ContentTypeSet {
+    fn from_iter<I: IntoIterator<Item = ContentType>>(iter: I) -> Self {
+        Self::new(iter)
+    }
+}
+
+/// Per-resource metadata maintained by the server: the fields a piggyback
+/// element carries (size, Last-Modified) plus the access count used by
+/// access-frequency filters (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceMeta {
+    /// Body size in bytes.
+    pub size: u64,
+    /// Last modification time of the server's copy.
+    pub last_modified: Timestamp,
+    /// Coarse content class.
+    pub content_type: ContentType,
+    /// Number of requests the server has seen for this resource.
+    pub access_count: u64,
+}
+
+impl ResourceMeta {
+    pub fn new(size: u64, last_modified: Timestamp, content_type: ContentType) -> Self {
+        ResourceMeta {
+            size,
+            last_modified,
+            content_type,
+            access_count: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_secs(10);
+        assert_eq!(t.as_millis(), 10_000);
+        assert_eq!(t.as_secs(), 10);
+        let later = t + DurationMs::from_secs(5);
+        assert_eq!(later, Timestamp::from_secs(15));
+        assert_eq!(later - t, DurationMs::from_secs(5));
+        // Saturating subtraction: earlier - later is zero, not underflow.
+        assert_eq!(t - later, DurationMs::ZERO);
+        assert_eq!(t.before(DurationMs::from_secs(100)), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn timestamp_display() {
+        assert_eq!(Timestamp::from_millis(1234).to_string(), "1.234s");
+        assert_eq!(DurationMs::from_millis(50).to_string(), "0.050s");
+    }
+
+    #[test]
+    fn duration_fractional_seconds() {
+        assert!((DurationMs::from_millis(2500).as_secs_f64() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn content_type_token_round_trip() {
+        for t in ContentType::ALL {
+            assert_eq!(ContentType::from_token(t.token()), Some(t));
+        }
+        assert_eq!(ContentType::from_token("bogus"), None);
+    }
+
+    #[test]
+    fn content_type_from_path() {
+        assert_eq!(ContentType::from_path("/a/b.html"), ContentType::Html);
+        assert_eq!(ContentType::from_path("/img/logo.gif"), ContentType::Image);
+        assert_eq!(ContentType::from_path("/papers/p.ps"), ContentType::Text);
+        assert_eq!(ContentType::from_path("/dist/pkg.tar"), ContentType::Binary);
+        assert_eq!(ContentType::from_path("/cgi/script"), ContentType::Other);
+    }
+
+    #[test]
+    fn content_type_set_ops() {
+        let mut s = ContentTypeSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(ContentType::Html);
+        s.insert(ContentType::Image);
+        assert!(s.contains(ContentType::Html));
+        assert!(!s.contains(ContentType::Text));
+        s.remove(ContentType::Html);
+        assert!(!s.contains(ContentType::Html));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![ContentType::Image]);
+        assert_eq!(ContentTypeSet::default(), ContentTypeSet::ALL);
+    }
+
+    #[test]
+    fn volume_id_wire_bound() {
+        assert!(VolumeId(0).wire_encodable());
+        assert!(VolumeId(32767).wire_encodable());
+        assert!(!VolumeId(32768).wire_encodable());
+    }
+}

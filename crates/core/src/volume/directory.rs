@@ -1,0 +1,460 @@
+//! Directory-based volumes (paper Section 3.2).
+//!
+//! Resources sharing the first `level` directory components of their URL
+//! path belong to the same volume. Level 0 yields a single site-wide volume
+//! [20]; deeper levels trade prediction recall for smaller piggybacks
+//! (Figure 2). Each volume's members are kept in partitioned move-to-front
+//! FIFO lists so that piggyback messages carry the most recently accessed
+//! elements and all maintenance is constant-time.
+
+use crate::element::{PiggybackElement, PiggybackMessage};
+use crate::filter::ProxyFilter;
+use crate::intern::directory_prefix;
+use crate::table::ResourceTable;
+use crate::types::{ContentType, ResourceId, SourceId, Timestamp, VolumeId};
+use crate::volume::fifo::{size_class_min, PartitionedFifo, SIZE_CLASSES};
+use crate::volume::VolumeProvider;
+use std::collections::HashMap;
+
+/// How piggyback elements are ranked within a volume (paper Section 3.2.1:
+/// move-to-front is "an approximate way to rank volume elements in order
+/// of popularity" — the exact way is the access counters; DESIGN.md §5
+/// lists this as an ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ElementOrdering {
+    /// Most recently accessed first (move-to-front semantics, O(1)).
+    #[default]
+    RecencyMtf,
+    /// Highest whole-history access count first.
+    AccessCount,
+}
+
+/// Directory-prefix volumes with move-to-front maintenance.
+#[derive(Debug, Clone)]
+pub struct DirectoryVolumes {
+    level: usize,
+    ids_by_prefix: HashMap<Box<str>, VolumeId>,
+    fifos: Vec<PartitionedFifo>,
+    membership: HashMap<ResourceId, VolumeId>,
+    max_volume_len: Option<usize>,
+    ordering: ElementOrdering,
+}
+
+impl DirectoryVolumes {
+    /// Volumes keyed on `level`-deep directory prefixes (0 = site-wide).
+    pub fn new(level: usize) -> Self {
+        DirectoryVolumes {
+            level,
+            ids_by_prefix: HashMap::new(),
+            fifos: Vec::new(),
+            membership: HashMap::new(),
+            max_volume_len: None,
+            ordering: ElementOrdering::default(),
+        }
+    }
+
+    /// Use an explicit element ordering (default: recency).
+    pub fn with_ordering(mut self, ordering: ElementOrdering) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Bound each volume to at most `max` members; the least recently
+    /// accessed member is dropped first ("removing unpopular entries from
+    /// the tail of the logical FIFO").
+    pub fn with_max_volume_len(mut self, max: usize) -> Self {
+        self.max_volume_len = Some(max);
+        self
+    }
+
+    /// The configured prefix depth.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The volume id for a path's prefix, creating the volume if new.
+    fn volume_for_path(&mut self, path: &str) -> VolumeId {
+        let prefix = directory_prefix(path, self.level);
+        if let Some(&id) = self.ids_by_prefix.get(prefix) {
+            return id;
+        }
+        let id = VolumeId(self.fifos.len() as u32);
+        self.ids_by_prefix.insert(prefix.into(), id);
+        self.fifos.push(PartitionedFifo::new());
+        id
+    }
+
+    /// Remove a resource from its volume entirely (e.g. the file was
+    /// deleted at the server). The paper's FIFO maintenance covers
+    /// popularity-driven trimming; this is the deletion path. O(1).
+    /// Returns whether the resource was a member.
+    pub fn remove_resource(&mut self, resource: ResourceId) -> bool {
+        match self.membership.remove(&resource) {
+            Some(vol) => self.fifos[vol.index()].remove(resource),
+            None => false,
+        }
+    }
+
+    /// Number of members currently in `volume`'s FIFO (accessed resources).
+    pub fn volume_len(&self, volume: VolumeId) -> usize {
+        self.fifos.get(volume.index()).map_or(0, |f| f.len())
+    }
+
+    /// Iterate the member ids of `volume`, most recently accessed first.
+    pub fn members_recent_first(
+        &self,
+        volume: VolumeId,
+    ) -> impl Iterator<Item = ResourceId> + '_ {
+        self.fifos
+            .get(volume.index())
+            .into_iter()
+            .flat_map(|f| f.iter_recent().map(|(r, _)| r))
+    }
+}
+
+impl VolumeProvider for DirectoryVolumes {
+    fn assign(&mut self, resource: ResourceId, path: &str) {
+        let vol = self.volume_for_path(path);
+        self.membership.insert(resource, vol);
+    }
+
+    fn volume_of(&self, resource: ResourceId) -> Option<VolumeId> {
+        self.membership.get(&resource).copied()
+    }
+
+    fn record_access(
+        &mut self,
+        resource: ResourceId,
+        _source: SourceId,
+        now: Timestamp,
+        table: &ResourceTable,
+    ) {
+        let Some(&vol) = self.membership.get(&resource) else {
+            return;
+        };
+        let Some(meta) = table.meta(resource) else {
+            return;
+        };
+        let fifo = &mut self.fifos[vol.index()];
+        fifo.touch(resource, meta.content_type, meta.size, now);
+        if let Some(max) = self.max_volume_len {
+            fifo.trim_to(max);
+        }
+    }
+
+    fn piggyback(
+        &self,
+        resource: ResourceId,
+        filter: &ProxyFilter,
+        _now: Timestamp,
+        table: &ResourceTable,
+    ) -> Option<PiggybackMessage> {
+        let vol = self.volume_of(resource)?;
+        if !filter.allows_volume(vol) {
+            return None;
+        }
+        let fifo = self.fifos.get(vol.index())?;
+        let cap = filter.cap();
+        if cap == 0 {
+            return None;
+        }
+
+        // Walk only the partitions the filter admits, collecting up to `cap`
+        // candidates from each (each partition list is recency-ordered),
+        // then merge by recency.
+        let mut candidates: Vec<(ResourceId, Timestamp)> = Vec::new();
+        for ct in ContentType::ALL {
+            if let Some(types) = filter.content_types {
+                if !types.contains(ct) {
+                    continue;
+                }
+            }
+            for class in 0..SIZE_CLASSES {
+                if let Some(max_size) = filter.max_size {
+                    if size_class_min(class) > max_size {
+                        continue;
+                    }
+                }
+                // Each partition list is recency-ordered, so under MTF
+                // ordering we never need more than `cap` from any one
+                // partition; count-ordering must scan the whole partition.
+                let mut taken = 0usize;
+                for (r, t) in fifo.iter_partition(ct, class) {
+                    if taken >= cap && self.ordering == ElementOrdering::RecencyMtf {
+                        break;
+                    }
+                    if r == resource {
+                        continue;
+                    }
+                    let meta = match table.meta(r) {
+                        Some(m) => m,
+                        None => continue,
+                    };
+                    if !filter.admits(meta) {
+                        continue;
+                    }
+                    candidates.push((r, t));
+                    taken += 1;
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        match self.ordering {
+            ElementOrdering::RecencyMtf => {
+                candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+            }
+            ElementOrdering::AccessCount => {
+                candidates.sort_by(|a, b| {
+                    let ca = table.meta(a.0).map_or(0, |m| m.access_count);
+                    let cb = table.meta(b.0).map_or(0, |m| m.access_count);
+                    cb.cmp(&ca).then(a.0 .0.cmp(&b.0 .0))
+                });
+            }
+        }
+        candidates.truncate(cap);
+
+        let elements = candidates
+            .into_iter()
+            .filter_map(|(r, _)| {
+                table.meta(r).map(|m| PiggybackElement {
+                    resource: r,
+                    size: m.size,
+                    last_modified: m.last_modified,
+                })
+            })
+            .collect();
+        Some(PiggybackMessage { volume: vol, elements })
+    }
+
+    fn volume_count(&self) -> usize {
+        self.fifos.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ContentTypeSet;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    /// A small site: two resources in /a, one in /f (the paper's example).
+    fn setup() -> (ResourceTable, DirectoryVolumes, ResourceId, ResourceId, ResourceId) {
+        let mut table = ResourceTable::new();
+        let mut vols = DirectoryVolumes::new(1);
+        let ab = table.register_path("/a/b.html", 500, ts(1));
+        let ae = table.register_path("/a/d/e.html", 900, ts(1));
+        let fg = table.register_path("/f/g.html", 700, ts(1));
+        for (id, path) in [(ab, "/a/b.html"), (ae, "/a/d/e.html"), (fg, "/f/g.html")] {
+            vols.assign(id, path);
+        }
+        (table, vols, ab, ae, fg)
+    }
+
+    #[test]
+    fn paper_grouping_example() {
+        let (_, vols, ab, ae, fg) = setup();
+        assert_eq!(vols.volume_of(ab), vols.volume_of(ae));
+        assert_ne!(vols.volume_of(ab), vols.volume_of(fg));
+        assert_eq!(vols.volume_count(), 2);
+        // Zero-level: everything in one volume.
+        let mut v0 = DirectoryVolumes::new(0);
+        v0.assign(ab, "/a/b.html");
+        v0.assign(fg, "/f/g.html");
+        assert_eq!(v0.volume_of(ab), v0.volume_of(fg));
+        assert_eq!(v0.volume_count(), 1);
+    }
+
+    #[test]
+    fn piggyback_includes_volume_peers_not_self() {
+        let (mut table, mut vols, ab, ae, fg) = setup();
+        for (r, t) in [(ab, 10), (ae, 11), (fg, 12)] {
+            table.count_access(r);
+            vols.record_access(r, SourceId(1), ts(t), &table);
+        }
+        let msg = vols
+            .piggyback(ab, &ProxyFilter::default(), ts(20), &table)
+            .expect("piggyback expected");
+        assert_eq!(msg.volume, vols.volume_of(ab).unwrap());
+        let ids: Vec<_> = msg.elements.iter().map(|e| e.resource).collect();
+        assert_eq!(ids, vec![ae], "peer in same volume, never self or /f");
+        // Element metadata comes from the live table.
+        assert_eq!(msg.elements[0].size, 900);
+    }
+
+    #[test]
+    fn rpv_suppresses_piggyback() {
+        let (mut table, mut vols, ab, ae, _) = setup();
+        vols.record_access(ae, SourceId(1), ts(1), &table);
+        table.count_access(ae);
+        let vol = vols.volume_of(ab).unwrap();
+        let filter = ProxyFilter::builder().rpv([vol]).build();
+        assert!(vols.piggyback(ab, &filter, ts(2), &table).is_none());
+    }
+
+    #[test]
+    fn disabled_filter_suppresses_piggyback() {
+        let (table, mut vols, ab, ae, _) = setup();
+        vols.record_access(ae, SourceId(1), ts(1), &table);
+        assert!(vols
+            .piggyback(ab, &ProxyFilter::disabled(), ts(2), &table)
+            .is_none());
+    }
+
+    #[test]
+    fn maxpiggy_caps_and_prefers_recent() {
+        let mut table = ResourceTable::new();
+        let mut vols = DirectoryVolumes::new(0);
+        let ids: Vec<ResourceId> = (0..10)
+            .map(|i| {
+                let path = format!("/p{i}.html");
+                let id = table.register_path(&path, 100, ts(0));
+                vols.assign(id, &path);
+                id
+            })
+            .collect();
+        for (i, &r) in ids.iter().enumerate() {
+            vols.record_access(r, SourceId(1), ts(i as u64 + 1), &table);
+        }
+        let filter = ProxyFilter::builder().max_piggy(3).build();
+        let msg = vols.piggyback(ids[0], &filter, ts(100), &table).unwrap();
+        assert_eq!(msg.len(), 3);
+        // The three most recently accessed peers (9, 8, 7).
+        let got: Vec<u32> = msg.elements.iter().map(|e| e.resource.0).collect();
+        assert_eq!(got, vec![ids[9].0, ids[8].0, ids[7].0]);
+    }
+
+    #[test]
+    fn access_filter_excludes_unpopular() {
+        let (mut table, mut vols, ab, ae, _) = setup();
+        // ae accessed once, ab many times.
+        vols.record_access(ae, SourceId(1), ts(1), &table);
+        table.count_access(ae);
+        for t in 2..8 {
+            table.count_access(ab);
+            vols.record_access(ab, SourceId(1), ts(t), &table);
+        }
+        let filter = ProxyFilter::builder().min_access_count(5).build();
+        // Requesting ae: only ab passes the access filter.
+        let msg = vols.piggyback(ae, &filter, ts(10), &table).unwrap();
+        assert_eq!(msg.elements.len(), 1);
+        assert_eq!(msg.elements[0].resource, ab);
+        // Requesting ab: ae fails the filter; nothing to send.
+        assert!(vols.piggyback(ab, &filter, ts(10), &table).is_none());
+    }
+
+    #[test]
+    fn content_type_and_size_filters_prune() {
+        let mut table = ResourceTable::new();
+        let mut vols = DirectoryVolumes::new(0);
+        let page = table.register_path("/p.html", 500, ts(0));
+        let img = table.register_path("/big.gif", 2_000_000, ts(0));
+        let txt = table.register_path("/notes.txt", 300, ts(0));
+        for (id, p) in [(page, "/p.html"), (img, "/big.gif"), (txt, "/notes.txt")] {
+            vols.assign(id, p);
+            vols.record_access(id, SourceId(1), ts(1), &table);
+        }
+        // Wireless-proxy filter: no images, nothing over 1 KB.
+        let filter = ProxyFilter::builder()
+            .max_size(1024)
+            .content_types(ContentTypeSet::new([
+                ContentType::Html,
+                ContentType::Text,
+            ]))
+            .build();
+        let msg = vols.piggyback(page, &filter, ts(2), &table).unwrap();
+        let ids: Vec<_> = msg.elements.iter().map(|e| e.resource).collect();
+        assert_eq!(ids, vec![txt]);
+    }
+
+    #[test]
+    fn volume_len_bound_evicts_lru() {
+        let mut table = ResourceTable::new();
+        let mut vols = DirectoryVolumes::new(0).with_max_volume_len(2);
+        let ids: Vec<ResourceId> = (0..3)
+            .map(|i| {
+                let p = format!("/r{i}");
+                let id = table.register_path(&p, 10, ts(0));
+                vols.assign(id, &p);
+                id
+            })
+            .collect();
+        for (i, &r) in ids.iter().enumerate() {
+            vols.record_access(r, SourceId(1), ts(i as u64), &table);
+        }
+        let vol = vols.volume_of(ids[0]).unwrap();
+        assert_eq!(vols.volume_len(vol), 2);
+        assert!(
+            !vols.members_recent_first(vol).any(|r| r == ids[0]),
+            "least recently accessed member trimmed"
+        );
+    }
+
+    #[test]
+    fn removed_resources_never_piggybacked() {
+        let (mut table, mut vols, ab, ae, _) = setup();
+        for (r, t) in [(ab, 1u64), (ae, 2)] {
+            table.count_access(r);
+            vols.record_access(r, SourceId(1), ts(t), &table);
+        }
+        // /a/d/e.html is deleted at the server.
+        assert!(vols.remove_resource(ae));
+        assert!(!vols.remove_resource(ae), "second removal is a no-op");
+        assert!(
+            vols.piggyback(ab, &ProxyFilter::default(), ts(3), &table).is_none(),
+            "deleted volume-mate must not appear"
+        );
+        assert_eq!(vols.volume_of(ae), None);
+        // Re-registering restores membership.
+        vols.assign(ae, "/a/d/e.html");
+        vols.record_access(ae, SourceId(1), ts(4), &table);
+        assert!(vols.piggyback(ab, &ProxyFilter::default(), ts(5), &table).is_some());
+    }
+
+    #[test]
+    fn access_count_ordering_ranks_by_popularity() {
+        let mut table = ResourceTable::new();
+        let mut vols = DirectoryVolumes::new(0).with_ordering(ElementOrdering::AccessCount);
+        let ids: Vec<ResourceId> = (0..4)
+            .map(|i| {
+                let p = format!("/r{i}");
+                let id = table.register_path(&p, 100, ts(0));
+                vols.assign(id, &p);
+                id
+            })
+            .collect();
+        // Access counts: r1=5, r2=3, r3=1; recency order is r3 newest.
+        for &(n, r) in &[(5u64, ids[1]), (3, ids[2]), (1, ids[3])] {
+            for _ in 0..n {
+                table.count_access(r);
+            }
+        }
+        vols.record_access(ids[1], SourceId(1), ts(1), &table);
+        vols.record_access(ids[2], SourceId(1), ts(2), &table);
+        vols.record_access(ids[3], SourceId(1), ts(3), &table);
+
+        let filter = ProxyFilter::builder().max_piggy(2).build();
+        let msg = vols.piggyback(ids[0], &filter, ts(10), &table).unwrap();
+        let got: Vec<u32> = msg.elements.iter().map(|e| e.resource.0).collect();
+        // Popularity order (r1, r2), not recency order (r3, r2).
+        assert_eq!(got, vec![ids[1].0, ids[2].0]);
+
+        // The same state under MTF ordering prefers recency.
+        let mtf = vols.clone().with_ordering(ElementOrdering::RecencyMtf);
+        let msg = mtf.piggyback(ids[0], &filter, ts(10), &table).unwrap();
+        let got: Vec<u32> = msg.elements.iter().map(|e| e.resource.0).collect();
+        assert_eq!(got, vec![ids[3].0, ids[2].0]);
+    }
+
+    #[test]
+    fn unaccessed_volume_produces_no_piggyback() {
+        let (table, vols, ab, _, _) = setup();
+        assert!(vols
+            .piggyback(ab, &ProxyFilter::default(), ts(1), &table)
+            .is_none());
+    }
+}

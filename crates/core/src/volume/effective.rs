@@ -1,0 +1,345 @@
+//! Effectiveness thinning of probability-based volumes (paper
+//! Section 3.3.1–3.3.2).
+//!
+//! A request for `s` is often preceded by several resources each of which
+//! "predicts" `s`; only the first prediction in a window is *new* — the rest
+//! are redundant and inflate piggyback size without improving accuracy.
+//! This module replays a trace against candidate volumes, measures for each
+//! implication `(r, s)` how often an access to `r` generated a **new**
+//! prediction of `s` that **came true** (s accessed within `T`), and removes
+//! implications whose *effective probability* — new true predictions per
+//! access to `r` — falls below a threshold.
+//!
+//! The paper's headline result (Figure 7) is that thinning restores the
+//! monotonic "smaller piggybacks are more precise" relationship and
+//! dramatically shrinks piggyback size at equal recall.
+
+use crate::types::{DurationMs, ResourceId, SourceId, Timestamp};
+use crate::volume::probability::ProbabilityVolumes;
+use std::collections::HashMap;
+
+/// Which notion of "effective" an implication must satisfy to survive
+/// thinning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThinningCriterion {
+    /// Accesses to `r` that created a **new** prediction of `s` which then
+    /// **came true** (s requested within `T`). The strictest reading —
+    /// maximizes precision (Figure 7) at some cost in recall.
+    NewTrue,
+    /// Accesses to `r` that created a **new** prediction of `s`, fulfilled
+    /// or not — removes only *redundant* predictors, preserving recall
+    /// (the paper's Figure 5(a) shows thinning barely moves the
+    /// prediction rate).
+    New,
+}
+
+/// Per-implication tallies collected during the replay.
+#[derive(Debug, Default, Clone, Copy)]
+struct PairTally {
+    /// Accesses to `r` that created a new prediction of `s`.
+    new_preds: u64,
+    /// Of those, predictions that came true.
+    new_true: u64,
+}
+
+/// Measures effective probabilities for a candidate volume set.
+///
+/// Feed the same (or a held-out) trace in time order via
+/// [`observe`](Self::observe), then call [`thin`](Self::thin).
+#[derive(Debug)]
+pub struct EffectivenessTrainer<'v> {
+    volumes: &'v ProbabilityVolumes,
+    window: DurationMs,
+    /// Per source: resource -> time it was last predicted (by any r).
+    predicted: HashMap<SourceId, HashMap<ResourceId, Timestamp>>,
+    /// Per source: pending *new* prediction of `s`, attributed to the `r`
+    /// whose access created it.
+    pending: HashMap<SourceId, HashMap<ResourceId, (Timestamp, ResourceId)>>,
+    tallies: HashMap<(ResourceId, ResourceId), PairTally>,
+    occurrences: HashMap<ResourceId, u64>,
+}
+
+impl<'v> EffectivenessTrainer<'v> {
+    pub fn new(volumes: &'v ProbabilityVolumes, window: DurationMs) -> Self {
+        EffectivenessTrainer {
+            volumes,
+            window,
+            predicted: HashMap::new(),
+            pending: HashMap::new(),
+            tallies: HashMap::new(),
+            occurrences: HashMap::new(),
+        }
+    }
+
+    /// Observe a request for `r` by `source` at `now` (time-ordered).
+    pub fn observe(&mut self, source: SourceId, r: ResourceId, now: Timestamp) {
+        // 1. Fulfilment: if r itself was newly predicted recently, credit
+        //    the implication that generated that prediction.
+        if let Some(pending) = self.pending.get_mut(&source) {
+            if let Some(&(t_pred, by)) = pending.get(&r) {
+                if now.since(t_pred) <= self.window {
+                    self.tallies.entry((by, r)).or_default().new_true += 1;
+                }
+                pending.remove(&r);
+            }
+        }
+
+        *self.occurrences.entry(r).or_insert(0) += 1;
+
+        // 2. Generation: r's volume predicts each member s. A prediction is
+        //    *new* iff s has no active prediction in the window; redundant
+        //    predictions refresh the active window but earn no attribution.
+        let vol = self.volumes.volume(r);
+        if vol.is_empty() {
+            return;
+        }
+        let predicted = self.predicted.entry(source).or_default();
+        let pending = self.pending.entry(source).or_default();
+        for &(s, _p) in vol {
+            let active = predicted
+                .get(&s)
+                .is_some_and(|&t| now.since(t) <= self.window);
+            if !active {
+                pending.insert(s, (now, r));
+                self.tallies.entry((r, s)).or_default().new_preds += 1;
+            }
+            predicted.insert(s, now);
+        }
+
+        // Opportunistic cleanup to bound memory on long traces.
+        if predicted.len() > 4096 {
+            let w = self.window;
+            predicted.retain(|_, &mut t| now.since(t) <= w);
+            pending.retain(|_, &mut (t, _)| now.since(t) <= w);
+        }
+    }
+
+    /// Effective probability of the implication `(r, s)`: new true
+    /// predictions of `s` per access to `r` (the [`ThinningCriterion::NewTrue`]
+    /// measure).
+    pub fn effective_probability(&self, r: ResourceId, s: ResourceId) -> f64 {
+        self.probability_by(r, s, ThinningCriterion::NewTrue)
+    }
+
+    /// New-prediction probability of `(r, s)`: new (fulfilled or not)
+    /// predictions of `s` per access to `r`.
+    pub fn new_prediction_probability(&self, r: ResourceId, s: ResourceId) -> f64 {
+        self.probability_by(r, s, ThinningCriterion::New)
+    }
+
+    fn probability_by(&self, r: ResourceId, s: ResourceId, c: ThinningCriterion) -> f64 {
+        let c_r = *self.occurrences.get(&r).unwrap_or(&0);
+        if c_r == 0 {
+            return 0.0;
+        }
+        let t = self.tallies.get(&(r, s)).copied().unwrap_or_default();
+        let n = match c {
+            ThinningCriterion::NewTrue => t.new_true,
+            ThinningCriterion::New => t.new_preds,
+        };
+        n as f64 / c_r as f64
+    }
+
+    /// Produce thinned volumes keeping only implications whose
+    /// [`ThinningCriterion::NewTrue`] effective probability is
+    /// `>= eff_threshold`.
+    pub fn thin(&self, eff_threshold: f64) -> ProbabilityVolumes {
+        self.thin_by(eff_threshold, ThinningCriterion::NewTrue)
+    }
+
+    /// Thin under an explicit criterion.
+    pub fn thin_by(&self, eff_threshold: f64, criterion: ThinningCriterion) -> ProbabilityVolumes {
+        let mut implications: HashMap<ResourceId, Vec<(ResourceId, f32)>> = HashMap::new();
+        for (r, s, p) in self.volumes.iter() {
+            if self.probability_by(r, s, criterion) >= eff_threshold {
+                implications.entry(r).or_default().push((s, p));
+            }
+        }
+        for list in implications.values_mut() {
+            list.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+        }
+        ProbabilityVolumes::from_implications(self.volumes.threshold(), implications)
+    }
+}
+
+/// Convenience: build volumes, replay `trace` once, and thin at
+/// `eff_threshold` (new-true criterion) in one call.
+pub fn thin_with_trace<I>(
+    volumes: &ProbabilityVolumes,
+    window: DurationMs,
+    trace: I,
+    eff_threshold: f64,
+) -> ProbabilityVolumes
+where
+    I: IntoIterator<Item = (Timestamp, SourceId, ResourceId)>,
+{
+    thin_with_trace_by(volumes, window, trace, eff_threshold, ThinningCriterion::NewTrue)
+}
+
+/// [`thin_with_trace`] under an explicit criterion.
+pub fn thin_with_trace_by<I>(
+    volumes: &ProbabilityVolumes,
+    window: DurationMs,
+    trace: I,
+    eff_threshold: f64,
+    criterion: ThinningCriterion,
+) -> ProbabilityVolumes
+where
+    I: IntoIterator<Item = (Timestamp, SourceId, ResourceId)>,
+{
+    let mut trainer = EffectivenessTrainer::new(volumes, window);
+    for (t, src, r) in trace {
+        trainer.observe(src, r, t);
+    }
+    trainer.thin_by(eff_threshold, criterion)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as Map;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    const T: DurationMs = DurationMs::from_secs(300);
+
+    fn r(i: u32) -> ResourceId {
+        ResourceId(i)
+    }
+
+    /// Volumes where both 0 and 1 predict 2 ("page sequence a, b, img").
+    fn chain_volumes() -> ProbabilityVolumes {
+        let mut impls = Map::new();
+        impls.insert(r(0), vec![(r(2), 0.9f32)]);
+        impls.insert(r(1), vec![(r(2), 0.9f32)]);
+        ProbabilityVolumes::from_implications(0.2, impls)
+    }
+
+    #[test]
+    fn redundant_predictor_gets_no_credit() {
+        let vols = chain_volumes();
+        let mut tr = EffectivenessTrainer::new(&vols, T);
+        // Sessions: 0 then 1 then 2. Resource 0's prediction of 2 is new;
+        // resource 1's is redundant.
+        for i in 0..10u64 {
+            let base = i * 10_000;
+            tr.observe(SourceId(1), r(0), ts(base));
+            tr.observe(SourceId(1), r(1), ts(base + 1));
+            tr.observe(SourceId(1), r(2), ts(base + 2));
+        }
+        assert!((tr.effective_probability(r(0), r(2)) - 1.0).abs() < 1e-9);
+        assert_eq!(tr.effective_probability(r(1), r(2)), 0.0);
+
+        let thinned = tr.thin(0.2);
+        assert_eq!(thinned.volume(r(0)).len(), 1, "effective implication kept");
+        assert!(thinned.volume(r(1)).is_empty(), "redundant implication removed");
+    }
+
+    #[test]
+    fn prediction_must_come_true_for_credit() {
+        let mut impls = Map::new();
+        impls.insert(r(0), vec![(r(2), 0.9f32)]);
+        let vols = ProbabilityVolumes::from_implications(0.2, impls);
+        let mut tr = EffectivenessTrainer::new(&vols, T);
+        // r0 predicts r2, but r2 never arrives.
+        for i in 0..10u64 {
+            tr.observe(SourceId(1), r(0), ts(i * 10_000));
+        }
+        assert_eq!(tr.effective_probability(r(0), r(2)), 0.0);
+        assert!(tr.thin(0.1).volume(r(0)).is_empty());
+    }
+
+    #[test]
+    fn late_fulfilment_outside_window_not_credited() {
+        let mut impls = Map::new();
+        impls.insert(r(0), vec![(r(2), 0.9f32)]);
+        let vols = ProbabilityVolumes::from_implications(0.2, impls);
+        let mut tr = EffectivenessTrainer::new(&vols, T);
+        tr.observe(SourceId(1), r(0), ts(0));
+        tr.observe(SourceId(1), r(2), ts(301)); // too late
+        assert_eq!(tr.effective_probability(r(0), r(2)), 0.0);
+    }
+
+    #[test]
+    fn prediction_becomes_new_again_after_window() {
+        let vols = chain_volumes();
+        let mut tr = EffectivenessTrainer::new(&vols, T);
+        // First session: 0 predicts 2 (new, true).
+        tr.observe(SourceId(1), r(0), ts(0));
+        tr.observe(SourceId(1), r(2), ts(5));
+        // Second session long after: 1's prediction is new now (0's window
+        // expired), so 1 earns the credit this time.
+        tr.observe(SourceId(1), r(1), ts(10_000));
+        tr.observe(SourceId(1), r(2), ts(10_005));
+        assert!(tr.effective_probability(r(0), r(2)) > 0.0);
+        assert!(tr.effective_probability(r(1), r(2)) > 0.0);
+    }
+
+    #[test]
+    fn sources_are_independent() {
+        let vols = chain_volumes();
+        let mut tr = EffectivenessTrainer::new(&vols, T);
+        tr.observe(SourceId(1), r(0), ts(0));
+        // Different source accesses 2: no fulfilment for source 1's pending.
+        tr.observe(SourceId(2), r(2), ts(5));
+        assert_eq!(tr.effective_probability(r(0), r(2)), 0.0);
+    }
+
+    #[test]
+    fn new_criterion_keeps_unfulfilled_first_predictors() {
+        // r0 newly predicts r2 but r2 never arrives: kept under `New`,
+        // dropped under `NewTrue`.
+        let mut impls = Map::new();
+        impls.insert(r(0), vec![(r(2), 0.9f32)]);
+        let vols = ProbabilityVolumes::from_implications(0.2, impls);
+        let mut tr = EffectivenessTrainer::new(&vols, T);
+        for i in 0..5u64 {
+            tr.observe(SourceId(1), r(0), ts(i * 10_000));
+        }
+        assert!((tr.new_prediction_probability(r(0), r(2)) - 1.0).abs() < 1e-9);
+        assert_eq!(tr.effective_probability(r(0), r(2)), 0.0);
+        assert_eq!(
+            tr.thin_by(0.5, ThinningCriterion::New).implication_count(),
+            1
+        );
+        assert_eq!(
+            tr.thin_by(0.5, ThinningCriterion::NewTrue).implication_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn new_criterion_still_drops_redundant_predictors() {
+        let vols = chain_volumes();
+        let mut tr = EffectivenessTrainer::new(&vols, T);
+        for i in 0..10u64 {
+            let base = i * 10_000;
+            tr.observe(SourceId(1), r(0), ts(base));
+            tr.observe(SourceId(1), r(1), ts(base + 1)); // redundant predictor
+            tr.observe(SourceId(1), r(2), ts(base + 2));
+        }
+        let thinned = tr.thin_by(0.2, ThinningCriterion::New);
+        assert_eq!(thinned.volume(r(0)).len(), 1);
+        assert!(thinned.volume(r(1)).is_empty());
+    }
+
+    #[test]
+    fn thin_with_trace_helper() {
+        let vols = chain_volumes();
+        let trace: Vec<(Timestamp, SourceId, ResourceId)> = (0..5u64)
+            .flat_map(|i| {
+                let base = i * 10_000;
+                vec![
+                    (ts(base), SourceId(1), r(0)),
+                    (ts(base + 1), SourceId(1), r(1)),
+                    (ts(base + 2), SourceId(1), r(2)),
+                ]
+            })
+            .collect();
+        let thinned = thin_with_trace(&vols, T, trace, 0.5);
+        assert_eq!(thinned.implication_count(), 1);
+        assert_eq!(thinned.volume(r(0))[0].0, r(2));
+    }
+}

@@ -1,0 +1,358 @@
+//! Partitioned move-to-front FIFO lists for volume maintenance (paper
+//! Section 3.2.1).
+//!
+//! "The server can maintain volume elements in a collection of FIFO lists
+//! partitioned by resource sizes and content type. ... Using move-to-front
+//! semantics to place a requested resource at the head of its FIFO ...
+//! permits constant-time operations."
+//!
+//! Each volume owns one [`PartitionedFifo`]; every member resource sits in
+//! exactly one partition, selected by `(content type, size class)`. Touching
+//! a resource moves it to the front of its partition in O(1); piggyback
+//! generation walks only the partitions a proxy filter admits.
+
+use crate::types::{ContentType, ResourceId, Timestamp};
+use std::collections::HashMap;
+
+/// Number of logarithmic size classes: <1 KB, <8 KB, <64 KB, <1 MB, ≥1 MB.
+pub const SIZE_CLASSES: usize = 5;
+
+/// The size class for a resource of `size` bytes.
+pub fn size_class(size: u64) -> usize {
+    match size {
+        0..=1023 => 0,
+        1024..=8191 => 1,
+        8192..=65535 => 2,
+        65536..=1048575 => 3,
+        _ => 4,
+    }
+}
+
+/// Smallest byte size in class `class`, for partition pruning against a
+/// filter's `maxsize`.
+pub fn size_class_min(class: usize) -> u64 {
+    match class {
+        0 => 0,
+        1 => 1024,
+        2 => 8192,
+        3 => 65536,
+        _ => 1048576,
+    }
+}
+
+const NPART: usize = ContentType::ALL.len() * SIZE_CLASSES;
+
+fn partition_index(ct: ContentType, size: u64) -> usize {
+    ct.index() * SIZE_CLASSES + size_class(size)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    prev: Option<ResourceId>,
+    next: Option<ResourceId>,
+    partition: usize,
+    last_access: Timestamp,
+}
+
+/// A set of intrusive doubly-linked recency lists, one per
+/// `(content type, size class)` partition, with O(1) touch / remove /
+/// tail-trim.
+///
+/// The head of each list is the most recently touched member; the tail is
+/// the least recently touched ("the server can control the size of volumes
+/// by removing unpopular entries from the tail").
+#[derive(Debug, Clone, Default)]
+pub struct PartitionedFifo {
+    nodes: HashMap<ResourceId, Node>,
+    heads: [Option<ResourceId>; NPART],
+    tails: [Option<ResourceId>; NPART],
+}
+
+impl PartitionedFifo {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total members across all partitions.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn contains(&self, r: ResourceId) -> bool {
+        self.nodes.contains_key(&r)
+    }
+
+    /// Record an access to `r` (with current type/size) at `now`: insert if
+    /// absent, else move to the front of its partition. If the resource's
+    /// partition changed (size or type update), it is migrated. O(1).
+    pub fn touch(&mut self, r: ResourceId, ct: ContentType, size: u64, now: Timestamp) {
+        let part = partition_index(ct, size);
+        if let Some(node) = self.nodes.get(&r) {
+            let old_part = node.partition;
+            self.unlink(r, old_part);
+            self.link_front(r, part, now);
+        } else {
+            self.link_front(r, part, now);
+        }
+    }
+
+    /// Remove `r` from its partition. O(1). Returns whether it was present.
+    pub fn remove(&mut self, r: ResourceId) -> bool {
+        match self.nodes.get(&r) {
+            Some(node) => {
+                let part = node.partition;
+                self.unlink(r, part);
+                self.nodes.remove(&r);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop the least-recently-touched member of the *largest* partition
+    /// until total membership is at most `max`. Used to bound volume size.
+    pub fn trim_to(&mut self, max: usize) {
+        while self.nodes.len() > max {
+            // Find the partition with the oldest tail.
+            let victim = (0..NPART)
+                .filter_map(|p| self.tails[p].map(|t| (p, t)))
+                .min_by_key(|&(_, t)| self.nodes[&t].last_access)
+                .map(|(_, t)| t);
+            match victim {
+                Some(r) => {
+                    self.remove(r);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Iterate the members of partition `(ct, class)` from most to least
+    /// recently touched.
+    pub fn iter_partition(
+        &self,
+        ct: ContentType,
+        class: usize,
+    ) -> PartitionIter<'_> {
+        let part = ct.index() * SIZE_CLASSES + class;
+        PartitionIter {
+            fifo: self,
+            cursor: self.heads[part],
+        }
+    }
+
+    /// Iterate all members, most recently touched first (merged across
+    /// partitions by access time).
+    pub fn iter_recent(&self) -> impl Iterator<Item = (ResourceId, Timestamp)> + '_ {
+        let mut all: Vec<(ResourceId, Timestamp)> = self
+            .nodes
+            .iter()
+            .map(|(&r, n)| (r, n.last_access))
+            .collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        all.into_iter()
+    }
+
+    /// The last access time recorded for `r`.
+    pub fn last_access(&self, r: ResourceId) -> Option<Timestamp> {
+        self.nodes.get(&r).map(|n| n.last_access)
+    }
+
+    fn link_front(&mut self, r: ResourceId, part: usize, now: Timestamp) {
+        let old_head = self.heads[part];
+        self.nodes.insert(
+            r,
+            Node {
+                prev: None,
+                next: old_head,
+                partition: part,
+                last_access: now,
+            },
+        );
+        if let Some(h) = old_head {
+            self.nodes.get_mut(&h).expect("head node exists").prev = Some(r);
+        }
+        self.heads[part] = Some(r);
+        if self.tails[part].is_none() {
+            self.tails[part] = Some(r);
+        }
+    }
+
+    fn unlink(&mut self, r: ResourceId, part: usize) {
+        let node = self.nodes[&r];
+        match node.prev {
+            Some(p) => self.nodes.get_mut(&p).expect("prev exists").next = node.next,
+            None => self.heads[part] = node.next,
+        }
+        match node.next {
+            Some(n) => self.nodes.get_mut(&n).expect("next exists").prev = node.prev,
+            None => self.tails[part] = node.prev,
+        }
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        let mut seen = 0usize;
+        for p in 0..NPART {
+            let mut cursor = self.heads[p];
+            let mut prev: Option<ResourceId> = None;
+            while let Some(r) = cursor {
+                let node = &self.nodes[&r];
+                assert_eq!(node.partition, p, "node in wrong partition list");
+                assert_eq!(node.prev, prev, "prev link broken");
+                prev = Some(r);
+                cursor = node.next;
+                seen += 1;
+            }
+            assert_eq!(self.tails[p], prev, "tail mismatch");
+        }
+        assert_eq!(seen, self.nodes.len(), "orphaned nodes");
+    }
+}
+
+/// Iterator over one partition, most recent first.
+pub struct PartitionIter<'a> {
+    fifo: &'a PartitionedFifo,
+    cursor: Option<ResourceId>,
+}
+
+impl<'a> Iterator for PartitionIter<'a> {
+    type Item = (ResourceId, Timestamp);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let r = self.cursor?;
+        let node = &self.fifo.nodes[&r];
+        self.cursor = node.next;
+        Some((r, node.last_access))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn size_classes_partition_the_range() {
+        assert_eq!(size_class(0), 0);
+        assert_eq!(size_class(1023), 0);
+        assert_eq!(size_class(1024), 1);
+        assert_eq!(size_class(8191), 1);
+        assert_eq!(size_class(8192), 2);
+        assert_eq!(size_class(65535), 2);
+        assert_eq!(size_class(65536), 3);
+        assert_eq!(size_class(1048575), 3);
+        assert_eq!(size_class(1048576), 4);
+        assert_eq!(size_class(u64::MAX), 4);
+        for c in 0..SIZE_CLASSES {
+            assert_eq!(size_class(size_class_min(c)), c);
+        }
+    }
+
+    #[test]
+    fn move_to_front_ordering() {
+        let mut f = PartitionedFifo::new();
+        f.touch(ResourceId(1), ContentType::Html, 100, ts(1));
+        f.touch(ResourceId(2), ContentType::Html, 100, ts(2));
+        f.touch(ResourceId(3), ContentType::Html, 100, ts(3));
+        f.check_invariants();
+        let order: Vec<u32> = f
+            .iter_partition(ContentType::Html, 0)
+            .map(|(r, _)| r.0)
+            .collect();
+        assert_eq!(order, vec![3, 2, 1]);
+        // Re-touch 1: moves to front.
+        f.touch(ResourceId(1), ContentType::Html, 100, ts(4));
+        f.check_invariants();
+        let order: Vec<u32> = f
+            .iter_partition(ContentType::Html, 0)
+            .map(|(r, _)| r.0)
+            .collect();
+        assert_eq!(order, vec![1, 3, 2]);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn partitions_are_independent() {
+        let mut f = PartitionedFifo::new();
+        f.touch(ResourceId(1), ContentType::Html, 100, ts(1));
+        f.touch(ResourceId(2), ContentType::Image, 100, ts(2));
+        f.touch(ResourceId(3), ContentType::Html, 5000, ts(3)); // class 1
+        assert_eq!(f.iter_partition(ContentType::Html, 0).count(), 1);
+        assert_eq!(f.iter_partition(ContentType::Html, 1).count(), 1);
+        assert_eq!(f.iter_partition(ContentType::Image, 0).count(), 1);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn partition_migration_on_size_change() {
+        let mut f = PartitionedFifo::new();
+        f.touch(ResourceId(1), ContentType::Html, 100, ts(1));
+        // The resource grew past the class boundary.
+        f.touch(ResourceId(1), ContentType::Html, 10_000, ts(2));
+        f.check_invariants();
+        assert_eq!(f.iter_partition(ContentType::Html, 0).count(), 0);
+        assert_eq!(f.iter_partition(ContentType::Html, 2).count(), 1);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn remove_relinks() {
+        let mut f = PartitionedFifo::new();
+        for i in 1..=4 {
+            f.touch(ResourceId(i), ContentType::Text, 10, ts(i as u64));
+        }
+        assert!(f.remove(ResourceId(3)));
+        assert!(!f.remove(ResourceId(3)));
+        f.check_invariants();
+        let order: Vec<u32> = f
+            .iter_partition(ContentType::Text, 0)
+            .map(|(r, _)| r.0)
+            .collect();
+        assert_eq!(order, vec![4, 2, 1]);
+        // Remove head and tail too.
+        assert!(f.remove(ResourceId(4)));
+        assert!(f.remove(ResourceId(1)));
+        f.check_invariants();
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn trim_drops_globally_oldest() {
+        let mut f = PartitionedFifo::new();
+        f.touch(ResourceId(1), ContentType::Html, 10, ts(1));
+        f.touch(ResourceId(2), ContentType::Image, 10, ts(2));
+        f.touch(ResourceId(3), ContentType::Html, 10, ts(3));
+        f.trim_to(2);
+        f.check_invariants();
+        assert_eq!(f.len(), 2);
+        assert!(!f.contains(ResourceId(1)), "oldest member evicted");
+        f.trim_to(0);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn iter_recent_merges_partitions_by_time() {
+        let mut f = PartitionedFifo::new();
+        f.touch(ResourceId(1), ContentType::Html, 10, ts(5));
+        f.touch(ResourceId(2), ContentType::Image, 10, ts(7));
+        f.touch(ResourceId(3), ContentType::Text, 10, ts(6));
+        let order: Vec<u32> = f.iter_recent().map(|(r, _)| r.0).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn last_access_tracked() {
+        let mut f = PartitionedFifo::new();
+        f.touch(ResourceId(9), ContentType::Other, 10, ts(42));
+        assert_eq!(f.last_access(ResourceId(9)), Some(ts(42)));
+        assert_eq!(f.last_access(ResourceId(1)), None);
+    }
+}

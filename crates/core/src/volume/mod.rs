@@ -1,0 +1,106 @@
+//! Server volume construction and maintenance (paper Section 3).
+//!
+//! A *volume provider* groups a server's resources into volumes and, given
+//! a requested resource and a proxy filter, produces the piggyback message.
+//! Two families are implemented, as in the paper:
+//!
+//! * [`DirectoryVolumes`] — static grouping by k-level directory prefix,
+//!   maintained as partitioned move-to-front FIFO lists (Section 3.2);
+//! * [`ProbabilityVolumes`] — measured pairwise implication probabilities
+//!   `p(s|r)` with sampled counters (Section 3.3), plus *effectiveness
+//!   thinning* and *combined* (same-prefix) restriction.
+
+pub mod directory;
+pub mod effective;
+pub mod fifo;
+pub mod online;
+pub mod persist;
+pub mod popularity;
+pub mod probability;
+
+pub use directory::{DirectoryVolumes, ElementOrdering};
+pub use effective::{thin_with_trace, thin_with_trace_by, EffectivenessTrainer, ThinningCriterion};
+pub use fifo::{size_class, size_class_min, PartitionedFifo, SIZE_CLASSES};
+pub use online::OnlineProbabilityVolumes;
+pub use persist::{read_volumes, write_volumes};
+pub use popularity::{WithPopularityFallback, POPULARITY_VOLUME};
+pub use probability::{PairKey, ProbabilityVolumes, ProbabilityVolumesBuilder, SamplingMode};
+
+use crate::element::PiggybackMessage;
+use crate::filter::ProxyFilter;
+use crate::table::ResourceTable;
+use crate::types::{ResourceId, SourceId, Timestamp, VolumeId};
+
+/// A scheme that assigns resources to volumes and generates piggybacks.
+///
+/// Implementations receive the server's [`ResourceTable`] so that element
+/// metadata (size, Last-Modified, access counts) is always current: volumes
+/// track *membership and ordering*, never stale copies of metadata.
+pub trait VolumeProvider {
+    /// Tell the provider about a resource and its path. Called when the
+    /// server registers the resource; safe to call repeatedly.
+    fn assign(&mut self, resource: ResourceId, path: &str);
+
+    /// The volume currently containing `resource`. For probability-based
+    /// schemes this is the per-resource volume identifier.
+    fn volume_of(&self, resource: ResourceId) -> Option<VolumeId>;
+
+    /// Observe a request for `resource` from `source` at `now` (used by
+    /// schemes that maintain recency or online statistics).
+    fn record_access(
+        &mut self,
+        resource: ResourceId,
+        source: SourceId,
+        now: Timestamp,
+        table: &ResourceTable,
+    );
+
+    /// Build the piggyback message for a response to a request for
+    /// `resource`, honouring `filter`. Returns `None` when the filter
+    /// disables piggybacking, suppresses this volume via its RPV list, or
+    /// no elements survive filtering.
+    fn piggyback(
+        &self,
+        resource: ResourceId,
+        filter: &ProxyFilter,
+        now: Timestamp,
+        table: &ResourceTable,
+    ) -> Option<PiggybackMessage>;
+
+    /// Number of volumes currently defined.
+    fn volume_count(&self) -> usize;
+}
+
+impl<V: VolumeProvider + ?Sized> VolumeProvider for Box<V> {
+    fn assign(&mut self, resource: ResourceId, path: &str) {
+        (**self).assign(resource, path);
+    }
+
+    fn volume_of(&self, resource: ResourceId) -> Option<VolumeId> {
+        (**self).volume_of(resource)
+    }
+
+    fn record_access(
+        &mut self,
+        resource: ResourceId,
+        source: SourceId,
+        now: Timestamp,
+        table: &ResourceTable,
+    ) {
+        (**self).record_access(resource, source, now, table);
+    }
+
+    fn piggyback(
+        &self,
+        resource: ResourceId,
+        filter: &ProxyFilter,
+        now: Timestamp,
+        table: &ResourceTable,
+    ) -> Option<PiggybackMessage> {
+        (**self).piggyback(resource, filter, now, table)
+    }
+
+    fn volume_count(&self) -> usize {
+        (**self).volume_count()
+    }
+}

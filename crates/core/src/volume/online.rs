@@ -1,0 +1,183 @@
+//! Online probability-based volumes (paper Section 3.3.1: "The server can
+//! estimate the probabilities ... in a periodic fashion, such as once a
+//! day or once a week, or in an online fashion if access patterns and
+//! resource characteristics change frequently").
+//!
+//! [`OnlineProbabilityVolumes`] keeps the streaming counter builder live
+//! inside the serving path: every recorded access feeds the counters, and
+//! the serving snapshot is rebuilt after every `rebuild_every` requests
+//! (amortizing the `build()` cost). Until the first rebuild it serves
+//! nothing — a cold server has no statistics to piggyback.
+
+use crate::element::PiggybackMessage;
+use crate::filter::ProxyFilter;
+use crate::table::ResourceTable;
+use crate::types::{DurationMs, ResourceId, SourceId, Timestamp, VolumeId};
+use crate::volume::probability::{ProbabilityVolumes, ProbabilityVolumesBuilder, SamplingMode};
+use crate::volume::VolumeProvider;
+
+/// A self-maintaining probability-volume provider.
+#[derive(Debug)]
+pub struct OnlineProbabilityVolumes {
+    builder: ProbabilityVolumesBuilder,
+    snapshot: ProbabilityVolumes,
+    threshold: f64,
+    rebuild_every: u64,
+    since_rebuild: u64,
+    rebuilds: u64,
+}
+
+impl OnlineProbabilityVolumes {
+    /// `window` is the pairing window `T`; `threshold` the membership
+    /// `p_t`; the snapshot is rebuilt every `rebuild_every` accesses.
+    pub fn new(
+        window: DurationMs,
+        threshold: f64,
+        sampling: SamplingMode,
+        rebuild_every: u64,
+    ) -> Self {
+        OnlineProbabilityVolumes {
+            builder: ProbabilityVolumesBuilder::new(window, threshold, sampling),
+            snapshot: ProbabilityVolumes::default(),
+            threshold,
+            rebuild_every: rebuild_every.max(1),
+            since_rebuild: 0,
+            rebuilds: 0,
+        }
+    }
+
+    /// Times the serving snapshot has been rebuilt.
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// The current serving snapshot.
+    pub fn snapshot(&self) -> &ProbabilityVolumes {
+        &self.snapshot
+    }
+
+    /// Force an immediate rebuild (e.g. at a maintenance window).
+    pub fn rebuild_now(&mut self) {
+        self.snapshot = self.builder.build(self.threshold);
+        self.since_rebuild = 0;
+        self.rebuilds += 1;
+    }
+
+    /// Access to the live counters (e.g. for stats).
+    pub fn builder(&self) -> &ProbabilityVolumesBuilder {
+        &self.builder
+    }
+}
+
+impl VolumeProvider for OnlineProbabilityVolumes {
+    fn assign(&mut self, _resource: ResourceId, _path: &str) {
+        // Membership is learned from traffic.
+    }
+
+    fn volume_of(&self, resource: ResourceId) -> Option<VolumeId> {
+        Some(VolumeId(resource.0))
+    }
+
+    fn record_access(
+        &mut self,
+        resource: ResourceId,
+        source: SourceId,
+        now: Timestamp,
+        _table: &ResourceTable,
+    ) {
+        self.builder.observe(source, resource, now);
+        self.since_rebuild += 1;
+        if self.since_rebuild >= self.rebuild_every {
+            self.rebuild_now();
+        }
+    }
+
+    fn piggyback(
+        &self,
+        resource: ResourceId,
+        filter: &ProxyFilter,
+        now: Timestamp,
+        table: &ResourceTable,
+    ) -> Option<PiggybackMessage> {
+        self.snapshot.piggyback(resource, filter, now, table)
+    }
+
+    fn volume_count(&self) -> usize {
+        self.snapshot.volume_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    const T: DurationMs = DurationMs::from_secs(300);
+
+    fn feed_sessions(vols: &mut OnlineProbabilityVolumes, table: &ResourceTable, n: u64) {
+        for i in 0..n {
+            let base = i * 10_000;
+            vols.record_access(ResourceId(0), SourceId(1), ts(base), table);
+            vols.record_access(ResourceId(1), SourceId(1), ts(base + 2), table);
+        }
+    }
+
+    #[test]
+    fn cold_server_piggybacks_nothing() {
+        let mut table = ResourceTable::new();
+        table.register_path("/a", 10, ts(0));
+        table.register_path("/b", 10, ts(0));
+        let vols = OnlineProbabilityVolumes::new(T, 0.2, SamplingMode::Exact, 10);
+        assert!(vols
+            .piggyback(ResourceId(0), &ProxyFilter::default(), ts(0), &table)
+            .is_none());
+        assert_eq!(vols.rebuild_count(), 0);
+    }
+
+    #[test]
+    fn learns_after_rebuild_interval() {
+        let mut table = ResourceTable::new();
+        table.register_path("/a", 10, ts(0));
+        table.register_path("/b", 10, ts(0));
+        let mut vols = OnlineProbabilityVolumes::new(T, 0.2, SamplingMode::Exact, 10);
+        feed_sessions(&mut vols, &table, 6); // 12 accesses => one rebuild
+        assert!(vols.rebuild_count() >= 1);
+        let msg = vols
+            .piggyback(ResourceId(0), &ProxyFilter::default(), ts(100_000), &table)
+            .expect("a implies b after learning");
+        assert_eq!(msg.elements[0].resource, ResourceId(1));
+        // The implication is absent in the other direction.
+        assert!(vols
+            .piggyback(ResourceId(1), &ProxyFilter::default(), ts(100_000), &table)
+            .is_none());
+    }
+
+    #[test]
+    fn snapshot_is_stable_between_rebuilds() {
+        let mut table = ResourceTable::new();
+        table.register_path("/a", 10, ts(0));
+        table.register_path("/b", 10, ts(0));
+        table.register_path("/c", 10, ts(0));
+        let mut vols = OnlineProbabilityVolumes::new(T, 0.2, SamplingMode::Exact, 100);
+        feed_sessions(&mut vols, &table, 50); // exactly one rebuild at 100
+        assert_eq!(vols.rebuild_count(), 1);
+        let before = vols.snapshot().implication_count();
+        // More traffic, but below the next rebuild threshold: snapshot
+        // unchanged even though counters moved.
+        vols.record_access(ResourceId(2), SourceId(2), ts(900_000), &table);
+        assert_eq!(vols.snapshot().implication_count(), before);
+        assert_eq!(vols.rebuild_count(), 1);
+        // Forced rebuild picks up the new resource's occurrence counts.
+        vols.rebuild_now();
+        assert_eq!(vols.rebuild_count(), 2);
+    }
+
+    #[test]
+    fn volume_ids_are_resource_ids() {
+        let vols = OnlineProbabilityVolumes::new(T, 0.2, SamplingMode::Exact, 10);
+        assert_eq!(vols.volume_of(ResourceId(7)), Some(VolumeId(7)));
+    }
+}

@@ -1,0 +1,234 @@
+//! Persistence for probability-based volumes.
+//!
+//! The paper's evaluation builds volumes offline and applies "a single set
+//! of volumes for the duration of each log"; a production server would
+//! build from yesterday's logs in a cron job and load the result at
+//! startup. The format is a line-oriented text file keyed on *paths* (not
+//! interned ids), so it is portable across processes with different
+//! interning orders:
+//!
+//! ```text
+//! piggyback-volumes v1 threshold=0.25
+//! "/a/index.html" "/a/logo.gif" 0.9231
+//! "/a/index.html" "/a/news.html" 0.4400
+//! ```
+
+use crate::table::ResourceTable;
+use crate::types::ResourceId;
+use crate::volume::probability::ProbabilityVolumes;
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+
+const MAGIC: &str = "piggyback-volumes v1";
+
+/// Serialize `vols` to `w`, resolving ids through `table`.
+///
+/// Implications whose endpoints are missing from `table` are skipped (they
+/// cannot be expressed portably).
+pub fn write_volumes<W: Write>(
+    vols: &ProbabilityVolumes,
+    table: &ResourceTable,
+    w: &mut W,
+) -> io::Result<()> {
+    writeln!(w, "{MAGIC} threshold={}", vols.threshold())?;
+    let mut implications: Vec<(ResourceId, ResourceId, f32)> = vols.iter().collect();
+    implications.sort_by_key(|&(r, s, _)| (r.0, s.0));
+    for (r, s, p) in implications {
+        let (Some(pr), Some(ps)) = (table.path(r), table.path(s)) else {
+            continue;
+        };
+        writeln!(w, "\"{pr}\" \"{ps}\" {p:.6}")?;
+    }
+    Ok(())
+}
+
+/// Error deserializing a volumes file.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(io::Error),
+    /// Missing or wrong magic header.
+    BadHeader(String),
+    /// A malformed implication line, with its 1-based line number.
+    BadLine(usize, String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::BadHeader(h) => write!(f, "bad volumes header: {h:?}"),
+            PersistError::BadLine(n, l) => write!(f, "bad implication at line {n}: {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Deserialize volumes from `r`, interning paths into `table` (so the
+/// loading server's table gains any resources it did not already know).
+pub fn read_volumes<R: BufRead>(
+    r: &mut R,
+    table: &mut ResourceTable,
+) -> Result<ProbabilityVolumes, PersistError> {
+    let mut lines = r.lines();
+    let header = lines.next().ok_or_else(|| PersistError::BadHeader("".into()))??;
+    let rest = header
+        .strip_prefix(MAGIC)
+        .ok_or_else(|| PersistError::BadHeader(header.clone()))?;
+    let threshold: f64 = rest
+        .trim()
+        .strip_prefix("threshold=")
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| PersistError::BadHeader(header.clone()))?;
+
+    let mut implications: HashMap<ResourceId, Vec<(ResourceId, f32)>> = HashMap::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        let lineno = i + 2;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let bad = || PersistError::BadLine(lineno, line.clone());
+        let (pr, rest) = parse_quoted(trimmed).ok_or_else(bad)?;
+        let (ps, rest) = parse_quoted(rest.trim_start()).ok_or_else(bad)?;
+        let p: f32 = rest.trim().parse().map_err(|_| bad())?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(bad());
+        }
+        let r_id = table.register_path(pr, 0, crate::types::Timestamp::ZERO);
+        let s_id = table.register_path(ps, 0, crate::types::Timestamp::ZERO);
+        implications.entry(r_id).or_default().push((s_id, p));
+    }
+    for list in implications.values_mut() {
+        list.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+    }
+    Ok(ProbabilityVolumes::from_implications(threshold, implications))
+}
+
+/// Parse a leading `"..."` token; returns (inner, remainder).
+fn parse_quoted(s: &str) -> Option<(&str, &str)> {
+    let s = s.strip_prefix('"')?;
+    let close = s.find('"')?;
+    Some((&s[..close], &s[close + 1..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{SourceId, Timestamp};
+    use crate::volume::probability::{ProbabilityVolumesBuilder, SamplingMode};
+    use crate::volume::VolumeProvider;
+    use std::io::BufReader;
+
+    fn sample() -> (ResourceTable, ProbabilityVolumes) {
+        let mut table = ResourceTable::new();
+        let a = table.register_path("/a/index.html", 100, Timestamp::ZERO);
+        let b = table.register_path("/a/logo.gif", 50, Timestamp::ZERO);
+        let c = table.register_path("/b/other.html", 70, Timestamp::ZERO);
+        let mut builder = ProbabilityVolumesBuilder::new(
+            crate::types::DurationMs::from_secs(300),
+            0.1,
+            SamplingMode::Exact,
+        );
+        for i in 0..10u64 {
+            let base = i * 10_000;
+            builder.observe(SourceId(1), a, Timestamp::from_secs(base));
+            builder.observe(SourceId(1), b, Timestamp::from_secs(base + 1));
+            if i < 4 {
+                builder.observe(SourceId(1), c, Timestamp::from_secs(base + 2));
+            }
+        }
+        (table, builder.build(0.1))
+    }
+
+    #[test]
+    fn round_trip_preserves_implications() {
+        let (table, vols) = sample();
+        let mut buf = Vec::new();
+        write_volumes(&vols, &table, &mut buf).unwrap();
+
+        // Load into a *fresh* process: empty table, different id order.
+        let mut new_table = ResourceTable::new();
+        new_table.register_path("/zzz/first.html", 1, Timestamp::ZERO);
+        let loaded = read_volumes(&mut BufReader::new(buf.as_slice()), &mut new_table).unwrap();
+
+        assert_eq!(loaded.threshold(), vols.threshold());
+        assert_eq!(loaded.implication_count(), vols.implication_count());
+        // Compare by path.
+        let by_path = |v: &ProbabilityVolumes, t: &ResourceTable| {
+            let mut out: Vec<(String, String, String)> = v
+                .iter()
+                .map(|(r, s, p)| {
+                    (
+                        t.path(r).unwrap().to_owned(),
+                        t.path(s).unwrap().to_owned(),
+                        format!("{p:.6}"),
+                    )
+                })
+                .collect();
+            out.sort();
+            out
+        };
+        assert_eq!(by_path(&loaded, &new_table), by_path(&vols, &table));
+    }
+
+    #[test]
+    fn loaded_volumes_serve_piggybacks() {
+        let (table, vols) = sample();
+        let mut buf = Vec::new();
+        write_volumes(&vols, &table, &mut buf).unwrap();
+        let mut new_table = ResourceTable::new();
+        let loaded = read_volumes(&mut BufReader::new(buf.as_slice()), &mut new_table).unwrap();
+        let a = new_table.lookup("/a/index.html").unwrap();
+        let msg = loaded
+            .piggyback(a, &crate::filter::ProxyFilter::default(), Timestamp::ZERO, &new_table)
+            .expect("piggyback from loaded volumes");
+        assert!(!msg.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_headers_and_lines() {
+        let mut t = ResourceTable::new();
+        assert!(matches!(
+            read_volumes(&mut BufReader::new(&b"nonsense\n"[..]), &mut t),
+            Err(PersistError::BadHeader(_))
+        ));
+        let bad = b"piggyback-volumes v1 threshold=0.2\nnot-a-line\n";
+        assert!(matches!(
+            read_volumes(&mut BufReader::new(&bad[..]), &mut t),
+            Err(PersistError::BadLine(2, _))
+        ));
+        let bad_p = b"piggyback-volumes v1 threshold=0.2\n\"/a\" \"/b\" 1.5\n";
+        assert!(matches!(
+            read_volumes(&mut BufReader::new(&bad_p[..]), &mut t),
+            Err(PersistError::BadLine(2, _))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let mut t = ResourceTable::new();
+        let text = "piggyback-volumes v1 threshold=0.3\n\n# comment\n\"/x\" \"/y\" 0.5\n";
+        let vols = read_volumes(&mut BufReader::new(text.as_bytes()), &mut t).unwrap();
+        assert_eq!(vols.implication_count(), 1);
+        assert_eq!(vols.threshold(), 0.3);
+    }
+
+    #[test]
+    fn empty_volume_set_round_trips() {
+        let table = ResourceTable::new();
+        let vols = ProbabilityVolumes::default();
+        let mut buf = Vec::new();
+        write_volumes(&vols, &table, &mut buf).unwrap();
+        let mut t = ResourceTable::new();
+        let loaded = read_volumes(&mut BufReader::new(buf.as_slice()), &mut t).unwrap();
+        assert_eq!(loaded.implication_count(), 0);
+    }
+}

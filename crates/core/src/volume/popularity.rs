@@ -1,0 +1,283 @@
+//! Site-wide popularity volume (paper Section 5, future work:
+//! "Additional information that could be piggybacked includes information
+//! about popular resources gathered in a separate volume").
+//!
+//! [`WithPopularityFallback`] wraps any volume provider: when the inner
+//! scheme has nothing to piggyback for a request (cold volume, thin
+//! probability volume, unknown resource), the server falls back to a
+//! volume holding its globally most popular resources — useful hints for
+//! a proxy that has never visited the site before.
+
+use crate::element::{PiggybackElement, PiggybackMessage};
+use crate::filter::ProxyFilter;
+use crate::table::ResourceTable;
+use crate::types::{ResourceId, SourceId, Timestamp, VolumeId};
+use crate::volume::VolumeProvider;
+
+/// Reserved volume id for the popularity volume. Chosen at the top of the
+/// paper's two-byte wire range so it cannot collide with directory volume
+/// ids (assigned densely from 0) in any realistic deployment.
+pub const POPULARITY_VOLUME: VolumeId = VolumeId(VolumeId::WIRE_MAX);
+
+/// Wraps an inner provider with a most-popular-resources fallback volume.
+#[derive(Debug, Clone)]
+pub struct WithPopularityFallback<V> {
+    inner: V,
+    /// Number of top resources the fallback volume offers.
+    top: usize,
+    /// Only fall back when the inner piggyback is empty (true), or also
+    /// top up undersized inner piggybacks (false).
+    only_when_empty: bool,
+}
+
+impl<V: VolumeProvider> WithPopularityFallback<V> {
+    pub fn new(inner: V, top: usize) -> Self {
+        WithPopularityFallback {
+            inner,
+            top,
+            only_when_empty: true,
+        }
+    }
+
+    /// Also top up inner piggybacks smaller than the filter's cap.
+    pub fn topping_up(mut self) -> Self {
+        self.only_when_empty = false;
+        self
+    }
+
+    pub fn inner(&self) -> &V {
+        &self.inner
+    }
+
+    pub fn inner_mut(&mut self) -> &mut V {
+        &mut self.inner
+    }
+
+    /// The current most-popular resources by access count (descending),
+    /// excluding `exclude`, admitted by `filter`.
+    fn popular(
+        &self,
+        exclude: ResourceId,
+        filter: &ProxyFilter,
+        table: &ResourceTable,
+        limit: usize,
+    ) -> Vec<PiggybackElement> {
+        let mut all: Vec<(u64, ResourceId)> = table
+            .iter()
+            .filter(|&(id, _, meta)| {
+                id != exclude && meta.access_count > 0 && filter.admits(meta)
+            })
+            .map(|(id, _, meta)| (meta.access_count, id))
+            .collect();
+        all.sort_by(|a, b| b.0.cmp(&a.0).then(a.1 .0.cmp(&b.1 .0)));
+        all.truncate(self.top.min(limit));
+        all.into_iter()
+            .filter_map(|(_, id)| {
+                table.meta(id).map(|m| PiggybackElement {
+                    resource: id,
+                    size: m.size,
+                    last_modified: m.last_modified,
+                })
+            })
+            .collect()
+    }
+}
+
+impl<V: VolumeProvider> VolumeProvider for WithPopularityFallback<V> {
+    fn assign(&mut self, resource: ResourceId, path: &str) {
+        self.inner.assign(resource, path);
+    }
+
+    fn volume_of(&self, resource: ResourceId) -> Option<VolumeId> {
+        self.inner.volume_of(resource)
+    }
+
+    fn record_access(
+        &mut self,
+        resource: ResourceId,
+        source: SourceId,
+        now: Timestamp,
+        table: &ResourceTable,
+    ) {
+        self.inner.record_access(resource, source, now, table);
+    }
+
+    fn piggyback(
+        &self,
+        resource: ResourceId,
+        filter: &ProxyFilter,
+        now: Timestamp,
+        table: &ResourceTable,
+    ) -> Option<PiggybackMessage> {
+        let inner_msg = self.inner.piggyback(resource, filter, now, table);
+        if !filter.enabled {
+            return inner_msg; // inner returned None; keep semantics exact
+        }
+        match inner_msg {
+            Some(msg) if self.only_when_empty || msg.len() >= filter.cap() => Some(msg),
+            Some(mut msg) => {
+                // Top up from the popularity volume, avoiding duplicates.
+                let room = filter.cap().saturating_sub(msg.len());
+                if room > 0 && filter.allows_volume(POPULARITY_VOLUME) {
+                    let have: Vec<ResourceId> =
+                        msg.elements.iter().map(|e| e.resource).collect();
+                    for e in self.popular(resource, filter, table, self.top) {
+                        if msg.len() >= filter.cap() {
+                            break;
+                        }
+                        if !have.contains(&e.resource) {
+                            msg.elements.push(e);
+                        }
+                    }
+                }
+                Some(msg)
+            }
+            None => {
+                if !filter.allows_volume(POPULARITY_VOLUME) {
+                    return None;
+                }
+                let elements = self.popular(resource, filter, table, filter.cap());
+                if elements.is_empty() {
+                    return None;
+                }
+                Some(PiggybackMessage {
+                    volume: POPULARITY_VOLUME,
+                    elements,
+                })
+            }
+        }
+    }
+
+    fn volume_count(&self) -> usize {
+        self.inner.volume_count() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::DirectoryVolumes;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn setup() -> (ResourceTable, WithPopularityFallback<DirectoryVolumes>) {
+        let mut table = ResourceTable::new();
+        let mut vols = WithPopularityFallback::new(DirectoryVolumes::new(1), 3);
+        for (path, accesses) in [
+            ("/a/x.html", 10u64),
+            ("/a/y.html", 5),
+            ("/b/z.html", 20),
+            ("/c/w.html", 1),
+        ] {
+            let id = table.register_path(path, 100, ts(0));
+            vols.assign(id, path);
+            for _ in 0..accesses {
+                table.count_access(id);
+            }
+        }
+        (table, vols)
+    }
+
+    #[test]
+    fn falls_back_to_popularity_when_inner_empty() {
+        let (table, vols) = setup();
+        // No record_access has populated the directory FIFOs, so the inner
+        // provider has nothing; the fallback kicks in.
+        let r = table.lookup("/a/x.html").unwrap();
+        let msg = vols
+            .piggyback(r, &ProxyFilter::default(), ts(1), &table)
+            .expect("popularity fallback");
+        assert_eq!(msg.volume, POPULARITY_VOLUME);
+        let ids: Vec<&str> = msg
+            .elements
+            .iter()
+            .map(|e| table.path(e.resource).unwrap())
+            .collect();
+        // Top-3 by count, excluding the requested resource itself.
+        assert_eq!(ids, vec!["/b/z.html", "/a/y.html", "/c/w.html"]);
+    }
+
+    #[test]
+    fn inner_piggyback_takes_precedence() {
+        let (table, mut vols) = setup();
+        let x = table.lookup("/a/x.html").unwrap();
+        let y = table.lookup("/a/y.html").unwrap();
+        vols.record_access(y, SourceId(1), ts(1), &table);
+        let msg = vols
+            .piggyback(x, &ProxyFilter::default(), ts(2), &table)
+            .unwrap();
+        assert_ne!(msg.volume, POPULARITY_VOLUME);
+        assert_eq!(msg.elements[0].resource, y);
+        assert_eq!(msg.len(), 1, "no topping up by default");
+    }
+
+    #[test]
+    fn topping_up_fills_to_cap_without_duplicates() {
+        let (table, mut vols) = setup();
+        let mut vols = {
+            vols.record_access(
+                table.lookup("/a/y.html").unwrap(),
+                SourceId(1),
+                ts(1),
+                &table,
+            );
+            vols.topping_up()
+        };
+        // Re-touch after move (the builder consumed vols).
+        let x = table.lookup("/a/x.html").unwrap();
+        let filter = ProxyFilter::builder().max_piggy(3).build();
+        let msg = vols.piggyback(x, &filter, ts(2), &table).unwrap();
+        assert_eq!(msg.len(), 3);
+        let mut ids: Vec<u32> = msg.elements.iter().map(|e| e.resource.0).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate element after topping up");
+        vols.inner_mut(); // exercise accessor
+    }
+
+    #[test]
+    fn rpv_can_suppress_popularity_volume() {
+        let (table, vols) = setup();
+        let r = table.lookup("/a/x.html").unwrap();
+        let filter = ProxyFilter::builder().rpv([POPULARITY_VOLUME]).build();
+        assert!(vols.piggyback(r, &filter, ts(1), &table).is_none());
+    }
+
+    #[test]
+    fn filter_restrictions_apply_to_fallback() {
+        let (table, vols) = setup();
+        let r = table.lookup("/a/x.html").unwrap();
+        let filter = ProxyFilter::builder().min_access_count(6).build();
+        let msg = vols.piggyback(r, &filter, ts(1), &table).unwrap();
+        let ids: Vec<&str> = msg
+            .elements
+            .iter()
+            .map(|e| table.path(e.resource).unwrap())
+            .collect();
+        assert_eq!(ids, vec!["/b/z.html"], "only the 20-access resource passes");
+        // Disabled filter: nothing at all.
+        assert!(vols.piggyback(r, &ProxyFilter::disabled(), ts(1), &table).is_none());
+    }
+
+    #[test]
+    fn never_recommends_unaccessed_or_self() {
+        let mut table = ResourceTable::new();
+        let vols: WithPopularityFallback<DirectoryVolumes> =
+            WithPopularityFallback::new(DirectoryVolumes::new(1), 5);
+        let only = table.register_path("/solo.html", 10, ts(0));
+        table.count_access(only);
+        // The only accessed resource is the requested one: no piggyback.
+        assert!(vols
+            .piggyback(only, &ProxyFilter::default(), ts(1), &table)
+            .is_none());
+    }
+
+    #[test]
+    fn volume_count_includes_popularity() {
+        let (_, vols) = setup();
+        assert_eq!(vols.volume_count(), vols.inner().volume_count() + 1);
+    }
+}

@@ -1,0 +1,701 @@
+//! Probability-based volumes (paper Section 3.3).
+//!
+//! The server estimates, from its request stream, the pairwise implication
+//! probability `p(s|r)`: the proportion of requests for `r` that are
+//! followed by a request for `s` from the same source within `T` seconds.
+//! Resource `s` joins `r`'s volume when `p(s|r) >= p_t`.
+//!
+//! Counter space is bounded by *random sampling*: when a pair is first
+//! observed, its counter is created only with probability inversely
+//! proportional to `freq(r) * p_t` — pairs that often occur together are
+//! likely to get a counter, pairs with low implication probability rarely
+//! waste one. Optionally, counters are restricted to pairs sharing a
+//! directory prefix ("combined" volumes).
+//!
+//! Volume construction is offline, as in the paper's evaluation ("we applied
+//! a single set of volumes for the duration of each log"): feed a trace to
+//! [`ProbabilityVolumesBuilder`], then [`build`](ProbabilityVolumesBuilder::build)
+//! the immutable [`ProbabilityVolumes`] used at serving time.
+
+use crate::element::{PiggybackElement, PiggybackMessage};
+use crate::filter::ProxyFilter;
+use crate::intern::directory_prefix;
+use crate::table::ResourceTable;
+use crate::types::{DurationMs, ResourceId, SourceId, Timestamp, VolumeId};
+use crate::volume::VolumeProvider;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+
+/// An ordered resource pair: `r` (the earlier request) implies `s`.
+pub type PairKey = (ResourceId, ResourceId);
+
+/// How pair counters are allocated during construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SamplingMode {
+    /// A counter for every observed pair (memory `O(pairs)`).
+    Exact,
+    /// Create a missing counter with probability
+    /// `min(1, factor / (freq(r) * p_t))`, the paper's sampling heuristic.
+    /// Larger `factor` means more counters and better estimates.
+    Sampled { factor: f64 },
+}
+
+/// Streaming builder computing the pairwise counters `c(s|r)` and `c(r)`.
+///
+/// Feed requests in non-decreasing time order via
+/// [`observe`](Self::observe). Each source's recent history is kept in a
+/// deque bounded by the window `T`; each arrival of `s` credits `c(s|r)`
+/// for every distinct `r` in the window, at most once per `T` per source —
+/// this guarantees `c(s|r) <= c(r)`, i.e. estimated probabilities never
+/// exceed 1.
+#[derive(Debug)]
+pub struct ProbabilityVolumesBuilder {
+    window: DurationMs,
+    sampling: SamplingMode,
+    build_threshold: f64,
+    restrict_prefix_level: Option<usize>,
+    rng: StdRng,
+
+    occurrences: HashMap<ResourceId, u64>,
+    pair_counts: HashMap<PairKey, u64>,
+    /// Pairs sampling decided to permanently ignore.
+    rejected_pairs: u64,
+    histories: HashMap<SourceId, VecDeque<(Timestamp, ResourceId)>>,
+    last_credit: HashMap<(SourceId, ResourceId, ResourceId), Timestamp>,
+    last_time: Timestamp,
+}
+
+impl ProbabilityVolumesBuilder {
+    /// `window` is the paper's `T` (300 s in the evaluation);
+    /// `build_threshold` is the `p_t` the sampling heuristic targets.
+    pub fn new(window: DurationMs, build_threshold: f64, sampling: SamplingMode) -> Self {
+        assert!(
+            build_threshold > 0.0 && build_threshold <= 1.0,
+            "threshold must be in (0, 1]"
+        );
+        ProbabilityVolumesBuilder {
+            window,
+            sampling,
+            build_threshold,
+            restrict_prefix_level: None,
+            rng: StdRng::seed_from_u64(0x9e3779b97f4a7c15),
+            occurrences: HashMap::new(),
+            pair_counts: HashMap::new(),
+            rejected_pairs: 0,
+            histories: HashMap::new(),
+            last_credit: HashMap::new(),
+            last_time: Timestamp::ZERO,
+        }
+    }
+
+    /// Only count pairs whose paths share a `level`-deep directory prefix
+    /// (reduces counters and avoids coincidental cross-directory pairs, at
+    /// the cost of missing cross-directory associations). Requires passing
+    /// a [`ResourceTable`] to [`observe_with_table`](Self::observe_with_table).
+    pub fn restrict_same_prefix(mut self, level: usize) -> Self {
+        self.restrict_prefix_level = Some(level);
+        self
+    }
+
+    /// Deterministic seed for the sampling decisions.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Observe a request. Panics (debug) if timestamps go backwards.
+    pub fn observe(&mut self, source: SourceId, resource: ResourceId, now: Timestamp) {
+        self.observe_inner(source, resource, now, None);
+    }
+
+    /// Observe with path information available, as needed by
+    /// [`restrict_same_prefix`](Self::restrict_same_prefix).
+    pub fn observe_with_table(
+        &mut self,
+        source: SourceId,
+        resource: ResourceId,
+        now: Timestamp,
+        table: &ResourceTable,
+    ) {
+        self.observe_inner(source, resource, now, Some(table));
+    }
+
+    fn observe_inner(
+        &mut self,
+        source: SourceId,
+        s: ResourceId,
+        now: Timestamp,
+        table: Option<&ResourceTable>,
+    ) {
+        debug_assert!(now >= self.last_time, "requests must be time-ordered");
+        self.last_time = now;
+
+        let history = self.histories.entry(source).or_default();
+        let cutoff = now.before(self.window);
+        while let Some(&(t, _)) = history.front() {
+            if t < cutoff {
+                history.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // Credit each distinct r in the window once (nearest instance).
+        let mut seen: Vec<ResourceId> = Vec::with_capacity(history.len());
+        let snapshot: Vec<ResourceId> = history.iter().map(|&(_, r)| r).collect();
+        for r in snapshot {
+            if seen.contains(&r) {
+                continue;
+            }
+            seen.push(r);
+            self.credit_pair(source, r, s, now, table);
+        }
+
+        *self.occurrences.entry(s).or_insert(0) += 1;
+        self.histories.get_mut(&source).expect("exists").push_back((now, s));
+    }
+
+    fn credit_pair(
+        &mut self,
+        source: SourceId,
+        r: ResourceId,
+        s: ResourceId,
+        now: Timestamp,
+        table: Option<&ResourceTable>,
+    ) {
+        if let Some(level) = self.restrict_prefix_level {
+            let table = table.expect("restrict_same_prefix requires observe_with_table");
+            let (Some(pr), Some(ps)) = (table.path(r), table.path(s)) else {
+                return;
+            };
+            if directory_prefix(pr, level) != directory_prefix(ps, level) {
+                return;
+            }
+        }
+
+        // At most one credit per (source, pair) per window, so that
+        // c(s|r) <= c(r) holds.
+        let credit_key = (source, r, s);
+        if let Some(&t) = self.last_credit.get(&credit_key) {
+            if now.since(t) < self.window {
+                return;
+            }
+        }
+
+        let key = (r, s);
+        if !self.pair_counts.contains_key(&key) {
+            match self.sampling {
+                SamplingMode::Exact => {}
+                SamplingMode::Sampled { factor } => {
+                    let freq_r = *self.occurrences.get(&r).unwrap_or(&1) as f64;
+                    let p_create = (factor / (freq_r * self.build_threshold)).min(1.0);
+                    if self.rng.random::<f64>() >= p_create {
+                        self.rejected_pairs += 1;
+                        return;
+                    }
+                }
+            }
+        }
+        *self.pair_counts.entry(key).or_insert(0) += 1;
+        self.last_credit.insert(credit_key, now);
+    }
+
+    /// Number of live pair counters.
+    pub fn counter_count(&self) -> usize {
+        self.pair_counts.len()
+    }
+
+    /// Pair observations the sampler chose not to track.
+    pub fn rejected_pair_observations(&self) -> u64 {
+        self.rejected_pairs
+    }
+
+    /// Estimated `p(s|r)` right now, if a counter exists.
+    pub fn probability(&self, r: ResourceId, s: ResourceId) -> Option<f64> {
+        let c_pair = *self.pair_counts.get(&(r, s))?;
+        let c_r = *self.occurrences.get(&r)?;
+        if c_r == 0 {
+            return None;
+        }
+        Some(c_pair as f64 / c_r as f64)
+    }
+
+    /// Freeze into serving-time volumes with membership threshold `p_t`
+    /// (usually `>= build_threshold` when sampling was used).
+    pub fn build(&self, p_t: f64) -> ProbabilityVolumes {
+        let mut implications: HashMap<ResourceId, Vec<(ResourceId, f32)>> = HashMap::new();
+        for (&(r, s), &c_pair) in &self.pair_counts {
+            let c_r = *self.occurrences.get(&r).unwrap_or(&0);
+            if c_r == 0 {
+                continue;
+            }
+            let p = c_pair as f64 / c_r as f64;
+            if p >= p_t {
+                implications.entry(r).or_default().push((s, p as f32));
+            }
+        }
+        for list in implications.values_mut() {
+            list.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+        }
+        ProbabilityVolumes {
+            threshold: p_t,
+            implications,
+        }
+    }
+
+    /// All estimated probabilities, for Figure 5(b)'s distribution.
+    pub fn all_probabilities(&self) -> Vec<f64> {
+        self.pair_counts
+            .iter()
+            .filter_map(|(&(r, _), &c)| {
+                let c_r = *self.occurrences.get(&r)?;
+                (c_r > 0).then(|| c as f64 / c_r as f64)
+            })
+            .collect()
+    }
+}
+
+/// Immutable probability-based volumes: for each resource `r`, the resources
+/// `s` with `p(s|r) >= p_t`, sorted by descending probability.
+///
+/// Every resource is its own volume; the wire volume id is the resource id.
+#[derive(Debug, Clone, Default)]
+pub struct ProbabilityVolumes {
+    threshold: f64,
+    implications: HashMap<ResourceId, Vec<(ResourceId, f32)>>,
+}
+
+impl ProbabilityVolumes {
+    /// Construct directly from implication lists (used by thinning).
+    pub fn from_implications(
+        threshold: f64,
+        implications: HashMap<ResourceId, Vec<(ResourceId, f32)>>,
+    ) -> Self {
+        ProbabilityVolumes {
+            threshold,
+            implications,
+        }
+    }
+
+    /// The membership threshold `p_t` used at construction.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The implication list for `r` (descending probability).
+    pub fn volume(&self, r: ResourceId) -> &[(ResourceId, f32)] {
+        self.implications.get(&r).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Iterate all `(r, s, p)` implications.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceId, ResourceId, f32)> + '_ {
+        self.implications
+            .iter()
+            .flat_map(|(&r, list)| list.iter().map(move |&(s, p)| (r, s, p)))
+    }
+
+    /// Total number of implications.
+    pub fn implication_count(&self) -> usize {
+        self.implications.values().map(|v| v.len()).sum()
+    }
+
+    /// Mean volume size over resources with a non-empty volume.
+    pub fn avg_volume_size(&self) -> f64 {
+        if self.implications.is_empty() {
+            return 0.0;
+        }
+        self.implication_count() as f64 / self.implications.len() as f64
+    }
+
+    /// Fraction of resources (with volumes) that belong to their own volume
+    /// — the paper reports ~1% at `p_t = 0.2`.
+    pub fn self_membership_fraction(&self) -> f64 {
+        if self.implications.is_empty() {
+            return 0.0;
+        }
+        let selfs = self
+            .implications
+            .iter()
+            .filter(|(&r, list)| list.iter().any(|&(s, _)| s == r))
+            .count();
+        selfs as f64 / self.implications.len() as f64
+    }
+
+    /// Fraction of implications `(r, s)` whose reverse `(s, r)` also holds —
+    /// the paper reports 3–18% symmetric volume contents.
+    pub fn symmetric_fraction(&self) -> f64 {
+        let total = self.implication_count();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut symmetric = 0usize;
+        for (r, list) in &self.implications {
+            for &(s, _) in list {
+                // Self-pairs are reported by `self_membership_fraction`,
+                // not here.
+                if s != *r
+                    && self
+                        .implications
+                        .get(&s)
+                        .is_some_and(|back| back.iter().any(|&(x, _)| x == *r))
+                {
+                    symmetric += 1;
+                }
+            }
+        }
+        symmetric as f64 / total as f64
+    }
+
+    /// "Combined" volumes: drop implications whose endpoints do not share a
+    /// `level`-deep directory prefix (paper Section 3.3.2, bottom curve of
+    /// Figure 5(a)).
+    pub fn restrict_same_prefix(&self, level: usize, table: &ResourceTable) -> Self {
+        let mut implications = HashMap::new();
+        for (&r, list) in &self.implications {
+            let Some(pr) = table.path(r) else { continue };
+            let prefix = directory_prefix(pr, level);
+            let kept: Vec<(ResourceId, f32)> = list
+                .iter()
+                .filter(|&&(s, _)| {
+                    table
+                        .path(s)
+                        .is_some_and(|ps| directory_prefix(ps, level) == prefix)
+                })
+                .copied()
+                .collect();
+            if !kept.is_empty() {
+                implications.insert(r, kept);
+            }
+        }
+        ProbabilityVolumes {
+            threshold: self.threshold,
+            implications,
+        }
+    }
+
+    /// Re-threshold: keep only implications with `p >= p_t` (must not be
+    /// lower than the construction threshold to be meaningful).
+    pub fn rethreshold(&self, p_t: f64) -> Self {
+        let mut implications = HashMap::new();
+        for (&r, list) in &self.implications {
+            let kept: Vec<(ResourceId, f32)> =
+                list.iter().filter(|&&(_, p)| p as f64 >= p_t).copied().collect();
+            if !kept.is_empty() {
+                implications.insert(r, kept);
+            }
+        }
+        ProbabilityVolumes {
+            threshold: p_t.max(self.threshold),
+            implications,
+        }
+    }
+}
+
+impl VolumeProvider for ProbabilityVolumes {
+    fn assign(&mut self, _resource: ResourceId, _path: &str) {
+        // Membership comes from the offline build; nothing to do.
+    }
+
+    fn volume_of(&self, resource: ResourceId) -> Option<VolumeId> {
+        // Every resource identifies its own volume.
+        Some(VolumeId(resource.0))
+    }
+
+    fn record_access(
+        &mut self,
+        _resource: ResourceId,
+        _source: SourceId,
+        _now: Timestamp,
+        _table: &ResourceTable,
+    ) {
+        // Static volumes: online maintenance happens in the builder.
+    }
+
+    fn piggyback(
+        &self,
+        resource: ResourceId,
+        filter: &ProxyFilter,
+        _now: Timestamp,
+        table: &ResourceTable,
+    ) -> Option<PiggybackMessage> {
+        let vol = VolumeId(resource.0);
+        if !filter.allows_volume(vol) {
+            return None;
+        }
+        let min_p = filter.prob_threshold.unwrap_or(0.0);
+        let cap = filter.cap();
+        let mut elements = Vec::new();
+        for &(s, p) in self.volume(resource) {
+            if elements.len() >= cap {
+                break;
+            }
+            if (p as f64) < min_p || s == resource {
+                continue;
+            }
+            let Some(meta) = table.meta(s) else { continue };
+            if !filter.admits(meta) {
+                continue;
+            }
+            elements.push(PiggybackElement {
+                resource: s,
+                size: meta.size,
+                last_modified: meta.last_modified,
+            });
+        }
+        if elements.is_empty() {
+            return None;
+        }
+        Some(PiggybackMessage { volume: vol, elements })
+    }
+
+    fn volume_count(&self) -> usize {
+        self.implications.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    const T: DurationMs = DurationMs::from_secs(300);
+
+    /// Feed a simple repeating session: page /a then image /b, many times.
+    fn feed_page_image(builder: &mut ProbabilityVolumesBuilder, reps: u64) {
+        for i in 0..reps {
+            let base = i * 1000; // sessions far apart (> T)
+            builder.observe(SourceId(i as u32 % 7), ResourceId(0), ts(base));
+            builder.observe(SourceId(i as u32 % 7), ResourceId(1), ts(base + 2));
+        }
+    }
+
+    #[test]
+    fn counts_simple_implication() {
+        let mut b = ProbabilityVolumesBuilder::new(T, 0.1, SamplingMode::Exact);
+        feed_page_image(&mut b, 20);
+        // Every /a is followed by /b: p(b|a) = 1.
+        assert_eq!(b.probability(ResourceId(0), ResourceId(1)), Some(1.0));
+        // /b is never followed by /a within the window.
+        assert_eq!(b.probability(ResourceId(1), ResourceId(0)), None);
+        let vols = b.build(0.5);
+        assert_eq!(vols.volume(ResourceId(0)), &[(ResourceId(1), 1.0f32)]);
+        assert!(vols.volume(ResourceId(1)).is_empty());
+    }
+
+    #[test]
+    fn window_bounds_pairing() {
+        let mut b = ProbabilityVolumesBuilder::new(T, 0.1, SamplingMode::Exact);
+        b.observe(SourceId(1), ResourceId(0), ts(0));
+        // 301 s later: outside the window, no pair.
+        b.observe(SourceId(1), ResourceId(1), ts(301));
+        assert_eq!(b.probability(ResourceId(0), ResourceId(1)), None);
+        // Exactly at the window edge counts.
+        b.observe(SourceId(2), ResourceId(0), ts(1000));
+        b.observe(SourceId(2), ResourceId(1), ts(1300));
+        assert!(b.probability(ResourceId(0), ResourceId(1)).is_some());
+    }
+
+    #[test]
+    fn different_sources_do_not_pair() {
+        let mut b = ProbabilityVolumesBuilder::new(T, 0.1, SamplingMode::Exact);
+        b.observe(SourceId(1), ResourceId(0), ts(0));
+        b.observe(SourceId(2), ResourceId(1), ts(1));
+        assert_eq!(b.probability(ResourceId(0), ResourceId(1)), None);
+    }
+
+    #[test]
+    fn probability_never_exceeds_one() {
+        // r requested once, s requested many times right after.
+        let mut b = ProbabilityVolumesBuilder::new(T, 0.1, SamplingMode::Exact);
+        b.observe(SourceId(1), ResourceId(0), ts(0));
+        for i in 1..50 {
+            b.observe(SourceId(1), ResourceId(1), ts(i));
+        }
+        let p = b.probability(ResourceId(0), ResourceId(1)).unwrap();
+        assert!(p <= 1.0, "got {p}");
+    }
+
+    #[test]
+    fn fractional_probability() {
+        let mut b = ProbabilityVolumesBuilder::new(T, 0.1, SamplingMode::Exact);
+        // /a followed by /b in 2 of 4 sessions.
+        for i in 0..4u64 {
+            let base = i * 10_000;
+            b.observe(SourceId(1), ResourceId(0), ts(base));
+            if i % 2 == 0 {
+                b.observe(SourceId(1), ResourceId(1), ts(base + 5));
+            }
+        }
+        assert_eq!(b.probability(ResourceId(0), ResourceId(1)), Some(0.5));
+        let vols = b.build(0.6);
+        assert!(vols.volume(ResourceId(0)).is_empty(), "0.5 < p_t 0.6");
+        let vols = b.build(0.5);
+        assert_eq!(vols.volume(ResourceId(0)).len(), 1);
+    }
+
+    #[test]
+    fn volume_sorted_by_descending_probability() {
+        let mut b = ProbabilityVolumesBuilder::new(T, 0.01, SamplingMode::Exact);
+        for i in 0..10u64 {
+            let base = i * 10_000;
+            b.observe(SourceId(1), ResourceId(0), ts(base));
+            b.observe(SourceId(1), ResourceId(1), ts(base + 1)); // always
+            if i < 5 {
+                b.observe(SourceId(1), ResourceId(2), ts(base + 2)); // half
+            }
+        }
+        let vols = b.build(0.1);
+        let v = vols.volume(ResourceId(0));
+        assert_eq!(v[0].0, ResourceId(1));
+        assert_eq!(v[1].0, ResourceId(2));
+        assert!(v[0].1 > v[1].1);
+    }
+
+    #[test]
+    fn sampling_reduces_counters() {
+        let mut exact = ProbabilityVolumesBuilder::new(T, 0.25, SamplingMode::Exact);
+        let mut sampled = ProbabilityVolumesBuilder::new(
+            T,
+            0.25,
+            SamplingMode::Sampled { factor: 1.0 },
+        )
+        .with_seed(7);
+        // A popular resource r followed by 200 different one-off resources:
+        // all implications have probability ~1/200, far below p_t.
+        for i in 0..200u32 {
+            let base = i as u64 * 10_000;
+            for b in [&mut exact, &mut sampled] {
+                b.observe(SourceId(1), ResourceId(0), ts(base));
+                b.observe(SourceId(1), ResourceId(1 + i), ts(base + 1));
+            }
+        }
+        assert_eq!(exact.counter_count(), 200);
+        assert!(
+            sampled.counter_count() < 100,
+            "sampling should reject most low-probability pairs, kept {}",
+            sampled.counter_count()
+        );
+        assert!(sampled.rejected_pair_observations() > 0);
+    }
+
+    #[test]
+    fn sampling_keeps_strong_pairs() {
+        let mut b =
+            ProbabilityVolumesBuilder::new(T, 0.25, SamplingMode::Sampled { factor: 4.0 })
+                .with_seed(3);
+        feed_page_image(&mut b, 300);
+        // p(b|a)=1 with 300 chances to create the counter: it must exist
+        // and its estimate must still clear the threshold.
+        let p = b
+            .probability(ResourceId(0), ResourceId(1))
+            .expect("counter for a strong pair");
+        assert!(p > 0.5, "estimate {p} too low");
+    }
+
+    #[test]
+    fn restrict_same_prefix_drops_cross_directory_pairs() {
+        let mut table = ResourceTable::new();
+        let a = table.register_path("/x/a.html", 1, ts(0));
+        let b_ = table.register_path("/x/b.gif", 1, ts(0));
+        let c = table.register_path("/y/c.html", 1, ts(0));
+        let mut builder =
+            ProbabilityVolumesBuilder::new(T, 0.1, SamplingMode::Exact).restrict_same_prefix(1);
+        for i in 0..5u64 {
+            let base = i * 10_000;
+            builder.observe_with_table(SourceId(1), a, ts(base), &table);
+            builder.observe_with_table(SourceId(1), b_, ts(base + 1), &table);
+            builder.observe_with_table(SourceId(1), c, ts(base + 2), &table);
+        }
+        assert!(builder.probability(a, b_).is_some(), "same prefix kept");
+        assert!(builder.probability(a, c).is_none(), "cross prefix dropped");
+        assert!(builder.probability(b_, c).is_none());
+    }
+
+    #[test]
+    fn post_hoc_prefix_restriction() {
+        let mut table = ResourceTable::new();
+        let a = table.register_path("/x/a.html", 1, ts(0));
+        let b_ = table.register_path("/x/b.gif", 1, ts(0));
+        let c = table.register_path("/y/c.html", 1, ts(0));
+        let mut builder = ProbabilityVolumesBuilder::new(T, 0.1, SamplingMode::Exact);
+        for i in 0..5u64 {
+            let base = i * 10_000;
+            builder.observe(SourceId(1), a, ts(base));
+            builder.observe(SourceId(1), b_, ts(base + 1));
+            builder.observe(SourceId(1), c, ts(base + 2));
+        }
+        let vols = builder.build(0.5);
+        assert_eq!(vols.volume(a).len(), 2);
+        let combined = vols.restrict_same_prefix(1, &table);
+        assert_eq!(combined.volume(a).len(), 1);
+        assert_eq!(combined.volume(a)[0].0, b_);
+    }
+
+    #[test]
+    fn piggyback_respects_probability_threshold_filter() {
+        let mut table = ResourceTable::new();
+        let a = table.register_path("/a", 10, ts(0));
+        let b_ = table.register_path("/b", 10, ts(0));
+        let c = table.register_path("/c", 10, ts(0));
+        let mut builder = ProbabilityVolumesBuilder::new(T, 0.01, SamplingMode::Exact);
+        for i in 0..10u64 {
+            let base = i * 10_000;
+            builder.observe(SourceId(1), a, ts(base));
+            builder.observe(SourceId(1), b_, ts(base + 1));
+            if i < 3 {
+                builder.observe(SourceId(1), c, ts(base + 2));
+            }
+        }
+        let vols = builder.build(0.1);
+        // Unfiltered: both b (p=1.0) and c (p=0.3).
+        let all = vols
+            .piggyback(a, &ProxyFilter::default(), ts(0), &table)
+            .unwrap();
+        assert_eq!(all.len(), 2);
+        // pt=0.5 filter: only b.
+        let f = ProxyFilter::builder().prob_threshold(0.5).build();
+        let strong = vols.piggyback(a, &f, ts(0), &table).unwrap();
+        assert_eq!(strong.len(), 1);
+        assert_eq!(strong.elements[0].resource, b_);
+        // Volume id equals resource id; RPV can suppress it.
+        assert_eq!(all.volume, VolumeId(a.0));
+        let rpv = ProxyFilter::builder().rpv([VolumeId(a.0)]).build();
+        assert!(vols.piggyback(a, &rpv, ts(0), &table).is_none());
+    }
+
+    #[test]
+    fn stats_on_symmetry_and_self_membership() {
+        let mut impls = HashMap::new();
+        impls.insert(ResourceId(0), vec![(ResourceId(1), 0.9f32)]);
+        impls.insert(ResourceId(1), vec![(ResourceId(0), 0.8f32), (ResourceId(2), 0.5)]);
+        impls.insert(ResourceId(3), vec![(ResourceId(3), 0.7f32)]);
+        let v = ProbabilityVolumes::from_implications(0.2, impls);
+        // (0,1) and (1,0) are symmetric => 2 of 4 implications.
+        assert!((v.symmetric_fraction() - 0.5).abs() < 1e-9);
+        // One of three resources contains itself.
+        assert!((v.self_membership_fraction() - 1.0 / 3.0).abs() < 1e-9);
+        assert!((v.avg_volume_size() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rethreshold_prunes() {
+        let mut b = ProbabilityVolumesBuilder::new(T, 0.01, SamplingMode::Exact);
+        for i in 0..10u64 {
+            let base = i * 10_000;
+            b.observe(SourceId(1), ResourceId(0), ts(base));
+            b.observe(SourceId(1), ResourceId(1), ts(base + 1));
+            if i < 2 {
+                b.observe(SourceId(1), ResourceId(2), ts(base + 2));
+            }
+        }
+        let v = b.build(0.1);
+        assert_eq!(v.volume(ResourceId(0)).len(), 2);
+        let pruned = v.rethreshold(0.9);
+        assert_eq!(pruned.volume(ResourceId(0)).len(), 1);
+        assert_eq!(pruned.threshold(), 0.9);
+    }
+}

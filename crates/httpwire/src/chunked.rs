@@ -1,0 +1,172 @@
+//! Chunked transfer-coding with trailers (RFC 7230 §4.1).
+//!
+//! This is the corner of HTTP/1.1 the piggyback protocol lives in: the
+//! server sends the response body in chunks and appends the `P-volume`
+//! header in the trailer after the terminal zero-length chunk, so the
+//! piggyback never delays the body (paper Section 2.3).
+
+use crate::error::HttpError;
+use crate::headers::HeaderMap;
+use crate::parse::{read_line, MAX_BODY, MAX_HEADERS};
+use std::io::{BufRead, Write};
+
+/// Write `body` as chunked transfer-coding, followed by `trailers` and the
+/// terminating blank line. Bodies are split into chunks of at most
+/// `chunk_size` bytes; an empty body still produces the mandatory
+/// zero-length final chunk.
+pub fn write_chunked<W: Write>(
+    w: &mut W,
+    body: &[u8],
+    trailers: &HeaderMap,
+    chunk_size: usize,
+) -> std::io::Result<()> {
+    let chunk_size = chunk_size.max(1);
+    for chunk in body.chunks(chunk_size) {
+        write!(w, "{:x}\r\n", chunk.len())?;
+        w.write_all(chunk)?;
+        w.write_all(b"\r\n")?;
+    }
+    // Terminal chunk.
+    w.write_all(b"0\r\n")?;
+    for (name, value) in trailers.iter() {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    Ok(())
+}
+
+/// Read a chunked body and its trailer section. Returns `(body, trailers)`.
+pub fn read_chunked<R: BufRead>(r: &mut R) -> Result<(Vec<u8>, HeaderMap), HttpError> {
+    let mut body = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        // Chunk extensions (";ext=...") are allowed and ignored.
+        let size_part = line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_part, 16)
+            .map_err(|_| HttpError::BadChunkSize(line.clone()))?;
+        if body.len() + size > MAX_BODY {
+            return Err(HttpError::LimitExceeded("chunked body size"));
+        }
+        if size == 0 {
+            break;
+        }
+        let mut chunk = vec![0u8; size];
+        r.read_exact(&mut chunk)?;
+        body.extend_from_slice(&chunk);
+        // The CRLF after the chunk data.
+        let mut crlf = [0u8; 2];
+        r.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(HttpError::BadChunkSize("missing chunk CRLF".into()));
+        }
+    }
+    // Trailer section: header lines until the blank line.
+    let mut trailers = HeaderMap::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            break;
+        }
+        if trailers.len() >= MAX_HEADERS {
+            return Err(HttpError::LimitExceeded("trailer count"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadHeader(line.clone()))?;
+        trailers
+            .try_insert(name.trim(), value.trim())
+            .map_err(|_| HttpError::BadHeader(line.clone()))?;
+    }
+    Ok((body, trailers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn round_trip(body: &[u8], trailers: &HeaderMap, chunk: usize) -> (Vec<u8>, HeaderMap) {
+        let mut wire = Vec::new();
+        write_chunked(&mut wire, body, trailers, chunk).unwrap();
+        let mut r = BufReader::new(wire.as_slice());
+        read_chunked(&mut r).unwrap()
+    }
+
+    #[test]
+    fn empty_body_no_trailers() {
+        let (body, trailers) = round_trip(b"", &HeaderMap::new(), 8);
+        assert!(body.is_empty());
+        assert!(trailers.is_empty());
+    }
+
+    #[test]
+    fn body_round_trips_across_chunk_sizes() {
+        let data = b"The quick brown fox jumps over the lazy dog".to_vec();
+        for chunk in [1, 2, 7, 16, 1024] {
+            let (body, _) = round_trip(&data, &HeaderMap::new(), chunk);
+            assert_eq!(body, data, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn trailers_round_trip() {
+        let mut t = HeaderMap::new();
+        t.insert("P-volume", "7; \"/a/b.html\" 887725423 5243");
+        t.insert("X-Extra", "1");
+        let (body, got) = round_trip(b"hello", &t, 4);
+        assert_eq!(body, b"hello");
+        assert_eq!(got.get("p-volume"), Some("7; \"/a/b.html\" 887725423 5243"));
+        assert_eq!(got.get("x-extra"), Some("1"));
+    }
+
+    #[test]
+    fn wire_format_is_canonical() {
+        let mut wire = Vec::new();
+        write_chunked(&mut wire, b"hi", &HeaderMap::new(), 1024).unwrap();
+        assert_eq!(wire, b"2\r\nhi\r\n0\r\n\r\n");
+        let mut t = HeaderMap::new();
+        t.insert("T", "v");
+        let mut wire = Vec::new();
+        write_chunked(&mut wire, b"", &t, 1024).unwrap();
+        assert_eq!(wire, b"0\r\nT: v\r\n\r\n");
+    }
+
+    #[test]
+    fn chunk_extensions_ignored() {
+        let wire = b"5;ext=1\r\nhello\r\n0\r\n\r\n";
+        let mut r = BufReader::new(wire.as_slice());
+        let (body, _) = read_chunked(&mut r).unwrap();
+        assert_eq!(body, b"hello");
+    }
+
+    #[test]
+    fn rejects_bad_chunk_sizes() {
+        let wire = b"zz\r\n";
+        let mut r = BufReader::new(wire.as_slice());
+        assert!(matches!(
+            read_chunked(&mut r),
+            Err(HttpError::BadChunkSize(_))
+        ));
+        // Missing CRLF after chunk data.
+        let wire = b"2\r\nhiXX0\r\n\r\n";
+        let mut r = BufReader::new(wire.as_slice());
+        assert!(read_chunked(&mut r).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_is_connection_closed() {
+        let wire = b"5\r\nhel";
+        let mut r = BufReader::new(wire.as_slice());
+        assert!(matches!(
+            read_chunked(&mut r),
+            Err(HttpError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_trailer() {
+        let wire = b"0\r\nnotaheader\r\n\r\n";
+        let mut r = BufReader::new(wire.as_slice());
+        assert!(matches!(read_chunked(&mut r), Err(HttpError::BadHeader(_))));
+    }
+}

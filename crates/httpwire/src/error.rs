@@ -1,0 +1,83 @@
+//! Error type for HTTP parsing and I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors reading or writing HTTP messages.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying transport failure.
+    Io(io::Error),
+    /// Peer closed the connection cleanly before a message started.
+    ConnectionClosed,
+    /// Malformed request line.
+    BadRequestLine(String),
+    /// Malformed status line.
+    BadStatusLine(String),
+    /// Malformed header line.
+    BadHeader(String),
+    /// Unknown or unsupported HTTP version.
+    BadVersion(String),
+    /// Malformed chunk size line in a chunked body.
+    BadChunkSize(String),
+    /// Content-Length missing or unparsable when required.
+    BadContentLength,
+    /// A protocol limit was exceeded (line length, header count, body size).
+    LimitExceeded(&'static str),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "I/O error: {e}"),
+            HttpError::ConnectionClosed => write!(f, "connection closed"),
+            HttpError::BadRequestLine(l) => write!(f, "bad request line: {l:?}"),
+            HttpError::BadStatusLine(l) => write!(f, "bad status line: {l:?}"),
+            HttpError::BadHeader(l) => write!(f, "bad header: {l:?}"),
+            HttpError::BadVersion(v) => write!(f, "unsupported HTTP version: {v:?}"),
+            HttpError::BadChunkSize(l) => write!(f, "bad chunk size: {l:?}"),
+            HttpError::BadContentLength => write!(f, "missing or invalid Content-Length"),
+            HttpError::LimitExceeded(what) => write!(f, "protocol limit exceeded: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            HttpError::ConnectionClosed
+        } else {
+            HttpError::Io(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = HttpError::BadRequestLine("GET".into());
+        assert!(e.to_string().contains("GET"));
+        let e = HttpError::LimitExceeded("header count");
+        assert!(e.to_string().contains("header count"));
+    }
+
+    #[test]
+    fn unexpected_eof_maps_to_connection_closed() {
+        let io_err = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(HttpError::from(io_err), HttpError::ConnectionClosed));
+        let io_err = io::Error::new(io::ErrorKind::BrokenPipe, "pipe");
+        assert!(matches!(HttpError::from(io_err), HttpError::Io(_)));
+    }
+}

@@ -1,0 +1,202 @@
+//! A case-insensitive, order-preserving header map.
+
+use std::fmt;
+
+/// HTTP header collection. Lookup is case-insensitive; insertion order is
+/// preserved on the wire. Multiple headers with the same name are kept.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeaderMap {
+    entries: Vec<(String, String)>,
+}
+
+/// Is `name` a valid RFC 7230 header field name (token)?
+pub fn valid_header_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.bytes().all(|b| {
+            b.is_ascii_alphanumeric()
+                || matches!(
+                    b,
+                    b'!' | b'#' | b'$' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'-' | b'.'
+                        | b'^' | b'_' | b'`' | b'|' | b'~'
+                )
+        })
+}
+
+/// Is `value` a valid header field value (no CR/LF/NUL)?
+pub fn valid_header_value(value: &str) -> bool {
+    value.bytes().all(|b| b != b'\r' && b != b'\n' && b != 0)
+}
+
+impl HeaderMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a header. Panics (debug) on syntactically invalid names or
+    /// values — use [`try_insert`](Self::try_insert) for untrusted input.
+    pub fn insert(&mut self, name: &str, value: &str) {
+        debug_assert!(valid_header_name(name), "invalid header name {name:?}");
+        debug_assert!(valid_header_value(value), "invalid header value");
+        self.entries.push((name.to_owned(), value.to_owned()));
+    }
+
+    /// Append after validating.
+    pub fn try_insert(&mut self, name: &str, value: &str) -> Result<(), InvalidHeader> {
+        if !valid_header_name(name) {
+            return Err(InvalidHeader::Name(name.to_owned()));
+        }
+        if !valid_header_value(value) {
+            return Err(InvalidHeader::Value(name.to_owned()));
+        }
+        self.entries.push((name.to_owned(), value.trim().to_owned()));
+        Ok(())
+    }
+
+    /// Replace all occurrences of `name` with a single value.
+    pub fn set(&mut self, name: &str, value: &str) {
+        self.remove(name);
+        self.insert(name, value);
+    }
+
+    /// First value for `name`, case-insensitive.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Remove all occurrences; returns whether any existed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.len() != before
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Does a comma-separated list header contain `token`
+    /// (case-insensitive)? E.g. `Connection: keep-alive, TE`.
+    pub fn list_contains(&self, name: &str, token: &str) -> bool {
+        self.get_all(name).any(|v| {
+            v.split(',')
+                .any(|part| part.trim().eq_ignore_ascii_case(token))
+        })
+    }
+}
+
+/// Header validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidHeader {
+    Name(String),
+    Value(String),
+}
+
+impl fmt::Display for InvalidHeader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidHeader::Name(n) => write!(f, "invalid header name {n:?}"),
+            InvalidHeader::Value(n) => write!(f, "invalid value for header {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for InvalidHeader {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let mut h = HeaderMap::new();
+        h.insert("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        assert!(h.contains("Content-type"));
+        assert!(!h.contains("Content-Length"));
+    }
+
+    #[test]
+    fn multi_value_preserved_in_order() {
+        let mut h = HeaderMap::new();
+        h.insert("Via", "proxy-a");
+        h.insert("Via", "proxy-b");
+        let all: Vec<&str> = h.get_all("via").collect();
+        assert_eq!(all, vec!["proxy-a", "proxy-b"]);
+        assert_eq!(h.get("Via"), Some("proxy-a"));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn set_replaces_all() {
+        let mut h = HeaderMap::new();
+        h.insert("X", "1");
+        h.insert("X", "2");
+        h.set("x", "3");
+        assert_eq!(h.get_all("X").count(), 1);
+        assert_eq!(h.get("X"), Some("3"));
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut h = HeaderMap::new();
+        h.insert("A", "1");
+        assert!(h.remove("a"));
+        assert!(!h.remove("a"));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_header_name("Piggy-filter"));
+        assert!(valid_header_name("TE"));
+        assert!(!valid_header_name(""));
+        assert!(!valid_header_name("Bad Header"));
+        assert!(!valid_header_name("Bad:Header"));
+        assert!(valid_header_value("maxpiggy=10; rpv=\"3,4\""));
+        assert!(!valid_header_value("evil\r\nInjected: yes"));
+    }
+
+    #[test]
+    fn try_insert_rejects_and_trims() {
+        let mut h = HeaderMap::new();
+        assert!(h.try_insert("Bad Name", "x").is_err());
+        assert!(h.try_insert("Good", "bad\nvalue").is_err());
+        h.try_insert("Good", "  padded  ").unwrap();
+        assert_eq!(h.get("good"), Some("padded"));
+    }
+
+    #[test]
+    fn list_contains_tokens() {
+        let mut h = HeaderMap::new();
+        h.insert("Connection", "keep-alive, TE");
+        assert!(h.list_contains("connection", "te"));
+        assert!(h.list_contains("Connection", "Keep-Alive"));
+        assert!(!h.list_contains("Connection", "close"));
+        h.insert("TE", "chunked");
+        assert!(h.list_contains("TE", "chunked"));
+    }
+}

@@ -1,0 +1,406 @@
+//! HTTP request and response messages: types, serialization, and parsing.
+
+use crate::chunked::{read_chunked, write_chunked};
+use crate::error::HttpError;
+use crate::headers::HeaderMap;
+use crate::parse::{content_length, read_headers, read_line, MAX_BODY};
+use std::io::{BufRead, Read, Write};
+
+/// HTTP protocol version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    Http10,
+    Http11,
+}
+
+impl Version {
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Version::Http10 => "HTTP/1.0",
+            Version::Http11 => "HTTP/1.1",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Version, HttpError> {
+        match s {
+            "HTTP/1.0" => Ok(Version::Http10),
+            "HTTP/1.1" => Ok(Version::Http11),
+            other => Err(HttpError::BadVersion(other.to_owned())),
+        }
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    pub target: String,
+    pub version: Version,
+    pub headers: HeaderMap,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A bodiless HTTP/1.1 request.
+    pub fn new(method: &str, target: &str) -> Self {
+        Request {
+            method: method.to_owned(),
+            target: target.to_owned(),
+            version: Version::Http11,
+            headers: HeaderMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Should the connection stay open after this exchange?
+    pub fn keep_alive(&self) -> bool {
+        match self.version {
+            Version::Http11 => !self.headers.list_contains("Connection", "close"),
+            Version::Http10 => self.headers.list_contains("Connection", "keep-alive"),
+        }
+    }
+
+    /// Serialize onto `w`. A non-empty body forces a `Content-Length`.
+    pub fn write<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(
+            w,
+            "{} {} {}\r\n",
+            self.method,
+            self.target,
+            self.version.as_str()
+        )?;
+        let mut wrote_cl = false;
+        for (name, value) in self.headers.iter() {
+            if name.eq_ignore_ascii_case("Content-Length") {
+                wrote_cl = true;
+            }
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        if !self.body.is_empty() && !wrote_cl {
+            write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+
+    /// Parse a request from `r` (blocking until complete or error).
+    pub fn read<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
+        let line = read_line(r)?;
+        let mut parts = line.split_ascii_whitespace();
+        let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+        {
+            (Some(m), Some(t), Some(v), None) => (m, t, v),
+            _ => return Err(HttpError::BadRequestLine(line.clone())),
+        };
+        let version = Version::parse(version)?;
+        let headers = read_headers(r)?;
+        let body = if headers.list_contains("Transfer-Encoding", "chunked") {
+            read_chunked(r)?.0
+        } else {
+            match content_length(&headers)? {
+                Some(n) if n > 0 => {
+                    let mut body = vec![0u8; n];
+                    r.read_exact(&mut body)?;
+                    body
+                }
+                _ => Vec::new(),
+            }
+        };
+        Ok(Request {
+            method: method.to_owned(),
+            target: target.to_owned(),
+            version,
+            headers,
+            body,
+        })
+    }
+}
+
+/// An HTTP response, including any trailer headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub version: Version,
+    pub status: u16,
+    pub reason: String,
+    pub headers: HeaderMap,
+    pub body: Vec<u8>,
+    /// Trailer headers (sent/received only with chunked transfer-coding).
+    pub trailers: HeaderMap,
+}
+
+impl Response {
+    pub fn new(status: u16) -> Self {
+        Response {
+            version: Version::Http11,
+            status,
+            reason: reason_phrase(status).to_owned(),
+            headers: HeaderMap::new(),
+            body: Vec::new(),
+            trailers: HeaderMap::new(),
+        }
+    }
+
+    /// Whether this status code forbids a body.
+    pub fn bodiless_status(status: u16) -> bool {
+        matches!(status, 100..=199 | 204 | 304)
+    }
+
+    pub fn keep_alive(&self) -> bool {
+        match self.version {
+            Version::Http11 => !self.headers.list_contains("Connection", "close"),
+            Version::Http10 => self.headers.list_contains("Connection", "keep-alive"),
+        }
+    }
+
+    /// Serialize. With non-empty trailers (or an explicit
+    /// `Transfer-Encoding: chunked` header) the body is chunk-encoded and
+    /// the `Trailer` header is emitted, per the paper's Section 2.3 flow;
+    /// otherwise a `Content-Length` body is written.
+    pub fn write<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let chunked = (!self.trailers.is_empty()
+            || self.headers.list_contains("Transfer-Encoding", "chunked"))
+            && !Self::bodiless_status(self.status);
+        write!(
+            w,
+            "{} {} {}\r\n",
+            self.version.as_str(),
+            self.status,
+            self.reason
+        )?;
+        for (name, value) in self.headers.iter() {
+            // We compute framing headers ourselves.
+            if name.eq_ignore_ascii_case("Content-Length")
+                || name.eq_ignore_ascii_case("Transfer-Encoding")
+                || name.eq_ignore_ascii_case("Trailer")
+            {
+                continue;
+            }
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        if chunked {
+            w.write_all(b"Transfer-Encoding: chunked\r\n")?;
+            if !self.trailers.is_empty() {
+                let names: Vec<&str> = self.trailers.iter().map(|(n, _)| n).collect();
+                write!(w, "Trailer: {}\r\n", names.join(", "))?;
+            }
+            w.write_all(b"\r\n")?;
+            write_chunked(w, &self.body, &self.trailers, 8 * 1024)?;
+        } else if Self::bodiless_status(self.status) {
+            w.write_all(b"\r\n")?;
+        } else {
+            write!(w, "Content-Length: {}\r\n\r\n", self.body.len())?;
+            w.write_all(&self.body)?;
+        }
+        w.flush()
+    }
+
+    /// Parse a response. `head_request` suppresses body reading (responses
+    /// to HEAD carry headers only).
+    pub fn read<R: BufRead>(r: &mut R, head_request: bool) -> Result<Response, HttpError> {
+        let line = read_line(r)?;
+        let mut parts = line.splitn(3, ' ');
+        let version = Version::parse(parts.next().unwrap_or(""))
+            .map_err(|_| HttpError::BadStatusLine(line.clone()))?;
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| HttpError::BadStatusLine(line.clone()))?;
+        let reason = parts.next().unwrap_or("").to_owned();
+        let headers = read_headers(r)?;
+
+        let mut trailers = HeaderMap::new();
+        let body = if head_request || Self::bodiless_status(status) {
+            Vec::new()
+        } else if headers.list_contains("Transfer-Encoding", "chunked") {
+            let (body, t) = read_chunked(r)?;
+            trailers = t;
+            body
+        } else if let Some(n) = content_length(&headers)? {
+            let mut body = vec![0u8; n];
+            r.read_exact(&mut body)?;
+            body
+        } else {
+            // HTTP/1.0 style: body delimited by connection close.
+            let mut body = Vec::new();
+            r.take(MAX_BODY as u64 + 1).read_to_end(&mut body)?;
+            if body.len() > MAX_BODY {
+                return Err(HttpError::LimitExceeded("body size"));
+            }
+            body
+        };
+        Ok(Response {
+            version,
+            status,
+            reason,
+            headers,
+            body,
+            trailers,
+        })
+    }
+}
+
+/// Canonical reason phrases for the statuses this stack emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        404 => "Not Found",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn request_round_trip(req: &Request) -> Request {
+        let mut wire = Vec::new();
+        req.write(&mut wire).unwrap();
+        Request::read(&mut BufReader::new(wire.as_slice())).unwrap()
+    }
+
+    fn response_round_trip(resp: &Response, head: bool) -> Response {
+        let mut wire = Vec::new();
+        resp.write(&mut wire).unwrap();
+        Response::read(&mut BufReader::new(wire.as_slice()), head).unwrap()
+    }
+
+    #[test]
+    fn paper_example_request() {
+        let mut req = Request::new("GET", "/mafia.html");
+        req.headers.insert("host", "sig.com");
+        req.headers.insert("TE", "chunked");
+        req.headers.insert("Piggy-filter", "maxpiggy=10; rpv=\"3,4\"");
+        let got = request_round_trip(&req);
+        assert_eq!(got.method, "GET");
+        assert_eq!(got.target, "/mafia.html");
+        assert_eq!(got.headers.get("piggy-filter"), Some("maxpiggy=10; rpv=\"3,4\""));
+        assert!(got.body.is_empty());
+        assert!(got.keep_alive());
+    }
+
+    #[test]
+    fn request_with_body_gets_content_length() {
+        let mut req = Request::new("POST", "/submit");
+        req.body = b"payload".to_vec();
+        let mut wire = Vec::new();
+        req.write(&mut wire).unwrap();
+        let s = String::from_utf8(wire).unwrap();
+        assert!(s.contains("Content-Length: 7"));
+        let got = request_round_trip(&req);
+        assert_eq!(got.body, b"payload");
+    }
+
+    #[test]
+    fn bad_request_lines_rejected() {
+        for wire in ["GET /x\r\n\r\n", "\r\n\r\n", "GET /x HTTP/2.0 extra\r\n\r\n"] {
+            let r = Request::read(&mut BufReader::new(wire.as_bytes()));
+            assert!(r.is_err(), "{wire:?} should fail");
+        }
+        let r = Request::read(&mut BufReader::new(&b"GET /x HTTP/3.0\r\n\r\n"[..]));
+        assert!(matches!(r, Err(HttpError::BadVersion(_))));
+    }
+
+    #[test]
+    fn response_content_length_round_trip() {
+        let mut resp = Response::new(200);
+        resp.headers.insert("Content-Type", "text/html");
+        resp.body = b"<html>hi</html>".to_vec();
+        let got = response_round_trip(&resp, false);
+        assert_eq!(got.status, 200);
+        assert_eq!(got.reason, "OK");
+        assert_eq!(got.body, resp.body);
+        assert!(got.trailers.is_empty());
+    }
+
+    #[test]
+    fn response_with_trailers_uses_chunked() {
+        let mut resp = Response::new(200);
+        resp.body = b"data".to_vec();
+        resp.trailers
+            .insert("P-volume", "12; \"/a.html\" 886000000 100");
+        let mut wire = Vec::new();
+        resp.write(&mut wire).unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.contains("Trailer: P-volume"));
+        // Trailer value appears after the terminal chunk.
+        let zero_pos = text.find("\r\n0\r\n").expect("terminal chunk");
+        let pv_pos = text.find("P-volume: 12").expect("trailer present");
+        assert!(pv_pos > zero_pos, "piggyback must not delay the body");
+
+        let got = response_round_trip(&resp, false);
+        assert_eq!(got.body, b"data");
+        assert_eq!(
+            got.trailers.get("P-volume"),
+            Some("12; \"/a.html\" 886000000 100")
+        );
+    }
+
+    #[test]
+    fn not_modified_has_no_body() {
+        let mut resp = Response::new(304);
+        resp.trailers.insert("P-volume", "1;");
+        let mut wire = Vec::new();
+        resp.write(&mut wire).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        // 304 must not be chunked even if trailers were requested; the
+        // piggyback is dropped rather than the framing corrupted.
+        assert!(!text.contains("Transfer-Encoding"));
+        let got = Response::read(
+            &mut BufReader::new(text.as_bytes()),
+            false,
+        )
+        .unwrap();
+        assert_eq!(got.status, 304);
+        assert!(got.body.is_empty());
+    }
+
+    #[test]
+    fn head_response_body_suppressed() {
+        let mut resp = Response::new(200);
+        resp.headers.insert("Content-Length", "100");
+        let mut wire = Vec::new();
+        // Hand-write: headers claim 100 bytes but none follow (HEAD).
+        resp.write(&mut wire).unwrap();
+        // write() emits Content-Length: 0 since body is empty; build the
+        // HEAD wire manually instead.
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\n";
+        let got = Response::read(&mut BufReader::new(&wire[..]), true).unwrap();
+        assert!(got.body.is_empty());
+    }
+
+    #[test]
+    fn http10_close_delimited_body() {
+        let wire = b"HTTP/1.0 200 OK\r\n\r\nstream-until-close";
+        let got = Response::read(&mut BufReader::new(&wire[..]), false).unwrap();
+        assert_eq!(got.body, b"stream-until-close");
+        assert!(!got.keep_alive());
+    }
+
+    #[test]
+    fn keep_alive_semantics() {
+        let mut req = Request::new("GET", "/");
+        assert!(req.keep_alive(), "1.1 defaults to keep-alive");
+        req.headers.insert("Connection", "close");
+        assert!(!req.keep_alive());
+        let mut r10 = Request::new("GET", "/");
+        r10.version = Version::Http10;
+        assert!(!r10.keep_alive(), "1.0 defaults to close");
+        r10.headers.insert("Connection", "keep-alive");
+        assert!(r10.keep_alive());
+    }
+
+    #[test]
+    fn chunked_request_body() {
+        let wire = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n";
+        let got = Request::read(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(got.body, b"abc");
+    }
+}

@@ -1,0 +1,154 @@
+//! Low-level line and header-section reading, with protocol limits.
+
+use crate::error::HttpError;
+use crate::headers::HeaderMap;
+use std::io::BufRead;
+
+/// Maximum length of a single line (request line, status line, header).
+pub const MAX_LINE: usize = 16 * 1024;
+/// Maximum number of headers per section.
+pub const MAX_HEADERS: usize = 128;
+/// Maximum body size we will buffer.
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// Read one CRLF- (or bare-LF-) terminated line, without the terminator.
+/// EOF before any byte is `ConnectionClosed`; EOF mid-line likewise.
+pub fn read_line<R: BufRead>(r: &mut R) -> Result<String, HttpError> {
+    let mut buf = Vec::with_capacity(64);
+    loop {
+        let available = r.fill_buf()?;
+        if available.is_empty() {
+            return Err(HttpError::ConnectionClosed);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                buf.extend_from_slice(&available[..pos]);
+                r.consume(pos + 1);
+                break;
+            }
+            None => {
+                let len = available.len();
+                buf.extend_from_slice(available);
+                r.consume(len);
+                if buf.len() > MAX_LINE {
+                    return Err(HttpError::LimitExceeded("line length"));
+                }
+            }
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    if buf.len() > MAX_LINE {
+        return Err(HttpError::LimitExceeded("line length"));
+    }
+    String::from_utf8(buf).map_err(|e| HttpError::BadHeader(format!("non-UTF8 line: {e}")))
+}
+
+/// Read a header section (lines until the blank line).
+pub fn read_headers<R: BufRead>(r: &mut R) -> Result<HeaderMap, HttpError> {
+    let mut headers = HeaderMap::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::LimitExceeded("header count"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadHeader(line.clone()))?;
+        headers
+            .try_insert(name.trim(), value.trim())
+            .map_err(|_| HttpError::BadHeader(line.clone()))?;
+    }
+}
+
+/// Parse a `Content-Length` header if present.
+pub fn content_length(headers: &HeaderMap) -> Result<Option<usize>, HttpError> {
+    match headers.get("Content-Length") {
+        None => Ok(None),
+        Some(v) => {
+            let n: usize = v.trim().parse().map_err(|_| HttpError::BadContentLength)?;
+            if n > MAX_BODY {
+                return Err(HttpError::LimitExceeded("content length"));
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn reads_crlf_and_lf_lines() {
+        let mut r = BufReader::new(&b"one\r\ntwo\nthree\r\n"[..]);
+        assert_eq!(read_line(&mut r).unwrap(), "one");
+        assert_eq!(read_line(&mut r).unwrap(), "two");
+        assert_eq!(read_line(&mut r).unwrap(), "three");
+        assert!(matches!(
+            read_line(&mut r),
+            Err(HttpError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn line_split_across_buffer_boundaries() {
+        // A tiny BufReader forces fill_buf to return partial lines.
+        let data = b"abcdefghijklmnop\r\nqr\r\n".to_vec();
+        let mut r = BufReader::with_capacity(4, data.as_slice());
+        assert_eq!(read_line(&mut r).unwrap(), "abcdefghijklmnop");
+        assert_eq!(read_line(&mut r).unwrap(), "qr");
+    }
+
+    #[test]
+    fn line_length_limit() {
+        let long = vec![b'a'; MAX_LINE + 10];
+        let mut r = BufReader::new(long.as_slice());
+        assert!(matches!(
+            read_line(&mut r),
+            Err(HttpError::LimitExceeded(_)) | Err(HttpError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn header_section_parses() {
+        let wire = b"Host: example.com\r\nTE: chunked\r\nPiggy-filter: maxpiggy=10\r\n\r\n";
+        let mut r = BufReader::new(&wire[..]);
+        let h = read_headers(&mut r).unwrap();
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.get("host"), Some("example.com"));
+        assert_eq!(h.get("piggy-filter"), Some("maxpiggy=10"));
+    }
+
+    #[test]
+    fn header_without_colon_rejected() {
+        let mut r = BufReader::new(&b"nocolonhere\r\n\r\n"[..]);
+        assert!(matches!(
+            read_headers(&mut r),
+            Err(HttpError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn content_length_parsing() {
+        let mut h = HeaderMap::new();
+        assert_eq!(content_length(&h).unwrap(), None);
+        h.insert("Content-Length", "123");
+        assert_eq!(content_length(&h).unwrap(), Some(123));
+        h.set("Content-Length", "xyz");
+        assert!(matches!(
+            content_length(&h),
+            Err(HttpError::BadContentLength)
+        ));
+        h.set("Content-Length", &format!("{}", MAX_BODY + 1));
+        assert!(matches!(
+            content_length(&h),
+            Err(HttpError::LimitExceeded(_))
+        ));
+    }
+}

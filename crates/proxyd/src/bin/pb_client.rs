@@ -1,0 +1,87 @@
+//! `pb-client` — drive a request workload against an origin or proxy.
+//!
+//! Regenerates the same synthetic site as `pb-origin` (same `--pages` and
+//! `--seed`) and random-walks its pages.
+//!
+//! ```text
+//! pb-client --target 127.0.0.1:8081 [--pages 60] [--seed 42] [--requests 100]
+//! ```
+
+use piggyback_proxyd::client::run_sequence;
+use piggyback_trace::synth::site::{Site, SiteConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::net::SocketAddr;
+
+fn main() {
+    let mut target: Option<SocketAddr> = None;
+    let mut pages = 60usize;
+    let mut seed = 42u64;
+    let mut requests = 100usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--target" => target = Some(value("--target").parse().expect("host:port")),
+            "--pages" => pages = value("--pages").parse().expect("number"),
+            "--seed" => seed = value("--seed").parse().expect("number"),
+            "--requests" => requests = value("--requests").parse().expect("number"),
+            "--help" | "-h" => {
+                println!(
+                    "pb-client --target HOST:PORT [--pages 60] [--seed 42] [--requests 100]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let target = target.unwrap_or_else(|| {
+        eprintln!("--target is required");
+        std::process::exit(2);
+    });
+
+    // Rebuild the origin's site to learn its paths, then walk it.
+    let (table, site) = Site::generate(&SiteConfig {
+        n_pages: pages,
+        seed,
+        ..Default::default()
+    });
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC11E57);
+    let mut paths = Vec::with_capacity(requests);
+    let mut page = 0usize;
+    while paths.len() < requests {
+        let p = &site.pages[page];
+        paths.push(table.path(p.resource).expect("registered").to_owned());
+        for &img in &p.images {
+            if paths.len() >= requests {
+                break;
+            }
+            paths.push(table.path(img).expect("registered").to_owned());
+        }
+        page = if p.links.is_empty() {
+            rng.random_range(0..site.pages.len())
+        } else {
+            p.links[rng.random_range(0..p.links.len())]
+        };
+    }
+    paths.truncate(requests);
+
+    let report = run_sequence(target, &paths).expect("driver failed");
+    println!(
+        "requests={} ok={} 304={} errors={} bytes={} proxy_hits={} mean_latency_ms={:.2}",
+        report.requests,
+        report.ok,
+        report.not_modified,
+        report.errors,
+        report.bytes,
+        report.cache_hits_observed,
+        report.mean_latency_ms
+    );
+}

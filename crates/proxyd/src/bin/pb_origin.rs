@@ -1,0 +1,76 @@
+//! `pb-origin` — run a piggybacking origin server.
+//!
+//! ```text
+//! pb-origin [--port 8080] [--pages 60] [--level 1] [--seed 42]
+//!           [--volumes-file volumes.txt] [--print-paths]
+//! ```
+//!
+//! `--volumes-file` loads persisted probability volumes (see the
+//! `online_volumes` example) instead of maintaining directory volumes.
+
+use piggyback_proxyd::origin::{start_origin, OriginConfig, VolumeScheme};
+use piggyback_trace::synth::site::SiteConfig;
+
+fn main() {
+    let mut cfg = OriginConfig {
+        port: 8080,
+        site: SiteConfig {
+            n_pages: 60,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut print_paths = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--port" => cfg.port = value("--port").parse().expect("numeric port"),
+            "--pages" => cfg.site.n_pages = value("--pages").parse().expect("numeric pages"),
+            "--level" => {
+                let level = value("--level").parse().expect("numeric level");
+                cfg.volume_level = level;
+                cfg.volumes = VolumeScheme::Directory { level };
+            }
+            "--volumes-file" => {
+                cfg.volumes = VolumeScheme::ProbabilityFile(value("--volumes-file").into());
+            }
+            "--seed" => cfg.site.seed = value("--seed").parse().expect("numeric seed"),
+            "--print-paths" => print_paths = true,
+            "--help" | "-h" => {
+                println!(
+                    "pb-origin [--port 8080] [--pages 60] [--level 1] [--seed 42] [--print-paths]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let origin = start_origin(cfg).expect("failed to start origin");
+    eprintln!(
+        "pb-origin listening on {} ({} resources)",
+        origin.addr(),
+        origin.paths.len()
+    );
+    if print_paths {
+        for p in &origin.paths {
+            println!("{p}");
+        }
+    }
+    eprintln!("press Ctrl-C to stop; try:");
+    eprintln!(
+        "  curl -s http://{}{} -H 'TE: chunked' -H 'Piggy-filter: maxpiggy=5' --raw",
+        origin.addr(),
+        origin.paths[0]
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

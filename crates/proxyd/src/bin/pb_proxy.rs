@@ -1,0 +1,80 @@
+//! `pb-proxy` — run a caching proxy that speaks the piggyback protocol.
+//!
+//! ```text
+//! pb-proxy --origin 127.0.0.1:8080 [--port 8081] [--capacity-mb 32]
+//!          [--delta-secs 60] [--maxpiggy 10] [--no-rpv]
+//! ```
+//!
+//! Prints statistics every 10 seconds.
+
+use piggyback_core::filter::ProxyFilter;
+use piggyback_core::types::DurationMs;
+use piggyback_proxyd::proxy::{start_proxy, ProxyConfig};
+use std::net::SocketAddr;
+
+fn main() {
+    let mut origin: Option<SocketAddr> = None;
+    let mut port = 8081u16;
+    let mut capacity_mb = 32u64;
+    let mut delta_secs = 60u64;
+    let mut maxpiggy = 10u32;
+    let mut use_rpv = true;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--origin" => origin = Some(value("--origin").parse().expect("host:port")),
+            "--port" => port = value("--port").parse().expect("numeric port"),
+            "--capacity-mb" => capacity_mb = value("--capacity-mb").parse().expect("number"),
+            "--delta-secs" => delta_secs = value("--delta-secs").parse().expect("number"),
+            "--maxpiggy" => maxpiggy = value("--maxpiggy").parse().expect("number"),
+            "--no-rpv" => use_rpv = false,
+            "--help" | "-h" => {
+                println!(
+                    "pb-proxy --origin HOST:PORT [--port 8081] [--capacity-mb 32] \
+                     [--delta-secs 60] [--maxpiggy 10] [--no-rpv]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let origin = origin.unwrap_or_else(|| {
+        eprintln!("--origin is required");
+        std::process::exit(2);
+    });
+
+    let mut cfg = ProxyConfig::new(origin);
+    cfg.port = port;
+    cfg.capacity_bytes = capacity_mb * 1024 * 1024;
+    cfg.freshness = DurationMs::from_secs(delta_secs);
+    cfg.filter = ProxyFilter::builder().max_piggy(maxpiggy).build();
+    if !use_rpv {
+        cfg.rpv = None;
+    }
+
+    let proxy = start_proxy(cfg).expect("failed to start proxy");
+    eprintln!("pb-proxy listening on {} -> origin {origin}", proxy.addr());
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(10));
+        let s = proxy.stats();
+        eprintln!(
+            "req={} hit={} fresh={} valid={} 304={} pb_msgs={} freshened={} invalidated={}",
+            s.requests,
+            s.cache_hits,
+            s.fresh_hits,
+            s.validations,
+            s.not_modified,
+            s.piggyback_messages,
+            s.piggyback_freshens,
+            s.piggyback_invalidations
+        );
+    }
+}

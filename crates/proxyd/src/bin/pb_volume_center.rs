@@ -1,0 +1,65 @@
+//! `pb-volume-center` — run the transparent volume center relay.
+//!
+//! ```text
+//! pb-volume-center --origin 127.0.0.1:8080 [--port 8082] [--level 1]
+//! ```
+//!
+//! Put it between a piggyback-aware proxy and a piggyback-*oblivious*
+//! origin: the center learns volumes from observed traffic and injects
+//! `P-volume` trailers on the server's behalf.
+
+use piggyback_proxyd::volume_center::{start_volume_center, VolumeCenterConfig};
+use std::net::SocketAddr;
+
+fn main() {
+    let mut origin: Option<SocketAddr> = None;
+    let mut port = 8082u16;
+    let mut level = 1usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--origin" => origin = Some(value("--origin").parse().expect("host:port")),
+            "--port" => port = value("--port").parse().expect("numeric port"),
+            "--level" => level = value("--level").parse().expect("numeric level"),
+            "--help" | "-h" => {
+                println!("pb-volume-center --origin HOST:PORT [--port 8082] [--level 1]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let origin = origin.unwrap_or_else(|| {
+        eprintln!("--origin is required");
+        std::process::exit(2);
+    });
+
+    let center = start_volume_center(VolumeCenterConfig {
+        port,
+        origin,
+        volume_level: level,
+    })
+    .expect("failed to start volume center");
+    eprintln!(
+        "pb-volume-center listening on {} -> origin {origin}",
+        center.addr()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(10));
+        let s = center.stats();
+        eprintln!(
+            "observed={} piggybacks={} elements={} learned_resources={}",
+            s.requests,
+            s.piggybacks_sent,
+            s.elements_sent,
+            center.learned_resources()
+        );
+    }
+}

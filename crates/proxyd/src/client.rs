@@ -1,0 +1,134 @@
+//! A workload-driver HTTP client for the loopback deployments.
+
+use piggyback_httpwire::{HttpError, Request, Response};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// Aggregate results of a driven request sequence.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct ClientReport {
+    pub requests: u64,
+    pub ok: u64,
+    pub not_modified: u64,
+    pub errors: u64,
+    pub bytes: u64,
+    pub cache_hits_observed: u64,
+    pub mean_latency_ms: f64,
+}
+
+/// A persistent-connection HTTP client.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    addr: SocketAddr,
+}
+
+impl HttpClient {
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            addr,
+        })
+    }
+
+    /// One GET over the persistent connection, reconnecting once if the
+    /// peer dropped it.
+    pub fn get(&mut self, path: &str, extra: &[(&str, &str)]) -> Result<Response, HttpError> {
+        for attempt in 0..2 {
+            let mut req = Request::new("GET", path);
+            req.headers.insert("Host", "driver");
+            for (n, v) in extra {
+                req.headers.insert(n, v);
+            }
+            let result = req
+                .write(&mut self.writer)
+                .map_err(HttpError::from)
+                .and_then(|()| Response::read(&mut self.reader, false));
+            match result {
+                Ok(resp) => return Ok(resp),
+                Err(e) if attempt == 0 => {
+                    let stream = TcpStream::connect(self.addr)?;
+                    self.reader = BufReader::new(stream.try_clone()?);
+                    self.writer = BufWriter::new(stream);
+                    let _ = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop returns on second attempt")
+    }
+}
+
+/// Drive a sequence of paths through the target, collecting statistics.
+pub fn run_sequence(addr: SocketAddr, paths: &[String]) -> io::Result<ClientReport> {
+    let mut client = HttpClient::connect(addr)?;
+    let mut report = ClientReport::default();
+    let mut total_latency_ms = 0.0f64;
+    for path in paths {
+        report.requests += 1;
+        let start = Instant::now();
+        match client.get(path, &[]) {
+            Ok(resp) => {
+                total_latency_ms += start.elapsed().as_secs_f64() * 1000.0;
+                report.bytes += resp.body.len() as u64;
+                match resp.status {
+                    200 => report.ok += 1,
+                    304 => report.not_modified += 1,
+                    _ => report.errors += 1,
+                }
+                if resp.headers.get("X-Cache") == Some("HIT") {
+                    report.cache_hits_observed += 1;
+                }
+            }
+            Err(_) => report.errors += 1,
+        }
+    }
+    if report.requests > report.errors {
+        report.mean_latency_ms = total_latency_ms / (report.requests - report.errors) as f64;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::origin::{start_origin, OriginConfig};
+    use crate::proxy::{start_proxy, ProxyConfig};
+
+    #[test]
+    fn drives_origin_directly() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let paths: Vec<String> = origin.paths.iter().take(5).cloned().collect();
+        let report = run_sequence(origin.addr(), &paths).unwrap();
+        assert_eq!(report.requests, 5);
+        assert_eq!(report.ok, 5);
+        assert_eq!(report.errors, 0);
+        assert!(report.bytes > 0);
+        origin.stop();
+    }
+
+    #[test]
+    fn observes_proxy_cache_hits() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let proxy = start_proxy(ProxyConfig::new(origin.addr())).unwrap();
+        let p = origin.paths[0].clone();
+        let seq = vec![p.clone(), p.clone(), p];
+        let report = run_sequence(proxy.addr(), &seq).unwrap();
+        assert_eq!(report.ok, 3);
+        assert_eq!(report.cache_hits_observed, 2);
+        proxy.stop();
+        origin.stop();
+    }
+
+    #[test]
+    fn nonexistent_paths_counted_as_errors() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let report =
+            run_sequence(origin.addr(), &["/nope.html".to_owned()]).unwrap();
+        assert_eq!(report.errors, 1);
+        origin.stop();
+    }
+}

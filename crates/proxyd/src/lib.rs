@@ -1,0 +1,29 @@
+//! # piggyback-proxyd
+//!
+//! Runnable network components for the SIGCOMM '98 server-volumes
+//! reproduction, built on `std::net` TCP with a thread per connection:
+//!
+//! * [`origin`] — a piggybacking origin server serving a synthetic site
+//!   with If-Modified-Since validation and `P-volume` chunked trailers;
+//! * [`proxy`] — a caching proxy sending `Piggy-filter` headers upstream
+//!   and applying piggybacks to its cache;
+//! * [`volume_center`] — the paper's transparent volume center: an on-path
+//!   relay that learns volumes from observed traffic and piggybacks on
+//!   behalf of an oblivious origin;
+//! * [`client`] — a workload-driver HTTP client.
+//!
+//! Each component starts on an ephemeral loopback port and returns a
+//! handle exposing its address and live statistics, so end-to-end
+//! deployments compose in-process (see the `quickstart` example).
+
+pub mod client;
+pub mod origin;
+pub mod proxy;
+pub mod util;
+pub mod volume_center;
+
+pub use client::{run_sequence, ClientReport, HttpClient};
+pub use origin::{start_origin, OriginConfig, OriginHandle};
+pub use proxy::{start_proxy, ProxyConfig, ProxyHandle, ProxyStats};
+pub use util::{synth_body, Clock, ServerHandle};
+pub use volume_center::{start_volume_center, VolumeCenterConfig, VolumeCenterHandle};

@@ -1,0 +1,530 @@
+//! A piggybacking origin server over TCP.
+//!
+//! Serves a synthetic [`Site`] with HTTP/1.1 persistent connections,
+//! If-Modified-Since validation, and piggyback generation: when a request
+//! carries a `Piggy-filter` header and `TE: chunked`, the 200 response is
+//! chunk-encoded and the `P-volume` piggyback rides in the trailer
+//! (Section 2.3). On a 304 — which has no body to delay — the piggyback is
+//! sent as an ordinary response header instead.
+//!
+//! The magic prefix `/_pb/modify` bumps a resource's Last-Modified time,
+//! letting examples and tests exercise invalidation end-to-end.
+
+use crate::util::{serve, synth_body, Clock, ServerHandle};
+use parking_lot::Mutex;
+use piggyback_core::datetime::{
+    format_rfc1123, parse_rfc1123, timestamp_from_unix, unix_from_timestamp,
+    DEFAULT_TRACE_EPOCH_UNIX,
+};
+use piggyback_core::filter::{ProxyFilter, PIGGY_FILTER_HEADER};
+use piggyback_core::server::{PiggybackServer, ServerStats};
+use piggyback_core::types::{SourceId, Timestamp};
+use piggyback_core::volume::DirectoryVolumes;
+use piggyback_core::wire::{encode_p_volume, P_VOLUME_HEADER};
+use piggyback_httpwire::{Request, Response};
+use piggyback_trace::synth::site::{Site, SiteConfig};
+use std::io::{self, BufReader, BufWriter};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Which volume scheme the origin serves with.
+#[derive(Debug, Clone)]
+pub enum VolumeScheme {
+    /// Directory-prefix volumes at the given depth (maintained online).
+    Directory { level: usize },
+    /// Probability volumes loaded from a file written by
+    /// [`write_volumes`](piggyback_core::volume::write_volumes) — a server
+    /// restarting with yesterday's offline build.
+    ProbabilityFile(std::path::PathBuf),
+}
+
+/// Origin configuration.
+#[derive(Debug, Clone)]
+pub struct OriginConfig {
+    /// 0 picks an ephemeral port.
+    pub port: u16,
+    pub site: SiteConfig,
+    /// Directory-volume prefix depth (used when `volumes` is
+    /// `Directory`; kept for backwards compatibility).
+    pub volume_level: usize,
+    pub volumes: VolumeScheme,
+}
+
+impl Default for OriginConfig {
+    fn default() -> Self {
+        OriginConfig {
+            port: 0,
+            site: SiteConfig {
+                n_pages: 60,
+                ..Default::default()
+            },
+            volume_level: 1,
+            volumes: VolumeScheme::Directory { level: 1 },
+        }
+    }
+}
+
+type DynVolumes = Box<dyn piggyback_core::volume::VolumeProvider + Send>;
+
+struct OriginState {
+    server: PiggybackServer<DynVolumes>,
+    clock: Clock,
+}
+
+/// A running origin.
+pub struct OriginHandle {
+    handle: ServerHandle,
+    state: Arc<Mutex<OriginState>>,
+    /// Paths the synthetic site serves (useful for driving workloads).
+    pub paths: Vec<String>,
+}
+
+impl OriginHandle {
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.handle.addr
+    }
+
+    pub fn stats(&self) -> ServerStats {
+        self.state.lock().server.stats()
+    }
+
+    /// The server-side access count for `path` (includes counts absorbed
+    /// from `Piggy-report` headers).
+    pub fn access_count(&self, path: &str) -> u64 {
+        let st = self.state.lock();
+        st.server
+            .table()
+            .lookup(path)
+            .and_then(|r| st.server.table().meta(r))
+            .map_or(0, |m| m.access_count)
+    }
+
+    pub fn stop(self) {
+        self.handle.stop();
+    }
+}
+
+/// Start an origin serving a freshly generated site.
+pub fn start_origin(cfg: OriginConfig) -> io::Result<OriginHandle> {
+    let (table, site) = Site::generate(&cfg.site);
+    let volumes: DynVolumes = match &cfg.volumes {
+        VolumeScheme::Directory { level } => Box::new(DirectoryVolumes::new(*level)),
+        VolumeScheme::ProbabilityFile(path) => {
+            let file = std::fs::File::open(path)?;
+            let mut reader = BufReader::new(file);
+            // Volumes are loaded against a throwaway table; the paths are
+            // re-resolved when the server registers its resources below,
+            // so load into the *server's* table via a second pass.
+            let mut scratch = piggyback_core::table::ResourceTable::new();
+            let vols = piggyback_core::volume::read_volumes(&mut reader, &mut scratch)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            // Re-key implication ids from the scratch table onto the
+            // site's table by path.
+            let mut table_all = table.clone();
+            let mut remapped: std::collections::HashMap<
+                piggyback_core::types::ResourceId,
+                Vec<(piggyback_core::types::ResourceId, f32)>,
+            > = Default::default();
+            for (r, s2, p) in vols.iter() {
+                let (Some(pr), Some(ps)) = (scratch.path(r), scratch.path(s2)) else {
+                    continue;
+                };
+                let rid = table_all.register_path(pr, 0, Timestamp::ZERO);
+                let sid = table_all.register_path(ps, 0, Timestamp::ZERO);
+                remapped.entry(rid).or_default().push((sid, p));
+            }
+            Box::new(piggyback_core::volume::ProbabilityVolumes::from_implications(
+                vols.threshold(),
+                remapped,
+            ))
+        }
+    };
+    let mut server = PiggybackServer::new(volumes);
+    let mut paths = Vec::new();
+    for (_, path, meta) in table.iter() {
+        server.register(path, meta.size, Timestamp::ZERO, meta.content_type);
+        paths.push(path.to_owned());
+    }
+    let _ = site;
+    let state = Arc::new(Mutex::new(OriginState {
+        server,
+        clock: Clock::new(),
+    }));
+    let state2 = Arc::clone(&state);
+    let handle = serve(cfg.port, "origin", move |stream| {
+        let _ = handle_connection(stream, &state2);
+    })?;
+    Ok(OriginHandle {
+        handle,
+        state,
+        paths,
+    })
+}
+
+fn source_of(stream: &TcpStream) -> SourceId {
+    match stream.peer_addr() {
+        Ok(addr) => match addr.ip() {
+            std::net::IpAddr::V4(v4) => SourceId(u32::from(v4)),
+            std::net::IpAddr::V6(v6) => {
+                let o = v6.octets();
+                SourceId(u32::from_be_bytes([o[12], o[13], o[14], o[15]]))
+            }
+        },
+        Err(_) => SourceId(0),
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<Mutex<OriginState>>) -> io::Result<()> {
+    let source = source_of(&stream);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let req = match Request::read(&mut reader) {
+            Ok(r) => r,
+            Err(_) => return Ok(()), // closed or malformed: drop connection
+        };
+        let keep = req.keep_alive();
+        let resp = handle_request(&req, source, state);
+        resp.write(&mut writer)?;
+        if !keep {
+            return Ok(());
+        }
+    }
+}
+
+fn handle_request(
+    req: &Request,
+    source: SourceId,
+    state: &Arc<Mutex<OriginState>>,
+) -> Response {
+    if req.method != "GET" && req.method != "HEAD" {
+        return Response::new(400);
+    }
+    let path = strip_origin_form(&req.target);
+
+    // Statistics endpoint (plain text, for operators and tests).
+    if path == "/_pb/stats" {
+        let st = state.lock();
+        let stats = st.server.stats();
+        let mut resp = Response::new(200);
+        resp.headers.insert("Content-Type", "text/plain");
+        resp.body = format!(
+            "requests {}\npiggybacks_sent {}\nelements_sent {}\nsuppressed {}\navg_piggyback_size {:.3}\nresources {}\n",
+            stats.requests,
+            stats.piggybacks_sent,
+            stats.elements_sent,
+            stats.suppressed,
+            stats.avg_piggyback_size(),
+            st.server.table().len(),
+        )
+        .into_bytes();
+        return resp;
+    }
+
+    // Modification control endpoint. HTTP dates have one-second
+    // granularity, so the new Last-Modified must land on a *later second*
+    // than both the old value and any copy a client validated against.
+    if let Some(target) = path.strip_prefix("/_pb/modify") {
+        let mut st = state.lock();
+        let now = st.clock.now();
+        return match st.server.table().lookup(target) {
+            Some(r) => {
+                let prev = st
+                    .server
+                    .table()
+                    .meta(r)
+                    .map(|m| m.last_modified)
+                    .unwrap_or(Timestamp::ZERO);
+                let bumped = Timestamp::from_secs(now.as_secs().max(prev.as_secs()) + 1);
+                st.server.touch_modified(r, bumped);
+                Response::new(204)
+            }
+            None => Response::new(404),
+        };
+    }
+
+    let mut st = state.lock();
+    let now = st.clock.now();
+
+    // Section 5 extension: absorb the proxy's report of cache-served
+    // accesses before handling the request proper.
+    if let Some(v) = req.headers.get(piggyback_core::report::PIGGY_REPORT_HEADER) {
+        if let Ok(entries) = piggyback_core::report::parse_report(v) {
+            st.server.absorb_report(&entries, source, now);
+        }
+    }
+
+    let Some(resource) = st.server.table().lookup(path) else {
+        let mut resp = Response::new(404);
+        resp.body = b"not found\n".to_vec();
+        return resp;
+    };
+    st.server.record_access(resource, source, now);
+    let meta = *st.server.table().meta(resource).expect("registered");
+    let lm_unix = unix_from_timestamp(meta.last_modified, DEFAULT_TRACE_EPOCH_UNIX);
+
+    // Conditional request?
+    let not_modified = req
+        .headers
+        .get("If-Modified-Since")
+        .and_then(parse_rfc1123)
+        .map(|ims| {
+            meta.last_modified <= timestamp_from_unix(ims, DEFAULT_TRACE_EPOCH_UNIX)
+        })
+        .unwrap_or(false);
+
+    // Piggyback, if the proxy asked for one.
+    let wants_chunked = req.headers.list_contains("TE", "chunked");
+    let piggyback = req
+        .headers
+        .get(PIGGY_FILTER_HEADER)
+        .and_then(|v| ProxyFilter::parse(v).ok())
+        .and_then(|filter| st.server.piggyback(resource, &filter, now))
+        .and_then(|msg| encode_p_volume(&msg, st.server.table()).ok());
+
+    let mut resp = Response::new(if not_modified { 304 } else { 200 });
+    resp.headers
+        .insert("Last-Modified", &format_rfc1123(lm_unix));
+    resp.headers
+        .insert("Content-Type", content_type_str(meta.content_type));
+    if not_modified {
+        // No body to delay: piggyback as a plain header.
+        if let Some(pv) = piggyback {
+            resp.headers.insert(P_VOLUME_HEADER, &pv);
+        }
+        return resp;
+    }
+    if req.method != "HEAD" {
+        resp.body = synth_body(path, meta.size);
+    }
+    match piggyback {
+        Some(pv) if wants_chunked && req.method != "HEAD" => {
+            resp.trailers.insert(P_VOLUME_HEADER, &pv);
+        }
+        Some(pv) => {
+            // Peer cannot take trailers: header fallback.
+            resp.headers.insert(P_VOLUME_HEADER, &pv);
+        }
+        None => {}
+    }
+    resp
+}
+
+/// Reduce absolute-form targets (`http://host/path`) to origin-form.
+pub fn strip_origin_form(target: &str) -> &str {
+    if let Some(rest) = target.strip_prefix("http://") {
+        match rest.find('/') {
+            Some(i) => &rest[i..],
+            None => "/",
+        }
+    } else {
+        target
+    }
+}
+
+fn content_type_str(ct: piggyback_core::types::ContentType) -> &'static str {
+    use piggyback_core::types::ContentType;
+    match ct {
+        ContentType::Html => "text/html",
+        ContentType::Image => "image/gif",
+        ContentType::Text => "text/plain",
+        ContentType::Binary => "application/octet-stream",
+        ContentType::Other => "application/octet-stream",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader as StdBufReader;
+
+    fn connect(handle: &OriginHandle) -> (StdBufReader<TcpStream>, BufWriter<TcpStream>) {
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        (
+            StdBufReader::new(stream.try_clone().unwrap()),
+            BufWriter::new(stream),
+        )
+    }
+
+    fn get(
+        reader: &mut StdBufReader<TcpStream>,
+        writer: &mut BufWriter<TcpStream>,
+        path: &str,
+        extra: &[(&str, &str)],
+    ) -> Response {
+        let mut req = Request::new("GET", path);
+        req.headers.insert("Host", "origin.test");
+        for (n, v) in extra {
+            req.headers.insert(n, v);
+        }
+        req.write(writer).unwrap();
+        Response::read(reader, false).unwrap()
+    }
+
+    #[test]
+    fn serves_site_resources_with_piggyback_trailer() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let paths = origin.paths.clone();
+        let (mut r, mut w) = connect(&origin);
+
+        // Two requests in the same 1-level volume; the second should carry
+        // a piggyback trailer naming the first.
+        let same_dir: Vec<&String> = {
+            use std::collections::HashMap;
+            let mut by_dir: HashMap<&str, Vec<&String>> = HashMap::new();
+            for p in &paths {
+                by_dir
+                    .entry(piggyback_core::intern::directory_prefix(p, 1))
+                    .or_default()
+                    .push(p);
+            }
+            by_dir
+                .into_values()
+                .find(|v| v.len() >= 2)
+                .expect("some directory has two resources")
+        };
+
+        let resp1 = get(
+            &mut r,
+            &mut w,
+            same_dir[0],
+            &[("TE", "chunked"), ("Piggy-filter", "maxpiggy=10")],
+        );
+        assert_eq!(resp1.status, 200);
+        assert!(!resp1.body.is_empty());
+
+        let resp2 = get(
+            &mut r,
+            &mut w,
+            same_dir[1],
+            &[("TE", "chunked"), ("Piggy-filter", "maxpiggy=10")],
+        );
+        assert_eq!(resp2.status, 200);
+        let pv = resp2
+            .trailers
+            .get("P-volume")
+            .expect("piggyback trailer expected");
+        assert!(pv.contains(same_dir[0].as_str()), "piggyback {pv}");
+
+        origin.stop();
+    }
+
+    #[test]
+    fn conditional_requests_and_modification() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let path = origin.paths[0].clone();
+        let (mut r, mut w) = connect(&origin);
+
+        let resp = get(&mut r, &mut w, &path, &[]);
+        assert_eq!(resp.status, 200);
+        let lm = resp.headers.get("Last-Modified").unwrap().to_owned();
+
+        // Validate: 304 without body.
+        let resp = get(&mut r, &mut w, &path, &[("If-Modified-Since", &lm)]);
+        assert_eq!(resp.status, 304);
+        assert!(resp.body.is_empty());
+
+        // Modify, then the same validation gets a fresh 200.
+        let resp = get(&mut r, &mut w, &format!("/_pb/modify{path}"), &[]);
+        assert_eq!(resp.status, 204);
+        let resp = get(&mut r, &mut w, &path, &[("If-Modified-Since", &lm)]);
+        assert_eq!(resp.status, 200, "modified resource must be re-sent");
+
+        origin.stop();
+    }
+
+    #[test]
+    fn origin_serves_persisted_probability_volumes() {
+        use piggyback_core::types::{DurationMs, SourceId};
+        use piggyback_core::volume::{write_volumes, ProbabilityVolumesBuilder, SamplingMode};
+
+        // Offline: learn that the site's first page implies its second,
+        // then persist the volumes.
+        let site_cfg = SiteConfig {
+            n_pages: 20,
+            seed: 77,
+            ..Default::default()
+        };
+        let (table, site) = Site::generate(&site_cfg);
+        let a = site.pages[0].resource;
+        let b = site.pages[1].resource;
+        let mut builder =
+            ProbabilityVolumesBuilder::new(DurationMs::from_secs(300), 0.1, SamplingMode::Exact);
+        for i in 0..10u64 {
+            let base = Timestamp::from_secs(i * 10_000);
+            builder.observe(SourceId(1), a, base);
+            builder.observe(SourceId(1), b, base + DurationMs::from_secs(2));
+        }
+        let vols = builder.build(0.5);
+        let path = std::env::temp_dir().join(format!("pb-test-vols-{}.txt", std::process::id()));
+        let mut f = std::fs::File::create(&path).unwrap();
+        write_volumes(&vols, &table, &mut f).unwrap();
+        drop(f);
+
+        // Restart: the origin loads the persisted volumes.
+        let origin = start_origin(OriginConfig {
+            site: site_cfg,
+            volumes: VolumeScheme::ProbabilityFile(path.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        let a_path = table.path(a).unwrap().to_owned();
+        let b_path = table.path(b).unwrap().to_owned();
+        let (mut r, mut w) = connect(&origin);
+        let resp = get(
+            &mut r,
+            &mut w,
+            &a_path,
+            &[("TE", "chunked"), ("Piggy-filter", "maxpiggy=5")],
+        );
+        assert_eq!(resp.status, 200);
+        let pv = resp
+            .trailers
+            .get("P-volume")
+            .expect("persisted implication must piggyback immediately");
+        assert!(pv.contains(&b_path), "expected {b_path} in {pv}");
+        origin.stop();
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn stats_endpoint_reports_counters() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let (mut r, mut w) = connect(&origin);
+        get(&mut r, &mut w, &origin.paths[0].clone(), &[]);
+        let resp = get(&mut r, &mut w, "/_pb/stats", &[]);
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("requests 1"), "{text}");
+        assert!(text.contains("resources"), "{text}");
+        origin.stop();
+    }
+
+    #[test]
+    fn missing_resources_404() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let (mut r, mut w) = connect(&origin);
+        let resp = get(&mut r, &mut w, "/no/such/thing.html", &[]);
+        assert_eq!(resp.status, 404);
+        origin.stop();
+    }
+
+    #[test]
+    fn no_filter_no_piggyback() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let paths = origin.paths.clone();
+        let (mut r, mut w) = connect(&origin);
+        get(&mut r, &mut w, &paths[0], &[]);
+        let resp = get(&mut r, &mut w, &paths[1], &[]);
+        assert!(resp.trailers.get("P-volume").is_none());
+        assert!(resp.headers.get("P-volume").is_none());
+        origin.stop();
+    }
+
+    #[test]
+    fn absolute_form_targets_accepted() {
+        assert_eq!(strip_origin_form("http://h.com/a/b.html"), "/a/b.html");
+        assert_eq!(strip_origin_form("http://h.com"), "/");
+        assert_eq!(strip_origin_form("/plain"), "/plain");
+    }
+}

@@ -1,0 +1,575 @@
+//! A caching proxy that speaks the piggyback protocol upstream.
+//!
+//! The proxy half of Section 2.1: client requests are served from a
+//! byte-bounded cache with a freshness interval Δ; misses and expired
+//! entries go upstream with a `Piggy-filter` header (including the RPV
+//! list) and `TE: chunked`; `P-volume` piggybacks in the response trailer
+//! freshen or invalidate cached entries.
+
+use crate::origin::strip_origin_form;
+use crate::util::{serve, Clock, ServerHandle};
+use parking_lot::Mutex;
+use piggyback_core::datetime::{
+    format_rfc1123, parse_rfc1123, timestamp_from_unix, unix_from_timestamp,
+    DEFAULT_TRACE_EPOCH_UNIX,
+};
+use piggyback_core::filter::{ProxyFilter, PIGGY_FILTER_HEADER};
+use piggyback_core::proxy::{classify_element, ElementAction};
+use piggyback_core::report::{HitReporter, PIGGY_REPORT_HEADER};
+use piggyback_core::rpv::RpvList;
+use piggyback_core::table::ResourceTable;
+use piggyback_core::types::{DurationMs, ResourceId, Timestamp};
+use piggyback_core::wire::{decode_p_volume, P_VOLUME_HEADER};
+use piggyback_httpwire::{HeaderMap, Request, Response};
+use piggyback_webcache::{Cache, CacheEntry, PolicyKind};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// Proxy configuration.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// 0 picks an ephemeral port.
+    pub port: u16,
+    pub origin: SocketAddr,
+    pub capacity_bytes: u64,
+    /// The freshness interval Δ.
+    pub freshness: DurationMs,
+    /// Content-oriented filter template sent upstream.
+    pub filter: ProxyFilter,
+    /// RPV list bounds (length, timeout); `None` disables RPV.
+    pub rpv: Option<(usize, DurationMs)>,
+    pub policy: PolicyKind,
+    /// Report cache-served accesses upstream via `Piggy-report`
+    /// (Section 5 extension).
+    pub report_hits: bool,
+}
+
+impl ProxyConfig {
+    pub fn new(origin: SocketAddr) -> Self {
+        ProxyConfig {
+            port: 0,
+            origin,
+            capacity_bytes: 32 * 1024 * 1024,
+            freshness: DurationMs::from_secs(60),
+            filter: ProxyFilter::builder().max_piggy(10).build(),
+            rpv: Some((16, DurationMs::from_secs(30))),
+            policy: PolicyKind::Lru,
+            report_hits: true,
+        }
+    }
+}
+
+/// Counters exposed by a running proxy.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ProxyStats {
+    pub requests: u64,
+    pub cache_hits: u64,
+    pub fresh_hits: u64,
+    pub validations: u64,
+    pub not_modified: u64,
+    pub full_fetches: u64,
+    pub bytes_from_origin: u64,
+    pub piggyback_messages: u64,
+    pub piggybacked_elements: u64,
+    pub piggyback_freshens: u64,
+    pub piggyback_invalidations: u64,
+    pub prefetch_candidates: u64,
+    pub upstream_errors: u64,
+}
+
+struct ProxyState {
+    table: ResourceTable,
+    cache: Cache,
+    bodies: HashMap<ResourceId, Arc<Vec<u8>>>,
+    rpv: Option<RpvList>,
+    reporter: HitReporter,
+    stats: ProxyStats,
+    clock: Clock,
+    cfg: ProxyConfig,
+}
+
+/// A running proxy.
+pub struct ProxyHandle {
+    handle: ServerHandle,
+    state: Arc<Mutex<ProxyState>>,
+}
+
+impl ProxyHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr
+    }
+
+    pub fn stats(&self) -> ProxyStats {
+        self.state.lock().stats
+    }
+
+    pub fn stop(self) {
+        self.handle.stop();
+    }
+}
+
+/// Start the proxy.
+pub fn start_proxy(cfg: ProxyConfig) -> io::Result<ProxyHandle> {
+    let state = Arc::new(Mutex::new(ProxyState {
+        table: ResourceTable::new(),
+        cache: Cache::new(cfg.capacity_bytes, cfg.policy.build()),
+        bodies: HashMap::new(),
+        rpv: cfg.rpv.map(|(len, t)| RpvList::new(len, t)),
+        reporter: HitReporter::new(),
+        stats: ProxyStats::default(),
+        clock: Clock::new(),
+        cfg,
+    }));
+    let port = state.lock().cfg.port;
+    let state2 = Arc::clone(&state);
+    let handle = serve(port, "proxy", move |stream| {
+        let _ = handle_connection(stream, &state2);
+    })?;
+    Ok(ProxyHandle { handle, state })
+}
+
+struct Upstream {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn connect_upstream(origin: SocketAddr) -> io::Result<Upstream> {
+    let stream = TcpStream::connect(origin)?;
+    Ok(Upstream {
+        reader: BufReader::new(stream.try_clone()?),
+        writer: BufWriter::new(stream),
+    })
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<Mutex<ProxyState>>) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut upstream: Option<Upstream> = None;
+    loop {
+        let req = match Request::read(&mut reader) {
+            Ok(r) => r,
+            Err(_) => return Ok(()),
+        };
+        let keep = req.keep_alive();
+        let resp = handle_request(&req, state, &mut upstream);
+        resp.write(&mut writer)?;
+        if !keep {
+            return Ok(());
+        }
+    }
+}
+
+fn handle_request(
+    req: &Request,
+    state: &Arc<Mutex<ProxyState>>,
+    upstream: &mut Option<Upstream>,
+) -> Response {
+    if req.method != "GET" {
+        return Response::new(400);
+    }
+    let path = strip_origin_form(&req.target).to_owned();
+
+    // Phase 1: consult the cache.
+    enum Plan {
+        ServeFresh(Arc<Vec<u8>>, Timestamp),
+        Fetch {
+            validate_lm: Option<Timestamp>,
+            filter: ProxyFilter,
+            report: Option<String>,
+        },
+    }
+    let plan = {
+        let mut st = state.lock();
+        let now = st.clock.now();
+        st.stats.requests += 1;
+        let cached = st
+            .table
+            .lookup(&path)
+            .and_then(|r| st.cache.lookup(r, now).map(|snap| (r, snap)));
+        match cached {
+            Some((r, snap)) if snap.is_fresh(now) => {
+                st.stats.cache_hits += 1;
+                st.stats.fresh_hits += 1;
+                if st.cfg.report_hits {
+                    st.reporter.record_hit(&path);
+                }
+                let body = st
+                    .bodies
+                    .get(&r)
+                    .cloned()
+                    .unwrap_or_else(|| Arc::new(Vec::new()));
+                Plan::ServeFresh(body, snap.last_modified)
+            }
+            Some((_, snap)) => {
+                st.stats.cache_hits += 1;
+                st.stats.validations += 1;
+                let mut filter = st.cfg.filter.clone();
+                if let Some(rpv) = &mut st.rpv {
+                    filter.rpv = rpv.filter_ids(now);
+                }
+                Plan::Fetch {
+                    validate_lm: Some(snap.last_modified),
+                    filter,
+                    report: st.reporter.drain_header(),
+                }
+            }
+            None => {
+                let mut filter = st.cfg.filter.clone();
+                if let Some(rpv) = &mut st.rpv {
+                    filter.rpv = rpv.filter_ids(now);
+                }
+                Plan::Fetch {
+                    validate_lm: None,
+                    filter,
+                    report: st.reporter.drain_header(),
+                }
+            }
+        }
+    };
+
+    let (validate_lm, filter, report) = match plan {
+        Plan::ServeFresh(body, lm) => {
+            return cached_response(&body, lm, "HIT");
+        }
+        Plan::Fetch {
+            validate_lm,
+            filter,
+            report,
+        } => (validate_lm, filter, report),
+    };
+
+    // Phase 2: upstream exchange (no lock held).
+    let origin = state.lock().cfg.origin;
+    let resp = exchange_upstream(upstream, origin, &path, validate_lm, &filter, report.as_deref());
+    let resp = match resp {
+        Ok(r) => r,
+        Err(_) => {
+            state.lock().stats.upstream_errors += 1;
+            return Response::new(502);
+        }
+    };
+
+    // Phase 3: update cache and answer the client.
+    let mut st = state.lock();
+    let now = st.clock.now();
+    let delta = st.cfg.freshness;
+    let result = match resp.status {
+        304 => {
+            st.stats.not_modified += 1;
+            let r = st.table.lookup(&path).expect("validated entries are known");
+            st.cache.freshen(r, now + delta);
+            let body = st
+                .bodies
+                .get(&r)
+                .cloned()
+                .unwrap_or_else(|| Arc::new(Vec::new()));
+            let lm = validate_lm.unwrap_or(Timestamp::ZERO);
+            cached_response(&body, lm, "VALIDATED")
+        }
+        200 => {
+            st.stats.full_fetches += 1;
+            st.stats.bytes_from_origin += resp.body.len() as u64;
+            let lm = resp
+                .headers
+                .get("Last-Modified")
+                .and_then(parse_rfc1123)
+                .map(|u| timestamp_from_unix(u, DEFAULT_TRACE_EPOCH_UNIX))
+                .unwrap_or(now);
+            let size = resp.body.len() as u64;
+            let r = st.table.register_path(&path, size, lm);
+            let evicted = st.cache.insert(
+                r,
+                CacheEntry {
+                    size,
+                    last_modified: lm,
+                    expires: now + delta,
+                    prefetched: false,
+                    used: true,
+                },
+                now,
+            );
+            let body = Arc::new(resp.body.clone());
+            st.bodies.insert(r, Arc::clone(&body));
+            for v in evicted {
+                st.bodies.remove(&v);
+            }
+            cached_response(&body, lm, "MISS")
+        }
+        _ => {
+            // Pass through errors untouched (and uncached).
+            let mut out = Response::new(resp.status);
+            out.body = resp.body.clone();
+            out
+        }
+    };
+
+    // Piggyback processing (trailer on 200, header on 304).
+    let pv = resp
+        .trailers
+        .get(P_VOLUME_HEADER)
+        .or_else(|| resp.headers.get(P_VOLUME_HEADER));
+    if let Some(pv) = pv {
+        if let Ok(wire) = decode_p_volume(pv) {
+            st.stats.piggyback_messages += 1;
+            st.stats.piggybacked_elements += wire.elements.len() as u64;
+            if let Some(rpv) = &mut st.rpv {
+                rpv.record(wire.volume, now);
+            }
+            for e in &wire.elements {
+                let r = st.table.register_path(&e.path, e.size, e.last_modified);
+                let cached_lm = st.cache.peek(r).map(|c| c.last_modified);
+                match classify_element(cached_lm, e.last_modified) {
+                    ElementAction::Freshen => {
+                        st.cache.freshen(r, now + delta);
+                        st.cache.note_piggyback_mention(r, now);
+                        st.stats.piggyback_freshens += 1;
+                    }
+                    ElementAction::Invalidate => {
+                        st.cache.remove(r);
+                        st.bodies.remove(&r);
+                        st.stats.piggyback_invalidations += 1;
+                    }
+                    ElementAction::PrefetchCandidate => {
+                        st.stats.prefetch_candidates += 1;
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+fn exchange_upstream(
+    upstream: &mut Option<Upstream>,
+    origin: SocketAddr,
+    path: &str,
+    validate_lm: Option<Timestamp>,
+    filter: &ProxyFilter,
+    report: Option<&str>,
+) -> Result<Response, piggyback_httpwire::HttpError> {
+    for attempt in 0..2 {
+        if upstream.is_none() {
+            *upstream = Some(connect_upstream(origin)?);
+        }
+        let conn = upstream.as_mut().expect("just connected");
+        let mut req = Request::new("GET", path);
+        req.headers.insert("Host", "origin");
+        req.headers.insert("TE", "chunked");
+        req.headers
+            .insert(PIGGY_FILTER_HEADER, &filter.to_header_value());
+        if let Some(r) = report {
+            req.headers.insert(PIGGY_REPORT_HEADER, r);
+        }
+        if let Some(lm) = validate_lm {
+            let unix = unix_from_timestamp(lm, DEFAULT_TRACE_EPOCH_UNIX);
+            req.headers
+                .insert("If-Modified-Since", &format_rfc1123(unix));
+        }
+        let io_result = req
+            .write(&mut conn.writer)
+            .map_err(piggyback_httpwire::HttpError::from)
+            .and_then(|()| Response::read(&mut conn.reader, false));
+        match io_result {
+            Ok(resp) => return Ok(resp),
+            Err(e) if attempt == 0 => {
+                // Stale persistent connection: reconnect once.
+                let _ = e;
+                *upstream = None;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("loop returns on second attempt")
+}
+
+fn cached_response(body: &Arc<Vec<u8>>, lm: Timestamp, x_cache: &str) -> Response {
+    let mut resp = Response::new(200);
+    let unix = unix_from_timestamp(lm, DEFAULT_TRACE_EPOCH_UNIX);
+    resp.headers.insert("Last-Modified", &format_rfc1123(unix));
+    resp.headers.insert("X-Cache", x_cache);
+    resp.body = body.as_ref().clone();
+    resp
+}
+
+/// Build a `HeaderMap` holding the standard piggyback request headers —
+/// handy for tests and the client driver.
+pub fn piggyback_request_headers(filter: &ProxyFilter) -> HeaderMap {
+    let mut h = HeaderMap::new();
+    h.insert("TE", "chunked");
+    h.insert(PIGGY_FILTER_HEADER, &filter.to_header_value());
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::origin::{start_origin, OriginConfig};
+
+    fn get(addr: SocketAddr, path: &str) -> Response {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let mut req = Request::new("GET", path);
+        req.headers.insert("Host", "proxy.test");
+        req.headers.insert("Connection", "close");
+        req.write(&mut writer).unwrap();
+        Response::read(&mut reader, false).unwrap()
+    }
+
+    #[test]
+    fn proxy_caches_and_validates() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let proxy = start_proxy(ProxyConfig::new(origin.addr())).unwrap();
+        let path = origin.paths[0].clone();
+
+        let r1 = get(proxy.addr(), &path);
+        assert_eq!(r1.status, 200);
+        assert_eq!(r1.headers.get("X-Cache"), Some("MISS"));
+
+        let r2 = get(proxy.addr(), &path);
+        assert_eq!(r2.status, 200);
+        assert_eq!(r2.headers.get("X-Cache"), Some("HIT"));
+        assert_eq!(r1.body, r2.body);
+
+        let stats = proxy.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.fresh_hits, 1);
+        assert_eq!(stats.full_fetches, 1);
+
+        proxy.stop();
+        origin.stop();
+    }
+
+    #[test]
+    fn proxy_receives_piggybacks() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let proxy = start_proxy(ProxyConfig::new(origin.addr())).unwrap();
+        // Walk a handful of pages; volume-mates generate piggybacks.
+        for p in origin.paths.iter().take(12) {
+            let r = get(proxy.addr(), p);
+            assert_eq!(r.status, 200);
+        }
+        let stats = proxy.stats();
+        assert!(
+            stats.piggyback_messages > 0,
+            "expected piggybacks, stats: {stats:?}"
+        );
+        proxy.stop();
+        origin.stop();
+    }
+
+    #[test]
+    fn proxy_passes_404_through_uncached() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let proxy = start_proxy(ProxyConfig::new(origin.addr())).unwrap();
+        let r = get(proxy.addr(), "/definitely/not/here.html");
+        assert_eq!(r.status, 404);
+        let r = get(proxy.addr(), "/definitely/not/here.html");
+        assert_eq!(r.status, 404);
+        assert_eq!(proxy.stats().fresh_hits, 0);
+        proxy.stop();
+        origin.stop();
+    }
+
+    #[test]
+    fn expired_entries_validate_with_304_and_revive() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let mut cfg = ProxyConfig::new(origin.addr());
+        cfg.freshness = DurationMs::from_millis(1); // everything expires at once
+        let proxy = start_proxy(cfg).unwrap();
+        let path = origin.paths[0].clone();
+
+        let r1 = get(proxy.addr(), &path);
+        assert_eq!(r1.headers.get("X-Cache"), Some("MISS"));
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let r2 = get(proxy.addr(), &path);
+        assert_eq!(
+            r2.headers.get("X-Cache"),
+            Some("VALIDATED"),
+            "expired entry must be revalidated, not refetched"
+        );
+        assert_eq!(r1.body, r2.body, "304 revives the cached body");
+        let stats = proxy.stats();
+        assert_eq!(stats.validations, 1);
+        assert_eq!(stats.not_modified, 1);
+        assert_eq!(stats.full_fetches, 1);
+        proxy.stop();
+        origin.stop();
+    }
+
+    #[test]
+    fn modified_resource_refetched_on_validation() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let mut cfg = ProxyConfig::new(origin.addr());
+        cfg.freshness = DurationMs::from_millis(1);
+        let proxy = start_proxy(cfg).unwrap();
+        let path = origin.paths[0].clone();
+
+        get(proxy.addr(), &path);
+        // Bump the origin's Last-Modified.
+        let r = get(proxy.addr(), &format!("/_pb/modify{path}"));
+        assert_eq!(r.status, 204);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let r2 = get(proxy.addr(), &path);
+        assert_eq!(
+            r2.headers.get("X-Cache"),
+            Some("MISS"),
+            "modified resource comes back as a fresh 200"
+        );
+        let stats = proxy.stats();
+        assert_eq!(stats.not_modified, 0);
+        assert!(stats.full_fetches >= 2);
+        proxy.stop();
+        origin.stop();
+    }
+
+    #[test]
+    fn piggyback_request_headers_helper() {
+        let f = ProxyFilter::builder().max_piggy(5).build();
+        let h = piggyback_request_headers(&f);
+        assert_eq!(h.get("TE"), Some("chunked"));
+        assert_eq!(h.get(PIGGY_FILTER_HEADER), Some("maxpiggy=5"));
+    }
+
+    #[test]
+    fn hit_reports_reach_the_origin() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let proxy = start_proxy(ProxyConfig::new(origin.addr())).unwrap();
+        let hot = origin.paths[0].clone();
+        let other = origin.paths[1].clone();
+
+        // Warm the cache, then hit it repeatedly: hits accumulate in the
+        // proxy's reporter.
+        get(proxy.addr(), &hot);
+        let origin_count_before = {
+            // Access count at the origin after the single real fetch.
+            origin.stats().requests
+        };
+        for _ in 0..5 {
+            let r = get(proxy.addr(), &hot);
+            assert_eq!(r.headers.get("X-Cache"), Some("HIT"));
+        }
+        // The next upstream request (a miss for `other`) drains the report.
+        get(proxy.addr(), &other);
+
+        // The origin saw only two real requests...
+        assert_eq!(origin.stats().requests, origin_count_before + 1);
+        // ...but its access count for `hot` includes the 5 reported cache
+        // hits: 1 real fetch + 5 reported = 6.
+        assert_eq!(origin.access_count(&hot), 6);
+        proxy.stop();
+        origin.stop();
+    }
+
+    #[test]
+    fn unreachable_origin_yields_502() {
+        let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let proxy = start_proxy(ProxyConfig::new(dead)).unwrap();
+        let r = get(proxy.addr(), "/x");
+        assert_eq!(r.status, 502);
+        assert_eq!(proxy.stats().upstream_errors, 1);
+        proxy.stop();
+    }
+}

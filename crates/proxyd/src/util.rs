@@ -1,0 +1,149 @@
+//! Shared plumbing for the network daemons: wall-clock mapping, server
+//! lifecycle, and deterministic body synthesis.
+
+use piggyback_core::types::Timestamp;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Maps wall-clock time to protocol [`Timestamp`]s (milliseconds since the
+/// process's own epoch).
+#[derive(Debug, Clone)]
+pub struct Clock {
+    start: Instant,
+}
+
+impl Clock {
+    pub fn new() -> Self {
+        Clock {
+            start: Instant::now(),
+        }
+    }
+
+    pub fn now(&self) -> Timestamp {
+        Timestamp::from_millis(self.start.elapsed().as_millis() as u64)
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Handle to a running accept loop. Dropping does NOT stop the server;
+/// call [`ServerHandle::stop`].
+pub struct ServerHandle {
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Signal shutdown and wait for the accept loop to exit.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock accept() with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Bind `127.0.0.1:port` (0 = ephemeral) and run `handler` in a thread per
+/// connection until the handle is stopped.
+pub fn serve<F>(port: u16, name: &'static str, handler: F) -> io::Result<ServerHandle>
+where
+    F: Fn(TcpStream) + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handler = Arc::new(handler);
+    let join = std::thread::Builder::new()
+        .name(format!("{name}-accept"))
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        let h = Arc::clone(&handler);
+                        let _ = std::thread::Builder::new()
+                            .name(format!("{name}-conn"))
+                            .spawn(move || h(stream));
+                    }
+                    Err(_) => continue,
+                }
+            }
+        })?;
+    Ok(ServerHandle {
+        addr,
+        stop,
+        join: Some(join),
+    })
+}
+
+/// Maximum body size the live daemons materialize (big resources are
+/// truncated to keep loopback demos fast; metadata keeps the true size).
+pub const MAX_LIVE_BODY: usize = 256 * 1024;
+
+/// Deterministic body for `path` of (approximately) `size` bytes.
+pub fn synth_body(path: &str, size: u64) -> Vec<u8> {
+    let size = (size as usize).min(MAX_LIVE_BODY);
+    let pattern = format!("<!-- {path} -->\n");
+    let mut body = Vec::with_capacity(size);
+    while body.len() < size {
+        let remain = size - body.len();
+        let take = remain.min(pattern.len());
+        body.extend_from_slice(&pattern.as_bytes()[..take]);
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn clock_is_monotonic() {
+        let c = Clock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn synth_body_size_and_determinism() {
+        let a = synth_body("/x.html", 1000);
+        let b = synth_body("/x.html", 1000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(synth_body("/x", 0).len(), 0);
+        // Oversize requests are truncated to the live cap.
+        assert_eq!(synth_body("/big", 10_000_000).len(), MAX_LIVE_BODY);
+    }
+
+    #[test]
+    fn serve_accepts_and_stops() {
+        let handle = serve(0, "echo", |mut s| {
+            let mut buf = [0u8; 5];
+            let _ = s.read_exact(&mut buf);
+            let _ = s.write_all(&buf);
+        })
+        .unwrap();
+        let mut c = TcpStream::connect(handle.addr).unwrap();
+        c.write_all(b"hello").unwrap();
+        let mut back = [0u8; 5];
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"hello");
+        handle.stop();
+    }
+}

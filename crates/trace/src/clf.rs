@@ -1,0 +1,279 @@
+//! Common Log Format I/O for server logs.
+//!
+//! Lines look like:
+//!
+//! ```text
+//! 10.0.12.34 - - [28/Jan/1998:00:00:09 +0000] "GET /a/b.html HTTP/1.0" 200 5243
+//! ```
+//!
+//! The synthetic source id is embedded in a `10.x.y.z` address so that a
+//! written log parses back to the same source ids. CLF has one-second
+//! granularity, so sub-second timing is truncated on write; round trips are
+//! exact for second-aligned logs.
+
+use crate::record::{Method, ServerLog, ServerLogEntry};
+use piggyback_core::datetime::{format_clf, parse_clf, timestamp_from_unix, unix_from_timestamp};
+use piggyback_core::table::ResourceTable;
+use piggyback_core::types::{SourceId, Timestamp};
+use std::fmt;
+use std::io::{self, Write};
+
+/// Render a source id as a 10.0.0.0/8 address.
+pub fn source_to_addr(src: SourceId) -> String {
+    let id = src.0;
+    format!(
+        "10.{}.{}.{}",
+        (id >> 16) & 0xff,
+        (id >> 8) & 0xff,
+        id & 0xff
+    )
+}
+
+/// Recover a source id from an address written by [`source_to_addr`]; other
+/// addresses hash into the same space.
+pub fn addr_to_source(addr: &str) -> SourceId {
+    let mut octets = [0u32; 4];
+    let mut ok = true;
+    for (i, part) in addr.split('.').enumerate() {
+        if i >= 4 {
+            ok = false;
+            break;
+        }
+        match part.parse::<u32>() {
+            Ok(v) if v < 256 => octets[i] = v,
+            _ => {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok && octets[0] == 10 {
+        SourceId((octets[1] << 16) | (octets[2] << 8) | octets[3])
+    } else {
+        // Stable fallback for foreign addresses.
+        let mut h: u32 = 2166136261;
+        for b in addr.bytes() {
+            h ^= b as u32;
+            h = h.wrapping_mul(16777619);
+        }
+        SourceId(h & 0x00ff_ffff)
+    }
+}
+
+/// Write `log` in Common Log Format.
+pub fn write_clf<W: Write>(log: &ServerLog, w: &mut W) -> io::Result<()> {
+    for e in &log.entries {
+        let path = log
+            .table
+            .path(e.resource)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unknown resource id"))?;
+        let unix = unix_from_timestamp(e.time, log.epoch_unix);
+        writeln!(
+            w,
+            "{} - - [{}] \"{} {} HTTP/1.0\" {} {}",
+            source_to_addr(e.client),
+            format_clf(unix),
+            e.method.as_str(),
+            path,
+            e.status,
+            e.bytes
+        )?;
+    }
+    Ok(())
+}
+
+/// Render a log to a CLF string.
+pub fn to_clf_string(log: &ServerLog) -> String {
+    let mut buf = Vec::new();
+    write_clf(log, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("CLF output is ASCII")
+}
+
+/// Error parsing a CLF line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClfParseError {
+    pub line: usize,
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ClfParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CLF parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ClfParseError {}
+
+/// Parse a CLF log. Resources are interned into a fresh table with sizes
+/// taken from the response byte counts.
+pub fn parse_clf_log(
+    name: &str,
+    input: &str,
+    epoch_unix: i64,
+) -> Result<ServerLog, ClfParseError> {
+    let mut table = ResourceTable::new();
+    let mut entries = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        entries.push(parse_line(line, i + 1, epoch_unix, &mut table)?);
+    }
+    Ok(ServerLog {
+        name: name.to_owned(),
+        epoch_unix,
+        table,
+        entries,
+    })
+}
+
+fn parse_line(
+    line: &str,
+    lineno: usize,
+    epoch_unix: i64,
+    table: &mut ResourceTable,
+) -> Result<ServerLogEntry, ClfParseError> {
+    let err = |reason| ClfParseError {
+        line: lineno,
+        reason,
+    };
+    let (addr, rest) = line.split_once(' ').ok_or(err("missing address"))?;
+    let open = rest.find('[').ok_or(err("missing timestamp"))?;
+    let close = rest[open..].find(']').ok_or(err("unterminated timestamp"))? + open;
+    let unix = parse_clf(&rest[open + 1..close]).ok_or(err("bad timestamp"))?;
+    let after = &rest[close + 1..];
+    let q1 = after.find('"').ok_or(err("missing request line"))?;
+    let q2 = after[q1 + 1..]
+        .find('"')
+        .ok_or(err("unterminated request line"))?
+        + q1
+        + 1;
+    let reqline = &after[q1 + 1..q2];
+    let mut parts = reqline.split_ascii_whitespace();
+    let method = Method::parse(parts.next().ok_or(err("empty request line"))?)
+        .ok_or(err("unknown method"))?;
+    let path = parts.next().ok_or(err("missing path"))?;
+    let mut tail = after[q2 + 1..].split_ascii_whitespace();
+    let status: u16 = tail
+        .next()
+        .ok_or(err("missing status"))?
+        .parse()
+        .map_err(|_| err("bad status"))?;
+    let bytes: u64 = match tail.next().ok_or(err("missing bytes"))? {
+        "-" => 0,
+        b => b.parse().map_err(|_| err("bad byte count"))?,
+    };
+
+    let time = timestamp_from_unix(unix, epoch_unix);
+    let resource = table.register_path(path, bytes, Timestamp::ZERO);
+    Ok(ServerLogEntry {
+        time,
+        client: addr_to_source(addr),
+        resource,
+        method,
+        status,
+        bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piggyback_core::datetime::DEFAULT_TRACE_EPOCH_UNIX;
+    use piggyback_core::types::ResourceId;
+
+    fn sample_log() -> ServerLog {
+        let mut table = ResourceTable::new();
+        let a = table.register_path("/a/b.html", 5243, Timestamp::ZERO);
+        let b = table.register_path("/a/c.gif", 10230, Timestamp::ZERO);
+        ServerLog {
+            name: "sample".into(),
+            epoch_unix: DEFAULT_TRACE_EPOCH_UNIX,
+            table,
+            entries: vec![
+                ServerLogEntry {
+                    time: Timestamp::from_secs(9),
+                    client: SourceId(0x01_02_03),
+                    resource: a,
+                    method: Method::Get,
+                    status: 200,
+                    bytes: 5243,
+                },
+                ServerLogEntry {
+                    time: Timestamp::from_secs(12),
+                    client: SourceId(7),
+                    resource: b,
+                    method: Method::Post,
+                    status: 404,
+                    bytes: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn write_shape() {
+        let s = to_clf_string(&sample_log());
+        let first = s.lines().next().unwrap();
+        assert_eq!(
+            first,
+            "10.1.2.3 - - [28/Jan/1998:00:00:09 +0000] \"GET /a/b.html HTTP/1.0\" 200 5243"
+        );
+    }
+
+    #[test]
+    fn round_trip() {
+        let log = sample_log();
+        let s = to_clf_string(&log);
+        let parsed = parse_clf_log("sample", &s, DEFAULT_TRACE_EPOCH_UNIX).unwrap();
+        assert_eq!(parsed.entries.len(), 2);
+        for (a, b) in log.entries.iter().zip(&parsed.entries) {
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.client, b.client);
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(
+                log.table.path(a.resource),
+                parsed.table.path(b.resource)
+            );
+        }
+    }
+
+    #[test]
+    fn addr_round_trip() {
+        for id in [0u32, 7, 0x01_02_03, 0x00ff_ffff] {
+            assert_eq!(addr_to_source(&source_to_addr(SourceId(id))), SourceId(id));
+        }
+        // Foreign addresses map deterministically.
+        assert_eq!(addr_to_source("192.168.0.1"), addr_to_source("192.168.0.1"));
+        assert_ne!(addr_to_source("192.168.0.1"), addr_to_source("192.168.0.2"));
+    }
+
+    #[test]
+    fn parse_skips_blank_and_comment_lines() {
+        let input = "\n# comment\n10.0.0.1 - - [28/Jan/1998:00:00:01 +0000] \"GET /x HTTP/1.0\" 200 10\n";
+        let log = parse_clf_log("t", input, DEFAULT_TRACE_EPOCH_UNIX).unwrap();
+        assert_eq!(log.entries.len(), 1);
+        assert_eq!(log.table.path(ResourceId(0)), Some("/x"));
+    }
+
+    #[test]
+    fn parse_dash_bytes() {
+        let input = "10.0.0.1 - - [28/Jan/1998:00:00:01 +0000] \"GET /x HTTP/1.0\" 304 -";
+        let log = parse_clf_log("t", input, DEFAULT_TRACE_EPOCH_UNIX).unwrap();
+        assert_eq!(log.entries[0].bytes, 0);
+        assert_eq!(log.entries[0].status, 304);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let input = "10.0.0.1 - - [28/Jan/1998:00:00:01 +0000] \"GET /x HTTP/1.0\" 200 10\ngarbage";
+        let e = parse_clf_log("t", input, DEFAULT_TRACE_EPOCH_UNIX).unwrap_err();
+        assert_eq!(e.line, 2);
+        let bad_method =
+            "10.0.0.1 - - [28/Jan/1998:00:00:01 +0000] \"BREW /x HTTP/1.0\" 200 10";
+        assert!(parse_clf_log("t", bad_method, DEFAULT_TRACE_EPOCH_UNIX).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # piggyback-trace
+//!
+//! Web log records, Common Log Format I/O, and synthetic log generation
+//! for the SIGCOMM '98 server-volumes reproduction.
+//!
+//! The paper evaluates on proprietary client logs (Digital, AT&T) and
+//! server logs (AIUSA, Apache, Marimba, Sun). Those cannot be obtained, so
+//! this crate provides:
+//!
+//! * [`record`] — [`record::ServerLog`] and [`record::ClientTrace`] types
+//!   with the summary methods the evaluation needs;
+//! * [`clf`] — Common Log Format reading and writing, so real logs can be
+//!   substituted whenever available;
+//! * [`synth`] — generators for synthetic sites, server logs, client
+//!   traces, and resource-modification streams;
+//! * [`profiles`] — named configurations calibrated to the paper's
+//!   Tables 2–3 (AIUSA / Apache / Sun / Marimba / AT&T / Digital);
+//! * [`stats`] — the Table 2/3 summary computations.
+//!
+//! ```
+//! use piggyback_trace::profiles;
+//! use piggyback_trace::stats::server_log_stats;
+//!
+//! // A miniature AIUSA-profile server log (deterministic).
+//! let log = profiles::aiusa(0.01).generate();
+//! assert!(log.is_time_ordered());
+//! let stats = server_log_stats(&log);
+//! assert!(stats.requests > 0);
+//! assert!(stats.unique_resources > 0);
+//! ```
+
+pub mod clf;
+pub mod profiles;
+pub mod record;
+pub mod stats;
+pub mod synth;
+
+pub use record::{ClientTrace, ClientTraceEntry, Method, ServerLog, ServerLogEntry};

@@ -1,0 +1,332 @@
+//! Named workload profiles calibrated to the paper's logs (Appendix A,
+//! Tables 2–3).
+//!
+//! The original logs are proprietary; these profiles generate synthetic
+//! logs whose *shape* matches the published characteristics: request and
+//! client counts (scaled), unique-resource counts, requests per source,
+//! popularity skew, and — for Marimba — the POST-dominated, tiny-resource-
+//! set behaviour that makes its prediction probabilities collapse.
+//!
+//! `scale` multiplies request and client volume while keeping requests per
+//! source and temporal density roughly constant; resource counts are scaled
+//! more gently (big sites stay big relative to small ones).
+
+use crate::record::{ClientTrace, ServerLog};
+use crate::synth::client_trace::{generate_client_trace, ClientTraceConfig};
+use crate::synth::server_log::{generate_server_log, WorkloadConfig};
+use crate::synth::site::{Site, SiteConfig};
+use piggyback_core::types::DurationMs;
+
+/// Characteristics of the original log, from Tables 2 and 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperLogStats {
+    pub days: u32,
+    pub requests: u64,
+    pub sources: u64,
+    pub requests_per_source: f64,
+    pub unique_resources: u64,
+}
+
+/// A server-log profile: site + workload configuration plus the paper's
+/// reference numbers.
+#[derive(Debug, Clone)]
+pub struct ServerProfile {
+    pub name: &'static str,
+    pub site: SiteConfig,
+    pub workload: WorkloadConfig,
+    pub paper: PaperLogStats,
+}
+
+impl ServerProfile {
+    /// Generate the synthetic log for this profile.
+    pub fn generate(&self) -> ServerLog {
+        let (table, site) = Site::generate(&self.site);
+        generate_server_log(self.name, &site, &table, &self.workload)
+    }
+}
+
+/// Mean requests emitted per session under `w` (pages per session times
+/// requests per page), used to size session counts for a request target.
+fn requests_per_session(w: &WorkloadConfig, images_per_page: f64) -> f64 {
+    let pages = 1.0 / (1.0 - w.continue_prob.min(0.95));
+    pages * (1.0 + images_per_page * w.image_prob)
+}
+
+fn sessions_for(target_requests: f64, w: &WorkloadConfig, images_per_page: f64) -> usize {
+    (target_requests / requests_per_session(w, images_per_page)).round().max(1.0) as usize
+}
+
+/// Amnesty International USA: a small site (1,102 resources) with moderate
+/// traffic over 28 days.
+pub fn aiusa(scale: f64) -> ServerProfile {
+    let paper = PaperLogStats {
+        days: 28,
+        requests: 180_324,
+        sources: 7_627,
+        requests_per_source: 23.64,
+        unique_resources: 1_102,
+    };
+    let site = SiteConfig {
+        n_pages: 380,
+        n_dirs: 40,
+        max_depth: 3,
+        images_per_page: (0, 4),
+        shared_images: 8,
+        seed: 0xA1,
+        ..Default::default()
+    };
+    let mut workload = WorkloadConfig {
+        duration: DurationMs::from_secs(paper.days as u64 * 86_400),
+        n_clients: ((paper.sources as f64 * scale) as usize).max(10),
+        client_zipf: 0.8,
+        entry_zipf: 0.85,
+        seed: 0xA1A,
+        ..Default::default()
+    };
+    workload.sessions = sessions_for(paper.requests as f64 * scale, &workload, 1.7);
+    ServerProfile {
+        name: "aiusa",
+        site,
+        workload,
+        paper,
+    }
+}
+
+/// Apache Group: a very small, very popular site (788 resources) over
+/// 49 days — many one-shot clients (10.73 requests/source).
+pub fn apache(scale: f64) -> ServerProfile {
+    let paper = PaperLogStats {
+        days: 49,
+        requests: 2_916_549,
+        sources: 271_687,
+        requests_per_source: 10.73,
+        unique_resources: 788,
+    };
+    let site = SiteConfig {
+        n_pages: 280,
+        n_dirs: 24,
+        max_depth: 2,
+        images_per_page: (0, 3),
+        shared_images: 6,
+        seed: 0xA9,
+        ..Default::default()
+    };
+    let mut workload = WorkloadConfig {
+        duration: DurationMs::from_secs(paper.days as u64 * 86_400),
+        n_clients: ((paper.sources as f64 * scale) as usize).max(10),
+        client_zipf: 0.7,
+        entry_zipf: 0.9,
+        continue_prob: 0.55, // short visits
+        seed: 0xA94,
+        ..Default::default()
+    };
+    workload.sessions = sessions_for(paper.requests as f64 * scale, &workload, 1.3);
+    ServerProfile {
+        name: "apache",
+        site,
+        workload,
+        paper,
+    }
+}
+
+/// Sun Microsystems: the big site — 29,436 resources, 13M requests in just
+/// 9 days, heavy per-source activity (59.66 requests/source).
+pub fn sun(scale: f64) -> ServerProfile {
+    let paper = PaperLogStats {
+        days: 9,
+        requests: 13_037_895,
+        sources: 218_518,
+        requests_per_source: 59.66,
+        unique_resources: 29_436,
+    };
+    let site = SiteConfig {
+        n_pages: 2_600,
+        n_dirs: 220,
+        max_depth: 4,
+        images_per_page: (0, 5),
+        shared_images: 12,
+        seed: 0x50,
+        ..Default::default()
+    };
+    let mut workload = WorkloadConfig {
+        duration: DurationMs::from_secs(paper.days as u64 * 86_400),
+        n_clients: ((paper.sources as f64 * scale) as usize).max(10),
+        client_zipf: 1.0, // strong proxy-like heavy hitters
+        entry_zipf: 0.8,
+        continue_prob: 0.72, // long sessions
+        seed: 0x505,
+        ..Default::default()
+    };
+    workload.sessions = sessions_for(paper.requests as f64 * scale, &workload, 2.0);
+    ServerProfile {
+        name: "sun",
+        site,
+        workload,
+        paper,
+    }
+}
+
+/// Marimba: 94 resources, practically all POST, no page/image structure —
+/// the profile whose prediction probabilities collapse (Appendix A).
+pub fn marimba(scale: f64) -> ServerProfile {
+    let paper = PaperLogStats {
+        days: 21,
+        requests: 222_393,
+        sources: 24_103,
+        requests_per_source: 9.23,
+        unique_resources: 94,
+    };
+    let site = SiteConfig {
+        n_pages: 90,
+        n_dirs: 4,
+        max_depth: 1,
+        images_per_page: (0, 0),
+        shared_images: 2,
+        links_per_page: (0, 2),
+        link_locality: 0.1,
+        seed: 0x3A,
+        ..Default::default()
+    };
+    let mut workload = WorkloadConfig {
+        duration: DurationMs::from_secs(paper.days as u64 * 86_400),
+        n_clients: ((paper.sources as f64 * scale) as usize).max(10),
+        client_zipf: 0.5,
+        entry_zipf: 0.3,   // near-uniform: little co-occurrence structure
+        continue_prob: 0.5,
+        jump_prob: 0.9,    // no meaningful navigation
+        post_fraction: 0.95,
+        image_prob: 0.0,
+        seed: 0x3A7,
+        ..Default::default()
+    };
+    workload.sessions = sessions_for(paper.requests as f64 * scale, &workload, 0.0);
+    ServerProfile {
+        name: "marimba",
+        site,
+        workload,
+        paper,
+    }
+}
+
+/// All four server profiles at the given scale.
+pub fn all_server_profiles(scale: f64) -> Vec<ServerProfile> {
+    vec![aiusa(scale), apache(scale), sun(scale), marimba(scale)]
+}
+
+/// A client-trace profile.
+#[derive(Debug, Clone)]
+pub struct ClientProfile {
+    pub name: &'static str,
+    pub config: ClientTraceConfig,
+    pub paper: PaperLogStats,
+}
+
+impl ClientProfile {
+    pub fn generate(&self) -> ClientTrace {
+        generate_client_trace(self.name, &self.config)
+    }
+}
+
+/// AT&T client trace: 18 days, 1.11M requests, 18,005 servers.
+pub fn att(scale: f64) -> ClientProfile {
+    let paper = PaperLogStats {
+        days: 18,
+        requests: 1_110_000,
+        sources: 18_005, // distinct servers, per Table 2
+        requests_per_source: 0.0,
+        unique_resources: 521_330,
+    };
+    let mut config = ClientTraceConfig {
+        duration: DurationMs::from_secs(paper.days as u64 * 86_400),
+        n_servers: ((18_005.0 * scale) as usize).max(20),
+        n_clients: ((500.0 * scale.max(0.5)) as usize).max(20),
+        server_zipf: 1.0,
+        seed: 0xA77,
+        ..Default::default()
+    };
+    config.sessions = ((paper.requests as f64 * scale) / 6.5).round() as usize;
+    ClientProfile {
+        name: "att",
+        config,
+        paper,
+    }
+}
+
+/// Digital client trace: 7 days, 6.41M requests, 57,832 servers.
+pub fn digital(scale: f64) -> ClientProfile {
+    let paper = PaperLogStats {
+        days: 7,
+        requests: 6_410_000,
+        sources: 57_832,
+        requests_per_source: 0.0,
+        unique_resources: 2_083_491,
+    };
+    let mut config = ClientTraceConfig {
+        duration: DurationMs::from_secs(paper.days as u64 * 86_400),
+        n_servers: ((57_832.0 * scale) as usize).max(20),
+        n_clients: ((4_000.0 * scale.max(0.2)) as usize).max(20),
+        server_zipf: 1.05,
+        seed: 0xD16,
+        ..Default::default()
+    };
+    config.sessions = ((paper.requests as f64 * scale) / 6.5).round() as usize;
+    ClientProfile {
+        name: "digital",
+        config,
+        paper,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aiusa_small_scale_matches_shape() {
+        let p = aiusa(0.05);
+        let log = p.generate();
+        assert!(log.is_time_ordered());
+        // Request volume within a factor of ~2 of the scaled target.
+        let target = p.paper.requests as f64 * 0.05;
+        let got = log.entries.len() as f64;
+        assert!(
+            got / target > 0.4 && got / target < 2.5,
+            "requests {got} vs target {target}"
+        );
+        // Resource universe in the right ballpark (paper: 1102).
+        let resources = log.table.len() as f64;
+        assert!(
+            resources > 400.0 && resources < 2_500.0,
+            "resources {resources}"
+        );
+    }
+
+    #[test]
+    fn marimba_is_post_heavy_and_tiny() {
+        let p = marimba(0.05);
+        let log = p.generate();
+        assert!(log.table.len() < 200, "resources {}", log.table.len());
+        let posts = log
+            .entries
+            .iter()
+            .filter(|e| e.method == crate::record::Method::Post)
+            .count();
+        assert!(posts as f64 / log.entries.len() as f64 > 0.85);
+    }
+
+    #[test]
+    fn sun_is_biggest() {
+        let sun_log = sun(0.002).generate();
+        let aiusa_log = aiusa(0.002 * 13_037_895.0 / 180_324.0).generate();
+        // Per request volume, Sun's resource universe is far larger.
+        assert!(sun_log.table.len() > 3 * aiusa_log.table.len());
+    }
+
+    #[test]
+    fn client_profiles_generate() {
+        let t = att(0.005).generate();
+        assert!(t.is_time_ordered());
+        assert!(t.distinct_servers_accessed() > 10);
+        assert!(!t.entries.is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! Log record types: server logs and multi-server client traces
+//! (paper Appendix A).
+
+use piggyback_core::metrics::Request;
+use piggyback_core::table::ResourceTable;
+use piggyback_core::types::{DurationMs, ResourceId, ServerId, SourceId, Timestamp};
+
+/// HTTP method recorded in a log (the subset occurring in the paper's logs;
+/// Marimba's log is "practically all ... POST").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    Get,
+    Post,
+    Head,
+}
+
+impl Method {
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "HEAD" => Some(Method::Head),
+            _ => None,
+        }
+    }
+}
+
+/// One line of a server access log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerLogEntry {
+    pub time: Timestamp,
+    /// The requesting source (client or proxy IP) — the paper's
+    /// pseudo-proxy key.
+    pub client: SourceId,
+    pub resource: ResourceId,
+    pub method: Method,
+    pub status: u16,
+    /// Response body bytes.
+    pub bytes: u64,
+}
+
+/// A single-site server log: the resource table plus time-ordered entries.
+#[derive(Debug, Clone, Default)]
+pub struct ServerLog {
+    /// Site label ("aiusa", "sun", ...).
+    pub name: String,
+    /// Unix time of [`Timestamp::ZERO`], for date-bearing formats.
+    pub epoch_unix: i64,
+    pub table: ResourceTable,
+    pub entries: Vec<ServerLogEntry>,
+}
+
+impl ServerLog {
+    /// Entries as the metrics engine's request stream.
+    pub fn requests(&self) -> impl Iterator<Item = Request> + '_ {
+        self.entries.iter().map(|e| Request {
+            time: e.time,
+            source: e.client,
+            resource: e.resource,
+        })
+    }
+
+    /// Entries as `(time, source, resource)` triples (volume builders).
+    pub fn triples(&self) -> impl Iterator<Item = (Timestamp, SourceId, ResourceId)> + '_ {
+        self.entries.iter().map(|e| (e.time, e.client, e.resource))
+    }
+
+    /// Trace span from first to last entry.
+    pub fn duration(&self) -> DurationMs {
+        match (self.entries.first(), self.entries.last()) {
+            (Some(a), Some(b)) => b.time.since(a.time),
+            _ => DurationMs::ZERO,
+        }
+    }
+
+    /// Number of distinct requesting sources.
+    pub fn client_count(&self) -> usize {
+        let mut ids: Vec<u32> = self.entries.iter().map(|e| e.client.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Number of distinct resources actually requested (the table may hold
+    /// more — resources that exist but were never accessed).
+    pub fn unique_resources(&self) -> usize {
+        let mut ids: Vec<u32> = self.entries.iter().map(|e| e.resource.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Check entries are in non-decreasing time order.
+    pub fn is_time_ordered(&self) -> bool {
+        self.entries.windows(2).all(|w| w[0].time <= w[1].time)
+    }
+
+    /// Split chronologically at `fraction` of the entries (0..=1): returns
+    /// `(head, tail)` sharing this log's resource table. Used for
+    /// train/held-out evaluation of volume construction (the paper trains
+    /// and evaluates on the same log; see the `ext_holdout` experiment).
+    pub fn split_at_fraction(&self, fraction: f64) -> (ServerLog, ServerLog) {
+        let k = ((self.entries.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+        let k = k.min(self.entries.len());
+        let head = ServerLog {
+            name: format!("{}[..{fraction:.2}]", self.name),
+            epoch_unix: self.epoch_unix,
+            table: self.table.clone(),
+            entries: self.entries[..k].to_vec(),
+        };
+        let tail = ServerLog {
+            name: format!("{}[{fraction:.2}..]", self.name),
+            epoch_unix: self.epoch_unix,
+            table: self.table.clone(),
+            entries: self.entries[k..].to_vec(),
+        };
+        (head, tail)
+    }
+}
+
+/// One record of a client (proxy-side) trace spanning many servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientTraceEntry {
+    pub time: Timestamp,
+    pub client: SourceId,
+    pub server: ServerId,
+    /// Interned *combined* path `/{server-host}{path}`, so that directory
+    /// prefix level 1 corresponds to the paper's "level-0 directory"
+    /// (the server itself).
+    pub resource: ResourceId,
+    /// Whether this request is an embedded reference (inline image) of the
+    /// preceding page — Figure 1 repeats its analysis with these removed.
+    pub embedded: bool,
+    pub bytes: u64,
+}
+
+/// A multi-server client trace (Digital / AT&T style).
+#[derive(Debug, Clone, Default)]
+pub struct ClientTrace {
+    pub name: String,
+    pub epoch_unix: i64,
+    /// Interner over combined `/{host}{path}` strings.
+    pub paths: ResourceTable,
+    /// Host names, indexed by [`ServerId`].
+    pub servers: Vec<String>,
+    pub entries: Vec<ClientTraceEntry>,
+}
+
+impl ClientTrace {
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Distinct servers actually contacted.
+    pub fn distinct_servers_accessed(&self) -> usize {
+        let mut ids: Vec<u32> = self.entries.iter().map(|e| e.server.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    pub fn unique_resources(&self) -> usize {
+        let mut ids: Vec<u32> = self.entries.iter().map(|e| e.resource.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    pub fn duration(&self) -> DurationMs {
+        match (self.entries.first(), self.entries.last()) {
+            (Some(a), Some(b)) => b.time.since(a.time),
+            _ => DurationMs::ZERO,
+        }
+    }
+
+    pub fn is_time_ordered(&self) -> bool {
+        self.entries.windows(2).all(|w| w[0].time <= w[1].time)
+    }
+
+    /// Entries excluding embedded (inline image) references.
+    pub fn without_embedded(&self) -> impl Iterator<Item = &ClientTraceEntry> {
+        self.entries.iter().filter(|e| !e.embedded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(t: u64, c: u32, r: u32) -> ServerLogEntry {
+        ServerLogEntry {
+            time: Timestamp::from_secs(t),
+            client: SourceId(c),
+            resource: ResourceId(r),
+            method: Method::Get,
+            status: 200,
+            bytes: 100,
+        }
+    }
+
+    #[test]
+    fn method_round_trip() {
+        for m in [Method::Get, Method::Post, Method::Head] {
+            assert_eq!(Method::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(Method::parse("PUT"), None);
+    }
+
+    #[test]
+    fn server_log_summaries() {
+        let log = ServerLog {
+            name: "t".into(),
+            epoch_unix: 0,
+            table: ResourceTable::new(),
+            entries: vec![entry(0, 1, 0), entry(5, 2, 1), entry(9, 1, 0)],
+        };
+        assert_eq!(log.client_count(), 2);
+        assert_eq!(log.unique_resources(), 2);
+        assert_eq!(log.duration(), DurationMs::from_secs(9));
+        assert!(log.is_time_ordered());
+        let reqs: Vec<Request> = log.requests().collect();
+        assert_eq!(reqs.len(), 3);
+        assert_eq!(reqs[1].source, SourceId(2));
+    }
+
+    #[test]
+    fn time_order_detection() {
+        let log = ServerLog {
+            entries: vec![entry(5, 1, 0), entry(3, 1, 0)],
+            ..Default::default()
+        };
+        assert!(!log.is_time_ordered());
+        assert!(ServerLog::default().is_time_ordered());
+    }
+
+    #[test]
+    fn split_at_fraction_partitions_chronologically() {
+        let log = ServerLog {
+            name: "s".into(),
+            epoch_unix: 0,
+            table: ResourceTable::new(),
+            entries: (0..10).map(|i| entry(i, 1, 0)).collect(),
+        };
+        let (head, tail) = log.split_at_fraction(0.7);
+        assert_eq!(head.entries.len(), 7);
+        assert_eq!(tail.entries.len(), 3);
+        assert!(head.entries.last().unwrap().time <= tail.entries.first().unwrap().time);
+        // Degenerate fractions.
+        let (all, none) = log.split_at_fraction(1.0);
+        assert_eq!(all.entries.len(), 10);
+        assert!(none.entries.is_empty());
+        let (none, all) = log.split_at_fraction(0.0);
+        assert!(none.entries.is_empty());
+        assert_eq!(all.entries.len(), 10);
+        // Out-of-range clamps.
+        let (h, _) = log.split_at_fraction(7.0);
+        assert_eq!(h.entries.len(), 10);
+    }
+
+    #[test]
+    fn client_trace_embedded_filtering() {
+        let mut trace = ClientTrace {
+            name: "c".into(),
+            ..Default::default()
+        };
+        trace.entries.push(ClientTraceEntry {
+            time: Timestamp::from_secs(1),
+            client: SourceId(1),
+            server: ServerId(0),
+            resource: ResourceId(0),
+            embedded: false,
+            bytes: 10,
+        });
+        trace.entries.push(ClientTraceEntry {
+            time: Timestamp::from_secs(2),
+            client: SourceId(1),
+            server: ServerId(0),
+            resource: ResourceId(1),
+            embedded: true,
+            bytes: 10,
+        });
+        assert_eq!(trace.without_embedded().count(), 1);
+        assert_eq!(trace.unique_resources(), 2);
+        assert_eq!(trace.distinct_servers_accessed(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Log characteristics summaries (paper Appendix A, Tables 2 and 3).
+
+use crate::record::{ClientTrace, ServerLog};
+use std::collections::HashMap;
+
+/// Share of a total captured by the top `fraction` of contributors.
+fn top_share(counts: &mut [usize], fraction: f64) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let k = ((counts.len() as f64 * fraction).ceil() as usize).clamp(1, counts.len());
+    counts[..k].iter().sum::<usize>() as f64 / total as f64
+}
+
+/// Table 3 row (plus concentration statistics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerLogStats {
+    pub requests: u64,
+    pub clients: u64,
+    pub requests_per_source: f64,
+    pub unique_resources: u64,
+    pub days: f64,
+    /// Fraction of requests issued by the top 10% of clients (paper:
+    /// "often 10% of clients were responsible for over 50% of all accesses").
+    pub top_decile_client_share: f64,
+    /// Fraction of requests going to the top 10% of resources (paper:
+    /// "around 85% of the requests were for less than 10% of the unique
+    /// resources").
+    pub top_decile_resource_share: f64,
+}
+
+/// Compute the Table 3 summary for a server log.
+pub fn server_log_stats(log: &ServerLog) -> ServerLogStats {
+    let mut by_client: HashMap<u32, usize> = HashMap::new();
+    let mut by_resource: HashMap<u32, usize> = HashMap::new();
+    for e in &log.entries {
+        *by_client.entry(e.client.0).or_insert(0) += 1;
+        *by_resource.entry(e.resource.0).or_insert(0) += 1;
+    }
+    let requests = log.entries.len() as u64;
+    let clients = by_client.len() as u64;
+    let mut client_counts: Vec<usize> = by_client.into_values().collect();
+    let mut resource_counts: Vec<usize> = by_resource.values().copied().collect();
+    ServerLogStats {
+        requests,
+        clients,
+        requests_per_source: if clients == 0 {
+            0.0
+        } else {
+            requests as f64 / clients as f64
+        },
+        unique_resources: by_resource.len() as u64,
+        days: log.duration().as_secs_f64() / 86_400.0,
+        top_decile_client_share: top_share(&mut client_counts, 0.10),
+        top_decile_resource_share: top_share(&mut resource_counts, 0.10),
+    }
+}
+
+/// Table 2 row (plus concentration statistics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientTraceStats {
+    pub requests: u64,
+    pub distinct_servers: u64,
+    pub unique_resources: u64,
+    pub days: f64,
+    /// Fraction of *resources* accounted for by the top 1% of servers
+    /// (paper: 55–59%).
+    pub top_1pct_server_resource_share: f64,
+    /// Mean response size in bytes.
+    pub mean_response_bytes: f64,
+}
+
+/// Compute the Table 2 summary for a client trace.
+pub fn client_trace_stats(trace: &ClientTrace) -> ClientTraceStats {
+    let mut resources_by_server: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut total_bytes: u128 = 0;
+    for e in &trace.entries {
+        resources_by_server
+            .entry(e.server.0)
+            .or_default()
+            .push(e.resource.0);
+        total_bytes += e.bytes as u128;
+    }
+    let mut unique_per_server: Vec<usize> = resources_by_server
+        .values_mut()
+        .map(|v| {
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        })
+        .collect();
+    let unique_resources: usize = unique_per_server.iter().sum();
+    let requests = trace.entries.len() as u64;
+    ClientTraceStats {
+        requests,
+        distinct_servers: resources_by_server.len() as u64,
+        unique_resources: unique_resources as u64,
+        days: trace.duration().as_secs_f64() / 86_400.0,
+        top_1pct_server_resource_share: top_share(&mut unique_per_server, 0.01),
+        mean_response_bytes: if requests == 0 {
+            0.0
+        } else {
+            total_bytes as f64 / requests as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{ClientTraceEntry, Method, ServerLogEntry};
+    use piggyback_core::table::ResourceTable;
+    use piggyback_core::types::{ResourceId, ServerId, SourceId, Timestamp};
+
+    fn entry(t: u64, c: u32, r: u32) -> ServerLogEntry {
+        ServerLogEntry {
+            time: Timestamp::from_secs(t),
+            client: SourceId(c),
+            resource: ResourceId(r),
+            method: Method::Get,
+            status: 200,
+            bytes: 100,
+        }
+    }
+
+    #[test]
+    fn server_stats_basic() {
+        let log = ServerLog {
+            name: "t".into(),
+            epoch_unix: 0,
+            table: ResourceTable::new(),
+            entries: vec![
+                entry(0, 1, 0),
+                entry(86_400, 1, 0),
+                entry(172_800, 2, 1),
+                entry(259_200, 1, 0),
+            ],
+        };
+        let s = server_log_stats(&log);
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.clients, 2);
+        assert_eq!(s.unique_resources, 2);
+        assert!((s.requests_per_source - 2.0).abs() < 1e-9);
+        assert!((s.days - 3.0).abs() < 1e-9);
+        // Client 1 (top 10% of 2 clients => 1 client) made 3 of 4 requests.
+        assert!((s.top_decile_client_share - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_log_stats() {
+        let s = server_log_stats(&ServerLog::default());
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.requests_per_source, 0.0);
+        assert_eq!(s.top_decile_client_share, 0.0);
+    }
+
+    #[test]
+    fn client_stats_counts_per_server_resources() {
+        let mut trace = ClientTrace::default();
+        for (t, srv, r, bytes) in [(1u64, 0u32, 0u32, 100u64), (2, 0, 0, 100), (3, 1, 1, 300)] {
+            trace.entries.push(ClientTraceEntry {
+                time: Timestamp::from_secs(t),
+                client: SourceId(1),
+                server: ServerId(srv),
+                resource: ResourceId(r),
+                embedded: false,
+                bytes,
+            });
+        }
+        let s = client_trace_stats(&trace);
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.distinct_servers, 2);
+        assert_eq!(s.unique_resources, 2);
+        assert!((s.mean_response_bytes - 500.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_share_extremes() {
+        let mut all_equal = vec![10usize; 100];
+        let share = top_share(&mut all_equal, 0.10);
+        assert!((share - 0.10).abs() < 1e-9);
+        let mut skewed = vec![1usize; 100];
+        skewed[0] = 901;
+        let share = top_share(&mut skewed, 0.01);
+        assert!((share - 0.901).abs() < 1e-9);
+    }
+}

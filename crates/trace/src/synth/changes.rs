@@ -1,0 +1,152 @@
+//! Synthetic resource-modification process.
+//!
+//! Server logs do not record Last-Modified times (Appendix A), so the cache
+//! coherency experiments need a modification stream. Each resource changes
+//! with an exponential inter-modification time whose mean depends on its
+//! content class — HTML changes much faster than images — plus a small
+//! "dynamic" fraction of hot resources that change on the scale of hours
+//! (the stock-quote pages of Section 2.2).
+
+use crate::synth::samplers::exponential;
+use piggyback_core::table::ResourceTable;
+use piggyback_core::types::{ContentType, DurationMs, ResourceId, Timestamp};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One modification event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChangeEvent {
+    pub time: Timestamp,
+    pub resource: ResourceId,
+}
+
+/// Mean inter-modification intervals per content class.
+#[derive(Debug, Clone, Copy)]
+pub struct ChangeModel {
+    /// Mean interval for HTML resources.
+    pub html_mean: DurationMs,
+    /// Mean interval for images.
+    pub image_mean: DurationMs,
+    /// Mean interval for everything else.
+    pub other_mean: DurationMs,
+    /// Fraction of resources that are "dynamic" regardless of class.
+    pub dynamic_fraction: f64,
+    /// Mean interval for dynamic resources.
+    pub dynamic_mean: DurationMs,
+    pub seed: u64,
+}
+
+impl Default for ChangeModel {
+    fn default() -> Self {
+        ChangeModel {
+            html_mean: DurationMs::from_secs(3 * 24 * 3600),
+            image_mean: DurationMs::from_secs(30 * 24 * 3600),
+            other_mean: DurationMs::from_secs(10 * 24 * 3600),
+            dynamic_fraction: 0.03,
+            dynamic_mean: DurationMs::from_secs(2 * 3600),
+            seed: 99,
+        }
+    }
+}
+
+impl ChangeModel {
+    fn mean_for(&self, ct: ContentType, dynamic: bool) -> DurationMs {
+        if dynamic {
+            return self.dynamic_mean;
+        }
+        match ct {
+            ContentType::Html => self.html_mean,
+            ContentType::Image => self.image_mean,
+            _ => self.other_mean,
+        }
+    }
+
+    /// Generate the time-ordered modification stream for every resource in
+    /// `table` over `duration`.
+    pub fn generate(&self, table: &ResourceTable, duration: DurationMs) -> Vec<ChangeEvent> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut events = Vec::new();
+        let span = duration.as_millis();
+        for (id, _, meta) in table.iter() {
+            let dynamic = rng.random::<f64>() < self.dynamic_fraction;
+            let mean_ms = self.mean_for(meta.content_type, dynamic).as_millis() as f64;
+            if mean_ms <= 0.0 {
+                continue;
+            }
+            let mut t = exponential(&mut rng, mean_ms);
+            while (t as u64) < span {
+                events.push(ChangeEvent {
+                    time: Timestamp::from_millis(t as u64),
+                    resource: id,
+                });
+                t += exponential(&mut rng, mean_ms).max(1.0);
+            }
+        }
+        events.sort_by_key(|e| (e.time, e.resource.0));
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(n_html: usize, n_img: usize) -> ResourceTable {
+        let mut t = ResourceTable::new();
+        for i in 0..n_html {
+            t.register_path(&format!("/p{i}.html"), 100, Timestamp::ZERO);
+        }
+        for i in 0..n_img {
+            t.register_path(&format!("/i{i}.gif"), 100, Timestamp::ZERO);
+        }
+        t
+    }
+
+    #[test]
+    fn events_ordered_and_in_range() {
+        let table = table_with(50, 50);
+        let dur = DurationMs::from_secs(30 * 24 * 3600);
+        let events = ChangeModel::default().generate(&table, dur);
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(events.iter().all(|e| e.time.as_millis() < dur.as_millis()));
+    }
+
+    #[test]
+    fn html_changes_more_often_than_images() {
+        let table = table_with(100, 100);
+        let model = ChangeModel {
+            dynamic_fraction: 0.0,
+            ..Default::default()
+        };
+        let events = model.generate(&table, DurationMs::from_secs(60 * 24 * 3600));
+        let html = events.iter().filter(|e| e.resource.0 < 100).count();
+        let img = events.iter().filter(|e| e.resource.0 >= 100).count();
+        assert!(
+            html > img * 3,
+            "html changes {html} should dwarf image changes {img}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let table = table_with(20, 20);
+        let m = ChangeModel::default();
+        let a = m.generate(&table, DurationMs::from_secs(10 * 24 * 3600));
+        let b = m.generate(&table, DurationMs::from_secs(10 * 24 * 3600));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dynamic_resources_change_fast() {
+        let table = table_with(100, 0);
+        let model = ChangeModel {
+            dynamic_fraction: 1.0,
+            dynamic_mean: DurationMs::from_secs(600),
+            ..Default::default()
+        };
+        let events = model.generate(&table, DurationMs::from_secs(24 * 3600));
+        // 100 resources * ~144 changes/day each.
+        assert!(events.len() > 5_000, "got {}", events.len());
+    }
+}

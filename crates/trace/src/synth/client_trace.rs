@@ -1,0 +1,244 @@
+//! Synthetic multi-server client trace (Digital / AT&T style, Table 2).
+//!
+//! A population of clients browses many servers. Server popularity is
+//! Zipf-skewed (the paper: "the top 1% of the servers were responsible for
+//! over 55% of the resources accessed"), and each server is a small
+//! synthetic [`Site`] whose paths are embedded under `/{host}` so that
+//! directory-prefix level 1 on the combined path corresponds to the paper's
+//! "level-0 directory" (the server).
+
+use crate::record::{ClientTrace, ClientTraceEntry};
+use crate::synth::samplers::{exponential, LogNormal, Zipf};
+use crate::synth::site::{Site, SiteConfig};
+use piggyback_core::datetime::DEFAULT_TRACE_EPOCH_UNIX;
+use piggyback_core::table::ResourceTable;
+use piggyback_core::types::{DurationMs, ServerId, SourceId, Timestamp};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of a client-trace generation run.
+#[derive(Debug, Clone)]
+pub struct ClientTraceConfig {
+    pub duration: DurationMs,
+    pub sessions: usize,
+    pub n_clients: usize,
+    pub client_zipf: f64,
+    /// Number of distinct servers in the universe.
+    pub n_servers: usize,
+    /// Zipf exponent of server popularity.
+    pub server_zipf: f64,
+    /// `(floor, head)` pages per server: a server of popularity rank `k`
+    /// gets about `floor + head / (1+k)^1.2` pages (±25%), a heavy tail
+    /// matching Appendix A's resource concentration.
+    pub pages_per_server: (usize, usize),
+    pub continue_prob: f64,
+    pub think_time_ms: LogNormal,
+    pub image_prob: f64,
+    pub embedded_gap_mean_ms: f64,
+    pub seed: u64,
+}
+
+impl Default for ClientTraceConfig {
+    fn default() -> Self {
+        ClientTraceConfig {
+            duration: DurationMs::from_secs(7 * 24 * 3600),
+            sessions: 20_000,
+            n_clients: 3_000,
+            client_zipf: 0.8,
+            n_servers: 1_000,
+            server_zipf: 0.95,
+            pages_per_server: (3, 1_500),
+            continue_prob: 0.6,
+            think_time_ms: LogNormal::from_median_mean(15_000.0, 40_000.0),
+            image_prob: 0.85,
+            embedded_gap_mean_ms: 700.0,
+            seed: 21,
+        }
+    }
+}
+
+/// Generate a time-ordered multi-server client trace.
+pub fn generate_client_trace(name: &str, cfg: &ClientTraceConfig) -> ClientTrace {
+    assert!(cfg.n_servers > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let server_dist = Zipf::new(cfg.n_servers, cfg.server_zipf);
+    let client_dist = Zipf::new(cfg.n_clients.max(1), cfg.client_zipf);
+
+    // Lazily generated per-server sites sharing one path table.
+    let mut table = ResourceTable::new();
+    let mut sites: Vec<Option<Site>> = (0..cfg.n_servers).map(|_| None).collect();
+    let mut servers = Vec::with_capacity(cfg.n_servers);
+    for k in 0..cfg.n_servers {
+        servers.push(format!("www.site{k}.com"));
+    }
+
+    // Popular (low-rank) servers get much bigger sites — the paper's
+    // Appendix A finds the top 1% of servers holding over half the unique
+    // resources, so site size follows a heavy-tailed rank law.
+    let (lo, hi) = cfg.pages_per_server;
+    let pages_for_rank = |rank: usize, rng: &mut StdRng| -> usize {
+        let base = lo as f64 + hi as f64 / (1.0 + rank as f64).powf(1.2);
+        (base * (0.75 + 0.5 * rng.random::<f64>())).round().max(1.0) as usize
+    };
+
+    let mut entries: Vec<ClientTraceEntry> = Vec::new();
+    let span_ms = cfg.duration.as_millis().max(1);
+
+    for _ in 0..cfg.sessions {
+        let client = SourceId(client_dist.sample(&mut rng) as u32);
+        let server_rank = server_dist.sample(&mut rng);
+        let server = ServerId(server_rank as u32);
+        if sites[server_rank].is_none() {
+            let n_pages = pages_for_rank(server_rank, &mut rng);
+            let site_cfg = SiteConfig {
+                path_prefix: format!("/{}", servers[server_rank]),
+                n_pages,
+                // Enough directories and depth that the paper's level-2..4
+                // prefixes (our 3..5 on combined paths) actually separate.
+                n_dirs: (n_pages / 3).clamp(3, 120),
+                max_depth: 5,
+                shared_images: (n_pages / 20).clamp(1, 5),
+                images_in_page_dir: false,
+                seed: cfg.seed.wrapping_mul(0x100000001b3).wrapping_add(server_rank as u64),
+                ..Default::default()
+            };
+            sites[server_rank] = Some(Site::generate_into(&site_cfg, &mut table));
+        }
+        let site = sites[server_rank].as_ref().expect("just generated");
+
+        let mut now = rng.random_range(0..span_ms);
+        let mut page_idx = rng.random_range(0..site.pages.len());
+        let fetch_images = rng.random::<f64>() < cfg.image_prob;
+
+        loop {
+            let page = &site.pages[page_idx];
+            entries.push(ClientTraceEntry {
+                time: Timestamp::from_millis(now),
+                client,
+                server,
+                resource: page.resource,
+                embedded: false,
+                bytes: table.meta(page.resource).map_or(0, |m| m.size),
+            });
+            if fetch_images {
+                let mut t_img = now;
+                for &img in &page.images {
+                    t_img += exponential(&mut rng, cfg.embedded_gap_mean_ms).max(20.0) as u64;
+                    entries.push(ClientTraceEntry {
+                        time: Timestamp::from_millis(t_img),
+                        client,
+                        server,
+                        resource: img,
+                        embedded: true,
+                        bytes: table.meta(img).map_or(0, |m| m.size),
+                    });
+                }
+            }
+            if rng.random::<f64>() >= cfg.continue_prob {
+                break;
+            }
+            now += cfg.think_time_ms.sample(&mut rng).max(500.0) as u64;
+            if now >= span_ms {
+                break;
+            }
+            let links = &site.pages[page_idx].links;
+            page_idx = if links.is_empty() {
+                rng.random_range(0..site.pages.len())
+            } else {
+                links[rng.random_range(0..links.len())]
+            };
+        }
+    }
+
+    entries.sort_by_key(|e| (e.time, e.client.0, e.resource.0));
+    ClientTrace {
+        name: name.to_owned(),
+        epoch_unix: DEFAULT_TRACE_EPOCH_UNIX,
+        paths: table,
+        servers,
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piggyback_core::intern::directory_prefix;
+
+    fn small_trace(seed: u64) -> ClientTrace {
+        generate_client_trace(
+            "test",
+            &ClientTraceConfig {
+                duration: DurationMs::from_secs(24 * 3600),
+                sessions: 400,
+                n_clients: 50,
+                n_servers: 60,
+                seed,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn trace_is_ordered_and_multi_server() {
+        let t = small_trace(1);
+        assert!(t.is_time_ordered());
+        assert!(t.entries.len() >= 400);
+        assert!(t.distinct_servers_accessed() > 5);
+        assert!(t.unique_resources() > 50);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small_trace(2);
+        let b = small_trace(2);
+        assert_eq!(a.entries.len(), b.entries.len());
+        assert_eq!(a.entries.first(), b.entries.first());
+        assert_eq!(a.entries.last(), b.entries.last());
+    }
+
+    #[test]
+    fn combined_path_level1_is_the_server() {
+        let t = small_trace(3);
+        for e in t.entries.iter().take(200) {
+            let path = t.paths.path(e.resource).unwrap();
+            let host = &t.servers[e.server.index()];
+            assert_eq!(directory_prefix(path, 1), format!("/{host}"));
+        }
+    }
+
+    #[test]
+    fn server_popularity_skewed() {
+        let t = generate_client_trace(
+            "skew",
+            &ClientTraceConfig {
+                sessions: 3_000,
+                n_servers: 200,
+                seed: 4,
+                ..Default::default()
+            },
+        );
+        let mut by_server = std::collections::HashMap::new();
+        for e in &t.entries {
+            *by_server.entry(e.server.0).or_insert(0usize) += 1;
+        }
+        let mut counts: Vec<usize> = by_server.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = counts.iter().sum();
+        let top_5pct = counts.len().div_ceil(20);
+        let top: usize = counts[..top_5pct].iter().sum();
+        assert!(
+            top as f64 / total as f64 > 0.3,
+            "top-5% server share {}",
+            top as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn embedded_entries_marked() {
+        let t = small_trace(5);
+        let embedded = t.entries.iter().filter(|e| e.embedded).count();
+        assert!(embedded > 0, "some embedded image fetches expected");
+        assert!(embedded < t.entries.len());
+    }
+}

@@ -1,0 +1,15 @@
+//! Synthetic workload generation: sites, server logs, client traces, and
+//! resource-modification streams (the substitution for the paper's
+//! proprietary logs — see DESIGN.md §2).
+
+pub mod changes;
+pub mod client_trace;
+pub mod samplers;
+pub mod server_log;
+pub mod site;
+
+pub use changes::{ChangeEvent, ChangeModel};
+pub use client_trace::{generate_client_trace, ClientTraceConfig};
+pub use samplers::{exponential, geometric_steps, standard_normal, LogNormal, Zipf};
+pub use server_log::{generate_server_log, WorkloadConfig};
+pub use site::{Page, Site, SiteConfig};

@@ -1,0 +1,199 @@
+//! Random samplers for the synthetic workload generators.
+//!
+//! `rand_distr` is not in the offline crate set, so Zipf, log-normal, and
+//! exponential sampling are implemented directly on `rand`'s uniform
+//! primitives (inverse-CDF table for Zipf, Box–Muller for the normal).
+
+use rand::Rng;
+use rand::RngExt;
+
+/// Zipf-distributed sampler over ranks `0..n` with exponent `theta`
+/// (`P(rank k) ∝ 1/(k+1)^theta`). Web popularity is classically Zipf-like
+/// with `theta ≈ 0.6..1.0` (Arlitt & Williamson, reference \[26\]).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(theta >= 0.0, "negative Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating point leaving the last bucket short.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `0..n` (rank 0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// Log-normal sampler: `exp(mu + sigma * N(0,1))`.
+///
+/// Median is `exp(mu)`, mean is `exp(mu + sigma^2/2)`. The paper reports a
+/// median response of 1530 bytes against a mean of 13900 — a heavy tail
+/// that log-normal captures well.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    pub mu: f64,
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0);
+        LogNormal { mu, sigma }
+    }
+
+    /// Construct from a target median and mean (mean must exceed median).
+    pub fn from_median_mean(median: f64, mean: f64) -> Self {
+        assert!(median > 0.0 && mean >= median);
+        let mu = median.ln();
+        let sigma = (2.0 * (mean.ln() - mu)).max(0.0).sqrt();
+        LogNormal { mu, sigma }
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// One standard normal variate via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Exponential variate with the given mean.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.random();
+    -mean * (1.0 - u).ln()
+}
+
+/// Sample a geometric "number of further steps" with the given continuation
+/// probability (result >= 0; mean `p/(1-p)`).
+pub fn geometric_steps<R: Rng + ?Sized>(rng: &mut R, continue_prob: f64) -> usize {
+    let mut n = 0;
+    while rng.random::<f64>() < continue_prob && n < 10_000 {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // For theta=1, P(0)/P(9) = 10.
+        let ratio = counts[0] as f64 / counts[9].max(1) as f64;
+        assert!((ratio - 10.0).abs() < 3.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 700.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_single_element() {
+        let z = Zipf::new(1, 1.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn lognormal_median_and_mean() {
+        let ln = LogNormal::from_median_mean(1530.0, 13900.0);
+        assert!((ln.median() - 1530.0).abs() < 1e-6);
+        assert!((ln.mean() - 13900.0).abs() < 1e-6);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut samples: Vec<f64> = (0..40_000).map(|_| ln.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median / 1530.0 - 1.0).abs() < 0.1, "median {median}");
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean / 13900.0 - 1.0).abs() < 0.35, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mean: f64 =
+            (0..50_000).map(|_| exponential(&mut rng, 30.0)).sum::<f64>() / 50_000.0;
+        assert!((mean - 30.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_mean_steps() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // continue_prob 0.8 -> mean 4 further steps.
+        let mean: f64 = (0..20_000)
+            .map(|_| geometric_steps(&mut rng, 0.8) as f64)
+            .sum::<f64>()
+            / 20_000.0;
+        assert!((mean - 4.0).abs() < 0.3, "mean {mean}");
+        assert_eq!(geometric_steps(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

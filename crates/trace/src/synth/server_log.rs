@@ -1,0 +1,283 @@
+//! Synthetic server-log generator.
+//!
+//! Drives a [`Site`] with client sessions: a session enters at a popular
+//! page (Zipf), fetches its embedded images within a couple of seconds
+//! (unless the client has images disabled), thinks, follows a link (or
+//! jumps), and eventually leaves. Client activity is itself Zipf-skewed —
+//! the paper observes "often 10% of clients were responsible for over 50%
+//! of all accesses".
+
+use crate::record::{Method, ServerLog, ServerLogEntry};
+use crate::synth::samplers::{exponential, LogNormal, Zipf};
+use crate::synth::site::Site;
+use piggyback_core::datetime::DEFAULT_TRACE_EPOCH_UNIX;
+use piggyback_core::table::ResourceTable;
+use piggyback_core::types::{DurationMs, SourceId, Timestamp};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Session-level workload parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Trace span.
+    pub duration: DurationMs,
+    /// Number of sessions to generate (arrivals uniform over the span).
+    pub sessions: usize,
+    /// Client population size.
+    pub n_clients: usize,
+    /// Zipf exponent of per-client activity.
+    pub client_zipf: f64,
+    /// Zipf exponent of entry-page popularity.
+    pub entry_zipf: f64,
+    /// Probability a session continues to another page after each page.
+    pub continue_prob: f64,
+    /// Think time between pages, in milliseconds.
+    pub think_time_ms: LogNormal,
+    /// Probability the client fetches embedded images (image-disabled
+    /// browsers skip them).
+    pub image_prob: f64,
+    /// Mean gap between a page and each embedded image fetch (ms,
+    /// exponential).
+    pub embedded_gap_mean_ms: f64,
+    /// Probability a navigation ignores the link graph and jumps to a
+    /// Zipf-popular page instead.
+    pub jump_prob: f64,
+    /// Fraction of requests issued as POST (Marimba-style sites).
+    pub post_fraction: f64,
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            duration: DurationMs::from_secs(7 * 24 * 3600),
+            sessions: 10_000,
+            n_clients: 2_000,
+            client_zipf: 0.9,
+            entry_zipf: 0.8,
+            continue_prob: 0.65,
+            think_time_ms: LogNormal::from_median_mean(15_000.0, 40_000.0),
+            image_prob: 0.85,
+            embedded_gap_mean_ms: 700.0,
+            jump_prob: 0.15,
+            post_fraction: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Generate a time-ordered server log for `site` under `cfg`.
+///
+/// The log's resource table is a clone of `table` (the one `site` was
+/// generated into), so sizes and content types are consistent.
+pub fn generate_server_log(
+    name: &str,
+    site: &Site,
+    table: &ResourceTable,
+    cfg: &WorkloadConfig,
+) -> ServerLog {
+    assert!(!site.pages.is_empty());
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let client_dist = Zipf::new(cfg.n_clients.max(1), cfg.client_zipf);
+    let entry_dist = Zipf::new(site.pages.len(), cfg.entry_zipf);
+
+    // Shuffle page ranks so popularity is independent of generation order.
+    let mut page_rank: Vec<usize> = (0..site.pages.len()).collect();
+    for i in (1..page_rank.len()).rev() {
+        let j = rng.random_range(0..=i);
+        page_rank.swap(i, j);
+    }
+
+    let mut entries: Vec<ServerLogEntry> = Vec::new();
+    let span_ms = cfg.duration.as_millis().max(1);
+
+    for _ in 0..cfg.sessions {
+        let client = SourceId(client_dist.sample(&mut rng) as u32);
+        let start = rng.random_range(0..span_ms);
+        let mut now = start;
+        let mut page_idx = page_rank[entry_dist.sample(&mut rng)];
+        let fetch_images = rng.random::<f64>() < cfg.image_prob;
+
+        loop {
+            let page = &site.pages[page_idx];
+            push_entry(&mut entries, &mut rng, cfg, table, now, client, page.resource, false);
+
+            if fetch_images {
+                let mut t_img = now;
+                for &img in &page.images {
+                    t_img += exponential(&mut rng, cfg.embedded_gap_mean_ms).max(20.0) as u64;
+                    push_entry(&mut entries, &mut rng, cfg, table, t_img, client, img, true);
+                }
+            }
+
+            if rng.random::<f64>() >= cfg.continue_prob {
+                break;
+            }
+            now += cfg.think_time_ms.sample(&mut rng).max(500.0) as u64;
+            if now >= span_ms {
+                break;
+            }
+            let links = &site.pages[page_idx].links;
+            page_idx = if links.is_empty() || rng.random::<f64>() < cfg.jump_prob {
+                page_rank[entry_dist.sample(&mut rng)]
+            } else {
+                links[rng.random_range(0..links.len())]
+            };
+        }
+    }
+
+    entries.sort_by_key(|e| (e.time, e.client.0, e.resource.0));
+    ServerLog {
+        name: name.to_owned(),
+        epoch_unix: DEFAULT_TRACE_EPOCH_UNIX,
+        table: table.clone(),
+        entries,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_entry(
+    entries: &mut Vec<ServerLogEntry>,
+    rng: &mut StdRng,
+    cfg: &WorkloadConfig,
+    table: &ResourceTable,
+    time_ms: u64,
+    client: SourceId,
+    resource: piggyback_core::types::ResourceId,
+    _embedded: bool,
+) {
+    let method = if cfg.post_fraction > 0.0 && rng.random::<f64>() < cfg.post_fraction {
+        Method::Post
+    } else {
+        Method::Get
+    };
+    let bytes = table.meta(resource).map_or(0, |m| m.size);
+    entries.push(ServerLogEntry {
+        time: Timestamp::from_millis(time_ms),
+        client,
+        resource,
+        method,
+        status: 200,
+        bytes,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::site::SiteConfig;
+
+    fn small_log(seed: u64) -> ServerLog {
+        let (table, site) = Site::generate(&SiteConfig {
+            n_pages: 50,
+            seed: 1,
+            ..Default::default()
+        });
+        let cfg = WorkloadConfig {
+            duration: DurationMs::from_secs(24 * 3600),
+            sessions: 500,
+            n_clients: 100,
+            seed,
+            ..Default::default()
+        };
+        generate_server_log("test", &site, &table, &cfg)
+    }
+
+    #[test]
+    fn log_is_time_ordered_and_nonempty() {
+        let log = small_log(3);
+        assert!(log.entries.len() >= 500, "at least one request per session");
+        assert!(log.is_time_ordered());
+        assert!(log.client_count() <= 100);
+        assert!(log.unique_resources() > 10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small_log(5);
+        let b = small_log(5);
+        assert_eq!(a.entries.len(), b.entries.len());
+        assert_eq!(a.entries.first(), b.entries.first());
+        assert_eq!(a.entries.last(), b.entries.last());
+        let c = small_log(6);
+        assert_ne!(
+            a.entries.len(),
+            0,
+            "sanity: seeds produce different but valid traces ({} vs {})",
+            a.entries.len(),
+            c.entries.len()
+        );
+    }
+
+    #[test]
+    fn client_activity_is_skewed() {
+        let log = small_log(8);
+        let mut by_client = std::collections::HashMap::new();
+        for e in &log.entries {
+            *by_client.entry(e.client.0).or_insert(0usize) += 1;
+        }
+        let mut counts: Vec<usize> = by_client.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top_decile = counts.len().div_ceil(10);
+        let top: usize = counts[..top_decile].iter().sum();
+        let total: usize = counts.iter().sum();
+        // Paper: top 10% of clients often account for >50% of accesses.
+        assert!(
+            top as f64 / total as f64 > 0.3,
+            "top-decile share {}",
+            top as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn embedded_images_follow_pages_quickly() {
+        let log = small_log(9);
+        // Median gap between consecutive requests of the same client within
+        // a burst should be small (embedded fetches are sub-second-ish).
+        let mut gaps = Vec::new();
+        let mut last: std::collections::HashMap<u32, Timestamp> = Default::default();
+        for e in &log.entries {
+            if let Some(&prev) = last.get(&e.client.0) {
+                let gap = e.time.since(prev).as_millis();
+                if gap < 60_000 {
+                    gaps.push(gap);
+                }
+            }
+            last.insert(e.client.0, e.time);
+        }
+        gaps.sort_unstable();
+        assert!(!gaps.is_empty());
+        let median = gaps[gaps.len() / 2];
+        assert!(median < 20_000, "median intra-session gap {median} ms");
+    }
+
+    #[test]
+    fn post_fraction_honoured() {
+        let (table, site) = Site::generate(&SiteConfig {
+            n_pages: 20,
+            images_per_page: (0, 0),
+            ..Default::default()
+        });
+        let cfg = WorkloadConfig {
+            sessions: 300,
+            post_fraction: 0.9,
+            ..Default::default()
+        };
+        let log = generate_server_log("marimba-ish", &site, &table, &cfg);
+        let posts = log
+            .entries
+            .iter()
+            .filter(|e| e.method == Method::Post)
+            .count();
+        let frac = posts as f64 / log.entries.len() as f64;
+        assert!((frac - 0.9).abs() < 0.06, "POST fraction {frac}");
+    }
+
+    #[test]
+    fn bytes_match_table_sizes() {
+        let log = small_log(11);
+        for e in log.entries.iter().take(100) {
+            assert_eq!(e.bytes, log.table.meta(e.resource).unwrap().size);
+        }
+    }
+}

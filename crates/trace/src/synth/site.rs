@@ -1,0 +1,335 @@
+//! Synthetic Web-site model.
+//!
+//! Generates a 1998-plausible site: a directory tree, HTML pages with
+//! embedded images (a mix of per-page images and shared site-wide icons),
+//! and an HREF link graph with directory locality. The structure is what
+//! gives directory-based volumes their predictive power (Figure 1), and
+//! the page→embedded-image bursts are what probability-based volumes learn
+//! (Section 3.3).
+
+use crate::synth::samplers::LogNormal;
+use piggyback_core::table::ResourceTable;
+use piggyback_core::types::{ResourceId, Timestamp};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of a synthetic site.
+#[derive(Debug, Clone)]
+pub struct SiteConfig {
+    /// Prepended to every path (used to embed a host name in multi-server
+    /// client traces); empty for single-site server logs.
+    pub path_prefix: String,
+    /// Number of HTML pages.
+    pub n_pages: usize,
+    /// Number of directories (including the root).
+    pub n_dirs: usize,
+    /// Maximum directory nesting depth.
+    pub max_depth: usize,
+    /// Inclusive range of embedded images per page.
+    pub images_per_page: (usize, usize),
+    /// Site-wide shared images (logos, bullets) living under `/icons`.
+    pub shared_images: usize,
+    /// Probability an image slot reuses a shared icon instead of a
+    /// page-local image.
+    pub image_share_prob: f64,
+    /// Where page-local images live: alongside their page, or under a
+    /// site-wide `/img` tree (common 1998 practice; matters for how deep
+    /// directory volumes capture page+image bursts, Figure 1).
+    pub images_in_page_dir: bool,
+    /// Inclusive range of HREF links per page.
+    pub links_per_page: (usize, usize),
+    /// Probability a link targets a page in the same directory.
+    pub link_locality: f64,
+    /// HTML body size distribution (bytes).
+    pub page_size: LogNormal,
+    /// Image size distribution (bytes).
+    pub image_size: LogNormal,
+    pub seed: u64,
+}
+
+impl Default for SiteConfig {
+    fn default() -> Self {
+        SiteConfig {
+            path_prefix: String::new(),
+            n_pages: 200,
+            n_dirs: 24,
+            max_depth: 3,
+            images_per_page: (0, 4),
+            shared_images: 6,
+            image_share_prob: 0.5,
+            images_in_page_dir: true,
+            links_per_page: (2, 8),
+            link_locality: 0.7,
+            // Paper: median response 1530 bytes, mean 13900.
+            page_size: LogNormal::from_median_mean(1530.0, 13900.0),
+            image_size: LogNormal::from_median_mean(2000.0, 8000.0),
+            seed: 42,
+        }
+    }
+}
+
+/// One page: its resource, directory, embedded images, and outgoing links.
+#[derive(Debug, Clone)]
+pub struct Page {
+    pub resource: ResourceId,
+    pub dir: usize,
+    pub images: Vec<ResourceId>,
+    /// Indices into [`Site::pages`].
+    pub links: Vec<usize>,
+}
+
+/// A generated site: pages, link graph, and directory structure. Resource
+/// paths and metadata live in the [`ResourceTable`] the site was generated
+/// into.
+#[derive(Debug, Clone)]
+pub struct Site {
+    pub pages: Vec<Page>,
+    /// Directory paths; `dirs[0]` is the root.
+    pub dirs: Vec<String>,
+    /// All resource ids belonging to this site (pages + images).
+    pub resources: Vec<ResourceId>,
+}
+
+impl Site {
+    /// Generate a site into a fresh table.
+    pub fn generate(cfg: &SiteConfig) -> (ResourceTable, Site) {
+        let mut table = ResourceTable::new();
+        let site = Self::generate_into(cfg, &mut table);
+        (table, site)
+    }
+
+    /// Generate a site, registering its resources into `table` (shared
+    /// across sites in multi-server traces).
+    pub fn generate_into(cfg: &SiteConfig, table: &mut ResourceTable) -> Site {
+        assert!(cfg.n_pages > 0, "a site needs at least one page");
+        assert!(cfg.n_dirs > 0, "a site needs at least the root directory");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut resources = Vec::new();
+
+        // Directory tree: each new directory hangs off an existing one
+        // that has not reached max depth. Half the time the parent is the
+        // most recently created eligible directory, producing the deep
+        // chains (/a/b/c/d) real sites exhibit; otherwise a random one,
+        // producing breadth.
+        let mut dirs: Vec<String> = vec![String::new()]; // root ("" + "/file")
+        let mut depths: Vec<usize> = vec![0];
+        for i in 1..cfg.n_dirs {
+            let parent = if rng.random::<f64>() < 0.5
+                && depths[dirs.len() - 1] < cfg.max_depth
+            {
+                dirs.len() - 1
+            } else {
+                let mut p = rng.random_range(0..dirs.len());
+                let mut guard = 0;
+                while depths[p] >= cfg.max_depth && guard < 32 {
+                    p = rng.random_range(0..dirs.len());
+                    guard += 1;
+                }
+                if depths[p] >= cfg.max_depth {
+                    0
+                } else {
+                    p
+                }
+            };
+            dirs.push(format!("{}/d{}", dirs[parent], i));
+            depths.push(depths[parent] + 1);
+        }
+
+        // Shared icons.
+        let lm = Timestamp::ZERO;
+        let shared: Vec<ResourceId> = (0..cfg.shared_images)
+            .map(|i| {
+                let size = cfg.image_size.sample(&mut rng).max(64.0) as u64;
+                let id = table.register_path(
+                    &format!("{}/icons/shared{}.gif", cfg.path_prefix, i),
+                    size,
+                    lm,
+                );
+                resources.push(id);
+                id
+            })
+            .collect();
+
+        // Pages with embedded images.
+        let mut pages: Vec<Page> = Vec::with_capacity(cfg.n_pages);
+        let mut pages_in_dir: Vec<Vec<usize>> = vec![Vec::new(); dirs.len()];
+        for i in 0..cfg.n_pages {
+            let dir = rng.random_range(0..dirs.len());
+            let size = cfg.page_size.sample(&mut rng).max(128.0) as u64;
+            let path = format!("{}{}/p{}.html", cfg.path_prefix, dirs[dir], i);
+            let resource = table.register_path(&path, size, lm);
+            resources.push(resource);
+
+            let n_imgs = rng.random_range(cfg.images_per_page.0..=cfg.images_per_page.1);
+            let mut images = Vec::with_capacity(n_imgs);
+            for j in 0..n_imgs {
+                if !shared.is_empty() && rng.random::<f64>() < cfg.image_share_prob {
+                    images.push(shared[rng.random_range(0..shared.len())]);
+                } else {
+                    let isize = cfg.image_size.sample(&mut rng).max(64.0) as u64;
+                    let ipath = if cfg.images_in_page_dir {
+                        format!("{}{}/p{}_img{}.gif", cfg.path_prefix, dirs[dir], i, j)
+                    } else {
+                        format!("{}/img/p{}_img{}.gif", cfg.path_prefix, i, j)
+                    };
+                    let id = table.register_path(&ipath, isize, lm);
+                    resources.push(id);
+                    images.push(id);
+                }
+            }
+            pages_in_dir[dir].push(i);
+            pages.push(Page {
+                resource,
+                dir,
+                images,
+                links: Vec::new(),
+            });
+        }
+
+        // Link graph with directory locality.
+        for i in 0..pages.len() {
+            let n_links = rng.random_range(cfg.links_per_page.0..=cfg.links_per_page.1);
+            let dir = pages[i].dir;
+            let mut links = Vec::with_capacity(n_links);
+            for _ in 0..n_links {
+                let local = &pages_in_dir[dir];
+                let target = if rng.random::<f64>() < cfg.link_locality && local.len() > 1 {
+                    local[rng.random_range(0..local.len())]
+                } else {
+                    rng.random_range(0..pages.len())
+                };
+                if target != i {
+                    links.push(target);
+                }
+            }
+            links.sort_unstable();
+            links.dedup();
+            pages[i].links = links;
+        }
+
+        Site {
+            pages,
+            dirs,
+            resources,
+        }
+    }
+
+    /// Total resources (pages + distinct images).
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piggyback_core::intern::directory_prefix;
+    use piggyback_core::types::ContentType;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SiteConfig::default();
+        let (t1, s1) = Site::generate(&cfg);
+        let (t2, s2) = Site::generate(&cfg);
+        assert_eq!(s1.pages.len(), s2.pages.len());
+        assert_eq!(s1.resource_count(), s2.resource_count());
+        assert_eq!(t1.len(), t2.len());
+        for (a, b) in s1.pages.iter().zip(&s2.pages) {
+            assert_eq!(a.resource, b.resource);
+            assert_eq!(a.links, b.links);
+        }
+    }
+
+    #[test]
+    fn pages_have_sane_structure() {
+        let cfg = SiteConfig::default();
+        let (table, site) = Site::generate(&cfg);
+        assert_eq!(site.pages.len(), cfg.n_pages);
+        assert_eq!(site.dirs.len(), cfg.n_dirs);
+        for page in &site.pages {
+            let meta = table.meta(page.resource).unwrap();
+            assert_eq!(meta.content_type, ContentType::Html);
+            assert!(meta.size >= 128);
+            assert!(page.images.len() <= cfg.images_per_page.1);
+            for &l in &page.links {
+                assert!(l < site.pages.len());
+            }
+            for &img in &page.images {
+                assert_eq!(table.meta(img).unwrap().content_type, ContentType::Image);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_bounded() {
+        let cfg = SiteConfig {
+            n_dirs: 100,
+            max_depth: 2,
+            ..Default::default()
+        };
+        let (_, site) = Site::generate(&cfg);
+        for d in &site.dirs {
+            let depth = d.matches('/').count();
+            assert!(depth <= 2, "dir {d} deeper than max_depth");
+        }
+    }
+
+    #[test]
+    fn prefix_embeds_host() {
+        let cfg = SiteConfig {
+            path_prefix: "/www.example.com".into(),
+            n_pages: 10,
+            ..Default::default()
+        };
+        let (table, site) = Site::generate(&cfg);
+        for &r in &site.resources {
+            let path = table.path(r).unwrap();
+            assert!(path.starts_with("/www.example.com/"), "path {path}");
+            assert_eq!(directory_prefix(path, 1), "/www.example.com");
+        }
+    }
+
+    #[test]
+    fn shared_icons_are_reused() {
+        let cfg = SiteConfig {
+            n_pages: 100,
+            images_per_page: (2, 4),
+            shared_images: 3,
+            image_share_prob: 0.9,
+            ..Default::default()
+        };
+        let (_, site) = Site::generate(&cfg);
+        let mut counts = std::collections::HashMap::new();
+        for p in &site.pages {
+            for &i in &p.images {
+                *counts.entry(i).or_insert(0usize) += 1;
+            }
+        }
+        let max_reuse = counts.values().copied().max().unwrap_or(0);
+        assert!(max_reuse > 10, "shared icons should appear on many pages");
+    }
+
+    #[test]
+    fn link_locality_respected() {
+        let cfg = SiteConfig {
+            n_pages: 400,
+            n_dirs: 10,
+            link_locality: 0.9,
+            links_per_page: (4, 6),
+            ..Default::default()
+        };
+        let (_, site) = Site::generate(&cfg);
+        let mut local = 0usize;
+        let mut total = 0usize;
+        for p in &site.pages {
+            for &l in &p.links {
+                total += 1;
+                if site.pages[l].dir == p.dir {
+                    local += 1;
+                }
+            }
+        }
+        let frac = local as f64 / total.max(1) as f64;
+        assert!(frac > 0.6, "locality fraction {frac}");
+    }
+}

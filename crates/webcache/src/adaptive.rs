@@ -1,0 +1,186 @@
+//! Adaptive freshness intervals (paper Section 4, "Adaptive freshness
+//! interval").
+//!
+//! "Since the piggyback includes the Last-Modified time of each resource,
+//! the proxy can estimate and record how often the resource changes" and
+//! pick a per-resource freshness interval Δ, balancing validation cost
+//! against staleness risk.
+
+use piggyback_core::types::{DurationMs, ResourceId, Timestamp};
+use std::collections::HashMap;
+
+/// How the proxy assigns freshness intervals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FreshnessPolicy {
+    /// A fixed Δ for everything.
+    Fixed(DurationMs),
+    /// Per-resource adaptive Δ: `clamp(factor * estimated_change_interval,
+    /// min, max)`, falling back to `default` until two distinct
+    /// Last-Modified values have been seen.
+    Adaptive {
+        factor: f64,
+        min: DurationMs,
+        max: DurationMs,
+        default: DurationMs,
+    },
+}
+
+impl FreshnessPolicy {
+    /// A conservative adaptive default: Δ is 20% of the observed mean
+    /// change interval, between one minute and one day.
+    pub fn adaptive_default() -> Self {
+        FreshnessPolicy::Adaptive {
+            factor: 0.2,
+            min: DurationMs::from_secs(60),
+            max: DurationMs::from_secs(86_400),
+            default: DurationMs::from_secs(3_600),
+        }
+    }
+}
+
+/// Tracks observed Last-Modified times and estimates change intervals with
+/// an exponentially weighted moving average.
+#[derive(Debug, Default)]
+pub struct ChangeEstimator {
+    state: HashMap<ResourceId, (Timestamp, Option<f64>)>,
+}
+
+impl ChangeEstimator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a Last-Modified observation (from a response header or a
+    /// piggyback element). Returns true if this revealed a *new version*.
+    pub fn observe(&mut self, r: ResourceId, last_modified: Timestamp) -> bool {
+        match self.state.get_mut(&r) {
+            None => {
+                self.state.insert(r, (last_modified, None));
+                false
+            }
+            Some((seen_lm, est)) => {
+                if last_modified > *seen_lm {
+                    let gap = last_modified.since(*seen_lm).as_millis() as f64;
+                    *est = Some(match *est {
+                        None => gap,
+                        Some(prev) => 0.7 * prev + 0.3 * gap,
+                    });
+                    *seen_lm = last_modified;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Estimated mean change interval, if at least one change was observed.
+    pub fn estimated_interval(&self, r: ResourceId) -> Option<DurationMs> {
+        self.state
+            .get(&r)
+            .and_then(|(_, est)| est.map(|ms| DurationMs::from_millis(ms as u64)))
+    }
+
+    /// The freshness interval `policy` assigns to `r` right now.
+    pub fn freshness_for(&self, r: ResourceId, policy: FreshnessPolicy) -> DurationMs {
+        match policy {
+            FreshnessPolicy::Fixed(d) => d,
+            FreshnessPolicy::Adaptive {
+                factor,
+                min,
+                max,
+                default,
+            } => match self.estimated_interval(r) {
+                Some(est) => {
+                    let ms = (est.as_millis() as f64 * factor) as u64;
+                    DurationMs(ms.clamp(min.as_millis(), max.as_millis()))
+                }
+                None => default,
+            },
+        }
+    }
+
+    /// Number of tracked resources.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn r(i: u32) -> ResourceId {
+        ResourceId(i)
+    }
+
+    #[test]
+    fn first_observation_is_not_a_change() {
+        let mut e = ChangeEstimator::new();
+        assert!(!e.observe(r(1), ts(100)));
+        assert_eq!(e.estimated_interval(r(1)), None);
+    }
+
+    #[test]
+    fn change_detection_and_estimation() {
+        let mut e = ChangeEstimator::new();
+        e.observe(r(1), ts(0));
+        assert!(e.observe(r(1), ts(1000)));
+        assert_eq!(
+            e.estimated_interval(r(1)),
+            Some(DurationMs::from_secs(1000))
+        );
+        // Same LM again: not a change.
+        assert!(!e.observe(r(1), ts(1000)));
+        // Older LM (out-of-order piggyback): ignored.
+        assert!(!e.observe(r(1), ts(500)));
+        // EWMA: next gap of 2000s mixes 0.7*1000 + 0.3*2000 = 1300.
+        assert!(e.observe(r(1), ts(3000)));
+        assert_eq!(
+            e.estimated_interval(r(1)),
+            Some(DurationMs::from_secs(1300))
+        );
+    }
+
+    #[test]
+    fn fixed_policy_ignores_estimates() {
+        let mut e = ChangeEstimator::new();
+        e.observe(r(1), ts(0));
+        e.observe(r(1), ts(10));
+        let d = e.freshness_for(r(1), FreshnessPolicy::Fixed(DurationMs::from_secs(77)));
+        assert_eq!(d, DurationMs::from_secs(77));
+    }
+
+    #[test]
+    fn adaptive_policy_scales_and_clamps() {
+        let mut e = ChangeEstimator::new();
+        let policy = FreshnessPolicy::Adaptive {
+            factor: 0.5,
+            min: DurationMs::from_secs(10),
+            max: DurationMs::from_secs(100),
+            default: DurationMs::from_secs(42),
+        };
+        // Unknown resource: default.
+        assert_eq!(e.freshness_for(r(1), policy), DurationMs::from_secs(42));
+        // Fast changer: clamped to min.
+        e.observe(r(1), ts(0));
+        e.observe(r(1), ts(4));
+        assert_eq!(e.freshness_for(r(1), policy), DurationMs::from_secs(10));
+        // Slow changer: clamped to max.
+        e.observe(r(2), ts(0));
+        e.observe(r(2), ts(100_000));
+        assert_eq!(e.freshness_for(r(2), policy), DurationMs::from_secs(100));
+        // Mid-range: factor applied.
+        e.observe(r(3), ts(0));
+        e.observe(r(3), ts(60));
+        assert_eq!(e.freshness_for(r(3), policy), DurationMs::from_secs(30));
+    }
+}

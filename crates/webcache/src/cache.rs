@@ -1,0 +1,307 @@
+//! The proxy's object cache: byte-bounded storage with expiration times
+//! and a pluggable replacement policy.
+
+use crate::policy::ReplacementPolicy;
+use piggyback_core::types::{ResourceId, Timestamp};
+use std::collections::HashMap;
+
+/// Metadata for one cached resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEntry {
+    pub size: u64,
+    /// Version of the resource (server Last-Modified at fetch time).
+    pub last_modified: Timestamp,
+    /// The entry may be served without validation until this instant
+    /// (exclusive) — the freshness interval Δ of Section 2.1.
+    pub expires: Timestamp,
+    /// Whether the entry arrived via prefetch rather than a client request.
+    pub prefetched: bool,
+    /// Whether a client request has hit the entry since it was (pre)fetched.
+    pub used: bool,
+}
+
+impl CacheEntry {
+    /// Fresh at `now` (no validation needed)?
+    pub fn is_fresh(&self, now: Timestamp) -> bool {
+        now < self.expires
+    }
+}
+
+/// A byte-capacity cache with policy-driven eviction.
+pub struct Cache {
+    entries: HashMap<ResourceId, CacheEntry>,
+    used_bytes: u64,
+    capacity: u64,
+    policy: Box<dyn ReplacementPolicy + Send>,
+    evictions: u64,
+}
+
+impl Cache {
+    pub fn new(capacity: u64, policy: Box<dyn ReplacementPolicy + Send>) -> Self {
+        Cache {
+            entries: HashMap::new(),
+            used_bytes: 0,
+            capacity,
+            policy,
+            evictions: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Peek without touching recency.
+    pub fn peek(&self, r: ResourceId) -> Option<&CacheEntry> {
+        self.entries.get(&r)
+    }
+
+    /// Look up for a client request: touches the replacement policy and
+    /// marks the entry used. The returned snapshot reflects the state
+    /// *before* the `used` mark, so callers can detect first use of a
+    /// prefetched entry.
+    pub fn lookup(&mut self, r: ResourceId, now: Timestamp) -> Option<CacheEntry> {
+        let entry = self.entries.get_mut(&r)?;
+        let snapshot = *entry;
+        entry.used = true;
+        self.policy.on_access(r, snapshot.size, now);
+        Some(snapshot)
+    }
+
+    /// Insert (or replace) an entry, evicting as needed. Returns the
+    /// evicted resources. Objects larger than the whole cache are not
+    /// cached (returned untouched, no eviction storm).
+    pub fn insert(
+        &mut self,
+        r: ResourceId,
+        entry: CacheEntry,
+        now: Timestamp,
+    ) -> Vec<ResourceId> {
+        if entry.size > self.capacity {
+            // Uncachable: also drop any stale previous copy.
+            self.remove(r);
+            return Vec::new();
+        }
+        if let Some(old) = self.entries.remove(&r) {
+            self.used_bytes -= old.size;
+            self.policy.remove(r);
+        }
+        let mut evicted = Vec::new();
+        while self.used_bytes + entry.size > self.capacity {
+            let victim = self
+                .policy
+                .evict_candidate()
+                .expect("policy must track every cached entry");
+            debug_assert_ne!(victim, r);
+            let old = self
+                .entries
+                .remove(&victim)
+                .expect("policy nominated an uncached victim");
+            self.used_bytes -= old.size;
+            self.policy.remove(victim);
+            self.evictions += 1;
+            evicted.push(victim);
+        }
+        self.used_bytes += entry.size;
+        self.entries.insert(r, entry);
+        self.policy.on_insert(r, entry.size, now);
+        evicted
+    }
+
+    /// Remove an entry (invalidation). Returns whether it was present.
+    pub fn remove(&mut self, r: ResourceId) -> bool {
+        match self.entries.remove(&r) {
+            Some(e) => {
+                self.used_bytes -= e.size;
+                self.policy.remove(r);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Extend an entry's expiration (piggyback freshen or 304 validation).
+    pub fn freshen(&mut self, r: ResourceId, expires: Timestamp) -> bool {
+        match self.entries.get_mut(&r) {
+            Some(e) => {
+                e.expires = expires;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Record that a piggyback mentioned `r` (policy hint).
+    pub fn note_piggyback_mention(&mut self, r: ResourceId, now: Timestamp) {
+        if let Some(e) = self.entries.get(&r) {
+            let size = e.size;
+            self.policy.on_piggyback_mention(r, size, now);
+        }
+    }
+
+    /// Iterate entries (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceId, &CacheEntry)> {
+        self.entries.iter().map(|(&r, e)| (r, e))
+    }
+
+    #[cfg(test)]
+    pub(crate) fn check_invariants(&self) {
+        let total: u64 = self.entries.values().map(|e| e.size).sum();
+        assert_eq!(total, self.used_bytes, "byte accounting drifted");
+        assert!(self.used_bytes <= self.capacity, "over capacity");
+        assert_eq!(self.policy.len(), self.entries.len(), "policy desync");
+    }
+}
+
+impl std::fmt::Debug for Cache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cache")
+            .field("entries", &self.entries.len())
+            .field("used_bytes", &self.used_bytes)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Lru, PolicyKind};
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn r(i: u32) -> ResourceId {
+        ResourceId(i)
+    }
+
+    fn entry(size: u64, expires: u64) -> CacheEntry {
+        CacheEntry {
+            size,
+            last_modified: Timestamp::ZERO,
+            expires: ts(expires),
+            prefetched: false,
+            used: false,
+        }
+    }
+
+    fn lru_cache(cap: u64) -> Cache {
+        Cache::new(cap, Box::new(Lru::new()))
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut c = lru_cache(1000);
+        c.insert(r(1), entry(400, 60), ts(0));
+        c.check_invariants();
+        let e = c.lookup(r(1), ts(10)).unwrap();
+        assert!(e.is_fresh(ts(59)));
+        assert!(!e.is_fresh(ts(60)));
+        assert!(c.remove(r(1)));
+        assert!(!c.remove(r(1)));
+        c.check_invariants();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_enforced_with_lru_eviction() {
+        let mut c = lru_cache(1000);
+        c.insert(r(1), entry(400, 100), ts(1));
+        c.insert(r(2), entry(400, 100), ts(2));
+        // Touch r1 so r2 is the LRU victim.
+        c.lookup(r(1), ts(3));
+        let evicted = c.insert(r(3), entry(400, 100), ts(4));
+        assert_eq!(evicted, vec![r(2)]);
+        c.check_invariants();
+        assert!(c.peek(r(1)).is_some());
+        assert!(c.peek(r(2)).is_none());
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn oversized_objects_bypass_cache() {
+        let mut c = lru_cache(100);
+        c.insert(r(1), entry(50, 10), ts(0));
+        let evicted = c.insert(r(2), entry(500, 10), ts(1));
+        assert!(evicted.is_empty());
+        assert!(c.peek(r(2)).is_none());
+        assert!(c.peek(r(1)).is_some(), "small entry untouched");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn replace_updates_byte_accounting() {
+        let mut c = lru_cache(1000);
+        c.insert(r(1), entry(400, 10), ts(0));
+        c.insert(r(1), entry(700, 20), ts(1));
+        assert_eq!(c.used_bytes(), 700);
+        assert_eq!(c.len(), 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn freshen_extends_expiry() {
+        let mut c = lru_cache(1000);
+        c.insert(r(1), entry(100, 50), ts(0));
+        assert!(c.freshen(r(1), ts(500)));
+        assert!(c.peek(r(1)).unwrap().is_fresh(ts(499)));
+        assert!(!c.freshen(r(9), ts(500)));
+    }
+
+    #[test]
+    fn piggyback_mention_changes_eviction_order_for_aware_policy() {
+        let mut c = Cache::new(800, PolicyKind::PiggybackAware.build());
+        c.insert(r(1), entry(400, 100), ts(1));
+        c.insert(r(2), entry(400, 100), ts(2));
+        c.note_piggyback_mention(r(1), ts(3));
+        let evicted = c.insert(r(3), entry(400, 100), ts(4));
+        assert_eq!(evicted, vec![r(2)]);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn eviction_cascades_until_fit() {
+        let mut c = lru_cache(1000);
+        for i in 0..5 {
+            c.insert(r(i), entry(200, 100), ts(i as u64));
+        }
+        let evicted = c.insert(r(10), entry(900, 100), ts(10));
+        assert_eq!(evicted.len(), 5, "needs almost the whole cache");
+        c.check_invariants();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lookup_marks_used() {
+        let mut c = lru_cache(100);
+        c.insert(
+            r(1),
+            CacheEntry {
+                prefetched: true,
+                ..entry(10, 100)
+            },
+            ts(0),
+        );
+        assert!(!c.peek(r(1)).unwrap().used);
+        c.lookup(r(1), ts(1));
+        assert!(c.peek(r(1)).unwrap().used);
+        assert!(c.peek(r(1)).unwrap().prefetched);
+    }
+}

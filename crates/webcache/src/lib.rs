@@ -1,0 +1,56 @@
+//! # piggyback-webcache
+//!
+//! Proxy cache simulation for the SIGCOMM '98 server-volumes reproduction:
+//! a byte-bounded cache with pluggable replacement policies, freshness
+//! intervals and If-Modified-Since validation, piggyback-driven coherency
+//! and prefetching, adaptive per-resource freshness, and the informed
+//! (size-ordered) fetch scheduler — the proxy applications of the paper's
+//! Section 4.
+//!
+//! * [`cache`] — the object cache.
+//! * [`policy`] — LRU, GreedyDual-Size, and piggyback-aware replacement.
+//! * [`adaptive`] — Last-Modified-driven change estimation and adaptive Δ.
+//! * [`informed`] — fetch-queue scheduling with piggybacked sizes.
+//! * [`sim`] — the end-to-end proxy↔origin replay simulator.
+//! * [`hierarchy`] — the two-level (children → parent → origin) variant.
+//!
+//! ```
+//! use piggyback_webcache::{Cache, CacheEntry, PolicyKind};
+//! use piggyback_core::types::{DurationMs, ResourceId, Timestamp};
+//!
+//! let mut cache = Cache::new(1024, PolicyKind::Lru.build());
+//! let now = Timestamp::from_secs(0);
+//! cache.insert(ResourceId(1), CacheEntry {
+//!     size: 600,
+//!     last_modified: now,
+//!     expires: now + DurationMs::from_secs(60),
+//!     prefetched: false,
+//!     used: false,
+//! }, now);
+//! assert!(cache.lookup(ResourceId(1), Timestamp::from_secs(30)).unwrap().is_fresh(Timestamp::from_secs(30)));
+//! // Inserting past capacity evicts the least recently used entry.
+//! cache.insert(ResourceId(2), CacheEntry {
+//!     size: 600,
+//!     last_modified: now,
+//!     expires: now + DurationMs::from_secs(60),
+//!     prefetched: false,
+//!     used: false,
+//! }, Timestamp::from_secs(31));
+//! assert!(cache.peek(ResourceId(1)).is_none());
+//! ```
+
+pub mod adaptive;
+pub mod cache;
+pub mod hierarchy;
+pub mod informed;
+pub mod policy;
+pub mod psi;
+pub mod sim;
+
+pub use adaptive::{ChangeEstimator, FreshnessPolicy};
+pub use cache::{Cache, CacheEntry};
+pub use hierarchy::{simulate_hierarchy, HierarchyConfig, HierarchyReport};
+pub use informed::{simulate_fetch_queue, FetchJob, QueueReport, SchedulingOrder};
+pub use policy::{GdSize, Lru, PiggybackAware, PolicyKind, ReplacementPolicy};
+pub use psi::{simulate_psi, ModificationLog, PsiConfig, PsiReport};
+pub use sim::{build_server, simulate_proxy, PrefetchConfig, ProxySimConfig, ProxySimReport};

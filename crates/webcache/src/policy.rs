@@ -1,0 +1,302 @@
+//! Cache replacement policies.
+//!
+//! The paper's cache-replacement application (Section 4) extends LRU with
+//! piggyback information: "rather than removing the least-recently-used
+//! item, the proxy could continue to cache items that have appeared in
+//! recent piggyback messages". Implemented here:
+//!
+//! * [`Lru`] — classic least-recently-used;
+//! * [`GdSize`] — Cao & Irani's GreedyDual-Size with unit cost (reference
+//!   [5]), the strongest conventional baseline of the era;
+//! * [`PiggybackAware`] — LRU in which a piggyback mention counts as a
+//!   recency touch, so server-predicted resources survive eviction.
+
+use piggyback_core::types::{ResourceId, Timestamp};
+use std::collections::{BTreeSet, HashMap};
+
+/// A replacement policy: tracks cached resources and nominates victims.
+///
+/// The [`Cache`](crate::cache::Cache) drives all calls; implementations
+/// only see resources the cache currently holds.
+pub trait ReplacementPolicy {
+    /// A resource was inserted.
+    fn on_insert(&mut self, r: ResourceId, size: u64, now: Timestamp);
+    /// A cached resource was served to a client.
+    fn on_access(&mut self, r: ResourceId, size: u64, now: Timestamp);
+    /// A cached resource was mentioned in a piggyback message.
+    fn on_piggyback_mention(&mut self, _r: ResourceId, _size: u64, _now: Timestamp) {}
+    /// Nominate the next victim (must currently be tracked).
+    fn evict_candidate(&mut self) -> Option<ResourceId>;
+    /// A resource left the cache (evicted or invalidated).
+    fn remove(&mut self, r: ResourceId);
+    /// Number of tracked resources (for invariant checks).
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Classic LRU over a recency index.
+#[derive(Debug, Default)]
+pub struct Lru {
+    tick: u64,
+    order: BTreeSet<(u64, ResourceId)>,
+    pos: HashMap<ResourceId, u64>,
+}
+
+impl Lru {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn touch(&mut self, r: ResourceId) {
+        self.tick += 1;
+        if let Some(old) = self.pos.insert(r, self.tick) {
+            self.order.remove(&(old, r));
+        }
+        self.order.insert((self.tick, r));
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn on_insert(&mut self, r: ResourceId, _size: u64, _now: Timestamp) {
+        self.touch(r);
+    }
+
+    fn on_access(&mut self, r: ResourceId, _size: u64, _now: Timestamp) {
+        self.touch(r);
+    }
+
+    fn evict_candidate(&mut self) -> Option<ResourceId> {
+        self.order.first().map(|&(_, r)| r)
+    }
+
+    fn remove(&mut self, r: ResourceId) {
+        if let Some(old) = self.pos.remove(&r) {
+            self.order.remove(&(old, r));
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.pos.len()
+    }
+}
+
+/// Total-ordered `f64` for priority queues.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// GreedyDual-Size with unit cost: priority `H = L + 1/size`; the global
+/// inflation value `L` rises to each victim's priority, aging the cache.
+#[derive(Debug, Default)]
+pub struct GdSize {
+    inflation: f64,
+    queue: BTreeSet<(OrdF64, ResourceId)>,
+    prio: HashMap<ResourceId, f64>,
+}
+
+impl GdSize {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn set_priority(&mut self, r: ResourceId, size: u64) {
+        let h = self.inflation + 1.0 / size.max(1) as f64;
+        if let Some(old) = self.prio.insert(r, h) {
+            self.queue.remove(&(OrdF64(old), r));
+        }
+        self.queue.insert((OrdF64(h), r));
+    }
+}
+
+impl ReplacementPolicy for GdSize {
+    fn on_insert(&mut self, r: ResourceId, size: u64, _now: Timestamp) {
+        self.set_priority(r, size);
+    }
+
+    fn on_access(&mut self, r: ResourceId, size: u64, _now: Timestamp) {
+        self.set_priority(r, size);
+    }
+
+    fn evict_candidate(&mut self) -> Option<ResourceId> {
+        let &(OrdF64(h), r) = self.queue.first()?;
+        self.inflation = self.inflation.max(h);
+        Some(r)
+    }
+
+    fn remove(&mut self, r: ResourceId) {
+        if let Some(old) = self.prio.remove(&r) {
+            self.queue.remove(&(OrdF64(old), r));
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.prio.len()
+    }
+}
+
+/// LRU that also treats a piggyback mention as a touch: resources the
+/// server predicts will be requested stay cached.
+#[derive(Debug, Default)]
+pub struct PiggybackAware {
+    inner: Lru,
+}
+
+impl PiggybackAware {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for PiggybackAware {
+    fn on_insert(&mut self, r: ResourceId, size: u64, now: Timestamp) {
+        self.inner.on_insert(r, size, now);
+    }
+
+    fn on_access(&mut self, r: ResourceId, size: u64, now: Timestamp) {
+        self.inner.on_access(r, size, now);
+    }
+
+    fn on_piggyback_mention(&mut self, r: ResourceId, size: u64, now: Timestamp) {
+        // Only refresh resources already tracked (the cache filters, but be
+        // defensive).
+        if self.inner.pos.contains_key(&r) {
+            self.inner.on_access(r, size, now);
+        }
+    }
+
+    fn evict_candidate(&mut self) -> Option<ResourceId> {
+        self.inner.evict_candidate()
+    }
+
+    fn remove(&mut self, r: ResourceId) {
+        self.inner.remove(r);
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+/// Policy selector for configuration surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    Lru,
+    GdSize,
+    PiggybackAware,
+}
+
+impl PolicyKind {
+    pub fn build(self) -> Box<dyn ReplacementPolicy + Send> {
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new()),
+            PolicyKind::GdSize => Box::new(GdSize::new()),
+            PolicyKind::PiggybackAware => Box::new(PiggybackAware::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn r(i: u32) -> ResourceId {
+        ResourceId(i)
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = Lru::new();
+        p.on_insert(r(1), 10, ts(1));
+        p.on_insert(r(2), 10, ts(2));
+        p.on_insert(r(3), 10, ts(3));
+        p.on_access(r(1), 10, ts(4));
+        assert_eq!(p.evict_candidate(), Some(r(2)));
+        p.remove(r(2));
+        assert_eq!(p.evict_candidate(), Some(r(3)));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn lru_remove_unknown_is_noop() {
+        let mut p = Lru::new();
+        p.remove(r(9));
+        assert!(p.is_empty());
+        assert_eq!(p.evict_candidate(), None);
+    }
+
+    #[test]
+    fn gdsize_prefers_evicting_large_cold_items() {
+        let mut p = GdSize::new();
+        p.on_insert(r(1), 1_000_000, ts(1)); // big => tiny priority
+        p.on_insert(r(2), 100, ts(2)); // small => bigger priority
+        assert_eq!(p.evict_candidate(), Some(r(1)));
+    }
+
+    #[test]
+    fn gdsize_inflation_ages_old_entries() {
+        let mut p = GdSize::new();
+        p.on_insert(r(1), 100, ts(1));
+        // Evict a big item to raise inflation well above 1/100.
+        p.on_insert(r(2), 1, ts(2)); // priority 1.0
+        p.remove(r(2));
+        // evict_candidate on r(2) raised nothing; simulate eviction cycle:
+        for i in 3..100 {
+            p.on_insert(r(i), 1, ts(i as u64));
+            let v = p.evict_candidate().unwrap();
+            p.remove(v);
+        }
+        // After inflation rises past 1/100 + epsilon, a freshly accessed
+        // item outranks the stale r(1) even though r(1) is small.
+        assert!(p.inflation > 0.0);
+    }
+
+    #[test]
+    fn piggyback_aware_protects_mentioned_items() {
+        let mut lru = Lru::new();
+        let mut pa = PiggybackAware::new();
+        for policy in [&mut lru as &mut dyn ReplacementPolicy, &mut pa] {
+            policy.on_insert(r(1), 10, ts(1));
+            policy.on_insert(r(2), 10, ts(2));
+        }
+        // The server mentions r(1) in a piggyback at t=3.
+        lru.on_piggyback_mention(r(1), 10, ts(3)); // default: ignored
+        pa.on_piggyback_mention(r(1), 10, ts(3));
+        assert_eq!(lru.evict_candidate(), Some(r(1)), "plain LRU evicts r1");
+        assert_eq!(pa.evict_candidate(), Some(r(2)), "aware policy protects r1");
+    }
+
+    #[test]
+    fn piggyback_aware_ignores_untracked_mentions() {
+        let mut pa = PiggybackAware::new();
+        pa.on_piggyback_mention(r(5), 10, ts(1));
+        assert!(pa.is_empty());
+    }
+
+    #[test]
+    fn kind_builds_each_policy() {
+        for kind in [PolicyKind::Lru, PolicyKind::GdSize, PolicyKind::PiggybackAware] {
+            let mut p = kind.build();
+            p.on_insert(r(1), 10, ts(1));
+            assert_eq!(p.evict_candidate(), Some(r(1)));
+        }
+    }
+}

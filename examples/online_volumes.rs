@@ -1,0 +1,119 @@
+//! Online volume construction and persistence across "server restarts".
+//!
+//! Day 1: a server learns probability volumes online from live traffic
+//! (Section 3.3.1's online estimation), then persists them to disk at a
+//! maintenance window. Day 2: a fresh server process loads the volumes and
+//! piggybacks from the first request — no cold start.
+//!
+//! ```text
+//! cargo run --release --example online_volumes
+//! ```
+
+use piggyback::core::filter::ProxyFilter;
+use piggyback::core::metrics::{replay, ReplayConfig};
+use piggyback::core::types::DurationMs;
+use piggyback::core::volume::{
+    read_volumes, write_volumes, OnlineProbabilityVolumes, SamplingMode, VolumeProvider,
+};
+use piggyback::trace::profiles;
+use std::io::BufReader;
+
+fn main() {
+    let log = profiles::aiusa(0.08).generate();
+    println!(
+        "synthetic AIUSA log: {} requests, {} resources",
+        log.entries.len(),
+        log.table.len()
+    );
+
+    // ---- Day 1: learn online while serving --------------------------------
+    let mut table = log.table.clone();
+    for e in &log.entries {
+        table.count_access(e.resource);
+    }
+    let mut online = OnlineProbabilityVolumes::new(
+        DurationMs::from_secs(300),
+        0.2,
+        SamplingMode::Sampled { factor: 4.0 },
+        5_000, // rebuild the serving snapshot every 5k requests
+    );
+    let report = replay(
+        log.requests(),
+        &mut table,
+        &mut online,
+        &ReplayConfig {
+            base_filter: ProxyFilter::builder().max_piggy(10).build(),
+            ..Default::default()
+        },
+    );
+    println!(
+        "\nday 1 (learning online): {} snapshot rebuilds, {} piggybacks, \
+         {:.1}% of requests predicted",
+        online.rebuild_count(),
+        report.piggyback_messages,
+        100.0 * report.fraction_predicted()
+    );
+    online.rebuild_now();
+    println!(
+        "final volumes: {} implications over {} resources (counters: {})",
+        online.snapshot().implication_count(),
+        online.snapshot().volume_count(),
+        online.builder().counter_count()
+    );
+
+    // ---- Maintenance window: persist to disk -------------------------------
+    let path = std::env::temp_dir().join("piggyback-volumes.txt");
+    let mut file = std::fs::File::create(&path).expect("create volumes file");
+    write_volumes(online.snapshot(), &table, &mut file).expect("persist volumes");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("\npersisted to {} ({bytes} bytes)", path.display());
+
+    // ---- Day 2: a fresh process loads and serves immediately ---------------
+    let mut fresh_table = piggyback::core::table::ResourceTable::new();
+    let mut file = BufReader::new(std::fs::File::open(&path).expect("open volumes file"));
+    let mut loaded = read_volumes(&mut file, &mut fresh_table).expect("load volumes");
+    // Restore access counts from the log (a real server would recount or
+    // persist them too).
+    for e in &log.entries {
+        if let Some(p) = log.table.path(e.resource) {
+            if let Some(r) = fresh_table.lookup(p) {
+                fresh_table.count_access(r);
+            }
+        }
+    }
+    // Re-map the trace into the fresh table's id space.
+    let remapped: Vec<piggyback::core::metrics::Request> = log
+        .entries
+        .iter()
+        .filter_map(|e| {
+            let p = log.table.path(e.resource)?;
+            let r = fresh_table.lookup(p)?;
+            Some(piggyback::core::metrics::Request {
+                time: e.time,
+                source: e.client,
+                resource: r,
+            })
+        })
+        .collect();
+    println!(
+        "day 2 (loaded volumes, fresh process): replaying {} requests...",
+        remapped.len()
+    );
+    let report2 = replay(
+        remapped,
+        &mut fresh_table,
+        &mut loaded,
+        &ReplayConfig {
+            base_filter: ProxyFilter::builder().max_piggy(10).build(),
+            ..Default::default()
+        },
+    );
+    println!(
+        "day 2: {:.1}% predicted from the first request (avg piggyback {:.2})",
+        100.0 * report2.fraction_predicted(),
+        report2.avg_piggyback_size()
+    );
+    assert!(report2.fraction_predicted() >= report.fraction_predicted());
+    let _ = std::fs::remove_file(&path);
+    println!("\ndone: warm volumes survive restarts via the portable text format.");
+}

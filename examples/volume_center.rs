@@ -1,0 +1,93 @@
+//! The transparent volume center: piggybacking for servers that have never
+//! heard of the protocol.
+//!
+//! Topology:  client driver -> caching proxy -> volume center -> dumb origin
+//!
+//! The origin speaks plain HTTP/1.1 with no volumes. The on-path volume
+//! center learns volumes from the traffic it relays and injects `P-volume`
+//! trailers, so the proxy still gets coherency/prefetch hints.
+//!
+//! ```text
+//! cargo run --example volume_center
+//! ```
+
+use piggyback::httpwire::{Request, Response};
+use piggyback::proxyd::client::HttpClient;
+use piggyback::proxyd::proxy::{start_proxy, ProxyConfig};
+use piggyback::proxyd::util::{serve, synth_body};
+use piggyback::proxyd::volume_center::{start_volume_center, VolumeCenterConfig};
+use std::io::{BufReader, BufWriter};
+
+fn main() {
+    // 1. A piggyback-oblivious origin: serves any path, no volumes.
+    let origin = serve(0, "dumb-origin", |stream| {
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = BufWriter::new(stream);
+        loop {
+            let req = match Request::read(&mut r) {
+                Ok(q) => q,
+                Err(_) => return,
+            };
+            let keep = req.keep_alive();
+            let mut resp = Response::new(200);
+            resp.headers
+                .insert("Last-Modified", "Wed, 28 Jan 1998 00:00:00 GMT");
+            resp.body = synth_body(&req.target, 800);
+            if resp.write(&mut w).is_err() || !keep {
+                return;
+            }
+        }
+    })
+    .expect("origin");
+    println!("dumb origin  : {} (no piggyback support)", origin.addr);
+
+    // 2. The volume center interposes.
+    let center = start_volume_center(VolumeCenterConfig {
+        port: 0,
+        origin: origin.addr,
+        volume_level: 1,
+    })
+    .expect("center");
+    println!("volume center: {} -> {}", center.addr(), origin.addr);
+
+    // 3. A piggyback-aware proxy points at the *center*, not the origin.
+    let proxy = start_proxy(ProxyConfig::new(center.addr())).expect("proxy");
+    println!("proxy        : {} -> {}\n", proxy.addr(), center.addr());
+
+    // 4. Browse a directory through the whole chain.
+    let mut client = HttpClient::connect(proxy.addr()).expect("client");
+    let paths = [
+        "/docs/intro.html",
+        "/docs/api.html",
+        "/docs/faq.html",
+        "/img/logo.gif",
+        "/docs/intro.html",
+    ];
+    for p in paths {
+        let resp = client.get(p, &[]).expect("request");
+        println!(
+            "GET {p:22} -> {} [{}]",
+            resp.status,
+            resp.headers.get("X-Cache").unwrap_or("-")
+        );
+    }
+
+    let center_stats = center.stats();
+    let proxy_stats = proxy.stats();
+    println!("\nvolume center learned {} resources,", center.learned_resources());
+    println!(
+        "sent {} piggybacks ({} elements) on the origin's behalf;",
+        center_stats.piggybacks_sent, center_stats.elements_sent
+    );
+    println!(
+        "proxy received {} piggyback messages and freshened {} entries.",
+        proxy_stats.piggyback_messages, proxy_stats.piggyback_freshens
+    );
+    assert!(center_stats.piggybacks_sent > 0);
+    assert!(proxy_stats.piggyback_messages > 0);
+
+    proxy.stop();
+    center.stop();
+    origin.stop();
+    println!("\ndone: a stock server gained piggybacking with zero modification.");
+}

@@ -1,0 +1,48 @@
+//! # piggyback
+//!
+//! A reproduction of *"Improving End-to-End Performance of the Web Using
+//! Server Volumes and Proxy Filters"* (Cohen, Krishnamurthy, Rexford —
+//! SIGCOMM 1998) as a production-quality Rust workspace.
+//!
+//! Servers group related resources into **volumes** (by directory prefix or
+//! by measured pairwise access probability) and **piggyback** small lists of
+//! volume elements — URL, size, Last-Modified — onto ordinary HTTP responses,
+//! in the trailer of a chunked HTTP/1.1 message. Proxies send **filters**
+//! (`Piggy-filter` request header) that pace and customize the piggyback
+//! information, and use it for cache coherency, prefetching, replacement,
+//! adaptive freshness intervals, and informed fetching.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`core`] — volumes, filters, piggyback generation, metrics (the paper's
+//!   primary contribution).
+//! * [`trace`] — log records and synthetic client/server log generators.
+//! * [`webcache`] — proxy cache simulator and piggyback-driven policies.
+//! * [`httpwire`] — from-scratch HTTP/1.1 subset with chunked trailers.
+//! * [`proxyd`] — runnable origin, proxy, volume center, and client over TCP.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use piggyback::core::prelude::*;
+//!
+//! // A tiny server-side resource table and a 1-level directory volume set.
+//! let mut server = PiggybackServer::new(DirectoryVolumes::new(1));
+//! let a = server.register("/docs/a.html", 1200, Timestamp::from_secs(100), ContentType::Html);
+//! let b = server.register("/docs/b.html", 3400, Timestamp::from_secs(100), ContentType::Html);
+//!
+//! // Both resources are accessed, so both are in the "/docs" volume FIFO.
+//! server.record_access(a, SourceId(1), Timestamp::from_secs(200));
+//! server.record_access(b, SourceId(1), Timestamp::from_secs(201));
+//!
+//! // A later request for `a` piggybacks `b` (subject to the proxy's filter).
+//! let filter = ProxyFilter::default();
+//! let msg = server.piggyback(a, &filter, Timestamp::from_secs(300)).unwrap();
+//! assert!(msg.elements.iter().any(|e| e.resource == b));
+//! ```
+
+pub use piggyback_core as core;
+pub use piggyback_httpwire as httpwire;
+pub use piggyback_proxyd as proxyd;
+pub use piggyback_trace as trace;
+pub use piggyback_webcache as webcache;

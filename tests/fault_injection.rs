@@ -1,0 +1,181 @@
+//! Failure injection against the live network components: truncated
+//! responses, mid-body disconnects, garbage protocol data, and slow-start
+//! servers. The proxy must degrade to 502s and keep serving — never hang
+//! or panic.
+
+use piggyback::httpwire::{Request, Response};
+use piggyback::proxyd::client::HttpClient;
+use piggyback::proxyd::origin::{start_origin, OriginConfig};
+use piggyback::proxyd::proxy::{start_proxy, ProxyConfig};
+use piggyback::proxyd::util::serve;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// An origin that truncates every response body mid-stream.
+fn truncating_origin() -> piggyback::proxyd::util::ServerHandle {
+    serve(0, "truncating", |stream| {
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        if Request::read(&mut r).is_ok() {
+            // Claim 1000 bytes, send 10, slam the connection.
+            let _ = w.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 1000\r\n\r\nabcdefghij");
+            let _ = w.flush();
+        }
+        // Drop => RST/FIN.
+    })
+    .unwrap()
+}
+
+/// An origin that speaks garbage.
+fn garbage_origin() -> piggyback::proxyd::util::ServerHandle {
+    serve(0, "garbage", |stream| {
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        let mut buf = [0u8; 1024];
+        let _ = r.get_mut().read(&mut buf); // swallow whatever arrives
+        let _ = w.write_all(b"\x00\x01\x02 NOT HTTP AT ALL \xff\xfe\r\n\r\n");
+    })
+    .unwrap()
+}
+
+/// An origin that alternates: fail the first request on each connection,
+/// then answer correctly.
+fn flaky_origin() -> (piggyback::proxyd::util::ServerHandle, Arc<AtomicUsize>) {
+    let conns = Arc::new(AtomicUsize::new(0));
+    let conns2 = Arc::clone(&conns);
+    let handle = serve(0, "flaky", move |stream| {
+        let n = conns2.fetch_add(1, Ordering::SeqCst);
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = BufWriter::new(stream);
+        loop {
+            let req = match Request::read(&mut r) {
+                Ok(q) => q,
+                Err(_) => return,
+            };
+            if n == 0 {
+                // First connection: die mid-exchange.
+                return;
+            }
+            let keep = req.keep_alive();
+            let mut resp = Response::new(200);
+            resp.headers
+                .insert("Last-Modified", "Wed, 28 Jan 1998 00:00:00 GMT");
+            resp.body = b"recovered".to_vec();
+            if resp.write(&mut w).is_err() || !keep {
+                return;
+            }
+        }
+    })
+    .unwrap();
+    (handle, conns)
+}
+
+#[test]
+fn truncated_origin_response_becomes_502() {
+    let origin = truncating_origin();
+    let proxy = start_proxy(ProxyConfig::new(origin.addr)).unwrap();
+    let mut client = HttpClient::connect(proxy.addr()).unwrap();
+    let resp = client.get("/x.html", &[]).unwrap();
+    assert_eq!(resp.status, 502);
+    // The proxy survives and keeps answering.
+    let resp = client.get("/y.html", &[]).unwrap();
+    assert_eq!(resp.status, 502);
+    assert!(proxy.stats().upstream_errors >= 2);
+    proxy.stop();
+    origin.stop();
+}
+
+#[test]
+fn garbage_origin_response_becomes_502() {
+    let origin = garbage_origin();
+    let proxy = start_proxy(ProxyConfig::new(origin.addr)).unwrap();
+    let mut client = HttpClient::connect(proxy.addr()).unwrap();
+    let resp = client.get("/x.html", &[]).unwrap();
+    assert_eq!(resp.status, 502);
+    proxy.stop();
+    origin.stop();
+}
+
+#[test]
+fn proxy_reconnects_after_dropped_upstream_connection() {
+    let (origin, conns) = flaky_origin();
+    let proxy = start_proxy(ProxyConfig::new(origin.addr)).unwrap();
+    let mut client = HttpClient::connect(proxy.addr()).unwrap();
+    // First exchange: upstream dies; the proxy retries on a fresh
+    // connection and succeeds.
+    let resp = client.get("/x.html", &[]).unwrap();
+    assert_eq!(resp.status, 200, "reconnect should recover");
+    assert_eq!(resp.body, b"recovered");
+    assert!(conns.load(Ordering::SeqCst) >= 2);
+    proxy.stop();
+    origin.stop();
+}
+
+#[test]
+fn origin_survives_malformed_clients() {
+    let origin = start_origin(OriginConfig::default()).unwrap();
+    // Throw raw garbage at the origin.
+    {
+        let mut s = std::net::TcpStream::connect(origin.addr()).unwrap();
+        s.write_all(b"\x00\xffTOTAL NONSENSE\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        let _ = s.read_to_end(&mut buf); // origin just closes
+    }
+    // Then a well-formed request still works.
+    let mut client = HttpClient::connect(origin.addr()).unwrap();
+    let resp = client.get(&origin.paths[0].clone(), &[]).unwrap();
+    assert_eq!(resp.status, 200);
+    origin.stop();
+}
+
+#[test]
+fn origin_rejects_bad_filter_gracefully() {
+    let origin = start_origin(OriginConfig::default()).unwrap();
+    let mut client = HttpClient::connect(origin.addr()).unwrap();
+    // Malformed Piggy-filter: the origin must serve the resource and just
+    // skip the piggyback.
+    let resp = client
+        .get(
+            &origin.paths[0].clone(),
+            &[("TE", "chunked"), ("Piggy-filter", "!!not=a=filter!!")],
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.trailers.get("P-volume").is_none());
+    assert!(resp.headers.get("P-volume").is_none());
+    origin.stop();
+}
+
+#[test]
+fn concurrent_load_with_failures_stays_consistent() {
+    let origin = start_origin(OriginConfig::default()).unwrap();
+    let proxy = start_proxy(ProxyConfig::new(origin.addr())).unwrap();
+    let paths: Vec<String> = origin.paths.iter().take(10).cloned().collect();
+
+    let mut handles = Vec::new();
+    for t in 0..6 {
+        let addr = proxy.addr();
+        let paths = paths.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut ok = 0usize;
+            let mut client = HttpClient::connect(addr).unwrap();
+            for i in 0..30 {
+                let p = &paths[(t + i) % paths.len()];
+                if let Ok(resp) = client.get(p, &[]) {
+                    if resp.status == 200 {
+                        ok += 1;
+                    }
+                }
+            }
+            ok
+        }));
+    }
+    let total_ok: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total_ok, 6 * 30, "every request must succeed");
+    let stats = proxy.stats();
+    assert_eq!(stats.requests, 180);
+    assert!(stats.fresh_hits > 0, "shared cache must absorb repeats");
+    proxy.stop();
+    origin.stop();
+}

@@ -1,0 +1,213 @@
+//! Cross-check the streaming metrics engine against a naive quadratic
+//! reference implementation on small randomized traces.
+//!
+//! The reference works only for *static* volume providers (probability
+//! volumes) with the plain filter and no RPV/pacing, where the piggyback
+//! for every request is a pure function of the requested resource.
+
+use piggyback::core::filter::ProxyFilter;
+use piggyback::core::metrics::{replay, ReplayConfig, Request};
+use piggyback::core::table::ResourceTable;
+use piggyback::core::types::{ResourceId, SourceId, Timestamp};
+use piggyback::core::volume::ProbabilityVolumes;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+const T: u64 = 300_000; // ms
+const C: u64 = 7_200_000;
+
+/// Naive recomputation of predicted / update counters.
+struct Reference {
+    predicted: u64,
+    prev_within_c: u64,
+    prev_within_t: u64,
+    updated_by_piggyback: u64,
+    piggyback_messages: u64,
+    piggybacked_elements: u64,
+}
+
+fn volume_elements(vols: &ProbabilityVolumes, r: ResourceId) -> Vec<ResourceId> {
+    vols.volume(r)
+        .iter()
+        .map(|&(s, _)| s)
+        .filter(|&s| s != r)
+        .collect()
+}
+
+fn reference(requests: &[Request], vols: &ProbabilityVolumes) -> Reference {
+    let mut out = Reference {
+        predicted: 0,
+        prev_within_c: 0,
+        prev_within_t: 0,
+        updated_by_piggyback: 0,
+        piggyback_messages: 0,
+        piggybacked_elements: 0,
+    };
+    for (i, req) in requests.iter().enumerate() {
+        let t_i = req.time.as_millis();
+        // Quadratic scan for a predicting piggyback: any earlier request
+        // by the same source within T whose (static) piggyback contains
+        // r_i. (Requests at the same instant are processed in order, so
+        // strictly earlier index.)
+        let predicted = requests[..i].iter().any(|prev| {
+            prev.source == req.source
+                && t_i - prev.time.as_millis() <= T
+                && volume_elements(vols, prev.resource).contains(&req.resource)
+        });
+        if predicted {
+            out.predicted += 1;
+        }
+        // Previous occurrence of the same resource by the same source.
+        let prev_occ = requests[..i]
+            .iter()
+            .rev()
+            .find(|p| p.source == req.source && p.resource == req.resource)
+            .map(|p| p.time.as_millis());
+        if let Some(tp) = prev_occ {
+            let age = t_i - tp;
+            if age <= C {
+                out.prev_within_c += 1;
+                if age <= T {
+                    out.prev_within_t += 1;
+                } else if predicted {
+                    out.updated_by_piggyback += 1;
+                }
+            }
+        }
+        // Piggyback accounting.
+        let elems = volume_elements(vols, req.resource);
+        if !elems.is_empty() {
+            out.piggyback_messages += 1;
+            out.piggybacked_elements += elems.len() as u64;
+        }
+    }
+    out
+}
+
+/// Random trace + random static volumes.
+fn random_case(seed: u64) -> (Vec<Request>, ProbabilityVolumes, ResourceTable) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_resources = rng.random_range(3..12u32);
+    let n_sources = rng.random_range(1..4u32);
+    let n_requests = rng.random_range(20..120usize);
+
+    let mut table = ResourceTable::new();
+    for i in 0..n_resources {
+        table.register_path(&format!("/r{i}"), 100, Timestamp::ZERO);
+    }
+
+    // Random implication lists.
+    let mut impls: HashMap<ResourceId, Vec<(ResourceId, f32)>> = HashMap::new();
+    for r in 0..n_resources {
+        if rng.random::<f64>() < 0.7 {
+            let mut list = Vec::new();
+            for s in 0..n_resources {
+                if s != r && rng.random::<f64>() < 0.3 {
+                    list.push((ResourceId(s), rng.random::<f32>()));
+                }
+            }
+            if !list.is_empty() {
+                impls.insert(ResourceId(r), list);
+            }
+        }
+    }
+    let vols = ProbabilityVolumes::from_implications(0.0, impls);
+
+    let mut t = 0u64;
+    let mut requests = Vec::with_capacity(n_requests);
+    for _ in 0..n_requests {
+        t += rng.random_range(0..400_000u64); // gaps up to ~6.7 min straddle T
+        requests.push(Request {
+            time: Timestamp::from_millis(t),
+            source: SourceId(rng.random_range(0..n_sources)),
+            resource: ResourceId(rng.random_range(0..n_resources)),
+        });
+    }
+    (requests, vols, table)
+}
+
+#[test]
+fn engine_matches_reference_on_random_traces() {
+    for seed in 0..40u64 {
+        let (requests, vols, mut table) = random_case(seed);
+        let expected = reference(&requests, &vols);
+        let mut provider = vols.clone();
+        let report = replay(
+            requests.iter().copied(),
+            &mut table,
+            &mut provider,
+            &ReplayConfig {
+                base_filter: ProxyFilter::default(),
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.requests, requests.len() as u64, "seed {seed}");
+        assert_eq!(report.predicted, expected.predicted, "predicted, seed {seed}");
+        assert_eq!(
+            report.prev_within_c, expected.prev_within_c,
+            "prev_within_c, seed {seed}"
+        );
+        assert_eq!(
+            report.prev_within_t, expected.prev_within_t,
+            "prev_within_t, seed {seed}"
+        );
+        assert_eq!(
+            report.updated_by_piggyback, expected.updated_by_piggyback,
+            "updated, seed {seed}"
+        );
+        assert_eq!(
+            report.piggyback_messages, expected.piggyback_messages,
+            "messages, seed {seed}"
+        );
+        assert_eq!(
+            report.piggybacked_elements, expected.piggybacked_elements,
+            "elements, seed {seed}"
+        );
+        // True predictions can't exceed events, and both are bounded by
+        // elements sent.
+        assert!(report.true_predictions <= report.prediction_events);
+        assert!(report.prediction_events <= report.piggybacked_elements.max(1));
+    }
+}
+
+#[test]
+fn prediction_event_semantics_spotcheck() {
+    // One source, volume: a -> {b}. Requests: a, a (within T), b.
+    // Two piggybacks of b within one interval => ONE prediction event,
+    // fulfilled by the request for b.
+    let mut impls = HashMap::new();
+    impls.insert(ResourceId(0), vec![(ResourceId(1), 0.9f32)]);
+    let vols = ProbabilityVolumes::from_implications(0.0, impls);
+    let mut table = ResourceTable::new();
+    table.register_path("/a", 1, Timestamp::ZERO);
+    table.register_path("/b", 1, Timestamp::ZERO);
+
+    let requests = vec![
+        Request {
+            time: Timestamp::from_secs(0),
+            source: SourceId(1),
+            resource: ResourceId(0),
+        },
+        Request {
+            time: Timestamp::from_secs(10),
+            source: SourceId(1),
+            resource: ResourceId(0),
+        },
+        Request {
+            time: Timestamp::from_secs(20),
+            source: SourceId(1),
+            resource: ResourceId(1),
+        },
+    ];
+    let mut provider = vols.clone();
+    let report = replay(
+        requests,
+        &mut table,
+        &mut provider,
+        &ReplayConfig::default(),
+    );
+    assert_eq!(report.prediction_events, 1);
+    assert_eq!(report.true_predictions, 1);
+    assert_eq!(report.predicted, 1, "the request for b was predicted");
+}

@@ -1,0 +1,260 @@
+//! Property-based tests (proptest) on the core invariants: header
+//! round-trips, chunked-coding round-trips, filter semantics, RPV
+//! soundness, cache capacity, and probability bounds.
+
+use piggyback::core::element::{PiggybackElement, PiggybackMessage, WireCost};
+use piggyback::core::filter::ProxyFilter;
+use piggyback::core::rpv::RpvList;
+use piggyback::core::table::ResourceTable;
+use piggyback::core::types::{
+    ContentType, ContentTypeSet, DurationMs, ResourceId, SourceId, Timestamp, VolumeId,
+};
+use piggyback::core::volume::{
+    DirectoryVolumes, ProbabilityVolumesBuilder, SamplingMode, VolumeProvider,
+};
+use piggyback::core::wire::{decode_p_volume, encode_p_volume};
+use piggyback::httpwire::{read_chunked, write_chunked, HeaderMap};
+use piggyback::webcache::{Cache, CacheEntry, PolicyKind};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+fn arb_content_types() -> impl Strategy<Value = Option<ContentTypeSet>> {
+    proptest::option::of(proptest::collection::vec(0usize..5, 1..5).prop_map(|idx| {
+        ContentTypeSet::new(idx.into_iter().map(|i| ContentType::ALL[i]))
+    }))
+}
+
+fn arb_filter() -> impl Strategy<Value = ProxyFilter> {
+    (
+        any::<bool>(),
+        proptest::option::of(0u32..1000),
+        proptest::collection::vec(0u32..100_000, 0..8),
+        proptest::option::of(0u64..1_000_000),
+        proptest::option::of(0u32..=100),
+        proptest::option::of(0u64..10_000_000),
+        arb_content_types(),
+    )
+        .prop_map(|(enabled, max_piggy, rpv, minacc, pt, maxsize, types)| ProxyFilter {
+            enabled,
+            max_piggy,
+            rpv: rpv.into_iter().map(VolumeId).collect(),
+            min_access_count: minacc,
+            prob_threshold: pt.map(|p| p as f64 / 100.0),
+            max_size: maxsize,
+            content_types: types,
+        })
+}
+
+proptest! {
+    /// Piggy-filter header values round-trip through format + parse.
+    /// (A disabled filter serializes as just "off", dropping other fields
+    /// — the server must not piggyback at all — so compare semantics.)
+    #[test]
+    fn filter_header_round_trip(f in arb_filter()) {
+        let header = f.to_header_value();
+        let parsed = ProxyFilter::parse(&header).unwrap();
+        if f.enabled {
+            prop_assert_eq!(parsed, f);
+        } else {
+            prop_assert!(!parsed.enabled);
+        }
+    }
+
+    /// Chunked transfer-coding round-trips arbitrary bodies and trailer
+    /// values at arbitrary chunk sizes.
+    #[test]
+    fn chunked_round_trip(
+        body in proptest::collection::vec(any::<u8>(), 0..4096),
+        chunk_size in 1usize..2048,
+        trailer_value in "[ -~]{0,100}",
+    ) {
+        let mut trailers = HeaderMap::new();
+        trailers.try_insert("P-volume", trailer_value.trim()).ok();
+        let mut wire = Vec::new();
+        write_chunked(&mut wire, &body, &trailers, chunk_size).unwrap();
+        let (got_body, got_trailers) = read_chunked(&mut BufReader::new(wire.as_slice())).unwrap();
+        prop_assert_eq!(got_body, body);
+        if let Some(v) = trailers.get("P-volume") {
+            prop_assert_eq!(got_trailers.get("P-volume"), Some(v));
+        }
+    }
+
+    /// P-volume wire encoding round-trips arbitrary messages.
+    #[test]
+    fn p_volume_round_trip(
+        vol in 0u32..100_000,
+        elems in proptest::collection::vec((0u64..1_000_000, 0u64..1_000_000_000), 0..20),
+    ) {
+        let mut table = ResourceTable::new();
+        let mut msg = PiggybackMessage::new(VolumeId(vol));
+        for (i, &(size, lm)) in elems.iter().enumerate() {
+            let id = table.register_path(
+                &format!("/dir{}/res{i}.html", i % 3),
+                size,
+                Timestamp::from_secs(lm),
+            );
+            msg.elements.push(PiggybackElement {
+                resource: id,
+                size,
+                last_modified: Timestamp::from_secs(lm),
+            });
+        }
+        let encoded = encode_p_volume(&msg, &table).unwrap();
+        let wire = decode_p_volume(&encoded).unwrap();
+        prop_assert_eq!(wire.volume, VolumeId(vol));
+        prop_assert_eq!(wire.elements.len(), msg.elements.len());
+        for (w, e) in wire.elements.iter().zip(&msg.elements) {
+            prop_assert_eq!(w.size, e.size);
+            prop_assert_eq!(w.last_modified, e.last_modified);
+            prop_assert_eq!(Some(w.path.as_str()), table.path(e.resource));
+        }
+    }
+
+    /// Every element of a directory-volume piggyback satisfies the filter:
+    /// admitted by content constraints, within the cap, never the
+    /// requested resource, and the volume not RPV-suppressed.
+    #[test]
+    fn piggyback_elements_satisfy_filter(
+        f in arb_filter(),
+        accesses in proptest::collection::vec((0u32..30, 0u32..4), 1..120),
+    ) {
+        let mut table = ResourceTable::new();
+        let mut vols = DirectoryVolumes::new(1);
+        for i in 0..30u32 {
+            let path = format!("/d{}/r{i}.{}", i % 5, if i % 3 == 0 { "html" } else { "gif" });
+            let id = table.register_path(&path, 100 + 50_000 * (i as u64 % 4), Timestamp::ZERO);
+            vols.assign(id, &path);
+        }
+        for (step, &(r, src)) in accesses.iter().enumerate() {
+            let id = ResourceId(r);
+            table.count_access(id);
+            vols.record_access(id, SourceId(src), Timestamp::from_secs(step as u64), &table);
+        }
+
+        let now = Timestamp::from_secs(accesses.len() as u64 + 1);
+        for r in 0..30u32 {
+            let requested = ResourceId(r);
+            if let Some(msg) = vols.piggyback(requested, &f, now, &table) {
+                prop_assert!(f.enabled, "disabled filter must yield no piggyback");
+                prop_assert!(!f.rpv.contains(&msg.volume), "RPV-suppressed volume piggybacked");
+                prop_assert!(msg.len() <= f.cap());
+                prop_assert!(!msg.is_empty());
+                for e in &msg.elements {
+                    prop_assert_ne!(e.resource, requested, "self in piggyback");
+                    let meta = table.meta(e.resource).unwrap();
+                    prop_assert!(f.admits(meta), "element violates content filter");
+                    prop_assert_eq!(
+                        vols.volume_of(e.resource),
+                        vols.volume_of(requested),
+                        "element outside the requested volume"
+                    );
+                }
+            }
+        }
+    }
+
+    /// RPV lists never exceed their bound, never contain expired entries,
+    /// and always contain the most recently recorded volume.
+    #[test]
+    fn rpv_invariants(
+        ops in proptest::collection::vec((0u32..12, 0u64..10_000), 1..200),
+        max_len in 1usize..10,
+        timeout_s in 1u64..500,
+    ) {
+        let mut list = RpvList::new(max_len, DurationMs::from_secs(timeout_s));
+        let mut t = 0u64;
+        for &(vol, dt) in &ops {
+            t += dt;
+            let now = Timestamp::from_secs(t);
+            list.record(VolumeId(vol), now);
+            let ids = list.filter_ids(now);
+            prop_assert!(ids.len() <= max_len);
+            prop_assert_eq!(*ids.last().unwrap(), VolumeId(vol), "most recent at back");
+            // No duplicates.
+            let mut sorted: Vec<u32> = ids.iter().map(|v| v.0).collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), ids.len(), "duplicate volume in RPV");
+        }
+    }
+
+    /// The cache never exceeds capacity, never loses byte accounting, and
+    /// oversized objects bypass it, under arbitrary op sequences and every
+    /// replacement policy.
+    #[test]
+    fn cache_never_exceeds_capacity(
+        ops in proptest::collection::vec((0u32..50, 1u64..4000, 0u8..3), 1..300),
+        capacity in 1000u64..10_000,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [PolicyKind::Lru, PolicyKind::GdSize, PolicyKind::PiggybackAware][policy_idx];
+        let mut cache = Cache::new(capacity, policy.build());
+        for (step, &(r, size, op)) in ops.iter().enumerate() {
+            let now = Timestamp::from_secs(step as u64);
+            let id = ResourceId(r);
+            match op {
+                0 => {
+                    cache.insert(id, CacheEntry {
+                        size,
+                        last_modified: Timestamp::ZERO,
+                        expires: now + DurationMs::from_secs(60),
+                        prefetched: false,
+                        used: false,
+                    }, now);
+                }
+                1 => { cache.lookup(id, now); }
+                _ => { cache.remove(id); }
+            }
+            prop_assert!(cache.used_bytes() <= cache.capacity());
+            let total: u64 = cache.iter().map(|(_, e)| e.size).sum();
+            prop_assert_eq!(total, cache.used_bytes(), "byte accounting drift");
+        }
+    }
+
+    /// Probability estimates from the builder are always within [0, 1],
+    /// and build(p_t) only keeps implications with p >= p_t.
+    #[test]
+    fn probability_bounds(
+        reqs in proptest::collection::vec((0u32..8, 0u32..3, 0u64..100), 2..200),
+        pt in 1u32..=100,
+    ) {
+        let pt = pt as f64 / 100.0;
+        let mut builder = ProbabilityVolumesBuilder::new(
+            DurationMs::from_secs(300), 0.01, SamplingMode::Exact);
+        let mut t = 0u64;
+        for &(r, src, dt) in &reqs {
+            t += dt;
+            builder.observe(SourceId(src), ResourceId(r), Timestamp::from_secs(t));
+        }
+        for r in 0..8u32 {
+            for s in 0..8u32 {
+                if let Some(p) = builder.probability(ResourceId(r), ResourceId(s)) {
+                    prop_assert!((0.0..=1.0).contains(&p), "p({s}|{r}) = {p}");
+                }
+            }
+        }
+        let vols = builder.build(pt);
+        for (r, s, p) in vols.iter() {
+            // Membership is decided on exact f64 ratios; the stored f32 may
+            // round a hair below the threshold.
+            prop_assert!(p as f64 >= pt - 1e-6, "kept implication below threshold: {p} < {pt}");
+            prop_assert!(p <= 1.0);
+            let _ = (r, s);
+        }
+    }
+
+    /// Wire-cost accounting is internally consistent.
+    #[test]
+    fn wire_cost_consistency(n in 0usize..500, spare in 0u64..2000, mss in 1u64..3000) {
+        let cost = WireCost::default();
+        let bytes = cost.message_bytes(n);
+        prop_assert_eq!(bytes, cost.volume_id_bytes + cost.element_bytes() * n as u64);
+        let pkts = cost.extra_packets(n, spare, mss);
+        if bytes <= spare {
+            prop_assert_eq!(pkts, 0);
+        } else {
+            prop_assert!(pkts >= 1);
+            prop_assert!(pkts * mss >= bytes - spare);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests over the text formats and path/date utilities: CLF
+//! round-trips, HTTP-date round-trips, directory-prefix laws, and the
+//! `Piggy-report` format.
+
+use piggyback::core::datetime::{
+    format_clf, format_rfc1123, parse_clf, parse_rfc1123, DEFAULT_TRACE_EPOCH_UNIX,
+};
+use piggyback::core::intern::{directory_prefix, normalize_path};
+use piggyback::core::report::{parse_report, HitReporter};
+use piggyback::core::table::ResourceTable;
+use piggyback::core::types::{ResourceId, SourceId, Timestamp};
+use piggyback::trace::clf::{parse_clf_log, to_clf_string};
+use piggyback::trace::record::{Method, ServerLogEntry};
+use piggyback::trace::ServerLog;
+use proptest::prelude::*;
+
+/// Paths made of benign segments (no quotes/spaces — CLF and report
+/// formats do not escape those).
+fn arb_path() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z0-9_.-]{1,8}", 1..5)
+        .prop_map(|segs| format!("/{}", segs.join("/")))
+}
+
+proptest! {
+    #[test]
+    fn rfc1123_round_trip(unix in 0i64..4_000_000_000) {
+        let s = format_rfc1123(unix);
+        prop_assert_eq!(parse_rfc1123(&s), Some(unix));
+    }
+
+    #[test]
+    fn clf_date_round_trip(unix in 0i64..4_000_000_000) {
+        let s = format_clf(unix);
+        prop_assert_eq!(parse_clf(&s), Some(unix));
+    }
+
+    /// The level-k prefix is a string prefix of the path and of every
+    /// deeper level's prefix; prefixes stabilize once the path depth is
+    /// exhausted.
+    #[test]
+    fn directory_prefix_laws(path in arb_path(), level in 0usize..6) {
+        let norm = normalize_path(&path).into_owned();
+        let p_k = directory_prefix(&norm, level);
+        let p_k1 = directory_prefix(&norm, level + 1);
+        prop_assert!(norm.starts_with(p_k) || p_k == "/");
+        prop_assert!(p_k1.starts_with(p_k) || p_k == "/");
+        prop_assert!(p_k.len() <= p_k1.len());
+        // Saturation: a very deep level equals the path's own directory.
+        let deep = directory_prefix(&norm, 64);
+        let own_dir = match norm.rfind('/') {
+            Some(0) | None => "/".to_owned(),
+            Some(i) => norm[..i].to_owned(),
+        };
+        prop_assert_eq!(deep, own_dir);
+    }
+
+    /// CLF logs round-trip: every field of every entry survives.
+    #[test]
+    fn clf_log_round_trip(
+        entries in proptest::collection::vec(
+            (0u64..2_000_000, 0u32..0xffffff, arb_path(), 0u8..3, 0u64..100_000),
+            1..40,
+        )
+    ) {
+        let mut log = ServerLog {
+            name: "prop".into(),
+            epoch_unix: DEFAULT_TRACE_EPOCH_UNIX,
+            ..Default::default()
+        };
+        let mut sorted = entries;
+        sorted.sort();
+        for (t, client, path, m, bytes) in sorted {
+            let r = log.table.register_path(&path, bytes, Timestamp::ZERO);
+            log.entries.push(ServerLogEntry {
+                time: Timestamp::from_secs(t),
+                client: SourceId(client),
+                resource: r,
+                method: [Method::Get, Method::Post, Method::Head][m as usize],
+                status: 200,
+                bytes,
+            });
+        }
+        let text = to_clf_string(&log);
+        let parsed = parse_clf_log("prop", &text, DEFAULT_TRACE_EPOCH_UNIX).unwrap();
+        prop_assert_eq!(parsed.entries.len(), log.entries.len());
+        for (a, b) in log.entries.iter().zip(&parsed.entries) {
+            prop_assert_eq!(a.time, b.time);
+            prop_assert_eq!(a.client, b.client);
+            prop_assert_eq!(a.method, b.method);
+            prop_assert_eq!(a.bytes, b.bytes);
+            prop_assert_eq!(
+                log.table.path(a.resource).map(normalize_path),
+                parsed.table.path(b.resource).map(normalize_path)
+            );
+        }
+    }
+
+    /// Piggy-report headers round-trip with exact per-path counts.
+    #[test]
+    fn report_round_trip(
+        hits in proptest::collection::vec((arb_path(), 1u64..50), 0..20)
+    ) {
+        let mut reporter = HitReporter::new();
+        let mut expected: std::collections::HashMap<String, u64> = Default::default();
+        for (path, n) in &hits {
+            let norm = path.clone();
+            for _ in 0..*n {
+                reporter.record_hit(&norm);
+            }
+            *expected.entry(norm).or_insert(0) += n;
+        }
+        match reporter.drain_header() {
+            None => prop_assert!(expected.is_empty()),
+            Some(header) => {
+                let entries = parse_report(&header).unwrap();
+                let got: std::collections::HashMap<String, u64> =
+                    entries.into_iter().map(|e| (e.path, e.hits)).collect();
+                prop_assert_eq!(got, expected);
+            }
+        }
+    }
+
+    /// Interning is injective on normalized paths: distinct normalized
+    /// paths get distinct ids; identical ones share an id.
+    #[test]
+    fn interning_injective(paths in proptest::collection::vec(arb_path(), 1..30)) {
+        let mut table = ResourceTable::new();
+        let ids: Vec<ResourceId> = paths
+            .iter()
+            .map(|p| table.register_path(p, 1, Timestamp::ZERO))
+            .collect();
+        for (i, pi) in paths.iter().enumerate() {
+            for (j, pj) in paths.iter().enumerate() {
+                let same_path = normalize_path(pi) == normalize_path(pj);
+                prop_assert_eq!(same_path, ids[i] == ids[j]);
+            }
+        }
+    }
+}

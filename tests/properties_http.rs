@@ -1,0 +1,155 @@
+//! Property tests for the from-scratch HTTP/1.1 stack: arbitrary bytes
+//! must never panic or hang the parser, and every serializable message
+//! must round-trip exactly.
+
+use piggyback::httpwire::{read_chunked, HeaderMap, Request, Response};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+fn arb_token() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,15}".prop_map(|s| s)
+}
+
+fn arb_header_value() -> impl Strategy<Value = String> {
+    // Printable ASCII without CR/LF, trimmed (serialization adds one SP).
+    "[ -~]{0,60}".prop_map(|s| s.trim().to_owned())
+}
+
+fn arb_target() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-zA-Z0-9_.-]{1,10}", 1..5)
+        .prop_map(|segs| format!("/{}", segs.join("/")))
+}
+
+proptest! {
+    /// Feeding arbitrary bytes to the request parser returns Ok or Err —
+    /// never panics, never loops forever.
+    #[test]
+    fn request_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = Request::read(&mut BufReader::new(bytes.as_slice()));
+    }
+
+    /// Same for the response parser (both HEAD and GET framing).
+    #[test]
+    fn response_parser_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048),
+        head in any::<bool>(),
+    ) {
+        let _ = Response::read(&mut BufReader::new(bytes.as_slice()), head);
+    }
+
+    /// And the chunked decoder.
+    #[test]
+    fn chunked_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = read_chunked(&mut BufReader::new(bytes.as_slice()));
+    }
+
+    /// Serialized requests parse back to identical structures.
+    #[test]
+    fn request_round_trip(
+        method in prop_oneof![Just("GET"), Just("POST"), Just("HEAD")],
+        target in arb_target(),
+        headers in proptest::collection::vec((arb_token(), arb_header_value()), 0..8),
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut req = Request::new(method, &target);
+        for (n, v) in &headers {
+            // Skip names that collide with framing headers we compute.
+            if n.eq_ignore_ascii_case("content-length")
+                || n.eq_ignore_ascii_case("transfer-encoding") {
+                continue;
+            }
+            req.headers.insert(n, v);
+        }
+        if method == "POST" {
+            req.body = body;
+        }
+        let mut wire = Vec::new();
+        req.write(&mut wire).unwrap();
+        let parsed = Request::read(&mut BufReader::new(wire.as_slice())).unwrap();
+        prop_assert_eq!(parsed.method, req.method);
+        prop_assert_eq!(parsed.target, req.target);
+        prop_assert_eq!(parsed.body, req.body);
+        for (n, v) in req.headers.iter() {
+            prop_assert_eq!(parsed.headers.get(n), Some(v), "header {} lost", n);
+        }
+    }
+
+    /// Serialized responses parse back identically, across plain and
+    /// chunked/trailer framing.
+    #[test]
+    fn response_round_trip(
+        status in prop_oneof![Just(200u16), Just(204), Just(304), Just(404), Just(500)],
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+        trailer in proptest::option::of(arb_header_value()),
+    ) {
+        let mut resp = Response::new(status);
+        resp.headers.insert("Content-Type", "text/html");
+        if !Response::bodiless_status(status) {
+            resp.body = body;
+        }
+        if let Some(t) = &trailer {
+            resp.trailers.insert("P-volume", t);
+        }
+        let mut wire = Vec::new();
+        resp.write(&mut wire).unwrap();
+        let parsed = Response::read(&mut BufReader::new(wire.as_slice()), false).unwrap();
+        prop_assert_eq!(parsed.status, resp.status);
+        if Response::bodiless_status(status) {
+            prop_assert!(parsed.body.is_empty());
+        } else {
+            prop_assert_eq!(&parsed.body, &resp.body);
+            if let Some(t) = &trailer {
+                // Trailers only survive on body-bearing chunked responses.
+                prop_assert_eq!(parsed.trailers.get("P-volume"), Some(t.as_str()));
+            }
+        }
+    }
+
+    /// Pipelined messages on one connection parse in order without
+    /// consuming each other's bytes.
+    #[test]
+    fn pipelined_requests_parse_in_order(targets in proptest::collection::vec(arb_target(), 1..6)) {
+        let mut wire = Vec::new();
+        for t in &targets {
+            Request::new("GET", t).write(&mut wire).unwrap();
+        }
+        let mut reader = BufReader::new(wire.as_slice());
+        for t in &targets {
+            let parsed = Request::read(&mut reader).unwrap();
+            prop_assert_eq!(&parsed.target, t);
+        }
+        prop_assert!(Request::read(&mut reader).is_err(), "stream exhausted");
+    }
+
+    /// Header maps behave like case-insensitive multimaps under arbitrary
+    /// insert/remove sequences.
+    #[test]
+    fn header_map_model(ops in proptest::collection::vec(
+        (arb_token(), arb_header_value(), 0u8..3), 0..40)
+    ) {
+        let mut map = HeaderMap::new();
+        let mut model: Vec<(String, String)> = Vec::new();
+        for (name, value, op) in ops {
+            match op {
+                0 => {
+                    if map.try_insert(&name, &value).is_ok() {
+                        model.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+                    }
+                }
+                1 => {
+                    map.remove(&name);
+                    model.retain(|(n, _)| *n != name.to_ascii_lowercase());
+                }
+                _ => {
+                    let got = map.get(&name);
+                    let want = model
+                        .iter()
+                        .find(|(n, _)| *n == name.to_ascii_lowercase())
+                        .map(|(_, v)| v.as_str());
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(map.len(), model.len());
+        }
+    }
+}

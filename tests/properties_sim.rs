@@ -1,0 +1,167 @@
+//! Property tests over the end-to-end proxy simulator: structural
+//! invariants that must hold for every workload, configuration, and
+//! modification pattern.
+
+use piggyback::core::filter::ProxyFilter;
+use piggyback::core::types::{DurationMs, SourceId, Timestamp};
+use piggyback::core::volume::DirectoryVolumes;
+use piggyback::trace::record::{Method, ServerLogEntry};
+use piggyback::trace::synth::changes::ChangeEvent;
+use piggyback::trace::ServerLog;
+use piggyback::webcache::{
+    build_server, simulate_proxy, FreshnessPolicy, PolicyKind, PrefetchConfig, ProxySimConfig,
+};
+use proptest::prelude::*;
+
+/// A random single-site workload: resources in a couple of directories,
+/// a request sequence, and a modification sequence.
+fn arb_workload() -> impl Strategy<Value = (ServerLog, Vec<ChangeEvent>)> {
+    (
+        proptest::collection::vec((0u32..12, 0u32..4, 1u64..600), 1..120),
+        proptest::collection::vec((0u32..12, 1u64..50_000), 0..40),
+    )
+        .prop_map(|(reqs, mods)| {
+            let mut log = ServerLog {
+                name: "prop".into(),
+                ..Default::default()
+            };
+            for i in 0..12u32 {
+                log.table.register_path(
+                    &format!("/d{}/r{i}.html", i % 3),
+                    500 + 100 * i as u64,
+                    Timestamp::ZERO,
+                );
+            }
+            let mut t = 0u64;
+            for (r, src, dt) in reqs {
+                t += dt;
+                let resource = piggyback::core::types::ResourceId(r);
+                log.entries.push(ServerLogEntry {
+                    time: Timestamp::from_secs(t),
+                    client: SourceId(src),
+                    resource,
+                    method: Method::Get,
+                    status: 200,
+                    bytes: log.table.meta(resource).unwrap().size,
+                });
+            }
+            let mut changes: Vec<ChangeEvent> = mods
+                .into_iter()
+                .map(|(r, ct)| ChangeEvent {
+                    time: Timestamp::from_secs(ct),
+                    resource: piggyback::core::types::ResourceId(r),
+                })
+                .collect();
+            changes.sort_by_key(|e| (e.time, e.resource.0));
+            (log, changes)
+        })
+}
+
+fn arb_config() -> impl Strategy<Value = ProxySimConfig> {
+    (
+        1_000u64..200_000,
+        0usize..3,
+        any::<bool>(),
+        proptest::option::of(1u64..600),
+        any::<bool>(),
+        proptest::option::of(1u32..30),
+    )
+        .prop_map(|(capacity, policy, piggyback, delta_s, prefetch, maxpiggy)| {
+            let mut filter = ProxyFilter::default();
+            filter.max_piggy = maxpiggy;
+            ProxySimConfig {
+                capacity_bytes: capacity,
+                policy: [PolicyKind::Lru, PolicyKind::GdSize, PolicyKind::PiggybackAware][policy],
+                freshness: FreshnessPolicy::Fixed(DurationMs::from_secs(
+                    delta_s.unwrap_or(3600),
+                )),
+                piggyback,
+                filter,
+                rpv: Some((8, DurationMs::from_secs(30))),
+                prefetch: prefetch.then(PrefetchConfig::default),
+                delta_encoding: None,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structural invariants of every simulation run.
+    #[test]
+    fn simulator_invariants((log, changes) in arb_workload(), cfg in arb_config()) {
+        let mut server = build_server(&log, DirectoryVolumes::new(1));
+        let r = simulate_proxy(&log, &changes, &mut server, &cfg);
+
+        prop_assert_eq!(r.client_requests, log.entries.len() as u64);
+        prop_assert!(r.fresh_hits <= r.cache_hits);
+        prop_assert!(r.cache_hits <= r.client_requests);
+        prop_assert!(r.stale_served <= r.fresh_hits);
+        prop_assert!(r.not_modified <= r.validations);
+        // Every request resolves exactly one way: a fresh hit, a 304
+        // validation, or a full 200 (miss or modified validation).
+        // Prefetch fetches are not request-driven and are counted apart.
+        prop_assert_eq!(
+            r.fresh_hits + r.not_modified + r.full_fetches,
+            r.client_requests,
+            "request accounting: {:?}", r
+        );
+        prop_assert!(r.useful_prefetches <= r.prefetches);
+        prop_assert!(r.prefetch_bytes <= r.bytes_from_server);
+        if !cfg.piggyback {
+            prop_assert_eq!(r.piggyback_messages, 0);
+            prop_assert_eq!(r.piggyback_freshens, 0);
+            prop_assert_eq!(r.piggyback_invalidations, 0);
+            prop_assert_eq!(r.prefetches, 0);
+        }
+        if let Some(cap) = cfg.filter.max_piggy {
+            prop_assert!(
+                r.piggybacked_elements <= r.piggyback_messages * cap as u64,
+                "cap violated: {} elements in {} messages (cap {})",
+                r.piggybacked_elements, r.piggyback_messages, cap
+            );
+        }
+        let hr = r.hit_rate();
+        prop_assert!((0.0..=1.0).contains(&hr));
+        let bhr = r.byte_hit_rate();
+        prop_assert!((0.0..=1.0).contains(&bhr));
+    }
+
+    /// Without modifications there is never staleness and never an
+    /// invalidation, under any configuration.
+    #[test]
+    fn no_modifications_no_staleness((log, _) in arb_workload(), cfg in arb_config()) {
+        let mut server = build_server(&log, DirectoryVolumes::new(1));
+        let r = simulate_proxy(&log, &[], &mut server, &cfg);
+        prop_assert_eq!(r.stale_served, 0);
+        prop_assert_eq!(r.piggyback_invalidations, 0);
+        prop_assert_eq!(r.not_modified, r.validations, "every validation 304s");
+    }
+
+    /// Piggybacking never increases server contacts for the same workload
+    /// (prefetching off): freshens can only remove validations.
+    #[test]
+    fn piggybacking_never_increases_contacts((log, changes) in arb_workload()) {
+        let base_cfg = ProxySimConfig {
+            piggyback: false,
+            prefetch: None,
+            ..Default::default()
+        };
+        let pb_cfg = ProxySimConfig {
+            piggyback: true,
+            prefetch: None,
+            ..Default::default()
+        };
+        let mut s1 = build_server(&log, DirectoryVolumes::new(1));
+        let off = simulate_proxy(&log, &changes, &mut s1, &base_cfg);
+        let mut s2 = build_server(&log, DirectoryVolumes::new(1));
+        let on = simulate_proxy(&log, &changes, &mut s2, &pb_cfg);
+        prop_assert!(
+            on.server_contacts() <= off.server_contacts() + on.piggyback_invalidations,
+            "piggyback {} vs baseline {} (+{} invalidation refetches allowed)",
+            on.server_contacts(),
+            off.server_contacts(),
+            on.piggyback_invalidations
+        );
+    }
+}
