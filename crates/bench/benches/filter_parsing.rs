@@ -10,7 +10,8 @@ use piggyback_core::wire::{decode_p_volume, encode_p_volume};
 use std::hint::black_box;
 
 fn bench_filter(c: &mut Criterion) {
-    let header = "maxpiggy=10; rpv=\"3,4,17,95\"; minacc=50; pt=0.25; maxsize=65536; types=\"html,text\"";
+    let header =
+        "maxpiggy=10; rpv=\"3,4,17,95\"; minacc=50; pt=0.25; maxsize=65536; types=\"html,text\"";
     c.bench_function("filter_parse", |b| {
         b.iter(|| black_box(ProxyFilter::parse(black_box(header)).unwrap()))
     });

@@ -63,5 +63,9 @@ fn bench_probability_builder(c: &mut Criterion) {
     let _ = SourceId(0);
 }
 
-criterion_group!(benches, bench_directory_maintenance, bench_probability_builder);
+criterion_group!(
+    benches,
+    bench_directory_maintenance,
+    bench_probability_builder
+);
 criterion_main!(benches);

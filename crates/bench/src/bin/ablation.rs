@@ -7,15 +7,15 @@
 //! 4. effectiveness-thinning threshold sweep (§3.3.1).
 
 use piggyback_bench::{
-    banner, build_probability_volumes, f2, load_server_log, pct, print_table,
-    probability_replay, thin_volumes_by,
+    banner, build_probability_volumes, f2, load_server_log, pct, print_table, probability_replay,
+    thin_volumes_by,
 };
 use piggyback_core::filter::ProxyFilter;
 use piggyback_core::metrics::{replay, ReplayConfig, RpvConfig};
 use piggyback_core::types::DurationMs;
 use piggyback_core::volume::{
-    DirectoryVolumes, ElementOrdering, ProbabilityVolumesBuilder, SamplingMode,
-    ThinningCriterion, VolumeProvider,
+    DirectoryVolumes, ElementOrdering, ProbabilityVolumesBuilder, SamplingMode, ThinningCriterion,
+    VolumeProvider,
 };
 use piggyback_trace::ServerLog;
 
@@ -66,12 +66,22 @@ fn sampled_counters() {
         exact_vols.implication_count().to_string(),
         pct(exact_report.fraction_predicted()),
     ]);
-    print_table(&["counters", "pair counters", "implications", "fraction predicted"], &rows);
+    print_table(
+        &[
+            "counters",
+            "pair counters",
+            "implications",
+            "fraction predicted",
+        ],
+        &rows,
+    );
 }
 
-fn dir_replay_ordered(log: &ServerLog, ordering: ElementOrdering, maxpiggy: u32) ->
-    piggyback_core::metrics::MetricsReport
-{
+fn dir_replay_ordered(
+    log: &ServerLog,
+    ordering: ElementOrdering,
+    maxpiggy: u32,
+) -> piggyback_core::metrics::MetricsReport {
     let mut table = log.table.clone();
     for e in &log.entries {
         table.count_access(e.resource);
@@ -103,7 +113,13 @@ fn element_ordering() {
         ]);
     }
     print_table(
-        &["maxpiggy", "MTF recall", "count recall", "MTF size", "count size"],
+        &[
+            "maxpiggy",
+            "MTF recall",
+            "count recall",
+            "MTF size",
+            "count size",
+        ],
         &rows,
     );
     println!("move-to-front approximates popularity ranking at O(1) maintenance cost");
@@ -171,7 +187,13 @@ fn thinning_sweep() {
         ]);
     }
     print_table(
-        &["eff threshold", "implications", "avg size", "recall", "precision"],
+        &[
+            "eff threshold",
+            "implications",
+            "avg size",
+            "recall",
+            "precision",
+        ],
         &rows,
     );
 }

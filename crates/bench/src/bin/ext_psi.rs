@@ -13,12 +13,15 @@ use piggyback_core::types::DurationMs;
 use piggyback_core::volume::DirectoryVolumes;
 use piggyback_trace::synth::changes::ChangeModel;
 use piggyback_webcache::{
-    build_server, simulate_proxy, simulate_psi, FreshnessPolicy, PolicyKind, PsiConfig,
-    ProxySimConfig,
+    build_server, simulate_proxy, simulate_psi, FreshnessPolicy, PolicyKind, ProxySimConfig,
+    PsiConfig,
 };
 
 fn main() {
-    banner("ext_psi", "server volumes vs PSI [20] on cache coherency (extension)");
+    banner(
+        "ext_psi",
+        "server volumes vs PSI [20] on cache coherency (extension)",
+    );
     let log = load_server_log("aiusa");
     // A fast-changing site stresses coherency.
     let changes = ChangeModel {

@@ -55,7 +55,10 @@ fn analyze(trace: &ClientTrace, level: usize, include_embedded: bool) -> LevelSt
 }
 
 fn main() {
-    banner("fig1", "request spacing within directory-based volumes (client trace)");
+    banner(
+        "fig1",
+        "request spacing within directory-based volumes (client trace)",
+    );
     let trace = profiles::att(ATT_SCALE * scale_factor()).generate();
     println!(
         "synthetic AT&T-style client trace: {} requests, {} servers, {} unique resources\n",

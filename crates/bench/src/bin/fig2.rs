@@ -25,7 +25,11 @@ fn main() {
             log.entries.len(),
             log.table.len()
         );
-        let levels: &[usize] = if profile == "sun" { &[1, 2, 3] } else { &[0, 1, 2] };
+        let levels: &[usize] = if profile == "sun" {
+            &[1, 2, 3]
+        } else {
+            &[0, 1, 2]
+        };
         let mut rows = Vec::new();
         for &minacc in &filters {
             let mut row = vec![minacc.to_string()];

@@ -20,7 +20,11 @@ fn main() {
     for profile in ["aiusa", "sun"] {
         let log = load_server_log(profile);
         println!("\n{} log ({} requests)", profile, log.entries.len());
-        let levels: &[usize] = if profile == "sun" { &[1, 2] } else { &[0, 1, 2] };
+        let levels: &[usize] = if profile == "sun" {
+            &[1, 2]
+        } else {
+            &[0, 1, 2]
+        };
         for &level in levels {
             let mut rows = Vec::new();
             for &minacc in &filters {
@@ -29,13 +33,8 @@ fn main() {
                     .min_access_count(minacc)
                     .build();
                 let report = directory_replay(&log, level, filter.clone(), None, None);
-                let report15 = directory_replay(
-                    &log,
-                    level,
-                    filter,
-                    None,
-                    Some(DurationMs::from_secs(900)),
-                );
+                let report15 =
+                    directory_replay(&log, level, filter, None, Some(DurationMs::from_secs(900)));
                 rows.push(vec![
                     minacc.to_string(),
                     f2(report.avg_piggyback_size()),

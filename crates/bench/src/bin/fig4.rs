@@ -14,7 +14,10 @@ use piggyback_core::filter::ProxyFilter;
 use piggyback_core::types::DurationMs;
 
 fn main() {
-    banner("fig4", "minimum time between piggybacks via RPV (Apache log)");
+    banner(
+        "fig4",
+        "minimum time between piggybacks via RPV (Apache log)",
+    );
     let log = load_server_log("apache");
     println!(
         "apache log: {} requests, {} resources\n",

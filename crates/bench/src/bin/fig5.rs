@@ -9,14 +9,17 @@
 //! (b) distribution of implication probabilities.
 
 use piggyback_bench::{
-    banner, build_probability_volumes, f2, load_server_log, pct, print_table,
-    probability_replay, thin_volumes_by,
+    banner, build_probability_volumes, f2, load_server_log, pct, print_table, probability_replay,
+    thin_volumes_by,
 };
 use piggyback_core::filter::ProxyFilter;
 use piggyback_core::volume::ThinningCriterion;
 
 fn main() {
-    banner("fig5", "fraction predicted vs probability threshold (Sun log)");
+    banner(
+        "fig5",
+        "fraction predicted vs probability threshold (Sun log)",
+    );
     let log = load_server_log("sun");
     println!(
         "sun log: {} requests, {} resources",
@@ -86,9 +89,7 @@ fn main() {
     }
     print_table(&["p(s|r) range", "pairs", "share"], &rows);
 
-    println!(
-        "\nvolume structure at p_t=0.2 (paper: ~1% self-membership, 3-18% symmetric):"
-    );
+    println!("\nvolume structure at p_t=0.2 (paper: ~1% self-membership, 3-18% symmetric):");
     let v02 = base.rethreshold(0.2);
     println!(
         "  self-membership {:.1}%  symmetric {:.1}%  avg volume size {:.2}",

@@ -8,8 +8,8 @@
 //! piggyback further at nearly equal recall — most dramatically for Sun.
 
 use piggyback_bench::{
-    banner, build_probability_volumes, f2, load_server_log, pct, print_table,
-    probability_replay, thin_volumes,
+    banner, build_probability_volumes, f2, load_server_log, pct, print_table, probability_replay,
+    thin_volumes,
 };
 use piggyback_core::filter::ProxyFilter;
 

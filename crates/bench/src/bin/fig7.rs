@@ -8,8 +8,8 @@
 //! smaller-is-more-precise relationship (most dramatic on Sun).
 
 use piggyback_bench::{
-    banner, build_probability_volumes, f2, load_server_log, pct, print_table,
-    probability_replay, thin_volumes,
+    banner, build_probability_volumes, f2, load_server_log, pct, print_table, probability_replay,
+    thin_volumes,
 };
 use piggyback_core::filter::ProxyFilter;
 

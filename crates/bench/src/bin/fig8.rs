@@ -8,13 +8,16 @@
 //! the bottom.
 
 use piggyback_bench::{
-    banner, build_probability_volumes, f2, load_server_log, pct, print_table,
-    probability_replay, thin_volumes,
+    banner, build_probability_volumes, f2, load_server_log, pct, print_table, probability_replay,
+    thin_volumes,
 };
 use piggyback_core::filter::ProxyFilter;
 
 fn main() {
-    banner("fig8", "precision vs recall (effective-0.2 vs combined volumes)");
+    banner(
+        "fig8",
+        "precision vs recall (effective-0.2 vs combined volumes)",
+    );
     let thresholds = [0.02, 0.05, 0.1, 0.2, 0.3, 0.5];
     for profile in ["aiusa", "apache", "sun", "marimba"] {
         let log = load_server_log(profile);

@@ -7,8 +7,8 @@
 //! fitting in the same packet or costing at most one extra.
 
 use piggyback_bench::{
-    banner, build_probability_volumes, f2, load_server_log, pct, print_table, quantiles,
-    probability_replay, thin_volumes,
+    banner, build_probability_volumes, f2, load_server_log, pct, print_table, probability_replay,
+    quantiles, thin_volumes,
 };
 use piggyback_core::element::WireCost;
 use piggyback_core::filter::ProxyFilter;
@@ -31,7 +31,10 @@ fn main() {
     let url_lens: Vec<f64> = log.table.iter().map(|(_, p, _)| p.len() as f64).collect();
     let q = quantiles(url_lens.clone(), &[0.5]);
     let mean_url = url_lens.iter().sum::<f64>() / url_lens.len().max(1) as f64;
-    println!("synthetic URL length: mean {mean_url:.1} B, median {:.1} B", q[0]);
+    println!(
+        "synthetic URL length: mean {mean_url:.1} B, median {:.1} B",
+        q[0]
+    );
 
     // Response size distribution (paper: mean 13,900 B, median 1,530 B).
     let sizes: Vec<f64> = log.entries.iter().map(|e| e.bytes as f64).collect();
@@ -53,7 +56,8 @@ fn main() {
             msg_bytes.to_string(),
             pct(report.piggyback_messages as f64 / report.requests.max(1) as f64),
             f2(report.avg_piggyback_bytes_per_response(&cost)),
-            cost.extra_packets(avg_size.round() as usize, 400, 1460).to_string(),
+            cost.extra_packets(avg_size.round() as usize, 400, 1460)
+                .to_string(),
         ]);
     }
     print_table(

@@ -14,20 +14,23 @@
 //!   using piggybacked sizes.
 
 use piggyback_bench::{
-    banner, build_probability_volumes, f2, load_server_log, pct, print_table,
-    probability_replay, thin_volumes,
+    banner, build_probability_volumes, f2, load_server_log, pct, print_table, probability_replay,
+    thin_volumes,
 };
 use piggyback_core::filter::ProxyFilter;
 use piggyback_core::types::DurationMs;
 use piggyback_core::volume::DirectoryVolumes;
 use piggyback_trace::synth::changes::ChangeModel;
 use piggyback_webcache::{
-    build_server, simulate_proxy, simulate_fetch_queue, FetchJob, FreshnessPolicy, PolicyKind,
+    build_server, simulate_fetch_queue, simulate_proxy, FetchJob, FreshnessPolicy, PolicyKind,
     PrefetchConfig, ProxySimConfig, SchedulingOrder,
 };
 
 fn main() {
-    banner("sec4", "proxy applications: coherency, prefetching, replacement, informed fetching");
+    banner(
+        "sec4",
+        "proxy applications: coherency, prefetching, replacement, informed fetching",
+    );
 
     coherency_and_prefetching();
     replacement_simulation();
@@ -42,8 +45,7 @@ fn coherency_and_prefetching() {
         let (base, _) = build_probability_volumes(&log, 0.02);
         let thinned = thin_volumes(&log, &base, 0.2);
         for &pt in &[0.05, 0.25] {
-            let report =
-                probability_replay(&log, &thinned.rethreshold(pt), ProxyFilter::default());
+            let report = probability_replay(&log, &thinned.rethreshold(pt), ProxyFilter::default());
             let hits = report.prev_within_c_fraction().max(1e-12);
             let fresh_share = report.prev_within_t_fraction() / hits;
             let refreshed_share = report.updated_by_piggyback_fraction() / hits;
@@ -54,7 +56,8 @@ fn coherency_and_prefetching() {
             let futile = 1.0 - precision;
             let bandwidth_increase = report
                 .prediction_events
-                .saturating_sub(report.true_predictions) as f64
+                .saturating_sub(report.true_predictions)
+                as f64
                 / report.requests.max(1) as f64;
             rows.push(vec![
                 profile.to_owned(),
@@ -106,11 +109,29 @@ fn replacement_simulation() {
         ("LRU, no piggyback", PolicyKind::Lru, false, false, None),
         ("LRU + piggyback", PolicyKind::Lru, true, false, None),
         ("GD-Size + piggyback", PolicyKind::GdSize, true, false, None),
-        ("piggyback-aware LRU", PolicyKind::PiggybackAware, true, false, None),
-        ("LRU + piggyback + prefetch", PolicyKind::Lru, true, true, None),
+        (
+            "piggyback-aware LRU",
+            PolicyKind::PiggybackAware,
+            true,
+            false,
+            None,
+        ),
+        (
+            "LRU + piggyback + prefetch",
+            PolicyKind::Lru,
+            true,
+            true,
+            None,
+        ),
         // Paper Section 4: deltas against outdated cached copies "should
         // be very effective ... since most changes are small".
-        ("LRU + piggyback + deltas", PolicyKind::Lru, true, false, Some(0.15)),
+        (
+            "LRU + piggyback + deltas",
+            PolicyKind::Lru,
+            true,
+            false,
+            Some(0.15),
+        ),
     ] {
         let mut server = build_server(&log, DirectoryVolumes::new(1));
         let cfg = ProxySimConfig {
@@ -134,7 +155,11 @@ fn replacement_simulation() {
             r.piggyback_invalidations.to_string(),
             format!("{:.1} MB", r.bytes_from_server as f64 / 1e6),
             if r.prefetches > 0 {
-                format!("{} ({} futile)", r.prefetches, pct(r.futile_prefetch_rate()))
+                format!(
+                    "{} ({} futile)",
+                    r.prefetches,
+                    pct(r.futile_prefetch_rate())
+                )
             } else {
                 "-".to_owned()
             },
@@ -186,7 +211,12 @@ fn informed_fetching() {
         ]);
     }
     print_table(
-        &["link bandwidth", "FIFO mean latency", "SJF mean latency", "speedup"],
+        &[
+            "link bandwidth",
+            "FIFO mean latency",
+            "SJF mean latency",
+            "speedup",
+        ],
         &rows,
     );
     println!(

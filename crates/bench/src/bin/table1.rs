@@ -13,8 +13,8 @@
 //! the update fraction is the sum of columns 3 and 4 (Sun: 20.6%).
 
 use piggyback_bench::{
-    banner, build_probability_volumes, f2, load_server_log, pct, print_table,
-    probability_replay, thin_volumes,
+    banner, build_probability_volumes, f2, load_server_log, pct, print_table, probability_replay,
+    thin_volumes,
 };
 use piggyback_core::filter::ProxyFilter;
 

@@ -15,7 +15,10 @@ fn main() {
     banner("table2", "client log characteristics (synthetic, scaled)");
     let mut rows = Vec::new();
     for (profile, scale) in [
-        (profiles::digital(DIGITAL_SCALE * scale_factor()), DIGITAL_SCALE),
+        (
+            profiles::digital(DIGITAL_SCALE * scale_factor()),
+            DIGITAL_SCALE,
+        ),
         (profiles::att(ATT_SCALE * scale_factor()), ATT_SCALE),
     ] {
         let trace = profile.generate();
@@ -24,7 +27,10 @@ fn main() {
             profile.name.to_owned(),
             format!("{:.1}", s.days),
             s.requests.to_string(),
-            format!("{}", (profile.paper.requests as f64 * scale * scale_factor()) as u64),
+            format!(
+                "{}",
+                (profile.paper.requests as f64 * scale * scale_factor()) as u64
+            ),
             s.distinct_servers.to_string(),
             s.unique_resources.to_string(),
             pct(s.top_1pct_server_resource_share),

@@ -8,8 +8,7 @@
 //! resources.
 
 use piggyback_bench::{
-    banner, f2, pct, print_table, scale_factor, AIUSA_SCALE, APACHE_SCALE, MARIMBA_SCALE,
-    SUN_SCALE,
+    banner, f2, pct, print_table, scale_factor, AIUSA_SCALE, APACHE_SCALE, MARIMBA_SCALE, SUN_SCALE,
 };
 use piggyback_trace::profiles;
 use piggyback_trace::stats::server_log_stats;

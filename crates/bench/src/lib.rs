@@ -193,7 +193,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     };
     let headers_owned: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", line(&headers_owned));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+    );
     for row in rows {
         println!("{}", line(row));
     }

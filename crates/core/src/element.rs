@@ -128,7 +128,10 @@ mod tests {
         // Slightly over: one extra packet.
         assert_eq!(cost.extra_packets(6, 300, 1460), 1);
         // A giant piggyback needs several.
-        assert_eq!(cost.extra_packets(200, 0, 1460), (2 + 66 * 200u64).div_ceil(1460));
+        assert_eq!(
+            cost.extra_packets(200, 0, 1460),
+            (2 + 66 * 200u64).div_ceil(1460)
+        );
     }
 
     #[test]

@@ -30,9 +30,8 @@ impl PathInterner {
         if let Some(&id) = self.by_path.get(norm.as_ref()) {
             return id;
         }
-        let id = ResourceId(
-            u32::try_from(self.paths.len()).expect("more than u32::MAX interned paths"),
-        );
+        let id =
+            ResourceId(u32::try_from(self.paths.len()).expect("more than u32::MAX interned paths"));
         let boxed: Box<str> = norm.into();
         self.by_path.insert(boxed.clone(), id);
         self.paths.push(boxed);
@@ -210,6 +209,9 @@ mod tests {
         assert_eq!(p1, p2);
         assert_ne!(p1, p3);
         // Zero-level volumes: all three together.
-        assert_eq!(directory_prefix("/a/b.html", 0), directory_prefix("/f/g.html", 0));
+        assert_eq!(
+            directory_prefix("/a/b.html", 0),
+            directory_prefix("/f/g.html", 0)
+        );
     }
 }

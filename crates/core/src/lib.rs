@@ -60,9 +60,13 @@ pub mod wire;
 pub mod prelude {
     pub use crate::element::{PiggybackElement, PiggybackMessage, WireCost};
     pub use crate::filter::{ProxyFilter, ProxyFilterBuilder, PIGGY_FILTER_HEADER};
-    pub use crate::freq::{AdaptiveInterval, AlwaysEnable, FrequencyControl, MinInterval, RandomBit};
+    pub use crate::freq::{
+        AdaptiveInterval, AlwaysEnable, FrequencyControl, MinInterval, RandomBit,
+    };
     pub use crate::intern::{directory_prefix, PathInterner};
-    pub use crate::metrics::{precount_accesses, replay, MetricsReport, ReplayConfig, Request, RpvConfig};
+    pub use crate::metrics::{
+        precount_accesses, replay, MetricsReport, ReplayConfig, Request, RpvConfig,
+    };
     pub use crate::proxy::{classify_element, ClientConfig, ElementAction, PiggybackClient};
     pub use crate::report::{
         absorb_report, parse_report, HitReporter, ReportEntry, PIGGY_REPORT_HEADER,

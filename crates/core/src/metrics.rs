@@ -125,7 +125,10 @@ impl MetricsReport {
 
     /// Table 1's update fraction: "the sum of the third and fourth columns".
     pub fn update_fraction_table1(&self) -> f64 {
-        Self::frac(self.prev_within_t + self.updated_by_piggyback, self.requests)
+        Self::frac(
+            self.prev_within_t + self.updated_by_piggyback,
+            self.requests,
+        )
     }
 
     /// Table 1 column 2.
@@ -216,9 +219,7 @@ where
         report.requests += 1;
 
         let state = sources.entry(source).or_insert_with(|| SourceState {
-            rpv: cfg
-                .rpv
-                .map(|rc| RpvList::new(rc.max_len, rc.timeout)),
+            rpv: cfg.rpv.map(|rc| RpvList::new(rc.max_len, rc.timeout)),
             ..Default::default()
         });
 
@@ -259,11 +260,7 @@ where
         // --- 2. Build this request's filter and generate the piggyback ---
         let paced_out = cfg
             .min_piggyback_interval
-            .is_some_and(|min| {
-                state
-                    .last_piggyback
-                    .is_some_and(|t| now.since(t) < min)
-            });
+            .is_some_and(|min| state.last_piggyback.is_some_and(|t| now.since(t) < min));
         if !paced_out {
             let mut filter = cfg.base_filter.clone();
             if let Some(rpv) = &mut state.rpv {
@@ -289,14 +286,22 @@ where
                             if p.fulfilled {
                                 report.true_predictions += 1;
                             }
-                            state
-                                .pending
-                                .insert(s, PendingPrediction { at: now, fulfilled: false });
+                            state.pending.insert(
+                                s,
+                                PendingPrediction {
+                                    at: now,
+                                    fulfilled: false,
+                                },
+                            );
                         }
                         None => {
-                            state
-                                .pending
-                                .insert(s, PendingPrediction { at: now, fulfilled: false });
+                            state.pending.insert(
+                                s,
+                                PendingPrediction {
+                                    at: now,
+                                    fulfilled: false,
+                                },
+                            );
                         }
                     }
                 }
@@ -410,10 +415,10 @@ mod tests {
         let (mut table, mut vols, a, b) = simple_setup();
         let trace = vec![
             req(0, 1, a),
-            req(10, 1, b),   // response piggybacks a
-            req(400, 1, a),  // a's prediction (t=10) expired; piggybacks b
-            req(410, 1, b),  // predicted 10s ago, prev occ 400s ago: col 4
-            req(500, 1, a),  // predicted (t=410), prev occ 100s ago: col 3
+            req(10, 1, b),  // response piggybacks a
+            req(400, 1, a), // a's prediction (t=10) expired; piggybacks b
+            req(410, 1, b), // predicted 10s ago, prev occ 400s ago: col 4
+            req(500, 1, a), // predicted (t=410), prev occ 100s ago: col 3
         ];
         let report = replay(trace, &mut table, &mut vols, &ReplayConfig::default());
         // prev_within_c: a@400 (prev 0), b@410 (prev 10), a@500 (prev 400).

@@ -77,7 +77,11 @@ impl<F: FrequencyControl> PiggybackClient<F> {
         let rpv = config
             .rpv
             .map(|(servers, len)| RpvTable::new(servers, len, config.rpv_timeout));
-        PiggybackClient { config, rpv, pacing }
+        PiggybackClient {
+            config,
+            rpv,
+            pacing,
+        }
     }
 
     /// Build the filter to piggyback on the next request to `server`.
@@ -135,9 +139,15 @@ mod tests {
             ElementAction::PrefetchCandidate
         );
         // Cached, same version: freshen.
-        assert_eq!(classify_element(Some(ts(10)), ts(10)), ElementAction::Freshen);
+        assert_eq!(
+            classify_element(Some(ts(10)), ts(10)),
+            ElementAction::Freshen
+        );
         // Cached, server older than cache (clock skew): still fresh.
-        assert_eq!(classify_element(Some(ts(11)), ts(10)), ElementAction::Freshen);
+        assert_eq!(
+            classify_element(Some(ts(11)), ts(10)),
+            ElementAction::Freshen
+        );
         // Cached, server newer: stale.
         assert_eq!(
             classify_element(Some(ts(9)), ts(10)),
@@ -165,8 +175,7 @@ mod tests {
     #[test]
     fn pacing_disables_filter() {
         let cfg = ClientConfig::default();
-        let mut client =
-            PiggybackClient::new(cfg, MinInterval::new(DurationMs::from_secs(60)));
+        let mut client = PiggybackClient::new(cfg, MinInterval::new(DurationMs::from_secs(60)));
         assert!(client.filter_for(1, ts(0)).enabled);
         client.on_piggyback(1, &msg(1), ts(0), 1);
         assert!(!client.filter_for(1, ts(30)).enabled, "within min interval");
@@ -187,7 +196,10 @@ mod tests {
     #[test]
     fn base_filter_fields_preserved() {
         let cfg = ClientConfig {
-            base_filter: ProxyFilter::builder().max_piggy(10).min_access_count(50).build(),
+            base_filter: ProxyFilter::builder()
+                .max_piggy(10)
+                .min_access_count(50)
+                .build(),
             ..Default::default()
         };
         let mut client = PiggybackClient::new(cfg, AlwaysEnable);

@@ -256,7 +256,13 @@ mod tests {
             path: "/a".into(),
             hits: u64::MAX,
         }];
-        absorb_report(&entries, SourceId(1), Timestamp::ZERO, &mut table, &mut vols);
+        absorb_report(
+            &entries,
+            SourceId(1),
+            Timestamp::ZERO,
+            &mut table,
+            &mut vols,
+        );
         assert_eq!(table.meta(a).unwrap().access_count, 1_000);
     }
 }

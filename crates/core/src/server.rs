@@ -78,7 +78,8 @@ impl<V: VolumeProvider> PiggybackServer<V> {
     pub fn record_access(&mut self, resource: ResourceId, source: SourceId, now: Timestamp) {
         self.stats.requests += 1;
         self.table.count_access(resource);
-        self.volumes.record_access(resource, source, now, &self.table);
+        self.volumes
+            .record_access(resource, source, now, &self.table);
     }
 
     /// Mark `resource` modified at `when`.
@@ -178,8 +179,12 @@ mod tests {
         let c = server.register_path("/img/c.gif", 3000, ts(1));
 
         let src = SourceId(1);
-        assert!(server.handle_request(a, src, &ProxyFilter::default(), ts(10)).is_none());
-        assert!(server.handle_request(b, src, &ProxyFilter::default(), ts(11)).is_some());
+        assert!(server
+            .handle_request(a, src, &ProxyFilter::default(), ts(10))
+            .is_none());
+        assert!(server
+            .handle_request(b, src, &ProxyFilter::default(), ts(11))
+            .is_some());
         // c is in a different 1-level volume.
         let msg = server.handle_request(c, src, &ProxyFilter::default(), ts(12));
         assert!(msg.is_none());

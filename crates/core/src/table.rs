@@ -28,7 +28,8 @@ impl ResourceTable {
     ) -> ResourceId {
         let id = self.interner.intern(path);
         if id.index() == self.meta.len() {
-            self.meta.push(ResourceMeta::new(size, last_modified, content_type));
+            self.meta
+                .push(ResourceMeta::new(size, last_modified, content_type));
         } else {
             let m = &mut self.meta[id.index()];
             m.size = size;

@@ -117,9 +117,7 @@ impl fmt::Display for DurationMs {
 }
 
 /// Interned identifier for a resource (URL path) at one server.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ResourceId(pub u32);
 
 impl ResourceId {
@@ -167,9 +165,7 @@ impl fmt::Display for VolumeId {
 
 /// Identifier for a request source as seen by a server: a proxy or client
 /// (the paper's pseudo-proxy traces key on source IP address).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SourceId(pub u32);
 
 impl SourceId {
@@ -185,9 +181,7 @@ impl fmt::Display for SourceId {
 }
 
 /// Identifier for a server in a multi-server client trace.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ServerId(pub u32);
 
 impl ServerId {
@@ -207,9 +201,7 @@ impl fmt::Display for ServerId {
 /// The paper motivates filtering by content type (e.g. proxies for
 /// low-bandwidth wireless clients disable image transfer); we model the
 /// classes that matter for those policies rather than full MIME types.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ContentType {
     Html,
     Image,

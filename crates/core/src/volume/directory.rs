@@ -101,10 +101,7 @@ impl DirectoryVolumes {
     }
 
     /// Iterate the member ids of `volume`, most recently accessed first.
-    pub fn members_recent_first(
-        &self,
-        volume: VolumeId,
-    ) -> impl Iterator<Item = ResourceId> + '_ {
+    pub fn members_recent_first(&self, volume: VolumeId) -> impl Iterator<Item = ResourceId> + '_ {
         self.fifos
             .get(volume.index())
             .into_iter()
@@ -225,7 +222,10 @@ impl VolumeProvider for DirectoryVolumes {
                 })
             })
             .collect();
-        Some(PiggybackMessage { volume: vol, elements })
+        Some(PiggybackMessage {
+            volume: vol,
+            elements,
+        })
     }
 
     fn volume_count(&self) -> usize {
@@ -243,7 +243,13 @@ mod tests {
     }
 
     /// A small site: two resources in /a, one in /f (the paper's example).
-    fn setup() -> (ResourceTable, DirectoryVolumes, ResourceId, ResourceId, ResourceId) {
+    fn setup() -> (
+        ResourceTable,
+        DirectoryVolumes,
+        ResourceId,
+        ResourceId,
+        ResourceId,
+    ) {
         let mut table = ResourceTable::new();
         let mut vols = DirectoryVolumes::new(1);
         let ab = table.register_path("/a/b.html", 500, ts(1));
@@ -361,10 +367,7 @@ mod tests {
         // Wireless-proxy filter: no images, nothing over 1 KB.
         let filter = ProxyFilter::builder()
             .max_size(1024)
-            .content_types(ContentTypeSet::new([
-                ContentType::Html,
-                ContentType::Text,
-            ]))
+            .content_types(ContentTypeSet::new([ContentType::Html, ContentType::Text]))
             .build();
         let msg = vols.piggyback(page, &filter, ts(2), &table).unwrap();
         let ids: Vec<_> = msg.elements.iter().map(|e| e.resource).collect();
@@ -405,14 +408,17 @@ mod tests {
         assert!(vols.remove_resource(ae));
         assert!(!vols.remove_resource(ae), "second removal is a no-op");
         assert!(
-            vols.piggyback(ab, &ProxyFilter::default(), ts(3), &table).is_none(),
+            vols.piggyback(ab, &ProxyFilter::default(), ts(3), &table)
+                .is_none(),
             "deleted volume-mate must not appear"
         );
         assert_eq!(vols.volume_of(ae), None);
         // Re-registering restores membership.
         vols.assign(ae, "/a/d/e.html");
         vols.record_access(ae, SourceId(1), ts(4), &table);
-        assert!(vols.piggyback(ab, &ProxyFilter::default(), ts(5), &table).is_some());
+        assert!(vols
+            .piggyback(ab, &ProxyFilter::default(), ts(5), &table)
+            .is_some());
     }
 
     #[test]

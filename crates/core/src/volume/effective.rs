@@ -173,7 +173,13 @@ pub fn thin_with_trace<I>(
 where
     I: IntoIterator<Item = (Timestamp, SourceId, ResourceId)>,
 {
-    thin_with_trace_by(volumes, window, trace, eff_threshold, ThinningCriterion::NewTrue)
+    thin_with_trace_by(
+        volumes,
+        window,
+        trace,
+        eff_threshold,
+        ThinningCriterion::NewTrue,
+    )
 }
 
 /// [`thin_with_trace`] under an explicit criterion.
@@ -234,7 +240,10 @@ mod tests {
 
         let thinned = tr.thin(0.2);
         assert_eq!(thinned.volume(r(0)).len(), 1, "effective implication kept");
-        assert!(thinned.volume(r(1)).is_empty(), "redundant implication removed");
+        assert!(
+            thinned.volume(r(1)).is_empty(),
+            "redundant implication removed"
+        );
     }
 
     #[test]
@@ -305,7 +314,8 @@ mod tests {
             1
         );
         assert_eq!(
-            tr.thin_by(0.5, ThinningCriterion::NewTrue).implication_count(),
+            tr.thin_by(0.5, ThinningCriterion::NewTrue)
+                .implication_count(),
             0
         );
     }

@@ -133,11 +133,7 @@ impl PartitionedFifo {
 
     /// Iterate the members of partition `(ct, class)` from most to least
     /// recently touched.
-    pub fn iter_partition(
-        &self,
-        ct: ContentType,
-        class: usize,
-    ) -> PartitionIter<'_> {
+    pub fn iter_partition(&self, ct: ContentType, class: usize) -> PartitionIter<'_> {
         let part = ct.index() * SIZE_CLASSES + class;
         PartitionIter {
             fifo: self,

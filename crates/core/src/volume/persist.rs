@@ -77,7 +77,9 @@ pub fn read_volumes<R: BufRead>(
     table: &mut ResourceTable,
 ) -> Result<ProbabilityVolumes, PersistError> {
     let mut lines = r.lines();
-    let header = lines.next().ok_or_else(|| PersistError::BadHeader("".into()))??;
+    let header = lines
+        .next()
+        .ok_or_else(|| PersistError::BadHeader("".into()))??;
     let rest = header
         .strip_prefix(MAGIC)
         .ok_or_else(|| PersistError::BadHeader(header.clone()))?;
@@ -109,7 +111,10 @@ pub fn read_volumes<R: BufRead>(
     for list in implications.values_mut() {
         list.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
     }
-    Ok(ProbabilityVolumes::from_implications(threshold, implications))
+    Ok(ProbabilityVolumes::from_implications(
+        threshold,
+        implications,
+    ))
 }
 
 /// Parse a leading `"..."` token; returns (inner, remainder).
@@ -188,7 +193,12 @@ mod tests {
         let loaded = read_volumes(&mut BufReader::new(buf.as_slice()), &mut new_table).unwrap();
         let a = new_table.lookup("/a/index.html").unwrap();
         let msg = loaded
-            .piggyback(a, &crate::filter::ProxyFilter::default(), Timestamp::ZERO, &new_table)
+            .piggyback(
+                a,
+                &crate::filter::ProxyFilter::default(),
+                Timestamp::ZERO,
+                &new_table,
+            )
             .expect("piggyback from loaded volumes");
         assert!(!msg.is_empty());
     }

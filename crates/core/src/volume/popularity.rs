@@ -64,9 +64,7 @@ impl<V: VolumeProvider> WithPopularityFallback<V> {
     ) -> Vec<PiggybackElement> {
         let mut all: Vec<(u64, ResourceId)> = table
             .iter()
-            .filter(|&(id, _, meta)| {
-                id != exclude && meta.access_count > 0 && filter.admits(meta)
-            })
+            .filter(|&(id, _, meta)| id != exclude && meta.access_count > 0 && filter.admits(meta))
             .map(|(id, _, meta)| (meta.access_count, id))
             .collect();
         all.sort_by(|a, b| b.0.cmp(&a.0).then(a.1 .0.cmp(&b.1 .0)));
@@ -119,8 +117,7 @@ impl<V: VolumeProvider> VolumeProvider for WithPopularityFallback<V> {
                 // Top up from the popularity volume, avoiding duplicates.
                 let room = filter.cap().saturating_sub(msg.len());
                 if room > 0 && filter.allows_volume(POPULARITY_VOLUME) {
-                    let have: Vec<ResourceId> =
-                        msg.elements.iter().map(|e| e.resource).collect();
+                    let have: Vec<ResourceId> = msg.elements.iter().map(|e| e.resource).collect();
                     for e in self.popular(resource, filter, table, self.top) {
                         if msg.len() >= filter.cap() {
                             break;
@@ -259,7 +256,9 @@ mod tests {
             .collect();
         assert_eq!(ids, vec!["/b/z.html"], "only the 20-access resource passes");
         // Disabled filter: nothing at all.
-        assert!(vols.piggyback(r, &ProxyFilter::disabled(), ts(1), &table).is_none());
+        assert!(vols
+            .piggyback(r, &ProxyFilter::disabled(), ts(1), &table)
+            .is_none());
     }
 
     #[test]

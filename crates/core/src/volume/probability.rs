@@ -153,7 +153,10 @@ impl ProbabilityVolumesBuilder {
         }
 
         *self.occurrences.entry(s).or_insert(0) += 1;
-        self.histories.get_mut(&source).expect("exists").push_back((now, s));
+        self.histories
+            .get_mut(&source)
+            .expect("exists")
+            .push_back((now, s));
     }
 
     fn credit_pair(
@@ -379,8 +382,11 @@ impl ProbabilityVolumes {
     pub fn rethreshold(&self, p_t: f64) -> Self {
         let mut implications = HashMap::new();
         for (&r, list) in &self.implications {
-            let kept: Vec<(ResourceId, f32)> =
-                list.iter().filter(|&&(_, p)| p as f64 >= p_t).copied().collect();
+            let kept: Vec<(ResourceId, f32)> = list
+                .iter()
+                .filter(|&&(_, p)| p as f64 >= p_t)
+                .copied()
+                .collect();
             if !kept.is_empty() {
                 implications.insert(r, kept);
             }
@@ -446,7 +452,10 @@ impl VolumeProvider for ProbabilityVolumes {
         if elements.is_empty() {
             return None;
         }
-        Some(PiggybackMessage { volume: vol, elements })
+        Some(PiggybackMessage {
+            volume: vol,
+            elements,
+        })
     }
 
     fn volume_count(&self) -> usize {
@@ -558,12 +567,9 @@ mod tests {
     #[test]
     fn sampling_reduces_counters() {
         let mut exact = ProbabilityVolumesBuilder::new(T, 0.25, SamplingMode::Exact);
-        let mut sampled = ProbabilityVolumesBuilder::new(
-            T,
-            0.25,
-            SamplingMode::Sampled { factor: 1.0 },
-        )
-        .with_seed(7);
+        let mut sampled =
+            ProbabilityVolumesBuilder::new(T, 0.25, SamplingMode::Sampled { factor: 1.0 })
+                .with_seed(7);
         // A popular resource r followed by 200 different one-off resources:
         // all implications have probability ~1/200, far below p_t.
         for i in 0..200u32 {
@@ -584,9 +590,8 @@ mod tests {
 
     #[test]
     fn sampling_keeps_strong_pairs() {
-        let mut b =
-            ProbabilityVolumesBuilder::new(T, 0.25, SamplingMode::Sampled { factor: 4.0 })
-                .with_seed(3);
+        let mut b = ProbabilityVolumesBuilder::new(T, 0.25, SamplingMode::Sampled { factor: 4.0 })
+            .with_seed(3);
         feed_page_image(&mut b, 300);
         // p(b|a)=1 with 300 chances to create the counter: it must exist
         // and its estimate must still clear the threshold.
@@ -671,7 +676,10 @@ mod tests {
     fn stats_on_symmetry_and_self_membership() {
         let mut impls = HashMap::new();
         impls.insert(ResourceId(0), vec![(ResourceId(1), 0.9f32)]);
-        impls.insert(ResourceId(1), vec![(ResourceId(0), 0.8f32), (ResourceId(2), 0.5)]);
+        impls.insert(
+            ResourceId(1),
+            vec![(ResourceId(0), 0.8f32), (ResourceId(2), 0.5)],
+        );
         impls.insert(ResourceId(3), vec![(ResourceId(3), 0.7f32)]);
         let v = ProbabilityVolumes::from_implications(0.2, impls);
         // (0,1) and (1,0) are symmetric => 2 of 4 implications.

@@ -76,7 +76,10 @@ mod tests {
     #[test]
     fn unexpected_eof_maps_to_connection_closed() {
         let io_err = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
-        assert!(matches!(HttpError::from(io_err), HttpError::ConnectionClosed));
+        assert!(matches!(
+            HttpError::from(io_err),
+            HttpError::ConnectionClosed
+        ));
         let io_err = io::Error::new(io::ErrorKind::BrokenPipe, "pipe");
         assert!(matches!(HttpError::from(io_err), HttpError::Io(_)));
     }

@@ -16,8 +16,20 @@ pub fn valid_header_name(name: &str) -> bool {
             b.is_ascii_alphanumeric()
                 || matches!(
                     b,
-                    b'!' | b'#' | b'$' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'-' | b'.'
-                        | b'^' | b'_' | b'`' | b'|' | b'~'
+                    b'!' | b'#'
+                        | b'$'
+                        | b'%'
+                        | b'&'
+                        | b'\''
+                        | b'*'
+                        | b'+'
+                        | b'-'
+                        | b'.'
+                        | b'^'
+                        | b'_'
+                        | b'`'
+                        | b'|'
+                        | b'~'
                 )
         })
 }
@@ -48,7 +60,8 @@ impl HeaderMap {
         if !valid_header_value(value) {
             return Err(InvalidHeader::Value(name.to_owned()));
         }
-        self.entries.push((name.to_owned(), value.trim().to_owned()));
+        self.entries
+            .push((name.to_owned(), value.trim().to_owned()));
         Ok(())
     }
 

@@ -88,11 +88,11 @@ impl Request {
     pub fn read<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
         let line = read_line(r)?;
         let mut parts = line.split_ascii_whitespace();
-        let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
-        {
-            (Some(m), Some(t), Some(v), None) => (m, t, v),
-            _ => return Err(HttpError::BadRequestLine(line.clone())),
-        };
+        let (method, target, version) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(m), Some(t), Some(v), None) => (m, t, v),
+                _ => return Err(HttpError::BadRequestLine(line.clone())),
+            };
         let version = Version::parse(version)?;
         let headers = read_headers(r)?;
         let body = if headers.list_contains("Transfer-Encoding", "chunked") {
@@ -276,11 +276,15 @@ mod tests {
         let mut req = Request::new("GET", "/mafia.html");
         req.headers.insert("host", "sig.com");
         req.headers.insert("TE", "chunked");
-        req.headers.insert("Piggy-filter", "maxpiggy=10; rpv=\"3,4\"");
+        req.headers
+            .insert("Piggy-filter", "maxpiggy=10; rpv=\"3,4\"");
         let got = request_round_trip(&req);
         assert_eq!(got.method, "GET");
         assert_eq!(got.target, "/mafia.html");
-        assert_eq!(got.headers.get("piggy-filter"), Some("maxpiggy=10; rpv=\"3,4\""));
+        assert_eq!(
+            got.headers.get("piggy-filter"),
+            Some("maxpiggy=10; rpv=\"3,4\"")
+        );
         assert!(got.body.is_empty());
         assert!(got.keep_alive());
     }
@@ -299,7 +303,11 @@ mod tests {
 
     #[test]
     fn bad_request_lines_rejected() {
-        for wire in ["GET /x\r\n\r\n", "\r\n\r\n", "GET /x HTTP/2.0 extra\r\n\r\n"] {
+        for wire in [
+            "GET /x\r\n\r\n",
+            "\r\n\r\n",
+            "GET /x HTTP/2.0 extra\r\n\r\n",
+        ] {
             let r = Request::read(&mut BufReader::new(wire.as_bytes()));
             assert!(r.is_err(), "{wire:?} should fail");
         }
@@ -353,11 +361,7 @@ mod tests {
         // 304 must not be chunked even if trailers were requested; the
         // piggyback is dropped rather than the framing corrupted.
         assert!(!text.contains("Transfer-Encoding"));
-        let got = Response::read(
-            &mut BufReader::new(text.as_bytes()),
-            false,
-        )
-        .unwrap();
+        let got = Response::read(&mut BufReader::new(text.as_bytes()), false).unwrap();
         assert_eq!(got.status, 304);
         assert!(got.body.is_empty());
     }

@@ -128,10 +128,7 @@ mod tests {
     #[test]
     fn header_without_colon_rejected() {
         let mut r = BufReader::new(&b"nocolonhere\r\n\r\n"[..]);
-        assert!(matches!(
-            read_headers(&mut r),
-            Err(HttpError::BadHeader(_))
-        ));
+        assert!(matches!(read_headers(&mut r), Err(HttpError::BadHeader(_))));
     }
 
     #[test]

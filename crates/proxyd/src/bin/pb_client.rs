@@ -5,7 +5,11 @@
 //!
 //! ```text
 //! pb-client --target 127.0.0.1:8081 [--pages 60] [--seed 42] [--requests 100]
+//!           [--threads 1]
 //! ```
+//!
+//! With `--threads N` the path sequence is dealt round-robin across N
+//! concurrent client threads, each holding its own keep-alive connection.
 
 use piggyback_proxyd::client::run_sequence;
 use piggyback_trace::synth::site::{Site, SiteConfig};
@@ -18,6 +22,7 @@ fn main() {
     let mut pages = 60usize;
     let mut seed = 42u64;
     let mut requests = 100usize;
+    let mut threads = 1usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -30,9 +35,11 @@ fn main() {
             "--pages" => pages = value("--pages").parse().expect("number"),
             "--seed" => seed = value("--seed").parse().expect("number"),
             "--requests" => requests = value("--requests").parse().expect("number"),
+            "--threads" => threads = value("--threads").parse().expect("number"),
             "--help" | "-h" => {
                 println!(
-                    "pb-client --target HOST:PORT [--pages 60] [--seed 42] [--requests 100]"
+                    "pb-client --target HOST:PORT [--pages 60] [--seed 42] [--requests 100] \
+                     [--threads 1]"
                 );
                 return;
             }
@@ -73,15 +80,42 @@ fn main() {
     }
     paths.truncate(requests);
 
-    let report = run_sequence(target, &paths).expect("driver failed");
+    let threads = threads.max(1).min(paths.len().max(1));
+    let mut lanes: Vec<Vec<String>> = vec![Vec::new(); threads];
+    for (i, p) in paths.into_iter().enumerate() {
+        lanes[i % threads].push(p);
+    }
+    let reports: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = lanes
+            .iter()
+            .map(|lane| s.spawn(move || run_sequence(target, lane).expect("driver failed")))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut requests = 0u64;
+    let mut ok = 0u64;
+    let mut not_modified = 0u64;
+    let mut errors = 0u64;
+    let mut bytes = 0u64;
+    let mut hits = 0u64;
+    let mut latency_sum = 0.0f64;
+    for r in &reports {
+        requests += r.requests;
+        ok += r.ok;
+        not_modified += r.not_modified;
+        errors += r.errors;
+        bytes += r.bytes;
+        hits += r.cache_hits_observed;
+        latency_sum += r.mean_latency_ms * r.requests as f64;
+    }
+    let mean_latency_ms = if requests > 0 {
+        latency_sum / requests as f64
+    } else {
+        0.0
+    };
     println!(
-        "requests={} ok={} 304={} errors={} bytes={} proxy_hits={} mean_latency_ms={:.2}",
-        report.requests,
-        report.ok,
-        report.not_modified,
-        report.errors,
-        report.bytes,
-        report.cache_hits_observed,
-        report.mean_latency_ms
+        "requests={requests} ok={ok} 304={not_modified} errors={errors} bytes={bytes} \
+         proxy_hits={hits} threads={threads} mean_latency_ms={mean_latency_ms:.2}"
     );
 }

@@ -71,6 +71,19 @@ fn main() {
         origin.paths[0]
     );
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+        std::thread::sleep(std::time::Duration::from_secs(10));
+        let s = origin.stats();
+        let d = origin.daemon_stats();
+        eprintln!(
+            "req={} piggybacks={} elements={} | conns={} ok={} 304={} err={} bytes={}",
+            s.requests,
+            s.piggybacks_sent,
+            s.elements_sent,
+            d.connections,
+            d.responses_ok,
+            d.responses_not_modified,
+            d.responses_error,
+            d.bytes_sent
+        );
     }
 }

@@ -3,13 +3,16 @@
 //! ```text
 //! pb-proxy --origin 127.0.0.1:8080 [--port 8081] [--capacity-mb 32]
 //!          [--delta-secs 60] [--maxpiggy 10] [--no-rpv]
+//!          [--shards 8] [--legacy] [--pool-idle 32] [--workers 64]
 //! ```
 //!
+//! `--legacy` selects the single-lock, fresh-connection-per-fetch
+//! baseline; the default is the sharded, connection-pooled model.
 //! Prints statistics every 10 seconds.
 
 use piggyback_core::filter::ProxyFilter;
 use piggyback_core::types::DurationMs;
-use piggyback_proxyd::proxy::{start_proxy, ProxyConfig};
+use piggyback_proxyd::proxy::{start_proxy, ConcurrencyMode, ProxyConfig};
 use std::net::SocketAddr;
 
 fn main() {
@@ -19,6 +22,10 @@ fn main() {
     let mut delta_secs = 60u64;
     let mut maxpiggy = 10u32;
     let mut use_rpv = true;
+    let mut shards = 8usize;
+    let mut legacy = false;
+    let mut pool_idle = 32usize;
+    let mut workers = 64usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -33,10 +40,15 @@ fn main() {
             "--delta-secs" => delta_secs = value("--delta-secs").parse().expect("number"),
             "--maxpiggy" => maxpiggy = value("--maxpiggy").parse().expect("number"),
             "--no-rpv" => use_rpv = false,
+            "--shards" => shards = value("--shards").parse().expect("number"),
+            "--legacy" => legacy = true,
+            "--pool-idle" => pool_idle = value("--pool-idle").parse().expect("number"),
+            "--workers" => workers = value("--workers").parse().expect("number"),
             "--help" | "-h" => {
                 println!(
                     "pb-proxy --origin HOST:PORT [--port 8081] [--capacity-mb 32] \
-                     [--delta-secs 60] [--maxpiggy 10] [--no-rpv]"
+                     [--delta-secs 60] [--maxpiggy 10] [--no-rpv] \
+                     [--shards 8] [--legacy] [--pool-idle 32] [--workers 64]"
                 );
                 return;
             }
@@ -59,14 +71,30 @@ fn main() {
     if !use_rpv {
         cfg.rpv = None;
     }
+    cfg.mode = if legacy {
+        ConcurrencyMode::Legacy
+    } else {
+        ConcurrencyMode::Sharded { shards }
+    };
+    cfg.pool_max_idle = pool_idle;
+    cfg.serve.workers = workers;
 
     let proxy = start_proxy(cfg).expect("failed to start proxy");
-    eprintln!("pb-proxy listening on {} -> origin {origin}", proxy.addr());
+    eprintln!(
+        "pb-proxy listening on {} -> origin {origin} ({})",
+        proxy.addr(),
+        if legacy {
+            "legacy: global lock, connect-per-fetch".to_owned()
+        } else {
+            format!("sharded x{shards}, pooled origin connections")
+        }
+    );
     loop {
         std::thread::sleep(std::time::Duration::from_secs(10));
         let s = proxy.stats();
         eprintln!(
-            "req={} hit={} fresh={} valid={} 304={} pb_msgs={} freshened={} invalidated={}",
+            "req={} hit={} fresh={} valid={} 304={} pb_msgs={} freshened={} invalidated={} \
+             errs={} passthru={} retries={}",
             s.requests,
             s.cache_hits,
             s.fresh_hits,
@@ -74,7 +102,16 @@ fn main() {
             s.not_modified,
             s.piggyback_messages,
             s.piggyback_freshens,
-            s.piggyback_invalidations
+            s.piggyback_invalidations,
+            s.upstream_errors,
+            s.upstream_passthrough,
+            s.upstream_retries
         );
+        if let Some(p) = proxy.pool_stats() {
+            eprintln!(
+                "pool: connects={} reuses={} evicted={} dirty={} full={}",
+                p.connects, p.reuses, p.evicted_unhealthy, p.discarded_dirty, p.discarded_full
+            );
+        }
     }
 }

@@ -54,12 +54,19 @@ fn main() {
     loop {
         std::thread::sleep(std::time::Duration::from_secs(10));
         let s = center.stats();
+        let d = center.daemon_stats();
         eprintln!(
-            "observed={} piggybacks={} elements={} learned_resources={}",
+            "observed={} piggybacks={} elements={} learned_resources={} | \
+             conns={} ok={} 304={} err={} bytes={}",
             s.requests,
             s.piggybacks_sent,
             s.elements_sent,
-            center.learned_resources()
+            center.learned_resources(),
+            d.connections,
+            d.responses_ok,
+            d.responses_not_modified,
+            d.responses_error,
+            d.bytes_sent
         );
     }
 }

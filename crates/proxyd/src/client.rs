@@ -1,9 +1,167 @@
-//! A workload-driver HTTP client for the loopback deployments.
+//! A workload-driver HTTP client for the loopback deployments, plus the
+//! keep-alive [`ConnectionPool`] the concurrent proxy uses for its origin
+//! connections.
 
+use parking_lot::Mutex;
 use piggyback_httpwire::{HttpError, Request, Response};
+use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Pool behavior counters (a snapshot of [`ConnectionPool`] internals).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fresh TCP connections opened.
+    pub connects: u64,
+    /// Checkouts served from the idle list.
+    pub reuses: u64,
+    /// Idle connections dropped at checkout because the health check
+    /// failed (peer closed, or unsolicited bytes ⇒ poisoned framing).
+    pub evicted_unhealthy: u64,
+    /// Connections refused at checkin because the reader still buffered
+    /// response bytes (an incomplete read would desynchronize framing).
+    pub discarded_dirty: u64,
+    /// Connections dropped at checkin because the idle list was full.
+    pub discarded_full: u64,
+}
+
+/// A pooled origin connection. Checked out of a [`ConnectionPool`], used
+/// for exactly one request/response exchange at a time, and checked back
+/// in only after the response — trailers included — was read completely.
+pub struct PooledConn {
+    pub reader: BufReader<TcpStream>,
+    pub writer: BufWriter<TcpStream>,
+    /// Whether this connection came from the idle list (a send failure on
+    /// a reused connection may be a stale-keep-alive race and is safe to
+    /// retry on a fresh connection; a failure on a brand-new one is not).
+    pub reused: bool,
+}
+
+impl PooledConn {
+    /// Open a standalone (pool-less) connection — the legacy
+    /// fresh-connection-per-fetch path uses this directly.
+    pub fn connect(origin: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(origin)?;
+        stream.set_nodelay(true)?;
+        Ok(PooledConn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            reused: false,
+        })
+    }
+}
+
+/// A bounded keep-alive pool of connections to one origin.
+///
+/// Checkout pops an idle connection and health-checks it with a
+/// non-blocking `peek`: `WouldBlock` means quiet-and-open (healthy),
+/// `Ok(0)` means the peer closed, and `Ok(n)` means the peer sent bytes
+/// nobody asked for — a poisoned connection whose framing can no longer
+/// be trusted. Unhealthy connections are evicted and the next candidate
+/// tried; an empty list falls through to a fresh connect.
+pub struct ConnectionPool {
+    origin: SocketAddr,
+    idle: Mutex<VecDeque<PooledConn>>,
+    max_idle: usize,
+    connects: AtomicU64,
+    reuses: AtomicU64,
+    evicted_unhealthy: AtomicU64,
+    discarded_dirty: AtomicU64,
+    discarded_full: AtomicU64,
+}
+
+impl ConnectionPool {
+    /// A pool holding at most `max_idle` idle connections to `origin`.
+    pub fn new(origin: SocketAddr, max_idle: usize) -> Self {
+        ConnectionPool {
+            origin,
+            idle: Mutex::new(VecDeque::new()),
+            max_idle,
+            connects: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            evicted_unhealthy: AtomicU64::new(0),
+            discarded_dirty: AtomicU64::new(0),
+            discarded_full: AtomicU64::new(0),
+        }
+    }
+
+    pub fn origin(&self) -> SocketAddr {
+        self.origin
+    }
+
+    /// Idle connections currently pooled.
+    pub fn idle_len(&self) -> usize {
+        self.idle.lock().len()
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            connects: self.connects.load(Ordering::Relaxed),
+            reuses: self.reuses.load(Ordering::Relaxed),
+            evicted_unhealthy: self.evicted_unhealthy.load(Ordering::Relaxed),
+            discarded_dirty: self.discarded_dirty.load(Ordering::Relaxed),
+            discarded_full: self.discarded_full.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Get a connection: a health-checked idle one if available, else a
+    /// fresh connect.
+    pub fn checkout(&self) -> io::Result<PooledConn> {
+        loop {
+            let candidate = self.idle.lock().pop_front();
+            let Some(mut conn) = candidate else { break };
+            if conn_is_quiet(conn.reader.get_ref()) {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                conn.reused = true;
+                return Ok(conn);
+            }
+            self.evicted_unhealthy.fetch_add(1, Ordering::Relaxed);
+            // Dropped; try the next idle candidate.
+        }
+        self.connect_fresh()
+    }
+
+    /// Open a fresh connection, bypassing the idle list (used for the
+    /// retry after a reused connection failed mid-exchange).
+    pub fn connect_fresh(&self) -> io::Result<PooledConn> {
+        let conn = PooledConn::connect(self.origin)?;
+        self.connects.fetch_add(1, Ordering::Relaxed);
+        Ok(conn)
+    }
+
+    /// Return a connection after a *complete* exchange. Refused (dropped)
+    /// if response bytes are still buffered — returning it would hand the
+    /// next caller a desynchronized stream — or if the pool is full.
+    pub fn checkin(&self, conn: PooledConn) {
+        if !conn.reader.buffer().is_empty() {
+            self.discarded_dirty.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut idle = self.idle.lock();
+        if idle.len() >= self.max_idle {
+            drop(idle);
+            self.discarded_full.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        idle.push_back(conn);
+    }
+}
+
+/// Open with no readable bytes pending? (`WouldBlock` ⇔ quiet ⇔ healthy.)
+fn conn_is_quiet(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let mut probe = [0u8; 1];
+    let quiet = matches!(
+        stream.peek(&mut probe),
+        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock
+    );
+    // A connection we cannot restore to blocking mode is unusable.
+    quiet && stream.set_nonblocking(false).is_ok()
+}
 
 /// Aggregate results of a driven request sequence.
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
@@ -27,6 +185,7 @@ pub struct HttpClient {
 impl HttpClient {
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
         Ok(HttpClient {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
@@ -126,9 +285,111 @@ mod tests {
     #[test]
     fn nonexistent_paths_counted_as_errors() {
         let origin = start_origin(OriginConfig::default()).unwrap();
-        let report =
-            run_sequence(origin.addr(), &["/nope.html".to_owned()]).unwrap();
+        let report = run_sequence(origin.addr(), &["/nope.html".to_owned()]).unwrap();
         assert_eq!(report.errors, 1);
+        origin.stop();
+    }
+
+    fn exchange(conn: &mut PooledConn, path: &str) -> Response {
+        let mut req = Request::new("GET", path);
+        req.headers.insert("Host", "pool.test");
+        req.write(&mut conn.writer).unwrap();
+        Response::read(&mut conn.reader, false).unwrap()
+    }
+
+    #[test]
+    fn pool_reuses_connections_across_exchanges() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let pool = ConnectionPool::new(origin.addr(), 4);
+        let path = origin.paths[0].clone();
+
+        let mut c1 = pool.checkout().unwrap();
+        assert!(!c1.reused);
+        assert_eq!(exchange(&mut c1, &path).status, 200);
+        pool.checkin(c1);
+        assert_eq!(pool.idle_len(), 1);
+
+        let mut c2 = pool.checkout().unwrap();
+        assert!(c2.reused, "second checkout must hit the idle list");
+        assert_eq!(exchange(&mut c2, &path).status, 200);
+        pool.checkin(c2);
+
+        let s = pool.stats();
+        assert_eq!(s.connects, 1);
+        assert_eq!(s.reuses, 1);
+        assert_eq!(s.evicted_unhealthy, 0);
+        origin.stop();
+    }
+
+    #[test]
+    fn pool_evicts_closed_connections_on_checkout() {
+        // A server that closes the connection after every response: any
+        // pooled connection is dead by the next checkout.
+        let oneshot = crate::util::serve(0, "oneshot", |stream| {
+            let mut r = BufReader::new(stream.try_clone().unwrap());
+            let mut w = BufWriter::new(stream);
+            if Request::read(&mut r).is_ok() {
+                let mut resp = Response::new(200);
+                resp.body = b"once".to_vec();
+                let _ = resp.write(&mut w);
+            }
+            // Handler returns: stream drops, peer sees FIN.
+        })
+        .unwrap();
+        let pool = ConnectionPool::new(oneshot.addr, 4);
+        let mut c = pool.checkout().unwrap();
+        assert_eq!(exchange(&mut c, "/x").status, 200);
+        pool.checkin(c);
+        assert_eq!(pool.idle_len(), 1);
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // Checkout health-checks the dead idle connection, evicts it, and
+        // falls through to a working fresh connect.
+        let mut c2 = pool.checkout().unwrap();
+        assert!(!c2.reused, "dead idle connection must not be handed out");
+        assert_eq!(exchange(&mut c2, "/y").status, 200);
+        let s = pool.stats();
+        assert_eq!(s.evicted_unhealthy, 1);
+        assert_eq!(s.connects, 2);
+        assert_eq!(s.reuses, 0);
+        oneshot.stop();
+    }
+
+    #[test]
+    fn pool_refuses_dirty_checkins() {
+        // An origin that volunteers bytes the client never consumed.
+        let chatty = crate::util::serve(0, "chatty", |mut s| {
+            use std::io::Write;
+            let _ = s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nokEXTRA-GARBAGE");
+            std::thread::sleep(std::time::Duration::from_millis(200));
+        })
+        .unwrap();
+        let pool = ConnectionPool::new(chatty.addr, 4);
+        let mut c = pool.checkout().unwrap();
+        // Let the whole burst (response + garbage) arrive, then parse only
+        // the response proper; the garbage stays in the reader's buffer.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let resp = Response::read(&mut c.reader, false).unwrap();
+        assert_eq!(resp.body, b"ok");
+        assert!(
+            !c.reader.buffer().is_empty(),
+            "test setup: garbage must remain buffered"
+        );
+        pool.checkin(c);
+        assert_eq!(pool.idle_len(), 0, "dirty connection must not pool");
+        assert_eq!(pool.stats().discarded_dirty, 1);
+        chatty.stop();
+    }
+
+    #[test]
+    fn pool_bounds_idle_list() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let pool = ConnectionPool::new(origin.addr(), 2);
+        let conns: Vec<_> = (0..4).map(|_| pool.checkout().unwrap()).collect();
+        for c in conns {
+            pool.checkin(c);
+        }
+        assert_eq!(pool.idle_len(), 2);
+        assert_eq!(pool.stats().discarded_full, 2);
         origin.stop();
     }
 }

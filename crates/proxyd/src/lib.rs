@@ -1,7 +1,8 @@
 //! # piggyback-proxyd
 //!
 //! Runnable network components for the SIGCOMM '98 server-volumes
-//! reproduction, built on `std::net` TCP with a thread per connection:
+//! reproduction, built on `std::net` TCP with a bounded accept/worker
+//! pool per daemon (see [`util::serve_with`]):
 //!
 //! * [`origin`] — a piggybacking origin server serving a synthetic site
 //!   with If-Modified-Since validation and `P-volume` chunked trailers;
@@ -19,11 +20,13 @@
 pub mod client;
 pub mod origin;
 pub mod proxy;
+pub mod stats;
 pub mod util;
 pub mod volume_center;
 
-pub use client::{run_sequence, ClientReport, HttpClient};
+pub use client::{run_sequence, ClientReport, ConnectionPool, HttpClient, PoolStats, PooledConn};
 pub use origin::{start_origin, OriginConfig, OriginHandle};
-pub use proxy::{start_proxy, ProxyConfig, ProxyHandle, ProxyStats};
-pub use util::{synth_body, Clock, ServerHandle};
+pub use proxy::{start_proxy, ConcurrencyMode, ProxyConfig, ProxyHandle, ProxyStats};
+pub use stats::{AtomicDaemonStats, AtomicProxyStats, DaemonStats};
+pub use util::{serve_with, synth_body, Clock, ServeOptions, ServerHandle};
 pub use volume_center::{start_volume_center, VolumeCenterConfig, VolumeCenterHandle};

@@ -10,6 +10,7 @@
 //! The magic prefix `/_pb/modify` bumps a resource's Last-Modified time,
 //! letting examples and tests exercise invalidation end-to-end.
 
+use crate::stats::{AtomicDaemonStats, DaemonStats};
 use crate::util::{serve, synth_body, Clock, ServerHandle};
 use parking_lot::Mutex;
 use piggyback_core::datetime::{
@@ -75,6 +76,7 @@ struct OriginState {
 pub struct OriginHandle {
     handle: ServerHandle,
     state: Arc<Mutex<OriginState>>,
+    daemon: Arc<AtomicDaemonStats>,
     /// Paths the synthetic site serves (useful for driving workloads).
     pub paths: Vec<String>,
 }
@@ -86,6 +88,13 @@ impl OriginHandle {
 
     pub fn stats(&self) -> ServerStats {
         self.state.lock().server.stats()
+    }
+
+    /// Lock-free transport counters: every parsed request (any method,
+    /// any endpoint) and every response, by class. Tests use these for
+    /// exact request-conservation checks against the proxy's counters.
+    pub fn daemon_stats(&self) -> DaemonStats {
+        self.daemon.snapshot()
     }
 
     /// The server-side access count for `path` (includes counts absorbed
@@ -133,10 +142,12 @@ pub fn start_origin(cfg: OriginConfig) -> io::Result<OriginHandle> {
                 let sid = table_all.register_path(ps, 0, Timestamp::ZERO);
                 remapped.entry(rid).or_default().push((sid, p));
             }
-            Box::new(piggyback_core::volume::ProbabilityVolumes::from_implications(
-                vols.threshold(),
-                remapped,
-            ))
+            Box::new(
+                piggyback_core::volume::ProbabilityVolumes::from_implications(
+                    vols.threshold(),
+                    remapped,
+                ),
+            )
         }
     };
     let mut server = PiggybackServer::new(volumes);
@@ -150,13 +161,16 @@ pub fn start_origin(cfg: OriginConfig) -> io::Result<OriginHandle> {
         server,
         clock: Clock::new(),
     }));
+    let daemon = Arc::new(AtomicDaemonStats::new());
     let state2 = Arc::clone(&state);
+    let daemon2 = Arc::clone(&daemon);
     let handle = serve(cfg.port, "origin", move |stream| {
-        let _ = handle_connection(stream, &state2);
+        let _ = handle_connection(stream, &state2, &daemon2);
     })?;
     Ok(OriginHandle {
         handle,
         state,
+        daemon,
         paths,
     })
 }
@@ -174,7 +188,13 @@ fn source_of(stream: &TcpStream) -> SourceId {
     }
 }
 
-fn handle_connection(stream: TcpStream, state: &Arc<Mutex<OriginState>>) -> io::Result<()> {
+fn handle_connection(
+    stream: TcpStream,
+    state: &Arc<Mutex<OriginState>>,
+    daemon: &AtomicDaemonStats,
+) -> io::Result<()> {
+    use std::sync::atomic::Ordering::Relaxed;
+    daemon.connections.fetch_add(1, Relaxed);
     let source = source_of(&stream);
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -183,8 +203,10 @@ fn handle_connection(stream: TcpStream, state: &Arc<Mutex<OriginState>>) -> io::
             Ok(r) => r,
             Err(_) => return Ok(()), // closed or malformed: drop connection
         };
+        daemon.requests.fetch_add(1, Relaxed);
         let keep = req.keep_alive();
         let resp = handle_request(&req, source, state);
+        daemon.count_response(resp.status, resp.body.len());
         resp.write(&mut writer)?;
         if !keep {
             return Ok(());
@@ -192,11 +214,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<Mutex<OriginState>>) -> io::
     }
 }
 
-fn handle_request(
-    req: &Request,
-    source: SourceId,
-    state: &Arc<Mutex<OriginState>>,
-) -> Response {
+fn handle_request(req: &Request, source: SourceId, state: &Arc<Mutex<OriginState>>) -> Response {
     if req.method != "GET" && req.method != "HEAD" {
         return Response::new(400);
     }
@@ -268,9 +286,7 @@ fn handle_request(
         .headers
         .get("If-Modified-Since")
         .and_then(parse_rfc1123)
-        .map(|ims| {
-            meta.last_modified <= timestamp_from_unix(ims, DEFAULT_TRACE_EPOCH_UNIX)
-        })
+        .map(|ims| meta.last_modified <= timestamp_from_unix(ims, DEFAULT_TRACE_EPOCH_UNIX))
         .unwrap_or(false);
 
     // Piggyback, if the proxy asked for one.

@@ -5,10 +5,31 @@
 //! entries go upstream with a `Piggy-filter` header (including the RPV
 //! list) and `TE: chunked`; `P-volume` piggybacks in the response trailer
 //! freshen or invalidate cached entries.
+//!
+//! ## Concurrency model
+//!
+//! The default [`ConcurrencyMode::Sharded`] splits proxy state into
+//! independently locked pieces so parallel requests only contend when they
+//! touch the same resource shard:
+//!
+//! * the cache is an N-way [`ShardedCache`] keyed by resource hash, with
+//!   the body store co-sharded by the same hash;
+//! * the resource table sits behind a read/write lock (lookups are reads);
+//! * statistics are lock-free atomics ([`AtomicProxyStats`]);
+//! * RPV state is per client source (an [`RpvTable`] keyed by peer
+//!   address), so concurrent sources keep independent lists;
+//! * upstream fetches check keep-alive connections out of a bounded,
+//!   health-checked [`ConnectionPool`] instead of reconnecting per fetch.
+//!
+//! [`ConcurrencyMode::Legacy`] preserves the original single-lock,
+//! fresh-connection-per-fetch behavior as an A/B baseline.
 
+use crate::client::{ConnectionPool, PoolStats, PooledConn};
 use crate::origin::strip_origin_form;
-use crate::util::{serve, Clock, ServerHandle};
-use parking_lot::Mutex;
+use crate::stats::AtomicProxyStats;
+pub use crate::stats::ProxyStats;
+use crate::util::{serve_with, Clock, ServeOptions, ServerHandle};
+use parking_lot::{Mutex, RwLock};
 use piggyback_core::datetime::{
     format_rfc1123, parse_rfc1123, timestamp_from_unix, unix_from_timestamp,
     DEFAULT_TRACE_EPOCH_UNIX,
@@ -16,16 +37,36 @@ use piggyback_core::datetime::{
 use piggyback_core::filter::{ProxyFilter, PIGGY_FILTER_HEADER};
 use piggyback_core::proxy::{classify_element, ElementAction};
 use piggyback_core::report::{HitReporter, PIGGY_REPORT_HEADER};
-use piggyback_core::rpv::RpvList;
+use piggyback_core::rpv::RpvTable;
 use piggyback_core::table::ResourceTable;
 use piggyback_core::types::{DurationMs, ResourceId, Timestamp};
 use piggyback_core::wire::{decode_p_volume, P_VOLUME_HEADER};
 use piggyback_httpwire::{HeaderMap, Request, Response};
-use piggyback_webcache::{Cache, CacheEntry, PolicyKind};
+use piggyback_webcache::{shard_index, CacheEntry, PolicyKind, ShardedCache};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
+
+/// How many client sources the per-source RPV table tracks before
+/// evicting the stalest.
+const RPV_MAX_SOURCES: usize = 256;
+
+/// How the proxy synchronizes its state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConcurrencyMode {
+    /// The original model: every request serializes through one global
+    /// lock and every upstream fetch opens a fresh origin connection.
+    /// Kept as the A/B baseline for the sharded path.
+    Legacy,
+    /// Sharded cache/bodies, read-write table, atomic stats, and a
+    /// keep-alive origin connection pool.
+    Sharded {
+        /// Cache/body shard count (clamped to at least 1).
+        shards: usize,
+    },
+}
 
 /// Proxy configuration.
 #[derive(Debug, Clone)]
@@ -44,6 +85,12 @@ pub struct ProxyConfig {
     /// Report cache-served accesses upstream via `Piggy-report`
     /// (Section 5 extension).
     pub report_hits: bool,
+    /// Locking/pooling model (see [`ConcurrencyMode`]).
+    pub mode: ConcurrencyMode,
+    /// Idle origin connections the pool retains (Sharded mode only).
+    pub pool_max_idle: usize,
+    /// Accept-loop worker/queue sizing.
+    pub serve: ServeOptions,
 }
 
 impl ProxyConfig {
@@ -57,43 +104,58 @@ impl ProxyConfig {
             rpv: Some((16, DurationMs::from_secs(30))),
             policy: PolicyKind::Lru,
             report_hits: true,
+            mode: ConcurrencyMode::Sharded { shards: 8 },
+            pool_max_idle: 32,
+            serve: ServeOptions::default(),
         }
     }
 }
 
-/// Counters exposed by a running proxy.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct ProxyStats {
-    pub requests: u64,
-    pub cache_hits: u64,
-    pub fresh_hits: u64,
-    pub validations: u64,
-    pub not_modified: u64,
-    pub full_fetches: u64,
-    pub bytes_from_origin: u64,
-    pub piggyback_messages: u64,
-    pub piggybacked_elements: u64,
-    pub piggyback_freshens: u64,
-    pub piggyback_invalidations: u64,
-    pub prefetch_candidates: u64,
-    pub upstream_errors: u64,
+/// Shared proxy state; every piece locks independently (or not at all).
+struct ProxyShared {
+    cfg: ProxyConfig,
+    clock: Clock,
+    /// Path ↔ id mapping. Grows monotonically (ids are never removed), so
+    /// lookups take the read lock and only first-registrations write.
+    table: RwLock<ResourceTable>,
+    cache: ShardedCache,
+    /// Cached bodies, co-sharded with `cache` via the same hash so shard i
+    /// of the cache and shard i of the bodies cover the same resources.
+    bodies: Vec<Mutex<HashMap<ResourceId, Arc<Vec<u8>>>>>,
+    /// Per-source RPV lists keyed by client peer address.
+    rpv: Option<Mutex<RpvTable<SocketAddr>>>,
+    reporter: Mutex<HitReporter>,
+    stats: AtomicProxyStats,
+    /// Keep-alive origin pool (Sharded mode; Legacy connects per fetch).
+    pool: Option<ConnectionPool>,
+    /// Legacy mode's whole-state serializer, held across each cache phase
+    /// the way the original `Mutex<ProxyState>` was.
+    global: Option<Mutex<()>>,
 }
 
-struct ProxyState {
-    table: ResourceTable,
-    cache: Cache,
-    bodies: HashMap<ResourceId, Arc<Vec<u8>>>,
-    rpv: Option<RpvList>,
-    reporter: HitReporter,
-    stats: ProxyStats,
-    clock: Clock,
-    cfg: ProxyConfig,
+impl ProxyShared {
+    fn body_shard(&self, r: ResourceId) -> &Mutex<HashMap<ResourceId, Arc<Vec<u8>>>> {
+        &self.bodies[shard_index(r, self.bodies.len())]
+    }
+
+    fn body(&self, r: ResourceId) -> Option<Arc<Vec<u8>>> {
+        self.body_shard(r).lock().get(&r).cloned()
+    }
+
+    /// The filter to send upstream, with this source's RPV ids attached.
+    fn filter_for(&self, source: SocketAddr, now: Timestamp) -> ProxyFilter {
+        let mut filter = self.cfg.filter.clone();
+        if let Some(rpv) = &self.rpv {
+            filter.rpv = rpv.lock().filter_ids(&source, now);
+        }
+        filter
+    }
 }
 
 /// A running proxy.
 pub struct ProxyHandle {
     handle: ServerHandle,
-    state: Arc<Mutex<ProxyState>>,
+    shared: Arc<ProxyShared>,
 }
 
 impl ProxyHandle {
@@ -102,7 +164,12 @@ impl ProxyHandle {
     }
 
     pub fn stats(&self) -> ProxyStats {
-        self.state.lock().stats
+        self.shared.stats.snapshot()
+    }
+
+    /// Origin-pool counters (`None` in Legacy mode, which has no pool).
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.shared.pool.as_ref().map(|p| p.stats())
     }
 
     pub fn stop(self) {
@@ -112,48 +179,52 @@ impl ProxyHandle {
 
 /// Start the proxy.
 pub fn start_proxy(cfg: ProxyConfig) -> io::Result<ProxyHandle> {
-    let state = Arc::new(Mutex::new(ProxyState {
-        table: ResourceTable::new(),
-        cache: Cache::new(cfg.capacity_bytes, cfg.policy.build()),
-        bodies: HashMap::new(),
-        rpv: cfg.rpv.map(|(len, t)| RpvList::new(len, t)),
-        reporter: HitReporter::new(),
-        stats: ProxyStats::default(),
+    let shards = match cfg.mode {
+        ConcurrencyMode::Legacy => 1,
+        ConcurrencyMode::Sharded { shards } => shards.max(1),
+    };
+    let pool = match cfg.mode {
+        ConcurrencyMode::Legacy => None,
+        ConcurrencyMode::Sharded { .. } => Some(ConnectionPool::new(cfg.origin, cfg.pool_max_idle)),
+    };
+    let global = match cfg.mode {
+        ConcurrencyMode::Legacy => Some(Mutex::new(())),
+        ConcurrencyMode::Sharded { .. } => None,
+    };
+    let shared = Arc::new(ProxyShared {
         clock: Clock::new(),
+        table: RwLock::new(ResourceTable::new()),
+        cache: ShardedCache::new(cfg.capacity_bytes, shards, cfg.policy),
+        bodies: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        rpv: cfg
+            .rpv
+            .map(|(len, t)| Mutex::new(RpvTable::new(RPV_MAX_SOURCES, len, t))),
+        reporter: Mutex::new(HitReporter::new()),
+        stats: AtomicProxyStats::new(),
+        pool,
+        global,
         cfg,
-    }));
-    let port = state.lock().cfg.port;
-    let state2 = Arc::clone(&state);
-    let handle = serve(port, "proxy", move |stream| {
-        let _ = handle_connection(stream, &state2);
+    });
+    let shared2 = Arc::clone(&shared);
+    let handle = serve_with(shared.cfg.port, "proxy", shared.cfg.serve, move |stream| {
+        let _ = handle_connection(stream, &shared2);
     })?;
-    Ok(ProxyHandle { handle, state })
+    Ok(ProxyHandle { handle, shared })
 }
 
-struct Upstream {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-}
-
-fn connect_upstream(origin: SocketAddr) -> io::Result<Upstream> {
-    let stream = TcpStream::connect(origin)?;
-    Ok(Upstream {
-        reader: BufReader::new(stream.try_clone()?),
-        writer: BufWriter::new(stream),
-    })
-}
-
-fn handle_connection(stream: TcpStream, state: &Arc<Mutex<ProxyState>>) -> io::Result<()> {
+fn handle_connection(stream: TcpStream, shared: &Arc<ProxyShared>) -> io::Result<()> {
+    let source = stream
+        .peer_addr()
+        .unwrap_or_else(|_| SocketAddr::from(([0, 0, 0, 0], 0)));
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    let mut upstream: Option<Upstream> = None;
     loop {
         let req = match Request::read(&mut reader) {
             Ok(r) => r,
             Err(_) => return Ok(()),
         };
         let keep = req.keep_alive();
-        let resp = handle_request(&req, state, &mut upstream);
+        let resp = handle_request(&req, shared, source);
         resp.write(&mut writer)?;
         if !keep {
             return Ok(());
@@ -161,71 +232,67 @@ fn handle_connection(stream: TcpStream, state: &Arc<Mutex<ProxyState>>) -> io::R
     }
 }
 
-fn handle_request(
-    req: &Request,
-    state: &Arc<Mutex<ProxyState>>,
-    upstream: &mut Option<Upstream>,
-) -> Response {
+/// The plan phase 1 hands to the rest of the request.
+enum Plan {
+    ServeFresh(Arc<Vec<u8>>, Timestamp),
+    Fetch {
+        validate_lm: Option<Timestamp>,
+        filter: ProxyFilter,
+        report: Option<String>,
+    },
+}
+
+fn handle_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) -> Response {
     if req.method != "GET" {
         return Response::new(400);
     }
     let path = strip_origin_form(&req.target).to_owned();
 
-    // Phase 1: consult the cache.
-    enum Plan {
-        ServeFresh(Arc<Vec<u8>>, Timestamp),
-        Fetch {
-            validate_lm: Option<Timestamp>,
-            filter: ProxyFilter,
-            report: Option<String>,
-        },
-    }
+    // Phase 1: consult the cache (shard-scoped locks; in Legacy mode the
+    // global serializer emulates the original whole-state mutex).
     let plan = {
-        let mut st = state.lock();
-        let now = st.clock.now();
-        st.stats.requests += 1;
-        let cached = st
+        let _g = shared.global.as_ref().map(|m| m.lock());
+        let now = shared.clock.now();
+        shared.stats.requests.fetch_add(1, Relaxed);
+        let cached = shared
             .table
+            .read()
             .lookup(&path)
-            .and_then(|r| st.cache.lookup(r, now).map(|snap| (r, snap)));
+            .and_then(|r| shared.cache.lookup(r, now).map(|snap| (r, snap)));
         match cached {
             Some((r, snap)) if snap.is_fresh(now) => {
-                st.stats.cache_hits += 1;
-                st.stats.fresh_hits += 1;
-                if st.cfg.report_hits {
-                    st.reporter.record_hit(&path);
+                // A fresh entry whose body was invalidated underneath us
+                // (concurrent piggyback) degrades to a plain fetch.
+                match shared.body(r) {
+                    Some(body) => {
+                        shared.stats.cache_hits.fetch_add(1, Relaxed);
+                        shared.stats.fresh_hits.fetch_add(1, Relaxed);
+                        if shared.cfg.report_hits {
+                            shared.reporter.lock().record_hit(&path);
+                        }
+                        Plan::ServeFresh(body, snap.last_modified)
+                    }
+                    None => Plan::Fetch {
+                        validate_lm: None,
+                        filter: shared.filter_for(source, now),
+                        report: shared.reporter.lock().drain_header(),
+                    },
                 }
-                let body = st
-                    .bodies
-                    .get(&r)
-                    .cloned()
-                    .unwrap_or_else(|| Arc::new(Vec::new()));
-                Plan::ServeFresh(body, snap.last_modified)
             }
             Some((_, snap)) => {
-                st.stats.cache_hits += 1;
-                st.stats.validations += 1;
-                let mut filter = st.cfg.filter.clone();
-                if let Some(rpv) = &mut st.rpv {
-                    filter.rpv = rpv.filter_ids(now);
-                }
+                shared.stats.cache_hits.fetch_add(1, Relaxed);
+                shared.stats.validations.fetch_add(1, Relaxed);
                 Plan::Fetch {
                     validate_lm: Some(snap.last_modified),
-                    filter,
-                    report: st.reporter.drain_header(),
+                    filter: shared.filter_for(source, now),
+                    report: shared.reporter.lock().drain_header(),
                 }
             }
-            None => {
-                let mut filter = st.cfg.filter.clone();
-                if let Some(rpv) = &mut st.rpv {
-                    filter.rpv = rpv.filter_ids(now);
-                }
-                Plan::Fetch {
-                    validate_lm: None,
-                    filter,
-                    report: st.reporter.drain_header(),
-                }
-            }
+            None => Plan::Fetch {
+                validate_lm: None,
+                filter: shared.filter_for(source, now),
+                report: shared.reporter.lock().drain_header(),
+            },
         }
     };
 
@@ -240,37 +307,42 @@ fn handle_request(
         } => (validate_lm, filter, report),
     };
 
-    // Phase 2: upstream exchange (no lock held).
-    let origin = state.lock().cfg.origin;
-    let resp = exchange_upstream(upstream, origin, &path, validate_lm, &filter, report.as_deref());
+    // Phase 2: upstream exchange (no state locks held).
+    let resp = exchange_upstream(shared, &path, validate_lm, &filter, report.as_deref());
     let resp = match resp {
         Ok(r) => r,
         Err(_) => {
-            state.lock().stats.upstream_errors += 1;
+            shared.stats.upstream_errors.fetch_add(1, Relaxed);
             return Response::new(502);
         }
     };
 
-    // Phase 3: update cache and answer the client.
-    let mut st = state.lock();
-    let now = st.clock.now();
-    let delta = st.cfg.freshness;
+    // Phase 3: update cache state and answer the client.
+    let _g = shared.global.as_ref().map(|m| m.lock());
+    let now = shared.clock.now();
+    let delta = shared.cfg.freshness;
     let result = match resp.status {
         304 => {
-            st.stats.not_modified += 1;
-            let r = st.table.lookup(&path).expect("validated entries are known");
-            st.cache.freshen(r, now + delta);
-            let body = st
-                .bodies
-                .get(&r)
-                .cloned()
-                .unwrap_or_else(|| Arc::new(Vec::new()));
+            shared.stats.not_modified.fetch_add(1, Relaxed);
+            // The table never forgets ids, so the validated path resolves;
+            // the body may have been evicted concurrently (served empty,
+            // exactly as the original did).
+            let r = shared.table.read().lookup(&path);
+            let body = r
+                .and_then(|r| {
+                    shared.cache.freshen(r, now + delta);
+                    shared.body(r)
+                })
+                .unwrap_or_default();
             let lm = validate_lm.unwrap_or(Timestamp::ZERO);
             cached_response(&body, lm, "VALIDATED")
         }
         200 => {
-            st.stats.full_fetches += 1;
-            st.stats.bytes_from_origin += resp.body.len() as u64;
+            shared.stats.full_fetches.fetch_add(1, Relaxed);
+            shared
+                .stats
+                .bytes_from_origin
+                .fetch_add(resp.body.len() as u64, Relaxed);
             let lm = resp
                 .headers
                 .get("Last-Modified")
@@ -278,8 +350,12 @@ fn handle_request(
                 .map(|u| timestamp_from_unix(u, DEFAULT_TRACE_EPOCH_UNIX))
                 .unwrap_or(now);
             let size = resp.body.len() as u64;
-            let r = st.table.register_path(&path, size, lm);
-            let evicted = st.cache.insert(
+            let r = shared.table.write().register_path(&path, size, lm);
+            let body = Arc::new(resp.body.clone());
+            // Body first, then the entry: a concurrent lookup never sees
+            // an entry without its body (the reverse order could).
+            shared.body_shard(r).lock().insert(r, Arc::clone(&body));
+            let evicted = shared.cache.insert(
                 r,
                 CacheEntry {
                     size,
@@ -290,15 +366,18 @@ fn handle_request(
                 },
                 now,
             );
-            let body = Arc::new(resp.body.clone());
-            st.bodies.insert(r, Arc::clone(&body));
-            for v in evicted {
-                st.bodies.remove(&v);
+            if !evicted.is_empty() {
+                // Evictees share r's shard (the stores are co-sharded).
+                let mut bodies = shared.body_shard(r).lock();
+                for v in evicted {
+                    bodies.remove(&v);
+                }
             }
             cached_response(&body, lm, "MISS")
         }
         _ => {
             // Pass through errors untouched (and uncached).
+            shared.stats.upstream_passthrough.fetch_add(1, Relaxed);
             let mut out = Response::new(resp.status);
             out.body = resp.body.clone();
             out
@@ -312,27 +391,35 @@ fn handle_request(
         .or_else(|| resp.headers.get(P_VOLUME_HEADER));
     if let Some(pv) = pv {
         if let Ok(wire) = decode_p_volume(pv) {
-            st.stats.piggyback_messages += 1;
-            st.stats.piggybacked_elements += wire.elements.len() as u64;
-            if let Some(rpv) = &mut st.rpv {
-                rpv.record(wire.volume, now);
+            shared.stats.piggyback_messages.fetch_add(1, Relaxed);
+            shared
+                .stats
+                .piggybacked_elements
+                .fetch_add(wire.elements.len() as u64, Relaxed);
+            if let Some(rpv) = &shared.rpv {
+                rpv.lock().record(&source, wire.volume, now);
             }
             for e in &wire.elements {
-                let r = st.table.register_path(&e.path, e.size, e.last_modified);
-                let cached_lm = st.cache.peek(r).map(|c| c.last_modified);
+                let r = shared
+                    .table
+                    .write()
+                    .register_path(&e.path, e.size, e.last_modified);
+                let cached_lm = shared.cache.peek(r).map(|c| c.last_modified);
                 match classify_element(cached_lm, e.last_modified) {
                     ElementAction::Freshen => {
-                        st.cache.freshen(r, now + delta);
-                        st.cache.note_piggyback_mention(r, now);
-                        st.stats.piggyback_freshens += 1;
+                        shared.cache.freshen(r, now + delta);
+                        shared.cache.note_piggyback_mention(r, now);
+                        shared.stats.piggyback_freshens.fetch_add(1, Relaxed);
                     }
                     ElementAction::Invalidate => {
-                        st.cache.remove(r);
-                        st.bodies.remove(&r);
-                        st.stats.piggyback_invalidations += 1;
+                        // Entry first, then body: a concurrent lookup that
+                        // wins the entry also finds the body still there.
+                        shared.cache.remove(r);
+                        shared.body_shard(r).lock().remove(&r);
+                        shared.stats.piggyback_invalidations.fetch_add(1, Relaxed);
                     }
                     ElementAction::PrefetchCandidate => {
-                        st.stats.prefetch_candidates += 1;
+                        shared.stats.prefetch_candidates.fetch_add(1, Relaxed);
                     }
                 }
             }
@@ -341,19 +428,28 @@ fn handle_request(
     result
 }
 
+/// One upstream request/response exchange. Sharded mode checks a
+/// connection out of the pool and returns it only after the response —
+/// trailers included — was read to completion. A mid-exchange failure
+/// (stale keep-alive race, or an origin that died under the first
+/// request) retries once on a fresh connection; Legacy mode opens a
+/// fresh connection per fetch but keeps the same retry-once contract.
 fn exchange_upstream(
-    upstream: &mut Option<Upstream>,
-    origin: SocketAddr,
+    shared: &ProxyShared,
     path: &str,
     validate_lm: Option<Timestamp>,
     filter: &ProxyFilter,
     report: Option<&str>,
 ) -> Result<Response, piggyback_httpwire::HttpError> {
     for attempt in 0..2 {
-        if upstream.is_none() {
-            *upstream = Some(connect_upstream(origin)?);
+        if attempt == 1 {
+            shared.stats.upstream_retries.fetch_add(1, Relaxed);
         }
-        let conn = upstream.as_mut().expect("just connected");
+        let mut conn = match &shared.pool {
+            Some(pool) if attempt == 0 => pool.checkout()?,
+            Some(pool) => pool.connect_fresh()?,
+            None => PooledConn::connect(shared.cfg.origin)?,
+        };
         let mut req = Request::new("GET", path);
         req.headers.insert("Host", "origin");
         req.headers.insert("TE", "chunked");
@@ -372,16 +468,20 @@ fn exchange_upstream(
             .map_err(piggyback_httpwire::HttpError::from)
             .and_then(|()| Response::read(&mut conn.reader, false));
         match io_result {
-            Ok(resp) => return Ok(resp),
-            Err(e) if attempt == 0 => {
-                // Stale persistent connection: reconnect once.
-                let _ = e;
-                *upstream = None;
+            Ok(resp) => {
+                if let Some(pool) = &shared.pool {
+                    pool.checkin(conn);
+                }
+                return Ok(resp);
+            }
+            Err(_) if attempt == 0 => {
+                // Stale pooled connection or a flaky first exchange:
+                // drop it, retry once on a fresh connection.
             }
             Err(e) => return Err(e),
         }
     }
-    unreachable!("loop returns on second attempt")
+    unreachable!("retry loop always returns by the second attempt")
 }
 
 fn cached_response(body: &Arc<Vec<u8>>, lm: Timestamp, x_cache: &str) -> Response {
@@ -437,7 +537,46 @@ mod tests {
         assert_eq!(stats.requests, 2);
         assert_eq!(stats.fresh_hits, 1);
         assert_eq!(stats.full_fetches, 1);
+        assert_eq!(stats.outcomes(), stats.requests, "conservation");
 
+        proxy.stop();
+        origin.stop();
+    }
+
+    #[test]
+    fn legacy_mode_still_works() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let mut cfg = ProxyConfig::new(origin.addr());
+        cfg.mode = ConcurrencyMode::Legacy;
+        let proxy = start_proxy(cfg).unwrap();
+        assert!(proxy.pool_stats().is_none(), "legacy mode has no pool");
+        let path = origin.paths[0].clone();
+        let r1 = get(proxy.addr(), &path);
+        assert_eq!(r1.headers.get("X-Cache"), Some("MISS"));
+        let r2 = get(proxy.addr(), &path);
+        assert_eq!(r2.headers.get("X-Cache"), Some("HIT"));
+        assert_eq!(r1.body, r2.body);
+        proxy.stop();
+        origin.stop();
+    }
+
+    #[test]
+    fn sharded_proxy_pools_origin_connections() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let mut cfg = ProxyConfig::new(origin.addr());
+        cfg.freshness = DurationMs::from_millis(1); // force validations
+        let proxy = start_proxy(cfg).unwrap();
+        let path = origin.paths[0].clone();
+        for _ in 0..5 {
+            get(proxy.addr(), &path);
+            std::thread::sleep(std::time::Duration::from_millis(3));
+        }
+        let pool = proxy.pool_stats().expect("sharded mode has a pool");
+        assert!(
+            pool.reuses >= 3,
+            "validations must reuse the pooled origin connection: {pool:?}"
+        );
+        assert!(pool.connects <= 2, "{pool:?}");
         proxy.stop();
         origin.stop();
     }
@@ -468,7 +607,10 @@ mod tests {
         assert_eq!(r.status, 404);
         let r = get(proxy.addr(), "/definitely/not/here.html");
         assert_eq!(r.status, 404);
-        assert_eq!(proxy.stats().fresh_hits, 0);
+        let stats = proxy.stats();
+        assert_eq!(stats.fresh_hits, 0);
+        assert_eq!(stats.upstream_passthrough, 2);
+        assert_eq!(stats.outcomes(), stats.requests, "conservation");
         proxy.stop();
         origin.stop();
     }
@@ -569,7 +711,9 @@ mod tests {
         let proxy = start_proxy(ProxyConfig::new(dead)).unwrap();
         let r = get(proxy.addr(), "/x");
         assert_eq!(r.status, 502);
-        assert_eq!(proxy.stats().upstream_errors, 1);
+        let stats = proxy.stats();
+        assert_eq!(stats.upstream_errors, 1);
+        assert_eq!(stats.outcomes(), stats.requests, "conservation");
         proxy.stop();
     }
 }

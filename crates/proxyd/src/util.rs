@@ -34,16 +34,102 @@ impl Default for Clock {
     }
 }
 
+/// Sizing for the bounded accept/worker model.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Worker threads draining accepted connections. Persistent
+    /// (keep-alive) connections pin a worker for their lifetime, so size
+    /// this above the expected concurrent-connection count.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker. When full, new
+    /// connections are dropped (closed) instead of queueing unboundedly.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 64,
+            queue_depth: 128,
+        }
+    }
+}
+
+/// The bounded handoff between the accept loop and the workers.
+struct WorkQueue {
+    inner: std::sync::Mutex<WorkQueueInner>,
+    ready: std::sync::Condvar,
+    capacity: usize,
+}
+
+struct WorkQueueInner {
+    conns: std::collections::VecDeque<TcpStream>,
+    shutdown: bool,
+}
+
+impl WorkQueue {
+    fn new(capacity: usize) -> Self {
+        WorkQueue {
+            inner: std::sync::Mutex::new(WorkQueueInner {
+                conns: std::collections::VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: std::sync::Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue an accepted connection; `false` (connection dropped by the
+    /// caller) when the queue is full or shutting down.
+    fn push(&self, stream: TcpStream) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.shutdown || inner.conns.len() >= self.capacity {
+            return false;
+        }
+        inner.conns.push_back(stream);
+        drop(inner);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocking pop; `None` once shutdown is signalled and the queue
+    /// drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(s) = inner.conns.pop_front() {
+                return Some(s);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn shutdown(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.shutdown = true;
+        inner.conns.clear();
+        drop(inner);
+        self.ready.notify_all();
+    }
+}
+
 /// Handle to a running accept loop. Dropping does NOT stop the server;
 /// call [`ServerHandle::stop`].
 pub struct ServerHandle {
     pub addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    queue: Arc<WorkQueue>,
     join: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
-    /// Signal shutdown and wait for the accept loop to exit.
+    /// Signal shutdown and wait for the accept loop to exit. Idle workers
+    /// exit immediately; workers pinned by a still-open keep-alive
+    /// connection finish that connection and then exit (they are detached
+    /// daemon threads, so this does not block).
     pub fn stop(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock accept() with a dummy connection.
@@ -51,12 +137,30 @@ impl ServerHandle {
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
+        self.queue.shutdown();
     }
 }
 
-/// Bind `127.0.0.1:port` (0 = ephemeral) and run `handler` in a thread per
-/// connection until the handle is stopped.
+/// Bind `127.0.0.1:port` (0 = ephemeral) and serve with the default
+/// [`ServeOptions`] until the handle is stopped.
 pub fn serve<F>(port: u16, name: &'static str, handler: F) -> io::Result<ServerHandle>
+where
+    F: Fn(TcpStream) + Send + Sync + 'static,
+{
+    serve_with(port, name, ServeOptions::default(), handler)
+}
+
+/// Bind `127.0.0.1:port` (0 = ephemeral) and dispatch connections to a
+/// bounded worker pool: `opts.workers` threads pull accepted connections
+/// from a queue of at most `opts.queue_depth`. Unlike thread-per-connection
+/// this caps both thread count and backlog memory, so an accept storm
+/// degrades by shedding connections instead of exhausting the process.
+pub fn serve_with<F>(
+    port: u16,
+    name: &'static str,
+    opts: ServeOptions,
+    handler: F,
+) -> io::Result<ServerHandle>
 where
     F: Fn(TcpStream) + Send + Sync + 'static,
 {
@@ -65,6 +169,24 @@ where
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
     let handler = Arc::new(handler);
+    let queue = Arc::new(WorkQueue::new(opts.queue_depth.max(1)));
+
+    for i in 0..opts.workers.max(1) {
+        let queue = Arc::clone(&queue);
+        let handler = Arc::clone(&handler);
+        // Workers are detached: they die with the queue's shutdown signal
+        // (or the process), and stop() must not wait on one pinned by a
+        // client that holds its connection open.
+        std::thread::Builder::new()
+            .name(format!("{name}-worker-{i}"))
+            .spawn(move || {
+                while let Some(stream) = queue.pop() {
+                    handler(stream);
+                }
+            })?;
+    }
+
+    let queue2 = Arc::clone(&queue);
     let join = std::thread::Builder::new()
         .name(format!("{name}-accept"))
         .spawn(move || {
@@ -74,10 +196,12 @@ where
                 }
                 match conn {
                     Ok(stream) => {
-                        let h = Arc::clone(&handler);
-                        let _ = std::thread::Builder::new()
-                            .name(format!("{name}-conn"))
-                            .spawn(move || h(stream));
+                        // Request/response traffic is latency-bound small
+                        // writes; Nagle+delayed-ACK costs ~40ms per stall.
+                        let _ = stream.set_nodelay(true);
+                        // push() refusing (queue full) drops the stream,
+                        // closing the connection: bounded load shedding.
+                        let _ = queue2.push(stream);
                     }
                     Err(_) => continue,
                 }
@@ -86,6 +210,7 @@ where
     Ok(ServerHandle {
         addr,
         stop,
+        queue,
         join: Some(join),
     })
 }
@@ -144,6 +269,81 @@ mod tests {
         let mut back = [0u8; 5];
         c.read_exact(&mut back).unwrap();
         assert_eq!(&back, b"hello");
+        handle.stop();
+    }
+
+    #[test]
+    fn worker_pool_serves_more_connections_than_workers() {
+        let handle = serve_with(
+            0,
+            "par-echo",
+            ServeOptions {
+                workers: 4,
+                queue_depth: 64,
+            },
+            |mut s| {
+                let mut buf = [0u8; 5];
+                let _ = s.read_exact(&mut buf);
+                let _ = s.write_all(&buf);
+            },
+        )
+        .unwrap();
+        let addr = handle.addr;
+        let clients: Vec<_> = (0..16)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = TcpStream::connect(addr).unwrap();
+                    c.write_all(b"hello").unwrap();
+                    let mut back = [0u8; 5];
+                    c.read_exact(&mut back).unwrap();
+                    assert_eq!(&back, b"hello");
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().expect("every connection must be served");
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_growing() {
+        use std::sync::mpsc;
+        // One worker that blocks until released; queue depth one. The
+        // first connection pins the worker, the second fills the queue,
+        // the third must be shed (closed without service).
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = std::sync::Mutex::new(release_rx);
+        let handle = serve_with(
+            0,
+            "shed",
+            ServeOptions {
+                workers: 1,
+                queue_depth: 1,
+            },
+            move |mut s| {
+                let _ = release_rx.lock().unwrap().recv();
+                let _ = s.write_all(b"ok");
+            },
+        )
+        .unwrap();
+        let addr = handle.addr;
+        let _pinned = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let _queued = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let mut shed = TcpStream::connect(addr).unwrap();
+        // The shed connection is closed unserved: EOF, never "ok".
+        shed.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 2];
+        match shed.read(&mut buf) {
+            Ok(0) => {}
+            other => panic!("expected EOF on shed connection, got {other:?}"),
+        }
+        // Release the worker so the pinned + queued connections finish.
+        release_tx.send(()).unwrap();
+        release_tx.send(()).unwrap();
         handle.stop();
     }
 }

@@ -9,6 +9,7 @@
 //! the way back down.
 
 use crate::origin::strip_origin_form;
+use crate::stats::{AtomicDaemonStats, DaemonStats};
 use crate::util::{serve, Clock, ServerHandle};
 use parking_lot::Mutex;
 use piggyback_core::datetime::{parse_rfc1123, timestamp_from_unix, DEFAULT_TRACE_EPOCH_UNIX};
@@ -42,6 +43,7 @@ struct CenterState {
 pub struct VolumeCenterHandle {
     handle: ServerHandle,
     state: Arc<Mutex<CenterState>>,
+    daemon: Arc<AtomicDaemonStats>,
 }
 
 impl VolumeCenterHandle {
@@ -51,6 +53,11 @@ impl VolumeCenterHandle {
 
     pub fn stats(&self) -> ServerStats {
         self.state.lock().server.stats()
+    }
+
+    /// Lock-free transport counters for the relay itself.
+    pub fn daemon_stats(&self) -> DaemonStats {
+        self.daemon.snapshot()
     }
 
     /// Number of resources learned from observed traffic.
@@ -69,12 +76,18 @@ pub fn start_volume_center(cfg: VolumeCenterConfig) -> io::Result<VolumeCenterHa
         server: PiggybackServer::new(DirectoryVolumes::new(cfg.volume_level)),
         clock: Clock::new(),
     }));
+    let daemon = Arc::new(AtomicDaemonStats::new());
     let state2 = Arc::clone(&state);
+    let daemon2 = Arc::clone(&daemon);
     let origin = cfg.origin;
     let handle = serve(cfg.port, "volume-center", move |stream| {
-        let _ = handle_connection(stream, origin, &state2);
+        let _ = handle_connection(stream, origin, &state2, &daemon2);
     })?;
-    Ok(VolumeCenterHandle { handle, state })
+    Ok(VolumeCenterHandle {
+        handle,
+        state,
+        daemon,
+    })
 }
 
 fn source_of(stream: &TcpStream) -> SourceId {
@@ -88,11 +101,15 @@ fn handle_connection(
     downstream: TcpStream,
     origin: SocketAddr,
     state: &Arc<Mutex<CenterState>>,
+    daemon: &AtomicDaemonStats,
 ) -> io::Result<()> {
+    use std::sync::atomic::Ordering::Relaxed;
+    daemon.connections.fetch_add(1, Relaxed);
     let source = source_of(&downstream);
     let mut down_r = BufReader::new(downstream.try_clone()?);
     let mut down_w = BufWriter::new(downstream);
     let up = TcpStream::connect(origin)?;
+    up.set_nodelay(true)?;
     let mut up_r = BufReader::new(up.try_clone()?);
     let mut up_w = BufWriter::new(up);
 
@@ -101,6 +118,7 @@ fn handle_connection(
             Ok(r) => r,
             Err(_) => return Ok(()),
         };
+        daemon.requests.fetch_add(1, Relaxed);
         let keep = req.keep_alive();
         let head = req.method == "HEAD";
         let path = strip_origin_form(&req.target).to_owned();
@@ -118,6 +136,7 @@ fn handle_connection(
         let mut resp = match Response::read(&mut up_r, head) {
             Ok(r) => r,
             Err(_) => {
+                daemon.count_response(502, 0);
                 Response::new(502).write(&mut down_w)?;
                 return Ok(());
             }
@@ -158,6 +177,7 @@ fn handle_connection(
             }
         }
 
+        daemon.count_response(resp.status, resp.body.len());
         resp.write(&mut down_w)?;
         if !keep {
             return Ok(());

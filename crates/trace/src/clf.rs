@@ -106,11 +106,7 @@ impl std::error::Error for ClfParseError {}
 
 /// Parse a CLF log. Resources are interned into a fresh table with sizes
 /// taken from the response byte counts.
-pub fn parse_clf_log(
-    name: &str,
-    input: &str,
-    epoch_unix: i64,
-) -> Result<ServerLog, ClfParseError> {
+pub fn parse_clf_log(name: &str, input: &str, epoch_unix: i64) -> Result<ServerLog, ClfParseError> {
     let mut table = ResourceTable::new();
     let mut entries = Vec::new();
     for (i, line) in input.lines().enumerate() {
@@ -140,7 +136,10 @@ fn parse_line(
     };
     let (addr, rest) = line.split_once(' ').ok_or(err("missing address"))?;
     let open = rest.find('[').ok_or(err("missing timestamp"))?;
-    let close = rest[open..].find(']').ok_or(err("unterminated timestamp"))? + open;
+    let close = rest[open..]
+        .find(']')
+        .ok_or(err("unterminated timestamp"))?
+        + open;
     let unix = parse_clf(&rest[open + 1..close]).ok_or(err("bad timestamp"))?;
     let after = &rest[close + 1..];
     let q1 = after.find('"').ok_or(err("missing request line"))?;
@@ -234,10 +233,7 @@ mod tests {
             assert_eq!(a.method, b.method);
             assert_eq!(a.status, b.status);
             assert_eq!(a.bytes, b.bytes);
-            assert_eq!(
-                log.table.path(a.resource),
-                parsed.table.path(b.resource)
-            );
+            assert_eq!(log.table.path(a.resource), parsed.table.path(b.resource));
         }
     }
 
@@ -253,7 +249,8 @@ mod tests {
 
     #[test]
     fn parse_skips_blank_and_comment_lines() {
-        let input = "\n# comment\n10.0.0.1 - - [28/Jan/1998:00:00:01 +0000] \"GET /x HTTP/1.0\" 200 10\n";
+        let input =
+            "\n# comment\n10.0.0.1 - - [28/Jan/1998:00:00:01 +0000] \"GET /x HTTP/1.0\" 200 10\n";
         let log = parse_clf_log("t", input, DEFAULT_TRACE_EPOCH_UNIX).unwrap();
         assert_eq!(log.entries.len(), 1);
         assert_eq!(log.table.path(ResourceId(0)), Some("/x"));
@@ -272,8 +269,7 @@ mod tests {
         let input = "10.0.0.1 - - [28/Jan/1998:00:00:01 +0000] \"GET /x HTTP/1.0\" 200 10\ngarbage";
         let e = parse_clf_log("t", input, DEFAULT_TRACE_EPOCH_UNIX).unwrap_err();
         assert_eq!(e.line, 2);
-        let bad_method =
-            "10.0.0.1 - - [28/Jan/1998:00:00:01 +0000] \"BREW /x HTTP/1.0\" 200 10";
+        let bad_method = "10.0.0.1 - - [28/Jan/1998:00:00:01 +0000] \"BREW /x HTTP/1.0\" 200 10";
         assert!(parse_clf_log("t", bad_method, DEFAULT_TRACE_EPOCH_UNIX).is_err());
     }
 }

@@ -53,7 +53,9 @@ fn requests_per_session(w: &WorkloadConfig, images_per_page: f64) -> f64 {
 }
 
 fn sessions_for(target_requests: f64, w: &WorkloadConfig, images_per_page: f64) -> usize {
-    (target_requests / requests_per_session(w, images_per_page)).round().max(1.0) as usize
+    (target_requests / requests_per_session(w, images_per_page))
+        .round()
+        .max(1.0) as usize
 }
 
 /// Amnesty International USA: a small site (1,102 resources) with moderate
@@ -191,9 +193,9 @@ pub fn marimba(scale: f64) -> ServerProfile {
         duration: DurationMs::from_secs(paper.days as u64 * 86_400),
         n_clients: ((paper.sources as f64 * scale) as usize).max(10),
         client_zipf: 0.5,
-        entry_zipf: 0.3,   // near-uniform: little co-occurrence structure
+        entry_zipf: 0.3, // near-uniform: little co-occurrence structure
         continue_prob: 0.5,
-        jump_prob: 0.9,    // no meaningful navigation
+        jump_prob: 0.9, // no meaningful navigation
         post_fraction: 0.95,
         image_prob: 0.0,
         seed: 0x3A7,

@@ -99,7 +99,10 @@ pub fn generate_client_trace(name: &str, cfg: &ClientTraceConfig) -> ClientTrace
                 max_depth: 5,
                 shared_images: (n_pages / 20).clamp(1, 5),
                 images_in_page_dir: false,
-                seed: cfg.seed.wrapping_mul(0x100000001b3).wrapping_add(server_rank as u64),
+                seed: cfg
+                    .seed
+                    .wrapping_mul(0x100000001b3)
+                    .wrapping_add(server_rank as u64),
                 ..Default::default()
             };
             sites[server_rank] = Some(Site::generate_into(&site_cfg, &mut table));

@@ -169,8 +169,10 @@ mod tests {
     #[test]
     fn exponential_mean() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mean: f64 =
-            (0..50_000).map(|_| exponential(&mut rng, 30.0)).sum::<f64>() / 50_000.0;
+        let mean: f64 = (0..50_000)
+            .map(|_| exponential(&mut rng, 30.0))
+            .sum::<f64>()
+            / 50_000.0;
         assert!((mean - 30.0).abs() < 1.0, "mean {mean}");
     }
 

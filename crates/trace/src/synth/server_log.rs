@@ -100,7 +100,16 @@ pub fn generate_server_log(
 
         loop {
             let page = &site.pages[page_idx];
-            push_entry(&mut entries, &mut rng, cfg, table, now, client, page.resource, false);
+            push_entry(
+                &mut entries,
+                &mut rng,
+                cfg,
+                table,
+                now,
+                client,
+                page.resource,
+                false,
+            );
 
             if fetch_images {
                 let mut t_img = now;

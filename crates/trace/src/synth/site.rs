@@ -114,9 +114,7 @@ impl Site {
         let mut dirs: Vec<String> = vec![String::new()]; // root ("" + "/file")
         let mut depths: Vec<usize> = vec![0];
         for i in 1..cfg.n_dirs {
-            let parent = if rng.random::<f64>() < 0.5
-                && depths[dirs.len() - 1] < cfg.max_depth
-            {
+            let parent = if rng.random::<f64>() < 0.5 && depths[dirs.len() - 1] < cfg.max_depth {
                 dirs.len() - 1
             } else {
                 let mut p = rng.random_range(0..dirs.len());

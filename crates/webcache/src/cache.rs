@@ -87,12 +87,7 @@ impl Cache {
     /// Insert (or replace) an entry, evicting as needed. Returns the
     /// evicted resources. Objects larger than the whole cache are not
     /// cached (returned untouched, no eviction storm).
-    pub fn insert(
-        &mut self,
-        r: ResourceId,
-        entry: CacheEntry,
-        now: Timestamp,
-    ) -> Vec<ResourceId> {
+    pub fn insert(&mut self, r: ResourceId, entry: CacheEntry, now: Timestamp) -> Vec<ResourceId> {
         if entry.size > self.capacity {
             // Uncachable: also drop any stale previous copy.
             self.remove(r);

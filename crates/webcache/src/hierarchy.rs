@@ -383,8 +383,7 @@ mod tests {
     }
 
     #[test]
-    fn piggyback_off_means_no_messages()
-    {
+    fn piggyback_off_means_no_messages() {
         let log = tiny_log(&[(0, 0, "/d/a.html"), (10, 0, "/d/b.html")]);
         let mut origin = build_server(&log, DirectoryVolumes::new(1));
         let cfg = HierarchyConfig {

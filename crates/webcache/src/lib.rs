@@ -45,6 +45,7 @@ pub mod hierarchy;
 pub mod informed;
 pub mod policy;
 pub mod psi;
+pub mod sharded;
 pub mod sim;
 
 pub use adaptive::{ChangeEstimator, FreshnessPolicy};
@@ -53,4 +54,5 @@ pub use hierarchy::{simulate_hierarchy, HierarchyConfig, HierarchyReport};
 pub use informed::{simulate_fetch_queue, FetchJob, QueueReport, SchedulingOrder};
 pub use policy::{GdSize, Lru, PiggybackAware, PolicyKind, ReplacementPolicy};
 pub use psi::{simulate_psi, ModificationLog, PsiConfig, PsiReport};
+pub use sharded::{shard_index, ShardedCache};
 pub use sim::{build_server, simulate_proxy, PrefetchConfig, ProxySimConfig, ProxySimReport};

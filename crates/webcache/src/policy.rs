@@ -293,7 +293,11 @@ mod tests {
 
     #[test]
     fn kind_builds_each_policy() {
-        for kind in [PolicyKind::Lru, PolicyKind::GdSize, PolicyKind::PiggybackAware] {
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::GdSize,
+            PolicyKind::PiggybackAware,
+        ] {
             let mut p = kind.build();
             p.on_insert(r(1), 10, ts(1));
             assert_eq!(p.evict_candidate(), Some(r(1)));

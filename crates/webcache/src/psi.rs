@@ -117,11 +117,7 @@ impl PsiReport {
 
 /// Run the PSI coherency simulation: one proxy, one origin, the origin
 /// piggybacks its modification log since the proxy's last contact.
-pub fn simulate_psi(
-    log: &ServerLog,
-    changes: &[ChangeEvent],
-    cfg: &PsiConfig,
-) -> PsiReport {
+pub fn simulate_psi(log: &ServerLog, changes: &[ChangeEvent], cfg: &PsiConfig) -> PsiReport {
     let mut report = PsiReport::default();
     let mut cache = Cache::new(cfg.capacity_bytes, PolicyKind::Lru.build());
     let mut modlog = ModificationLog::new();
@@ -253,7 +249,12 @@ mod tests {
         // a and b cached; a modified; next contact (for b, expired via
         // tiny Δ? no: b's re-request within Δ is a fresh hit)... force a
         // contact by requesting b after expiry.
-        let log = tiny_log(&[(0, "/a.html"), (1, "/b.html"), (4000, "/b.html"), (4010, "/a.html")]);
+        let log = tiny_log(&[
+            (0, "/a.html"),
+            (1, "/b.html"),
+            (4000, "/b.html"),
+            (4010, "/a.html"),
+        ]);
         let a = log.table.lookup("/a.html").unwrap();
         let changes = vec![ChangeEvent {
             time: ts(100),
@@ -268,7 +269,12 @@ mod tests {
 
         // Without PSI, a@4010's copy expired anyway (Δ=1h, 4010 > 3600)...
         // shrink the window: request a at 500 instead.
-        let log = tiny_log(&[(0, "/a.html"), (1, "/b.html"), (200, "/b.html"), (500, "/a.html")]);
+        let log = tiny_log(&[
+            (0, "/a.html"),
+            (1, "/b.html"),
+            (200, "/b.html"),
+            (500, "/a.html"),
+        ]);
         let changes = vec![ChangeEvent {
             time: ts(100),
             resource: a,

@@ -262,7 +262,14 @@ pub fn simulate_proxy<V: VolumeProvider>(
             let msg = server.piggyback(r, &filter, now);
             if let Some(msg) = msg {
                 process_piggyback(
-                    &msg, now, cfg, server, &mut cache, &mut estimator, &mut rpv, &mut report,
+                    &msg,
+                    now,
+                    cfg,
+                    server,
+                    &mut cache,
+                    &mut estimator,
+                    &mut rpv,
+                    &mut report,
                 );
             }
         } else {
@@ -289,7 +296,14 @@ pub fn simulate_proxy<V: VolumeProvider>(
             let msg = server.piggyback(r, &filter, now);
             if let Some(msg) = msg {
                 process_piggyback(
-                    &msg, now, cfg, server, &mut cache, &mut estimator, &mut rpv, &mut report,
+                    &msg,
+                    now,
+                    cfg,
+                    server,
+                    &mut cache,
+                    &mut estimator,
+                    &mut rpv,
+                    &mut report,
                 );
             }
         }
@@ -299,11 +313,7 @@ pub fn simulate_proxy<V: VolumeProvider>(
     report
 }
 
-fn request_filter(
-    cfg: &ProxySimConfig,
-    rpv: &mut Option<RpvList>,
-    now: Timestamp,
-) -> ProxyFilter {
+fn request_filter(cfg: &ProxySimConfig, rpv: &mut Option<RpvList>, now: Timestamp) -> ProxyFilter {
     if !cfg.piggyback {
         return ProxyFilter::disabled();
     }
@@ -334,9 +344,7 @@ fn process_piggyback<V: VolumeProvider>(
     for e in &msg.elements {
         estimator.observe(e.resource, e.last_modified);
         let cached_lm = cache.peek(e.resource).map(|c| c.last_modified);
-        let was_expired = cache
-            .peek(e.resource)
-            .is_some_and(|c| !c.is_fresh(now));
+        let was_expired = cache.peek(e.resource).is_some_and(|c| !c.is_fresh(now));
         match classify_element(cached_lm, e.last_modified) {
             ElementAction::Freshen => {
                 let delta = estimator.freshness_for(e.resource, cfg.freshness);
@@ -403,8 +411,8 @@ fn prefetch(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use piggyback_core::volume::DirectoryVolumes;
     use piggyback_core::types::SourceId;
+    use piggyback_core::volume::DirectoryVolumes;
     use piggyback_trace::record::{Method, ServerLogEntry};
     use piggyback_trace::ServerLog;
 
@@ -436,11 +444,7 @@ mod tests {
         log
     }
 
-    fn run(
-        log: &ServerLog,
-        changes: &[ChangeEvent],
-        cfg: &ProxySimConfig,
-    ) -> ProxySimReport {
+    fn run(log: &ServerLog, changes: &[ChangeEvent], cfg: &ProxySimConfig) -> ProxySimReport {
         let mut server = build_server(log, DirectoryVolumes::new(1));
         simulate_proxy(log, changes, &mut server, cfg)
     }
@@ -649,7 +653,9 @@ mod delta_tests {
             name: "delta".into(),
             ..Default::default()
         };
-        let a = log.table.register_path("/d/a.html", 10_000, Timestamp::ZERO);
+        let a = log
+            .table
+            .register_path("/d/a.html", 10_000, Timestamp::ZERO);
         for t in [0u64, 4000] {
             log.entries.push(ServerLogEntry {
                 time: ts(t),

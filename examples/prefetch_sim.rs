@@ -25,11 +25,8 @@ fn main() {
     );
 
     // Train pairwise implication counters on the trace.
-    let mut builder = ProbabilityVolumesBuilder::new(
-        DurationMs::from_secs(300),
-        0.02,
-        SamplingMode::Exact,
-    );
+    let mut builder =
+        ProbabilityVolumesBuilder::new(DurationMs::from_secs(300), 0.02, SamplingMode::Exact);
     for (t, src, r) in log.triples() {
         builder.observe(src, r, t);
     }

@@ -98,7 +98,10 @@ fn main() {
     println!("\norigin statistics:");
     println!("  requests               {}", origin_stats.requests);
     println!("  piggybacks sent        {}", origin_stats.piggybacks_sent);
-    println!("  avg piggyback size     {:.2}", origin_stats.avg_piggyback_size());
+    println!(
+        "  avg piggyback size     {:.2}",
+        origin_stats.avg_piggyback_size()
+    );
 
     proxy.stop();
     origin.stop();

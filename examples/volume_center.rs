@@ -74,7 +74,10 @@ fn main() {
 
     let center_stats = center.stats();
     let proxy_stats = proxy.stats();
-    println!("\nvolume center learned {} resources,", center.learned_resources());
+    println!(
+        "\nvolume center learned {} resources,",
+        center.learned_resources()
+    );
     println!(
         "sent {} piggybacks ({} elements) on the origin's behalf;",
         center_stats.piggybacks_sent, center_stats.elements_sent

@@ -2,12 +2,12 @@
 //! client, and the transparent volume-center chain.
 
 use piggyback::core::intern::directory_prefix;
+use piggyback::httpwire::{Request, Response};
 use piggyback::proxyd::client::HttpClient;
 use piggyback::proxyd::origin::{start_origin, OriginConfig};
 use piggyback::proxyd::proxy::{start_proxy, ProxyConfig};
 use piggyback::proxyd::util::{serve, synth_body};
 use piggyback::proxyd::volume_center::{start_volume_center, VolumeCenterConfig};
-use piggyback::httpwire::{Request, Response};
 use std::io::{BufReader, BufWriter};
 
 /// Two paths from `paths` sharing a 1-level directory prefix.

@@ -21,9 +21,12 @@ fn tiny(name: &str) -> ServerLog {
     }
 }
 
-fn dir_replay(log: &ServerLog, level: usize, filter: ProxyFilter, rpv: Option<u64>) ->
-    piggyback::core::metrics::MetricsReport
-{
+fn dir_replay(
+    log: &ServerLog,
+    level: usize,
+    filter: ProxyFilter,
+    rpv: Option<u64>,
+) -> piggyback::core::metrics::MetricsReport {
     let mut table = log.table.clone();
     for e in &log.entries {
         table.count_access(e.resource);
@@ -57,7 +60,10 @@ fn deeper_levels_and_filters_shrink_piggybacks() {
         l0.avg_piggyback_size()
     );
 
-    let filtered = ProxyFilter::builder().max_piggy(200).min_access_count(50).build();
+    let filtered = ProxyFilter::builder()
+        .max_piggy(200)
+        .min_access_count(50)
+        .build();
     let l0f = dir_replay(&log, 0, filtered, None);
     assert!(l0f.avg_piggyback_size() < l0.avg_piggyback_size());
 }
@@ -102,12 +108,7 @@ fn probability_volumes_are_smaller_and_thinning_raises_precision() {
             table.count_access(e.resource);
         }
         let mut v = vols.clone();
-        replay(
-            log.requests(),
-            &mut table,
-            &mut v,
-            &ReplayConfig::default(),
-        )
+        replay(log.requests(), &mut table, &mut v, &ReplayConfig::default())
     };
     let base_report = run(&base);
     let thin_report = run(&thinned);

@@ -6,11 +6,13 @@
 use piggyback::httpwire::{Request, Response};
 use piggyback::proxyd::client::HttpClient;
 use piggyback::proxyd::origin::{start_origin, OriginConfig};
-use piggyback::proxyd::proxy::{start_proxy, ProxyConfig};
+use piggyback::proxyd::proxy::{start_proxy, ProxyConfig, ProxyHandle};
 use piggyback::proxyd::util::serve;
 use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// An origin that truncates every response body mid-stream.
 fn truncating_origin() -> piggyback::proxyd::util::ServerHandle {
@@ -144,6 +146,192 @@ fn origin_rejects_bad_filter_gracefully() {
     assert_eq!(resp.status, 200);
     assert!(resp.trailers.get("P-volume").is_none());
     assert!(resp.headers.get("P-volume").is_none());
+    origin.stop();
+}
+
+/// An origin that answers correctly (keep-alive) but slowly.
+fn slow_origin(delay: Duration) -> piggyback::proxyd::util::ServerHandle {
+    serve(0, "slow", move |stream| {
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = BufWriter::new(stream);
+        loop {
+            let req = match Request::read(&mut r) {
+                Ok(q) => q,
+                Err(_) => return,
+            };
+            std::thread::sleep(delay);
+            let keep = req.keep_alive();
+            let mut resp = Response::new(200);
+            resp.headers
+                .insert("Last-Modified", "Wed, 28 Jan 1998 00:00:00 GMT");
+            resp.body = b"slow but sound".to_vec();
+            if resp.write(&mut w).is_err() || !keep {
+                return;
+            }
+        }
+    })
+    .unwrap()
+}
+
+/// An origin that serves one valid response per connection, then closes:
+/// every pooled connection dies right after checkin.
+fn one_shot_origin() -> piggyback::proxyd::util::ServerHandle {
+    serve(0, "one-shot", |stream| {
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = BufWriter::new(stream);
+        if Request::read(&mut r).is_ok() {
+            let mut resp = Response::new(200);
+            resp.headers
+                .insert("Last-Modified", "Wed, 28 Jan 1998 00:00:00 GMT");
+            resp.body = b"one shot".to_vec();
+            let _ = resp.write(&mut w);
+        }
+    })
+    .unwrap()
+}
+
+/// An origin that appends unsolicited garbage after every complete,
+/// valid response — poisoning the keep-alive framing.
+fn chatty_origin() -> piggyback::proxyd::util::ServerHandle {
+    serve(0, "chatty", |stream| {
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = BufWriter::new(stream);
+        loop {
+            let req = match Request::read(&mut r) {
+                Ok(q) => q,
+                Err(_) => return,
+            };
+            let keep = req.keep_alive();
+            let mut resp = Response::new(200);
+            resp.headers
+                .insert("Last-Modified", "Wed, 28 Jan 1998 00:00:00 GMT");
+            resp.body = b"payload".to_vec();
+            if resp.write(&mut w).is_err() {
+                return;
+            }
+            if w.write_all(b"%%%POISON%%%").is_err() || w.flush().is_err() || !keep {
+                return;
+            }
+        }
+    })
+    .unwrap()
+}
+
+/// 8 clients × `per_client` distinct-path GETs; returns the statuses seen.
+fn hammer(proxy: SocketAddr, per_client: usize) -> Vec<u16> {
+    let results: Vec<Vec<u16>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut client = HttpClient::connect(proxy).unwrap();
+                    (0..per_client)
+                        .map(|i| {
+                            // Distinct paths: every request goes upstream.
+                            let path = format!("/t{t}/r{i}.html");
+                            client.get(&path, &[]).map_or(0, |r| r.status)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    results.into_iter().flatten().collect()
+}
+
+fn conserved(proxy: &ProxyHandle, expected: u64) {
+    let s = proxy.stats();
+    assert_eq!(s.requests, expected);
+    assert_eq!(s.outcomes(), s.requests, "counters must conserve: {s:?}");
+}
+
+#[test]
+fn truncating_origin_under_parallel_clients() {
+    let origin = truncating_origin();
+    let proxy = start_proxy(ProxyConfig::new(origin.addr)).unwrap();
+    let statuses = hammer(proxy.addr(), 4);
+    assert_eq!(statuses.len(), 32);
+    assert!(
+        statuses.iter().all(|&s| s == 502),
+        "every truncated fetch must become a 502: {statuses:?}"
+    );
+    conserved(&proxy, 32);
+    assert_eq!(proxy.stats().upstream_errors, 32);
+    proxy.stop();
+    origin.stop();
+}
+
+#[test]
+fn garbage_origin_under_parallel_clients() {
+    let origin = garbage_origin();
+    let proxy = start_proxy(ProxyConfig::new(origin.addr)).unwrap();
+    let statuses = hammer(proxy.addr(), 4);
+    assert_eq!(statuses.len(), 32);
+    assert!(
+        statuses.iter().all(|&s| s == 502),
+        "garbage must become 502s: {statuses:?}"
+    );
+    conserved(&proxy, 32);
+    proxy.stop();
+    origin.stop();
+}
+
+#[test]
+fn slow_origin_under_parallel_clients() {
+    let origin = slow_origin(Duration::from_millis(20));
+    let proxy = start_proxy(ProxyConfig::new(origin.addr)).unwrap();
+    let statuses = hammer(proxy.addr(), 3);
+    assert!(
+        statuses.iter().all(|&s| s == 200),
+        "slow is not broken: {statuses:?}"
+    );
+    conserved(&proxy, 24);
+    proxy.stop();
+    origin.stop();
+}
+
+#[test]
+fn pool_evicts_dead_connections_under_parallel_load() {
+    let origin = one_shot_origin();
+    let proxy = start_proxy(ProxyConfig::new(origin.addr)).unwrap();
+    let statuses = hammer(proxy.addr(), 5);
+    assert!(
+        statuses.iter().all(|&s| s == 200),
+        "dead pooled connections must be evicted or retried, never surfaced: {statuses:?}"
+    );
+    conserved(&proxy, 40);
+    let pool = proxy.pool_stats().expect("sharded mode pools");
+    let s = proxy.stats();
+    // Every checked-in connection dies; each is caught either at checkout
+    // (peek sees FIN => evicted) or mid-exchange (retry on a fresh one).
+    assert!(
+        pool.evicted_unhealthy + s.upstream_retries > 0,
+        "the pool must notice dying origin connections: {pool:?} {s:?}"
+    );
+    proxy.stop();
+    origin.stop();
+}
+
+#[test]
+fn pool_sheds_poisoned_connections_under_parallel_load() {
+    let origin = chatty_origin();
+    let proxy = start_proxy(ProxyConfig::new(origin.addr)).unwrap();
+    let statuses = hammer(proxy.addr(), 5);
+    assert!(
+        statuses.iter().all(|&s| s == 200),
+        "poisoned framing must never corrupt a response: {statuses:?}"
+    );
+    conserved(&proxy, 40);
+    let pool = proxy.pool_stats().expect("sharded mode pools");
+    let s = proxy.stats();
+    // Trailing garbage is caught as a dirty checkin (still buffered), an
+    // unhealthy checkout (unsolicited bytes on the wire), or a failed
+    // reuse that retries fresh — it must never be parsed as a response.
+    assert!(
+        pool.discarded_dirty + pool.evicted_unhealthy + s.upstream_retries > 0,
+        "the pool must shed poisoned connections: {pool:?} {s:?}"
+    );
+    proxy.stop();
     origin.stop();
 }
 

@@ -143,7 +143,10 @@ fn engine_matches_reference_on_random_traces() {
             },
         );
         assert_eq!(report.requests, requests.len() as u64, "seed {seed}");
-        assert_eq!(report.predicted, expected.predicted, "predicted, seed {seed}");
+        assert_eq!(
+            report.predicted, expected.predicted,
+            "predicted, seed {seed}"
+        );
         assert_eq!(
             report.prev_within_c, expected.prev_within_c,
             "prev_within_c, seed {seed}"

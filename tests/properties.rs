@@ -19,9 +19,10 @@ use proptest::prelude::*;
 use std::io::BufReader;
 
 fn arb_content_types() -> impl Strategy<Value = Option<ContentTypeSet>> {
-    proptest::option::of(proptest::collection::vec(0usize..5, 1..5).prop_map(|idx| {
-        ContentTypeSet::new(idx.into_iter().map(|i| ContentType::ALL[i]))
-    }))
+    proptest::option::of(
+        proptest::collection::vec(0usize..5, 1..5)
+            .prop_map(|idx| ContentTypeSet::new(idx.into_iter().map(|i| ContentType::ALL[i]))),
+    )
 }
 
 fn arb_filter() -> impl Strategy<Value = ProxyFilter> {
@@ -34,15 +35,17 @@ fn arb_filter() -> impl Strategy<Value = ProxyFilter> {
         proptest::option::of(0u64..10_000_000),
         arb_content_types(),
     )
-        .prop_map(|(enabled, max_piggy, rpv, minacc, pt, maxsize, types)| ProxyFilter {
-            enabled,
-            max_piggy,
-            rpv: rpv.into_iter().map(VolumeId).collect(),
-            min_access_count: minacc,
-            prob_threshold: pt.map(|p| p as f64 / 100.0),
-            max_size: maxsize,
-            content_types: types,
-        })
+        .prop_map(
+            |(enabled, max_piggy, rpv, minacc, pt, maxsize, types)| ProxyFilter {
+                enabled,
+                max_piggy,
+                rpv: rpv.into_iter().map(VolumeId).collect(),
+                min_access_count: minacc,
+                prob_threshold: pt.map(|p| p as f64 / 100.0),
+                max_size: maxsize,
+                content_types: types,
+            },
+        )
 }
 
 proptest! {

@@ -66,22 +66,30 @@ fn arb_config() -> impl Strategy<Value = ProxySimConfig> {
         any::<bool>(),
         proptest::option::of(1u32..30),
     )
-        .prop_map(|(capacity, policy, piggyback, delta_s, prefetch, maxpiggy)| {
-            let mut filter = ProxyFilter::default();
-            filter.max_piggy = maxpiggy;
-            ProxySimConfig {
-                capacity_bytes: capacity,
-                policy: [PolicyKind::Lru, PolicyKind::GdSize, PolicyKind::PiggybackAware][policy],
-                freshness: FreshnessPolicy::Fixed(DurationMs::from_secs(
-                    delta_s.unwrap_or(3600),
-                )),
-                piggyback,
-                filter,
-                rpv: Some((8, DurationMs::from_secs(30))),
-                prefetch: prefetch.then(PrefetchConfig::default),
-                delta_encoding: None,
-            }
-        })
+        .prop_map(
+            |(capacity, policy, piggyback, delta_s, prefetch, maxpiggy)| {
+                let filter = ProxyFilter {
+                    max_piggy: maxpiggy,
+                    ..Default::default()
+                };
+                ProxySimConfig {
+                    capacity_bytes: capacity,
+                    policy: [
+                        PolicyKind::Lru,
+                        PolicyKind::GdSize,
+                        PolicyKind::PiggybackAware,
+                    ][policy],
+                    freshness: FreshnessPolicy::Fixed(DurationMs::from_secs(
+                        delta_s.unwrap_or(3600),
+                    )),
+                    piggyback,
+                    filter,
+                    rpv: Some((8, DurationMs::from_secs(30))),
+                    prefetch: prefetch.then(PrefetchConfig::default),
+                    delta_encoding: None,
+                }
+            },
+        )
 }
 
 proptest! {

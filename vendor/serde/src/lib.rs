@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a few wire types for
+//! downstream consumers, but no serializer crate is present in the offline
+//! dependency set, so the traits are inert markers (blanket-implemented;
+//! the re-exported derives expand to nothing). Swapping this stub for real
+//! `serde` requires no source changes in the workspace.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}

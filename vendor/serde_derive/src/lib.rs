@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! No serializer backend exists in this offline workspace, so the derives
+//! expand to nothing: `#[derive(Serialize, Deserialize)]` annotations in
+//! the tree compile, and the marker traits in the vendored `serde` stub
+//! are blanket-implemented instead of derived.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
