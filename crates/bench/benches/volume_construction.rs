@@ -59,6 +59,16 @@ fn bench_probability_builder(c: &mut Criterion) {
             black_box(builder.counter_count())
         })
     });
+    // Threshold application over the observed counters (the per-cell cost
+    // that grid sweeps pay after sharing one observed builder).
+    let mut observed =
+        ProbabilityVolumesBuilder::new(DurationMs::from_secs(300), 0.1, SamplingMode::Exact);
+    for (t, src, r) in log.triples() {
+        observed.observe(src, r, t);
+    }
+    group.bench_function("build_pt02", |b| {
+        b.iter(|| black_box(observed.build(0.2).implication_count()))
+    });
     group.finish();
     let _ = SourceId(0);
 }

@@ -7,8 +7,8 @@
 //! 4. effectiveness-thinning threshold sweep (§3.3.1).
 
 use piggyback_bench::{
-    banner, build_probability_volumes, f2, load_server_log, pct, print_table, probability_replay,
-    thin_volumes_by,
+    banner, build_probability_volumes, f2, pct, print_table, probability_replay, run_timed,
+    shared_server_log, sweep, thin_volumes_by,
 };
 use piggyback_core::filter::ProxyFilter;
 use piggyback_core::metrics::{replay, ReplayConfig, RpvConfig};
@@ -20,52 +20,42 @@ use piggyback_core::volume::{
 use piggyback_trace::ServerLog;
 
 fn main() {
-    banner("ablation", "design-choice ablations (DESIGN.md §5)");
-    sampled_counters();
-    element_ordering();
-    rpv_bounding();
-    thinning_sweep();
+    run_timed("ablation", || {
+        banner("ablation", "design-choice ablations (DESIGN.md §5)");
+        sampled_counters();
+        element_ordering();
+        rpv_bounding();
+        thinning_sweep();
+    });
 }
 
 fn sampled_counters() {
     println!("\n--- 1. sampled vs exact pair counters (Sun log, p_t = 0.25) ---");
-    let log = load_server_log("sun");
-    let mut rows = Vec::new();
-    let exact = {
+    let log = shared_server_log("sun");
+    // `None` is the exact baseline; it prints last, matching the grid order.
+    let modes: Vec<Option<f64>> = vec![Some(0.5), Some(1.0), Some(2.0), Some(4.0), None];
+    let rows = sweep(modes, |factor| {
+        let (label, mode) = match factor {
+            Some(factor) => (
+                format!("sampled k={factor}"),
+                SamplingMode::Sampled { factor },
+            ),
+            None => ("exact".to_owned(), SamplingMode::Exact),
+        };
         let mut b =
-            ProbabilityVolumesBuilder::new(DurationMs::from_secs(300), 0.25, SamplingMode::Exact);
-        for (t, src, r) in log.triples() {
-            b.observe(src, r, t);
-        }
-        b
-    };
-    let exact_vols = exact.build(0.25);
-    for factor in [0.5, 1.0, 2.0, 4.0] {
-        let mut b = ProbabilityVolumesBuilder::new(
-            DurationMs::from_secs(300),
-            0.25,
-            SamplingMode::Sampled { factor },
-        )
-        .with_seed(11);
+            ProbabilityVolumesBuilder::new(DurationMs::from_secs(300), 0.25, mode).with_seed(11);
         for (t, src, r) in log.triples() {
             b.observe(src, r, t);
         }
         let vols = b.build(0.25);
         let report = probability_replay(&log, &vols, ProxyFilter::default());
-        rows.push(vec![
-            format!("sampled k={factor}"),
+        vec![
+            label,
             b.counter_count().to_string(),
             vols.implication_count().to_string(),
             pct(report.fraction_predicted()),
-        ]);
-    }
-    let exact_report = probability_replay(&log, &exact_vols, ProxyFilter::default());
-    rows.push(vec![
-        "exact".into(),
-        exact.counter_count().to_string(),
-        exact_vols.implication_count().to_string(),
-        pct(exact_report.fraction_predicted()),
-    ]);
+        ]
+    });
     print_table(
         &[
             "counters",
@@ -99,19 +89,18 @@ fn dir_replay_ordered(
 
 fn element_ordering() {
     println!("\n--- 2. move-to-front vs access-count element ordering (AIUSA, 1-level) ---");
-    let log = load_server_log("aiusa");
-    let mut rows = Vec::new();
-    for maxpiggy in [2u32, 5, 10, 20] {
+    let log = shared_server_log("aiusa");
+    let rows = sweep(vec![2u32, 5, 10, 20], |maxpiggy| {
         let mtf = dir_replay_ordered(&log, ElementOrdering::RecencyMtf, maxpiggy);
         let cnt = dir_replay_ordered(&log, ElementOrdering::AccessCount, maxpiggy);
-        rows.push(vec![
+        vec![
             maxpiggy.to_string(),
             pct(mtf.fraction_predicted()),
             pct(cnt.fraction_predicted()),
             f2(mtf.avg_piggyback_size()),
             f2(cnt.avg_piggyback_size()),
-        ]);
-    }
+        ]
+    });
     print_table(
         &[
             "maxpiggy",
@@ -127,8 +116,15 @@ fn element_ordering() {
 
 fn rpv_bounding() {
     println!("\n--- 3. RPV bounded by timeout vs by length (Apache, 1-level) ---");
-    let log = load_server_log("apache");
-    let run = |max_len: usize, timeout_s: u64| {
+    let log = shared_server_log("apache");
+    let grid: Vec<(&str, usize, u64)> = vec![
+        ("len 64, 30 s", 64, 30),
+        ("len 64, 300 s", 64, 300),
+        ("len 1, 300 s", 1, 300),
+        ("len 2, 300 s", 2, 300),
+        ("len 64, 5 s", 64, 5),
+    ];
+    let rows = sweep(grid, |(label, max_len, timeout_s)| {
         let mut table = log.table.clone();
         for e in &log.entries {
             table.count_access(e.resource);
@@ -145,47 +141,36 @@ fn rpv_bounding() {
             }),
             ..Default::default()
         };
-        replay(log.requests(), &mut table, &mut vols, &cfg)
-    };
-    let mut rows = Vec::new();
-    for (label, max_len, timeout) in [
-        ("len 64, 30 s", 64usize, 30u64),
-        ("len 64, 300 s", 64, 300),
-        ("len 1, 300 s", 1, 300),
-        ("len 2, 300 s", 2, 300),
-        ("len 64, 5 s", 64, 5),
-    ] {
-        let r = run(max_len, timeout);
-        rows.push(vec![
+        let r = replay(log.requests(), &mut table, &mut vols, &cfg);
+        vec![
             label.to_owned(),
             f2(1000.0 * r.piggyback_messages as f64 / r.requests.max(1) as f64),
             pct(r.fraction_predicted()),
-        ]);
-    }
+        ]
+    });
     print_table(&["RPV bound", "msgs/1k req", "fraction predicted"], &rows);
     println!("a short timeout dominates; tiny length bounds forget suppressions early");
 }
 
 fn thinning_sweep() {
     println!("\n--- 4. effectiveness-threshold sweep (Sun, p_t = 0.2, new-true criterion) ---");
-    let log = load_server_log("sun");
+    let log = shared_server_log("sun");
     let (base, _) = build_probability_volumes(&log, 0.02);
-    let mut rows = Vec::new();
-    for eff in [0.0, 0.05, 0.1, 0.2, 0.4] {
+    let rows = sweep(vec![0.0, 0.05, 0.1, 0.2, 0.4], |eff| {
         let vols = if eff == 0.0 {
             base.rethreshold(0.2)
         } else {
             thin_volumes_by(&log, &base, eff, ThinningCriterion::NewTrue).rethreshold(0.2)
         };
         let r = probability_replay(&log, &vols, ProxyFilter::default());
-        rows.push(vec![
+        vec![
             f2(eff),
             vols.implication_count().to_string(),
             f2(r.avg_piggyback_size()),
             pct(r.fraction_predicted()),
             pct(r.true_prediction_fraction()),
-        ]);
-    }
+        ]
+    });
     print_table(
         &[
             "eff threshold",

@@ -8,32 +8,36 @@
 //! for its children. We sweep the number of children and report origin
 //! shielding, staleness, and piggyback activity with the protocol on/off.
 
-use piggyback_bench::{banner, f2, load_server_log, pct, print_table};
+use piggyback_bench::{banner, f2, pct, print_table, run_timed, shared_server_log, sweep};
 use piggyback_core::volume::DirectoryVolumes;
 use piggyback_trace::synth::changes::ChangeModel;
 use piggyback_webcache::{build_server, simulate_hierarchy, HierarchyConfig};
 
 fn main() {
-    banner(
-        "ext_hierarchy",
-        "two-level caching with per-hop piggybacking (extension)",
-    );
-    let log = load_server_log("aiusa");
-    let changes = ChangeModel::default().generate(&log.table, log.duration());
-    println!(
-        "aiusa log: {} requests, {} resources, {} modifications\n",
-        log.entries.len(),
-        log.table.len(),
-        changes.len()
-    );
+    run_timed("ext_hierarchy", || {
+        banner(
+            "ext_hierarchy",
+            "two-level caching with per-hop piggybacking (extension)",
+        );
+        let log = shared_server_log("aiusa");
+        let changes = ChangeModel::default().generate(&log.table, log.duration());
+        println!(
+            "aiusa log: {} requests, {} resources, {} modifications\n",
+            log.entries.len(),
+            log.table.len(),
+            changes.len()
+        );
 
-    let mut rows = Vec::new();
-    for n_children in [1usize, 2, 4, 8] {
-        for (label, piggyback, freshen) in [
+        const MODES: [(&str, bool, bool); 3] = [
             ("off", false, true),
             ("on", true, true),
             ("inval-only", true, false),
-        ] {
+        ];
+        let grid: Vec<(usize, &str, bool, bool)> = [1usize, 2, 4, 8]
+            .into_iter()
+            .flat_map(|n| MODES.iter().map(move |&(l, p, f)| (n, l, p, f)))
+            .collect();
+        let rows = sweep(grid, |(n_children, label, piggyback, freshen)| {
             let cfg = HierarchyConfig {
                 n_children,
                 piggyback,
@@ -42,7 +46,7 @@ fn main() {
             };
             let mut origin = build_server(&log, DirectoryVolumes::new(1));
             let r = simulate_hierarchy(&log, &changes, &mut origin, &cfg);
-            rows.push(vec![
+            vec![
                 n_children.to_string(),
                 label.to_owned(),
                 pct(r.child_hit_rate()),
@@ -51,28 +55,28 @@ fn main() {
                 pct(r.stale_served as f64 / r.client_requests.max(1) as f64),
                 r.child_piggybacks.to_string(),
                 f2(r.child_freshens as f64 + r.child_invalidations as f64),
-            ]);
-        }
-    }
-    print_table(
-        &[
-            "children",
-            "piggyback",
-            "child hits",
-            "parent served",
-            "origin shielding",
-            "stale served",
-            "child piggybacks",
-            "child cache updates",
-        ],
-        &rows,
-    );
-    println!(
-        "\nreading: more children dilute per-child locality (child hits fall) \
-         but the shared parent holds shielding up; per-hop piggybacking lifts \
-         child hit rates and origin shielding substantially. The cost is \
-         visible too: freshens against the *parent's* copy can extend the \
-         life of a copy the parent itself holds stale — a hazard the paper's \
-         single-level analysis does not surface."
-    );
+            ]
+        });
+        print_table(
+            &[
+                "children",
+                "piggyback",
+                "child hits",
+                "parent served",
+                "origin shielding",
+                "stale served",
+                "child piggybacks",
+                "child cache updates",
+            ],
+            &rows,
+        );
+        println!(
+            "\nreading: more children dilute per-child locality (child hits fall) \
+             but the shared parent holds shielding up; per-hop piggybacking lifts \
+             child hit rates and origin shielding substantially. The cost is \
+             visible too: freshens against the *parent's* copy can extend the \
+             life of a copy the parent itself holds stale — a hazard the paper's \
+             single-level analysis does not surface."
+        );
+    });
 }

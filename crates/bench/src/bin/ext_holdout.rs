@@ -7,7 +7,7 @@
 //! unseen tail — the generalization a deployed server would actually get —
 //! next to the paper's in-sample protocol.
 
-use piggyback_bench::{banner, f2, load_server_log, pct, print_table};
+use piggyback_bench::{banner, f2, pct, print_table, run_timed, shared_server_log, sweep};
 use piggyback_core::filter::ProxyFilter;
 use piggyback_core::metrics::{replay, ReplayConfig};
 use piggyback_core::types::DurationMs;
@@ -48,53 +48,54 @@ fn evaluate(eval: &ServerLog, vols: &ProbabilityVolumes) -> (f64, f64, f64) {
 }
 
 fn main() {
-    banner(
-        "ext_holdout",
-        "in-sample vs held-out evaluation of probability volumes (extension)",
-    );
-    let (pt, eff) = (0.25, 0.2);
-    println!("volumes: p_t = {pt}, effective >= {eff} (new-true), T = 300 s\n");
-    let mut rows = Vec::new();
-    for profile in ["aiusa", "apache", "sun"] {
-        let log = load_server_log(profile);
-        let (train, test) = log.split_at_fraction(0.7);
+    run_timed("ext_holdout", || {
+        banner(
+            "ext_holdout",
+            "in-sample vs held-out evaluation of probability volumes (extension)",
+        );
+        let (pt, eff) = (0.25, 0.2);
+        println!("volumes: p_t = {pt}, effective >= {eff} (new-true), T = 300 s\n");
+        let rows = sweep(vec!["aiusa", "apache", "sun"], |profile| {
+            let log = shared_server_log(profile);
+            let (train, test) = log.split_at_fraction(0.7);
 
-        // Paper protocol: train and evaluate on the whole log.
-        let vols_all = build(&log, pt, eff);
-        let (r_in, p_in, s_in) = evaluate(&log, &vols_all);
+            // Paper protocol: train and evaluate on the whole log.
+            let vols_all = build(&log, pt, eff);
+            let (r_in, p_in, s_in) = evaluate(&log, &vols_all);
 
-        // Held-out: train on the head, evaluate on the unseen tail.
-        let vols_train = build(&train, pt, eff);
-        let (r_out, p_out, s_out) = evaluate(&test, &vols_train);
+            // Held-out: train on the head, evaluate on the unseen tail.
+            let vols_train = build(&train, pt, eff);
+            let (r_out, p_out, s_out) = evaluate(&test, &vols_train);
 
-        rows.push(vec![
-            profile.to_owned(),
-            pct(r_in),
-            pct(p_in),
-            f2(s_in),
-            pct(r_out),
-            pct(p_out),
-            f2(s_out),
-        ]);
-    }
-    print_table(
-        &[
-            "log",
-            "in-sample recall",
-            "in-sample precision",
-            "size",
-            "held-out recall",
-            "held-out precision",
-            "size",
-        ],
-        &rows,
-    );
-    println!(
-        "\nreading: on the smaller sites, held-out recall and precision track \
-         the in-sample numbers closely — the paper's same-log protocol was not \
-         materially inflating its conclusions there. The big Sun-style site \
-         degrades out of sample (precision especially): high-churn catalogs \
-         shift their co-access structure within days, so deployed servers \
-         should rebuild volumes on the paper's suggested daily/weekly cadence."
-    );
+            vec![
+                profile.to_owned(),
+                pct(r_in),
+                pct(p_in),
+                f2(s_in),
+                pct(r_out),
+                pct(p_out),
+                f2(s_out),
+            ]
+        });
+        print_table(
+            &[
+                "log",
+                "in-sample recall",
+                "in-sample precision",
+                "size",
+                "held-out recall",
+                "held-out precision",
+                "size",
+            ],
+            &rows,
+        );
+        println!(
+            "\nreading: on the smaller sites, held-out recall and precision track \
+             the in-sample numbers closely — the paper's same-log protocol was not \
+             materially inflating its conclusions there. The big Sun-style site \
+             degrades out of sample (precision especially): high-churn catalogs \
+             shift their co-access structure within days, so deployed servers \
+             should rebuild volumes on the paper's suggested daily/weekly cadence."
+        );
+    });
 }

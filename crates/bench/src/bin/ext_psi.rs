@@ -7,7 +7,7 @@
 //! experiment quantifies the coherency difference on the same workload:
 //! stale serving, validation traffic, and piggyback bytes.
 
-use piggyback_bench::{banner, f2, load_server_log, pct, print_table};
+use piggyback_bench::{banner, f2, pct, print_table, run_timed, shared_server_log, sweep};
 use piggyback_core::filter::ProxyFilter;
 use piggyback_core::types::DurationMs;
 use piggyback_core::volume::DirectoryVolumes;
@@ -17,108 +17,123 @@ use piggyback_webcache::{
     PsiConfig,
 };
 
+#[derive(Clone, Copy)]
+enum Mechanism {
+    TtlOnly,
+    Psi,
+    Volumes,
+}
+
 fn main() {
-    banner(
-        "ext_psi",
-        "server volumes vs PSI [20] on cache coherency (extension)",
-    );
-    let log = load_server_log("aiusa");
-    // A fast-changing site stresses coherency.
-    let changes = ChangeModel {
-        html_mean: DurationMs::from_secs(24 * 3600),
-        dynamic_fraction: 0.08,
-        ..Default::default()
-    }
-    .generate(&log.table, log.duration());
-    println!(
-        "aiusa log: {} requests, {} modifications\n",
-        log.entries.len(),
-        changes.len()
-    );
-
-    let capacity = 256 * 1024 * 1024; // ample: isolate coherency effects
-    let delta = DurationMs::from_secs(3600);
-    let mut rows = Vec::new();
-
-    // Plain TTL proxy.
-    let ttl = simulate_psi(
-        &log,
-        &changes,
-        &PsiConfig {
-            capacity_bytes: capacity,
-            freshness: FreshnessPolicy::Fixed(delta),
-            enabled: false,
+    run_timed("ext_psi", || {
+        banner(
+            "ext_psi",
+            "server volumes vs PSI [20] on cache coherency (extension)",
+        );
+        let log = shared_server_log("aiusa");
+        // A fast-changing site stresses coherency.
+        let changes = ChangeModel {
+            html_mean: DurationMs::from_secs(24 * 3600),
+            dynamic_fraction: 0.08,
             ..Default::default()
-        },
-    );
-    rows.push(vec![
-        "TTL only".to_owned(),
-        pct(ttl.stale_rate()),
-        ttl.validations.to_string(),
-        f2(0.0),
-        "0".to_owned(),
-    ]);
+        }
+        .generate(&log.table, log.duration());
+        println!(
+            "aiusa log: {} requests, {} modifications\n",
+            log.entries.len(),
+            changes.len()
+        );
 
-    // PSI.
-    let psi = simulate_psi(
-        &log,
-        &changes,
-        &PsiConfig {
-            capacity_bytes: capacity,
-            freshness: FreshnessPolicy::Fixed(delta),
-            max_piggy: 10,
-            enabled: true,
-        },
-    );
-    rows.push(vec![
-        "PSI [20]".to_owned(),
-        pct(psi.stale_rate()),
-        psi.validations.to_string(),
-        f2(psi.avg_piggyback_size()),
-        psi.psi_invalidations.to_string(),
-    ]);
+        let capacity = 256 * 1024 * 1024; // ample: isolate coherency effects
+        let delta = DurationMs::from_secs(3600);
 
-    // Volumes (directory, level 1).
-    let mut server = build_server(&log, DirectoryVolumes::new(1));
-    let vols = simulate_proxy(
-        &log,
-        &changes,
-        &mut server,
-        &ProxySimConfig {
-            capacity_bytes: capacity,
-            policy: PolicyKind::Lru,
-            freshness: FreshnessPolicy::Fixed(delta),
-            piggyback: true,
-            filter: ProxyFilter::builder().max_piggy(10).build(),
-            rpv: Some((16, DurationMs::from_secs(60))),
-            prefetch: None,
-            delta_encoding: None,
-        },
-    );
-    rows.push(vec![
-        "volumes (dir level-1)".to_owned(),
-        pct(vols.stale_rate()),
-        vols.validations.to_string(),
-        f2(vols.piggybacked_elements as f64 / vols.piggyback_messages.max(1) as f64),
-        vols.piggyback_invalidations.to_string(),
-    ]);
+        let rows = sweep(
+            vec![Mechanism::TtlOnly, Mechanism::Psi, Mechanism::Volumes],
+            |mechanism| match mechanism {
+                Mechanism::TtlOnly => {
+                    let ttl = simulate_psi(
+                        &log,
+                        &changes,
+                        &PsiConfig {
+                            capacity_bytes: capacity,
+                            freshness: FreshnessPolicy::Fixed(delta),
+                            enabled: false,
+                            ..Default::default()
+                        },
+                    );
+                    vec![
+                        "TTL only".to_owned(),
+                        pct(ttl.stale_rate()),
+                        ttl.validations.to_string(),
+                        f2(0.0),
+                        "0".to_owned(),
+                    ]
+                }
+                Mechanism::Psi => {
+                    let psi = simulate_psi(
+                        &log,
+                        &changes,
+                        &PsiConfig {
+                            capacity_bytes: capacity,
+                            freshness: FreshnessPolicy::Fixed(delta),
+                            max_piggy: 10,
+                            enabled: true,
+                        },
+                    );
+                    vec![
+                        "PSI [20]".to_owned(),
+                        pct(psi.stale_rate()),
+                        psi.validations.to_string(),
+                        f2(psi.avg_piggyback_size()),
+                        psi.psi_invalidations.to_string(),
+                    ]
+                }
+                Mechanism::Volumes => {
+                    let mut server = build_server(&log, DirectoryVolumes::new(1));
+                    let vols = simulate_proxy(
+                        &log,
+                        &changes,
+                        &mut server,
+                        &ProxySimConfig {
+                            capacity_bytes: capacity,
+                            policy: PolicyKind::Lru,
+                            freshness: FreshnessPolicy::Fixed(delta),
+                            piggyback: true,
+                            filter: ProxyFilter::builder().max_piggy(10).build(),
+                            rpv: Some((16, DurationMs::from_secs(60))),
+                            prefetch: None,
+                            delta_encoding: None,
+                        },
+                    );
+                    vec![
+                        "volumes (dir level-1)".to_owned(),
+                        pct(vols.stale_rate()),
+                        vols.validations.to_string(),
+                        f2(vols.piggybacked_elements as f64
+                            / vols.piggyback_messages.max(1) as f64),
+                        vols.piggyback_invalidations.to_string(),
+                    ]
+                }
+            },
+        );
 
-    print_table(
-        &[
-            "mechanism",
-            "stale rate",
-            "validations",
-            "avg piggyback",
-            "invalidations",
-        ],
-        &rows,
-    );
-    println!(
-        "\nreading: PSI invalidates exactly what changed (precise, small \
-         piggybacks) but only helps for resources that changed; volumes also \
-         *freshen* unchanged related resources, cutting validation traffic — \
-         the two mechanisms attack different halves of the coherency cost, \
-         which is why the paper folds modification metadata (Last-Modified) \
-         into volume elements, subsuming PSI."
-    );
+        print_table(
+            &[
+                "mechanism",
+                "stale rate",
+                "validations",
+                "avg piggyback",
+                "invalidations",
+            ],
+            &rows,
+        );
+        println!(
+            "\nreading: PSI invalidates exactly what changed (precise, small \
+             piggybacks) but only helps for resources that changed; volumes also \
+             *freshen* unchanged related resources, cutting validation traffic — \
+             the two mechanisms attack different halves of the coherency cost, \
+             which is why the paper folds modification metadata (Last-Modified) \
+             into volume elements, subsuming PSI."
+        );
+    });
 }

@@ -13,9 +13,10 @@
 //! 10–20% while preserving the distribution shapes, and that >55% of
 //! accesses fall within 50 s of another request in the same 2-level volume.
 
-use piggyback_bench::{banner, cdf_at, pct, print_table, quantiles, scale_factor, ATT_SCALE};
+use piggyback_bench::{
+    banner, cdf_at, pct, print_table, quantiles, run_timed, shared_client_trace, sweep,
+};
 use piggyback_core::intern::directory_prefix;
-use piggyback_trace::profiles;
 use piggyback_trace::record::ClientTrace;
 use std::collections::HashMap;
 
@@ -55,71 +56,81 @@ fn analyze(trace: &ClientTrace, level: usize, include_embedded: bool) -> LevelSt
 }
 
 fn main() {
-    banner(
-        "fig1",
-        "request spacing within directory-based volumes (client trace)",
-    );
-    let trace = profiles::att(ATT_SCALE * scale_factor()).generate();
-    println!(
-        "synthetic AT&T-style client trace: {} requests, {} servers, {} unique resources\n",
-        trace.entries.len(),
-        trace.distinct_servers_accessed(),
-        trace.unique_resources()
-    );
+    run_timed("fig1", || {
+        banner(
+            "fig1",
+            "request spacing within directory-based volumes (client trace)",
+        );
+        let trace = shared_client_trace("att");
+        println!(
+            "synthetic AT&T-style client trace: {} requests, {} servers, {} unique resources\n",
+            trace.entries.len(),
+            trace.distinct_servers_accessed(),
+            trace.unique_resources()
+        );
 
-    // (a) Prefix statistics table.
-    println!("(a) directory prefix statistics (paper: 98.5%/0.9s, 91.8%/1.5s, 78.0%/19.7s, 66.3%/766.2s, 61.6%/1812.0s)");
-    let mut rows = Vec::new();
-    let mut all_stats = Vec::new();
-    for level in 0..=4 {
-        let s = analyze(&trace, level, true);
-        let med = quantiles(s.interarrivals_s.clone(), &[0.5])[0];
-        rows.push(vec![
-            level.to_string(),
-            pct(s.seen_before as f64 / s.total.max(1) as f64),
-            format!("{med:.1} s"),
-        ]);
-        all_stats.push(s);
-    }
-    print_table(&["level", "% seen before", "median interarrival"], &rows);
+        // One cell per (level, embedded-included) combination.
+        let grid: Vec<(usize, bool)> = [true, false]
+            .into_iter()
+            .flat_map(|inc| (0..=4usize).map(move |level| (level, inc)))
+            .collect();
+        let results = sweep(grid, |(level, inc)| {
+            analyze(&shared_client_trace("att"), level, inc)
+        });
+        let (all_stats, no_embedded) = results.split_at(5);
 
-    // Variant: embedded image references removed.
-    println!("\n(a') same, embedded image references removed (paper: medians rise 10-20%)");
-    let mut rows = Vec::new();
-    for level in 0..=4 {
-        let s = analyze(&trace, level, false);
-        let med = quantiles(s.interarrivals_s, &[0.5])[0];
-        rows.push(vec![
-            level.to_string(),
-            pct(s.seen_before as f64 / s.total.max(1) as f64),
-            format!("{med:.1} s"),
-        ]);
-    }
-    print_table(&["level", "% seen before", "median interarrival"], &rows);
+        // (a) Prefix statistics table.
+        println!("(a) directory prefix statistics (paper: 98.5%/0.9s, 91.8%/1.5s, 78.0%/19.7s, 66.3%/766.2s, 61.6%/1812.0s)");
+        let stats_rows = |stats: &[LevelStats]| -> Vec<Vec<String>> {
+            stats
+                .iter()
+                .enumerate()
+                .map(|(level, s)| {
+                    let med = quantiles(s.interarrivals_s.clone(), &[0.5])[0];
+                    vec![
+                        level.to_string(),
+                        pct(s.seen_before as f64 / s.total.max(1) as f64),
+                        format!("{med:.1} s"),
+                    ]
+                })
+                .collect()
+        };
+        print_table(
+            &["level", "% seen before", "median interarrival"],
+            &stats_rows(all_stats),
+        );
 
-    // (b) CDF of interarrival times.
-    println!("\n(b) CDF of interarrival times within k-level volumes");
-    let points = [1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 7200.0];
-    let mut rows = Vec::new();
-    for (level, s) in all_stats.iter().enumerate() {
-        let mut row = vec![format!("level {level}")];
-        for &p in &points {
-            row.push(pct(cdf_at(&s.interarrivals_s, p)));
+        // Variant: embedded image references removed.
+        println!("\n(a') same, embedded image references removed (paper: medians rise 10-20%)");
+        print_table(
+            &["level", "% seen before", "median interarrival"],
+            &stats_rows(no_embedded),
+        );
+
+        // (b) CDF of interarrival times.
+        println!("\n(b) CDF of interarrival times within k-level volumes");
+        let points = [1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 7200.0];
+        let mut rows = Vec::new();
+        for (level, s) in all_stats.iter().enumerate() {
+            let mut row = vec![format!("level {level}")];
+            for &p in &points {
+                row.push(pct(cdf_at(&s.interarrivals_s, p)));
+            }
+            rows.push(row);
         }
-        rows.push(row);
-    }
-    let headers: Vec<String> = std::iter::once("volume".to_owned())
-        .chain(points.iter().map(|p| format!("<={p}s")))
-        .collect();
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    print_table(&headers_ref, &rows);
+        let headers: Vec<String> = std::iter::once("volume".to_owned())
+            .chain(points.iter().map(|p| format!("<={p}s")))
+            .collect();
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        print_table(&headers_ref, &rows);
 
-    let two_level_50s = cdf_at(&all_stats[2].interarrivals_s, 50.0);
-    let seen2 = all_stats[2].seen_before as f64 / all_stats[2].total.max(1) as f64;
-    println!(
-        "\ncheck: {} of level-2 requests follow another same-volume request within 50 s \
-         (paper: >55% of accesses); {} follow within 2 h (paper: >82%)",
-        pct(two_level_50s * seen2),
-        pct(cdf_at(&all_stats[2].interarrivals_s, 7200.0) * seen2)
-    );
+        let two_level_50s = cdf_at(&all_stats[2].interarrivals_s, 50.0);
+        let seen2 = all_stats[2].seen_before as f64 / all_stats[2].total.max(1) as f64;
+        println!(
+            "\ncheck: {} of level-2 requests follow another same-volume request within 50 s \
+             (paper: >55% of accesses); {} follow within 2 h (paper: >82%)",
+            pct(two_level_50s * seen2),
+            pct(cdf_at(&all_stats[2].interarrivals_s, 7200.0) * seen2)
+        );
+    });
 }

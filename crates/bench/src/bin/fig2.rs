@@ -7,52 +7,78 @@
 //! under 20 elements once resources with <5000 accesses are filtered; no
 //! 0-level volumes for Sun (a single 29436-element volume).
 
-use piggyback_bench::{banner, directory_replay, f2, load_server_log, print_table};
+use piggyback_bench::{
+    banner, directory_replay, f2, print_table, run_timed, shared_server_log, sweep,
+};
 use piggyback_core::filter::ProxyFilter;
 
-fn main() {
-    banner(
-        "fig2",
-        "average piggyback size vs access filter (directory volumes)",
-    );
-    let filters: [u64; 10] = [1, 2, 5, 10, 20, 50, 100, 200, 500, 1000];
+const FILTERS: [u64; 10] = [1, 2, 5, 10, 20, 50, 100, 200, 500, 1000];
 
-    for profile in ["aiusa", "sun"] {
-        let log = load_server_log(profile);
-        println!(
-            "\n{} log: {} requests, {} resources",
-            profile,
-            log.entries.len(),
-            log.table.len()
-        );
-        let levels: &[usize] = if profile == "sun" {
-            &[1, 2, 3]
-        } else {
-            &[0, 1, 2]
-        };
-        let mut rows = Vec::new();
-        for &minacc in &filters {
-            let mut row = vec![minacc.to_string()];
-            for &level in levels {
-                // The paper caps piggyback size for post-processing; we use
-                // the same 200-element cap.
-                let filter = ProxyFilter::builder()
-                    .max_piggy(200)
-                    .min_access_count(minacc)
-                    .build();
-                let report = directory_replay(&log, level, filter, None, None);
-                row.push(f2(report.avg_piggyback_size()));
-            }
-            rows.push(row);
-        }
-        let headers: Vec<String> = std::iter::once("access filter".to_owned())
-            .chain(levels.iter().map(|l| format!("level-{l} avg size")))
-            .collect();
-        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-        print_table(&headers_ref, &rows);
+fn levels_for(profile: &str) -> &'static [usize] {
+    if profile == "sun" {
+        &[1, 2, 3]
+    } else {
+        &[0, 1, 2]
     }
-    println!(
-        "\nexpected shape: size falls with deeper prefixes and with stronger \
-         access filters; Sun sizes dwarf AIUSA at equal settings"
-    );
+}
+
+fn main() {
+    run_timed("fig2", || {
+        banner(
+            "fig2",
+            "average piggyback size vs access filter (directory volumes)",
+        );
+
+        // One cell per (profile, access filter, level), in print order.
+        let grid: Vec<(&str, u64, usize)> = ["aiusa", "sun"]
+            .into_iter()
+            .flat_map(|profile| {
+                FILTERS.into_iter().flat_map(move |minacc| {
+                    levels_for(profile)
+                        .iter()
+                        .map(move |&level| (profile, minacc, level))
+                })
+            })
+            .collect();
+        let sizes = sweep(grid, |(profile, minacc, level)| {
+            let log = shared_server_log(profile);
+            // The paper caps piggyback size for post-processing; we use
+            // the same 200-element cap.
+            let filter = ProxyFilter::builder()
+                .max_piggy(200)
+                .min_access_count(minacc)
+                .build();
+            let report = directory_replay(&log, level, filter, None, None);
+            f2(report.avg_piggyback_size())
+        });
+
+        let mut cells = sizes.into_iter();
+        for profile in ["aiusa", "sun"] {
+            let log = shared_server_log(profile);
+            println!(
+                "\n{} log: {} requests, {} resources",
+                profile,
+                log.entries.len(),
+                log.table.len()
+            );
+            let levels = levels_for(profile);
+            let rows: Vec<Vec<String>> = FILTERS
+                .iter()
+                .map(|minacc| {
+                    std::iter::once(minacc.to_string())
+                        .chain(levels.iter().map(|_| cells.next().expect("cell")))
+                        .collect()
+                })
+                .collect();
+            let headers: Vec<String> = std::iter::once("access filter".to_owned())
+                .chain(levels.iter().map(|l| format!("level-{l} avg size")))
+                .collect();
+            let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+            print_table(&headers_ref, &rows);
+        }
+        println!(
+            "\nexpected shape: size falls with deeper prefixes and with stronger \
+             access filters; Sun sizes dwarf AIUSA at equal settings"
+        );
+    });
 }

@@ -9,51 +9,73 @@
 //!     previous occurrence was within two hours. Paper: Sun 2-level ≈20%
 //!     (just over 20% with a 15-minute window); AIUSA/Apache 5–10%.
 
-use piggyback_bench::{banner, directory_replay, f2, load_server_log, pct, print_table};
+use piggyback_bench::{
+    banner, directory_replay, f2, pct, print_table, run_timed, shared_server_log, sweep,
+};
 use piggyback_core::filter::ProxyFilter;
 use piggyback_core::types::DurationMs;
 
-fn main() {
-    banner("fig3", "accuracy of directory-based volumes");
-    let filters: [u64; 9] = [1, 2, 5, 10, 20, 50, 100, 200, 500];
+const FILTERS: [u64; 9] = [1, 2, 5, 10, 20, 50, 100, 200, 500];
 
-    for profile in ["aiusa", "sun"] {
-        let log = load_server_log(profile);
-        println!("\n{} log ({} requests)", profile, log.entries.len());
-        let levels: &[usize] = if profile == "sun" {
-            &[1, 2]
-        } else {
-            &[0, 1, 2]
-        };
-        for &level in levels {
-            let mut rows = Vec::new();
-            for &minacc in &filters {
-                let filter = ProxyFilter::builder()
-                    .max_piggy(200)
-                    .min_access_count(minacc)
-                    .build();
-                let report = directory_replay(&log, level, filter.clone(), None, None);
-                let report15 =
-                    directory_replay(&log, level, filter, None, Some(DurationMs::from_secs(900)));
-                rows.push(vec![
-                    minacc.to_string(),
-                    f2(report.avg_piggyback_size()),
-                    pct(report.fraction_predicted()),
-                    pct(report.update_fraction_fig3()),
-                    pct(report15.update_fraction_fig3()),
-                ]);
-            }
-            println!("level-{level} volumes:");
-            print_table(
-                &[
-                    "access filter",
-                    "avg piggyback",
-                    "fraction predicted",
-                    "update fraction (T=5min)",
-                    "update fraction (T=15min)",
-                ],
-                &rows,
-            );
-        }
+fn levels_for(profile: &str) -> &'static [usize] {
+    if profile == "sun" {
+        &[1, 2]
+    } else {
+        &[0, 1, 2]
     }
+}
+
+fn main() {
+    run_timed("fig3", || {
+        banner("fig3", "accuracy of directory-based volumes");
+
+        // One cell per (profile, level, access filter), in print order.
+        let grid: Vec<(&str, usize, u64)> = ["aiusa", "sun"]
+            .into_iter()
+            .flat_map(|profile| {
+                levels_for(profile).iter().flat_map(move |&level| {
+                    FILTERS
+                        .into_iter()
+                        .map(move |minacc| (profile, level, minacc))
+                })
+            })
+            .collect();
+        let rows = sweep(grid, |(profile, level, minacc)| {
+            let log = shared_server_log(profile);
+            let filter = ProxyFilter::builder()
+                .max_piggy(200)
+                .min_access_count(minacc)
+                .build();
+            let report = directory_replay(&log, level, filter.clone(), None, None);
+            let report15 =
+                directory_replay(&log, level, filter, None, Some(DurationMs::from_secs(900)));
+            vec![
+                minacc.to_string(),
+                f2(report.avg_piggyback_size()),
+                pct(report.fraction_predicted()),
+                pct(report.update_fraction_fig3()),
+                pct(report15.update_fraction_fig3()),
+            ]
+        });
+
+        let mut rows = rows.into_iter();
+        for profile in ["aiusa", "sun"] {
+            let log = shared_server_log(profile);
+            println!("\n{} log ({} requests)", profile, log.entries.len());
+            for &level in levels_for(profile) {
+                let chunk: Vec<Vec<String>> = rows.by_ref().take(FILTERS.len()).collect();
+                println!("level-{level} volumes:");
+                print_table(
+                    &[
+                        "access filter",
+                        "avg piggyback",
+                        "fraction predicted",
+                        "update fraction (T=5min)",
+                        "update fraction (T=15min)",
+                    ],
+                    &chunk,
+                );
+            }
+        }
+    });
 }

@@ -9,63 +9,80 @@
 //! significant loss in fraction predicted; a 30-second minimum achieves
 //! most of the reduction.
 
-use piggyback_bench::{banner, directory_replay, f2, load_server_log, pct, print_table};
+use piggyback_bench::{
+    banner, directory_replay, f2, pct, print_table, run_timed, shared_server_log, sweep,
+};
 use piggyback_core::filter::ProxyFilter;
 use piggyback_core::types::DurationMs;
 
-fn main() {
-    banner(
-        "fig4",
-        "minimum time between piggybacks via RPV (Apache log)",
-    );
-    let log = load_server_log("apache");
-    println!(
-        "apache log: {} requests, {} resources\n",
-        log.entries.len(),
-        log.table.len()
-    );
+const GAPS_S: [u64; 7] = [0, 5, 10, 30, 60, 120, 300];
 
-    let gaps_s: [u64; 7] = [0, 5, 10, 30, 60, 120, 300];
-    for level in [0usize, 1] {
-        for minacc in [10u64, 50] {
-            let mut rows = Vec::new();
+fn main() {
+    run_timed("fig4", || {
+        banner(
+            "fig4",
+            "minimum time between piggybacks via RPV (Apache log)",
+        );
+        let log = shared_server_log("apache");
+        println!(
+            "apache log: {} requests, {} resources\n",
+            log.entries.len(),
+            log.table.len()
+        );
+
+        // One cell per (level, access filter, gap), in print order.
+        let grid: Vec<(usize, u64, u64)> = [0usize, 1]
+            .into_iter()
+            .flat_map(|level| {
+                [10u64, 50]
+                    .into_iter()
+                    .flat_map(move |minacc| GAPS_S.into_iter().map(move |gap| (level, minacc, gap)))
+            })
+            .collect();
+        let rows = sweep(grid, |(level, minacc, gap)| {
+            let log = shared_server_log("apache");
+            let filter = ProxyFilter::builder()
+                .max_piggy(200)
+                .min_access_count(minacc)
+                .build();
+            let rpv = (gap > 0).then(|| DurationMs::from_secs(gap));
+            let report = directory_replay(&log, level, filter, rpv, None);
             // Per-response piggyback volume: messages per 1000 requests
             // captures total traffic alongside per-message size.
-            for &gap in &gaps_s {
-                let filter = ProxyFilter::builder()
-                    .max_piggy(200)
-                    .min_access_count(minacc)
-                    .build();
-                let rpv = (gap > 0).then(|| DurationMs::from_secs(gap));
-                let report = directory_replay(&log, level, filter, rpv, None);
-                let msgs_per_1k =
-                    1000.0 * report.piggyback_messages as f64 / report.requests.max(1) as f64;
-                let elems_per_1k =
-                    1000.0 * report.piggybacked_elements as f64 / report.requests.max(1) as f64;
-                rows.push(vec![
-                    gap.to_string(),
-                    f2(report.avg_piggyback_size()),
-                    f2(msgs_per_1k),
-                    f2(elems_per_1k),
-                    pct(report.fraction_predicted()),
-                ]);
+            let msgs_per_1k =
+                1000.0 * report.piggyback_messages as f64 / report.requests.max(1) as f64;
+            let elems_per_1k =
+                1000.0 * report.piggybacked_elements as f64 / report.requests.max(1) as f64;
+            vec![
+                gap.to_string(),
+                f2(report.avg_piggyback_size()),
+                f2(msgs_per_1k),
+                f2(elems_per_1k),
+                pct(report.fraction_predicted()),
+            ]
+        });
+
+        let mut rows = rows.into_iter();
+        for level in [0usize, 1] {
+            for minacc in [10u64, 50] {
+                let chunk: Vec<Vec<String>> = rows.by_ref().take(GAPS_S.len()).collect();
+                println!("level-{level} volumes, access filter {minacc}:");
+                print_table(
+                    &[
+                        "min gap (s)",
+                        "avg piggyback",
+                        "msgs/1k req",
+                        "elements/1k req",
+                        "fraction predicted",
+                    ],
+                    &chunk,
+                );
+                println!();
             }
-            println!("level-{level} volumes, access filter {minacc}:");
-            print_table(
-                &[
-                    "min gap (s)",
-                    "avg piggyback",
-                    "msgs/1k req",
-                    "elements/1k req",
-                    "fraction predicted",
-                ],
-                &rows,
-            );
-            println!();
         }
-    }
-    println!(
-        "expected shape: piggyback traffic (msgs and elements per request) \
-         collapses by ~30 s while fraction predicted barely moves"
-    );
+        println!(
+            "expected shape: piggyback traffic (msgs and elements per request) \
+             collapses by ~30 s while fraction predicted barely moves"
+        );
+    });
 }

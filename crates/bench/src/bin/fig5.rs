@@ -9,92 +9,114 @@
 //! (b) distribution of implication probabilities.
 
 use piggyback_bench::{
-    banner, build_probability_volumes, f2, load_server_log, pct, print_table, probability_replay,
-    thin_volumes_by,
+    banner, build_probability_volumes, f2, pct, print_table, probability_replay, run_timed,
+    shared_server_log, sweep, thin_volumes_by,
 };
 use piggyback_core::filter::ProxyFilter;
 use piggyback_core::volume::ThinningCriterion;
 
 fn main() {
-    banner(
-        "fig5",
-        "fraction predicted vs probability threshold (Sun log)",
-    );
-    let log = load_server_log("sun");
-    println!(
-        "sun log: {} requests, {} resources",
-        log.entries.len(),
-        log.table.len()
-    );
+    run_timed("fig5", || {
+        banner(
+            "fig5",
+            "fraction predicted vs probability threshold (Sun log)",
+        );
+        let log = shared_server_log("sun");
+        println!(
+            "sun log: {} requests, {} resources",
+            log.entries.len(),
+            log.table.len()
+        );
 
-    let (base, builder) = build_probability_volumes(&log, 0.01);
-    println!(
-        "pairwise counters: {} (implications at build threshold 0.01: {})\n",
-        builder.counter_count(),
-        base.implication_count()
-    );
-    // Two thinning criteria: "new" removes only redundant predictors
-    // (recall-preserving, the paper's Figure 5(a) behaviour); "new-true"
-    // additionally requires fulfilment (precision-maximizing, Figure 7).
-    let thin_new_01 = thin_volumes_by(&log, &base, 0.1, ThinningCriterion::New);
-    let thin_new_02 = thin_volumes_by(&log, &base, 0.2, ThinningCriterion::New);
-    let thin_true_02 = thin_volumes_by(&log, &base, 0.2, ThinningCriterion::NewTrue);
-    let combined = base.restrict_same_prefix(1, &log.table);
+        let (base, builder) = build_probability_volumes(&log, 0.01);
+        println!(
+            "pairwise counters: {} (implications at build threshold 0.01: {})\n",
+            builder.counter_count(),
+            base.implication_count()
+        );
+        // Two thinning criteria: "new" removes only redundant predictors
+        // (recall-preserving, the paper's Figure 5(a) behaviour); "new-true"
+        // additionally requires fulfilment (precision-maximizing, Figure 7).
+        // Each thinning pass replays the trace, so fan the variants out too.
+        let mut thinned = sweep(
+            vec![
+                (0.1, ThinningCriterion::New),
+                (0.2, ThinningCriterion::New),
+                (0.2, ThinningCriterion::NewTrue),
+            ],
+            |(eff, criterion)| thin_volumes_by(&log, &base, eff, criterion),
+        );
+        let combined = base.restrict_same_prefix(1, &log.table);
+        thinned.insert(0, base.clone());
+        thinned.push(combined);
+        let variants = thinned;
 
-    println!("(a) fraction predicted vs p_t (T = 300 s)");
-    let thresholds = [0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.7];
-    let filter = ProxyFilter::default();
-    let mut rows = Vec::new();
-    for &pt in &thresholds {
-        let mut row = vec![f2(pt)];
-        for vols in [&base, &thin_new_01, &thin_new_02, &thin_true_02, &combined] {
-            let v = vols.rethreshold(pt);
-            let report = probability_replay(&log, &v, filter.clone());
-            row.push(pct(report.fraction_predicted()));
+        println!("(a) fraction predicted vs p_t (T = 300 s)");
+        let thresholds = [0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.7];
+        let grid: Vec<(f64, usize)> = thresholds
+            .into_iter()
+            .flat_map(|pt| (0..variants.len()).map(move |vi| (pt, vi)))
+            .collect();
+        let cells = sweep(grid, |(pt, vi)| {
+            let v = variants[vi].rethreshold(pt);
+            let report = probability_replay(&log, &v, ProxyFilter::default());
+            pct(report.fraction_predicted())
+        });
+        let rows: Vec<Vec<String>> = thresholds
+            .iter()
+            .enumerate()
+            .map(|(i, &pt)| {
+                std::iter::once(f2(pt))
+                    .chain(
+                        cells[i * variants.len()..(i + 1) * variants.len()]
+                            .iter()
+                            .cloned(),
+                    )
+                    .collect()
+            })
+            .collect();
+        print_table(
+            &[
+                "p_t",
+                "base",
+                "eff>=0.1 (new)",
+                "eff>=0.2 (new)",
+                "eff>=0.2 (new-true)",
+                "combined (1-level)",
+            ],
+            &rows,
+        );
+
+        println!("\n(b) distribution of implication probabilities p(s|r)");
+        let probs = builder.all_probabilities();
+        let buckets = [
+            (0.0, 0.05),
+            (0.05, 0.1),
+            (0.1, 0.2),
+            (0.2, 0.4),
+            (0.4, 0.6),
+            (0.6, 0.8),
+            (0.8, 1.0),
+            (1.0, 1.01),
+        ];
+        let mut rows = Vec::new();
+        for (lo, hi) in buckets {
+            let n = probs.iter().filter(|&&p| p >= lo && p < hi).count();
+            rows.push(vec![
+                format!("[{lo:.2}, {hi:.2})"),
+                n.to_string(),
+                pct(n as f64 / probs.len().max(1) as f64),
+            ]);
         }
-        rows.push(row);
-    }
-    print_table(
-        &[
-            "p_t",
-            "base",
-            "eff>=0.1 (new)",
-            "eff>=0.2 (new)",
-            "eff>=0.2 (new-true)",
-            "combined (1-level)",
-        ],
-        &rows,
-    );
+        print_table(&["p(s|r) range", "pairs", "share"], &rows);
 
-    println!("\n(b) distribution of implication probabilities p(s|r)");
-    let probs = builder.all_probabilities();
-    let buckets = [
-        (0.0, 0.05),
-        (0.05, 0.1),
-        (0.1, 0.2),
-        (0.2, 0.4),
-        (0.4, 0.6),
-        (0.6, 0.8),
-        (0.8, 1.0),
-        (1.0, 1.01),
-    ];
-    let mut rows = Vec::new();
-    for (lo, hi) in buckets {
-        let n = probs.iter().filter(|&&p| p >= lo && p < hi).count();
-        rows.push(vec![
-            format!("[{lo:.2}, {hi:.2})"),
-            n.to_string(),
-            pct(n as f64 / probs.len().max(1) as f64),
-        ]);
-    }
-    print_table(&["p(s|r) range", "pairs", "share"], &rows);
-
-    println!("\nvolume structure at p_t=0.2 (paper: ~1% self-membership, 3-18% symmetric):");
-    let v02 = base.rethreshold(0.2);
-    println!(
-        "  self-membership {:.1}%  symmetric {:.1}%  avg volume size {:.2}",
-        100.0 * v02.self_membership_fraction(),
-        100.0 * v02.symmetric_fraction(),
-        v02.avg_volume_size()
-    );
+        println!("\nvolume structure at p_t=0.2 (paper: ~1% self-membership, 3-18% symmetric):");
+        let v02 = variants[0].rethreshold(0.2);
+        println!(
+            "  self-membership {:.1}%  symmetric {:.1}%  avg volume size {:.2}",
+            100.0 * v02.self_membership_fraction(),
+            100.0 * v02.symmetric_fraction(),
+            v02.avg_volume_size()
+        );
+    });
 }

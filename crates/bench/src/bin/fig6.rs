@@ -8,46 +8,81 @@
 //! piggyback further at nearly equal recall — most dramatically for Sun.
 
 use piggyback_bench::{
-    banner, build_probability_volumes, f2, load_server_log, pct, print_table, probability_replay,
-    thin_volumes,
+    banner, build_probability_volumes, f2, pct, print_table, probability_replay, run_timed,
+    shared_server_log, sweep, thin_volumes,
 };
 use piggyback_core::filter::ProxyFilter;
+use piggyback_core::volume::ProbabilityVolumes;
+
+const PROFILES: [&str; 2] = ["aiusa", "sun"];
+const THRESHOLDS: [f64; 7] = [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5];
 
 fn main() {
-    banner(
-        "fig6",
-        "fraction predicted vs avg piggyback size (probability volumes)",
-    );
-    let thresholds = [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5];
-    for profile in ["aiusa", "sun"] {
-        let log = load_server_log(profile);
-        println!("\n{} log ({} requests)", profile, log.entries.len());
-        let (base, _) = build_probability_volumes(&log, 0.01);
-        let thinned = thin_volumes(&log, &base, 0.2);
-        let combined = base.restrict_same_prefix(1, &log.table);
-
-        let mut rows = Vec::new();
-        for &pt in &thresholds {
-            let mut row = vec![f2(pt)];
-            for vols in [&base, &thinned, &combined] {
-                let report =
-                    probability_replay(&log, &vols.rethreshold(pt), ProxyFilter::default());
-                row.push(f2(report.avg_piggyback_size()));
-                row.push(pct(report.fraction_predicted()));
-            }
-            rows.push(row);
-        }
-        print_table(
-            &[
-                "p_t",
-                "base size",
-                "base recall",
-                "eff0.2 size",
-                "eff0.2 recall",
-                "combined size",
-                "combined recall",
-            ],
-            &rows,
+    run_timed("fig6", || {
+        banner(
+            "fig6",
+            "fraction predicted vs avg piggyback size (probability volumes)",
         );
-    }
+
+        // Phase 1: per-profile volume construction (each cell is one
+        // build + thin + restrict pipeline).
+        let prepared: Vec<[ProbabilityVolumes; 3]> = sweep(PROFILES.to_vec(), |profile| {
+            let log = shared_server_log(profile);
+            let (base, _) = build_probability_volumes(&log, 0.01);
+            let thinned = thin_volumes(&log, &base, 0.2);
+            let combined = base.restrict_same_prefix(1, &log.table);
+            [base, thinned, combined]
+        });
+
+        // Phase 2: one replay per (profile, threshold, variant) cell.
+        let grid: Vec<(usize, f64, usize)> = (0..PROFILES.len())
+            .flat_map(|pi| {
+                THRESHOLDS
+                    .into_iter()
+                    .flat_map(move |pt| (0..3usize).map(move |vi| (pi, pt, vi)))
+            })
+            .collect();
+        let cells = sweep(grid, |(pi, pt, vi)| {
+            let log = shared_server_log(PROFILES[pi]);
+            let report = probability_replay(
+                &log,
+                &prepared[pi][vi].rethreshold(pt),
+                ProxyFilter::default(),
+            );
+            (
+                f2(report.avg_piggyback_size()),
+                pct(report.fraction_predicted()),
+            )
+        });
+
+        let mut cells = cells.into_iter();
+        for profile in PROFILES {
+            let log = shared_server_log(profile);
+            println!("\n{} log ({} requests)", profile, log.entries.len());
+            let rows: Vec<Vec<String>> = THRESHOLDS
+                .iter()
+                .map(|&pt| {
+                    let mut row = vec![f2(pt)];
+                    for _ in 0..3 {
+                        let (size, recall) = cells.next().expect("cell");
+                        row.push(size);
+                        row.push(recall);
+                    }
+                    row
+                })
+                .collect();
+            print_table(
+                &[
+                    "p_t",
+                    "base size",
+                    "base recall",
+                    "eff0.2 size",
+                    "eff0.2 recall",
+                    "combined size",
+                    "combined recall",
+                ],
+                &rows,
+            );
+        }
+    });
 }

@@ -8,46 +8,75 @@
 //! smaller-is-more-precise relationship (most dramatic on Sun).
 
 use piggyback_bench::{
-    banner, build_probability_volumes, f2, load_server_log, pct, print_table, probability_replay,
-    thin_volumes,
+    banner, build_probability_volumes, f2, pct, print_table, probability_replay, run_timed,
+    shared_server_log, sweep, thin_volumes,
 };
 use piggyback_core::filter::ProxyFilter;
+use piggyback_core::volume::ProbabilityVolumes;
+
+const PROFILES: [&str; 2] = ["aiusa", "sun"];
+const THRESHOLDS: [f64; 7] = [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5];
 
 fn main() {
-    banner(
-        "fig7",
-        "true predictions vs avg piggyback size (probability volumes)",
-    );
-    let thresholds = [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5];
-    for profile in ["aiusa", "sun"] {
-        let log = load_server_log(profile);
-        println!("\n{} log ({} requests)", profile, log.entries.len());
-        let (base, _) = build_probability_volumes(&log, 0.01);
-        let thinned = thin_volumes(&log, &base, 0.2);
-
-        let mut rows = Vec::new();
-        for &pt in &thresholds {
-            let base_report =
-                probability_replay(&log, &base.rethreshold(pt), ProxyFilter::default());
-            let thin_report =
-                probability_replay(&log, &thinned.rethreshold(pt), ProxyFilter::default());
-            rows.push(vec![
-                f2(pt),
-                f2(base_report.avg_piggyback_size()),
-                pct(base_report.true_prediction_fraction()),
-                f2(thin_report.avg_piggyback_size()),
-                pct(thin_report.true_prediction_fraction()),
-            ]);
-        }
-        print_table(
-            &[
-                "p_t",
-                "base size",
-                "base precision",
-                "eff0.2 size",
-                "eff0.2 precision",
-            ],
-            &rows,
+    run_timed("fig7", || {
+        banner(
+            "fig7",
+            "true predictions vs avg piggyback size (probability volumes)",
         );
-    }
+
+        let prepared: Vec<[ProbabilityVolumes; 2]> = sweep(PROFILES.to_vec(), |profile| {
+            let log = shared_server_log(profile);
+            let (base, _) = build_probability_volumes(&log, 0.01);
+            let thinned = thin_volumes(&log, &base, 0.2);
+            [base, thinned]
+        });
+
+        let grid: Vec<(usize, f64, usize)> = (0..PROFILES.len())
+            .flat_map(|pi| {
+                THRESHOLDS
+                    .into_iter()
+                    .flat_map(move |pt| (0..2usize).map(move |vi| (pi, pt, vi)))
+            })
+            .collect();
+        let cells = sweep(grid, |(pi, pt, vi)| {
+            let log = shared_server_log(PROFILES[pi]);
+            let report = probability_replay(
+                &log,
+                &prepared[pi][vi].rethreshold(pt),
+                ProxyFilter::default(),
+            );
+            (
+                f2(report.avg_piggyback_size()),
+                pct(report.true_prediction_fraction()),
+            )
+        });
+
+        let mut cells = cells.into_iter();
+        for profile in PROFILES {
+            let log = shared_server_log(profile);
+            println!("\n{} log ({} requests)", profile, log.entries.len());
+            let rows: Vec<Vec<String>> = THRESHOLDS
+                .iter()
+                .map(|&pt| {
+                    let mut row = vec![f2(pt)];
+                    for _ in 0..2 {
+                        let (size, precision) = cells.next().expect("cell");
+                        row.push(size);
+                        row.push(precision);
+                    }
+                    row
+                })
+                .collect();
+            print_table(
+                &[
+                    "p_t",
+                    "base size",
+                    "base precision",
+                    "eff0.2 size",
+                    "eff0.2 precision",
+                ],
+                &rows,
+            );
+        }
+    });
 }

@@ -8,47 +8,64 @@
 //! the bottom.
 
 use piggyback_bench::{
-    banner, build_probability_volumes, f2, load_server_log, pct, print_table, probability_replay,
-    thin_volumes,
+    banner, build_probability_volumes, f2, pct, print_table, probability_replay, run_timed,
+    shared_server_log, sweep, thin_volumes,
 };
 use piggyback_core::filter::ProxyFilter;
+use piggyback_core::volume::ProbabilityVolumes;
+
+const PROFILES: [&str; 4] = ["aiusa", "apache", "sun", "marimba"];
+const THRESHOLDS: [f64; 6] = [0.02, 0.05, 0.1, 0.2, 0.3, 0.5];
 
 fn main() {
-    banner(
-        "fig8",
-        "precision vs recall (effective-0.2 vs combined volumes)",
-    );
-    let thresholds = [0.02, 0.05, 0.1, 0.2, 0.3, 0.5];
-    for profile in ["aiusa", "apache", "sun", "marimba"] {
-        let log = load_server_log(profile);
-        println!("\n{} log ({} requests)", profile, log.entries.len());
-        let (base, _) = build_probability_volumes(&log, 0.02);
-        let thinned = thin_volumes(&log, &base, 0.2);
-        let combined = base.restrict_same_prefix(1, &log.table);
+    run_timed("fig8", || {
+        banner(
+            "fig8",
+            "precision vs recall (effective-0.2 vs combined volumes)",
+        );
 
-        let mut rows = Vec::new();
-        for &pt in &thresholds {
+        let prepared: Vec<[ProbabilityVolumes; 2]> = sweep(PROFILES.to_vec(), |profile| {
+            let log = shared_server_log(profile);
+            let (base, _) = build_probability_volumes(&log, 0.02);
+            let thinned = thin_volumes(&log, &base, 0.2);
+            let combined = base.restrict_same_prefix(1, &log.table);
+            [thinned, combined]
+        });
+
+        let grid: Vec<(usize, f64)> = (0..PROFILES.len())
+            .flat_map(|pi| THRESHOLDS.into_iter().map(move |pt| (pi, pt)))
+            .collect();
+        let cells = sweep(grid, |(pi, pt)| {
+            let log = shared_server_log(PROFILES[pi]);
+            let [thinned, combined] = &prepared[pi];
             let t = probability_replay(&log, &thinned.rethreshold(pt), ProxyFilter::default());
             let c = probability_replay(&log, &combined.rethreshold(pt), ProxyFilter::default());
-            rows.push(vec![
+            vec![
                 f2(pt),
                 pct(t.fraction_predicted()),
                 pct(t.true_prediction_fraction()),
                 f2(t.avg_piggyback_size()),
                 pct(c.fraction_predicted()),
                 pct(c.true_prediction_fraction()),
-            ]);
+            ]
+        });
+
+        let mut cells = cells.into_iter();
+        for profile in PROFILES {
+            let log = shared_server_log(profile);
+            println!("\n{} log ({} requests)", profile, log.entries.len());
+            let rows: Vec<Vec<String>> = cells.by_ref().take(THRESHOLDS.len()).collect();
+            print_table(
+                &[
+                    "p_t",
+                    "eff0.2 recall",
+                    "eff0.2 precision",
+                    "eff0.2 size",
+                    "combined recall",
+                    "combined precision",
+                ],
+                &rows,
+            );
         }
-        print_table(
-            &[
-                "p_t",
-                "eff0.2 recall",
-                "eff0.2 precision",
-                "eff0.2 size",
-                "combined recall",
-                "combined precision",
-            ],
-            &rows,
-        );
-    }
+    });
 }

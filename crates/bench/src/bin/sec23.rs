@@ -7,73 +7,76 @@
 //! fitting in the same packet or costing at most one extra.
 
 use piggyback_bench::{
-    banner, build_probability_volumes, f2, load_server_log, pct, print_table, probability_replay,
-    quantiles, thin_volumes,
+    banner, build_probability_volumes, f2, pct, print_table, probability_replay, quantiles,
+    run_timed, shared_server_log, sweep, thin_volumes,
 };
 use piggyback_core::element::WireCost;
 use piggyback_core::filter::ProxyFilter;
 
 fn main() {
-    banner("sec23", "piggyback wire-cost accounting (Sun log)");
-    let log = load_server_log("sun");
-    let cost = WireCost::default();
-    println!(
-        "cost model: {} B/element ({} B URL + {} B Last-Modified + {} B size), {} B volume id",
-        cost.element_bytes(),
-        cost.avg_url_bytes,
-        cost.last_modified_bytes,
-        cost.size_bytes,
-        cost.volume_id_bytes
-    );
+    run_timed("sec23", || {
+        banner("sec23", "piggyback wire-cost accounting (Sun log)");
+        let log = shared_server_log("sun");
+        let cost = WireCost::default();
+        println!(
+            "cost model: {} B/element ({} B URL + {} B Last-Modified + {} B size), {} B volume id",
+            cost.element_bytes(),
+            cost.avg_url_bytes,
+            cost.last_modified_bytes,
+            cost.size_bytes,
+            cost.volume_id_bytes
+        );
 
-    // Measured URL lengths in the synthetic site (sanity for the 50-byte
-    // assumption).
-    let url_lens: Vec<f64> = log.table.iter().map(|(_, p, _)| p.len() as f64).collect();
-    let q = quantiles(url_lens.clone(), &[0.5]);
-    let mean_url = url_lens.iter().sum::<f64>() / url_lens.len().max(1) as f64;
-    println!(
-        "synthetic URL length: mean {mean_url:.1} B, median {:.1} B",
-        q[0]
-    );
+        // Measured URL lengths in the synthetic site (sanity for the 50-byte
+        // assumption).
+        let url_lens: Vec<f64> = log.table.iter().map(|(_, p, _)| p.len() as f64).collect();
+        let q = quantiles(url_lens.clone(), &[0.5]);
+        let mean_url = url_lens.iter().sum::<f64>() / url_lens.len().max(1) as f64;
+        println!(
+            "synthetic URL length: mean {mean_url:.1} B, median {:.1} B",
+            q[0]
+        );
 
-    // Response size distribution (paper: mean 13,900 B, median 1,530 B).
-    let sizes: Vec<f64> = log.entries.iter().map(|e| e.bytes as f64).collect();
-    let mean_size = sizes.iter().sum::<f64>() / sizes.len().max(1) as f64;
-    let med = quantiles(sizes, &[0.5])[0];
-    println!("response size: mean {mean_size:.0} B, median {med:.0} B (paper: 13,900 / 1,530)\n");
+        // Response size distribution (paper: mean 13,900 B, median 1,530 B).
+        let sizes: Vec<f64> = log.entries.iter().map(|e| e.bytes as f64).collect();
+        let mean_size = sizes.iter().sum::<f64>() / sizes.len().max(1) as f64;
+        let med = quantiles(sizes, &[0.5])[0];
+        println!(
+            "response size: mean {mean_size:.0} B, median {med:.0} B (paper: 13,900 / 1,530)\n"
+        );
 
-    let (base, _) = build_probability_volumes(&log, 0.02);
-    let thinned = thin_volumes(&log, &base, 0.2);
-    let mut rows = Vec::new();
-    for &pt in &[0.05, 0.1, 0.2, 0.25] {
-        let report = probability_replay(&log, &thinned.rethreshold(pt), ProxyFilter::default());
-        let avg_size = report.avg_piggyback_size();
-        let msg_bytes = cost.message_bytes(avg_size.round() as usize);
-        rows.push(vec![
-            f2(pt),
-            f2(avg_size),
-            pct(report.fraction_predicted()),
-            msg_bytes.to_string(),
-            pct(report.piggyback_messages as f64 / report.requests.max(1) as f64),
-            f2(report.avg_piggyback_bytes_per_response(&cost)),
-            cost.extra_packets(avg_size.round() as usize, 400, 1460)
-                .to_string(),
-        ]);
-    }
-    print_table(
-        &[
-            "p_t",
-            "avg elements",
-            "fraction predicted",
-            "bytes/message",
-            "responses w/ piggyback",
-            "bytes/response",
-            "extra packets (400B spare)",
-        ],
-        &rows,
-    );
-    println!(
-        "\npaper check: ~6 elements => 398 bytes => often zero extra packets; \
-         each future TCP connection avoided saves at least two packets"
-    );
+        let (base, _) = build_probability_volumes(&log, 0.02);
+        let thinned = thin_volumes(&log, &base, 0.2);
+        let rows = sweep(vec![0.05, 0.1, 0.2, 0.25], |pt| {
+            let report = probability_replay(&log, &thinned.rethreshold(pt), ProxyFilter::default());
+            let avg_size = report.avg_piggyback_size();
+            let msg_bytes = cost.message_bytes(avg_size.round() as usize);
+            vec![
+                f2(pt),
+                f2(avg_size),
+                pct(report.fraction_predicted()),
+                msg_bytes.to_string(),
+                pct(report.piggyback_messages as f64 / report.requests.max(1) as f64),
+                f2(report.avg_piggyback_bytes_per_response(&cost)),
+                cost.extra_packets(avg_size.round() as usize, 400, 1460)
+                    .to_string(),
+            ]
+        });
+        print_table(
+            &[
+                "p_t",
+                "avg elements",
+                "fraction predicted",
+                "bytes/message",
+                "responses w/ piggyback",
+                "bytes/response",
+                "extra packets (400B spare)",
+            ],
+            &rows,
+        );
+        println!(
+            "\npaper check: ~6 elements => 398 bytes => often zero extra packets; \
+             each future TCP connection avoided saves at least two packets"
+        );
+    });
 }

@@ -14,8 +14,8 @@
 //!   using piggybacked sizes.
 
 use piggyback_bench::{
-    banner, build_probability_volumes, f2, load_server_log, pct, print_table, probability_replay,
-    thin_volumes,
+    banner, build_probability_volumes, f2, pct, print_table, probability_replay, run_timed,
+    shared_server_log, sweep, thin_volumes,
 };
 use piggyback_core::filter::ProxyFilter;
 use piggyback_core::types::DurationMs;
@@ -27,50 +27,57 @@ use piggyback_webcache::{
 };
 
 fn main() {
-    banner(
-        "sec4",
-        "proxy applications: coherency, prefetching, replacement, informed fetching",
-    );
+    run_timed("sec4", || {
+        banner(
+            "sec4",
+            "proxy applications: coherency, prefetching, replacement, informed fetching",
+        );
 
-    coherency_and_prefetching();
-    replacement_simulation();
-    informed_fetching();
+        coherency_and_prefetching();
+        replacement_simulation();
+        informed_fetching();
+    });
 }
 
 fn coherency_and_prefetching() {
     println!("\n--- cache coherency + prefetching tradeoffs (best volumes: eff >= 0.2) ---");
-    let mut rows = Vec::new();
-    for profile in ["aiusa", "apache", "sun"] {
-        let log = load_server_log(profile);
+    const PROFILES: [&str; 3] = ["aiusa", "apache", "sun"];
+    let prepared = sweep(PROFILES.to_vec(), |profile| {
+        let log = shared_server_log(profile);
         let (base, _) = build_probability_volumes(&log, 0.02);
-        let thinned = thin_volumes(&log, &base, 0.2);
-        for &pt in &[0.05, 0.25] {
-            let report = probability_replay(&log, &thinned.rethreshold(pt), ProxyFilter::default());
-            let hits = report.prev_within_c_fraction().max(1e-12);
-            let fresh_share = report.prev_within_t_fraction() / hits;
-            let refreshed_share = report.updated_by_piggyback_fraction() / hits;
-            let recall = report.fraction_predicted();
-            let precision = report.true_prediction_fraction().max(1e-12);
-            // Prefetching everything predicted: futile fraction = 1 - precision;
-            // extra bandwidth ≈ futile prefetches per request.
-            let futile = 1.0 - precision;
-            let bandwidth_increase = report
-                .prediction_events
-                .saturating_sub(report.true_predictions)
-                as f64
-                / report.requests.max(1) as f64;
-            rows.push(vec![
-                profile.to_owned(),
-                f2(pt),
-                pct(fresh_share),
-                pct(refreshed_share),
-                f2(report.avg_piggyback_size()),
-                pct(recall),
-                pct(futile),
-                pct(bandwidth_increase),
-            ]);
-        }
-    }
+        thin_volumes(&log, &base, 0.2)
+    });
+    let grid: Vec<(usize, f64)> = (0..PROFILES.len())
+        .flat_map(|pi| [0.05, 0.25].into_iter().map(move |pt| (pi, pt)))
+        .collect();
+    let rows = sweep(grid, |(pi, pt)| {
+        let profile = PROFILES[pi];
+        let log = shared_server_log(profile);
+        let report =
+            probability_replay(&log, &prepared[pi].rethreshold(pt), ProxyFilter::default());
+        let hits = report.prev_within_c_fraction().max(1e-12);
+        let fresh_share = report.prev_within_t_fraction() / hits;
+        let refreshed_share = report.updated_by_piggyback_fraction() / hits;
+        let recall = report.fraction_predicted();
+        let precision = report.true_prediction_fraction().max(1e-12);
+        // Prefetching everything predicted: futile fraction = 1 - precision;
+        // extra bandwidth ≈ futile prefetches per request.
+        let futile = 1.0 - precision;
+        let bandwidth_increase = report
+            .prediction_events
+            .saturating_sub(report.true_predictions) as f64
+            / report.requests.max(1) as f64;
+        vec![
+            profile.to_owned(),
+            f2(pt),
+            pct(fresh_share),
+            pct(refreshed_share),
+            f2(report.avg_piggyback_size()),
+            pct(recall),
+            pct(futile),
+            pct(bandwidth_increase),
+        ]
+    });
     print_table(
         &[
             "log",
@@ -92,7 +99,7 @@ fn coherency_and_prefetching() {
 
 fn replacement_simulation() {
     println!("\n--- end-to-end proxy simulation: replacement & coherency (AIUSA log) ---");
-    let log = load_server_log("aiusa");
+    let log = shared_server_log("aiusa");
     let changes = ChangeModel::default().generate(&log.table, log.duration());
     println!(
         "{} requests, {} modification events",
@@ -104,8 +111,8 @@ fn replacement_simulation() {
     let total_bytes: u64 = log.table.iter().map(|(_, _, m)| m.size).sum();
     let capacity = (total_bytes / 8).max(64 * 1024);
 
-    let mut rows = Vec::new();
-    for (name, policy, piggyback, prefetch, delta) in [
+    type Config = (&'static str, PolicyKind, bool, bool, Option<f64>);
+    let configs: Vec<Config> = vec![
         ("LRU, no piggyback", PolicyKind::Lru, false, false, None),
         ("LRU + piggyback", PolicyKind::Lru, true, false, None),
         ("GD-Size + piggyback", PolicyKind::GdSize, true, false, None),
@@ -132,7 +139,8 @@ fn replacement_simulation() {
             false,
             Some(0.15),
         ),
-    ] {
+    ];
+    let rows = sweep(configs, |(name, policy, piggyback, prefetch, delta)| {
         let mut server = build_server(&log, DirectoryVolumes::new(1));
         let cfg = ProxySimConfig {
             capacity_bytes: capacity,
@@ -145,7 +153,7 @@ fn replacement_simulation() {
             delta_encoding: delta,
         };
         let r = simulate_proxy(&log, &changes, &mut server, &cfg);
-        rows.push(vec![
+        vec![
             name.to_owned(),
             pct(r.hit_rate()),
             pct(r.fresh_hit_rate()),
@@ -163,8 +171,8 @@ fn replacement_simulation() {
             } else {
                 "-".to_owned()
             },
-        ]);
-    }
+        ]
+    });
     print_table(
         &[
             "configuration",
@@ -185,7 +193,7 @@ fn informed_fetching() {
     println!("\n--- informed fetching: FIFO vs shortest-first on a congested link ---");
     // Fetch jobs sampled from the Sun log's size distribution arriving in
     // bursts (the congested-path scenario of Section 4).
-    let log = load_server_log("sun");
+    let log = shared_server_log("sun");
     let jobs: Vec<FetchJob> = log
         .entries
         .iter()
@@ -196,11 +204,10 @@ fn informed_fetching() {
             size: e.bytes.max(64),
         })
         .collect();
-    let mut rows = Vec::new();
-    for bw in [64_000.0, 128_000.0, 512_000.0] {
+    let rows = sweep(vec![64_000.0, 128_000.0, 512_000.0], |bw| {
         let fifo = simulate_fetch_queue(&jobs, bw, SchedulingOrder::Fifo);
         let sjf = simulate_fetch_queue(&jobs, bw, SchedulingOrder::ShortestFirst);
-        rows.push(vec![
+        vec![
             format!("{:.0} kB/s", bw / 1000.0),
             format!("{:.2} s", fifo.mean_latency_secs),
             format!("{:.2} s", sjf.mean_latency_secs),
@@ -208,8 +215,8 @@ fn informed_fetching() {
                 "{:.1}x",
                 fifo.mean_latency_secs / sjf.mean_latency_secs.max(1e-9)
             ),
-        ]);
-    }
+        ]
+    });
     print_table(
         &[
             "link bandwidth",

@@ -13,45 +13,46 @@
 //! the update fraction is the sum of columns 3 and 4 (Sun: 20.6%).
 
 use piggyback_bench::{
-    banner, build_probability_volumes, f2, load_server_log, pct, print_table, probability_replay,
-    thin_volumes,
+    banner, build_probability_volumes, f2, pct, print_table, probability_replay, run_timed,
+    shared_server_log, sweep, thin_volumes,
 };
 use piggyback_core::filter::ProxyFilter;
 
 fn main() {
-    banner("table1", "update fraction for probability-based volumes");
-    let mut rows = Vec::new();
-    for profile in ["aiusa", "apache", "sun"] {
-        let log = load_server_log(profile);
-        let (base, _) = build_probability_volumes(&log, 0.02);
-        let thinned = thin_volumes(&log, &base, 0.2).rethreshold(0.25);
-        let report = probability_replay(&log, &thinned, ProxyFilter::default());
+    run_timed("table1", || {
+        banner("table1", "update fraction for probability-based volumes");
+        let rows = sweep(vec!["aiusa", "apache", "sun"], |profile| {
+            let log = shared_server_log(profile);
+            let (base, _) = build_probability_volumes(&log, 0.02);
+            let thinned = thin_volumes(&log, &base, 0.2).rethreshold(0.25);
+            let report = probability_replay(&log, &thinned, ProxyFilter::default());
 
-        let prev_c = report.prev_within_c_fraction();
-        let prev_t = report.prev_within_t_fraction();
-        let updated = report.updated_by_piggyback_fraction();
-        rows.push(vec![
-            profile.to_owned(),
-            pct(prev_c),
-            format!("{} ({})", pct(prev_t), pct(prev_t / prev_c.max(1e-12))),
-            format!("{} ({})", pct(updated), pct(updated / prev_c.max(1e-12))),
-            pct(report.update_fraction_table1()),
-            f2(report.avg_piggyback_size()),
-        ]);
-    }
-    print_table(
-        &[
-            "log",
-            "prev occ < 2h",
-            "prev occ < 5min (of hits)",
-            "updated by piggyback (of hits)",
-            "update fraction",
-            "avg piggyback",
-        ],
-        &rows,
-    );
-    println!(
-        "\npaper: AIUSA 6.5% / 3.6%(55%) / 2.0%(31%) / 2.9 — Apache 11.5% / 5.4%(47%) \
-         / 2.2%(19%) / 1.6 — Sun 23.7% / 9.6%(41%) / 11.0%(46%) / 5.0"
-    );
+            let prev_c = report.prev_within_c_fraction();
+            let prev_t = report.prev_within_t_fraction();
+            let updated = report.updated_by_piggyback_fraction();
+            vec![
+                profile.to_owned(),
+                pct(prev_c),
+                format!("{} ({})", pct(prev_t), pct(prev_t / prev_c.max(1e-12))),
+                format!("{} ({})", pct(updated), pct(updated / prev_c.max(1e-12))),
+                pct(report.update_fraction_table1()),
+                f2(report.avg_piggyback_size()),
+            ]
+        });
+        print_table(
+            &[
+                "log",
+                "prev occ < 2h",
+                "prev occ < 5min (of hits)",
+                "updated by piggyback (of hits)",
+                "update fraction",
+                "avg piggyback",
+            ],
+            &rows,
+        );
+        println!(
+            "\npaper: AIUSA 6.5% / 3.6%(55%) / 2.0%(31%) / 2.9 — Apache 11.5% / 5.4%(47%) \
+             / 2.2%(19%) / 1.6 — Sun 23.7% / 9.6%(41%) / 11.0%(46%) / 5.0"
+        );
+    });
 }

@@ -7,52 +7,59 @@
 //! paper's, plus the concentration statistics Appendix A quotes (top 1% of
 //! servers ≈55–59% of resources).
 
-use piggyback_bench::{banner, pct, print_table, scale_factor, ATT_SCALE, DIGITAL_SCALE};
+use piggyback_bench::{
+    banner, pct, print_table, run_timed, scale_factor, shared_client_trace, sweep, ATT_SCALE,
+    DIGITAL_SCALE,
+};
 use piggyback_trace::profiles;
 use piggyback_trace::stats::client_trace_stats;
 
 fn main() {
-    banner("table2", "client log characteristics (synthetic, scaled)");
-    let mut rows = Vec::new();
-    for (profile, scale) in [
-        (
-            profiles::digital(DIGITAL_SCALE * scale_factor()),
-            DIGITAL_SCALE,
-        ),
-        (profiles::att(ATT_SCALE * scale_factor()), ATT_SCALE),
-    ] {
-        let trace = profile.generate();
-        let s = client_trace_stats(&trace);
-        rows.push(vec![
-            profile.name.to_owned(),
-            format!("{:.1}", s.days),
-            s.requests.to_string(),
-            format!(
-                "{}",
-                (profile.paper.requests as f64 * scale * scale_factor()) as u64
-            ),
-            s.distinct_servers.to_string(),
-            s.unique_resources.to_string(),
-            pct(s.top_1pct_server_resource_share),
-            format!("{:.0}", s.mean_response_bytes),
-        ]);
-    }
-    print_table(
-        &[
-            "trace",
-            "days",
-            "requests",
-            "target",
-            "servers",
-            "unique resources",
-            "top-1% server share",
-            "mean bytes",
-        ],
-        &rows,
-    );
-    println!(
-        "\npaper (full scale): Digital 7d / 6.41M req / 57,832 servers / 2,083,491 \
-         resources; AT&T 18d / 1.11M req / 18,005 servers / 521,330 resources; \
-         top 1% of servers held >55-59% of resources; mean responses 12,279 / 8,822 B"
-    );
+    run_timed("table2", || {
+        banner("table2", "client log characteristics (synthetic, scaled)");
+        let rows = sweep(
+            vec![("digital", DIGITAL_SCALE), ("att", ATT_SCALE)],
+            |(name, scale)| {
+                // Metadata construction is cheap; trace generation is the
+                // expensive part and comes from the shared cache.
+                let profile = match name {
+                    "digital" => profiles::digital(DIGITAL_SCALE * scale_factor()),
+                    _ => profiles::att(ATT_SCALE * scale_factor()),
+                };
+                let trace = shared_client_trace(name);
+                let s = client_trace_stats(&trace);
+                vec![
+                    profile.name.to_owned(),
+                    format!("{:.1}", s.days),
+                    s.requests.to_string(),
+                    format!(
+                        "{}",
+                        (profile.paper.requests as f64 * scale * scale_factor()) as u64
+                    ),
+                    s.distinct_servers.to_string(),
+                    s.unique_resources.to_string(),
+                    pct(s.top_1pct_server_resource_share),
+                    format!("{:.0}", s.mean_response_bytes),
+                ]
+            },
+        );
+        print_table(
+            &[
+                "trace",
+                "days",
+                "requests",
+                "target",
+                "servers",
+                "unique resources",
+                "top-1% server share",
+                "mean bytes",
+            ],
+            &rows,
+        );
+        println!(
+            "\npaper (full scale): Digital 7d / 6.41M req / 57,832 servers / 2,083,491 \
+             resources; AT&T 18d / 1.11M req / 18,005 servers / 521,330 resources; \
+             top 1% of servers held >55-59% of resources; mean responses 12,279 / 8,822 B"
+        );
+    });
 }

@@ -8,55 +8,67 @@
 //! resources.
 
 use piggyback_bench::{
-    banner, f2, pct, print_table, scale_factor, AIUSA_SCALE, APACHE_SCALE, MARIMBA_SCALE, SUN_SCALE,
+    banner, f2, pct, print_table, run_timed, scale_factor, shared_server_log, sweep, AIUSA_SCALE,
+    APACHE_SCALE, MARIMBA_SCALE, SUN_SCALE,
 };
 use piggyback_trace::profiles;
 use piggyback_trace::stats::server_log_stats;
 
 fn main() {
-    banner("table3", "server log characteristics (synthetic, scaled)");
-    let s = scale_factor();
-    let profiles = [
-        (profiles::aiusa(AIUSA_SCALE * s), AIUSA_SCALE),
-        (profiles::marimba(MARIMBA_SCALE * s), MARIMBA_SCALE),
-        (profiles::apache(APACHE_SCALE * s), APACHE_SCALE),
-        (profiles::sun(SUN_SCALE * s), SUN_SCALE),
-    ];
-    let mut rows = Vec::new();
-    for (profile, scale) in profiles {
-        let log = profile.generate();
-        let st = server_log_stats(&log);
-        rows.push(vec![
-            profile.name.to_owned(),
-            format!("{:.1}", st.days),
-            st.requests.to_string(),
-            format!("{}", (profile.paper.requests as f64 * scale * s) as u64),
-            st.clients.to_string(),
-            f2(st.requests_per_source),
-            f2(profile.paper.requests_per_source),
-            st.unique_resources.to_string(),
-            pct(st.top_decile_client_share),
-            pct(st.top_decile_resource_share),
-        ]);
-    }
-    print_table(
-        &[
-            "log",
-            "days",
-            "requests",
-            "target",
-            "clients",
-            "req/src",
-            "paper req/src",
-            "unique resources",
-            "top-10% clients",
-            "top-10% resources",
-        ],
-        &rows,
-    );
-    println!(
-        "\npaper (full scale): AIUSA 180,324/7,627/23.64/1,102 — Marimba \
-         222,393/24,103/9.23/94 — Apache 2,916,549/271,687/10.73/788 — Sun \
-         13,037,895/218,518/59.66/29,436"
-    );
+    run_timed("table3", || {
+        banner("table3", "server log characteristics (synthetic, scaled)");
+        let s = scale_factor();
+        let rows = sweep(
+            vec![
+                ("aiusa", AIUSA_SCALE),
+                ("marimba", MARIMBA_SCALE),
+                ("apache", APACHE_SCALE),
+                ("sun", SUN_SCALE),
+            ],
+            |(name, scale)| {
+                // Profile metadata is cheap to rebuild; the generated log
+                // comes from the shared cache.
+                let profile = match name {
+                    "aiusa" => profiles::aiusa(AIUSA_SCALE * s),
+                    "marimba" => profiles::marimba(MARIMBA_SCALE * s),
+                    "apache" => profiles::apache(APACHE_SCALE * s),
+                    _ => profiles::sun(SUN_SCALE * s),
+                };
+                let log = shared_server_log(name);
+                let st = server_log_stats(&log);
+                vec![
+                    profile.name.to_owned(),
+                    format!("{:.1}", st.days),
+                    st.requests.to_string(),
+                    format!("{}", (profile.paper.requests as f64 * scale * s) as u64),
+                    st.clients.to_string(),
+                    f2(st.requests_per_source),
+                    f2(profile.paper.requests_per_source),
+                    st.unique_resources.to_string(),
+                    pct(st.top_decile_client_share),
+                    pct(st.top_decile_resource_share),
+                ]
+            },
+        );
+        print_table(
+            &[
+                "log",
+                "days",
+                "requests",
+                "target",
+                "clients",
+                "req/src",
+                "paper req/src",
+                "unique resources",
+                "top-10% clients",
+                "top-10% resources",
+            ],
+            &rows,
+        );
+        println!(
+            "\npaper (full scale): AIUSA 180,324/7,627/23.64/1,102 — Marimba \
+             222,393/24,103/9.23/94 — Apache 2,916,549/271,687/10.73/788 — Sun \
+             13,037,895/218,518/59.66/29,436"
+        );
+    });
 }

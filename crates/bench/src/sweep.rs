@@ -1,0 +1,334 @@
+//! The shared experiment sweep engine.
+//!
+//! Every `fig*`/`table*` binary is a grid of independent (profile ×
+//! configuration) cells. This module fans the grid out across a rayon
+//! thread pool ([`sweep`]), memoizes synthetic log generation so each
+//! profile is built once per process ([`shared_server_log`]), and wraps
+//! whole experiments in wall-clock + peak-RSS accounting that lands in
+//! `BENCH_pipeline.json` ([`run_timed`]).
+//!
+//! Determinism: cells are dispatched to worker threads dynamically but
+//! results are reassembled in grid order, and every cell derives its own
+//! seed from the experiment tag and cell index ([`cell_seed`]) — so table
+//! output is byte-identical whether `PB_THREADS` is 1 or 64.
+
+use piggyback_trace::profiles;
+use piggyback_trace::record::{ClientTrace, ServerLog};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Worker-thread count: `PB_THREADS` env var, defaulting to all cores.
+///
+/// `PB_THREADS=1` bypasses the pool entirely — sweeps run as a plain
+/// sequential loop, so the serial baseline carries no pool overhead.
+pub fn pb_threads() -> usize {
+    std::env::var("PB_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Run every cell of `grid` through `f`, in parallel when `PB_THREADS > 1`,
+/// returning results in grid order regardless of completion order.
+pub fn sweep<I, O, F>(grid: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync + Send,
+{
+    let threads = pb_threads();
+    if threads <= 1 || grid.len() <= 1 {
+        return grid.into_iter().map(f).collect();
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    pool.install(|| grid.into_par_iter().map(f).collect())
+}
+
+/// A deterministic per-cell seed: stable across runs, thread counts, and
+/// platforms; distinct across experiment tags and cell indices.
+pub fn cell_seed(tag: &str, index: usize) -> u64 {
+    // FNV-1a over the tag, then a splitmix64 finalizer over the index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tag.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = h ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Memoized synthetic log generation
+// ---------------------------------------------------------------------------
+
+type LogCache = Mutex<HashMap<String, Arc<ServerLog>>>;
+type TraceCache = Mutex<HashMap<String, Arc<ClientTrace>>>;
+
+static SERVER_LOGS: OnceLock<LogCache> = OnceLock::new();
+static CLIENT_TRACES: OnceLock<TraceCache> = OnceLock::new();
+
+/// A named profile's server log at benchmark scale, generated at most once
+/// per process and shared behind an `Arc` across all sweep cells.
+///
+/// The cache key includes the effective `PB_SCALE`, so tests that vary the
+/// scale within one process never see a stale log.
+pub fn shared_server_log(name: &str) -> Arc<ServerLog> {
+    let key = format!("{name}@{}", crate::scale_factor());
+    let cache = SERVER_LOGS.get_or_init(Default::default);
+    let mut cache = cache.lock().expect("log cache poisoned");
+    Arc::clone(
+        cache
+            .entry(key)
+            .or_insert_with(|| Arc::new(crate::load_server_log(name))),
+    )
+}
+
+/// Client-trace analogue of [`shared_server_log`] (`att`, `digital`).
+pub fn shared_client_trace(name: &str) -> Arc<ClientTrace> {
+    let s = crate::scale_factor();
+    let key = format!("{name}@{s}");
+    let cache = CLIENT_TRACES.get_or_init(Default::default);
+    let mut cache = cache.lock().expect("trace cache poisoned");
+    Arc::clone(cache.entry(key).or_insert_with(|| {
+        let profile = match name {
+            "att" => profiles::att(crate::ATT_SCALE * s),
+            "digital" => profiles::digital(crate::DIGITAL_SCALE * s),
+            other => panic!("unknown client profile {other}"),
+        };
+        Arc::new(profile.generate())
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline accounting: wall clock, peak RSS, BENCH_pipeline.json
+// ---------------------------------------------------------------------------
+
+/// Run `f` as the timed body of experiment `id`, then merge a record with
+/// the wall clock, thread count, and peak RSS into the bench file
+/// (`BENCH_pipeline.json` in the working directory, or `PB_BENCH_PATH`).
+///
+/// When a serial (`threads == 1`) record for the same experiment exists,
+/// the entry also carries `speedup_vs_serial`.
+pub fn run_timed<T>(id: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    let wall_ms = start.elapsed().as_millis() as u64;
+    let entry = BenchEntry {
+        id: id.to_string(),
+        threads: pb_threads(),
+        wall_ms,
+        peak_rss_kb: peak_rss_kb(),
+    };
+    if let Err(e) = merge_into_bench_file(&bench_path(), &entry) {
+        eprintln!("warning: could not update {}: {e}", bench_path());
+    }
+    out
+}
+
+/// Peak resident set size of this process in KiB, when the platform
+/// exposes it (`VmHWM` in `/proc/self/status` on Linux).
+pub fn peak_rss_kb() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                return rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse::<u64>()
+                    .ok();
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+fn bench_path() -> String {
+    std::env::var("PB_BENCH_PATH").unwrap_or_else(|_| "BENCH_pipeline.json".to_string())
+}
+
+/// One experiment record in the bench file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    pub id: String,
+    pub threads: usize,
+    pub wall_ms: u64,
+    pub peak_rss_kb: Option<u64>,
+}
+
+/// Merge `entry` into the bench file at `path`, replacing any previous
+/// record with the same `(id, threads)` key and recomputing speedups.
+fn merge_into_bench_file(path: &str, entry: &BenchEntry) -> std::io::Result<()> {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(text) => parse_bench_file(&text),
+        Err(_) => Vec::new(),
+    };
+    entries.retain(|e| !(e.id == entry.id && e.threads == entry.threads));
+    entries.push(entry.clone());
+    entries.sort_by(|a, b| a.id.cmp(&b.id).then(a.threads.cmp(&b.threads)));
+    std::fs::write(path, render_bench_file(&entries))
+}
+
+/// Serialize entries as stable, line-oriented JSON (one entry per line, so
+/// the parser below stays trivial and diffs stay readable).
+fn render_bench_file(entries: &[BenchEntry]) -> String {
+    let serial: HashMap<&str, u64> = entries
+        .iter()
+        .filter(|e| e.threads == 1)
+        .map(|e| (e.id.as_str(), e.wall_ms))
+        .collect();
+    let mut out = String::from("{\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let mut line = format!(
+            "    {{\"id\": \"{}\", \"threads\": {}, \"wall_ms\": {}",
+            e.id, e.threads, e.wall_ms
+        );
+        if let Some(rss) = e.peak_rss_kb {
+            line.push_str(&format!(", \"peak_rss_kb\": {rss}"));
+        }
+        if e.threads > 1 {
+            if let Some(&base) = serial.get(e.id.as_str()) {
+                let speedup = base as f64 / (e.wall_ms.max(1)) as f64;
+                line.push_str(&format!(", \"speedup_vs_serial\": {speedup:.2}"));
+            }
+        }
+        line.push('}');
+        if i + 1 < entries.len() {
+            line.push(',');
+        }
+        line.push('\n');
+        out.push_str(&line);
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse a bench file previously written by [`render_bench_file`]. Derived
+/// fields (speedups) are recomputed on render, so only the primary fields
+/// are read back.
+fn parse_bench_file(text: &str) -> Vec<BenchEntry> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.contains("\"id\"") {
+            continue;
+        }
+        let Some(id) = field_str(line, "id") else {
+            continue;
+        };
+        let Some(threads) = field_u64(line, "threads") else {
+            continue;
+        };
+        let Some(wall_ms) = field_u64(line, "wall_ms") else {
+            continue;
+        };
+        out.push(BenchEntry {
+            id,
+            threads: threads as usize,
+            wall_ms,
+            peak_rss_kb: field_u64(line, "peak_rss_kb"),
+        });
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_preserves_grid_order() {
+        let grid: Vec<u64> = (0..100).collect();
+        let out = sweep(grid.clone(), |x| x * 3);
+        assert_eq!(out, grid.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cell_seeds_are_stable_and_distinct() {
+        assert_eq!(cell_seed("fig3", 0), cell_seed("fig3", 0));
+        assert_ne!(cell_seed("fig3", 0), cell_seed("fig3", 1));
+        assert_ne!(cell_seed("fig3", 0), cell_seed("fig4", 0));
+    }
+
+    #[test]
+    fn shared_log_is_generated_once() {
+        std::env::set_var("PB_SCALE", "0.02");
+        let a = shared_server_log("aiusa");
+        let b = shared_server_log("aiusa");
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
+        std::env::remove_var("PB_SCALE");
+    }
+
+    #[test]
+    fn bench_file_roundtrip_and_speedup() {
+        let dir = std::env::temp_dir().join("pb_bench_file_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_pipeline.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        let serial = BenchEntry {
+            id: "figX".into(),
+            threads: 1,
+            wall_ms: 900,
+            peak_rss_kb: Some(4096),
+        };
+        let parallel = BenchEntry {
+            id: "figX".into(),
+            threads: 4,
+            wall_ms: 300,
+            peak_rss_kb: None,
+        };
+        merge_into_bench_file(path, &serial).unwrap();
+        merge_into_bench_file(path, &parallel).unwrap();
+        // Overwrite the parallel record: merge replaces, never duplicates.
+        merge_into_bench_file(path, &parallel).unwrap();
+
+        let text = std::fs::read_to_string(path).unwrap();
+        let parsed = parse_bench_file(&text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], serial);
+        assert_eq!(parsed[1], parallel);
+        assert!(
+            text.contains("\"speedup_vs_serial\": 3.00"),
+            "missing speedup in: {text}"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,67 @@
+//! The sweep engine must be an implementation detail: the tables a grid
+//! binary prints have to be byte-identical whether the grid ran on one
+//! thread or many. These tests run real sweep binaries at a tiny scale
+//! under `PB_THREADS=1` and `PB_THREADS=8` and compare raw stdout.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run(bin: &str, threads: &str, bench_path: &Path) -> Vec<u8> {
+    let out = Command::new(bin)
+        .env("PB_SCALE", "0.02")
+        .env("PB_THREADS", threads)
+        .env("PB_BENCH_PATH", bench_path)
+        .output()
+        .expect("sweep binary should run");
+    assert!(
+        out.status.success(),
+        "{bin} (PB_THREADS={threads}) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pb-determinism-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn fig3_output_is_identical_across_thread_counts() {
+    let dir = scratch_dir("fig3");
+    let bench = dir.join("BENCH_pipeline.json");
+    let serial = run(env!("CARGO_BIN_EXE_fig3"), "1", &bench);
+    let parallel = run(env!("CARGO_BIN_EXE_fig3"), "8", &bench);
+    assert_eq!(
+        serial, parallel,
+        "fig3 stdout differs between PB_THREADS=1 and PB_THREADS=8"
+    );
+
+    // Both runs merged into one bench file: a serial record and a parallel
+    // record with a computed speedup.
+    let contents = std::fs::read_to_string(&bench).expect("bench file written");
+    assert!(
+        contents.contains("\"id\": \"fig3\", \"threads\": 1"),
+        "{contents}"
+    );
+    assert!(
+        contents.contains("\"id\": \"fig3\", \"threads\": 8"),
+        "{contents}"
+    );
+    assert!(contents.contains("speedup_vs_serial"), "{contents}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sec4_output_is_identical_across_thread_counts() {
+    let dir = scratch_dir("sec4");
+    let bench = dir.join("BENCH_pipeline.json");
+    let serial = run(env!("CARGO_BIN_EXE_sec4"), "1", &bench);
+    let parallel = run(env!("CARGO_BIN_EXE_sec4"), "8", &bench);
+    assert_eq!(
+        serial, parallel,
+        "sec4 stdout differs between PB_THREADS=1 and PB_THREADS=8"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -4,17 +4,22 @@
 //! interning paths to dense [`ResourceId`]s keeps every downstream structure
 //! (volume FIFOs, pairwise counters, metric windows) indexable by `u32`.
 
+use crate::fasthash::FxHashMap;
 use crate::types::ResourceId;
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A dense string interner mapping URL paths to [`ResourceId`]s.
 ///
 /// Ids are assigned in first-seen order and are stable for the lifetime of
 /// the interner. Lookup by path is `O(1)` expected; lookup by id is `O(1)`.
+///
+/// Each path is stored once on the heap: the id-indexed vector and the
+/// by-path map share one `Arc<str>` allocation, so inserting never copies
+/// the string a second time and cloning the interner is shallow per path.
 #[derive(Debug, Default, Clone)]
 pub struct PathInterner {
-    by_path: HashMap<Box<str>, ResourceId>,
-    paths: Vec<Box<str>>,
+    by_path: FxHashMap<Arc<str>, ResourceId>,
+    paths: Vec<Arc<str>>,
 }
 
 impl PathInterner {
@@ -32,9 +37,9 @@ impl PathInterner {
         }
         let id =
             ResourceId(u32::try_from(self.paths.len()).expect("more than u32::MAX interned paths"));
-        let boxed: Box<str> = norm.into();
-        self.by_path.insert(boxed.clone(), id);
-        self.paths.push(boxed);
+        let shared: Arc<str> = Arc::from(norm.as_ref());
+        self.by_path.insert(Arc::clone(&shared), id);
+        self.paths.push(shared);
         id
     }
 
@@ -177,6 +182,21 @@ mod tests {
         assert_eq!(i.path(c), Some("/page.html"));
         let d = i.intern("/x.html#sec2");
         assert_eq!(i.path(d), Some("/x.html"));
+    }
+
+    #[test]
+    fn map_and_vec_share_one_allocation() {
+        let mut i = PathInterner::new();
+        let a = i.intern("/shared/path.html");
+        // Two owners (map key + vec slot) of a single heap string.
+        let arc = i.paths.get(a.index()).unwrap();
+        assert_eq!(Arc::strong_count(arc), 2);
+        // Re-interning adds no owners.
+        i.intern("/shared/path.html");
+        assert_eq!(Arc::strong_count(i.paths.get(a.index()).unwrap()), 2);
+        // Cloning the interner shares rather than copies the strings.
+        let copy = i.clone();
+        assert_eq!(Arc::strong_count(copy.paths.first().unwrap()), 4);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 pub mod datetime;
 pub mod element;
+pub mod fasthash;
 pub mod filter;
 pub mod freq;
 pub mod intern;

@@ -14,12 +14,12 @@
 //! * **average piggyback size**: elements per sent piggyback message.
 
 use crate::element::WireCost;
+use crate::fasthash::FxHashMap;
 use crate::filter::ProxyFilter;
 use crate::rpv::RpvList;
 use crate::table::ResourceTable;
 use crate::types::{DurationMs, ResourceId, SourceId, Timestamp};
 use crate::volume::VolumeProvider;
-use std::collections::HashMap;
 
 /// One trace request, as the server sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,11 +171,11 @@ struct PendingPrediction {
 #[derive(Default)]
 struct SourceState {
     /// resource -> time of most recent piggyback mentioning it.
-    last_predicted: HashMap<ResourceId, Timestamp>,
+    last_predicted: FxHashMap<ResourceId, Timestamp>,
     /// resource -> time of its previous request.
-    last_request: HashMap<ResourceId, Timestamp>,
+    last_request: FxHashMap<ResourceId, Timestamp>,
     /// Active (deduplicated) prediction events.
-    pending: HashMap<ResourceId, PendingPrediction>,
+    pending: FxHashMap<ResourceId, PendingPrediction>,
     rpv: Option<RpvList>,
     last_piggyback: Option<Timestamp>,
 }
@@ -206,9 +206,15 @@ where
     I: IntoIterator<Item = Request>,
 {
     let mut report = MetricsReport::default();
-    let mut sources: HashMap<SourceId, SourceState> = HashMap::new();
+    let mut sources: FxHashMap<SourceId, SourceState> = FxHashMap::default();
     let t_win = cfg.window;
     let c_win = cfg.update_window;
+    // One reusable filter for the whole replay: only its `rpv` list varies
+    // per request, and it is rewritten in place (base_filter.rpv is ignored,
+    // as documented on [`ReplayConfig::base_filter`]). This keeps the hot
+    // loop free of per-request clones of the filter's heap fields.
+    let mut filter = cfg.base_filter.clone();
+    filter.rpv.clear();
 
     for req in requests {
         let Request {
@@ -262,9 +268,9 @@ where
             .min_piggyback_interval
             .is_some_and(|min| state.last_piggyback.is_some_and(|t| now.since(t) < min));
         if !paced_out {
-            let mut filter = cfg.base_filter.clone();
+            filter.rpv.clear();
             if let Some(rpv) = &mut state.rpv {
-                filter.rpv = rpv.filter_ids(now);
+                rpv.write_ids(now, &mut filter.rpv);
             }
             if let Some(msg) = provider.piggyback(r, &filter, now, table) {
                 report.piggyback_messages += 1;

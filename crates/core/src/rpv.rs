@@ -58,8 +58,18 @@ impl RpvList {
 
     /// The volume ids to send in the filter's `rpv` attribute, oldest first.
     pub fn filter_ids(&mut self, now: Timestamp) -> Vec<VolumeId> {
+        let mut out = Vec::new();
+        self.write_ids(now, &mut out);
+        out
+    }
+
+    /// Write the current `rpv` ids into `out` (cleared first), oldest
+    /// first — the allocation-free form of [`filter_ids`](Self::filter_ids)
+    /// for replay hot paths that reuse one filter per source stream.
+    pub fn write_ids(&mut self, now: Timestamp, out: &mut Vec<VolumeId>) {
         self.purge(now);
-        self.entries.iter().map(|(v, _)| *v).collect()
+        out.clear();
+        out.extend(self.entries.iter().map(|(v, _)| *v));
     }
 
     /// Time the last piggyback for `volume` was received, if fresh.

@@ -18,6 +18,7 @@
 //! the immutable [`ProbabilityVolumes`] used at serving time.
 
 use crate::element::{PiggybackElement, PiggybackMessage};
+use crate::fasthash::FxHashMap;
 use crate::filter::ProxyFilter;
 use crate::intern::directory_prefix;
 use crate::table::ResourceTable;
@@ -57,13 +58,20 @@ pub struct ProbabilityVolumesBuilder {
     restrict_prefix_level: Option<usize>,
     rng: StdRng,
 
-    occurrences: HashMap<ResourceId, u64>,
-    pair_counts: HashMap<PairKey, u64>,
+    occurrences: FxHashMap<ResourceId, u64>,
+    /// `r -> (s -> c(s|r))`: nested so the hot double lookup hashes one
+    /// dense id at a time instead of a wide tuple key.
+    pair_counts: FxHashMap<ResourceId, FxHashMap<ResourceId, u64>>,
     /// Pairs sampling decided to permanently ignore.
     rejected_pairs: u64,
-    histories: HashMap<SourceId, VecDeque<(Timestamp, ResourceId)>>,
-    last_credit: HashMap<(SourceId, ResourceId, ResourceId), Timestamp>,
+    histories: FxHashMap<SourceId, VecDeque<(Timestamp, ResourceId)>>,
+    /// `source -> ((r, s) -> last credit time)`, swept once per window so
+    /// memory stays bounded by the sources active within the last `T`.
+    last_credit: FxHashMap<SourceId, FxHashMap<PairKey, Timestamp>>,
     last_time: Timestamp,
+    last_prune: Timestamp,
+    /// Scratch for the distinct-`r` scan, reused across observe calls.
+    seen_scratch: Vec<ResourceId>,
 }
 
 impl ProbabilityVolumesBuilder {
@@ -80,12 +88,14 @@ impl ProbabilityVolumesBuilder {
             build_threshold,
             restrict_prefix_level: None,
             rng: StdRng::seed_from_u64(0x9e3779b97f4a7c15),
-            occurrences: HashMap::new(),
-            pair_counts: HashMap::new(),
+            occurrences: FxHashMap::default(),
+            pair_counts: FxHashMap::default(),
             rejected_pairs: 0,
-            histories: HashMap::new(),
-            last_credit: HashMap::new(),
+            histories: FxHashMap::default(),
+            last_credit: FxHashMap::default(),
             last_time: Timestamp::ZERO,
+            last_prune: Timestamp::ZERO,
+            seen_scratch: Vec::new(),
         }
     }
 
@@ -130,8 +140,11 @@ impl ProbabilityVolumesBuilder {
     ) {
         debug_assert!(now >= self.last_time, "requests must be time-ordered");
         self.last_time = now;
+        self.maybe_prune(now);
 
-        let history = self.histories.entry(source).or_default();
+        // Take the history out of the map so crediting can borrow `self`
+        // mutably without cloning a snapshot of the window.
+        let mut history = self.histories.remove(&source).unwrap_or_default();
         let cutoff = now.before(self.window);
         while let Some(&(t, _)) = history.front() {
             if t < cutoff {
@@ -142,21 +155,50 @@ impl ProbabilityVolumesBuilder {
         }
 
         // Credit each distinct r in the window once (nearest instance).
-        let mut seen: Vec<ResourceId> = Vec::with_capacity(history.len());
-        let snapshot: Vec<ResourceId> = history.iter().map(|&(_, r)| r).collect();
-        for r in snapshot {
+        let mut seen = std::mem::take(&mut self.seen_scratch);
+        seen.clear();
+        for &(_, r) in history.iter() {
             if seen.contains(&r) {
                 continue;
             }
             seen.push(r);
             self.credit_pair(source, r, s, now, table);
         }
+        self.seen_scratch = seen;
 
         *self.occurrences.entry(s).or_insert(0) += 1;
-        self.histories
-            .get_mut(&source)
-            .expect("exists")
-            .push_back((now, s));
+        history.push_back((now, s));
+        self.histories.insert(source, history);
+    }
+
+    /// Amortized (once-per-window) sweep of per-source state older than `T`.
+    ///
+    /// Semantics-preserving: a `last_credit` entry whose age reached `T`
+    /// behaves exactly like an absent entry (crediting proceeds either way),
+    /// and a history entry older than `T` can never pair again. After the
+    /// sweep, transient memory is bounded by the sources active within the
+    /// last window rather than by every source ever seen.
+    fn maybe_prune(&mut self, now: Timestamp) {
+        if now.since(self.last_prune) < self.window {
+            return;
+        }
+        self.last_prune = now;
+        let cutoff = now.before(self.window);
+        let window = self.window;
+        self.histories.retain(|_, h| {
+            while let Some(&(t, _)) = h.front() {
+                if t < cutoff {
+                    h.pop_front();
+                } else {
+                    break;
+                }
+            }
+            !h.is_empty()
+        });
+        self.last_credit.retain(|_, m| {
+            m.retain(|_, t| now.since(*t) < window);
+            !m.is_empty()
+        });
     }
 
     fn credit_pair(
@@ -179,15 +221,15 @@ impl ProbabilityVolumesBuilder {
 
         // At most one credit per (source, pair) per window, so that
         // c(s|r) <= c(r) holds.
-        let credit_key = (source, r, s);
-        if let Some(&t) = self.last_credit.get(&credit_key) {
+        let pair = (r, s);
+        if let Some(&t) = self.last_credit.get(&source).and_then(|m| m.get(&pair)) {
             if now.since(t) < self.window {
                 return;
             }
         }
 
-        let key = (r, s);
-        if !self.pair_counts.contains_key(&key) {
+        let exists = self.pair_counts.get(&r).is_some_and(|m| m.contains_key(&s));
+        if !exists {
             match self.sampling {
                 SamplingMode::Exact => {}
                 SamplingMode::Sampled { factor } => {
@@ -200,13 +242,32 @@ impl ProbabilityVolumesBuilder {
                 }
             }
         }
-        *self.pair_counts.entry(key).or_insert(0) += 1;
-        self.last_credit.insert(credit_key, now);
+        *self.pair_counts.entry(r).or_default().entry(s).or_insert(0) += 1;
+        self.last_credit
+            .entry(source)
+            .or_default()
+            .insert(pair, now);
     }
 
     /// Number of live pair counters.
     pub fn counter_count(&self) -> usize {
-        self.pair_counts.len()
+        self.pair_counts.values().map(|m| m.len()).sum()
+    }
+
+    /// Sources with buffered history inside the current window (as of the
+    /// last sweep) — the quantity that bounds transient memory.
+    pub fn active_source_count(&self) -> usize {
+        self.histories.len().max(self.last_credit.len())
+    }
+
+    /// Live `last_credit` entries across all sources.
+    pub fn credit_entry_count(&self) -> usize {
+        self.last_credit.values().map(|m| m.len()).sum()
+    }
+
+    /// Buffered history entries across all sources.
+    pub fn history_entry_count(&self) -> usize {
+        self.histories.values().map(|h| h.len()).sum()
     }
 
     /// Pair observations the sampler chose not to track.
@@ -216,7 +277,7 @@ impl ProbabilityVolumesBuilder {
 
     /// Estimated `p(s|r)` right now, if a counter exists.
     pub fn probability(&self, r: ResourceId, s: ResourceId) -> Option<f64> {
-        let c_pair = *self.pair_counts.get(&(r, s))?;
+        let c_pair = *self.pair_counts.get(&r)?.get(&s)?;
         let c_r = *self.occurrences.get(&r)?;
         if c_r == 0 {
             return None;
@@ -228,14 +289,16 @@ impl ProbabilityVolumesBuilder {
     /// (usually `>= build_threshold` when sampling was used).
     pub fn build(&self, p_t: f64) -> ProbabilityVolumes {
         let mut implications: HashMap<ResourceId, Vec<(ResourceId, f32)>> = HashMap::new();
-        for (&(r, s), &c_pair) in &self.pair_counts {
+        for (&r, inner) in &self.pair_counts {
             let c_r = *self.occurrences.get(&r).unwrap_or(&0);
             if c_r == 0 {
                 continue;
             }
-            let p = c_pair as f64 / c_r as f64;
-            if p >= p_t {
-                implications.entry(r).or_default().push((s, p as f32));
+            for (&s, &c_pair) in inner {
+                let p = c_pair as f64 / c_r as f64;
+                if p >= p_t {
+                    implications.entry(r).or_default().push((s, p as f32));
+                }
             }
         }
         for list in implications.values_mut() {
@@ -249,13 +312,17 @@ impl ProbabilityVolumesBuilder {
 
     /// All estimated probabilities, for Figure 5(b)'s distribution.
     pub fn all_probabilities(&self) -> Vec<f64> {
-        self.pair_counts
-            .iter()
-            .filter_map(|(&(r, _), &c)| {
-                let c_r = *self.occurrences.get(&r)?;
-                (c_r > 0).then(|| c as f64 / c_r as f64)
-            })
-            .collect()
+        let mut out = Vec::new();
+        for (&r, inner) in &self.pair_counts {
+            let Some(&c_r) = self.occurrences.get(&r) else {
+                continue;
+            };
+            if c_r == 0 {
+                continue;
+            }
+            out.extend(inner.values().map(|&c| c as f64 / c_r as f64));
+        }
+        out
     }
 }
 
@@ -687,6 +754,31 @@ mod tests {
         // One of three resources contains itself.
         assert!((v.self_membership_fraction() - 1.0 / 3.0).abs() < 1e-9);
         assert!((v.avg_volume_size() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transient_state_bounded_by_active_sources() {
+        let mut b = ProbabilityVolumesBuilder::new(T, 0.1, SamplingMode::Exact);
+        // 500 sources, each a short burst of two paired requests, bursts
+        // spaced far beyond T so at most one source is active at a time.
+        for i in 0..500u64 {
+            let base = i * 1000; // 1000 s apart > T = 300 s
+            let src = SourceId(i as u32);
+            b.observe(src, ResourceId(0), ts(base));
+            b.observe(src, ResourceId(1), ts(base + 1));
+        }
+        // The counters being built keep accumulating...
+        assert_eq!(b.probability(ResourceId(0), ResourceId(1)), Some(1.0));
+        assert_eq!(b.counter_count(), 1);
+        // ...but transient per-source state is swept down to the sources
+        // active within the last window, not all 500 ever seen.
+        assert!(
+            b.active_source_count() <= 2,
+            "transient state grew with total sources: {}",
+            b.active_source_count()
+        );
+        assert!(b.history_entry_count() <= 4);
+        assert!(b.credit_entry_count() <= 2);
     }
 
     #[test]

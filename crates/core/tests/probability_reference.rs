@@ -1,0 +1,202 @@
+//! Regression harness for [`ProbabilityVolumesBuilder`]'s counter storage.
+//!
+//! The builder keeps its counters in per-resource nested maps with expired
+//! per-source state pruned; this test pins its observable behaviour to a
+//! deliberately naive reference implementation using the wide-key flat maps
+//! the builder originally shipped with (one `(r, s)` tuple map, one
+//! `(source, r, s)` map, nothing ever pruned). Any divergence in counter
+//! values, sampling decisions, or built volumes is a bug in the rework, not
+//! a tolerance to widen.
+
+use piggyback_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+
+const WINDOW: DurationMs = DurationMs::from_secs(300);
+
+/// The original builder algorithm, transcribed: flat wide-key maps, no
+/// pruning, per-observe snapshot of the history window.
+struct NaiveBuilder {
+    window: DurationMs,
+    build_threshold: f64,
+    sampling_factor: Option<f64>,
+    rng: StdRng,
+    occurrences: HashMap<ResourceId, u64>,
+    pair_counts: HashMap<(ResourceId, ResourceId), u64>,
+    rejected_pairs: u64,
+    histories: HashMap<SourceId, VecDeque<(Timestamp, ResourceId)>>,
+    last_credit: HashMap<(SourceId, ResourceId, ResourceId), Timestamp>,
+}
+
+impl NaiveBuilder {
+    fn new(build_threshold: f64, sampling_factor: Option<f64>, seed: u64) -> Self {
+        NaiveBuilder {
+            window: WINDOW,
+            build_threshold,
+            sampling_factor,
+            rng: StdRng::seed_from_u64(seed),
+            occurrences: HashMap::new(),
+            pair_counts: HashMap::new(),
+            rejected_pairs: 0,
+            histories: HashMap::new(),
+            last_credit: HashMap::new(),
+        }
+    }
+
+    fn observe(&mut self, source: SourceId, s: ResourceId, now: Timestamp) {
+        let history = self.histories.entry(source).or_default();
+        let cutoff = now.before(self.window);
+        while let Some(&(t, _)) = history.front() {
+            if t < cutoff {
+                history.pop_front();
+            } else {
+                break;
+            }
+        }
+        let snapshot: Vec<ResourceId> = history.iter().map(|&(_, r)| r).collect();
+        let mut seen: Vec<ResourceId> = Vec::new();
+        for r in snapshot {
+            if seen.contains(&r) {
+                continue;
+            }
+            seen.push(r);
+            self.credit(source, r, s, now);
+        }
+        *self.occurrences.entry(s).or_insert(0) += 1;
+        self.histories
+            .get_mut(&source)
+            .expect("exists")
+            .push_back((now, s));
+    }
+
+    fn credit(&mut self, source: SourceId, r: ResourceId, s: ResourceId, now: Timestamp) {
+        let credit_key = (source, r, s);
+        if let Some(&t) = self.last_credit.get(&credit_key) {
+            if now.since(t) < self.window {
+                return;
+            }
+        }
+        if !self.pair_counts.contains_key(&(r, s)) {
+            if let Some(factor) = self.sampling_factor {
+                let freq_r = *self.occurrences.get(&r).unwrap_or(&1) as f64;
+                let p_create = (factor / (freq_r * self.build_threshold)).min(1.0);
+                if self.rng.random::<f64>() >= p_create {
+                    self.rejected_pairs += 1;
+                    return;
+                }
+            }
+        }
+        *self.pair_counts.entry((r, s)).or_insert(0) += 1;
+        self.last_credit.insert(credit_key, now);
+    }
+
+    fn probability(&self, r: ResourceId, s: ResourceId) -> Option<f64> {
+        let c_pair = *self.pair_counts.get(&(r, s))?;
+        let c_r = *self.occurrences.get(&r)?;
+        (c_r > 0).then(|| c_pair as f64 / c_r as f64)
+    }
+}
+
+/// A deterministic synthetic trace with overlapping sessions, repeats,
+/// window-straddling gaps, and enough sources to make pruning fire.
+fn synthetic_trace() -> Vec<(SourceId, ResourceId, Timestamp)> {
+    // Simple LCG so the trace is reproducible without the builder's RNG.
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut next = move |modulus: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % modulus
+    };
+    let mut out = Vec::new();
+    let mut now = 0u64;
+    for _ in 0..4000 {
+        now += next(40); // 0..40 s between requests; sessions straddle T
+        let source = SourceId(next(25) as u32);
+        let resource = ResourceId(next(60) as u32);
+        out.push((source, resource, Timestamp::from_secs(now)));
+    }
+    out
+}
+
+fn assert_matches_reference(sampling: SamplingMode, seed: u64) {
+    let factor = match sampling {
+        SamplingMode::Exact => None,
+        SamplingMode::Sampled { factor } => Some(factor),
+    };
+    let mut naive = NaiveBuilder::new(0.2, factor, seed);
+    let mut real = ProbabilityVolumesBuilder::new(WINDOW, 0.2, sampling).with_seed(seed);
+    for &(source, resource, t) in &synthetic_trace() {
+        naive.observe(source, resource, t);
+        real.observe(source, resource, t);
+    }
+
+    assert_eq!(real.counter_count(), naive.pair_counts.len());
+    assert_eq!(real.rejected_pair_observations(), naive.rejected_pairs);
+    for r in 0..60u32 {
+        for s in 0..60u32 {
+            assert_eq!(
+                real.probability(ResourceId(r), ResourceId(s)),
+                naive.probability(ResourceId(r), ResourceId(s)),
+                "p({s}|{r}) diverged"
+            );
+        }
+    }
+
+    // Built volumes agree implication-for-implication at several thresholds.
+    for p_t in [0.05, 0.2, 0.5] {
+        let vols = real.build(p_t);
+        let mut expected: Vec<(u32, u32)> = naive
+            .pair_counts
+            .iter()
+            .filter(|(&(r, _), &c)| {
+                let c_r = *naive.occurrences.get(&r).unwrap_or(&0);
+                c_r > 0 && c as f64 / c_r as f64 >= p_t
+            })
+            .map(|(&(r, s), _)| (r.0, s.0))
+            .collect();
+        expected.sort_unstable();
+        let mut got: Vec<(u32, u32)> = vols.iter().map(|(r, s, _)| (r.0, s.0)).collect();
+        got.sort_unstable();
+        assert_eq!(got, expected, "volumes diverged at p_t={p_t}");
+    }
+}
+
+#[test]
+fn exact_mode_matches_wide_key_reference() {
+    assert_matches_reference(SamplingMode::Exact, 11);
+}
+
+#[test]
+fn sampled_mode_matches_wide_key_reference() {
+    // Sampling draws from the RNG in trace order; the nested-map rework and
+    // the pruning sweep must not perturb the stream.
+    for seed in [1u64, 42, 0xdead_beef] {
+        assert_matches_reference(SamplingMode::Sampled { factor: 1.0 }, seed);
+    }
+}
+
+#[test]
+fn pruned_builder_keeps_memory_bounded() {
+    // 2000 sources in disjoint windows: the naive reference retains credit
+    // state for all of them, the real builder only for the active tail.
+    let mut real = ProbabilityVolumesBuilder::new(WINDOW, 0.2, SamplingMode::Exact);
+    for i in 0..2000u64 {
+        let base = i * 700; // > T apart
+        let src = SourceId(i as u32);
+        real.observe(src, ResourceId(0), Timestamp::from_secs(base));
+        real.observe(src, ResourceId(1), Timestamp::from_secs(base + 1));
+        real.observe(src, ResourceId(2), Timestamp::from_secs(base + 2));
+    }
+    assert!(
+        real.active_source_count() <= 2,
+        "per-source state should be bounded by the window, got {} sources",
+        real.active_source_count()
+    );
+    assert!(real.credit_entry_count() <= 3);
+    assert!(real.history_entry_count() <= 3);
+    // And the counters still saw every burst.
+    assert_eq!(real.probability(ResourceId(0), ResourceId(1)), Some(1.0));
+    assert_eq!(real.probability(ResourceId(0), ResourceId(2)), Some(1.0));
+}

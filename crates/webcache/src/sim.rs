@@ -188,6 +188,10 @@ pub fn simulate_proxy<V: VolumeProvider>(
     let mut cache = Cache::new(cfg.capacity_bytes, cfg.policy.build());
     let mut estimator = ChangeEstimator::new();
     let mut rpv = cfg.rpv.map(|(len, timeout)| RpvList::new(len, timeout));
+    // One filter reused for every request: only its RPV list varies, and it
+    // is rewritten in place instead of cloning `cfg.filter` per entry.
+    let mut live_filter = cfg.filter.clone();
+    let disabled_filter = ProxyFilter::disabled();
 
     let mut change_idx = 0usize;
     for entry in &log.entries {
@@ -223,7 +227,7 @@ pub fn simulate_proxy<V: VolumeProvider>(
             }
             // Expired: validate with If-Modified-Since.
             report.validations += 1;
-            let filter = request_filter(cfg, &mut rpv, now);
+            let filter = request_filter(cfg, &mut live_filter, &disabled_filter, &mut rpv, now);
             server.record_access(r, entry.client, now);
             let delta = estimator.freshness_for(r, cfg.freshness);
             if server_lm > snap.last_modified {
@@ -259,7 +263,7 @@ pub fn simulate_proxy<V: VolumeProvider>(
                 cache.freshen(r, now + delta);
             }
             estimator.observe(r, server_lm);
-            let msg = server.piggyback(r, &filter, now);
+            let msg = server.piggyback(r, filter, now);
             if let Some(msg) = msg {
                 process_piggyback(
                     &msg,
@@ -274,7 +278,7 @@ pub fn simulate_proxy<V: VolumeProvider>(
             }
         } else {
             // Miss: full fetch.
-            let filter = request_filter(cfg, &mut rpv, now);
+            let filter = request_filter(cfg, &mut live_filter, &disabled_filter, &mut rpv, now);
             server.record_access(r, entry.client, now);
             report.full_fetches += 1;
             let size = server.table().meta(r).map_or(0, |m| m.size);
@@ -293,7 +297,7 @@ pub fn simulate_proxy<V: VolumeProvider>(
                 now,
             );
             estimator.observe(r, server_lm);
-            let msg = server.piggyback(r, &filter, now);
+            let msg = server.piggyback(r, filter, now);
             if let Some(msg) = msg {
                 process_piggyback(
                     &msg,
@@ -313,15 +317,25 @@ pub fn simulate_proxy<V: VolumeProvider>(
     report
 }
 
-fn request_filter(cfg: &ProxySimConfig, rpv: &mut Option<RpvList>, now: Timestamp) -> ProxyFilter {
+/// Refresh `live`'s RPV list in place and hand back the filter to send.
+///
+/// When RPV tracking is off, `live.rpv` keeps whatever `cfg.filter` carried
+/// (the config may pin a static RPV list), matching the old clone-per-request
+/// behaviour without the per-request allocation.
+fn request_filter<'a>(
+    cfg: &ProxySimConfig,
+    live: &'a mut ProxyFilter,
+    disabled: &'a ProxyFilter,
+    rpv: &mut Option<RpvList>,
+    now: Timestamp,
+) -> &'a ProxyFilter {
     if !cfg.piggyback {
-        return ProxyFilter::disabled();
+        return disabled;
     }
-    let mut f = cfg.filter.clone();
     if let Some(rpv) = rpv {
-        f.rpv = rpv.filter_ids(now);
+        rpv.write_ids(now, &mut live.rpv);
     }
-    f
+    live
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -1,0 +1,374 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the rayon 1.x API the workspace uses —
+//! [`ThreadPoolBuilder`]/[`ThreadPool::install`], the `prelude` parallel
+//! iterator traits with `map`/`for_each`/`collect`, and
+//! [`current_num_threads`] — over plain `std::thread::scope` workers.
+//!
+//! Work distribution is dynamic (a shared index queue, so expensive cells
+//! don't serialize behind cheap ones) while results are always reassembled
+//! in input order, so `collect()` is deterministic regardless of thread
+//! count or scheduling. A pool of size 1 short-circuits to a plain
+//! sequential loop with no thread or lock overhead, which keeps
+//! `PB_THREADS=1` an honest serial baseline. Swapping back to the real
+//! rayon is a manifest-only change.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Pool size installed by [`ThreadPool::install`] on this thread;
+    /// 0 means "no pool installed" (use all available cores).
+    static CURRENT_POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of threads the ambient pool would use.
+pub fn current_num_threads() -> usize {
+    let installed = CURRENT_POOL_THREADS.with(|c| c.get());
+    if installed == 0 {
+        default_threads()
+    } else {
+        installed
+    }
+}
+
+/// Error building a thread pool (this stand-in never fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// 0 (the default) means one thread per available core.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A sized pool. Workers are spawned per parallel call via scoped threads;
+/// the pool only fixes the degree of parallelism.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool installed as the ambient pool: parallel
+    /// iterators inside use `self.num_threads` workers.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let prev = CURRENT_POOL_THREADS.with(|c| c.replace(self.num_threads));
+        let result = op();
+        CURRENT_POOL_THREADS.with(|c| c.set(prev));
+        result
+    }
+}
+
+/// Map `f` over `items`, distributing dynamically over `threads` workers;
+/// results come back in input order.
+fn par_map_vec<I, O, F>(items: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let len = items.len();
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = threads.min(len);
+    // Items are claimed by index from a shared cursor; each worker owns a
+    // disjoint subset, so the Mutex slot access never contends per item.
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let cursor = AtomicUsize::new(0);
+    let out: Vec<Mutex<Option<O>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("claimed once");
+                let o = f(item);
+                *out[i].lock().unwrap() = Some(o);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+pub mod iter {
+    use super::{current_num_threads, par_map_vec};
+
+    /// Core parallel-iterator trait: a source of `Send` items plus a
+    /// composed per-item pipeline, executed by [`run_with`](Self::run_with).
+    pub trait ParallelIterator: Sized + Send {
+        type Item: Send;
+
+        /// Execute, applying `f` to every item in parallel; results are in
+        /// input order.
+        fn run_with<O, F>(self, f: F) -> Vec<O>
+        where
+            O: Send,
+            F: Fn(Self::Item) -> O + Sync;
+
+        fn map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            O: Send,
+            F: Fn(Self::Item) -> O + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync + Send,
+        {
+            self.run_with(f);
+        }
+
+        fn count(self) -> usize {
+            self.run_with(|_| ()).len()
+        }
+
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_par_vec(self.run_with(|x| x))
+        }
+    }
+
+    /// Collection types buildable from a parallel iterator.
+    pub trait FromParallelIterator<T: Send> {
+        fn from_par_vec(v: Vec<T>) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par_vec(v: Vec<T>) -> Self {
+            v
+        }
+    }
+
+    /// A map stage; the closure is fused into the leaf execution so every
+    /// stage of the pipeline runs inside the worker threads.
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, O, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        O: Send,
+        F: Fn(B::Item) -> O + Sync + Send,
+    {
+        type Item = O;
+
+        fn run_with<O2, G>(self, g: G) -> Vec<O2>
+        where
+            O2: Send,
+            G: Fn(O) -> O2 + Sync,
+        {
+            let f = self.f;
+            self.base.run_with(move |x| g(f(x)))
+        }
+    }
+
+    /// Leaf iterator over owned items.
+    pub struct VecParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecParIter<T> {
+        type Item = T;
+
+        fn run_with<O, F>(self, f: F) -> Vec<O>
+        where
+            O: Send,
+            F: Fn(T) -> O + Sync,
+        {
+            par_map_vec(self.items, current_num_threads(), f)
+        }
+    }
+
+    /// Conversion into an owning parallel iterator.
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecParIter<T>;
+        fn into_par_iter(self) -> VecParIter<T> {
+            VecParIter { items: self }
+        }
+    }
+
+    macro_rules! impl_range_par_iter {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for core::ops::Range<$t> {
+                type Item = $t;
+                type Iter = VecParIter<$t>;
+                fn into_par_iter(self) -> VecParIter<$t> {
+                    VecParIter { items: self.collect() }
+                }
+            }
+        )*};
+    }
+    impl_range_par_iter!(usize, u32, u64, i32, i64);
+
+    macro_rules! impl_range_inclusive_par_iter {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for core::ops::RangeInclusive<$t> {
+                type Item = $t;
+                type Iter = VecParIter<$t>;
+                fn into_par_iter(self) -> VecParIter<$t> {
+                    VecParIter { items: self.collect() }
+                }
+            }
+        )*};
+    }
+    impl_range_inclusive_par_iter!(usize, u32, u64, i32, i64);
+
+    /// `par_iter()` by shared reference.
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: Send + 'a;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = VecParIter<&'a T>;
+        fn par_iter(&'a self) -> VecParIter<&'a T> {
+            VecParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = VecParIter<&'a T>;
+        fn par_iter(&'a self) -> VecParIter<&'a T> {
+            VecParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> =
+            pool.install(|| (0..100usize).into_par_iter().map(|i| i * 2).collect());
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let input: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = {
+            let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+            pool.install(|| input.par_iter().map(|&x| x * x + 1).collect())
+        };
+        let parallel: Vec<u64> = {
+            let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+            pool.install(|| input.par_iter().map(|&x| x * x + 1).collect())
+        };
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        // Outside install the ambient default applies again.
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            (1..=100u64).into_par_iter().for_each(|i| {
+                total.fetch_add(i, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn nested_maps_fuse() {
+        let out: Vec<String> = (0..10usize)
+            .into_par_iter()
+            .map(|i| i + 1)
+            .map(|i| format!("#{i}"))
+            .collect();
+        assert_eq!(out[0], "#1");
+        assert_eq!(out[9], "#10");
+    }
+}
