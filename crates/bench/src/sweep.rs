@@ -12,12 +12,35 @@
 //! seed from the experiment tag and cell index ([`cell_seed`]) — so table
 //! output is byte-identical whether `PB_THREADS` is 1 or 64.
 
+use piggyback_proxyd::obs::{HistogramSnapshot, LatencyHistogram};
 use piggyback_trace::profiles;
 use piggyback_trace::record::{ClientTrace, ServerLog};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+/// Process-global distribution of per-cell wall times, recorded by
+/// [`sweep`] and read back (as before/after deltas) by [`run_timed`] so
+/// `BENCH_pipeline.json` carries cell-latency percentiles alongside the
+/// experiment wall clock. Monotone atomics, so a delta of two snapshots is
+/// exact even if another sweep runs concurrently elsewhere in the process.
+static CELL_TIMES: OnceLock<LatencyHistogram> = OnceLock::new();
+
+fn cell_times() -> &'static LatencyHistogram {
+    CELL_TIMES.get_or_init(LatencyHistogram::default)
+}
+
+/// `after - before`, bucketwise. Valid because histogram cells only grow.
+/// `max` is a process-lifetime high-water mark, not differenced.
+fn snapshot_delta(before: &HistogramSnapshot, after: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut delta = *after;
+    for (d, b) in delta.buckets.iter_mut().zip(&before.buckets) {
+        *d -= *b;
+    }
+    delta.sum -= before.sum;
+    delta
+}
 
 /// Worker-thread count: `PB_THREADS` env var, defaulting to all cores.
 ///
@@ -43,15 +66,21 @@ where
     O: Send,
     F: Fn(I) -> O + Sync + Send,
 {
+    let timed = |input: I| {
+        let start = Instant::now();
+        let out = f(input);
+        cell_times().record(start.elapsed());
+        out
+    };
     let threads = pb_threads();
     if threads <= 1 || grid.len() <= 1 {
-        return grid.into_iter().map(f).collect();
+        return grid.into_iter().map(timed).collect();
     }
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
         .expect("thread pool");
-    pool.install(|| grid.into_par_iter().map(f).collect())
+    pool.install(|| grid.into_par_iter().map(timed).collect())
 }
 
 /// A deterministic per-cell seed: stable across runs, thread counts, and
@@ -122,14 +151,26 @@ pub fn shared_client_trace(name: &str) -> Arc<ClientTrace> {
 /// When a serial (`threads == 1`) record for the same experiment exists,
 /// the entry also carries `speedup_vs_serial`.
 pub fn run_timed<T>(id: &str, f: impl FnOnce() -> T) -> T {
+    let before = cell_times().snapshot();
     let start = Instant::now();
     let out = f();
     let wall_ms = start.elapsed().as_millis() as u64;
+    let cells = snapshot_delta(&before, &cell_times().snapshot());
+    let percentiles = (cells.count() > 0).then(|| {
+        let (p50, p90, p99, max) = cells.percentiles();
+        CellPercentiles {
+            p50_us: p50,
+            p90_us: p90,
+            p99_us: p99,
+            max_us: max,
+        }
+    });
     let entry = BenchEntry {
         id: id.to_string(),
         threads: pb_threads(),
         wall_ms,
         peak_rss_kb: peak_rss_kb(),
+        cell_percentiles: percentiles,
     };
     if let Err(e) = merge_into_bench_file(&bench_path(), &entry) {
         eprintln!("warning: could not update {}: {e}", bench_path());
@@ -165,6 +206,18 @@ fn bench_path() -> String {
     std::env::var("PB_BENCH_PATH").unwrap_or_else(|_| "BENCH_pipeline.json".to_string())
 }
 
+/// Per-cell wall-time percentiles for one experiment run, in microseconds
+/// (integers, so the line-oriented parser below stays trivial). Upper
+/// bounds of log2 histogram buckets — see
+/// [`HistogramSnapshot::quantile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellPercentiles {
+    pub p50_us: u64,
+    pub p90_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
 /// One experiment record in the bench file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchEntry {
@@ -172,6 +225,8 @@ pub struct BenchEntry {
     pub threads: usize,
     pub wall_ms: u64,
     pub peak_rss_kb: Option<u64>,
+    /// Present when the run dispatched at least one [`sweep`] cell.
+    pub cell_percentiles: Option<CellPercentiles>,
 }
 
 /// Merge `entry` into the bench file at `path`, replacing any previous
@@ -203,6 +258,13 @@ fn render_bench_file(entries: &[BenchEntry]) -> String {
         );
         if let Some(rss) = e.peak_rss_kb {
             line.push_str(&format!(", \"peak_rss_kb\": {rss}"));
+        }
+        if let Some(p) = e.cell_percentiles {
+            line.push_str(&format!(
+                ", \"cell_p50_us\": {}, \"cell_p90_us\": {}, \"cell_p99_us\": {}, \
+                 \"cell_max_us\": {}",
+                p.p50_us, p.p90_us, p.p99_us, p.max_us
+            ));
         }
         if e.threads > 1 {
             if let Some(&base) = serial.get(e.id.as_str()) {
@@ -240,11 +302,26 @@ fn parse_bench_file(text: &str) -> Vec<BenchEntry> {
         let Some(wall_ms) = field_u64(line, "wall_ms") else {
             continue;
         };
+        let cell_percentiles = match (
+            field_u64(line, "cell_p50_us"),
+            field_u64(line, "cell_p90_us"),
+            field_u64(line, "cell_p99_us"),
+            field_u64(line, "cell_max_us"),
+        ) {
+            (Some(p50_us), Some(p90_us), Some(p99_us), Some(max_us)) => Some(CellPercentiles {
+                p50_us,
+                p90_us,
+                p99_us,
+                max_us,
+            }),
+            _ => None,
+        };
         out.push(BenchEntry {
             id,
             threads: threads as usize,
             wall_ms,
             peak_rss_kb: field_u64(line, "peak_rss_kb"),
+            cell_percentiles,
         });
     }
     out
@@ -308,12 +385,19 @@ mod tests {
             threads: 1,
             wall_ms: 900,
             peak_rss_kb: Some(4096),
+            cell_percentiles: Some(CellPercentiles {
+                p50_us: 1023,
+                p90_us: 4095,
+                p99_us: 8191,
+                max_us: 7777,
+            }),
         };
         let parallel = BenchEntry {
             id: "figX".into(),
             threads: 4,
             wall_ms: 300,
             peak_rss_kb: None,
+            cell_percentiles: None,
         };
         merge_into_bench_file(path, &serial).unwrap();
         merge_into_bench_file(path, &parallel).unwrap();
@@ -329,6 +413,48 @@ mod tests {
             text.contains("\"speedup_vs_serial\": 3.00"),
             "missing speedup in: {text}"
         );
+        assert!(
+            text.contains("\"cell_p50_us\": 1023") && text.contains("\"cell_max_us\": 7777"),
+            "missing percentiles in: {text}"
+        );
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn run_timed_records_cell_percentiles() {
+        let dir = std::env::temp_dir().join("pb_bench_percentile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_pipeline.json");
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("PB_BENCH_PATH", path.to_str().unwrap());
+        run_timed("percentile_probe", || {
+            sweep((0..8).collect::<Vec<u32>>(), |x| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                x
+            })
+        });
+        std::env::remove_var("PB_BENCH_PATH");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse_bench_file(&text);
+        let entry = parsed
+            .iter()
+            .find(|e| e.id == "percentile_probe")
+            .expect("entry written");
+        let p = entry.cell_percentiles.expect("8 sweep cells were timed");
+        assert!(p.p50_us >= 200, "slept 200us per cell: {p:?}");
+        assert!(p.p50_us <= p.p90_us && p.p90_us <= p.p99_us);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_bucketwise() {
+        let h = LatencyHistogram::default();
+        h.record_value(100);
+        let before = h.snapshot();
+        h.record_value(100);
+        h.record_value(5000);
+        let delta = snapshot_delta(&before, &h.snapshot());
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum, 5100);
     }
 }

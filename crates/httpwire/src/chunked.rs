@@ -44,7 +44,14 @@ pub fn read_chunked<R: BufRead>(r: &mut R) -> Result<(Vec<u8>, HeaderMap), HttpE
         let size_part = line.split(';').next().unwrap_or("").trim();
         let size = usize::from_str_radix(size_part, 16)
             .map_err(|_| HttpError::BadChunkSize(line.clone()))?;
-        if body.len() + size > MAX_BODY {
+        // checked_add: an adversarial chunk-size line like
+        // "ffffffffffffffff" must hit the limit, not wrap the sum in
+        // release mode and bypass it into a huge allocation.
+        if body
+            .len()
+            .checked_add(size)
+            .is_none_or(|total| total > MAX_BODY)
+        {
             return Err(HttpError::LimitExceeded("chunked body size"));
         }
         if size == 0 {
@@ -151,6 +158,34 @@ mod tests {
         let wire = b"2\r\nhiXX0\r\n\r\n";
         let mut r = BufReader::new(wire.as_slice());
         assert!(read_chunked(&mut r).is_err());
+    }
+
+    #[test]
+    fn adversarial_chunk_size_cannot_overflow_the_limit() {
+        // usize::MAX as a hex chunk size: `body.len() + size` wrapped to a
+        // small number in release builds, bypassing MAX_BODY and then
+        // attempting a usize::MAX-byte allocation.
+        let wire = b"ffffffffffffffff\r\n";
+        let mut r = BufReader::new(wire.as_slice());
+        assert!(matches!(
+            read_chunked(&mut r),
+            Err(HttpError::LimitExceeded("chunked body size"))
+        ));
+        // Wrap via accumulation: a valid first chunk, then the huge one.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"5\r\nhello\r\nfffffffffffffffb\r\n");
+        let mut r = BufReader::new(wire.as_slice());
+        assert!(matches!(
+            read_chunked(&mut r),
+            Err(HttpError::LimitExceeded("chunked body size"))
+        ));
+        // Just over the limit without overflow still rejects.
+        let wire = format!("{:x}\r\n", MAX_BODY + 1);
+        let mut r = BufReader::new(wire.as_bytes());
+        assert!(matches!(
+            read_chunked(&mut r),
+            Err(HttpError::LimitExceeded("chunked body size"))
+        ));
     }
 
     #[test]

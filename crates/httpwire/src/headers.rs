@@ -44,11 +44,17 @@ impl HeaderMap {
         Self::default()
     }
 
-    /// Append a header. Panics (debug) on syntactically invalid names or
-    /// values — use [`try_insert`](Self::try_insert) for untrusted input.
+    /// Append a header. Panics on syntactically invalid names or values —
+    /// in release builds too, because a CR/LF smuggled into a value here
+    /// would otherwise be written to the wire verbatim and split the
+    /// header (or trailer) line into an injected one. Use
+    /// [`try_insert`](Self::try_insert) for untrusted input.
     pub fn insert(&mut self, name: &str, value: &str) {
-        debug_assert!(valid_header_name(name), "invalid header name {name:?}");
-        debug_assert!(valid_header_value(value), "invalid header value");
+        assert!(valid_header_name(name), "invalid header name {name:?}");
+        assert!(
+            valid_header_value(value),
+            "invalid value for header {name:?}"
+        );
         self.entries.push((name.to_owned(), value.to_owned()));
     }
 
@@ -191,6 +197,35 @@ mod tests {
         assert!(!valid_header_name("Bad:Header"));
         assert!(valid_header_value("maxpiggy=10; rpv=\"3,4\""));
         assert!(!valid_header_value("evil\r\nInjected: yes"));
+    }
+
+    /// `insert` must reject CR/LF values in release builds too: a
+    /// `debug_assert!` alone let `evil\r\nInjected: yes` reach the wire
+    /// verbatim, splitting the header line. Both entry points are probed
+    /// (catch_unwind rather than `#[should_panic]` so one test covers
+    /// every vector and runs identically under `--release`).
+    #[test]
+    fn insert_rejects_crlf_in_release_builds() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let vectors: &[(&str, &str)] = &[
+            ("X-Evil", "ok\r\nInjected: yes"),
+            ("X-Evil", "ok\rInjected: yes"),
+            ("X-Evil", "ok\nInjected: yes"),
+            ("X-Evil", "nul\0byte"),
+            ("Bad Name", "v"),
+            ("Bad:Name", "v"),
+            ("", "v"),
+        ];
+        for &(name, value) in vectors {
+            let mut h = HeaderMap::new();
+            let r = catch_unwind(AssertUnwindSafe(|| h.insert(name, value)));
+            assert!(r.is_err(), "insert({name:?}, {value:?}) must panic");
+            assert!(h.is_empty(), "nothing may be appended on rejection");
+            let mut h = HeaderMap::new();
+            assert!(h.try_insert(name, value).is_err());
+            let r = catch_unwind(AssertUnwindSafe(|| h.set(name, value)));
+            assert!(r.is_err(), "set({name:?}, {value:?}) must panic");
+        }
     }
 
     #[test]

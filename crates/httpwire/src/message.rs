@@ -351,6 +351,50 @@ mod tests {
         );
     }
 
+    /// End-to-end injection guard: every construction path for header and
+    /// trailer maps rejects CR/LF, so a serialized message can never carry
+    /// a line the caller didn't put there.
+    #[test]
+    fn crlf_values_cannot_split_header_or_trailer_lines() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mut resp = Response::new(200);
+        resp.body = b"ok".to_vec();
+        // Untrusted path refuses...
+        assert!(resp
+            .headers
+            .try_insert("X-Cache", "HIT\r\nInjected: header")
+            .is_err());
+        assert!(resp
+            .trailers
+            .try_insert("P-volume", "1;\r\nInjected: trailer")
+            .is_err());
+        // ...and the trusted path panics instead of writing it through.
+        assert!(catch_unwind(AssertUnwindSafe(|| {
+            resp.headers.insert("X-Cache", "HIT\r\nInjected: header")
+        }))
+        .is_err());
+        assert!(catch_unwind(AssertUnwindSafe(|| {
+            resp.trailers.insert("P-volume", "1;\r\nInjected: trailer")
+        }))
+        .is_err());
+        resp.headers.insert("X-Cache", "HIT");
+        resp.trailers.insert("P-volume", "1;");
+        let mut wire = Vec::new();
+        resp.write(&mut wire).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(!text.contains("Injected"), "no injected line on the wire");
+        // Same guarantee on the request side.
+        let mut req = Request::new("GET", "/x");
+        assert!(catch_unwind(AssertUnwindSafe(|| {
+            req.headers
+                .insert("Piggy-filter", "maxpiggy=5\r\nHost: evil")
+        }))
+        .is_err());
+        let mut wire = Vec::new();
+        req.write(&mut wire).unwrap();
+        assert!(!String::from_utf8(wire).unwrap().contains("evil"));
+    }
+
     #[test]
     fn not_modified_has_no_body() {
         let mut resp = Response::new(304);

@@ -12,6 +12,7 @@
 //! concurrent client threads, each holding its own keep-alive connection.
 
 use piggyback_proxyd::client::run_sequence;
+use piggyback_proxyd::obs::HistogramSnapshot;
 use piggyback_trace::synth::site::{Site, SiteConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -99,7 +100,9 @@ fn main() {
     let mut errors = 0u64;
     let mut bytes = 0u64;
     let mut hits = 0u64;
+    let mut timed = 0u64;
     let mut latency_sum = 0.0f64;
+    let mut hist = HistogramSnapshot::default();
     for r in &reports {
         requests += r.requests;
         ok += r.ok;
@@ -107,15 +110,29 @@ fn main() {
         errors += r.errors;
         bytes += r.bytes;
         hits += r.cache_hits_observed;
-        latency_sum += r.mean_latency_ms * r.requests as f64;
+        timed += r.timed_requests;
+        // Weight each lane's mean by the exchanges it actually timed.
+        latency_sum += r.mean_latency_ms * r.timed_requests as f64;
+        hist.merge(&r.histogram);
     }
-    let mean_latency_ms = if requests > 0 {
-        latency_sum / requests as f64
+    let mean_latency_ms = if timed > 0 {
+        latency_sum / timed as f64
     } else {
         0.0
     };
+    let (p50, p90, p99, max) = hist.percentiles();
+    let ms = |us: u64| us as f64 / 1000.0;
     println!(
         "requests={requests} ok={ok} 304={not_modified} errors={errors} bytes={bytes} \
          proxy_hits={hits} threads={threads} mean_latency_ms={mean_latency_ms:.2}"
+    );
+    println!(
+        "latency_ms: p50={:.3} p90={:.3} p99={:.3} max={:.3} (log2-bucket upper bounds, \
+         {} samples)",
+        ms(p50),
+        ms(p90),
+        ms(p99),
+        ms(max),
+        hist.count()
     );
 }

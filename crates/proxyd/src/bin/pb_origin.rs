@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! pb-origin [--port 8080] [--pages 60] [--level 1] [--seed 42]
-//!           [--volumes-file volumes.txt] [--print-paths]
+//!           [--volumes-file volumes.txt] [--print-paths] [--no-metrics]
 //! ```
 //!
 //! `--volumes-file` loads persisted probability volumes (see the
 //! `online_volumes` example) instead of maintaining directory volumes.
+//! Unless `--no-metrics` is given, `GET /__pb/metrics` serves Prometheus
+//! counters and response-timing histograms.
 
 use piggyback_proxyd::origin::{start_origin, OriginConfig, VolumeScheme};
 use piggyback_trace::synth::site::SiteConfig;
@@ -40,9 +42,12 @@ fn main() {
             }
             "--seed" => cfg.site.seed = value("--seed").parse().expect("numeric seed"),
             "--print-paths" => print_paths = true,
+            "--metrics" => cfg.metrics = true,
+            "--no-metrics" => cfg.metrics = false,
             "--help" | "-h" => {
                 println!(
-                    "pb-origin [--port 8080] [--pages 60] [--level 1] [--seed 42] [--print-paths]"
+                    "pb-origin [--port 8080] [--pages 60] [--level 1] [--seed 42] \
+                     [--print-paths] [--no-metrics]"
                 );
                 return;
             }
@@ -53,12 +58,20 @@ fn main() {
         }
     }
 
+    let metrics = cfg.metrics;
     let origin = start_origin(cfg).expect("failed to start origin");
     eprintln!(
         "pb-origin listening on {} ({} resources)",
         origin.addr(),
         origin.paths.len()
     );
+    if metrics {
+        eprintln!(
+            "metrics: http://{}{}",
+            origin.addr(),
+            piggyback_proxyd::METRICS_PATH
+        );
+    }
     if print_paths {
         for p in &origin.paths {
             println!("{p}");

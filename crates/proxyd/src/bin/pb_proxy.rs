@@ -4,11 +4,13 @@
 //! pb-proxy --origin 127.0.0.1:8080 [--port 8081] [--capacity-mb 32]
 //!          [--delta-secs 60] [--maxpiggy 10] [--no-rpv]
 //!          [--shards 8] [--legacy] [--pool-idle 32] [--workers 64]
+//!          [--no-metrics]
 //! ```
 //!
 //! `--legacy` selects the single-lock, fresh-connection-per-fetch
 //! baseline; the default is the sharded, connection-pooled model.
-//! Prints statistics every 10 seconds.
+//! Prints statistics every 10 seconds. Unless `--no-metrics` is given,
+//! `GET /__pb/metrics` serves Prometheus counters and latency histograms.
 
 use piggyback_core::filter::ProxyFilter;
 use piggyback_core::types::DurationMs;
@@ -26,6 +28,7 @@ fn main() {
     let mut legacy = false;
     let mut pool_idle = 32usize;
     let mut workers = 64usize;
+    let mut metrics = true;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,11 +47,14 @@ fn main() {
             "--legacy" => legacy = true,
             "--pool-idle" => pool_idle = value("--pool-idle").parse().expect("number"),
             "--workers" => workers = value("--workers").parse().expect("number"),
+            "--metrics" => metrics = true,
+            "--no-metrics" => metrics = false,
             "--help" | "-h" => {
                 println!(
                     "pb-proxy --origin HOST:PORT [--port 8081] [--capacity-mb 32] \
                      [--delta-secs 60] [--maxpiggy 10] [--no-rpv] \
-                     [--shards 8] [--legacy] [--pool-idle 32] [--workers 64]"
+                     [--shards 8] [--legacy] [--pool-idle 32] [--workers 64] \
+                     [--no-metrics]"
                 );
                 return;
             }
@@ -78,8 +84,16 @@ fn main() {
     };
     cfg.pool_max_idle = pool_idle;
     cfg.serve.workers = workers;
+    cfg.metrics = metrics;
 
     let proxy = start_proxy(cfg).expect("failed to start proxy");
+    if metrics {
+        eprintln!(
+            "metrics: http://{}{}",
+            proxy.addr(),
+            piggyback_proxyd::METRICS_PATH
+        );
+    }
     eprintln!(
         "pb-proxy listening on {} -> origin {origin} ({})",
         proxy.addr(),

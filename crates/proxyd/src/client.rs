@@ -2,6 +2,7 @@
 //! keep-alive [`ConnectionPool`] the concurrent proxy uses for its origin
 //! connections.
 
+use crate::obs::{HistogramSnapshot, LatencyHistogram};
 use parking_lot::Mutex;
 use piggyback_httpwire::{HttpError, Request, Response};
 use std::collections::VecDeque;
@@ -172,7 +173,17 @@ pub struct ClientReport {
     pub errors: u64,
     pub bytes: u64,
     pub cache_hits_observed: u64,
+    /// Completed HTTP exchanges — every response that contributed a
+    /// latency sample, whatever its status. Transport failures (no
+    /// response at all) are the only untimed requests. This is the
+    /// denominator of [`mean_latency_ms`](Self::mean_latency_ms); dividing
+    /// by `requests - errors` instead was biased, because `errors` counts
+    /// 404s whose latency *was* accumulated.
+    pub timed_requests: u64,
     pub mean_latency_ms: f64,
+    /// Per-request latency distribution in microseconds (merge lane
+    /// snapshots bucketwise for multi-connection drivers).
+    pub histogram: HistogramSnapshot,
 }
 
 /// A persistent-connection HTTP client.
@@ -225,13 +236,17 @@ impl HttpClient {
 pub fn run_sequence(addr: SocketAddr, paths: &[String]) -> io::Result<ClientReport> {
     let mut client = HttpClient::connect(addr)?;
     let mut report = ClientReport::default();
+    let hist = LatencyHistogram::new();
     let mut total_latency_ms = 0.0f64;
     for path in paths {
         report.requests += 1;
         let start = Instant::now();
         match client.get(path, &[]) {
             Ok(resp) => {
-                total_latency_ms += start.elapsed().as_secs_f64() * 1000.0;
+                let elapsed = start.elapsed();
+                total_latency_ms += elapsed.as_secs_f64() * 1000.0;
+                report.timed_requests += 1;
+                hist.record(elapsed);
                 report.bytes += resp.body.len() as u64;
                 match resp.status {
                     200 => report.ok += 1,
@@ -245,9 +260,10 @@ pub fn run_sequence(addr: SocketAddr, paths: &[String]) -> io::Result<ClientRepo
             Err(_) => report.errors += 1,
         }
     }
-    if report.requests > report.errors {
-        report.mean_latency_ms = total_latency_ms / (report.requests - report.errors) as f64;
+    if report.timed_requests > 0 {
+        report.mean_latency_ms = total_latency_ms / report.timed_requests as f64;
     }
+    report.histogram = hist.snapshot();
     Ok(report)
 }
 
@@ -287,6 +303,45 @@ mod tests {
         let origin = start_origin(OriginConfig::default()).unwrap();
         let report = run_sequence(origin.addr(), &["/nope.html".to_owned()]).unwrap();
         assert_eq!(report.errors, 1);
+        origin.stop();
+    }
+
+    /// Regression for the biased mean: 404 responses accumulated latency
+    /// in the numerator but were excluded from the `requests - errors`
+    /// denominator, inflating `mean_latency_ms` on mixed workloads and
+    /// zeroing it on all-404 ones. The explicit `timed_requests` count
+    /// makes numerator and denominator cover the same exchanges.
+    #[test]
+    fn latency_mean_counts_every_timed_response() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+
+        // All-404 sequence: each response was timed, so the mean must be
+        // defined (the old code divided by requests - errors == 0 and
+        // reported 0.0 despite having timed both exchanges).
+        let seq = vec!["/nope-a.html".to_owned(), "/nope-b.html".to_owned()];
+        let report = run_sequence(origin.addr(), &seq).unwrap();
+        assert_eq!(report.errors, 2);
+        assert_eq!(report.timed_requests, 2);
+        assert!(
+            report.mean_latency_ms > 0.0,
+            "timed 404s must contribute to the mean: {report:?}"
+        );
+        assert_eq!(report.histogram.count(), 2);
+
+        // Mixed sequence: mean agrees with the histogram built from the
+        // same samples (micros vs ms), which a lopsided denominator breaks.
+        let good = origin.paths[0].clone();
+        let seq = vec![good.clone(), "/nope.html".to_owned(), good];
+        let report = run_sequence(origin.addr(), &seq).unwrap();
+        assert_eq!(report.timed_requests, 3);
+        assert_eq!(report.histogram.count(), 3);
+        let hist_mean_ms = report.histogram.mean() / 1000.0;
+        assert!(
+            (report.mean_latency_ms - hist_mean_ms).abs() <= 0.01 + hist_mean_ms * 0.25,
+            "mean {} vs histogram mean {}",
+            report.mean_latency_ms,
+            hist_mean_ms
+        );
         origin.stop();
     }
 

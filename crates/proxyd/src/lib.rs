@@ -13,11 +13,16 @@
 //!   behalf of an oblivious origin;
 //! * [`client`] — a workload-driver HTTP client.
 //!
+//! [`obs`] carries the shared observability layer: allocation-free log2
+//! latency histograms and the Prometheus text rendering behind each
+//! daemon's `GET /__pb/metrics` admin endpoint.
+//!
 //! Each component starts on an ephemeral loopback port and returns a
 //! handle exposing its address and live statistics, so end-to-end
 //! deployments compose in-process (see the `quickstart` example).
 
 pub mod client;
+pub mod obs;
 pub mod origin;
 pub mod proxy;
 pub mod stats;
@@ -25,8 +30,9 @@ pub mod util;
 pub mod volume_center;
 
 pub use client::{run_sequence, ClientReport, ConnectionPool, HttpClient, PoolStats, PooledConn};
+pub use obs::{DaemonObs, HistogramSnapshot, LatencyHistogram, ProxyObs};
 pub use origin::{start_origin, OriginConfig, OriginHandle};
-pub use proxy::{start_proxy, ConcurrencyMode, ProxyConfig, ProxyHandle, ProxyStats};
+pub use proxy::{start_proxy, ConcurrencyMode, ProxyConfig, ProxyHandle, ProxyStats, METRICS_PATH};
 pub use stats::{AtomicDaemonStats, AtomicProxyStats, DaemonStats};
 pub use util::{serve_with, synth_body, Clock, ServeOptions, ServerHandle};
 pub use volume_center::{start_volume_center, VolumeCenterConfig, VolumeCenterHandle};

@@ -10,6 +10,8 @@
 //! The magic prefix `/_pb/modify` bumps a resource's Last-Modified time,
 //! letting examples and tests exercise invalidation end-to-end.
 
+use crate::obs::{render_histogram, render_scalar, DaemonObs};
+use crate::proxy::METRICS_PATH;
 use crate::stats::{AtomicDaemonStats, DaemonStats};
 use crate::util::{serve, synth_body, Clock, ServerHandle};
 use parking_lot::Mutex;
@@ -49,6 +51,9 @@ pub struct OriginConfig {
     /// `Directory`; kept for backwards compatibility).
     pub volume_level: usize,
     pub volumes: VolumeScheme,
+    /// Serve the Prometheus admin endpoint `GET /__pb/metrics`
+    /// (`pb-origin --no-metrics` disables it; disabled scrapes get a 404).
+    pub metrics: bool,
 }
 
 impl Default for OriginConfig {
@@ -61,6 +66,7 @@ impl Default for OriginConfig {
             },
             volume_level: 1,
             volumes: VolumeScheme::Directory { level: 1 },
+            metrics: true,
         }
     }
 }
@@ -77,6 +83,7 @@ pub struct OriginHandle {
     handle: ServerHandle,
     state: Arc<Mutex<OriginState>>,
     daemon: Arc<AtomicDaemonStats>,
+    obs: Arc<DaemonObs>,
     /// Paths the synthetic site serves (useful for driving workloads).
     pub paths: Vec<String>,
 }
@@ -95,6 +102,11 @@ impl OriginHandle {
     /// exact request-conservation checks against the proxy's counters.
     pub fn daemon_stats(&self) -> DaemonStats {
         self.daemon.snapshot()
+    }
+
+    /// Response-timing and piggyback-overhead histograms.
+    pub fn obs(&self) -> &DaemonObs {
+        &self.obs
     }
 
     /// The server-side access count for `path` (includes counts absorbed
@@ -162,15 +174,19 @@ pub fn start_origin(cfg: OriginConfig) -> io::Result<OriginHandle> {
         clock: Clock::new(),
     }));
     let daemon = Arc::new(AtomicDaemonStats::new());
+    let obs = Arc::new(DaemonObs::default());
     let state2 = Arc::clone(&state);
     let daemon2 = Arc::clone(&daemon);
+    let obs2 = Arc::clone(&obs);
+    let metrics = cfg.metrics;
     let handle = serve(cfg.port, "origin", move |stream| {
-        let _ = handle_connection(stream, &state2, &daemon2);
+        let _ = handle_connection(stream, &state2, &daemon2, &obs2, metrics);
     })?;
     Ok(OriginHandle {
         handle,
         state,
         daemon,
+        obs,
         paths,
     })
 }
@@ -192,6 +208,8 @@ fn handle_connection(
     stream: TcpStream,
     state: &Arc<Mutex<OriginState>>,
     daemon: &AtomicDaemonStats,
+    obs: &DaemonObs,
+    metrics: bool,
 ) -> io::Result<()> {
     use std::sync::atomic::Ordering::Relaxed;
     daemon.connections.fetch_add(1, Relaxed);
@@ -203,10 +221,27 @@ fn handle_connection(
             Ok(r) => r,
             Err(_) => return Ok(()), // closed or malformed: drop connection
         };
-        daemon.requests.fetch_add(1, Relaxed);
         let keep = req.keep_alive();
-        let resp = handle_request(&req, source, state);
+        // Admin scrape, intercepted before the request/response counters so
+        // scrapes never appear in the ledger they report on. Served from
+        // atomics alone — the state mutex is not taken.
+        if strip_origin_form(&req.target) == METRICS_PATH {
+            let resp = if metrics {
+                origin_metrics_response(daemon, obs)
+            } else {
+                Response::new(404)
+            };
+            resp.write(&mut writer)?;
+            if !keep {
+                return Ok(());
+            }
+            continue;
+        }
+        daemon.requests.fetch_add(1, Relaxed);
+        let start = std::time::Instant::now();
+        let resp = handle_request(&req, source, state, obs);
         daemon.count_response(resp.status, resp.body.len());
+        obs.class_for(resp.status).record(start.elapsed());
         resp.write(&mut writer)?;
         if !keep {
             return Ok(());
@@ -214,7 +249,74 @@ fn handle_connection(
     }
 }
 
-fn handle_request(req: &Request, source: SourceId, state: &Arc<Mutex<OriginState>>) -> Response {
+/// Render the origin's Prometheus exposition from lock-free counters and
+/// histograms only.
+fn origin_metrics_response(daemon: &AtomicDaemonStats, obs: &DaemonObs) -> Response {
+    let stats = daemon.snapshot();
+    let mut out = String::with_capacity(4 * 1024);
+    render_scalar(
+        &mut out,
+        "pb_origin_connections_total",
+        "",
+        "counter",
+        stats.connections,
+    );
+    render_scalar(
+        &mut out,
+        "pb_origin_requests_total",
+        "",
+        "counter",
+        stats.requests,
+    );
+    for (label, value) in [
+        ("ok", stats.responses_ok),
+        ("not_modified", stats.responses_not_modified),
+        ("error", stats.responses_error),
+    ] {
+        render_scalar(
+            &mut out,
+            "pb_origin_responses_total",
+            &format!("class=\"{label}\""),
+            "counter",
+            value,
+        );
+    }
+    render_scalar(
+        &mut out,
+        "pb_origin_bytes_sent_total",
+        "",
+        "counter",
+        stats.bytes_sent,
+    );
+    for (class, hist) in obs.classes() {
+        render_histogram(
+            &mut out,
+            "pb_origin_response_duration_seconds",
+            &format!("class=\"{class}\""),
+            &hist.snapshot(),
+            1e6,
+        );
+    }
+    render_histogram(
+        &mut out,
+        "pb_origin_piggyback_overhead_bytes",
+        "",
+        &obs.piggyback_bytes.snapshot(),
+        1.0,
+    );
+    let mut resp = Response::new(200);
+    resp.headers
+        .insert("Content-Type", "text/plain; version=0.0.4");
+    resp.body = out.into_bytes();
+    resp
+}
+
+fn handle_request(
+    req: &Request,
+    source: SourceId,
+    state: &Arc<Mutex<OriginState>>,
+    obs: &DaemonObs,
+) -> Response {
     if req.method != "GET" && req.method != "HEAD" {
         return Response::new(400);
     }
@@ -297,6 +399,11 @@ fn handle_request(req: &Request, source: SourceId, state: &Arc<Mutex<OriginState
         .and_then(|v| ProxyFilter::parse(v).ok())
         .and_then(|filter| st.server.piggyback(resource, &filter, now))
         .and_then(|msg| encode_p_volume(&msg, st.server.table()).ok());
+    if let Some(pv) = &piggyback {
+        // The Section 2.3 overhead ledger: P-volume payload bytes this
+        // response will carry (trailer or header alike).
+        obs.piggyback_bytes.record_value(pv.len() as u64);
+    }
 
     let mut resp = Response::new(if not_modified { 304 } else { 200 });
     resp.headers
@@ -513,6 +620,54 @@ mod tests {
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("requests 1"), "{text}");
         assert!(text.contains("resources"), "{text}");
+        origin.stop();
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let (mut r, mut w) = connect(&origin);
+        get(&mut r, &mut w, &origin.paths[0].clone(), &[]);
+        get(&mut r, &mut w, "/no/such/thing.html", &[]);
+        let resp = get(&mut r, &mut w, METRICS_PATH, &[]);
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.headers.get("Content-Type"),
+            Some("text/plain; version=0.0.4")
+        );
+        let text = String::from_utf8(resp.body).unwrap();
+        // The scrape itself stays out of the request ledger.
+        assert!(text.contains("pb_origin_requests_total 2\n"), "{text}");
+        assert!(
+            text.contains("pb_origin_responses_total{class=\"ok\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pb_origin_responses_total{class=\"error\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pb_origin_response_duration_seconds_count{class=\"ok\"} 1"),
+            "{text}"
+        );
+        // Duration histogram totals balance against the request counter.
+        let duration_total: u64 = text
+            .lines()
+            .filter(|l| l.starts_with("pb_origin_response_duration_seconds_count"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(duration_total, 2, "{text}");
+
+        // Disabled endpoint answers 404 locally.
+        let muted = start_origin(OriginConfig {
+            metrics: false,
+            ..Default::default()
+        })
+        .unwrap();
+        let (mut r2, mut w2) = connect(&muted);
+        let resp = get(&mut r2, &mut w2, METRICS_PATH, &[]);
+        assert_eq!(resp.status, 404);
+        muted.stop();
         origin.stop();
     }
 

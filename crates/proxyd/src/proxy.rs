@@ -25,6 +25,7 @@
 //! fresh-connection-per-fetch behavior as an A/B baseline.
 
 use crate::client::{ConnectionPool, PoolStats, PooledConn};
+use crate::obs::{render_histogram, render_scalar, ProxyObs};
 use crate::origin::strip_origin_form;
 use crate::stats::AtomicProxyStats;
 pub use crate::stats::ProxyStats;
@@ -48,6 +49,10 @@ use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Admin path the proxy answers locally (never forwarded upstream).
+pub const METRICS_PATH: &str = "/__pb/metrics";
 
 /// How many client sources the per-source RPV table tracks before
 /// evicting the stalest.
@@ -91,6 +96,10 @@ pub struct ProxyConfig {
     pub pool_max_idle: usize,
     /// Accept-loop worker/queue sizing.
     pub serve: ServeOptions,
+    /// Serve the Prometheus admin endpoint `GET /__pb/metrics`
+    /// (`pb-proxy --no-metrics` disables it; disabled scrapes get a local
+    /// 404, never a proxied fetch).
+    pub metrics: bool,
 }
 
 impl ProxyConfig {
@@ -107,6 +116,7 @@ impl ProxyConfig {
             mode: ConcurrencyMode::Sharded { shards: 8 },
             pool_max_idle: 32,
             serve: ServeOptions::default(),
+            metrics: true,
         }
     }
 }
@@ -126,6 +136,8 @@ struct ProxyShared {
     rpv: Option<Mutex<RpvTable<SocketAddr>>>,
     reporter: Mutex<HitReporter>,
     stats: AtomicProxyStats,
+    /// Latency histograms + piggyback-overhead accounting (lock-free).
+    obs: ProxyObs,
     /// Keep-alive origin pool (Sharded mode; Legacy connects per fetch).
     pool: Option<ConnectionPool>,
     /// Legacy mode's whole-state serializer, held across each cache phase
@@ -172,6 +184,11 @@ impl ProxyHandle {
         self.shared.pool.as_ref().map(|p| p.stats())
     }
 
+    /// Latency/piggyback-overhead histograms (lock-free snapshots).
+    pub fn obs(&self) -> &ProxyObs {
+        &self.shared.obs
+    }
+
     pub fn stop(self) {
         self.handle.stop();
     }
@@ -201,6 +218,7 @@ pub fn start_proxy(cfg: ProxyConfig) -> io::Result<ProxyHandle> {
             .map(|(len, t)| Mutex::new(RpvTable::new(RPV_MAX_SOURCES, len, t))),
         reporter: Mutex::new(HitReporter::new()),
         stats: AtomicProxyStats::new(),
+        obs: ProxyObs::default(),
         pool,
         global,
         cfg,
@@ -247,6 +265,16 @@ fn handle_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) 
         return Response::new(400);
     }
     let path = strip_origin_form(&req.target).to_owned();
+    // Admin scrape, answered before the request counter so scrapes never
+    // disturb the conservation invariant they report on.
+    if path == METRICS_PATH {
+        return if shared.cfg.metrics {
+            metrics_response(shared)
+        } else {
+            Response::new(404)
+        };
+    }
+    let start = Instant::now();
 
     // Phase 1: consult the cache (shard-scoped locks; in Legacy mode the
     // global serializer emulates the original whole-state mutex).
@@ -298,6 +326,7 @@ fn handle_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) 
 
     let (validate_lm, filter, report) = match plan {
         Plan::ServeFresh(body, lm) => {
+            shared.obs.fresh_hit.record(start.elapsed());
             return cached_response(&body, lm, "HIT");
         }
         Plan::Fetch {
@@ -313,6 +342,7 @@ fn handle_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) 
         Ok(r) => r,
         Err(_) => {
             shared.stats.upstream_errors.fetch_add(1, Relaxed);
+            shared.obs.error.record(start.elapsed());
             return Response::new(502);
         }
     };
@@ -390,6 +420,7 @@ fn handle_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) 
         .get(P_VOLUME_HEADER)
         .or_else(|| resp.headers.get(P_VOLUME_HEADER));
     if let Some(pv) = pv {
+        shared.obs.piggyback_bytes.record_value(pv.len() as u64);
         if let Ok(wire) = decode_p_volume(pv) {
             shared.stats.piggyback_messages.fetch_add(1, Relaxed);
             shared
@@ -425,7 +456,144 @@ fn handle_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) 
             }
         }
     }
+    let hist = match resp.status {
+        304 => &shared.obs.not_modified,
+        200 => &shared.obs.full_fetch,
+        _ => &shared.obs.passthrough,
+    };
+    hist.record(start.elapsed());
     result
+}
+
+/// Render the proxy's Prometheus exposition. Reads only atomics and the
+/// cache's occupancy gauges — no cache or table lock is taken, so a
+/// scrape can never stall (or be stalled by) request traffic.
+fn metrics_response(shared: &ProxyShared) -> Response {
+    let stats = shared.stats.snapshot();
+    let mut out = String::with_capacity(8 * 1024);
+    render_scalar(
+        &mut out,
+        "pb_proxy_requests_total",
+        "",
+        "counter",
+        stats.requests,
+    );
+    for (label, value) in [
+        ("fresh_hit", stats.fresh_hits),
+        ("not_modified", stats.not_modified),
+        ("full_fetch", stats.full_fetches),
+        ("error", stats.upstream_errors),
+        ("passthrough", stats.upstream_passthrough),
+    ] {
+        render_scalar(
+            &mut out,
+            "pb_proxy_outcome_requests_total",
+            &format!("outcome=\"{label}\""),
+            "counter",
+            value,
+        );
+    }
+    for (name, value) in [
+        ("pb_proxy_cache_hits_total", stats.cache_hits),
+        ("pb_proxy_validations_total", stats.validations),
+        ("pb_proxy_bytes_from_origin_total", stats.bytes_from_origin),
+        (
+            "pb_proxy_piggyback_messages_total",
+            stats.piggyback_messages,
+        ),
+        (
+            "pb_proxy_piggybacked_elements_total",
+            stats.piggybacked_elements,
+        ),
+        (
+            "pb_proxy_piggyback_freshens_total",
+            stats.piggyback_freshens,
+        ),
+        (
+            "pb_proxy_piggyback_invalidations_total",
+            stats.piggyback_invalidations,
+        ),
+        (
+            "pb_proxy_prefetch_candidates_total",
+            stats.prefetch_candidates,
+        ),
+        ("pb_proxy_upstream_retries_total", stats.upstream_retries),
+    ] {
+        render_scalar(&mut out, name, "", "counter", value);
+    }
+    for (outcome, hist) in shared.obs.outcomes() {
+        render_histogram(
+            &mut out,
+            "pb_proxy_request_duration_seconds",
+            &format!("outcome=\"{outcome}\""),
+            &hist.snapshot(),
+            1e6,
+        );
+    }
+    render_histogram(
+        &mut out,
+        "pb_proxy_piggyback_overhead_bytes",
+        "",
+        &shared.obs.piggyback_bytes.snapshot(),
+        1.0,
+    );
+    if let Some(pool) = &shared.pool {
+        let p = pool.stats();
+        for (name, value) in [
+            ("pb_proxy_pool_connects_total", p.connects),
+            ("pb_proxy_pool_reuses_total", p.reuses),
+            ("pb_proxy_pool_evicted_unhealthy_total", p.evicted_unhealthy),
+            ("pb_proxy_pool_discarded_dirty_total", p.discarded_dirty),
+            ("pb_proxy_pool_discarded_full_total", p.discarded_full),
+        ] {
+            render_scalar(&mut out, name, "", "counter", value);
+        }
+        render_scalar(
+            &mut out,
+            "pb_proxy_pool_idle",
+            "",
+            "gauge",
+            pool.idle_len() as u64,
+        );
+    }
+    // Capacity from config, not `cache.capacity()`: the latter sums
+    // per-shard fields under each shard lock.
+    render_scalar(
+        &mut out,
+        "pb_proxy_cache_capacity_bytes",
+        "",
+        "gauge",
+        shared.cfg.capacity_bytes,
+    );
+    for (i, shard) in shared.cache.occupancy().iter().enumerate() {
+        let labels = format!("shard=\"{i}\"");
+        render_scalar(
+            &mut out,
+            "pb_proxy_cache_shard_bytes",
+            &labels,
+            "gauge",
+            shard.bytes,
+        );
+        render_scalar(
+            &mut out,
+            "pb_proxy_cache_shard_entries",
+            &labels,
+            "gauge",
+            shard.entries,
+        );
+        render_scalar(
+            &mut out,
+            "pb_proxy_cache_shard_evictions_total",
+            &labels,
+            "counter",
+            shard.evictions,
+        );
+    }
+    let mut resp = Response::new(200);
+    resp.headers
+        .insert("Content-Type", "text/plain; version=0.0.4");
+    resp.body = out.into_bytes();
+    resp
 }
 
 /// One upstream request/response exchange. Sharded mode checks a
@@ -701,6 +869,70 @@ mod tests {
         // ...but its access count for `hot` includes the 5 reported cache
         // hits: 1 real fetch + 5 reported = 6.
         assert_eq!(origin.access_count(&hot), 6);
+        proxy.stop();
+        origin.stop();
+    }
+
+    #[test]
+    fn metrics_endpoint_scrapes_without_counting_itself() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let proxy = start_proxy(ProxyConfig::new(origin.addr())).unwrap();
+        let path = origin.paths[0].clone();
+        get(proxy.addr(), &path); // MISS
+        get(proxy.addr(), &path); // HIT
+        let m = get(proxy.addr(), METRICS_PATH);
+        assert_eq!(m.status, 200);
+        assert_eq!(
+            m.headers.get("Content-Type"),
+            Some("text/plain; version=0.0.4")
+        );
+        let text = String::from_utf8(m.body.clone()).unwrap();
+        // The scrape itself must not disturb the request counter.
+        assert!(text.contains("pb_proxy_requests_total 2\n"), "{text}");
+        assert!(
+            text.contains("pb_proxy_outcome_requests_total{outcome=\"fresh_hit\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pb_proxy_outcome_requests_total{outcome=\"full_fetch\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pb_proxy_request_duration_seconds_count{outcome=\"fresh_hit\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pb_proxy_cache_shard_bytes{shard=\"0\"}"),
+            "{text}"
+        );
+        assert!(text.contains("pb_proxy_cache_capacity_bytes"), "{text}");
+        // Conservation is checkable from the scrape alone.
+        let outcome_total: u64 = text
+            .lines()
+            .filter(|l| l.starts_with("pb_proxy_outcome_requests_total{"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(outcome_total, 2, "{text}");
+        let duration_total: u64 = text
+            .lines()
+            .filter(|l| l.starts_with("pb_proxy_request_duration_seconds_count"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(duration_total, 2, "histogram totals == requests: {text}");
+        proxy.stop();
+        origin.stop();
+    }
+
+    #[test]
+    fn metrics_can_be_disabled() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let mut cfg = ProxyConfig::new(origin.addr());
+        cfg.metrics = false;
+        let proxy = start_proxy(cfg).unwrap();
+        let m = get(proxy.addr(), METRICS_PATH);
+        assert_eq!(m.status, 404, "disabled scrape is a local 404");
+        let stats = proxy.stats();
+        assert_eq!(stats.requests, 0, "never proxied, never counted");
         proxy.stop();
         origin.stop();
     }

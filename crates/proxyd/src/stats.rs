@@ -6,6 +6,11 @@
 //! independent; cross-counter *conservation* invariants (e.g. every
 //! request is accounted to exactly one outcome) hold exactly once the
 //! daemon is quiescent, which is when tests read them.
+//!
+//! These counters are exported verbatim on each daemon's
+//! `GET /__pb/metrics` endpoint, alongside the per-outcome latency
+//! histograms of [`crate::obs`] — whose totals obey the same
+//! conservation law, so the invariant is checkable from a scrape alone.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -54,5 +54,5 @@ pub use hierarchy::{simulate_hierarchy, HierarchyConfig, HierarchyReport};
 pub use informed::{simulate_fetch_queue, FetchJob, QueueReport, SchedulingOrder};
 pub use policy::{GdSize, Lru, PiggybackAware, PolicyKind, ReplacementPolicy};
 pub use psi::{simulate_psi, ModificationLog, PsiConfig, PsiReport};
-pub use sharded::{shard_index, ShardedCache};
+pub use sharded::{shard_index, ShardOccupancy, ShardedCache};
 pub use sim::{build_server, simulate_proxy, PrefetchConfig, ProxySimConfig, ProxySimReport};

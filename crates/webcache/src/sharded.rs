@@ -22,6 +22,7 @@ use crate::cache::{Cache, CacheEntry};
 use crate::policy::PolicyKind;
 use parking_lot::Mutex;
 use piggyback_core::types::{ResourceId, Timestamp};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// 2^64 / φ, the Fibonacci hashing multiplier: consecutive ids land far
 /// apart, and low-entropy id populations still spread evenly.
@@ -37,9 +38,36 @@ pub fn shard_index(r: ResourceId, shards: usize) -> usize {
     (((r.0 as u64).wrapping_mul(FIB_MULT) >> 32) as usize) % shards
 }
 
+/// Lock-free occupancy gauges mirrored out of one shard.
+///
+/// Refreshed (relaxed stores) every time the shard's lock is released by
+/// a [`ShardedCache`] accessor, so readers — a metrics endpoint scraping
+/// per-shard occupancy — never take a shard lock. Each gauge is
+/// individually exact as of some recent quiescent point; cross-gauge
+/// consistency is approximate while writers run, which is all statistics
+/// need.
+#[derive(Debug, Default)]
+struct ShardGauges {
+    bytes: AtomicU64,
+    entries: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A plain snapshot of one shard's occupancy (see [`ShardedCache::occupancy`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardOccupancy {
+    /// Bytes cached in this shard.
+    pub bytes: u64,
+    /// Entries cached in this shard.
+    pub entries: u64,
+    /// Evictions from this shard since construction.
+    pub evictions: u64,
+}
+
 /// A byte-capacity cache split into independently locked shards.
 pub struct ShardedCache {
     shards: Vec<Mutex<Cache>>,
+    gauges: Vec<ShardGauges>,
 }
 
 impl ShardedCache {
@@ -48,14 +76,15 @@ impl ShardedCache {
         let n = shards.max(1) as u64;
         let per = capacity / n;
         let remainder = capacity % n;
-        let shards = (0..n)
+        let shards: Vec<_> = (0..n)
             .map(|i| {
                 // Give the remainder to shard 0 so no byte is lost.
                 let cap = per + if i == 0 { remainder } else { 0 };
                 Mutex::new(Cache::new(cap, policy.build()))
             })
             .collect();
-        ShardedCache { shards }
+        let gauges = (0..shards.len()).map(|_| ShardGauges::default()).collect();
+        ShardedCache { shards, gauges }
     }
 
     pub fn shard_count(&self) -> usize {
@@ -69,14 +98,34 @@ impl ShardedCache {
 
     /// Run `f` with the shard that owns `r` locked.
     pub fn with_resource_shard<T>(&self, r: ResourceId, f: impl FnOnce(&mut Cache) -> T) -> T {
-        let mut guard = self.shards[self.shard_of(r)].lock();
-        f(&mut guard)
+        self.with_shard(self.shard_of(r), f)
     }
 
     /// Run `f` with shard `i` locked (statistics, tests, maintenance).
     pub fn with_shard<T>(&self, i: usize, f: impl FnOnce(&mut Cache) -> T) -> T {
         let mut guard = self.shards[i].lock();
-        f(&mut guard)
+        let out = f(&mut guard);
+        // Mirror occupancy into the lock-free gauges while still holding
+        // the lock, so each store publishes a state the shard really had.
+        let g = &self.gauges[i];
+        g.bytes.store(guard.used_bytes(), Relaxed);
+        g.entries.store(guard.len() as u64, Relaxed);
+        g.evictions.store(guard.evictions(), Relaxed);
+        out
+    }
+
+    /// Per-shard occupancy, read entirely from atomic gauges — no shard
+    /// lock is taken, so a metrics scrape can never contend with (or wait
+    /// on) the request hot path.
+    pub fn occupancy(&self) -> Vec<ShardOccupancy> {
+        self.gauges
+            .iter()
+            .map(|g| ShardOccupancy {
+                bytes: g.bytes.load(Relaxed),
+                entries: g.entries.load(Relaxed),
+                evictions: g.evictions.load(Relaxed),
+            })
+            .collect()
     }
 
     /// Client-request lookup: touches recency and marks the entry used.
@@ -282,6 +331,32 @@ mod tests {
             let a = run_interleaving(seed);
             let b = run_interleaving(seed);
             assert_eq!(a, b, "seed {seed} must replay identically");
+        }
+    }
+
+    /// The lock-free occupancy gauges track the real shard state exactly
+    /// once the cache is quiescent.
+    #[test]
+    fn occupancy_gauges_match_locked_state_when_quiescent() {
+        let c = ShardedCache::new(1 << 20, 4, PolicyKind::Lru);
+        for i in 0..64u32 {
+            c.insert(ResourceId(i), entry(100, 1000), ts(u64::from(i)));
+        }
+        for i in 0..16u32 {
+            c.remove(ResourceId(i * 4));
+        }
+        let occ = c.occupancy();
+        assert_eq!(occ.len(), 4);
+        let total_bytes: u64 = occ.iter().map(|o| o.bytes).sum();
+        let total_entries: u64 = occ.iter().map(|o| o.entries).sum();
+        assert_eq!(total_bytes, c.used_bytes());
+        assert_eq!(total_entries, c.len() as u64);
+        for (i, o) in occ.iter().enumerate() {
+            c.with_shard(i, |shard| {
+                assert_eq!(o.bytes, shard.used_bytes(), "shard {i}");
+                assert_eq!(o.entries, shard.len() as u64, "shard {i}");
+                assert_eq!(o.evictions, shard.evictions(), "shard {i}");
+            });
         }
     }
 
