@@ -1,0 +1,196 @@
+//! `origin-ab` — A/B throughput bench: legacy single-mutex origin vs the
+//! lock-free snapshot origin, on an identical piggyback-heavy workload.
+//!
+//! Workload (mirrors `tests/concurrency_stress.rs::ab_concurrent_origin_
+//! beats_legacy_throughput`): a synthetic site with a few thousand pages,
+//! probability volumes where 8 hub pages each imply every other page plus
+//! ~120 images, and clients requesting the hubs with
+//! `Piggy-filter: maxpiggy=250; types=image` and a far-future
+//! If-Modified-Since. Every response is a bodyless 304 whose `P-volume`
+//! header requires a full multi-thousand-candidate selection scan — paid
+//! per request under the legacy global mutex, once per
+//! `(volume, filter, generation)` on the new path via the encode cache.
+//!
+//! Four cells land in `BENCH_pipeline.json` (wall clock over the same
+//! request count, so `origin_ab_legacy_16c / origin_ab_concurrent_16c`
+//! wall-ms ratio IS the throughput speedup):
+//!
+//! * `origin_ab_legacy_1c` / `origin_ab_concurrent_1c` — one connection;
+//! * `origin_ab_legacy_16c` / `origin_ab_concurrent_16c` — 16 connections.
+//!
+//! `PB_SCALE` scales the request count (site and volumes stay fixed so the
+//! per-request scan cost is scale-independent).
+
+use piggyback_bench::{banner, print_table, run_timed, scale_factor};
+use piggyback_core::datetime::{format_rfc1123, DEFAULT_TRACE_EPOCH_UNIX};
+use piggyback_core::types::{ContentType, ResourceId};
+use piggyback_core::volume::{write_volumes, ProbabilityVolumes};
+use piggyback_proxyd::client::HttpClient;
+use piggyback_proxyd::origin::{start_origin, OriginConfig, VolumeScheme};
+use piggyback_trace::synth::site::{Site, SiteConfig};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const LEADERS: usize = 8;
+const ADMITTED_IMAGES: usize = 120;
+const FILTER: &str = "maxpiggy=250; types=image";
+
+/// Persist probability volumes where each of [`LEADERS`] hub pages implies
+/// every other page of the site plus [`ADMITTED_IMAGES`] images. The
+/// `types=image` filter then admits only the images: the selection scan
+/// stays expensive (thousands of candidates) while the encoded `P-volume`
+/// line stays modest. Returns the volumes file and the hub URL paths.
+fn fat_probability_volumes(site_cfg: &SiteConfig) -> (PathBuf, Vec<String>) {
+    let (table, site) = Site::generate(site_cfg);
+    assert!(site.pages.len() > LEADERS);
+    let pages = site.pages[LEADERS..].iter().map(|p| p.resource);
+    let images: Vec<ResourceId> = table
+        .iter()
+        .filter(|(_, _, m)| m.content_type == ContentType::Image)
+        .map(|(id, _, _)| id)
+        .take(ADMITTED_IMAGES)
+        .collect();
+    assert_eq!(images.len(), ADMITTED_IMAGES, "site too small for workload");
+    let followers: Vec<ResourceId> = pages.chain(images).collect();
+    let mut implications: HashMap<ResourceId, Vec<(ResourceId, f32)>> = HashMap::new();
+    for lead in 0..LEADERS {
+        implications.insert(
+            site.pages[lead].resource,
+            followers.iter().map(|&f| (f, 0.9f32)).collect(),
+        );
+    }
+    let vols = ProbabilityVolumes::from_implications(0.25, implications);
+    let file = std::env::temp_dir().join(format!("pb-origin-ab-{}.txt", std::process::id()));
+    write_volumes(&vols, &table, &mut std::fs::File::create(&file).unwrap()).unwrap();
+    let leaders = (0..LEADERS)
+        .map(|i| table.path(site.pages[i].resource).unwrap().to_owned())
+        .collect();
+    (file, leaders)
+}
+
+/// One A/B cell: start the origin in `legacy` or snapshot mode, then time
+/// `conns × per_conn` filtered 304s against the hub pages. Returns
+/// requests/second over the timed region.
+fn run_cell(
+    id: &str,
+    legacy: bool,
+    conns: usize,
+    per_conn: usize,
+    site_cfg: &SiteConfig,
+    file: &Path,
+    leaders: &[String],
+) -> f64 {
+    let origin = start_origin(OriginConfig {
+        legacy,
+        site: site_cfg.clone(),
+        volumes: VolumeScheme::ProbabilityFile(file.to_path_buf()),
+        ..Default::default()
+    })
+    .expect("origin starts");
+    let addr = origin.addr();
+    // Far-future If-Modified-Since: every timed request is a bodyless 304
+    // that still carries its piggyback header, so the measurement isolates
+    // serving-path state work from body I/O.
+    let ims = format_rfc1123(DEFAULT_TRACE_EPOCH_UNIX + 1_000_000_000);
+
+    let total = conns * per_conn;
+    let start = Instant::now();
+    let elapsed = run_timed(id, || {
+        std::thread::scope(|s| {
+            for t in 0..conns {
+                let ims = ims.as_str();
+                s.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    for i in 0..per_conn {
+                        let path = &leaders[(t * 7 + i) % leaders.len()];
+                        let resp = client
+                            .get(
+                                path,
+                                &[("Piggy-filter", FILTER), ("If-Modified-Since", ims)],
+                            )
+                            .expect("request");
+                        assert_eq!(resp.status, 304, "conn {t} req {i} ({path})");
+                        assert!(
+                            resp.headers.get("P-volume").is_some(),
+                            "hub responses must carry their volume ({path})"
+                        );
+                    }
+                });
+            }
+        });
+        start.elapsed()
+    });
+
+    let s = origin.stats();
+    assert_eq!(s.requests, total as u64, "every request reaches the ledger");
+    assert_eq!(s.outcomes(), s.requests, "conservation: {s:?}");
+    if let Some(cs) = origin.cache_stats() {
+        assert!(
+            cs.hits > cs.misses,
+            "steady-state workload must be cache-hit dominated: {cs:?}"
+        );
+    }
+    origin.stop();
+    total as f64 / elapsed.as_secs_f64()
+}
+
+fn main() {
+    banner(
+        "origin-ab",
+        "legacy mutex origin vs lock-free snapshot origin",
+    );
+    let scale = scale_factor();
+    let per_conn_16 = ((480.0 * scale) as usize).max(20);
+    let per_conn_1 = 4 * per_conn_16;
+    // 8000 pages ⇒ each hub's selection scan walks ~8100 candidates. In a
+    // release build that keeps the scan (paid per request only by the
+    // legacy path) comfortably above the fixed loopback transport cost, so
+    // the A/B measures the serving-path work rather than syscalls.
+    let site_cfg = SiteConfig {
+        n_pages: 8000,
+        ..Default::default()
+    };
+    let (file, leaders) = fat_probability_volumes(&site_cfg);
+    println!(
+        "site: {} pages; volumes: {} hubs x ~{} candidates ({} admitted by '{}')",
+        site_cfg.n_pages,
+        LEADERS,
+        site_cfg.n_pages - LEADERS + ADMITTED_IMAGES,
+        ADMITTED_IMAGES,
+        FILTER
+    );
+
+    let cells: [(&str, bool, usize, usize); 4] = [
+        ("origin_ab_legacy_1c", true, 1, per_conn_1),
+        ("origin_ab_concurrent_1c", false, 1, per_conn_1),
+        ("origin_ab_legacy_16c", true, 16, per_conn_16),
+        ("origin_ab_concurrent_16c", false, 16, per_conn_16),
+    ];
+    let mut rows = Vec::new();
+    let mut rps = HashMap::new();
+    for (id, legacy, conns, per_conn) in cells {
+        let r = run_cell(id, legacy, conns, per_conn, &site_cfg, &file, &leaders);
+        println!("{id}: {r:.0} req/s ({conns} conns x {per_conn} reqs)");
+        rps.insert(id, r);
+        rows.push(vec![
+            id.to_string(),
+            conns.to_string(),
+            (conns * per_conn).to_string(),
+            format!("{r:.0}"),
+        ]);
+    }
+    let _ = std::fs::remove_file(&file);
+
+    println!();
+    print_table(&["cell", "conns", "requests", "req/s"], &rows);
+    let speedup_1 = rps["origin_ab_concurrent_1c"] / rps["origin_ab_legacy_1c"];
+    let speedup_16 = rps["origin_ab_concurrent_16c"] / rps["origin_ab_legacy_16c"];
+    println!(
+        "\nspeedup (concurrent vs legacy):  1 conn: {speedup_1:.2}x  16 conns: {speedup_16:.2}x"
+    );
+    if speedup_16 < 2.0 {
+        eprintln!("warning: 16-connection speedup below the 2x target");
+        std::process::exit(1);
+    }
+}

@@ -48,10 +48,13 @@ pub mod filter;
 pub mod freq;
 pub mod intern;
 pub mod metrics;
+pub mod piggy_cache;
 pub mod proxy;
 pub mod report;
 pub mod rpv;
 pub mod server;
+pub mod snapshot;
+pub mod striped;
 pub mod table;
 pub mod types;
 pub mod volume;
@@ -68,12 +71,17 @@ pub mod prelude {
     pub use crate::metrics::{
         precount_accesses, replay, MetricsReport, ReplayConfig, Request, RpvConfig,
     };
+    pub use crate::piggy_cache::{CacheStats, PiggybackCache};
     pub use crate::proxy::{classify_element, ClientConfig, ElementAction, PiggybackClient};
     pub use crate::report::{
         absorb_report, parse_report, HitReporter, ReportEntry, PIGGY_REPORT_HEADER,
     };
     pub use crate::rpv::{RpvList, RpvTable};
-    pub use crate::server::{PiggybackServer, ServerStats};
+    pub use crate::server::{AtomicServerStats, PiggybackServer, ServerStats};
+    pub use crate::snapshot::{
+        AccessState, FrozenVolumes, OriginSnapshot, SnapshotCell, StaticDirectoryVolumes,
+    };
+    pub use crate::striped::StripedHistories;
     pub use crate::table::ResourceTable;
     pub use crate::types::{
         ContentType, ContentTypeSet, DurationMs, ResourceId, ResourceMeta, ServerId, SourceId,
@@ -84,7 +92,7 @@ pub mod prelude {
         ThinningCriterion, VolumeProvider, WithPopularityFallback, POPULARITY_VOLUME,
     };
     pub use crate::wire::{
-        decode_p_volume, encode_p_volume, intern_wire_piggyback, WireElement, WirePiggyback,
-        P_VOLUME_HEADER,
+        decode_p_volume, encode_p_volume, encode_p_volume_into, intern_wire_piggyback, WireElement,
+        WirePiggyback, P_VOLUME_HEADER,
     };
 }

@@ -1,0 +1,261 @@
+//! Memoized `P-volume` encode cache.
+//!
+//! A proxy fleet fronting one origin tends to send a handful of distinct
+//! `Piggy-filter` headers (often exactly one, the deployment's configured
+//! filter). For probability volumes the piggyback for `(resource, filter)`
+//! is a pure function of the volume snapshot — no recency, no per-request
+//! state — so identical filters can reuse one serialized trailer instead
+//! of re-running element selection and [`encode_p_volume`] per request.
+//!
+//! The cache key is `(volume id, filter signature, table generation)`:
+//! the signature is an FxHash of the filter's canonical header form, and
+//! the generation ties every entry to the snapshot it was computed from,
+//! so a `/_pb/modify` or epoch swap invalidates the whole cache by
+//! construction — stale entries are evicted lazily on the next probe.
+//! Suppressed outcomes (`None`) are cached too: "this filter admits
+//! nothing from this volume" is just as pure and just as hot.
+//!
+//! [`encode_p_volume`]: crate::wire::encode_p_volume
+
+use crate::fasthash::{fx_hash_bytes, fx_hash_u64, FxHashMap};
+use crate::filter::ProxyFilter;
+use crate::types::VolumeId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A cached encode outcome: the serialized trailer value and its element
+/// count (`None` = the filter suppressed the piggyback entirely).
+pub type CachedEncoding = Option<(Arc<str>, u64)>;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Snapshot generation this entry was computed against.
+    generation: u64,
+    /// Collision guards: FxHash is not injective, so verify the full key.
+    volume: VolumeId,
+    filter: Arc<str>,
+    encoding: CachedEncoding,
+}
+
+/// Sharded memo table for serialized piggyback trailers.
+#[derive(Debug)]
+pub struct PiggybackCache {
+    shards: Box<[Mutex<FxHashMap<u64, Entry>>]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Aggregate cache counters (relaxed reads).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl PiggybackCache {
+    /// Shard count balancing contention against footprint; lookups are
+    /// sub-microsecond so a modest count suffices.
+    pub const DEFAULT_SHARDS: usize = 16;
+    /// Per-shard entry cap; beyond it the shard drops stale-generation
+    /// entries, then clears outright (distinct live filters per volume are
+    /// expected to number in the tens at most).
+    pub const SHARD_CAP: usize = 256;
+
+    pub fn new() -> Self {
+        Self::with_shards(Self::DEFAULT_SHARDS)
+    }
+
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1);
+        PiggybackCache {
+            shards: (0..n).map(|_| Mutex::new(FxHashMap::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache key signature for a filter: FxHash of its canonical
+    /// header form, mixed with the volume id. Canonicalization means two
+    /// differently-spelled but equivalent headers share an entry.
+    fn key(volume: VolumeId, filter_canonical: &str) -> u64 {
+        fx_hash_bytes(filter_canonical.as_bytes()) ^ fx_hash_u64(volume.0 as u64 | 1 << 32)
+    }
+
+    /// Look up the trailer for `(volume, filter)` at `generation`, or
+    /// compute-and-insert it via `compute`.
+    ///
+    /// `compute` runs outside the shard lock; under a race the first
+    /// insert wins and later duplicates simply overwrite with an equal
+    /// value, so callers never observe mixed-generation results.
+    pub fn get_or_insert_with(
+        &self,
+        volume: VolumeId,
+        filter: &ProxyFilter,
+        generation: u64,
+        compute: impl FnOnce() -> CachedEncoding,
+    ) -> CachedEncoding {
+        let canonical = filter.to_header_value();
+        let key = Self::key(volume, &canonical);
+        let shard = &self.shards[key as usize % self.shards.len()];
+        {
+            let guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(entry) = guard.get(&key) {
+                if entry.generation == generation
+                    && entry.volume == volume
+                    && *entry.filter == *canonical
+                {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return entry.encoding.clone();
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let encoding = compute();
+        let entry = Entry {
+            generation,
+            volume,
+            filter: canonical.into(),
+            encoding: encoding.clone(),
+        };
+        let mut guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.len() >= Self::SHARD_CAP && !guard.contains_key(&key) {
+            let before = guard.len();
+            guard.retain(|_, e| e.generation == generation);
+            if guard.len() >= Self::SHARD_CAP {
+                guard.clear();
+            }
+            self.evictions
+                .fetch_add((before - guard.len()) as u64, Ordering::Relaxed);
+        }
+        guard.insert(key, entry);
+        encoding
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for PiggybackCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encoding(s: &str, n: u64) -> CachedEncoding {
+        Some((Arc::from(s), n))
+    }
+
+    #[test]
+    fn hit_after_miss_and_generation_invalidation() {
+        let cache = PiggybackCache::new();
+        let f = ProxyFilter::default();
+        let vol = VolumeId(3);
+
+        let first = cache.get_or_insert_with(vol, &f, 1, || encoding("3; \"/a\" 1 2", 1));
+        assert_eq!(first.as_ref().unwrap().1, 1);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                evictions: 0
+            }
+        );
+
+        let second = cache.get_or_insert_with(vol, &f, 1, || panic!("must not recompute"));
+        assert_eq!(second, first);
+        assert_eq!(cache.stats().hits, 1);
+
+        // A generation bump invalidates without explicit flushing.
+        let third = cache.get_or_insert_with(vol, &f, 2, || encoding("3; \"/a\" 9 2", 1));
+        assert_ne!(third, first);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn suppressed_outcomes_are_cached() {
+        let cache = PiggybackCache::new();
+        let f = ProxyFilter::default();
+        assert!(cache
+            .get_or_insert_with(VolumeId(1), &f, 0, || None)
+            .is_none());
+        assert!(cache
+            .get_or_insert_with(VolumeId(1), &f, 0, || panic!("cached suppression"))
+            .is_none());
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn distinct_filters_and_volumes_do_not_collide() {
+        let cache = PiggybackCache::new();
+        let plain = ProxyFilter::default();
+        let capped = ProxyFilter::builder().max_piggy(1).build();
+        let a = cache.get_or_insert_with(VolumeId(1), &plain, 0, || encoding("a", 2));
+        let b = cache.get_or_insert_with(VolumeId(1), &capped, 0, || encoding("b", 1));
+        let c = cache.get_or_insert_with(VolumeId(2), &plain, 0, || encoding("c", 2));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(
+            cache.get_or_insert_with(VolumeId(1), &plain, 0, || unreachable!()),
+            a
+        );
+    }
+
+    #[test]
+    fn shard_cap_evicts_stale_generations() {
+        let cache = PiggybackCache::with_shards(1);
+        let f = ProxyFilter::default();
+        for i in 0..PiggybackCache::SHARD_CAP as u32 {
+            cache.get_or_insert_with(VolumeId(i), &f, 1, || encoding("x", 1));
+        }
+        // Next insert at a newer generation forces the stale sweep.
+        cache.get_or_insert_with(VolumeId(100_000), &f, 2, || encoding("y", 1));
+        assert!(cache.stats().evictions >= PiggybackCache::SHARD_CAP as u64);
+        // The new entry survived.
+        assert_eq!(
+            cache.get_or_insert_with(VolumeId(100_000), &f, 2, || unreachable!()),
+            encoding("y", 1)
+        );
+    }
+
+    #[test]
+    fn concurrent_probes_agree() {
+        let cache = std::sync::Arc::new(PiggybackCache::new());
+        let f = ProxyFilter::default();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = std::sync::Arc::clone(&cache);
+                let f = f.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1_000u32 {
+                        let got = cache.get_or_insert_with(VolumeId(i % 4), &f, 7, || {
+                            encoding("t", u64::from(i % 4))
+                        });
+                        assert!(got.is_some());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8_000);
+        assert!(
+            s.hits >= 8_000 - 4 * 8,
+            "at most one miss per (thread, volume)"
+        );
+    }
+}

@@ -10,8 +10,16 @@ use crate::filter::ProxyFilter;
 use crate::table::ResourceTable;
 use crate::types::{ContentType, ResourceId, SourceId, Timestamp, VolumeId};
 use crate::volume::VolumeProvider;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters describing a server's piggybacking activity.
+///
+/// Conservation invariant (exact once the server is quiescent): every
+/// recorded request resolves to exactly one piggyback outcome, i.e.
+///
+/// ```text
+/// requests == piggybacks_sent + suppressed + no_filter
+/// ```
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ServerStats {
     /// Requests recorded.
@@ -23,6 +31,9 @@ pub struct ServerStats {
     /// Piggyback attempts suppressed by the filter (disabled, RPV, or
     /// nothing surviving the content filters).
     pub suppressed: u64,
+    /// Requests that carried no parseable `Piggy-filter` header, so no
+    /// piggyback was attempted at all.
+    pub no_filter: u64,
 }
 
 impl ServerStats {
@@ -35,6 +46,57 @@ impl ServerStats {
             self.elements_sent as f64 / self.piggybacks_sent as f64
         }
     }
+
+    /// The sum of terminal piggyback outcomes; equals `requests` when the
+    /// server is quiescent (see the conservation invariant above).
+    pub fn outcomes(&self) -> u64 {
+        self.piggybacks_sent + self.suppressed + self.no_filter
+    }
+}
+
+/// Atomic accumulator behind [`ServerStats`]: relaxed adds only, so the
+/// serving path records statistics without `&mut` access or a mutex.
+/// Relaxed ordering suffices because each counter is independent; the
+/// cross-counter conservation invariant is exact once the server is
+/// quiescent, which is when tests read it.
+#[derive(Debug, Default)]
+pub struct AtomicServerStats {
+    pub requests: AtomicU64,
+    pub piggybacks_sent: AtomicU64,
+    pub elements_sent: AtomicU64,
+    pub suppressed: AtomicU64,
+    pub no_filter: AtomicU64,
+}
+
+impl AtomicServerStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Relaxed read of every counter into a plain snapshot.
+    pub fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            piggybacks_sent: self.piggybacks_sent.load(Ordering::Relaxed),
+            elements_sent: self.elements_sent.load(Ordering::Relaxed),
+            suppressed: self.suppressed.load(Ordering::Relaxed),
+            no_filter: self.no_filter.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Account one request that resolved to a piggyback decision: `Some`
+    /// with the element count, or `None` for a suppressed attempt.
+    pub fn count_piggyback_outcome(&self, elements: Option<u64>) {
+        match elements {
+            Some(n) => {
+                self.piggybacks_sent.fetch_add(1, Ordering::Relaxed);
+                self.elements_sent.fetch_add(n, Ordering::Relaxed);
+            }
+            None => {
+                self.suppressed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// A piggybacking origin server: resource metadata plus a volume scheme.
@@ -42,7 +104,7 @@ impl ServerStats {
 pub struct PiggybackServer<V: VolumeProvider> {
     table: ResourceTable,
     volumes: V,
-    stats: ServerStats,
+    stats: AtomicServerStats,
 }
 
 impl<V: VolumeProvider> PiggybackServer<V> {
@@ -50,7 +112,7 @@ impl<V: VolumeProvider> PiggybackServer<V> {
         PiggybackServer {
             table: ResourceTable::new(),
             volumes,
-            stats: ServerStats::default(),
+            stats: AtomicServerStats::new(),
         }
     }
 
@@ -76,7 +138,7 @@ impl<V: VolumeProvider> PiggybackServer<V> {
     /// Record a request for `resource` (updates access counts and volume
     /// recency state).
     pub fn record_access(&mut self, resource: ResourceId, source: SourceId, now: Timestamp) {
-        self.stats.requests += 1;
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
         self.table.count_access(resource);
         self.volumes
             .record_access(resource, source, now, &self.table);
@@ -88,23 +150,26 @@ impl<V: VolumeProvider> PiggybackServer<V> {
     }
 
     /// Build the piggyback for a response to `resource` under `filter`.
+    ///
+    /// Statistics are kept in relaxed atomics, so this needs only `&self`:
+    /// callers that share the server behind a lock can build piggybacks
+    /// from a read guard.
     pub fn piggyback(
-        &mut self,
+        &self,
         resource: ResourceId,
         filter: &ProxyFilter,
         now: Timestamp,
     ) -> Option<PiggybackMessage> {
-        match self.volumes.piggyback(resource, filter, now, &self.table) {
-            Some(msg) => {
-                self.stats.piggybacks_sent += 1;
-                self.stats.elements_sent += msg.len() as u64;
-                Some(msg)
-            }
-            None => {
-                self.stats.suppressed += 1;
-                None
-            }
-        }
+        let msg = self.volumes.piggyback(resource, filter, now, &self.table);
+        self.stats
+            .count_piggyback_outcome(msg.as_ref().map(|m| m.len() as u64));
+        msg
+    }
+
+    /// Account a request that carried no parseable `Piggy-filter` header
+    /// (the third conservation outcome besides sent and suppressed).
+    pub fn count_no_filter(&self) {
+        self.stats.no_filter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record the access *and* build the piggyback, the full per-request
@@ -158,7 +223,7 @@ impl<V: VolumeProvider> PiggybackServer<V> {
     }
 
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        self.stats.snapshot()
     }
 }
 
@@ -216,5 +281,52 @@ mod tests {
         let server: PiggybackServer<DirectoryVolumes> =
             PiggybackServer::new(DirectoryVolumes::new(1));
         assert_eq!(server.stats().avg_piggyback_size(), 0.0);
+    }
+
+    #[test]
+    fn no_filter_counter_closes_conservation() {
+        let mut server = PiggybackServer::new(DirectoryVolumes::new(0));
+        let a = server.register_path("/a", 10, ts(1));
+        let b = server.register_path("/b", 10, ts(1));
+        server.record_access(a, SourceId(1), ts(2));
+        server.record_access(b, SourceId(1), ts(3));
+        // One request resolves to a piggyback, one had no filter header.
+        assert!(server
+            .piggyback(b, &ProxyFilter::default(), ts(3))
+            .is_some());
+        server.count_no_filter();
+        let stats = server.stats();
+        assert_eq!(stats.no_filter, 1);
+        assert_eq!(stats.outcomes(), stats.requests);
+    }
+
+    #[test]
+    fn atomic_stats_conserve_under_threads() {
+        use std::sync::Arc;
+        let s = Arc::new(AtomicServerStats::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        s.requests.fetch_add(1, Ordering::Relaxed);
+                        match (t + i) % 3 {
+                            0 => s.count_piggyback_outcome(Some(4)),
+                            1 => s.count_piggyback_outcome(None),
+                            _ => {
+                                s.no_filter.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 80_000);
+        assert_eq!(snap.outcomes(), snap.requests);
+        assert_eq!(snap.elements_sent, snap.piggybacks_sent * 4);
     }
 }

@@ -1,0 +1,187 @@
+//! Striped per-source access histories for online volume learning.
+//!
+//! Probability volumes are built from `(source, resource, time)` access
+//! pairs inside a window (Section 4 of the paper). On a live origin the
+//! recorder sits on the serving path, so a single mutex around one big
+//! history map would re-serialize exactly what the snapshot layer
+//! de-serialized. Instead the map is striped across N lock shards keyed by
+//! `fasthash(source)` — the same sharding pattern as the proxy cache — so
+//! concurrent requests from different sources record without contention,
+//! and an epoch advance drains all shards into one time-sorted batch for
+//! the [`ProbabilityVolumesBuilder`](crate::volume::ProbabilityVolumesBuilder).
+
+use crate::fasthash::{fx_hash_u64, FxHashMap};
+use crate::types::{DurationMs, ResourceId, SourceId, Timestamp};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One source's bounded access log, newest at the back.
+type SourceHistory = VecDeque<(Timestamp, ResourceId)>;
+
+/// Per-source bounded access logs, striped across lock shards.
+#[derive(Debug)]
+pub struct StripedHistories {
+    shards: Box<[Mutex<FxHashMap<SourceId, SourceHistory>>]>,
+    /// Accesses older than this relative to the newest recorded entry of a
+    /// source are pruned eagerly; only in-window pairs matter to the builder.
+    window: DurationMs,
+    /// Hard per-source cap, bounding memory against pathological sources.
+    per_source_cap: usize,
+}
+
+impl StripedHistories {
+    /// Default shard count; matches the proxy cache's sharding scale.
+    pub const DEFAULT_SHARDS: usize = 16;
+    /// Default bound on retained accesses per source.
+    pub const DEFAULT_PER_SOURCE_CAP: usize = 4096;
+
+    pub fn new(window: DurationMs) -> Self {
+        Self::with_shards(window, Self::DEFAULT_SHARDS, Self::DEFAULT_PER_SOURCE_CAP)
+    }
+
+    pub fn with_shards(window: DurationMs, shards: usize, per_source_cap: usize) -> Self {
+        let n = shards.max(1);
+        StripedHistories {
+            shards: (0..n).map(|_| Mutex::new(FxHashMap::default())).collect(),
+            window,
+            per_source_cap: per_source_cap.max(1),
+        }
+    }
+
+    fn shard(
+        &self,
+        source: SourceId,
+    ) -> &Mutex<FxHashMap<SourceId, VecDeque<(Timestamp, ResourceId)>>> {
+        let idx = fx_hash_u64(source.0 as u64) as usize % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Record one access, pruning entries of this source that have fallen
+    /// out of the window ending at `now`.
+    pub fn record(&self, source: SourceId, resource: ResourceId, now: Timestamp) {
+        let mut guard = self.shard(source).lock().unwrap_or_else(|e| e.into_inner());
+        let history = guard.entry(source).or_default();
+        let cutoff = now.as_millis().saturating_sub(self.window.as_millis());
+        while let Some(&(t, _)) = history.front() {
+            if t.as_millis() < cutoff {
+                history.pop_front();
+            } else {
+                break;
+            }
+        }
+        if history.len() >= self.per_source_cap {
+            history.pop_front();
+        }
+        history.push_back((now, resource));
+    }
+
+    /// Number of retained accesses across all shards (test/metrics aid;
+    /// takes every shard lock in turn).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .values()
+                    .map(VecDeque::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain every shard and return all retained accesses sorted by
+    /// `(time, source, resource)` — the non-decreasing-time order the
+    /// probability builder's `observe` contract requires. Recording may
+    /// continue concurrently; entries recorded during the drain land in
+    /// the next epoch.
+    pub fn drain_sorted(&self) -> Vec<(Timestamp, SourceId, ResourceId)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let mut guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (source, history) in guard.drain() {
+                out.extend(history.into_iter().map(|(t, r)| (t, source, r)));
+            }
+        }
+        out.sort_by_key(|&(t, s, r)| (t.as_millis(), s.0, r.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn drain_is_time_sorted_across_shards() {
+        let h = StripedHistories::with_shards(DurationMs::from_secs(10), 4, 100);
+        h.record(SourceId(3), ResourceId(30), ts(5));
+        h.record(SourceId(1), ResourceId(10), ts(1));
+        h.record(SourceId(2), ResourceId(20), ts(3));
+        h.record(SourceId(1), ResourceId(11), ts(7));
+        assert_eq!(h.len(), 4);
+        let drained = h.drain_sorted();
+        assert_eq!(
+            drained,
+            vec![
+                (ts(1), SourceId(1), ResourceId(10)),
+                (ts(3), SourceId(2), ResourceId(20)),
+                (ts(5), SourceId(3), ResourceId(30)),
+                (ts(7), SourceId(1), ResourceId(11)),
+            ]
+        );
+        assert!(h.is_empty(), "drain must leave shards empty");
+    }
+
+    #[test]
+    fn window_pruning_and_cap() {
+        let h = StripedHistories::with_shards(DurationMs::from_millis(10), 1, 3);
+        let s = SourceId(1);
+        h.record(s, ResourceId(1), ts(0));
+        h.record(s, ResourceId(2), ts(5));
+        h.record(s, ResourceId(3), ts(20)); // prunes ts(0) and ts(5)
+        assert_eq!(h.len(), 1);
+        // Cap: the oldest entry is dropped once the per-source cap is hit.
+        h.record(s, ResourceId(4), ts(21));
+        h.record(s, ResourceId(5), ts(22));
+        h.record(s, ResourceId(6), ts(23));
+        assert_eq!(h.len(), 3);
+        let drained = h.drain_sorted();
+        assert_eq!(drained[0].2, ResourceId(4));
+    }
+
+    #[test]
+    fn concurrent_recording_conserves_entries() {
+        use std::sync::Arc;
+        let h = Arc::new(StripedHistories::with_shards(
+            DurationMs::from_secs(60),
+            8,
+            100_000,
+        ));
+        let handles: Vec<_> = (0..8u32)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u32 {
+                        h.record(SourceId(t), ResourceId(i), ts(i as u64));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.len(), 8_000);
+        let drained = h.drain_sorted();
+        assert_eq!(drained.len(), 8_000);
+        assert!(drained.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

@@ -66,23 +66,29 @@ impl std::error::Error for WireError {}
 /// resource ids to paths via `table`.
 pub fn encode_p_volume(msg: &PiggybackMessage, table: &ResourceTable) -> Result<String, WireError> {
     let mut out = String::with_capacity(16 + msg.elements.len() * 64);
-    out.push_str(&msg.volume.0.to_string());
-    out.push(';');
+    encode_p_volume_into(msg, table, &mut out)?;
+    Ok(out)
+}
+
+/// Encode into a caller-provided buffer (appended, not cleared), so hot
+/// paths can reuse one allocation across requests. On error the buffer may
+/// hold a partial encoding; callers should truncate back to their mark.
+pub fn encode_p_volume_into(
+    msg: &PiggybackMessage,
+    table: &ResourceTable,
+    out: &mut String,
+) -> Result<(), WireError> {
+    use std::fmt::Write;
+    write!(out, "{};", msg.volume.0).expect("string write is infallible");
     for (i, e) in msg.elements.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         let path = table.path(e.resource).ok_or(WireError::UnknownResource)?;
-        out.push(' ');
-        out.push('"');
-        out.push_str(path);
-        out.push('"');
-        out.push(' ');
-        out.push_str(&e.last_modified.as_secs().to_string());
-        out.push(' ');
-        out.push_str(&e.size.to_string());
+        write!(out, " \"{path}\" {} {}", e.last_modified.as_secs(), e.size)
+            .expect("string write is infallible");
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Decode a `P-volume` header value.

@@ -3,14 +3,21 @@
 //! ```text
 //! pb-origin [--port 8080] [--pages 60] [--level 1] [--seed 42]
 //!           [--volumes-file volumes.txt] [--print-paths] [--no-metrics]
+//!           [--legacy-origin] [--no-piggyback-cache] [--epoch-secs N]
 //! ```
 //!
 //! `--volumes-file` loads persisted probability volumes (see the
 //! `online_volumes` example) instead of maintaining directory volumes.
 //! Unless `--no-metrics` is given, `GET /__pb/metrics` serves Prometheus
-//! counters and response-timing histograms.
+//! counters and response-timing histograms. `--legacy-origin` serves
+//! through the original single-mutex path (A/B baseline, mirroring
+//! `pb-proxy --legacy`); the default is the lock-free snapshot path.
+//! `--no-piggyback-cache` disables the `P-volume` encode cache, and
+//! `--epoch-secs N` enables online probability-volume learning (requires
+//! `--volumes-file`).
 
-use piggyback_proxyd::origin::{start_origin, OriginConfig, VolumeScheme};
+use piggyback_core::types::DurationMs;
+use piggyback_proxyd::origin::{start_origin, OnlineEpochConfig, OriginConfig, VolumeScheme};
 use piggyback_trace::synth::site::SiteConfig;
 
 fn main() {
@@ -44,10 +51,25 @@ fn main() {
             "--print-paths" => print_paths = true,
             "--metrics" => cfg.metrics = true,
             "--no-metrics" => cfg.metrics = false,
+            "--legacy-origin" => cfg.legacy = true,
+            "--no-piggyback-cache" => cfg.piggyback_cache = false,
+            "--epoch-secs" => {
+                let secs: u64 = value("--epoch-secs")
+                    .parse()
+                    .expect("numeric epoch seconds");
+                cfg.online_epoch = Some(OnlineEpochConfig {
+                    epoch: DurationMs::from_secs(secs),
+                    // Keep the co-access window well inside the epoch so
+                    // drained histories lose at most a window's tail.
+                    window: DurationMs::from_secs((secs / 4).max(1)),
+                    threshold: 0.25,
+                });
+            }
             "--help" | "-h" => {
                 println!(
                     "pb-origin [--port 8080] [--pages 60] [--level 1] [--seed 42] \
-                     [--print-paths] [--no-metrics]"
+                     [--print-paths] [--no-metrics] [--legacy-origin] \
+                     [--no-piggyback-cache] [--epoch-secs N]"
                 );
                 return;
             }

@@ -31,8 +31,8 @@ pub mod volume_center;
 
 pub use client::{run_sequence, ClientReport, ConnectionPool, HttpClient, PoolStats, PooledConn};
 pub use obs::{DaemonObs, HistogramSnapshot, LatencyHistogram, ProxyObs};
-pub use origin::{start_origin, OriginConfig, OriginHandle};
+pub use origin::{start_origin, OnlineEpochConfig, OriginConfig, OriginHandle, VolumeScheme};
 pub use proxy::{start_proxy, ConcurrencyMode, ProxyConfig, ProxyHandle, ProxyStats, METRICS_PATH};
 pub use stats::{AtomicDaemonStats, AtomicProxyStats, DaemonStats};
-pub use util::{serve_with, synth_body, Clock, ServeOptions, ServerHandle};
+pub use util::{peer_source, serve_with, synth_body, Clock, ServeOptions, ServerHandle};
 pub use volume_center::{start_volume_center, VolumeCenterConfig, VolumeCenterHandle};

@@ -9,25 +9,61 @@
 //!
 //! The magic prefix `/_pb/modify` bumps a resource's Last-Modified time,
 //! letting examples and tests exercise invalidation end-to-end.
+//!
+//! ## Concurrency
+//!
+//! The default serving path takes **no global lock** (PROTOCOL.md §9).
+//! Origin state is split by write frequency:
+//!
+//! * the resource table and volume mapping live in an immutable
+//!   [`OriginSnapshot`] behind a [`SnapshotCell`], rebuilt and swapped
+//!   wholesale only on `/_pb/modify` and probability-volume epoch
+//!   advances, each bumping a generation counter;
+//! * per-resource access counts/recency are relaxed atomics
+//!   ([`AccessState`]), as are the piggyback statistics
+//!   ([`AtomicServerStats`]) and transport counters;
+//! * per-source access histories for online probability-volume learning
+//!   are striped across lock shards ([`StripedHistories`]) keyed by
+//!   `fasthash(source)`;
+//! * serialized `P-volume` trailers for probability volumes are memoized
+//!   in a [`PiggybackCache`] keyed by `(volume, filter signature,
+//!   generation)`, so a proxy fleet sending identical filters reuses one
+//!   encoding per snapshot.
+//!
+//! The original single-`Mutex<PiggybackServer>` path is retained as
+//! `--legacy-origin` (mirroring `pb-proxy --legacy`) for A/B comparison;
+//! both paths produce byte-identical piggybacks for the same access
+//! history.
 
 use crate::obs::{render_histogram, render_scalar, DaemonObs};
 use crate::proxy::METRICS_PATH;
 use crate::stats::{AtomicDaemonStats, DaemonStats};
-use crate::util::{serve, synth_body, Clock, ServerHandle};
+use crate::util::{peer_source, serve, synth_body, Clock, ServerHandle};
 use parking_lot::Mutex;
 use piggyback_core::datetime::{
     format_rfc1123, parse_rfc1123, timestamp_from_unix, unix_from_timestamp,
     DEFAULT_TRACE_EPOCH_UNIX,
 };
 use piggyback_core::filter::{ProxyFilter, PIGGY_FILTER_HEADER};
-use piggyback_core::server::{PiggybackServer, ServerStats};
-use piggyback_core::types::{SourceId, Timestamp};
-use piggyback_core::volume::DirectoryVolumes;
+use piggyback_core::piggy_cache::{CacheStats, CachedEncoding, PiggybackCache};
+use piggyback_core::report::{parse_report, ReportEntry, PIGGY_REPORT_HEADER};
+use piggyback_core::server::{AtomicServerStats, PiggybackServer, ServerStats};
+use piggyback_core::snapshot::{
+    AccessState, FrozenVolumes, OriginSnapshot, SnapshotCell, StaticDirectoryVolumes,
+};
+use piggyback_core::striped::StripedHistories;
+use piggyback_core::table::ResourceTable;
+use piggyback_core::types::{DurationMs, ResourceId, SourceId, Timestamp};
+use piggyback_core::volume::{
+    DirectoryVolumes, ProbabilityVolumes, ProbabilityVolumesBuilder, SamplingMode,
+};
 use piggyback_core::wire::{encode_p_volume, P_VOLUME_HEADER};
 use piggyback_httpwire::{Request, Response};
 use piggyback_trace::synth::site::{Site, SiteConfig};
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 /// Which volume scheme the origin serves with.
@@ -39,6 +75,21 @@ pub enum VolumeScheme {
     /// [`write_volumes`](piggyback_core::volume::write_volumes) — a server
     /// restarting with yesterday's offline build.
     ProbabilityFile(std::path::PathBuf),
+}
+
+/// Periodic in-process probability-volume learning (probability schemes
+/// only): every `epoch`, the striped access histories are drained into a
+/// [`ProbabilityVolumesBuilder`] and the learned implications are merged
+/// (by max probability) into the serving snapshot, bumping its generation.
+#[derive(Debug, Clone)]
+pub struct OnlineEpochConfig {
+    /// How often to rebuild and swap the volume snapshot.
+    pub epoch: DurationMs,
+    /// Pairwise co-access window `T` fed to the builder (keep well below
+    /// `epoch`: pairs still open when the histories are drained are lost).
+    pub window: DurationMs,
+    /// Membership threshold `p_t` in `(0, 1]`.
+    pub threshold: f64,
 }
 
 /// Origin configuration.
@@ -54,6 +105,16 @@ pub struct OriginConfig {
     /// Serve the Prometheus admin endpoint `GET /__pb/metrics`
     /// (`pb-origin --no-metrics` disables it; disabled scrapes get a 404).
     pub metrics: bool,
+    /// Serve through the original single-mutex path (`--legacy-origin`)
+    /// instead of the lock-free snapshot path, for A/B comparison.
+    pub legacy: bool,
+    /// Memoize serialized probability-volume piggybacks per
+    /// `(volume, filter, generation)` (`--no-piggyback-cache` disables;
+    /// ignored in legacy mode).
+    pub piggyback_cache: bool,
+    /// Learn probability volumes online from live traffic (requires a
+    /// probability `volumes` scheme; ignored in legacy mode).
+    pub online_epoch: Option<OnlineEpochConfig>,
 }
 
 impl Default for OriginConfig {
@@ -67,21 +128,58 @@ impl Default for OriginConfig {
             volume_level: 1,
             volumes: VolumeScheme::Directory { level: 1 },
             metrics: true,
+            legacy: false,
+            piggyback_cache: true,
+            online_epoch: None,
         }
     }
 }
 
 type DynVolumes = Box<dyn piggyback_core::volume::VolumeProvider + Send>;
 
-struct OriginState {
+/// The original single-lock serving state, kept for `--legacy-origin`.
+struct LegacyState {
     server: PiggybackServer<DynVolumes>,
+    /// Table-mutation counter, mirroring the snapshot path's generation
+    /// so `/_pb/stats` reports the same field in both modes.
+    generation: u64,
+}
+
+/// Lock-free-on-the-serving-path origin state (see module docs).
+struct ConcurrentOrigin {
+    snapshot: SnapshotCell<OriginSnapshot>,
+    /// Serializes rebuild-and-swap (modify, epoch advance). Never taken
+    /// on the 200/304 serving path.
+    swap: Mutex<()>,
+    access: AccessState,
+    stats: AtomicServerStats,
+    cache: Option<PiggybackCache>,
+    epoch: Option<EpochState>,
+}
+
+struct EpochState {
+    cfg: OnlineEpochConfig,
+    histories: StripedHistories,
+    /// Next rebuild time in clock millis; the request that CASes it
+    /// forward performs the rebuild inline.
+    deadline_ms: AtomicU64,
+    rebuilds: AtomicU64,
+}
+
+enum OriginCore {
+    Legacy(Mutex<LegacyState>),
+    Concurrent(ConcurrentOrigin),
+}
+
+struct OriginShared {
+    core: OriginCore,
     clock: Clock,
 }
 
 /// A running origin.
 pub struct OriginHandle {
     handle: ServerHandle,
-    state: Arc<Mutex<OriginState>>,
+    shared: Arc<OriginShared>,
     daemon: Arc<AtomicDaemonStats>,
     obs: Arc<DaemonObs>,
     /// Paths the synthetic site serves (useful for driving workloads).
@@ -94,7 +192,10 @@ impl OriginHandle {
     }
 
     pub fn stats(&self) -> ServerStats {
-        self.state.lock().server.stats()
+        match &self.shared.core {
+            OriginCore::Legacy(state) => state.lock().server.stats(),
+            OriginCore::Concurrent(c) => c.stats.snapshot(),
+        }
     }
 
     /// Lock-free transport counters: every parsed request (any method,
@@ -112,12 +213,45 @@ impl OriginHandle {
     /// The server-side access count for `path` (includes counts absorbed
     /// from `Piggy-report` headers).
     pub fn access_count(&self, path: &str) -> u64 {
-        let st = self.state.lock();
-        st.server
-            .table()
-            .lookup(path)
-            .and_then(|r| st.server.table().meta(r))
-            .map_or(0, |m| m.access_count)
+        match &self.shared.core {
+            OriginCore::Legacy(state) => {
+                let st = state.lock();
+                st.server
+                    .table()
+                    .lookup(path)
+                    .and_then(|r| st.server.table().meta(r))
+                    .map_or(0, |m| m.access_count)
+            }
+            OriginCore::Concurrent(c) => {
+                let snap = c.snapshot.load();
+                snap.table.lookup(path).map_or(0, |r| c.access.count(r))
+            }
+        }
+    }
+
+    /// The serving snapshot's generation (bumped by `/_pb/modify` and
+    /// epoch advances; legacy mode counts its table mutations the same).
+    pub fn generation(&self) -> u64 {
+        match &self.shared.core {
+            OriginCore::Legacy(state) => state.lock().generation,
+            OriginCore::Concurrent(c) => c.snapshot.load().generation,
+        }
+    }
+
+    /// Piggyback encode-cache counters, when the cache is active.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        match &self.shared.core {
+            OriginCore::Concurrent(c) => c.cache.as_ref().map(PiggybackCache::stats),
+            OriginCore::Legacy(_) => None,
+        }
+    }
+
+    /// Completed online-epoch rebuilds (0 unless epoch learning is on).
+    pub fn epoch_rebuilds(&self) -> u64 {
+        match &self.shared.core {
+            OriginCore::Concurrent(c) => c.epoch.as_ref().map_or(0, |e| e.rebuilds.load(Relaxed)),
+            OriginCore::Legacy(_) => 0,
+        }
     }
 
     pub fn stop(self) {
@@ -125,95 +259,147 @@ impl OriginHandle {
     }
 }
 
+/// Load persisted probability volumes and re-key their implication ids
+/// onto the site's id space by path (ids for paths the site does not
+/// serve are registered past the site table and simply never resolve at
+/// serving time).
+fn load_probability_volumes(
+    path: &std::path::Path,
+    site_table: &ResourceTable,
+) -> io::Result<ProbabilityVolumes> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut scratch = ResourceTable::new();
+    let vols = piggyback_core::volume::read_volumes(&mut reader, &mut scratch)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut table_all = site_table.clone();
+    let mut remapped: HashMap<ResourceId, Vec<(ResourceId, f32)>> = Default::default();
+    for (r, s, p) in vols.iter() {
+        let (Some(pr), Some(ps)) = (scratch.path(r), scratch.path(s)) else {
+            continue;
+        };
+        let rid = table_all.register_path(pr, 0, Timestamp::ZERO);
+        let sid = table_all.register_path(ps, 0, Timestamp::ZERO);
+        remapped.entry(rid).or_default().push((sid, p));
+    }
+    Ok(ProbabilityVolumes::from_implications(
+        vols.threshold(),
+        remapped,
+    ))
+}
+
 /// Start an origin serving a freshly generated site.
 pub fn start_origin(cfg: OriginConfig) -> io::Result<OriginHandle> {
-    let (table, site) = Site::generate(&cfg.site);
-    let volumes: DynVolumes = match &cfg.volumes {
-        VolumeScheme::Directory { level } => Box::new(DirectoryVolumes::new(*level)),
-        VolumeScheme::ProbabilityFile(path) => {
-            let file = std::fs::File::open(path)?;
-            let mut reader = BufReader::new(file);
-            // Volumes are loaded against a throwaway table; the paths are
-            // re-resolved when the server registers its resources below,
-            // so load into the *server's* table via a second pass.
-            let mut scratch = piggyback_core::table::ResourceTable::new();
-            let vols = piggyback_core::volume::read_volumes(&mut reader, &mut scratch)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-            // Re-key implication ids from the scratch table onto the
-            // site's table by path.
-            let mut table_all = table.clone();
-            let mut remapped: std::collections::HashMap<
-                piggyback_core::types::ResourceId,
-                Vec<(piggyback_core::types::ResourceId, f32)>,
-            > = Default::default();
-            for (r, s2, p) in vols.iter() {
-                let (Some(pr), Some(ps)) = (scratch.path(r), scratch.path(s2)) else {
-                    continue;
-                };
-                let rid = table_all.register_path(pr, 0, Timestamp::ZERO);
-                let sid = table_all.register_path(ps, 0, Timestamp::ZERO);
-                remapped.entry(rid).or_default().push((sid, p));
+    let (table, _site) = Site::generate(&cfg.site);
+    let paths: Vec<String> = table.iter().map(|(_, p, _)| p.to_owned()).collect();
+
+    let core = if cfg.legacy {
+        let volumes: DynVolumes = match &cfg.volumes {
+            VolumeScheme::Directory { level } => Box::new(DirectoryVolumes::new(*level)),
+            VolumeScheme::ProbabilityFile(path) => {
+                Box::new(load_probability_volumes(path, &table)?)
             }
-            Box::new(
-                piggyback_core::volume::ProbabilityVolumes::from_implications(
-                    vols.threshold(),
-                    remapped,
-                ),
-            )
+        };
+        let mut server = PiggybackServer::new(volumes);
+        for (_, path, meta) in table.iter() {
+            server.register(path, meta.size, Timestamp::ZERO, meta.content_type);
         }
+        OriginCore::Legacy(Mutex::new(LegacyState {
+            server,
+            generation: 0,
+        }))
+    } else {
+        // Snapshot path: register the same resources (same ids, same
+        // registration-time metadata) into an immutable table.
+        let mut reg = ResourceTable::new();
+        for (_, path, meta) in table.iter() {
+            reg.register(path, meta.size, Timestamp::ZERO, meta.content_type);
+        }
+        let reg = Arc::new(reg);
+        let volumes = match &cfg.volumes {
+            VolumeScheme::Directory { level } => {
+                FrozenVolumes::Directory(Arc::new(StaticDirectoryVolumes::build(&reg, *level)))
+            }
+            VolumeScheme::ProbabilityFile(path) => {
+                FrozenVolumes::Probability(Arc::new(load_probability_volumes(path, &table)?))
+            }
+        };
+        let epoch = match (&cfg.online_epoch, &volumes) {
+            (None, _) => None,
+            (Some(ep), FrozenVolumes::Probability(_)) => {
+                if !(ep.threshold > 0.0 && ep.threshold <= 1.0) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "online epoch threshold must be in (0, 1]",
+                    ));
+                }
+                Some(EpochState {
+                    // Retain a full epoch of history per source: the drain
+                    // happens once per epoch, and the builder applies its
+                    // own co-access window `T` within the drained batch.
+                    histories: StripedHistories::new(ep.epoch),
+                    deadline_ms: AtomicU64::new(ep.cfg_initial_deadline()),
+                    rebuilds: AtomicU64::new(0),
+                    cfg: ep.clone(),
+                })
+            }
+            (Some(_), FrozenVolumes::Directory(_)) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "online epoch learning requires probability volumes",
+                ));
+            }
+        };
+        let cacheable = cfg.piggyback_cache && matches!(volumes, FrozenVolumes::Probability(_));
+        let access = AccessState::new(reg.len());
+        OriginCore::Concurrent(ConcurrentOrigin {
+            snapshot: SnapshotCell::new(Arc::new(OriginSnapshot::new(0, reg, volumes))),
+            swap: Mutex::new(()),
+            access,
+            stats: AtomicServerStats::new(),
+            cache: cacheable.then(PiggybackCache::new),
+            epoch,
+        })
     };
-    let mut server = PiggybackServer::new(volumes);
-    let mut paths = Vec::new();
-    for (_, path, meta) in table.iter() {
-        server.register(path, meta.size, Timestamp::ZERO, meta.content_type);
-        paths.push(path.to_owned());
-    }
-    let _ = site;
-    let state = Arc::new(Mutex::new(OriginState {
-        server,
+
+    let shared = Arc::new(OriginShared {
+        core,
         clock: Clock::new(),
-    }));
+    });
     let daemon = Arc::new(AtomicDaemonStats::new());
     let obs = Arc::new(DaemonObs::default());
-    let state2 = Arc::clone(&state);
+    let shared2 = Arc::clone(&shared);
     let daemon2 = Arc::clone(&daemon);
     let obs2 = Arc::clone(&obs);
     let metrics = cfg.metrics;
     let handle = serve(cfg.port, "origin", move |stream| {
-        let _ = handle_connection(stream, &state2, &daemon2, &obs2, metrics);
+        let _ = handle_connection(stream, &shared2, &daemon2, &obs2, metrics);
     })?;
     Ok(OriginHandle {
         handle,
-        state,
+        shared,
         daemon,
         obs,
         paths,
     })
 }
 
-fn source_of(stream: &TcpStream) -> SourceId {
-    match stream.peer_addr() {
-        Ok(addr) => match addr.ip() {
-            std::net::IpAddr::V4(v4) => SourceId(u32::from(v4)),
-            std::net::IpAddr::V6(v6) => {
-                let o = v6.octets();
-                SourceId(u32::from_be_bytes([o[12], o[13], o[14], o[15]]))
-            }
-        },
-        Err(_) => SourceId(0),
+impl OnlineEpochConfig {
+    /// First deadline: one epoch after the (fresh) clock's zero.
+    fn cfg_initial_deadline(&self) -> u64 {
+        self.epoch.as_millis()
     }
 }
 
 fn handle_connection(
     stream: TcpStream,
-    state: &Arc<Mutex<OriginState>>,
+    shared: &Arc<OriginShared>,
     daemon: &AtomicDaemonStats,
     obs: &DaemonObs,
     metrics: bool,
 ) -> io::Result<()> {
-    use std::sync::atomic::Ordering::Relaxed;
     daemon.connections.fetch_add(1, Relaxed);
-    let source = source_of(&stream);
+    let source = peer_source(&stream);
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     loop {
@@ -224,10 +410,14 @@ fn handle_connection(
         let keep = req.keep_alive();
         // Admin scrape, intercepted before the request/response counters so
         // scrapes never appear in the ledger they report on. Served from
-        // atomics alone — the state mutex is not taken.
+        // atomics alone — no serving state is locked.
         if strip_origin_form(&req.target) == METRICS_PATH {
             let resp = if metrics {
-                origin_metrics_response(daemon, obs)
+                let extras = match &shared.core {
+                    OriginCore::Concurrent(c) => Some(c),
+                    OriginCore::Legacy(_) => None,
+                };
+                origin_metrics_response(daemon, obs, extras)
             } else {
                 Response::new(404)
             };
@@ -239,7 +429,7 @@ fn handle_connection(
         }
         daemon.requests.fetch_add(1, Relaxed);
         let start = std::time::Instant::now();
-        let resp = handle_request(&req, source, state, obs);
+        let resp = handle_request(&req, source, shared, obs);
         daemon.count_response(resp.status, resp.body.len());
         obs.class_for(resp.status).record(start.elapsed());
         resp.write(&mut writer)?;
@@ -250,8 +440,13 @@ fn handle_connection(
 }
 
 /// Render the origin's Prometheus exposition from lock-free counters and
-/// histograms only.
-fn origin_metrics_response(daemon: &AtomicDaemonStats, obs: &DaemonObs) -> Response {
+/// histograms only. The snapshot path additionally exposes the piggyback
+/// ledger, cache counters, and generation gauge (all atomics).
+fn origin_metrics_response(
+    daemon: &AtomicDaemonStats,
+    obs: &DaemonObs,
+    extras: Option<&ConcurrentOrigin>,
+) -> Response {
     let stats = daemon.snapshot();
     let mut out = String::with_capacity(4 * 1024);
     render_scalar(
@@ -288,6 +483,71 @@ fn origin_metrics_response(daemon: &AtomicDaemonStats, obs: &DaemonObs) -> Respo
         "counter",
         stats.bytes_sent,
     );
+    if let Some(c) = extras {
+        let pb = c.stats.snapshot();
+        render_scalar(
+            &mut out,
+            "pb_origin_pb_requests_total",
+            "",
+            "counter",
+            pb.requests,
+        );
+        for (label, value) in [
+            ("sent", pb.piggybacks_sent),
+            ("suppressed", pb.suppressed),
+            ("no_filter", pb.no_filter),
+        ] {
+            render_scalar(
+                &mut out,
+                "pb_origin_piggyback_outcomes_total",
+                &format!("outcome=\"{label}\""),
+                "counter",
+                value,
+            );
+        }
+        render_scalar(
+            &mut out,
+            "pb_origin_piggyback_elements_total",
+            "",
+            "counter",
+            pb.elements_sent,
+        );
+        if let Some(cache) = &c.cache {
+            let cs = cache.stats();
+            for (label, value) in [("hit", cs.hits), ("miss", cs.misses)] {
+                render_scalar(
+                    &mut out,
+                    "pb_origin_piggyback_cache_probes_total",
+                    &format!("result=\"{label}\""),
+                    "counter",
+                    value,
+                );
+            }
+            render_scalar(
+                &mut out,
+                "pb_origin_piggyback_cache_evictions_total",
+                "",
+                "counter",
+                cs.evictions,
+            );
+        }
+        render_scalar(
+            &mut out,
+            "pb_origin_table_generation",
+            "",
+            "gauge",
+            c.snapshot.load().generation,
+        );
+        if let Some(ep) = &c.epoch {
+            render_scalar(
+                &mut out,
+                "pb_origin_epoch_rebuilds_total",
+                "",
+                "counter",
+                ep.rebuilds.load(Relaxed),
+            );
+        }
+    }
     for (class, hist) in obs.classes() {
         render_histogram(
             &mut out,
@@ -311,42 +571,72 @@ fn origin_metrics_response(daemon: &AtomicDaemonStats, obs: &DaemonObs) -> Respo
     resp
 }
 
+/// The `/_pb/stats` plain-text body, shared by both serving modes.
+fn stats_response(stats: &ServerStats, resources: usize, generation: u64) -> Response {
+    let mut resp = Response::new(200);
+    resp.headers.insert("Content-Type", "text/plain");
+    resp.body = format!(
+        "requests {}\npiggybacks_sent {}\nelements_sent {}\nsuppressed {}\nno_filter {}\navg_piggyback_size {:.3}\nresources {}\ngeneration {}\n",
+        stats.requests,
+        stats.piggybacks_sent,
+        stats.elements_sent,
+        stats.suppressed,
+        stats.no_filter,
+        stats.avg_piggyback_size(),
+        resources,
+        generation,
+    )
+    .into_bytes();
+    resp
+}
+
+/// HTTP dates have one-second granularity, so a modification bump must
+/// land on a *later second* than both the old value and any copy a client
+/// validated against.
+fn bumped_last_modified(prev: Timestamp, now: Timestamp) -> Timestamp {
+    Timestamp::from_secs(now.as_secs().max(prev.as_secs()) + 1)
+}
+
 fn handle_request(
     req: &Request,
     source: SourceId,
-    state: &Arc<Mutex<OriginState>>,
+    shared: &OriginShared,
     obs: &DaemonObs,
 ) -> Response {
     if req.method != "GET" && req.method != "HEAD" {
-        return Response::new(400);
+        let mut resp = Response::new(405);
+        resp.headers.insert("Allow", "GET, HEAD");
+        return resp;
     }
     let path = strip_origin_form(&req.target);
+    match &shared.core {
+        OriginCore::Legacy(state) => {
+            handle_request_legacy(req, path, source, state, &shared.clock, obs)
+        }
+        OriginCore::Concurrent(c) => {
+            handle_request_concurrent(req, path, source, c, &shared.clock, obs)
+        }
+    }
+}
 
+fn handle_request_legacy(
+    req: &Request,
+    path: &str,
+    source: SourceId,
+    state: &Mutex<LegacyState>,
+    clock: &Clock,
+    obs: &DaemonObs,
+) -> Response {
     // Statistics endpoint (plain text, for operators and tests).
     if path == "/_pb/stats" {
         let st = state.lock();
-        let stats = st.server.stats();
-        let mut resp = Response::new(200);
-        resp.headers.insert("Content-Type", "text/plain");
-        resp.body = format!(
-            "requests {}\npiggybacks_sent {}\nelements_sent {}\nsuppressed {}\navg_piggyback_size {:.3}\nresources {}\n",
-            stats.requests,
-            stats.piggybacks_sent,
-            stats.elements_sent,
-            stats.suppressed,
-            stats.avg_piggyback_size(),
-            st.server.table().len(),
-        )
-        .into_bytes();
-        return resp;
+        return stats_response(&st.server.stats(), st.server.table().len(), st.generation);
     }
 
-    // Modification control endpoint. HTTP dates have one-second
-    // granularity, so the new Last-Modified must land on a *later second*
-    // than both the old value and any copy a client validated against.
+    // Modification control endpoint.
     if let Some(target) = path.strip_prefix("/_pb/modify") {
         let mut st = state.lock();
-        let now = st.clock.now();
+        let now = clock.now();
         return match st.server.table().lookup(target) {
             Some(r) => {
                 let prev = st
@@ -355,8 +645,9 @@ fn handle_request(
                     .meta(r)
                     .map(|m| m.last_modified)
                     .unwrap_or(Timestamp::ZERO);
-                let bumped = Timestamp::from_secs(now.as_secs().max(prev.as_secs()) + 1);
+                let bumped = bumped_last_modified(prev, now);
                 st.server.touch_modified(r, bumped);
+                st.generation += 1;
                 Response::new(204)
             }
             None => Response::new(404),
@@ -364,16 +655,18 @@ fn handle_request(
     }
 
     let mut st = state.lock();
-    let now = st.clock.now();
+    let now = clock.now();
 
     // Section 5 extension: absorb the proxy's report of cache-served
     // accesses before handling the request proper.
-    if let Some(v) = req.headers.get(piggyback_core::report::PIGGY_REPORT_HEADER) {
-        if let Ok(entries) = piggyback_core::report::parse_report(v) {
+    if let Some(v) = req.headers.get(PIGGY_REPORT_HEADER) {
+        if let Ok(entries) = parse_report(v) {
             st.server.absorb_report(&entries, source, now);
         }
     }
 
+    // Lookup miss short-circuits before any filter parsing or piggyback
+    // work: a 404 never carries `P-volume` and never touches the ledger.
     let Some(resource) = st.server.table().lookup(path) else {
         let mut resp = Response::new(404);
         resp.body = b"not found\n".to_vec();
@@ -381,30 +674,96 @@ fn handle_request(
     };
     st.server.record_access(resource, source, now);
     let meta = *st.server.table().meta(resource).expect("registered");
-    let lm_unix = unix_from_timestamp(meta.last_modified, DEFAULT_TRACE_EPOCH_UNIX);
 
-    // Conditional request?
+    let piggyback = match req.headers.get(PIGGY_FILTER_HEADER).map(ProxyFilter::parse) {
+        Some(Ok(filter)) => st
+            .server
+            .piggyback(resource, &filter, now)
+            .and_then(|msg| encode_p_volume(&msg, st.server.table()).ok()),
+        _ => {
+            st.server.count_no_filter();
+            None
+        }
+    };
+    drop(st);
+    respond(req, path, meta, piggyback.as_deref(), obs)
+}
+
+fn handle_request_concurrent(
+    req: &Request,
+    path: &str,
+    source: SourceId,
+    c: &ConcurrentOrigin,
+    clock: &Clock,
+    obs: &DaemonObs,
+) -> Response {
+    if path == "/_pb/stats" {
+        let snap = c.snapshot.load();
+        return stats_response(&c.stats.snapshot(), snap.table.len(), snap.generation);
+    }
+    if let Some(target) = path.strip_prefix("/_pb/modify") {
+        return c.modify(target, clock.now());
+    }
+
+    let now = clock.now();
+    let snap = c.snapshot.load();
+
+    if let Some(v) = req.headers.get(PIGGY_REPORT_HEADER) {
+        if let Ok(entries) = parse_report(v) {
+            c.absorb_report(&snap, &entries, source, now);
+        }
+    }
+
+    // Lookup miss short-circuits before any filter parsing or piggyback
+    // work: a 404 never carries `P-volume` and never touches the ledger.
+    let Some(resource) = snap.table.lookup(path) else {
+        let mut resp = Response::new(404);
+        resp.body = b"not found\n".to_vec();
+        return resp;
+    };
+    c.stats.requests.fetch_add(1, Relaxed);
+    c.access.record(resource, now);
+    if let Some(ep) = &c.epoch {
+        ep.histories.record(source, resource, now);
+        c.maybe_advance_epoch(now);
+    }
+    let meta = *snap.table.meta(resource).expect("in snapshot");
+
+    let piggyback: Option<Arc<str>> =
+        match req.headers.get(PIGGY_FILTER_HEADER).map(ProxyFilter::parse) {
+            Some(Ok(filter)) => c.encode_piggyback(&snap, resource, &filter),
+            _ => {
+                c.stats.no_filter.fetch_add(1, Relaxed);
+                None
+            }
+        };
+    respond(req, path, meta, piggyback.as_deref(), obs)
+}
+
+/// Build the HTTP response for a resolved resource: conditional handling,
+/// body synthesis, and piggyback placement (trailer, or header fallback).
+/// Mode-independent, so legacy and snapshot responses are byte-identical.
+fn respond(
+    req: &Request,
+    path: &str,
+    meta: piggyback_core::types::ResourceMeta,
+    piggyback: Option<&str>,
+    obs: &DaemonObs,
+) -> Response {
+    let lm_unix = unix_from_timestamp(meta.last_modified, DEFAULT_TRACE_EPOCH_UNIX);
     let not_modified = req
         .headers
         .get("If-Modified-Since")
         .and_then(parse_rfc1123)
         .map(|ims| meta.last_modified <= timestamp_from_unix(ims, DEFAULT_TRACE_EPOCH_UNIX))
         .unwrap_or(false);
-
-    // Piggyback, if the proxy asked for one.
-    let wants_chunked = req.headers.list_contains("TE", "chunked");
-    let piggyback = req
-        .headers
-        .get(PIGGY_FILTER_HEADER)
-        .and_then(|v| ProxyFilter::parse(v).ok())
-        .and_then(|filter| st.server.piggyback(resource, &filter, now))
-        .and_then(|msg| encode_p_volume(&msg, st.server.table()).ok());
-    if let Some(pv) = &piggyback {
+    if let Some(pv) = piggyback {
         // The Section 2.3 overhead ledger: P-volume payload bytes this
         // response will carry (trailer or header alike).
         obs.piggyback_bytes.record_value(pv.len() as u64);
     }
 
+    let wants_chunked = req.headers.list_contains("TE", "chunked");
     let mut resp = Response::new(if not_modified { 304 } else { 200 });
     resp.headers
         .insert("Last-Modified", &format_rfc1123(lm_unix));
@@ -413,7 +772,7 @@ fn handle_request(
     if not_modified {
         // No body to delay: piggyback as a plain header.
         if let Some(pv) = piggyback {
-            resp.headers.insert(P_VOLUME_HEADER, &pv);
+            resp.headers.insert(P_VOLUME_HEADER, pv);
         }
         return resp;
     }
@@ -422,15 +781,158 @@ fn handle_request(
     }
     match piggyback {
         Some(pv) if wants_chunked && req.method != "HEAD" => {
-            resp.trailers.insert(P_VOLUME_HEADER, &pv);
+            resp.trailers.insert(P_VOLUME_HEADER, pv);
         }
         Some(pv) => {
             // Peer cannot take trailers: header fallback.
-            resp.headers.insert(P_VOLUME_HEADER, &pv);
+            resp.headers.insert(P_VOLUME_HEADER, pv);
         }
         None => {}
     }
     resp
+}
+
+impl ConcurrentOrigin {
+    /// Build (or reuse) the serialized piggyback for `(resource, filter)`
+    /// against `snap`, accounting the outcome exactly as the legacy path
+    /// does: cache hits bump the same sent/suppressed/element counters as
+    /// fresh computations.
+    fn encode_piggyback(
+        &self,
+        snap: &OriginSnapshot,
+        resource: ResourceId,
+        filter: &ProxyFilter,
+    ) -> Option<Arc<str>> {
+        let encoding = match (&self.cache, snap.cacheable_volume(resource, filter)) {
+            (Some(cache), Some(vol)) => {
+                cache.get_or_insert_with(vol, filter, snap.generation, || {
+                    compute_encoding(snap, resource, filter, &self.access)
+                })
+            }
+            _ => compute_encoding(snap, resource, filter, &self.access),
+        };
+        self.stats
+            .count_piggyback_outcome(encoding.as_ref().map(|&(_, n)| n));
+        encoding.map(|(text, _)| text)
+    }
+
+    fn absorb_report(
+        &self,
+        snap: &OriginSnapshot,
+        entries: &[ReportEntry],
+        source: SourceId,
+        now: Timestamp,
+    ) {
+        for e in entries {
+            let Some(id) = snap.table.lookup(&e.path) else {
+                continue;
+            };
+            self.access.record_many(id, e.hits.min(1_000), now);
+            if let Some(ep) = &self.epoch {
+                ep.histories.record(source, id, now);
+            }
+        }
+    }
+
+    /// `/_pb/modify{path}`: clone the table, bump the Last-Modified, and
+    /// swap in a successor snapshot under the (rare) swap lock.
+    fn modify(&self, target: &str, now: Timestamp) -> Response {
+        let _swap = self.swap.lock();
+        let snap = self.snapshot.load();
+        let Some(r) = snap.table.lookup(target) else {
+            return Response::new(404);
+        };
+        let prev = snap
+            .table
+            .meta(r)
+            .map(|m| m.last_modified)
+            .unwrap_or(Timestamp::ZERO);
+        let mut table = (*snap.table).clone();
+        table.touch_modified(r, bumped_last_modified(prev, now));
+        self.snapshot.store(Arc::new(snap.with_table(table)));
+        Response::new(204)
+    }
+
+    /// Advance the learning epoch if its deadline has passed. The request
+    /// that wins the deadline CAS rebuilds inline; everyone else — and
+    /// this very request — keeps serving from the previous snapshot
+    /// (RCU semantics: readers are never blocked by the swap).
+    fn maybe_advance_epoch(&self, now: Timestamp) {
+        let Some(ep) = &self.epoch else {
+            return;
+        };
+        let deadline = ep.deadline_ms.load(Relaxed);
+        if now.as_millis() < deadline {
+            return;
+        }
+        if ep
+            .deadline_ms
+            .compare_exchange(
+                deadline,
+                now.as_millis() + ep.cfg.epoch.as_millis(),
+                Relaxed,
+                Relaxed,
+            )
+            .is_err()
+        {
+            return; // another request won this epoch
+        }
+        let drained = ep.histories.drain_sorted();
+        if drained.is_empty() {
+            return;
+        }
+        let mut builder =
+            ProbabilityVolumesBuilder::new(ep.cfg.window, ep.cfg.threshold, SamplingMode::Exact);
+        for (t, s, r) in drained {
+            builder.observe(s, r, t);
+        }
+        let learned = builder.build(ep.cfg.threshold);
+        if learned.implication_count() == 0 {
+            return;
+        }
+        let _swap = self.swap.lock();
+        let snap = self.snapshot.load();
+        let FrozenVolumes::Probability(current) = &snap.volumes else {
+            return; // unreachable: epoch state only exists for probability volumes
+        };
+        // Accumulative merge: keep every known implication at its best
+        // probability, fold in this epoch's estimates.
+        let mut merged: HashMap<ResourceId, Vec<(ResourceId, f32)>> = HashMap::new();
+        for (r, s, p) in current.iter() {
+            merged.entry(r).or_default().push((s, p));
+        }
+        for (r, s, p) in learned.iter() {
+            let list = merged.entry(r).or_default();
+            match list.iter_mut().find(|(existing, _)| *existing == s) {
+                Some(entry) => entry.1 = entry.1.max(p),
+                None => list.push((s, p)),
+            }
+        }
+        for list in merged.values_mut() {
+            list.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+        }
+        let vols = ProbabilityVolumes::from_implications(current.threshold(), merged);
+        let next = OriginSnapshot::new(
+            snap.generation + 1,
+            Arc::clone(&snap.table),
+            FrozenVolumes::Probability(Arc::new(vols)),
+        );
+        self.snapshot.store(Arc::new(next));
+        ep.rebuilds.fetch_add(1, Relaxed);
+    }
+}
+
+/// Compute a fresh serialized piggyback: element selection against the
+/// snapshot plus live access state, then `P-volume` encoding.
+fn compute_encoding(
+    snap: &OriginSnapshot,
+    resource: ResourceId,
+    filter: &ProxyFilter,
+    access: &AccessState,
+) -> CachedEncoding {
+    let msg = snap.piggyback(resource, filter, access)?;
+    let text = encode_p_volume(&msg, &snap.table).ok()?;
+    Some((Arc::from(text), msg.len() as u64))
 }
 
 /// Reduce absolute-form targets (`http://host/path`) to origin-form.
@@ -475,18 +977,60 @@ mod tests {
         path: &str,
         extra: &[(&str, &str)],
     ) -> Response {
-        let mut req = Request::new("GET", path);
+        request(reader, writer, "GET", path, extra)
+    }
+
+    fn request(
+        reader: &mut StdBufReader<TcpStream>,
+        writer: &mut BufWriter<TcpStream>,
+        method: &str,
+        path: &str,
+        extra: &[(&str, &str)],
+    ) -> Response {
+        let mut req = Request::new(method, path);
         req.headers.insert("Host", "origin.test");
         for (n, v) in extra {
             req.headers.insert(n, v);
         }
         req.write(writer).unwrap();
-        Response::read(reader, false).unwrap()
+        Response::read(reader, method == "HEAD").unwrap()
     }
 
-    #[test]
-    fn serves_site_resources_with_piggyback_trailer() {
-        let origin = start_origin(OriginConfig::default()).unwrap();
+    fn legacy_config() -> OriginConfig {
+        OriginConfig {
+            legacy: true,
+            ..Default::default()
+        }
+    }
+
+    /// Persist a small learned volume set for `site_cfg` and return
+    /// (file path, page-0 path, page-1 path): page 0 implies page 1.
+    fn persisted_volumes(site_cfg: &SiteConfig, tag: &str) -> (std::path::PathBuf, String, String) {
+        use piggyback_core::volume::{write_volumes, ProbabilityVolumesBuilder, SamplingMode};
+        let (table, site) = Site::generate(site_cfg);
+        let a = site.pages[0].resource;
+        let b = site.pages[1].resource;
+        let mut builder =
+            ProbabilityVolumesBuilder::new(DurationMs::from_secs(300), 0.1, SamplingMode::Exact);
+        for i in 0..10u64 {
+            let base = Timestamp::from_secs(i * 10_000);
+            builder.observe(SourceId(1), a, base);
+            builder.observe(SourceId(1), b, base + DurationMs::from_secs(2));
+        }
+        let vols = builder.build(0.5);
+        let path =
+            std::env::temp_dir().join(format!("pb-test-vols-{tag}-{}.txt", std::process::id()));
+        let mut f = std::fs::File::create(&path).unwrap();
+        write_volumes(&vols, &table, &mut f).unwrap();
+        (
+            path,
+            table.path(a).unwrap().to_owned(),
+            table.path(b).unwrap().to_owned(),
+        )
+    }
+
+    fn piggyback_trailer_flow(cfg: OriginConfig) {
+        let origin = start_origin(cfg).unwrap();
         let paths = origin.paths.clone();
         let (mut r, mut w) = connect(&origin);
 
@@ -529,98 +1073,200 @@ mod tests {
             .expect("piggyback trailer expected");
         assert!(pv.contains(same_dir[0].as_str()), "piggyback {pv}");
 
+        // Conservation: both served requests resolved to an outcome.
+        let stats = origin.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.outcomes(), stats.requests);
         origin.stop();
+    }
+
+    #[test]
+    fn serves_site_resources_with_piggyback_trailer() {
+        piggyback_trailer_flow(OriginConfig::default());
+    }
+
+    #[test]
+    fn legacy_origin_serves_identical_flow() {
+        piggyback_trailer_flow(legacy_config());
     }
 
     #[test]
     fn conditional_requests_and_modification() {
-        let origin = start_origin(OriginConfig::default()).unwrap();
-        let path = origin.paths[0].clone();
-        let (mut r, mut w) = connect(&origin);
+        for cfg in [OriginConfig::default(), legacy_config()] {
+            let origin = start_origin(cfg).unwrap();
+            let path = origin.paths[0].clone();
+            let (mut r, mut w) = connect(&origin);
 
-        let resp = get(&mut r, &mut w, &path, &[]);
-        assert_eq!(resp.status, 200);
-        let lm = resp.headers.get("Last-Modified").unwrap().to_owned();
+            let resp = get(&mut r, &mut w, &path, &[]);
+            assert_eq!(resp.status, 200);
+            let lm = resp.headers.get("Last-Modified").unwrap().to_owned();
 
-        // Validate: 304 without body.
-        let resp = get(&mut r, &mut w, &path, &[("If-Modified-Since", &lm)]);
-        assert_eq!(resp.status, 304);
-        assert!(resp.body.is_empty());
+            // Validate: 304 without body.
+            let resp = get(&mut r, &mut w, &path, &[("If-Modified-Since", &lm)]);
+            assert_eq!(resp.status, 304);
+            assert!(resp.body.is_empty());
 
-        // Modify, then the same validation gets a fresh 200.
-        let resp = get(&mut r, &mut w, &format!("/_pb/modify{path}"), &[]);
-        assert_eq!(resp.status, 204);
-        let resp = get(&mut r, &mut w, &path, &[("If-Modified-Since", &lm)]);
-        assert_eq!(resp.status, 200, "modified resource must be re-sent");
+            // Modify, then the same validation gets a fresh 200.
+            assert_eq!(origin.generation(), 0);
+            let resp = get(&mut r, &mut w, &format!("/_pb/modify{path}"), &[]);
+            assert_eq!(resp.status, 204);
+            assert_eq!(origin.generation(), 1, "modify must bump the generation");
+            let resp = get(&mut r, &mut w, &path, &[("If-Modified-Since", &lm)]);
+            assert_eq!(resp.status, 200, "modified resource must be re-sent");
 
-        origin.stop();
+            origin.stop();
+        }
     }
 
     #[test]
     fn origin_serves_persisted_probability_volumes() {
-        use piggyback_core::types::{DurationMs, SourceId};
-        use piggyback_core::volume::{write_volumes, ProbabilityVolumesBuilder, SamplingMode};
-
-        // Offline: learn that the site's first page implies its second,
-        // then persist the volumes.
         let site_cfg = SiteConfig {
             n_pages: 20,
             seed: 77,
             ..Default::default()
         };
-        let (table, site) = Site::generate(&site_cfg);
-        let a = site.pages[0].resource;
-        let b = site.pages[1].resource;
-        let mut builder =
-            ProbabilityVolumesBuilder::new(DurationMs::from_secs(300), 0.1, SamplingMode::Exact);
-        for i in 0..10u64 {
-            let base = Timestamp::from_secs(i * 10_000);
-            builder.observe(SourceId(1), a, base);
-            builder.observe(SourceId(1), b, base + DurationMs::from_secs(2));
+        let (path, a_path, b_path) = persisted_volumes(&site_cfg, "persist");
+        for cfg in [
+            OriginConfig {
+                site: site_cfg.clone(),
+                volumes: VolumeScheme::ProbabilityFile(path.clone()),
+                ..Default::default()
+            },
+            OriginConfig {
+                site: site_cfg.clone(),
+                volumes: VolumeScheme::ProbabilityFile(path.clone()),
+                legacy: true,
+                ..Default::default()
+            },
+        ] {
+            let origin = start_origin(cfg).unwrap();
+            let (mut r, mut w) = connect(&origin);
+            let resp = get(
+                &mut r,
+                &mut w,
+                &a_path,
+                &[("TE", "chunked"), ("Piggy-filter", "maxpiggy=5")],
+            );
+            assert_eq!(resp.status, 200);
+            let pv = resp
+                .trailers
+                .get("P-volume")
+                .expect("persisted implication must piggyback immediately");
+            assert!(pv.contains(&b_path), "expected {b_path} in {pv}");
+            origin.stop();
         }
-        let vols = builder.build(0.5);
-        let path = std::env::temp_dir().join(format!("pb-test-vols-{}.txt", std::process::id()));
-        let mut f = std::fs::File::create(&path).unwrap();
-        write_volumes(&vols, &table, &mut f).unwrap();
-        drop(f);
+        let _ = std::fs::remove_file(path);
+    }
 
-        // Restart: the origin loads the persisted volumes.
+    #[test]
+    fn piggyback_cache_hits_and_generation_invalidation() {
+        let site_cfg = SiteConfig {
+            n_pages: 20,
+            seed: 78,
+            ..Default::default()
+        };
+        let (path, a_path, b_path) = persisted_volumes(&site_cfg, "cache");
         let origin = start_origin(OriginConfig {
             site: site_cfg,
             volumes: VolumeScheme::ProbabilityFile(path.clone()),
             ..Default::default()
         })
         .unwrap();
-        let a_path = table.path(a).unwrap().to_owned();
-        let b_path = table.path(b).unwrap().to_owned();
         let (mut r, mut w) = connect(&origin);
-        let resp = get(
-            &mut r,
-            &mut w,
-            &a_path,
-            &[("TE", "chunked"), ("Piggy-filter", "maxpiggy=5")],
-        );
-        assert_eq!(resp.status, 200);
-        let pv = resp
-            .trailers
-            .get("P-volume")
-            .expect("persisted implication must piggyback immediately");
-        assert!(pv.contains(&b_path), "expected {b_path} in {pv}");
+        let headers = [("TE", "chunked"), ("Piggy-filter", "maxpiggy=5")];
+
+        let resp1 = get(&mut r, &mut w, &a_path, &headers);
+        let pv1 = resp1.trailers.get("P-volume").unwrap().to_owned();
+        let resp2 = get(&mut r, &mut w, &a_path, &headers);
+        let pv2 = resp2.trailers.get("P-volume").unwrap().to_owned();
+        assert_eq!(pv1, pv2, "cached trailer must be byte-identical");
+        let cs = origin.cache_stats().expect("cache active");
+        assert_eq!(cs.misses, 1);
+        assert_eq!(cs.hits, 1);
+
+        // A modification bumps the generation; the stale entry misses and
+        // the recomputed trailer reflects the new Last-Modified.
+        let resp = get(&mut r, &mut w, &format!("/_pb/modify{b_path}"), &[]);
+        assert_eq!(resp.status, 204);
+        let resp3 = get(&mut r, &mut w, &a_path, &headers);
+        let pv3 = resp3.trailers.get("P-volume").unwrap().to_owned();
+        assert_ne!(pv3, pv1, "generation bump must invalidate the cache");
+        let cs = origin.cache_stats().unwrap();
+        assert_eq!(cs.misses, 2);
+
+        // The piggyback ledger counts cache hits exactly like computes.
+        let stats = origin.stats();
+        assert_eq!(stats.piggybacks_sent, 3);
+        assert_eq!(stats.outcomes(), stats.requests);
+        origin.stop();
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn online_epoch_learns_new_implications() {
+        // Seed volumes relate pages 0→1 only; online learning must pick
+        // up the co-access pattern page 2→3 from live traffic.
+        let site_cfg = SiteConfig {
+            n_pages: 20,
+            seed: 79,
+            ..Default::default()
+        };
+        let (path, _, _) = persisted_volumes(&site_cfg, "epoch");
+        let (table, site) = Site::generate(&site_cfg);
+        let c_path = table.path(site.pages[2].resource).unwrap().to_owned();
+        let d_path = table.path(site.pages[3].resource).unwrap().to_owned();
+        let origin = start_origin(OriginConfig {
+            site: site_cfg,
+            volumes: VolumeScheme::ProbabilityFile(path.clone()),
+            online_epoch: Some(OnlineEpochConfig {
+                epoch: DurationMs::from_millis(60),
+                window: DurationMs::from_millis(10),
+                threshold: 0.5,
+            }),
+            ..Default::default()
+        })
+        .unwrap();
+        let (mut r, mut w) = connect(&origin);
+        let headers = [("TE", "chunked"), ("Piggy-filter", "maxpiggy=5")];
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut learned = false;
+        while std::time::Instant::now() < deadline {
+            // One c→d co-access inside the builder window, then a gap well
+            // past it: every occurrence of c earns a (c, d) pair credit,
+            // so p(d|c) estimates to 1.0 at the next epoch drain.
+            let resp = get(&mut r, &mut w, &c_path, &headers);
+            std::thread::sleep(std::time::Duration::from_millis(3));
+            get(&mut r, &mut w, &d_path, &headers);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            if let Some(pv) = resp.trailers.get("P-volume") {
+                if pv.contains(&d_path) {
+                    learned = true;
+                    break;
+                }
+            }
+        }
+        assert!(learned, "epoch advance must learn the c→d co-access");
+        assert!(origin.generation() > 0, "epoch swap bumps the generation");
         origin.stop();
         let _ = std::fs::remove_file(path);
     }
 
     #[test]
     fn stats_endpoint_reports_counters() {
-        let origin = start_origin(OriginConfig::default()).unwrap();
-        let (mut r, mut w) = connect(&origin);
-        get(&mut r, &mut w, &origin.paths[0].clone(), &[]);
-        let resp = get(&mut r, &mut w, "/_pb/stats", &[]);
-        assert_eq!(resp.status, 200);
-        let text = String::from_utf8(resp.body).unwrap();
-        assert!(text.contains("requests 1"), "{text}");
-        assert!(text.contains("resources"), "{text}");
-        origin.stop();
+        for cfg in [OriginConfig::default(), legacy_config()] {
+            let origin = start_origin(cfg).unwrap();
+            let (mut r, mut w) = connect(&origin);
+            get(&mut r, &mut w, &origin.paths[0].clone(), &[]);
+            let resp = get(&mut r, &mut w, "/_pb/stats", &[]);
+            assert_eq!(resp.status, 200);
+            let text = String::from_utf8(resp.body).unwrap();
+            assert!(text.contains("requests 1"), "{text}");
+            assert!(text.contains("no_filter 1"), "{text}");
+            assert!(text.contains("resources"), "{text}");
+            assert!(text.contains("generation 0"), "{text}");
+            origin.stop();
+        }
     }
 
     #[test]
@@ -657,6 +1303,13 @@ mod tests {
             .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
             .sum();
         assert_eq!(duration_total, 2, "{text}");
+        // The snapshot path exposes its piggyback ledger and generation.
+        assert!(text.contains("pb_origin_pb_requests_total 1"), "{text}");
+        assert!(
+            text.contains("pb_origin_piggyback_outcomes_total{outcome=\"no_filter\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("pb_origin_table_generation 0"), "{text}");
 
         // Disabled endpoint answers 404 locally.
         let muted = start_origin(OriginConfig {
@@ -672,12 +1325,41 @@ mod tests {
     }
 
     #[test]
-    fn missing_resources_404() {
-        let origin = start_origin(OriginConfig::default()).unwrap();
-        let (mut r, mut w) = connect(&origin);
-        let resp = get(&mut r, &mut w, "/no/such/thing.html", &[]);
-        assert_eq!(resp.status, 404);
-        origin.stop();
+    fn non_get_head_rejected_with_405_allow() {
+        for cfg in [OriginConfig::default(), legacy_config()] {
+            let origin = start_origin(cfg).unwrap();
+            let path = origin.paths[0].clone();
+            let (mut r, mut w) = connect(&origin);
+            for method in ["POST", "PUT", "DELETE", "OPTIONS"] {
+                let resp = request(&mut r, &mut w, method, &path, &[]);
+                assert_eq!(resp.status, 405, "{method}");
+                assert_eq!(resp.headers.get("Allow"), Some("GET, HEAD"), "{method}");
+            }
+            origin.stop();
+        }
+    }
+
+    #[test]
+    fn missing_resources_404_without_piggyback_work() {
+        for cfg in [OriginConfig::default(), legacy_config()] {
+            let origin = start_origin(cfg).unwrap();
+            let (mut r, mut w) = connect(&origin);
+            // Even with a filter and TE, a 404 must carry no piggyback and
+            // must not touch the piggyback ledger at all.
+            let resp = get(
+                &mut r,
+                &mut w,
+                "/no/such/thing.html",
+                &[("TE", "chunked"), ("Piggy-filter", "maxpiggy=10")],
+            );
+            assert_eq!(resp.status, 404);
+            assert!(resp.headers.get("P-volume").is_none());
+            assert!(resp.trailers.get("P-volume").is_none());
+            let stats = origin.stats();
+            assert_eq!(stats.requests, 0, "404s never enter the server ledger");
+            assert_eq!(stats.outcomes(), 0);
+            origin.stop();
+        }
     }
 
     #[test]
@@ -689,6 +1371,9 @@ mod tests {
         let resp = get(&mut r, &mut w, &paths[1], &[]);
         assert!(resp.trailers.get("P-volume").is_none());
         assert!(resp.headers.get("P-volume").is_none());
+        let stats = origin.stats();
+        assert_eq!(stats.no_filter, 2);
+        assert_eq!(stats.outcomes(), stats.requests);
         origin.stop();
     }
 

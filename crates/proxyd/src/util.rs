@@ -1,7 +1,7 @@
 //! Shared plumbing for the network daemons: wall-clock mapping, server
 //! lifecycle, and deterministic body synthesis.
 
-use piggyback_core::types::Timestamp;
+use piggyback_core::types::{SourceId, Timestamp};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -213,6 +213,22 @@ where
         queue,
         join: Some(join),
     })
+}
+
+/// Map a connection's peer IP to a protocol [`SourceId`] (the low 32 bits
+/// of the address). Port-insensitive: all connections from one host count
+/// as one source, matching the paper's per-proxy server statistics.
+pub fn peer_source(stream: &TcpStream) -> SourceId {
+    match stream.peer_addr() {
+        Ok(addr) => match addr.ip() {
+            std::net::IpAddr::V4(v4) => SourceId(u32::from(v4)),
+            std::net::IpAddr::V6(v6) => {
+                let o = v6.octets();
+                SourceId(u32::from_be_bytes([o[12], o[13], o[14], o[15]]))
+            }
+        },
+        Err(_) => SourceId(0),
+    }
 }
 
 /// Maximum body size the live daemons materialize (big resources are

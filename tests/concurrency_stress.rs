@@ -19,11 +19,15 @@
 //! (shard locks + keep-alive pool), with a summary line reporting both
 //! throughputs. Sharded must win strictly.
 
-use piggyback::core::types::DurationMs;
+use piggyback::core::datetime::{format_rfc1123, DEFAULT_TRACE_EPOCH_UNIX};
+use piggyback::core::intern::directory_prefix;
+use piggyback::core::types::{DurationMs, SourceId, Timestamp};
+use piggyback::core::volume::{write_volumes, ProbabilityVolumesBuilder, SamplingMode};
 use piggyback::proxyd::client::HttpClient;
-use piggyback::proxyd::origin::{start_origin, OriginConfig, OriginHandle};
+use piggyback::proxyd::origin::{start_origin, OriginConfig, OriginHandle, VolumeScheme};
 use piggyback::proxyd::proxy::{start_proxy, ConcurrencyMode, ProxyConfig, ProxyHandle};
 use piggyback::proxyd::{DaemonStats, ProxyStats};
+use piggyback::trace::synth::site::{Site, SiteConfig};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -271,4 +275,521 @@ fn ab_sharded_beats_legacy_throughput() {
         }
     }
     panic!("sharded throughput must be strictly higher than legacy: {summary}");
+}
+
+// ---------------------------------------------------------------------------
+// Origin-only lane: the de-serialized origin hot path (read-mostly snapshot,
+// atomic stats, piggyback encode cache) against the `--legacy-origin`
+// single-mutex baseline. Same three proofs as the proxy lane: liveness,
+// exact conservation of the server ledger (`requests == piggybacks_sent +
+// suppressed + no_filter`) under concurrent `/_pb/modify` and metrics
+// scrapes, and byte-identical piggyback content between the two modes.
+// ---------------------------------------------------------------------------
+
+/// Pull one `name value` field out of a `/_pb/stats` body.
+fn stats_field(body: &str, name: &str) -> u64 {
+    body.lines()
+        .find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|r| r.strip_prefix(' '))
+                .and_then(|r| r.trim().parse().ok())
+        })
+        .unwrap_or_else(|| panic!("missing `{name}` in stats body:\n{body}"))
+}
+
+/// 16 clients with a mixed workload (filtered, filter-less, 404, and
+/// If-Modified-Since requests) racing a `/_pb/modify` mutator and a
+/// stats/metrics scraper. At quiescence every ledger must balance exactly,
+/// in both serving modes.
+fn origin_conservation_run(legacy: bool) {
+    let done = watchdog(Duration::from_secs(120));
+    let origin = start_origin(OriginConfig {
+        legacy,
+        ..Default::default()
+    })
+    .unwrap();
+    let paths = origin.paths.clone();
+    let addr = origin.addr();
+    let churn_stop = Arc::new(AtomicBool::new(false));
+
+    const PER_CLIENT: usize = 40; // divisible by 4: exact per-case counts
+    let future_ims = format_rfc1123(DEFAULT_TRACE_EPOCH_UNIX + 1_000_000_000);
+
+    std::thread::scope(|s| {
+        // Mutator: Last-Modified bumps force table rebuilds (snapshot
+        // swaps on the new path) while the serving path is under load.
+        {
+            let stop = Arc::clone(&churn_stop);
+            let paths = &paths;
+            s.spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                let mut i = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let path = &paths[i % paths.len()];
+                    let resp = client.get(&format!("/_pb/modify{path}"), &[]).unwrap();
+                    assert_eq!(resp.status, 204, "modify {path}");
+                    i += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
+        // Scraper: the observability surface must stay consistent while
+        // the counters it reports on are being bumped.
+        {
+            let stop = Arc::clone(&churn_stop);
+            s.spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                while !stop.load(Ordering::SeqCst) {
+                    let st = client.get("/_pb/stats", &[]).unwrap();
+                    assert_eq!(st.status, 200);
+                    let body = String::from_utf8(st.body).unwrap();
+                    // Mid-flight reads may lag individual counters but must
+                    // never *overshoot* the requests they account for.
+                    let requests = stats_field(&body, "requests");
+                    let outcomes = stats_field(&body, "piggybacks_sent")
+                        + stats_field(&body, "suppressed")
+                        + stats_field(&body, "no_filter");
+                    assert!(
+                        outcomes <= requests + (CLIENTS as u64),
+                        "scraped outcomes ran far ahead of requests:\n{body}"
+                    );
+                    let m = client.get("/__pb/metrics", &[]).unwrap();
+                    assert_eq!(m.status, 200);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let paths = &paths;
+                let future_ims = future_ims.as_str();
+                s.spawn(move || {
+                    let mut client = HttpClient::connect(addr).unwrap();
+                    for i in 0..PER_CLIENT {
+                        let path = &paths[(t * 7 + i) % paths.len()];
+                        match i % 4 {
+                            0 => {
+                                let resp = client
+                                    .get(
+                                        path,
+                                        &[("Piggy-filter", "maxpiggy=10"), ("TE", "chunked")],
+                                    )
+                                    .unwrap();
+                                assert_eq!(resp.status, 200, "client {t} req {i} ({path})");
+                            }
+                            1 => {
+                                let resp = client.get(path, &[]).unwrap();
+                                assert_eq!(resp.status, 200, "client {t} req {i} ({path})");
+                                assert!(
+                                    resp.headers.get("P-volume").is_none(),
+                                    "no filter must mean no piggyback ({path})"
+                                );
+                            }
+                            2 => {
+                                let resp = client
+                                    .get(
+                                        "/definitely/not/registered.html",
+                                        &[("Piggy-filter", "maxpiggy=10")],
+                                    )
+                                    .unwrap();
+                                assert_eq!(resp.status, 404, "client {t} req {i}");
+                                assert!(
+                                    resp.headers.get("P-volume").is_none()
+                                        && resp.trailers.get("P-volume").is_none(),
+                                    "a 404 must never carry P-volume"
+                                );
+                            }
+                            _ => {
+                                let resp = client
+                                    .get(
+                                        path,
+                                        &[
+                                            ("Piggy-filter", "maxpiggy=10"),
+                                            ("If-Modified-Since", future_ims),
+                                        ],
+                                    )
+                                    .unwrap();
+                                assert_eq!(resp.status, 304, "client {t} req {i} ({path})");
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        churn_stop.store(true, Ordering::SeqCst);
+    });
+
+    // The server ledger counts exactly the resolved GETs: 404s (one in
+    // four requests) never enter it, everything else lands in exactly one
+    // outcome bucket.
+    let s = origin.stats();
+    let issued = (CLIENTS * PER_CLIENT) as u64;
+    assert_eq!(s.requests, issued * 3 / 4, "mode legacy={legacy}: {s:?}");
+    assert_eq!(
+        s.outcomes(),
+        s.requests,
+        "server ledger must conserve exactly: {s:?}"
+    );
+    assert_eq!(s.piggybacks_sent + s.suppressed, issued / 2, "{s:?}");
+    assert_eq!(s.no_filter, issued / 4, "{s:?}");
+    assert!(
+        origin.generation() > 0,
+        "the mutator must have advanced the table generation"
+    );
+
+    // The HTTP surface reports the same ledger.
+    let mut client = HttpClient::connect(addr).unwrap();
+    let body = String::from_utf8(client.get("/_pb/stats", &[]).unwrap().body).unwrap();
+    assert_eq!(stats_field(&body, "requests"), s.requests);
+    assert_eq!(stats_field(&body, "piggybacks_sent"), s.piggybacks_sent);
+    assert_eq!(stats_field(&body, "suppressed"), s.suppressed);
+    assert_eq!(stats_field(&body, "no_filter"), s.no_filter);
+    assert_eq!(stats_field(&body, "generation"), origin.generation());
+
+    // Transport ledger: every counted request got exactly one response
+    // (scrapes of /__pb/metrics are intercepted before the counters).
+    let d = origin.daemon_stats();
+    assert_eq!(
+        d.requests,
+        d.responses_ok + d.responses_not_modified + d.responses_error,
+        "daemon ledger must conserve: {d:?}"
+    );
+
+    origin.stop();
+    done.store(true, Ordering::SeqCst);
+}
+
+#[test]
+fn origin_sixteen_clients_conserve_with_concurrent_modify() {
+    origin_conservation_run(false);
+}
+
+#[test]
+fn origin_legacy_lane_conserves_with_concurrent_modify() {
+    origin_conservation_run(true);
+}
+
+/// One step of the deterministic piggyback-identity schedule.
+enum Step {
+    Get(String),
+    Modify(String),
+}
+
+/// Run `schedule` single-threaded against a fresh origin and collect the
+/// `P-volume` value (trailer or header) of every GET.
+fn collect_piggybacks(
+    cfg: OriginConfig,
+    schedule: &[Step],
+    spacing: Duration,
+) -> Vec<Option<String>> {
+    let origin = start_origin(cfg).unwrap();
+    let mut client = HttpClient::connect(origin.addr()).unwrap();
+    let mut out = Vec::new();
+    for step in schedule {
+        match step {
+            Step::Get(path) => {
+                let resp = client
+                    .get(path, &[("Piggy-filter", "maxpiggy=10"), ("TE", "chunked")])
+                    .unwrap();
+                assert_eq!(resp.status, 200, "{path}");
+                out.push(
+                    resp.trailers
+                        .get("P-volume")
+                        .or_else(|| resp.headers.get("P-volume"))
+                        .map(str::to_owned),
+                );
+            }
+            Step::Modify(path) => {
+                let resp = client.get(&format!("/_pb/modify{path}"), &[]).unwrap();
+                assert_eq!(resp.status, 204, "modify {path}");
+            }
+        }
+        if !spacing.is_zero() {
+            std::thread::sleep(spacing);
+        }
+    }
+    origin.stop();
+    out
+}
+
+/// Probability volumes are recency-independent, so the legacy and snapshot
+/// paths must produce *byte-identical* piggybacks for an identical request
+/// schedule — across a `/_pb/modify` generation bump, which also proves the
+/// encode cache invalidates rather than serving stale bytes.
+#[test]
+fn origin_piggybacks_byte_identical_probability_lane() {
+    let done = watchdog(Duration::from_secs(60));
+    let site_cfg = SiteConfig {
+        n_pages: 60,
+        ..Default::default()
+    };
+
+    // Persist three disjoint learned implications: page0 -> page1,
+    // page2 -> page3, page4 -> page5, each with p = 1.0 (occurrences
+    // spaced beyond the co-access window so every occurrence earns its
+    // credit).
+    let (table, site) = Site::generate(&site_cfg);
+    let mut builder =
+        ProbabilityVolumesBuilder::new(DurationMs::from_secs(300), 0.1, SamplingMode::Exact);
+    for (pair, lead) in [0usize, 2, 4].into_iter().enumerate() {
+        let a = site.pages[lead].resource;
+        let b = site.pages[lead + 1].resource;
+        for k in 0..10u64 {
+            let base = Timestamp::from_secs((pair as u64 * 1_000 + k) * 10_000);
+            builder.observe(SourceId(1), a, base);
+            builder.observe(SourceId(1), b, base + DurationMs::from_secs(2));
+        }
+    }
+    let vols = builder.build(0.5);
+    let file = std::env::temp_dir().join(format!("pb-stress-vols-{}.txt", std::process::id()));
+    write_volumes(&vols, &table, &mut std::fs::File::create(&file).unwrap()).unwrap();
+    let page = |i: usize| table.path(site.pages[i].resource).unwrap().to_owned();
+
+    // Three rounds over the three leaders, with a Last-Modified bump on
+    // page1 after the first round: responses 0..3 are generation 0,
+    // responses 3..9 must reflect the bump.
+    let mut schedule = Vec::new();
+    for lead in [0usize, 2, 4] {
+        schedule.push(Step::Get(page(lead)));
+    }
+    schedule.push(Step::Modify(page(1)));
+    for _ in 0..2 {
+        for lead in [0usize, 2, 4] {
+            schedule.push(Step::Get(page(lead)));
+        }
+    }
+
+    let cfg = |legacy: bool| OriginConfig {
+        legacy,
+        site: site_cfg.clone(),
+        volumes: VolumeScheme::ProbabilityFile(file.clone()),
+        ..Default::default()
+    };
+    let legacy_pv = collect_piggybacks(cfg(true), &schedule, Duration::ZERO);
+    let concurrent_pv = collect_piggybacks(cfg(false), &schedule, Duration::ZERO);
+    assert_eq!(
+        legacy_pv, concurrent_pv,
+        "legacy and snapshot piggybacks must be byte-identical"
+    );
+
+    // The schedule actually exercised piggybacks and the generation bump.
+    let p1 = page(1);
+    assert!(
+        legacy_pv[0]
+            .as_deref()
+            .is_some_and(|pv| pv.contains(p1.as_str())),
+        "page0's response must piggyback page1: {:?}",
+        legacy_pv[0]
+    );
+    assert_ne!(
+        legacy_pv[0], legacy_pv[3],
+        "page1's Last-Modified bump must change page0's piggyback"
+    );
+    assert_eq!(
+        legacy_pv[3], legacy_pv[6],
+        "piggybacks must be stable between modifications"
+    );
+    let _ = std::fs::remove_file(&file);
+    done.store(true, Ordering::SeqCst);
+}
+
+/// Directory volumes order piggybacks by access recency, so with requests
+/// spaced past the clock's millisecond granularity the MTF (legacy) and
+/// recency-sorted (snapshot) orders must also agree byte-for-byte.
+#[test]
+fn origin_piggybacks_byte_identical_directory_lane() {
+    let done = watchdog(Duration::from_secs(60));
+    let cfg = |legacy: bool| OriginConfig {
+        legacy,
+        ..Default::default()
+    };
+
+    // Pick the first 1-level directory (in registration order, identical
+    // across runs) with at least three members.
+    let paths = start_origin(cfg(false))
+        .map(|o| {
+            let p = o.paths.clone();
+            o.stop();
+            p
+        })
+        .unwrap();
+    let mut dirs: Vec<(&str, Vec<&String>)> = Vec::new();
+    for p in &paths {
+        let d = directory_prefix(p, 1);
+        match dirs.iter_mut().find(|(k, _)| *k == d) {
+            Some((_, v)) => v.push(p),
+            None => dirs.push((d, vec![p])),
+        }
+    }
+    let members: Vec<String> = dirs
+        .iter()
+        .map(|(_, v)| v)
+        .find(|v| v.len() >= 3)
+        .expect("some directory has three resources")
+        .iter()
+        .take(3)
+        .map(|p| (*p).clone())
+        .collect();
+
+    // Warm each member, shuffle the recency order, then collect the
+    // piggybacks. 3ms spacing keeps every access on a distinct
+    // millisecond so recency ordering is deterministic.
+    let mut schedule: Vec<Step> = members.iter().cloned().map(Step::Get).collect();
+    schedule.push(Step::Get(members[0].clone()));
+    for m in &members {
+        schedule.push(Step::Get(m.clone()));
+    }
+
+    let spacing = Duration::from_millis(3);
+    let legacy_pv = collect_piggybacks(cfg(true), &schedule, spacing);
+    let concurrent_pv = collect_piggybacks(cfg(false), &schedule, spacing);
+    assert_eq!(
+        legacy_pv, concurrent_pv,
+        "legacy and snapshot directory piggybacks must be byte-identical"
+    );
+    assert!(
+        legacy_pv.iter().filter(|p| p.is_some()).count() >= 3,
+        "the schedule must actually produce piggybacks: {legacy_pv:?}"
+    );
+    done.store(true, Ordering::SeqCst);
+}
+
+/// Persist a probability volume set with `leaders` hub pages each implying
+/// every other page of the site plus `admit` images, so a filtered response
+/// to a leader pays a full element-selection scan over thousands of
+/// candidates while a `types=image` filter admits only the images (keeping
+/// the `P-volume` line itself modest while the scan stays expensive).
+/// Returns the file path and the leaders' URL paths.
+fn fat_probability_volumes(
+    site_cfg: &SiteConfig,
+    leaders: usize,
+    admit: usize,
+    tag: &str,
+) -> (std::path::PathBuf, Vec<String>) {
+    use piggyback::core::types::{ContentType, ResourceId};
+    use piggyback::core::volume::ProbabilityVolumes;
+    let (table, site) = Site::generate(site_cfg);
+    assert!(site.pages.len() > leaders);
+    let pages = site.pages[leaders..].iter().map(|p| p.resource);
+    let images: Vec<ResourceId> = table
+        .iter()
+        .filter(|(_, _, m)| m.content_type == ContentType::Image)
+        .map(|(id, _, _)| id)
+        .take(admit)
+        .collect();
+    assert_eq!(images.len(), admit, "site must have {admit} images");
+    let followers: Vec<ResourceId> = pages.chain(images).collect();
+    let mut implications: HashMap<ResourceId, Vec<(ResourceId, f32)>> = HashMap::new();
+    for lead in 0..leaders {
+        implications.insert(
+            site.pages[lead].resource,
+            followers.iter().map(|&f| (f, 0.9f32)).collect(),
+        );
+    }
+    let vols = ProbabilityVolumes::from_implications(0.25, implications);
+    let file = std::env::temp_dir().join(format!("pb-stress-ab-{tag}-{}.txt", std::process::id()));
+    write_volumes(&vols, &table, &mut std::fs::File::create(&file).unwrap()).unwrap();
+    let leaders = (0..leaders)
+        .map(|i| table.path(site.pages[i].resource).unwrap().to_owned())
+        .collect();
+    (file, leaders)
+}
+
+/// The issue's origin-side A/B: an identical piggyback-heavy workload at 16
+/// connections against the single-mutex legacy origin and the lock-free
+/// snapshot origin. Every request's piggyback selection scans ~2000
+/// candidates (a size filter admits ~120) — under the global mutex on the
+/// legacy path, once per `(volume, filter, generation)` on the new path
+/// thanks to the encode cache (and off any lock entirely).
+#[test]
+fn ab_concurrent_origin_beats_legacy_throughput() {
+    let done = watchdog(Duration::from_secs(300));
+    const PER_CLIENT: usize = 120;
+    let site_cfg = SiteConfig {
+        n_pages: 2000,
+        ..Default::default()
+    };
+    let (file, leaders) = fat_probability_volumes(&site_cfg, 8, 120, "throughput");
+    let filter = "maxpiggy=250; types=image";
+
+    let run = |legacy: bool| -> (f64, u64) {
+        let origin = start_origin(OriginConfig {
+            legacy,
+            site: site_cfg.clone(),
+            volumes: VolumeScheme::ProbabilityFile(file.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = origin.addr();
+        // If-Modified-Since far in the future: every timed request is a
+        // bodyless 304 that still carries its piggyback header, so the
+        // measurement isolates the serving-path state work from body I/O.
+        let ims = format_rfc1123(DEFAULT_TRACE_EPOCH_UNIX + 1_000_000_000);
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..CLIENTS {
+                let leaders = &leaders;
+                let ims = ims.as_str();
+                s.spawn(move || {
+                    let mut client = HttpClient::connect(addr).unwrap();
+                    for i in 0..PER_CLIENT {
+                        let path = &leaders[(t * 7 + i) % leaders.len()];
+                        let resp = client
+                            .get(
+                                path,
+                                &[("Piggy-filter", filter), ("If-Modified-Since", ims)],
+                            )
+                            .unwrap();
+                        assert_eq!(resp.status, 304, "client {t} req {i} ({path})");
+                        assert!(
+                            resp.headers.get("P-volume").is_some(),
+                            "leader responses must carry their volume ({path})"
+                        );
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed();
+        let s = origin.stats();
+        assert_eq!(s.requests, (CLIENTS * PER_CLIENT) as u64);
+        assert_eq!(s.outcomes(), s.requests, "{s:?}");
+        if !legacy {
+            let cs = origin.cache_stats().expect("probability scheme caches");
+            assert!(
+                cs.hits > cs.misses,
+                "steady-state workload must be cache-hit dominated: {cs:?}"
+            );
+        }
+        origin.stop();
+        (
+            (CLIENTS * PER_CLIENT) as f64 / elapsed.as_secs_f64(),
+            s.piggybacks_sent,
+        )
+    };
+
+    let mut summary = String::new();
+    for attempt in 1..=3 {
+        let (legacy_rps, legacy_sent) = run(true);
+        let (concurrent_rps, concurrent_sent) = run(false);
+        assert_eq!(
+            legacy_sent, concurrent_sent,
+            "both modes must do the same piggyback work"
+        );
+        summary = format!(
+            "origin A/B summary (attempt {attempt}): legacy={legacy_rps:.0} req/s \
+             concurrent={concurrent_rps:.0} req/s speedup={:.2}x \
+             ({CLIENTS} clients x {PER_CLIENT} reqs, ~2000-candidate volumes, 304 path)",
+            concurrent_rps / legacy_rps
+        );
+        println!("{summary}");
+        if concurrent_rps > legacy_rps {
+            let _ = std::fs::remove_file(&file);
+            done.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+    panic!("the lock-free origin must out-serve the legacy mutex: {summary}");
 }
