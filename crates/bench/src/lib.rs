@@ -22,7 +22,9 @@ use piggyback_trace::profiles::{self, ServerProfile};
 use piggyback_trace::ServerLog;
 
 pub mod sweep;
-pub use sweep::{cell_seed, pb_threads, run_timed, shared_client_trace, shared_server_log, sweep};
+pub use sweep::{
+    cell_seed, pb_threads, record_cell, run_timed, shared_client_trace, shared_server_log, sweep,
+};
 
 /// Benchmark-scale factors per profile, tuned for ~50k-request logs.
 pub const AIUSA_SCALE: f64 = 0.3;

@@ -178,6 +178,22 @@ pub fn run_timed<T>(id: &str, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// Merge a pre-measured wall time for experiment `id` into the bench
+/// file, for benches whose A/B cells interleave their timed passes (so no
+/// single contiguous region is the cell and [`run_timed`] cannot wrap it).
+pub fn record_cell(id: &str, wall: std::time::Duration) {
+    let entry = BenchEntry {
+        id: id.to_string(),
+        threads: pb_threads(),
+        wall_ms: wall.as_millis() as u64,
+        peak_rss_kb: peak_rss_kb(),
+        cell_percentiles: None,
+    };
+    if let Err(e) = merge_into_bench_file(&bench_path(), &entry) {
+        eprintln!("warning: could not update {}: {e}", bench_path());
+    }
+}
+
 /// Peak resident set size of this process in KiB, when the platform
 /// exposes it (`VmHWM` in `/proc/self/status` on Linux).
 pub fn peak_rss_kb() -> Option<u64> {

@@ -105,20 +105,37 @@ fn month_from_name(s: &str) -> Option<u32> {
         .map(|i| i as u32 + 1)
 }
 
+/// Unix seconds wrapped as a lazily-formatted RFC 1123 HTTP-date.
+///
+/// `Display` writes `Sun, 06 Nov 1994 08:49:37 GMT` directly into the
+/// destination — `write!(buf, "{}", Rfc1123(unix))` formats an HTTP-date
+/// into a reused buffer without the intermediate `String` that
+/// [`format_rfc1123`] allocates, which keeps the proxy's cached-hit
+/// response path allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rfc1123(pub i64);
+
+impl std::fmt::Display for Rfc1123 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = civil_from_unix(self.0);
+        write!(
+            f,
+            "{}, {:02} {} {:04} {:02}:{:02}:{:02} GMT",
+            DAY_NAMES[weekday_from_unix(self.0) as usize],
+            c.day,
+            MONTH_NAMES[(c.month - 1) as usize],
+            c.year,
+            c.hour,
+            c.minute,
+            c.second
+        )
+    }
+}
+
 /// Format Unix seconds as an RFC 1123 HTTP-date:
 /// `Sun, 06 Nov 1994 08:49:37 GMT`.
 pub fn format_rfc1123(unix: i64) -> String {
-    let c = civil_from_unix(unix);
-    format!(
-        "{}, {:02} {} {:04} {:02}:{:02}:{:02} GMT",
-        DAY_NAMES[weekday_from_unix(unix) as usize],
-        c.day,
-        MONTH_NAMES[(c.month - 1) as usize],
-        c.year,
-        c.hour,
-        c.minute,
-        c.second
-    )
+    Rfc1123(unix).to_string()
 }
 
 /// Parse an RFC 1123 HTTP-date into Unix seconds. Returns `None` on any

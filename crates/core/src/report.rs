@@ -40,9 +40,15 @@ impl HitReporter {
         Self::default()
     }
 
-    /// Record a cache hit served for `path`.
+    /// Record a cache hit served for `path`. Repeat hits on a pending
+    /// path (the steady state between drains) only bump the counter — the
+    /// path is owned once, on first sight.
     pub fn record_hit(&mut self, path: &str) {
-        *self.counts.entry(path.to_owned()).or_insert(0) += 1;
+        if let Some(count) = self.counts.get_mut(path) {
+            *count += 1;
+        } else {
+            self.counts.insert(path.to_owned(), 1);
+        }
     }
 
     /// Number of distinct paths pending.

@@ -7,7 +7,7 @@
 
 use crate::error::HttpError;
 use crate::headers::HeaderMap;
-use crate::parse::{read_line, MAX_BODY, MAX_HEADERS};
+use crate::parse::{read_line_into, MAX_BODY, MAX_HEADERS};
 use std::io::{BufRead, Write};
 
 /// Write `body` as chunked transfer-coding, followed by `trailers` and the
@@ -35,15 +35,26 @@ pub fn write_chunked<W: Write>(
     Ok(())
 }
 
-/// Read a chunked body and its trailer section. Returns `(body, trailers)`.
-pub fn read_chunked<R: BufRead>(r: &mut R) -> Result<(Vec<u8>, HeaderMap), HttpError> {
-    let mut body = Vec::new();
+/// Read a chunked body and its trailer section into caller-owned
+/// buffers: `body` accumulates the decoded payload in place (chunks read
+/// directly into its tail — no per-chunk temporary), `trailers` is reset
+/// and refilled with recycled entry strings, and `line` is the line
+/// scratch. A connection that holds these buffers decodes every chunked
+/// message after the first without heap allocation.
+pub fn read_chunked_into<R: BufRead>(
+    r: &mut R,
+    body: &mut Vec<u8>,
+    trailers: &mut HeaderMap,
+    line: &mut Vec<u8>,
+) -> Result<(), HttpError> {
+    body.clear();
+    trailers.reset();
     loop {
-        let line = read_line(r)?;
+        let size_line = read_line_into(r, line)?;
         // Chunk extensions (";ext=...") are allowed and ignored.
-        let size_part = line.split(';').next().unwrap_or("").trim();
+        let size_part = size_line.split(';').next().unwrap_or("").trim();
         let size = usize::from_str_radix(size_part, 16)
-            .map_err(|_| HttpError::BadChunkSize(line.clone()))?;
+            .map_err(|_| HttpError::BadChunkSize(size_line.to_owned()))?;
         // checked_add: an adversarial chunk-size line like
         // "ffffffffffffffff" must hit the limit, not wrap the sum in
         // release mode and bypass it into a huge allocation.
@@ -57,9 +68,10 @@ pub fn read_chunked<R: BufRead>(r: &mut R) -> Result<(Vec<u8>, HeaderMap), HttpE
         if size == 0 {
             break;
         }
-        let mut chunk = vec![0u8; size];
-        r.read_exact(&mut chunk)?;
-        body.extend_from_slice(&chunk);
+        // Read the chunk straight into the body's tail.
+        let at = body.len();
+        body.resize(at + size, 0);
+        r.read_exact(&mut body[at..])?;
         // The CRLF after the chunk data.
         let mut crlf = [0u8; 2];
         r.read_exact(&mut crlf)?;
@@ -68,22 +80,30 @@ pub fn read_chunked<R: BufRead>(r: &mut R) -> Result<(Vec<u8>, HeaderMap), HttpE
         }
     }
     // Trailer section: header lines until the blank line.
-    let mut trailers = HeaderMap::new();
     loop {
-        let line = read_line(r)?;
-        if line.is_empty() {
+        let trailer_line = read_line_into(r, line)?;
+        if trailer_line.is_empty() {
             break;
         }
         if trailers.len() >= MAX_HEADERS {
             return Err(HttpError::LimitExceeded("trailer count"));
         }
-        let (name, value) = line
+        let (name, value) = trailer_line
             .split_once(':')
-            .ok_or_else(|| HttpError::BadHeader(line.clone()))?;
+            .ok_or_else(|| HttpError::BadHeader(trailer_line.to_owned()))?;
         trailers
-            .try_insert(name.trim(), value.trim())
-            .map_err(|_| HttpError::BadHeader(line.clone()))?;
+            .try_insert_recycled(name.trim(), value.trim())
+            .map_err(|_| HttpError::BadHeader(trailer_line.to_owned()))?;
     }
+    Ok(())
+}
+
+/// Read a chunked body and its trailer section. Returns `(body, trailers)`.
+pub fn read_chunked<R: BufRead>(r: &mut R) -> Result<(Vec<u8>, HeaderMap), HttpError> {
+    let mut body = Vec::new();
+    let mut trailers = HeaderMap::new();
+    let mut line = Vec::with_capacity(64);
+    read_chunked_into(r, &mut body, &mut trailers, &mut line)?;
     Ok((body, trailers))
 }
 

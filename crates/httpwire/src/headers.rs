@@ -4,9 +4,17 @@ use std::fmt;
 
 /// HTTP header collection. Lookup is case-insensitive; insertion order is
 /// preserved on the wire. Multiple headers with the same name are kept.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// A map can be recycled across messages on a persistent connection:
+/// [`reset`](Self::reset) keeps the `(String, String)` pairs (and their
+/// capacity) in a spare pool, and [`try_insert_recycled`]
+/// (Self::try_insert_recycled) refills them without allocating.
+#[derive(Default)]
 pub struct HeaderMap {
     entries: Vec<(String, String)>,
+    /// Cleared pairs kept for reuse; never observable (not compared,
+    /// cloned, or iterated).
+    spare: Vec<(String, String)>,
 }
 
 /// Is `name` a valid RFC 7230 header field name (token)?
@@ -58,6 +66,17 @@ impl HeaderMap {
         self.entries.push((name.to_owned(), value.to_owned()));
     }
 
+    /// Append a header the caller already owns — no `to_owned` copies.
+    /// Same validation (and panic) contract as [`insert`](Self::insert).
+    pub fn insert_owned(&mut self, name: String, value: String) {
+        assert!(valid_header_name(&name), "invalid header name {name:?}");
+        assert!(
+            valid_header_value(&value),
+            "invalid value for header {name:?}"
+        );
+        self.entries.push((name, value));
+    }
+
     /// Append after validating.
     pub fn try_insert(&mut self, name: &str, value: &str) -> Result<(), InvalidHeader> {
         if !valid_header_name(name) {
@@ -69,6 +88,32 @@ impl HeaderMap {
         self.entries
             .push((name.to_owned(), value.trim().to_owned()));
         Ok(())
+    }
+
+    /// [`try_insert`](Self::try_insert), but the owned strings come from
+    /// the spare pool when one is available: after the first few messages
+    /// on a connection a recycled map inserts without heap allocation.
+    /// Value whitespace is trimmed, matching `try_insert`.
+    pub fn try_insert_recycled(&mut self, name: &str, value: &str) -> Result<(), InvalidHeader> {
+        if !valid_header_name(name) {
+            return Err(InvalidHeader::Name(name.to_owned()));
+        }
+        if !valid_header_value(value) {
+            return Err(InvalidHeader::Value(name.to_owned()));
+        }
+        let (mut n, mut v) = self.spare.pop().unwrap_or_default();
+        n.clear();
+        n.push_str(name);
+        v.clear();
+        v.push_str(value.trim());
+        self.entries.push((n, v));
+        Ok(())
+    }
+
+    /// Clear the map, keeping the entry strings (and their capacity) for
+    /// reuse by [`try_insert_recycled`](Self::try_insert_recycled).
+    pub fn reset(&mut self) {
+        self.spare.append(&mut self.entries);
     }
 
     /// Replace all occurrences of `name` with a single value.
@@ -123,6 +168,34 @@ impl HeaderMap {
             v.split(',')
                 .any(|part| part.trim().eq_ignore_ascii_case(token))
         })
+    }
+}
+
+// The spare pool is an invisible implementation detail: equality,
+// cloning, and debug output consider only the live entries.
+
+impl Clone for HeaderMap {
+    fn clone(&self) -> Self {
+        HeaderMap {
+            entries: self.entries.clone(),
+            spare: Vec::new(),
+        }
+    }
+}
+
+impl PartialEq for HeaderMap {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Eq for HeaderMap {}
+
+impl fmt::Debug for HeaderMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HeaderMap")
+            .field("entries", &self.entries)
+            .finish()
     }
 }
 
@@ -235,6 +308,47 @@ mod tests {
         assert!(h.try_insert("Good", "bad\nvalue").is_err());
         h.try_insert("Good", "  padded  ").unwrap();
         assert_eq!(h.get("good"), Some("padded"));
+    }
+
+    #[test]
+    fn insert_owned_matches_insert() {
+        let mut a = HeaderMap::new();
+        a.insert("X-Cache", "HIT");
+        let mut b = HeaderMap::new();
+        b.insert_owned("X-Cache".to_owned(), "HIT".to_owned());
+        assert_eq!(a, b);
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mut h = HeaderMap::new();
+        assert!(catch_unwind(AssertUnwindSafe(|| {
+            h.insert_owned("X".to_owned(), "bad\r\nvalue".to_owned())
+        }))
+        .is_err());
+        assert!(h.is_empty());
+    }
+
+    /// Recycled inserts behave exactly like `try_insert` (validation,
+    /// trimming), and reset + refill reuses the string storage.
+    #[test]
+    fn reset_recycles_entry_strings() {
+        let mut h = HeaderMap::new();
+        h.try_insert_recycled("Host", "  example.com  ").unwrap();
+        assert_eq!(h.get("host"), Some("example.com"));
+        let ptr_before = h.get("host").unwrap().as_ptr();
+        h.reset();
+        assert!(h.is_empty());
+        h.try_insert_recycled("Host", "example.org").unwrap();
+        assert_eq!(h.get("host"), Some("example.org"));
+        // Same String allocation, refilled in place.
+        assert_eq!(h.get("host").unwrap().as_ptr(), ptr_before);
+        // Validation still rejects.
+        assert!(h.try_insert_recycled("Bad Name", "x").is_err());
+        assert!(h.try_insert_recycled("Good", "bad\nvalue").is_err());
+        // The spare pool never leaks into equality or clones.
+        let mut plain = HeaderMap::new();
+        plain.insert("Host", "example.org");
+        assert_eq!(h, plain);
+        let cloned = h.clone();
+        assert_eq!(cloned, plain);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! req.headers.insert("Piggy-filter", "maxpiggy=10; rpv=\"3,4\"");
 //!
 //! let mut resp = Response::new(200);
-//! resp.body = b"<html>...</html>".to_vec();
+//! resp.body = b"<html>...</html>".into();
 //! resp.trailers.insert("P-volume", "7; \"/a.html\" 886000000 1024");
 //!
 //! let mut wire = Vec::new();
@@ -29,13 +29,17 @@
 //! assert_eq!(parsed.trailers.get("P-volume"), resp.trailers.get("P-volume"));
 //! ```
 
+pub mod body;
 pub mod chunked;
 pub mod error;
 pub mod headers;
 pub mod message;
 pub mod parse;
+pub mod scratch;
 
-pub use chunked::{read_chunked, write_chunked};
+pub use body::Body;
+pub use chunked::{read_chunked, read_chunked_into, write_chunked};
 pub use error::HttpError;
 pub use headers::{HeaderMap, InvalidHeader};
 pub use message::{reason_phrase, Request, Response, Version};
+pub use scratch::{flush_segments, write_all_parts, ConnScratch, Seg};

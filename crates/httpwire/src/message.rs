@@ -1,9 +1,13 @@
 //! HTTP request and response messages: types, serialization, and parsing.
 
-use crate::chunked::{read_chunked, write_chunked};
+use crate::body::Body;
+use crate::chunked::{read_chunked, read_chunked_into, write_chunked};
 use crate::error::HttpError;
 use crate::headers::HeaderMap;
-use crate::parse::{content_length, read_headers, read_line, MAX_BODY};
+use crate::parse::{
+    content_length, read_headers, read_headers_into, read_line, read_line_into, MAX_BODY,
+};
+use crate::scratch::{flush_segments, ConnScratch, Seg};
 use std::io::{BufRead, Read, Write};
 
 /// HTTP protocol version.
@@ -37,7 +41,7 @@ pub struct Request {
     pub target: String,
     pub version: Version,
     pub headers: HeaderMap,
-    pub body: Vec<u8>,
+    pub body: Body,
 }
 
 impl Request {
@@ -48,7 +52,20 @@ impl Request {
             target: target.to_owned(),
             version: Version::Http11,
             headers: HeaderMap::new(),
-            body: Vec::new(),
+            body: Body::empty(),
+        }
+    }
+
+    /// A placeholder request for [`read_into`](Self::read_into) loops: the
+    /// serve loop creates one per connection and refills it per message,
+    /// reusing the method/target strings and the header map's entries.
+    pub fn empty() -> Self {
+        Request {
+            method: String::new(),
+            target: String::new(),
+            version: Version::Http11,
+            headers: HeaderMap::new(),
+            body: Body::empty(),
         }
     }
 
@@ -84,36 +101,98 @@ impl Request {
         w.flush()
     }
 
+    /// [`write`](Self::write) through the connection's scratch buffer:
+    /// the head is encoded into `scratch.out` and the whole message —
+    /// body referenced, not copied — goes out in one vectored write.
+    /// Wire bytes are identical to `write`.
+    pub fn write_with<W: Write>(
+        &self,
+        w: &mut W,
+        scratch: &mut ConnScratch,
+    ) -> std::io::Result<()> {
+        let ConnScratch { out, segs, .. } = scratch;
+        out.clear();
+        segs.clear();
+        write!(
+            out,
+            "{} {} {}\r\n",
+            self.method,
+            self.target,
+            self.version.as_str()
+        )?;
+        let mut wrote_cl = false;
+        for (name, value) in self.headers.iter() {
+            if name.eq_ignore_ascii_case("Content-Length") {
+                wrote_cl = true;
+            }
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        if !self.body.is_empty() && !wrote_cl {
+            write!(out, "Content-Length: {}\r\n", self.body.len())?;
+        }
+        out.extend_from_slice(b"\r\n");
+        segs.push(Seg::Out(0, out.len()));
+        if !self.body.is_empty() {
+            segs.push(Seg::Body(0, self.body.len()));
+        }
+        flush_segments(w, out, &self.body, segs)?;
+        w.flush()
+    }
+
     /// Parse a request from `r` (blocking until complete or error).
     pub fn read<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
-        let line = read_line(r)?;
-        let mut parts = line.split_ascii_whitespace();
-        let (method, target, version) =
-            match (parts.next(), parts.next(), parts.next(), parts.next()) {
-                (Some(m), Some(t), Some(v), None) => (m, t, v),
-                _ => return Err(HttpError::BadRequestLine(line.clone())),
-            };
-        let version = Version::parse(version)?;
-        let headers = read_headers(r)?;
-        let body = if headers.list_contains("Transfer-Encoding", "chunked") {
-            read_chunked(r)?.0
+        let mut req = Request::empty();
+        let mut scratch = ConnScratch::new();
+        req.read_into(r, &mut scratch)?;
+        Ok(req)
+    }
+
+    /// Parse a request from `r` into `self`, reusing `self`'s strings and
+    /// header entries plus the connection scratch. The steady-state serve
+    /// loop (bodiless GETs on a persistent connection) refills everything
+    /// in place: zero heap allocation per request.
+    pub fn read_into<R: BufRead>(
+        &mut self,
+        r: &mut R,
+        scratch: &mut ConnScratch,
+    ) -> Result<(), HttpError> {
+        {
+            let line = read_line_into(r, &mut scratch.line)?;
+            let mut parts = line.split_ascii_whitespace();
+            let (method, target, version) =
+                match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                    (Some(m), Some(t), Some(v), None) => (m, t, v),
+                    _ => return Err(HttpError::BadRequestLine(line.to_owned())),
+                };
+            self.version = Version::parse(version)?;
+            self.method.clear();
+            self.method.push_str(method);
+            self.target.clear();
+            self.target.push_str(target);
+        }
+        read_headers_into(r, &mut self.headers, &mut scratch.line)?;
+        if self.headers.list_contains("Transfer-Encoding", "chunked") {
+            // Request trailers are read (into scratch) and discarded,
+            // matching the original parser.
+            read_chunked_into(
+                r,
+                &mut scratch.body_vec,
+                &mut scratch.trailers,
+                &mut scratch.line,
+            )?;
+            self.body = Body::from(scratch.body_vec.as_slice());
         } else {
-            match content_length(&headers)? {
+            match content_length(&self.headers)? {
                 Some(n) if n > 0 => {
-                    let mut body = vec![0u8; n];
-                    r.read_exact(&mut body)?;
-                    body
+                    scratch.body_vec.clear();
+                    scratch.body_vec.resize(n, 0);
+                    r.read_exact(&mut scratch.body_vec)?;
+                    self.body = Body::from(scratch.body_vec.as_slice());
                 }
-                _ => Vec::new(),
+                _ => self.body = Body::empty(),
             }
-        };
-        Ok(Request {
-            method: method.to_owned(),
-            target: target.to_owned(),
-            version,
-            headers,
-            body,
-        })
+        }
+        Ok(())
     }
 }
 
@@ -124,7 +203,7 @@ pub struct Response {
     pub status: u16,
     pub reason: String,
     pub headers: HeaderMap,
-    pub body: Vec<u8>,
+    pub body: Body,
     /// Trailer headers (sent/received only with chunked transfer-coding).
     pub trailers: HeaderMap,
 }
@@ -136,7 +215,7 @@ impl Response {
             status,
             reason: reason_phrase(status).to_owned(),
             headers: HeaderMap::new(),
-            body: Vec::new(),
+            body: Body::empty(),
             trailers: HeaderMap::new(),
         }
     }
@@ -195,6 +274,90 @@ impl Response {
         w.flush()
     }
 
+    /// [`write`](Self::write) through the connection's scratch buffer.
+    /// The head, chunk framing, and trailers are encoded into
+    /// `scratch.out`; body bytes are *referenced* (recorded as [`Seg`]
+    /// ranges), never copied; and the whole message is emitted with
+    /// batched vectored writes. Wire bytes are identical to `write` —
+    /// the byte-identity property tests hold the two together.
+    pub fn write_with<W: Write>(
+        &self,
+        w: &mut W,
+        scratch: &mut ConnScratch,
+    ) -> std::io::Result<()> {
+        let ConnScratch { out, segs, .. } = scratch;
+        out.clear();
+        segs.clear();
+        let chunked = (!self.trailers.is_empty()
+            || self.headers.list_contains("Transfer-Encoding", "chunked"))
+            && !Self::bodiless_status(self.status);
+        write!(
+            out,
+            "{} {} {}\r\n",
+            self.version.as_str(),
+            self.status,
+            self.reason
+        )?;
+        for (name, value) in self.headers.iter() {
+            // We compute framing headers ourselves.
+            if name.eq_ignore_ascii_case("Content-Length")
+                || name.eq_ignore_ascii_case("Transfer-Encoding")
+                || name.eq_ignore_ascii_case("Trailer")
+            {
+                continue;
+            }
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        if chunked {
+            out.extend_from_slice(b"Transfer-Encoding: chunked\r\n");
+            if !self.trailers.is_empty() {
+                out.extend_from_slice(b"Trailer: ");
+                let mut first = true;
+                for (name, _) in self.trailers.iter() {
+                    if !first {
+                        out.extend_from_slice(b", ");
+                    }
+                    out.extend_from_slice(name.as_bytes());
+                    first = false;
+                }
+                out.extend_from_slice(b"\r\n");
+            }
+            out.extend_from_slice(b"\r\n");
+            // Chunk framing: each size line closes the pending scratch
+            // segment, the chunk data is referenced from the body, and
+            // the chunk-terminating CRLF coalesces into the next
+            // segment's scratch bytes.
+            const CHUNK: usize = 8 * 1024;
+            let mut mark = 0;
+            let mut pos = 0;
+            while pos < self.body.len() {
+                let len = (self.body.len() - pos).min(CHUNK);
+                write!(out, "{len:x}\r\n")?;
+                segs.push(Seg::Out(mark, out.len()));
+                segs.push(Seg::Body(pos, pos + len));
+                mark = out.len();
+                out.extend_from_slice(b"\r\n");
+                pos += len;
+            }
+            // Terminal chunk, trailer section, final blank line.
+            out.extend_from_slice(b"0\r\n");
+            for (name, value) in self.trailers.iter() {
+                write!(out, "{name}: {value}\r\n")?;
+            }
+            out.extend_from_slice(b"\r\n");
+            segs.push(Seg::Out(mark, out.len()));
+        } else if Self::bodiless_status(self.status) {
+            out.extend_from_slice(b"\r\n");
+            segs.push(Seg::Out(0, out.len()));
+        } else {
+            write!(out, "Content-Length: {}\r\n\r\n", self.body.len())?;
+            segs.push(Seg::Out(0, out.len()));
+            segs.push(Seg::Body(0, self.body.len()));
+        }
+        flush_segments(w, out, &self.body, segs)?;
+        w.flush()
+    }
+
     /// Parse a response. `head_request` suppresses body reading (responses
     /// to HEAD carry headers only).
     pub fn read<R: BufRead>(r: &mut R, head_request: bool) -> Result<Response, HttpError> {
@@ -211,15 +374,15 @@ impl Response {
 
         let mut trailers = HeaderMap::new();
         let body = if head_request || Self::bodiless_status(status) {
-            Vec::new()
+            Body::empty()
         } else if headers.list_contains("Transfer-Encoding", "chunked") {
             let (body, t) = read_chunked(r)?;
             trailers = t;
-            body
+            body.into()
         } else if let Some(n) = content_length(&headers)? {
             let mut body = vec![0u8; n];
             r.read_exact(&mut body)?;
-            body
+            body.into()
         } else {
             // HTTP/1.0 style: body delimited by connection close.
             let mut body = Vec::new();
@@ -227,7 +390,7 @@ impl Response {
             if body.len() > MAX_BODY {
                 return Err(HttpError::LimitExceeded("body size"));
             }
-            body
+            body.into()
         };
         Ok(Response {
             version,
@@ -292,7 +455,7 @@ mod tests {
     #[test]
     fn request_with_body_gets_content_length() {
         let mut req = Request::new("POST", "/submit");
-        req.body = b"payload".to_vec();
+        req.body = b"payload".into();
         let mut wire = Vec::new();
         req.write(&mut wire).unwrap();
         let s = String::from_utf8(wire).unwrap();
@@ -319,7 +482,7 @@ mod tests {
     fn response_content_length_round_trip() {
         let mut resp = Response::new(200);
         resp.headers.insert("Content-Type", "text/html");
-        resp.body = b"<html>hi</html>".to_vec();
+        resp.body = b"<html>hi</html>".into();
         let got = response_round_trip(&resp, false);
         assert_eq!(got.status, 200);
         assert_eq!(got.reason, "OK");
@@ -330,7 +493,7 @@ mod tests {
     #[test]
     fn response_with_trailers_uses_chunked() {
         let mut resp = Response::new(200);
-        resp.body = b"data".to_vec();
+        resp.body = b"data".into();
         resp.trailers
             .insert("P-volume", "12; \"/a.html\" 886000000 100");
         let mut wire = Vec::new();
@@ -358,7 +521,7 @@ mod tests {
     fn crlf_values_cannot_split_header_or_trailer_lines() {
         use std::panic::{catch_unwind, AssertUnwindSafe};
         let mut resp = Response::new(200);
-        resp.body = b"ok".to_vec();
+        resp.body = b"ok".into();
         // Untrusted path refuses...
         assert!(resp
             .headers
@@ -450,5 +613,82 @@ mod tests {
         let wire = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n";
         let got = Request::read(&mut BufReader::new(&wire[..])).unwrap();
         assert_eq!(got.body, b"abc");
+    }
+
+    /// `write_with` must emit exactly the bytes `write` does, across every
+    /// framing mode (Content-Length, chunked + trailers, bodiless), for
+    /// bodies spanning multiple chunks, and when the scratch is reused.
+    #[test]
+    fn write_with_is_byte_identical_to_write() {
+        let mut scratch = ConnScratch::new();
+        let mut responses = Vec::new();
+        let mut cl = Response::new(200);
+        cl.headers.insert("Content-Type", "text/html");
+        cl.body = b"<html>hi</html>".into();
+        responses.push(cl);
+        let mut chunked = Response::new(200);
+        chunked.headers.insert("X-Cache", "MISS");
+        chunked.body = vec![b'x'; 20_000].into(); // > 2 chunks at 8 KiB
+        chunked
+            .trailers
+            .insert("P-volume", "7; \"/a.html\" 886000000 1024");
+        chunked.trailers.insert("X-Extra", "1");
+        responses.push(chunked);
+        let mut empty_chunked = Response::new(200);
+        empty_chunked.trailers.insert("P-volume", "1;");
+        responses.push(empty_chunked);
+        let mut bodiless = Response::new(304);
+        bodiless.headers.insert("Last-Modified", "now");
+        responses.push(bodiless);
+        responses.push(Response::new(204));
+        for resp in &responses {
+            let mut seed = Vec::new();
+            resp.write(&mut seed).unwrap();
+            let mut fast = Vec::new();
+            resp.write_with(&mut fast, &mut scratch).unwrap();
+            assert_eq!(
+                fast,
+                seed,
+                "status {} body {}B trailers {}",
+                resp.status,
+                resp.body.len(),
+                resp.trailers.len()
+            );
+        }
+        // Requests too.
+        let mut req = Request::new("GET", "/mafia.html");
+        req.headers.insert("Host", "sig.com");
+        req.headers.insert("TE", "chunked");
+        let mut post = Request::new("POST", "/submit");
+        post.body = b"payload".into();
+        for req in [&req, &post] {
+            let mut seed = Vec::new();
+            req.write(&mut seed).unwrap();
+            let mut fast = Vec::new();
+            req.write_with(&mut fast, &mut scratch).unwrap();
+            assert_eq!(fast, seed, "{} {}", req.method, req.target);
+        }
+    }
+
+    /// A reused `Request` + scratch parses a stream of pipelined requests
+    /// with the same results as fresh `Request::read` calls.
+    #[test]
+    fn read_into_reuses_and_matches_read() {
+        let wire = b"GET /a.html HTTP/1.1\r\nHost: one\r\nTE: chunked\r\n\r\n\
+                     POST /b HTTP/1.1\r\nContent-Length: 4\r\n\r\nwxyz\
+                     GET /ccc HTTP/1.0\r\n\r\n";
+        let mut fresh_reader = BufReader::new(&wire[..]);
+        let mut reuse_reader = BufReader::new(&wire[..]);
+        let mut req = Request::empty();
+        let mut scratch = ConnScratch::new();
+        for _ in 0..3 {
+            let fresh = Request::read(&mut fresh_reader).unwrap();
+            req.read_into(&mut reuse_reader, &mut scratch).unwrap();
+            assert_eq!(req, fresh);
+        }
+        assert!(matches!(
+            req.read_into(&mut reuse_reader, &mut scratch),
+            Err(HttpError::ConnectionClosed)
+        ));
     }
 }

@@ -11,10 +11,16 @@ pub const MAX_HEADERS: usize = 128;
 /// Maximum body size we will buffer.
 pub const MAX_BODY: usize = 64 * 1024 * 1024;
 
-/// Read one CRLF- (or bare-LF-) terminated line, without the terminator.
+/// Read one CRLF- (or bare-LF-) terminated line, without the terminator,
+/// into a caller-owned scratch buffer (cleared first). Returns the line
+/// borrowed from that buffer, so the steady-state serve loop reads every
+/// header line with zero heap allocation.
 /// EOF before any byte is `ConnectionClosed`; EOF mid-line likewise.
-pub fn read_line<R: BufRead>(r: &mut R) -> Result<String, HttpError> {
-    let mut buf = Vec::with_capacity(64);
+pub fn read_line_into<'a, R: BufRead>(
+    r: &mut R,
+    buf: &'a mut Vec<u8>,
+) -> Result<&'a str, HttpError> {
+    buf.clear();
     loop {
         let available = r.fill_buf()?;
         if available.is_empty() {
@@ -42,27 +48,49 @@ pub fn read_line<R: BufRead>(r: &mut R) -> Result<String, HttpError> {
     if buf.len() > MAX_LINE {
         return Err(HttpError::LimitExceeded("line length"));
     }
-    String::from_utf8(buf).map_err(|e| HttpError::BadHeader(format!("non-UTF8 line: {e}")))
+    std::str::from_utf8(buf).map_err(|e| HttpError::BadHeader(format!("non-UTF8 line: {e}")))
 }
 
-/// Read a header section (lines until the blank line).
-pub fn read_headers<R: BufRead>(r: &mut R) -> Result<HeaderMap, HttpError> {
-    let mut headers = HeaderMap::new();
+/// [`read_line_into`] with a fresh buffer, returning an owned `String`.
+/// Kept for tests and cold paths; hot loops should hold a scratch buffer.
+pub fn read_line<R: BufRead>(r: &mut R) -> Result<String, HttpError> {
+    let mut buf = Vec::with_capacity(64);
+    let line = read_line_into(r, &mut buf)?;
+    Ok(line.to_owned())
+}
+
+/// Read a header section (lines until the blank line) into a
+/// caller-owned map, reusing `line` as line scratch. The map is reset
+/// (not merely cleared) so recycled entry strings are refilled in place.
+pub fn read_headers_into<R: BufRead>(
+    r: &mut R,
+    headers: &mut HeaderMap,
+    line: &mut Vec<u8>,
+) -> Result<(), HttpError> {
+    headers.reset();
     loop {
-        let line = read_line(r)?;
+        let line = read_line_into(r, line)?;
         if line.is_empty() {
-            return Ok(headers);
+            return Ok(());
         }
         if headers.len() >= MAX_HEADERS {
             return Err(HttpError::LimitExceeded("header count"));
         }
         let (name, value) = line
             .split_once(':')
-            .ok_or_else(|| HttpError::BadHeader(line.clone()))?;
+            .ok_or_else(|| HttpError::BadHeader(line.to_owned()))?;
         headers
-            .try_insert(name.trim(), value.trim())
-            .map_err(|_| HttpError::BadHeader(line.clone()))?;
+            .try_insert_recycled(name.trim(), value.trim())
+            .map_err(|_| HttpError::BadHeader(line.to_owned()))?;
     }
+}
+
+/// Read a header section (lines until the blank line).
+pub fn read_headers<R: BufRead>(r: &mut R) -> Result<HeaderMap, HttpError> {
+    let mut headers = HeaderMap::new();
+    let mut line = Vec::with_capacity(64);
+    read_headers_into(r, &mut headers, &mut line)?;
+    Ok(headers)
 }
 
 /// Parse a `Content-Length` header if present.

@@ -4,17 +4,19 @@
 //! pb-proxy --origin 127.0.0.1:8080 [--port 8081] [--capacity-mb 32]
 //!          [--delta-secs 60] [--maxpiggy 10] [--no-rpv]
 //!          [--shards 8] [--legacy] [--pool-idle 32] [--workers 64]
-//!          [--no-metrics]
+//!          [--no-metrics] [--buffered-wire]
 //! ```
 //!
 //! `--legacy` selects the single-lock, fresh-connection-per-fetch
 //! baseline; the default is the sharded, connection-pooled model.
+//! `--buffered-wire` selects the allocate-per-request buffered writer
+//! path instead of the default zero-copy scratch/writev path.
 //! Prints statistics every 10 seconds. Unless `--no-metrics` is given,
 //! `GET /__pb/metrics` serves Prometheus counters and latency histograms.
 
 use piggyback_core::filter::ProxyFilter;
 use piggyback_core::types::DurationMs;
-use piggyback_proxyd::proxy::{start_proxy, ConcurrencyMode, ProxyConfig};
+use piggyback_proxyd::proxy::{start_proxy, ConcurrencyMode, ProxyConfig, WireMode};
 use std::net::SocketAddr;
 
 fn main() {
@@ -29,6 +31,7 @@ fn main() {
     let mut pool_idle = 32usize;
     let mut workers = 64usize;
     let mut metrics = true;
+    let mut buffered_wire = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,12 +52,13 @@ fn main() {
             "--workers" => workers = value("--workers").parse().expect("number"),
             "--metrics" => metrics = true,
             "--no-metrics" => metrics = false,
+            "--buffered-wire" => buffered_wire = true,
             "--help" | "-h" => {
                 println!(
                     "pb-proxy --origin HOST:PORT [--port 8081] [--capacity-mb 32] \
                      [--delta-secs 60] [--maxpiggy 10] [--no-rpv] \
                      [--shards 8] [--legacy] [--pool-idle 32] [--workers 64] \
-                     [--no-metrics]"
+                     [--no-metrics] [--buffered-wire]"
                 );
                 return;
             }
@@ -85,6 +89,9 @@ fn main() {
     cfg.pool_max_idle = pool_idle;
     cfg.serve.workers = workers;
     cfg.metrics = metrics;
+    if buffered_wire {
+        cfg.wire = WireMode::Buffered;
+    }
 
     let proxy = start_proxy(cfg).expect("failed to start proxy");
     if metrics {

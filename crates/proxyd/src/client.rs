@@ -31,9 +31,14 @@ pub struct PoolStats {
 /// A pooled origin connection. Checked out of a [`ConnectionPool`], used
 /// for exactly one request/response exchange at a time, and checked back
 /// in only after the response — trailers included — was read completely.
+///
+/// The write side is the raw socket: requests go out through
+/// `Request::write_with`, which stages the whole message in the caller's
+/// scratch and emits it in one vectored write, so a `BufWriter` would only
+/// add a copy.
 pub struct PooledConn {
     pub reader: BufReader<TcpStream>,
-    pub writer: BufWriter<TcpStream>,
+    pub writer: TcpStream,
     /// Whether this connection came from the idle list (a send failure on
     /// a reused connection may be a stale-keep-alive race and is safe to
     /// retry on a fresh connection; a failure on a brand-new one is not).
@@ -48,7 +53,7 @@ impl PooledConn {
         stream.set_nodelay(true)?;
         Ok(PooledConn {
             reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
+            writer: stream,
             reused: false,
         })
     }
@@ -385,7 +390,7 @@ mod tests {
             let mut w = BufWriter::new(stream);
             if Request::read(&mut r).is_ok() {
                 let mut resp = Response::new(200);
-                resp.body = b"once".to_vec();
+                resp.body = b"once".into();
                 let _ = resp.write(&mut w);
             }
             // Handler returns: stream drops, peer sees FIN.

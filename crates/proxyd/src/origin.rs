@@ -58,13 +58,47 @@ use piggyback_core::volume::{
     DirectoryVolumes, ProbabilityVolumes, ProbabilityVolumesBuilder, SamplingMode,
 };
 use piggyback_core::wire::{encode_p_volume, P_VOLUME_HEADER};
-use piggyback_httpwire::{Request, Response};
+use piggyback_httpwire::{Body, ConnScratch, Request, Response};
 use piggyback_trace::synth::site::{Site, SiteConfig};
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// The 404 body, shared by every miss: a `'static` [`Body`] clones as a
+/// pointer copy instead of reallocating the bytes per request.
+static NOT_FOUND_BODY: Body = Body::from_static(b"not found\n");
+
+/// Memoized synthetic response bodies, one slot per registered resource.
+///
+/// `synth_body` is deterministic in `(path, size)` and the site's path and
+/// size metadata are fixed at startup (`/_pb/modify` bumps only
+/// Last-Modified), so each body is materialized once — lazily, on first
+/// request — and every later 200 serves the same shared allocation via a
+/// refcount bump.
+struct BodyCache {
+    slots: Vec<OnceLock<Body>>,
+}
+
+impl BodyCache {
+    fn new(resources: usize) -> Self {
+        BodyCache {
+            slots: (0..resources).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    fn get(&self, r: ResourceId, path: &str, size: u64) -> Body {
+        match self.slots.get(r.0 as usize) {
+            Some(slot) => slot
+                .get_or_init(|| Body::from(synth_body(path, size)))
+                .clone(),
+            // Ids past the startup table (unreachable today) still serve
+            // correctly, just without memoization.
+            None => Body::from(synth_body(path, size)),
+        }
+    }
+}
 
 /// Which volume scheme the origin serves with.
 #[derive(Debug, Clone)]
@@ -174,6 +208,8 @@ enum OriginCore {
 struct OriginShared {
     core: OriginCore,
     clock: Clock,
+    /// Shared synthetic bodies, keyed by resource id (both modes).
+    bodies: BodyCache,
 }
 
 /// A running origin.
@@ -365,6 +401,7 @@ pub fn start_origin(cfg: OriginConfig) -> io::Result<OriginHandle> {
     let shared = Arc::new(OriginShared {
         core,
         clock: Clock::new(),
+        bodies: BodyCache::new(paths.len()),
     });
     let daemon = Arc::new(AtomicDaemonStats::new());
     let obs = Arc::new(DaemonObs::default());
@@ -401,12 +438,17 @@ fn handle_connection(
     daemon.connections.fetch_add(1, Relaxed);
     let source = peer_source(&stream);
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    // Responses are assembled in the connection scratch and emitted with
+    // vectored writes straight to the socket: body bytes (shared `Body`s
+    // from the memoized cache) are referenced, never copied, and there is
+    // no intermediate `BufWriter` to stage them through.
+    let mut writer = stream;
+    let mut scratch = ConnScratch::new();
+    let mut req = Request::empty();
     loop {
-        let req = match Request::read(&mut reader) {
-            Ok(r) => r,
-            Err(_) => return Ok(()), // closed or malformed: drop connection
-        };
+        if req.read_into(&mut reader, &mut scratch).is_err() {
+            return Ok(()); // closed or malformed: drop connection
+        }
         let keep = req.keep_alive();
         // Admin scrape, intercepted before the request/response counters so
         // scrapes never appear in the ledger they report on. Served from
@@ -421,7 +463,7 @@ fn handle_connection(
             } else {
                 Response::new(404)
             };
-            resp.write(&mut writer)?;
+            resp.write_with(&mut writer, &mut scratch)?;
             if !keep {
                 return Ok(());
             }
@@ -432,7 +474,7 @@ fn handle_connection(
         let resp = handle_request(&req, source, shared, obs);
         daemon.count_response(resp.status, resp.body.len());
         obs.class_for(resp.status).record(start.elapsed());
-        resp.write(&mut writer)?;
+        resp.write_with(&mut writer, &mut scratch)?;
         if !keep {
             return Ok(());
         }
@@ -567,7 +609,7 @@ fn origin_metrics_response(
     let mut resp = Response::new(200);
     resp.headers
         .insert("Content-Type", "text/plain; version=0.0.4");
-    resp.body = out.into_bytes();
+    resp.body = out.into();
     resp
 }
 
@@ -586,7 +628,7 @@ fn stats_response(stats: &ServerStats, resources: usize, generation: u64) -> Res
         resources,
         generation,
     )
-    .into_bytes();
+    .into();
     resp
 }
 
@@ -611,10 +653,10 @@ fn handle_request(
     let path = strip_origin_form(&req.target);
     match &shared.core {
         OriginCore::Legacy(state) => {
-            handle_request_legacy(req, path, source, state, &shared.clock, obs)
+            handle_request_legacy(req, path, source, state, &shared.clock, &shared.bodies, obs)
         }
         OriginCore::Concurrent(c) => {
-            handle_request_concurrent(req, path, source, c, &shared.clock, obs)
+            handle_request_concurrent(req, path, source, c, &shared.clock, &shared.bodies, obs)
         }
     }
 }
@@ -625,6 +667,7 @@ fn handle_request_legacy(
     source: SourceId,
     state: &Mutex<LegacyState>,
     clock: &Clock,
+    bodies: &BodyCache,
     obs: &DaemonObs,
 ) -> Response {
     // Statistics endpoint (plain text, for operators and tests).
@@ -669,7 +712,7 @@ fn handle_request_legacy(
     // work: a 404 never carries `P-volume` and never touches the ledger.
     let Some(resource) = st.server.table().lookup(path) else {
         let mut resp = Response::new(404);
-        resp.body = b"not found\n".to_vec();
+        resp.body = NOT_FOUND_BODY.clone();
         return resp;
     };
     st.server.record_access(resource, source, now);
@@ -686,7 +729,7 @@ fn handle_request_legacy(
         }
     };
     drop(st);
-    respond(req, path, meta, piggyback.as_deref(), obs)
+    respond(req, path, resource, meta, piggyback.as_deref(), bodies, obs)
 }
 
 fn handle_request_concurrent(
@@ -695,6 +738,7 @@ fn handle_request_concurrent(
     source: SourceId,
     c: &ConcurrentOrigin,
     clock: &Clock,
+    bodies: &BodyCache,
     obs: &DaemonObs,
 ) -> Response {
     if path == "/_pb/stats" {
@@ -718,7 +762,7 @@ fn handle_request_concurrent(
     // work: a 404 never carries `P-volume` and never touches the ledger.
     let Some(resource) = snap.table.lookup(path) else {
         let mut resp = Response::new(404);
-        resp.body = b"not found\n".to_vec();
+        resp.body = NOT_FOUND_BODY.clone();
         return resp;
     };
     c.stats.requests.fetch_add(1, Relaxed);
@@ -737,17 +781,20 @@ fn handle_request_concurrent(
                 None
             }
         };
-    respond(req, path, meta, piggyback.as_deref(), obs)
+    respond(req, path, resource, meta, piggyback.as_deref(), bodies, obs)
 }
 
 /// Build the HTTP response for a resolved resource: conditional handling,
-/// body synthesis, and piggyback placement (trailer, or header fallback).
-/// Mode-independent, so legacy and snapshot responses are byte-identical.
+/// body lookup (memoized shared bytes), and piggyback placement (trailer,
+/// or header fallback). Mode-independent, so legacy and snapshot
+/// responses are byte-identical.
 fn respond(
     req: &Request,
     path: &str,
+    resource: ResourceId,
     meta: piggyback_core::types::ResourceMeta,
     piggyback: Option<&str>,
+    bodies: &BodyCache,
     obs: &DaemonObs,
 ) -> Response {
     let lm_unix = unix_from_timestamp(meta.last_modified, DEFAULT_TRACE_EPOCH_UNIX);
@@ -777,7 +824,7 @@ fn respond(
         return resp;
     }
     if req.method != "HEAD" {
-        resp.body = synth_body(path, meta.size);
+        resp.body = bodies.get(resource, path, meta.size);
     }
     match piggyback {
         Some(pv) if wants_chunked && req.method != "HEAD" => {
@@ -961,7 +1008,7 @@ fn content_type_str(ct: piggyback_core::types::ContentType) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufReader as StdBufReader;
+    use std::io::{BufReader as StdBufReader, BufWriter};
 
     fn connect(handle: &OriginHandle) -> (StdBufReader<TcpStream>, BufWriter<TcpStream>) {
         let stream = TcpStream::connect(handle.addr()).unwrap();
@@ -1260,7 +1307,7 @@ mod tests {
             get(&mut r, &mut w, &origin.paths[0].clone(), &[]);
             let resp = get(&mut r, &mut w, "/_pb/stats", &[]);
             assert_eq!(resp.status, 200);
-            let text = String::from_utf8(resp.body).unwrap();
+            let text = String::from_utf8(resp.body.to_vec()).unwrap();
             assert!(text.contains("requests 1"), "{text}");
             assert!(text.contains("no_filter 1"), "{text}");
             assert!(text.contains("resources"), "{text}");
@@ -1281,7 +1328,7 @@ mod tests {
             resp.headers.get("Content-Type"),
             Some("text/plain; version=0.0.4")
         );
-        let text = String::from_utf8(resp.body).unwrap();
+        let text = String::from_utf8(resp.body.to_vec()).unwrap();
         // The scrape itself stays out of the request ledger.
         assert!(text.contains("pb_origin_requests_total 2\n"), "{text}");
         assert!(

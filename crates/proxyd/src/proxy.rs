@@ -32,7 +32,7 @@ pub use crate::stats::ProxyStats;
 use crate::util::{serve_with, Clock, ServeOptions, ServerHandle};
 use parking_lot::{Mutex, RwLock};
 use piggyback_core::datetime::{
-    format_rfc1123, parse_rfc1123, timestamp_from_unix, unix_from_timestamp,
+    format_rfc1123, parse_rfc1123, timestamp_from_unix, unix_from_timestamp, Rfc1123,
     DEFAULT_TRACE_EPOCH_UNIX,
 };
 use piggyback_core::filter::{ProxyFilter, PIGGY_FILTER_HEADER};
@@ -40,12 +40,11 @@ use piggyback_core::proxy::{classify_element, ElementAction};
 use piggyback_core::report::{HitReporter, PIGGY_REPORT_HEADER};
 use piggyback_core::rpv::RpvTable;
 use piggyback_core::table::ResourceTable;
-use piggyback_core::types::{DurationMs, ResourceId, Timestamp};
+use piggyback_core::types::{DurationMs, Timestamp};
 use piggyback_core::wire::{decode_p_volume, P_VOLUME_HEADER};
-use piggyback_httpwire::{HeaderMap, Request, Response};
-use piggyback_webcache::{shard_index, CacheEntry, PolicyKind, ShardedCache};
-use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter};
+use piggyback_httpwire::{write_all_parts, Body, ConnScratch, HeaderMap, Request, Response};
+use piggyback_webcache::{CacheEntry, PolicyKind, ShardedBodyStore, ShardedCache};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
@@ -73,6 +72,22 @@ pub enum ConcurrencyMode {
     },
 }
 
+/// How the proxy reads requests and writes responses on the client side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireMode {
+    /// The seed wire path: per-request parser allocations
+    /// (`Request::read`), an owned byte copy of the cached body per hit,
+    /// and responses dribbled through a `BufWriter`. Kept as the A/B
+    /// baseline (`pb-proxy --buffered-wire`, `proxy-ab`'s `base` cells).
+    Buffered,
+    /// Scratch-threaded parsing (`Request::read_into`), shared-`Body`
+    /// cache hits served without memcpy, and single-vectored-write
+    /// response assembly. Allocation-free per cached-hit request once the
+    /// connection's buffers are warm.
+    #[default]
+    ZeroCopy,
+}
+
 /// Proxy configuration.
 #[derive(Debug, Clone)]
 pub struct ProxyConfig {
@@ -92,6 +107,8 @@ pub struct ProxyConfig {
     pub report_hits: bool,
     /// Locking/pooling model (see [`ConcurrencyMode`]).
     pub mode: ConcurrencyMode,
+    /// Client-side wire handling (see [`WireMode`]).
+    pub wire: WireMode,
     /// Idle origin connections the pool retains (Sharded mode only).
     pub pool_max_idle: usize,
     /// Accept-loop worker/queue sizing.
@@ -114,6 +131,7 @@ impl ProxyConfig {
             policy: PolicyKind::Lru,
             report_hits: true,
             mode: ConcurrencyMode::Sharded { shards: 8 },
+            wire: WireMode::ZeroCopy,
             pool_max_idle: 32,
             serve: ServeOptions::default(),
             metrics: true,
@@ -129,9 +147,11 @@ struct ProxyShared {
     /// lookups take the read lock and only first-registrations write.
     table: RwLock<ResourceTable>,
     cache: ShardedCache,
-    /// Cached bodies, co-sharded with `cache` via the same hash so shard i
-    /// of the cache and shard i of the bodies cover the same resources.
-    bodies: Vec<Mutex<HashMap<ResourceId, Arc<Vec<u8>>>>>,
+    /// Cached bodies as shared [`Body`]s, co-sharded with `cache` via the
+    /// same hash so shard i of the cache and shard i of the bodies cover
+    /// the same resources. A hit clones the `Body` (a refcount bump) —
+    /// the stored bytes are never copied again after the retain-time copy.
+    bodies: ShardedBodyStore,
     /// Per-source RPV lists keyed by client peer address.
     rpv: Option<Mutex<RpvTable<SocketAddr>>>,
     reporter: Mutex<HitReporter>,
@@ -146,14 +166,6 @@ struct ProxyShared {
 }
 
 impl ProxyShared {
-    fn body_shard(&self, r: ResourceId) -> &Mutex<HashMap<ResourceId, Arc<Vec<u8>>>> {
-        &self.bodies[shard_index(r, self.bodies.len())]
-    }
-
-    fn body(&self, r: ResourceId) -> Option<Arc<Vec<u8>>> {
-        self.body_shard(r).lock().get(&r).cloned()
-    }
-
     /// The filter to send upstream, with this source's RPV ids attached.
     fn filter_for(&self, source: SocketAddr, now: Timestamp) -> ProxyFilter {
         let mut filter = self.cfg.filter.clone();
@@ -212,7 +224,7 @@ pub fn start_proxy(cfg: ProxyConfig) -> io::Result<ProxyHandle> {
         clock: Clock::new(),
         table: RwLock::new(ResourceTable::new()),
         cache: ShardedCache::new(cfg.capacity_bytes, shards, cfg.policy),
-        bodies: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        bodies: ShardedBodyStore::new(shards),
         rpv: cfg
             .rpv
             .map(|(len, t)| Mutex::new(RpvTable::new(RPV_MAX_SOURCES, len, t))),
@@ -235,24 +247,58 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ProxyShared>) -> io::Result
         .peer_addr()
         .unwrap_or_else(|_| SocketAddr::from(([0, 0, 0, 0], 0)));
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        let req = match Request::read(&mut reader) {
-            Ok(r) => r,
-            Err(_) => return Ok(()),
-        };
-        let keep = req.keep_alive();
-        let resp = handle_request(&req, shared, source);
-        resp.write(&mut writer)?;
-        if !keep {
-            return Ok(());
+    let mut scratch = ConnScratch::new();
+    match shared.cfg.wire {
+        WireMode::ZeroCopy => {
+            // Steady state allocates nothing per request: the request is
+            // parsed into reused buffers, a hit clones the shared body
+            // (refcount bump), and the response head is formatted into
+            // the scratch and emitted together with the referenced body
+            // bytes in one vectored write.
+            let mut writer = stream;
+            let mut req = Request::empty();
+            loop {
+                if req.read_into(&mut reader, &mut scratch).is_err() {
+                    return Ok(());
+                }
+                let keep = req.keep_alive();
+                match handle_request(&req, shared, source, &mut scratch) {
+                    Reply::Hit { body, lm } => write_hit(&mut writer, &mut scratch, &body, lm)?,
+                    Reply::Full(resp) => resp.write_with(&mut writer, &mut scratch)?,
+                }
+                if !keep {
+                    return Ok(());
+                }
+            }
+        }
+        WireMode::Buffered => {
+            let mut writer = BufWriter::new(stream);
+            loop {
+                let req = match Request::read(&mut reader) {
+                    Ok(r) => r,
+                    Err(_) => return Ok(()),
+                };
+                let keep = req.keep_alive();
+                let resp = match handle_request(&req, shared, source, &mut scratch) {
+                    // Replicate the seed hit cost: an owned copy of the
+                    // cached bytes into the response.
+                    Reply::Hit { body, lm } => {
+                        cached_response(&Body::from(body.as_slice()), lm, "HIT")
+                    }
+                    Reply::Full(resp) => resp,
+                };
+                resp.write(&mut writer)?;
+                if !keep {
+                    return Ok(());
+                }
+            }
         }
     }
 }
 
 /// The plan phase 1 hands to the rest of the request.
 enum Plan {
-    ServeFresh(Arc<Vec<u8>>, Timestamp),
+    ServeFresh(Body, Timestamp),
     Fetch {
         validate_lm: Option<Timestamp>,
         filter: ProxyFilter,
@@ -260,19 +306,32 @@ enum Plan {
     },
 }
 
-fn handle_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) -> Response {
+/// What a request resolves to: a fresh cache hit served straight from the
+/// shared body (no `Response` is built, no headers are allocated), or a
+/// full response for every other outcome.
+enum Reply {
+    Hit { body: Body, lm: Timestamp },
+    Full(Response),
+}
+
+fn handle_request(
+    req: &Request,
+    shared: &Arc<ProxyShared>,
+    source: SocketAddr,
+    scratch: &mut ConnScratch,
+) -> Reply {
     if req.method != "GET" {
-        return Response::new(400);
+        return Reply::Full(Response::new(400));
     }
-    let path = strip_origin_form(&req.target).to_owned();
+    let path = strip_origin_form(&req.target);
     // Admin scrape, answered before the request counter so scrapes never
     // disturb the conservation invariant they report on.
     if path == METRICS_PATH {
-        return if shared.cfg.metrics {
+        return Reply::Full(if shared.cfg.metrics {
             metrics_response(shared)
         } else {
             Response::new(404)
-        };
+        });
     }
     let start = Instant::now();
 
@@ -285,18 +344,18 @@ fn handle_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) 
         let cached = shared
             .table
             .read()
-            .lookup(&path)
+            .lookup(path)
             .and_then(|r| shared.cache.lookup(r, now).map(|snap| (r, snap)));
         match cached {
             Some((r, snap)) if snap.is_fresh(now) => {
                 // A fresh entry whose body was invalidated underneath us
                 // (concurrent piggyback) degrades to a plain fetch.
-                match shared.body(r) {
+                match shared.bodies.get(r) {
                     Some(body) => {
                         shared.stats.cache_hits.fetch_add(1, Relaxed);
                         shared.stats.fresh_hits.fetch_add(1, Relaxed);
                         if shared.cfg.report_hits {
-                            shared.reporter.lock().record_hit(&path);
+                            shared.reporter.lock().record_hit(path);
                         }
                         Plan::ServeFresh(body, snap.last_modified)
                     }
@@ -327,7 +386,7 @@ fn handle_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) 
     let (validate_lm, filter, report) = match plan {
         Plan::ServeFresh(body, lm) => {
             shared.obs.fresh_hit.record(start.elapsed());
-            return cached_response(&body, lm, "HIT");
+            return Reply::Hit { body, lm };
         }
         Plan::Fetch {
             validate_lm,
@@ -337,13 +396,20 @@ fn handle_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) 
     };
 
     // Phase 2: upstream exchange (no state locks held).
-    let resp = exchange_upstream(shared, &path, validate_lm, &filter, report.as_deref());
+    let resp = exchange_upstream(
+        shared,
+        path,
+        validate_lm,
+        &filter,
+        report.as_deref(),
+        scratch,
+    );
     let resp = match resp {
         Ok(r) => r,
         Err(_) => {
             shared.stats.upstream_errors.fetch_add(1, Relaxed);
             shared.obs.error.record(start.elapsed());
-            return Response::new(502);
+            return Reply::Full(Response::new(502));
         }
     };
 
@@ -357,11 +423,11 @@ fn handle_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) 
             // The table never forgets ids, so the validated path resolves;
             // the body may have been evicted concurrently (served empty,
             // exactly as the original did).
-            let r = shared.table.read().lookup(&path);
+            let r = shared.table.read().lookup(path);
             let body = r
                 .and_then(|r| {
                     shared.cache.freshen(r, now + delta);
-                    shared.body(r)
+                    shared.bodies.get(r)
                 })
                 .unwrap_or_default();
             let lm = validate_lm.unwrap_or(Timestamp::ZERO);
@@ -380,11 +446,15 @@ fn handle_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) 
                 .map(|u| timestamp_from_unix(u, DEFAULT_TRACE_EPOCH_UNIX))
                 .unwrap_or(now);
             let size = resp.body.len() as u64;
-            let r = shared.table.write().register_path(&path, size, lm);
-            let body = Arc::new(resp.body.clone());
+            let r = shared.table.write().register_path(path, size, lm);
+            // Retain the fetched bytes once; every hit from here on is a
+            // refcount bump on this same allocation.
+            let body = resp.body.clone();
             // Body first, then the entry: a concurrent lookup never sees
-            // an entry without its body (the reverse order could).
-            shared.body_shard(r).lock().insert(r, Arc::clone(&body));
+            // an entry without its body (the reverse order could). The
+            // evictees share r's shard (the stores are co-sharded), so
+            // insert and cleanup stay under one body-shard lock each.
+            shared.bodies.insert(r, body.clone());
             let evicted = shared.cache.insert(
                 r,
                 CacheEntry {
@@ -397,11 +467,11 @@ fn handle_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) 
                 now,
             );
             if !evicted.is_empty() {
-                // Evictees share r's shard (the stores are co-sharded).
-                let mut bodies = shared.body_shard(r).lock();
-                for v in evicted {
-                    bodies.remove(&v);
-                }
+                shared.bodies.with_resource_shard(r, |bodies| {
+                    for v in evicted {
+                        bodies.remove(&v);
+                    }
+                });
             }
             cached_response(&body, lm, "MISS")
         }
@@ -446,7 +516,7 @@ fn handle_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) 
                         // Entry first, then body: a concurrent lookup that
                         // wins the entry also finds the body still there.
                         shared.cache.remove(r);
-                        shared.body_shard(r).lock().remove(&r);
+                        shared.bodies.remove(r);
                         shared.stats.piggyback_invalidations.fetch_add(1, Relaxed);
                     }
                     ElementAction::PrefetchCandidate => {
@@ -462,7 +532,7 @@ fn handle_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) 
         _ => &shared.obs.passthrough,
     };
     hist.record(start.elapsed());
-    result
+    Reply::Full(result)
 }
 
 /// Render the proxy's Prometheus exposition. Reads only atomics and the
@@ -592,7 +662,7 @@ fn metrics_response(shared: &ProxyShared) -> Response {
     let mut resp = Response::new(200);
     resp.headers
         .insert("Content-Type", "text/plain; version=0.0.4");
-    resp.body = out.into_bytes();
+    resp.body = out.into();
     resp
 }
 
@@ -608,6 +678,7 @@ fn exchange_upstream(
     validate_lm: Option<Timestamp>,
     filter: &ProxyFilter,
     report: Option<&str>,
+    scratch: &mut ConnScratch,
 ) -> Result<Response, piggyback_httpwire::HttpError> {
     for attempt in 0..2 {
         if attempt == 1 {
@@ -632,7 +703,7 @@ fn exchange_upstream(
                 .insert("If-Modified-Since", &format_rfc1123(unix));
         }
         let io_result = req
-            .write(&mut conn.writer)
+            .write_with(&mut conn.writer, scratch)
             .map_err(piggyback_httpwire::HttpError::from)
             .and_then(|()| Response::read(&mut conn.reader, false));
         match io_result {
@@ -652,13 +723,38 @@ fn exchange_upstream(
     unreachable!("retry loop always returns by the second attempt")
 }
 
-fn cached_response(body: &Arc<Vec<u8>>, lm: Timestamp, x_cache: &str) -> Response {
+fn cached_response(body: &Body, lm: Timestamp, x_cache: &str) -> Response {
     let mut resp = Response::new(200);
     let unix = unix_from_timestamp(lm, DEFAULT_TRACE_EPOCH_UNIX);
     resp.headers.insert("Last-Modified", &format_rfc1123(unix));
     resp.headers.insert("X-Cache", x_cache);
-    resp.body = body.as_ref().clone();
+    resp.body = body.clone();
     resp
+}
+
+/// Serve a fresh cache hit without building a [`Response`]: the head is
+/// formatted straight into the connection scratch (the RFC 1123 date via
+/// [`Rfc1123`]'s `Display`, so no intermediate `String`) and emitted
+/// together with the shared body bytes — referenced, never copied — in
+/// one vectored write. Wire bytes are identical to
+/// `cached_response(body, lm, "HIT").write(..)`, which the
+/// `hit_bytes_match_cached_response` test pins down.
+fn write_hit<W: Write>(
+    w: &mut W,
+    scratch: &mut ConnScratch,
+    body: &Body,
+    lm: Timestamp,
+) -> io::Result<()> {
+    let unix = unix_from_timestamp(lm, DEFAULT_TRACE_EPOCH_UNIX);
+    scratch.out.clear();
+    write!(
+        scratch.out,
+        "HTTP/1.1 200 OK\r\nLast-Modified: {}\r\nX-Cache: HIT\r\nContent-Length: {}\r\n\r\n",
+        Rfc1123(unix),
+        body.len()
+    )?;
+    write_all_parts(w, &[scratch.out.as_slice(), body.as_slice()])?;
+    w.flush()
 }
 
 /// Build a `HeaderMap` holding the standard piggyback request headers —
@@ -707,6 +803,46 @@ mod tests {
         assert_eq!(stats.full_fetches, 1);
         assert_eq!(stats.outcomes(), stats.requests, "conservation");
 
+        proxy.stop();
+        origin.stop();
+    }
+
+    #[test]
+    fn hit_bytes_match_cached_response() {
+        // The zero-copy hit path must stay byte-identical to serializing
+        // the seed's full `Response` — for bodies of every interesting
+        // size class (empty, small, multi-chunk-buffer sized).
+        let mut scratch = ConnScratch::new();
+        for (body, lm) in [
+            (Body::empty(), Timestamp::ZERO),
+            (Body::from(b"hello".to_vec()), Timestamp::from_secs(12345)),
+            (
+                Body::from(vec![b'x'; 40_000]),
+                Timestamp::from_secs(86_400 * 900 + 3),
+            ),
+        ] {
+            let mut fast = Vec::new();
+            write_hit(&mut fast, &mut scratch, &body, lm).unwrap();
+            let mut seed = Vec::new();
+            cached_response(&body, lm, "HIT").write(&mut seed).unwrap();
+            assert_eq!(fast, seed, "body len {}", body.len());
+        }
+    }
+
+    #[test]
+    fn buffered_wire_mode_serves_identically() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let mut cfg = ProxyConfig::new(origin.addr());
+        cfg.wire = WireMode::Buffered;
+        let proxy = start_proxy(cfg).unwrap();
+        let path = origin.paths[0].clone();
+        let r1 = get(proxy.addr(), &path);
+        assert_eq!(r1.headers.get("X-Cache"), Some("MISS"));
+        let r2 = get(proxy.addr(), &path);
+        assert_eq!(r2.headers.get("X-Cache"), Some("HIT"));
+        assert_eq!(r1.body, r2.body);
+        let stats = proxy.stats();
+        assert_eq!(stats.outcomes(), stats.requests, "conservation");
         proxy.stop();
         origin.stop();
     }
@@ -886,7 +1022,7 @@ mod tests {
             m.headers.get("Content-Type"),
             Some("text/plain; version=0.0.4")
         );
-        let text = String::from_utf8(m.body.clone()).unwrap();
+        let text = String::from_utf8(m.body.to_vec()).unwrap();
         // The scrape itself must not disturb the request counter.
         assert!(text.contains("pb_proxy_requests_total 2\n"), "{text}");
         assert!(

@@ -206,7 +206,7 @@ mod tests {
                 let mut resp = Response::new(200);
                 resp.headers
                     .insert("Last-Modified", "Wed, 28 Jan 1998 00:00:00 GMT");
-                resp.body = synth_body(&path, 512);
+                resp.body = synth_body(&path, 512).into();
                 if resp.write(&mut w).is_err() || !keep {
                     return;
                 }

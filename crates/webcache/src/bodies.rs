@@ -1,0 +1,151 @@
+//! Co-sharded store of cached response bodies as shared [`Body`]s.
+//!
+//! The [`ShardedCache`](crate::sharded::ShardedCache) tracks metadata
+//! (sizes, freshness, recency); the actual payload bytes live here,
+//! routed by the same [`shard_index`] hash so "everything about resource
+//! `r` lives in shard `i`" stays true — an insert-plus-evictee-cleanup
+//! touches exactly one lock.
+//!
+//! Bodies are `Arc`-backed: [`get`](ShardedBodyStore::get) hands back a
+//! refcount bump, so a proxy cache hit serves the stored bytes without
+//! copying them. The bytes were copied exactly once, when the resource
+//! was fetched and retained.
+
+use crate::sharded::shard_index;
+use parking_lot::Mutex;
+use piggyback_core::types::ResourceId;
+use piggyback_httpwire::Body;
+use std::collections::HashMap;
+
+/// Sharded `ResourceId → Body` map; all methods take `&self`.
+pub struct ShardedBodyStore {
+    shards: Vec<Mutex<HashMap<ResourceId, Body>>>,
+}
+
+impl ShardedBodyStore {
+    /// Build with `shards` shards (at least 1). Use the same shard count
+    /// as the metadata cache to keep the two co-sharded.
+    pub fn new(shards: usize) -> Self {
+        ShardedBodyStore {
+            shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Run `f` with the shard that owns `r` locked — for multi-step
+    /// updates (insert the new body, drop the evictees) under one lock.
+    pub fn with_resource_shard<T>(
+        &self,
+        r: ResourceId,
+        f: impl FnOnce(&mut HashMap<ResourceId, Body>) -> T,
+    ) -> T {
+        let mut guard = self.shards[shard_index(r, self.shards.len())].lock();
+        f(&mut guard)
+    }
+
+    /// The stored body for `r`, as a zero-copy clone (refcount bump).
+    pub fn get(&self, r: ResourceId) -> Option<Body> {
+        self.with_resource_shard(r, |m| m.get(&r).cloned())
+    }
+
+    pub fn insert(&self, r: ResourceId, body: Body) {
+        self.with_resource_shard(r, |m| m.insert(r, body));
+    }
+
+    /// Remove `r`'s body (invalidation); returns whether it was present.
+    pub fn remove(&self, r: ResourceId) -> bool {
+        self.with_resource_shard(r, |m| m.remove(&r).is_some())
+    }
+
+    /// Total stored bodies (locks shards one at a time; approximate under
+    /// concurrent writers, like the cache's aggregate accessors).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for ShardedBodyStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedBodyStore")
+            .field("shards", &self.shards.len())
+            .field("bodies", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_returns_shared_bytes_without_copy() {
+        let store = ShardedBodyStore::new(8);
+        let body = Body::from(b"cached payload".to_vec());
+        let backing = body.as_slice().as_ptr();
+        store.insert(ResourceId(7), body);
+        let a = store.get(ResourceId(7)).unwrap();
+        let b = store.get(ResourceId(7)).unwrap();
+        // Every hit sees the same backing allocation: no memcpy.
+        assert_eq!(a.as_slice().as_ptr(), backing);
+        assert_eq!(b.as_slice().as_ptr(), backing);
+        assert_eq!(a, b"cached payload");
+        assert!(store.get(ResourceId(8)).is_none());
+    }
+
+    #[test]
+    fn insert_and_evict_under_one_shard_lock() {
+        let store = ShardedBodyStore::new(4);
+        // Ids that share a shard with id 1.
+        let home = shard_index(ResourceId(1), 4);
+        let mates: Vec<ResourceId> = (0..64u32)
+            .map(ResourceId)
+            .filter(|&r| shard_index(r, 4) == home)
+            .take(3)
+            .collect();
+        for &r in &mates {
+            store.insert(r, Body::from(b"old".to_vec()));
+        }
+        store.with_resource_shard(mates[0], |m| {
+            m.insert(mates[0], Body::from(b"new".to_vec()));
+            m.remove(&mates[1]);
+            m.remove(&mates[2]);
+        });
+        assert_eq!(store.get(mates[0]).unwrap(), b"new");
+        assert!(store.get(mates[1]).is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let store = std::sync::Arc::new(ShardedBodyStore::new(8));
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let store = std::sync::Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    let r = ResourceId((t * 31 + i) % 64);
+                    match i % 3 {
+                        0 => store.insert(r, Body::from(b"x".to_vec())),
+                        1 => {
+                            store.get(r);
+                        }
+                        _ => {
+                            store.remove(r);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(store.len() <= 64);
+    }
+}

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod adaptive;
+pub mod bodies;
 pub mod cache;
 pub mod hierarchy;
 pub mod informed;
@@ -49,6 +50,7 @@ pub mod sharded;
 pub mod sim;
 
 pub use adaptive::{ChangeEstimator, FreshnessPolicy};
+pub use bodies::ShardedBodyStore;
 pub use cache::{Cache, CacheEntry};
 pub use hierarchy::{simulate_hierarchy, HierarchyConfig, HierarchyReport};
 pub use informed::{simulate_fetch_queue, FetchJob, QueueReport, SchedulingOrder};

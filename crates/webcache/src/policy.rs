@@ -14,6 +14,9 @@
 use piggyback_core::types::{ResourceId, Timestamp};
 use std::collections::{BTreeSet, HashMap};
 
+#[cfg(test)]
+use std::collections::VecDeque;
+
 /// A replacement policy: tracks cached resources and nominates victims.
 ///
 /// The [`Cache`](crate::cache::Cache) drives all calls; implementations
@@ -36,12 +39,47 @@ pub trait ReplacementPolicy {
     }
 }
 
-/// Classic LRU over a recency index.
-#[derive(Debug, Default)]
+/// Sentinel slot index for the intrusive list ends.
+const NIL: usize = usize::MAX;
+
+/// One slab slot: a resource threaded into the recency list.
+#[derive(Debug, Clone, Copy)]
+struct LruNode {
+    r: ResourceId,
+    prev: usize,
+    next: usize,
+}
+
+/// Classic LRU as a slab-backed intrusive doubly-linked list.
+///
+/// The earlier implementation kept a `BTreeSet<(tick, id)>` recency
+/// index, which allocated (and freed) tree nodes on *every* touch — the
+/// last steady-state allocation on the proxy's cached-hit path. Here a
+/// touch is a `HashMap` lookup plus pointer splicing inside a reused
+/// `Vec` slab: freed slots go on a free list, so once the cache reaches
+/// its working set, accesses never allocate.
+#[derive(Debug)]
 pub struct Lru {
-    tick: u64,
-    order: BTreeSet<(u64, ResourceId)>,
-    pos: HashMap<ResourceId, u64>,
+    /// Resource → slab slot.
+    slots: HashMap<ResourceId, usize>,
+    nodes: Vec<LruNode>,
+    free: Vec<usize>,
+    /// Most recently used slot (NIL when empty).
+    head: usize,
+    /// Least recently used slot (NIL when empty) — the eviction end.
+    tail: usize,
+}
+
+impl Default for Lru {
+    fn default() -> Self {
+        Lru {
+            slots: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
 }
 
 impl Lru {
@@ -49,12 +87,62 @@ impl Lru {
         Self::default()
     }
 
-    fn touch(&mut self, r: ResourceId) {
-        self.tick += 1;
-        if let Some(old) = self.pos.insert(r, self.tick) {
-            self.order.remove(&(old, r));
+    /// Is `r` currently tracked?
+    pub fn contains(&self, r: ResourceId) -> bool {
+        self.slots.contains_key(&r)
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let LruNode { prev, next, .. } = self.nodes[i];
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
         }
-        self.order.insert((self.tick, r));
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn touch(&mut self, r: ResourceId) {
+        if let Some(&i) = self.slots.get(&r) {
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        let node = LruNode {
+            r,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.slots.insert(r, i);
+        self.push_front(i);
     }
 }
 
@@ -68,17 +156,22 @@ impl ReplacementPolicy for Lru {
     }
 
     fn evict_candidate(&mut self) -> Option<ResourceId> {
-        self.order.first().map(|&(_, r)| r)
+        if self.tail == NIL {
+            None
+        } else {
+            Some(self.nodes[self.tail].r)
+        }
     }
 
     fn remove(&mut self, r: ResourceId) {
-        if let Some(old) = self.pos.remove(&r) {
-            self.order.remove(&(old, r));
+        if let Some(i) = self.slots.remove(&r) {
+            self.unlink(i);
+            self.free.push(i);
         }
     }
 
     fn len(&self) -> usize {
-        self.pos.len()
+        self.slots.len()
     }
 }
 
@@ -174,7 +267,7 @@ impl ReplacementPolicy for PiggybackAware {
     fn on_piggyback_mention(&mut self, r: ResourceId, size: u64, now: Timestamp) {
         // Only refresh resources already tracked (the cache filters, but be
         // defensive).
-        if self.inner.pos.contains_key(&r) {
+        if self.inner.contains(r) {
             self.inner.on_access(r, size, now);
         }
     }
@@ -233,6 +326,63 @@ mod tests {
         p.remove(r(2));
         assert_eq!(p.evict_candidate(), Some(r(3)));
         assert_eq!(p.len(), 2);
+    }
+
+    /// The slab LRU must order evictions exactly like a reference model
+    /// (a deque with most-recent at the back) under arbitrary op mixes,
+    /// and reuse freed slots instead of growing the slab.
+    #[test]
+    fn lru_matches_reference_model_and_reuses_slots() {
+        let mut p = Lru::new();
+        let mut model: VecDeque<ResourceId> = VecDeque::new();
+        // Deterministic pseudo-random op stream.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..5_000 {
+            let id = r((next() % 24) as u32);
+            match next() % 4 {
+                0 | 1 => {
+                    p.on_access(id, 10, ts(step));
+                    if !model.contains(&id) {
+                        // touch of untracked id inserts, like the slab
+                        model.push_back(id);
+                    } else {
+                        model.retain(|&x| x != id);
+                        model.push_back(id);
+                    }
+                }
+                2 => {
+                    p.on_insert(id, 10, ts(step));
+                    model.retain(|&x| x != id);
+                    model.push_back(id);
+                }
+                _ => {
+                    p.remove(id);
+                    model.retain(|&x| x != id);
+                }
+            }
+            assert_eq!(p.len(), model.len(), "step {step}");
+            assert_eq!(p.evict_candidate(), model.front().copied(), "step {step}");
+        }
+        // At most 24 distinct ids were ever live, so the slab must have
+        // recycled slots rather than growing per insert.
+        assert!(
+            p.nodes.len() <= 24,
+            "slab grew to {} slots for 24 ids",
+            p.nodes.len()
+        );
+        // Full drain in model order.
+        while let Some(victim) = p.evict_candidate() {
+            assert_eq!(Some(victim), model.front().copied());
+            p.remove(victim);
+            model.pop_front();
+        }
+        assert!(p.is_empty() && model.is_empty());
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn main() {
             let mut resp = Response::new(200);
             resp.headers
                 .insert("Last-Modified", "Wed, 28 Jan 1998 00:00:00 GMT");
-            resp.body = synth_body(&req.target, 800);
+            resp.body = synth_body(&req.target, 800).into();
             if resp.write(&mut w).is_err() || !keep {
                 return;
             }

@@ -72,7 +72,7 @@ fn reference_bodies(origin: SocketAddr, paths: &[String]) -> HashMap<String, Vec
         .map(|p| {
             let resp = client.get(p, &[]).unwrap();
             assert_eq!(resp.status, 200);
-            (p.clone(), resp.body)
+            (p.clone(), resp.body.to_vec())
         })
         .collect()
 }
@@ -342,7 +342,7 @@ fn origin_conservation_run(legacy: bool) {
                 while !stop.load(Ordering::SeqCst) {
                     let st = client.get("/_pb/stats", &[]).unwrap();
                     assert_eq!(st.status, 200);
-                    let body = String::from_utf8(st.body).unwrap();
+                    let body = String::from_utf8(st.body.to_vec()).unwrap();
                     // Mid-flight reads may lag individual counters but must
                     // never *overshoot* the requests they account for.
                     let requests = stats_field(&body, "requests");
@@ -442,7 +442,7 @@ fn origin_conservation_run(legacy: bool) {
 
     // The HTTP surface reports the same ledger.
     let mut client = HttpClient::connect(addr).unwrap();
-    let body = String::from_utf8(client.get("/_pb/stats", &[]).unwrap().body).unwrap();
+    let body = String::from_utf8(client.get("/_pb/stats", &[]).unwrap().body.to_vec()).unwrap();
     assert_eq!(stats_field(&body, "requests"), s.requests);
     assert_eq!(stats_field(&body, "piggybacks_sent"), s.piggybacks_sent);
     assert_eq!(stats_field(&body, "suppressed"), s.suppressed);

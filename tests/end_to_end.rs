@@ -112,7 +112,7 @@ fn volume_center_chain_end_to_end() {
             let mut resp = Response::new(200);
             resp.headers
                 .insert("Last-Modified", "Wed, 28 Jan 1998 00:00:00 GMT");
-            resp.body = synth_body(&req.target, 400);
+            resp.body = synth_body(&req.target, 400).into();
             if resp.write(&mut w).is_err() || !keep {
                 return;
             }

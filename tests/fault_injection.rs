@@ -63,7 +63,7 @@ fn flaky_origin() -> (piggyback::proxyd::util::ServerHandle, Arc<AtomicUsize>) {
             let mut resp = Response::new(200);
             resp.headers
                 .insert("Last-Modified", "Wed, 28 Jan 1998 00:00:00 GMT");
-            resp.body = b"recovered".to_vec();
+            resp.body = b"recovered".into();
             if resp.write(&mut w).is_err() || !keep {
                 return;
             }
@@ -164,7 +164,7 @@ fn slow_origin(delay: Duration) -> piggyback::proxyd::util::ServerHandle {
             let mut resp = Response::new(200);
             resp.headers
                 .insert("Last-Modified", "Wed, 28 Jan 1998 00:00:00 GMT");
-            resp.body = b"slow but sound".to_vec();
+            resp.body = b"slow but sound".into();
             if resp.write(&mut w).is_err() || !keep {
                 return;
             }
@@ -183,7 +183,7 @@ fn one_shot_origin() -> piggyback::proxyd::util::ServerHandle {
             let mut resp = Response::new(200);
             resp.headers
                 .insert("Last-Modified", "Wed, 28 Jan 1998 00:00:00 GMT");
-            resp.body = b"one shot".to_vec();
+            resp.body = b"one shot".into();
             let _ = resp.write(&mut w);
         }
     })
@@ -205,7 +205,7 @@ fn chatty_origin() -> piggyback::proxyd::util::ServerHandle {
             let mut resp = Response::new(200);
             resp.headers
                 .insert("Last-Modified", "Wed, 28 Jan 1998 00:00:00 GMT");
-            resp.body = b"payload".to_vec();
+            resp.body = b"payload".into();
             if resp.write(&mut w).is_err() {
                 return;
             }

@@ -51,7 +51,7 @@ fn scrape(addr: SocketAddr) -> String {
         resp.headers.get("Content-Type"),
         Some("text/plain; version=0.0.4")
     );
-    String::from_utf8(resp.body).expect("exposition is UTF-8")
+    String::from_utf8(resp.body.to_vec()).expect("exposition is UTF-8")
 }
 
 /// The value of the unique sample named exactly `name` (no labels).

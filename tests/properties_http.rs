@@ -2,7 +2,7 @@
 //! must never panic or hang the parser, and every serializable message
 //! must round-trip exactly.
 
-use piggyback::httpwire::{read_chunked, HeaderMap, Request, Response};
+use piggyback::httpwire::{read_chunked, ConnScratch, HeaderMap, Request, Response};
 use proptest::prelude::*;
 use std::io::BufReader;
 
@@ -61,7 +61,7 @@ proptest! {
             req.headers.insert(n, v);
         }
         if method == "POST" {
-            req.body = body;
+            req.body = body.into();
         }
         let mut wire = Vec::new();
         req.write(&mut wire).unwrap();
@@ -90,7 +90,7 @@ proptest! {
         let mut resp = Response::new(status);
         resp.headers.insert("Content-Type", "text/html");
         if !Response::bodiless_status(status) {
-            resp.body = body;
+            resp.body = body.into();
         }
         if let Some(t) = &trailer {
             resp.trailers.insert("P-volume", t);
@@ -124,6 +124,92 @@ proptest! {
             prop_assert_eq!(&parsed.target, t);
         }
         prop_assert!(Request::read(&mut reader).is_err(), "stream exhausted");
+    }
+
+    /// The scratch-threaded request serializer emits bytes identical to
+    /// the seed serializer, including when the scratch is reused across
+    /// messages (the steady-state shape on a keep-alive connection).
+    #[test]
+    fn request_write_with_is_byte_identical(
+        method in prop_oneof![Just("GET"), Just("POST"), Just("HEAD")],
+        target in arb_target(),
+        headers in proptest::collection::vec((arb_token(), arb_header_value()), 0..8),
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut req = Request::new(method, &target);
+        for (n, v) in &headers {
+            if n.eq_ignore_ascii_case("content-length")
+                || n.eq_ignore_ascii_case("transfer-encoding") {
+                continue;
+            }
+            req.headers.insert(n, v);
+        }
+        if method == "POST" {
+            req.body = body.into();
+        }
+        let mut seed = Vec::new();
+        req.write(&mut seed).unwrap();
+        let mut scratch = ConnScratch::new();
+        for _ in 0..2 {
+            let mut wire = Vec::new();
+            req.write_with(&mut wire, &mut scratch).unwrap();
+            prop_assert_eq!(&wire, &seed);
+        }
+    }
+
+    /// Same for responses, across every framing the serializer can emit:
+    /// identity (Content-Length), chunked via a Transfer-Encoding header,
+    /// chunked via trailers, and bodiless statuses.
+    #[test]
+    fn response_write_with_is_byte_identical(
+        status in prop_oneof![Just(200u16), Just(204), Just(304), Just(404), Just(500)],
+        headers in proptest::collection::vec((arb_token(), arb_header_value()), 0..8),
+        body in proptest::collection::vec(any::<u8>(), 0..2048),
+        chunked in any::<bool>(),
+        trailer in proptest::option::of(arb_header_value()),
+    ) {
+        let mut resp = Response::new(status);
+        for (n, v) in &headers {
+            if n.eq_ignore_ascii_case("content-length")
+                || n.eq_ignore_ascii_case("transfer-encoding")
+                || n.eq_ignore_ascii_case("trailer") {
+                continue;
+            }
+            resp.headers.insert(n, v);
+        }
+        if chunked {
+            resp.headers.insert("Transfer-Encoding", "chunked");
+        }
+        if !Response::bodiless_status(status) {
+            resp.body = body.into();
+        }
+        if let Some(t) = &trailer {
+            resp.trailers.insert("P-volume", t);
+        }
+        let mut seed = Vec::new();
+        resp.write(&mut seed).unwrap();
+        let mut scratch = ConnScratch::new();
+        for _ in 0..2 {
+            let mut wire = Vec::new();
+            resp.write_with(&mut wire, &mut scratch).unwrap();
+            prop_assert_eq!(&wire, &seed);
+        }
+    }
+
+    /// Header values carrying CR or LF are rejected before they can reach
+    /// either serializer — response splitting is impossible by
+    /// construction on both wire paths.
+    #[test]
+    fn headers_reject_crlf_injection(
+        name in arb_token(),
+        prefix in "[ -~]{0,20}",
+        evil in prop_oneof![Just('\r'), Just('\n')],
+        suffix in "[ -~]{0,20}",
+    ) {
+        let value = format!("{prefix}{evil}{suffix}");
+        let mut map = HeaderMap::new();
+        prop_assert!(map.try_insert(&name, &value).is_err());
+        prop_assert_eq!(map.len(), 0);
     }
 
     /// Header maps behave like case-insensitive multimaps under arbitrary
