@@ -1,0 +1,269 @@
+//! `ext-netprofile` — end-to-end piggyback benefit across network
+//! profiles, replayed from the committed reference inventory.
+//!
+//! The paper's §5 claim is that piggyback validation buys more as the
+//! client-to-server path gets worse: every avoided `If-Modified-Since`
+//! round trip saves one RTT, so the win should be invisible on a LAN and
+//! large over dialup. Loopback benches cannot show this — the RTT they
+//! avoid is microseconds. This experiment reconstructs the full chain
+//!
+//! ```text
+//! client -> proxy -> [adverse-network shim] volume center -> replay origin
+//! ```
+//!
+//! with the *same committed recording* serving as origin for every cell,
+//! and a seeded [`Conditioner`](piggyback_proxyd::netem) imposing each
+//! profile's latency/bandwidth schedule on the relay path. Per profile,
+//! two arms differ only in the proxy's filter: `pb` (maxpiggy=10) lets
+//! volume piggybacks freshen directory-mates, `nopb` (maxpiggy=0)
+//! revalidates every stale page individually. The workload walks the
+//! site's directories with a freshness interval shorter than the
+//! inter-round gap, so each round is all-stale and the arms differ exactly
+//! in how many validations one round trip can retire.
+//!
+//! Cells land in `BENCH_pipeline.json` as `ext_netprofile_<profile>_<arm>`
+//! with per-request p50/p90/p99 latency percentiles. The run fails if the
+//! per-request piggyback win does not grow LAN -> DSL -> dialup.
+//!
+//! Environment: `PB_INVENTORY` overrides the inventory path,
+//! `PB_NETEM_SCALE` (default 0.25) scales the profiles' time constants,
+//! `PB_SCALE` scales the measured round count.
+
+use piggyback_bench::{banner, cell_seed, print_table, record_cell_stats, scale_factor};
+use piggyback_core::filter::ProxyFilter;
+use piggyback_core::types::DurationMs;
+use piggyback_proxyd::client::run_sequence;
+use piggyback_proxyd::netem::{NetProfile, ShimConfig};
+use piggyback_proxyd::obs::HistogramSnapshot;
+use piggyback_proxyd::proxy::{start_proxy, ProxyConfig};
+use piggyback_proxyd::replay_origin::{start_replay_origin, ReplayConfig, ReplayTiming};
+use piggyback_proxyd::volume_center::{start_volume_center, VolumeCenterConfig};
+use piggyback_trace::inventory::{reference_inventory_path, Inventory};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Freshness interval Δ: long enough that a piggyback-freshened
+/// directory-mate is still fresh when the round reaches it moments later,
+/// short enough that the inter-round gap staleness every page again.
+const FRESHNESS_MS: u64 = 100;
+/// Gap between measured rounds; must exceed [`FRESHNESS_MS`].
+const ROUND_GAP_MS: u64 = 150;
+/// Directory volumes deep enough to saturate at each page's own directory.
+const VOLUME_LEVEL: usize = 8;
+const MAX_DIRS: usize = 6;
+const PATHS_PER_DIR: usize = 5;
+
+fn netem_scale() -> f64 {
+    std::env::var("PB_NETEM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|f: &f64| *f > 0.0)
+        .unwrap_or(0.25)
+}
+
+/// The workload: recorded paths grouped directory-by-directory (so
+/// volume-mates are adjacent and one validation's piggyback covers the
+/// requests that immediately follow), capped to keep dialup cells short.
+fn workload(inv: &Inventory) -> Vec<String> {
+    let mut dirs: Vec<(String, Vec<String>)> = Vec::new();
+    for path in inv.paths() {
+        let dir = path
+            .rsplit_once('/')
+            .map(|(d, _)| d)
+            .unwrap_or("")
+            .to_owned();
+        match dirs.iter_mut().find(|(d, _)| *d == dir) {
+            Some((_, paths)) => paths.push(path),
+            None => dirs.push((dir, vec![path])),
+        }
+    }
+    dirs.retain(|(_, paths)| paths.len() >= 2);
+    dirs.truncate(MAX_DIRS);
+    dirs.into_iter()
+        .flat_map(|(_, mut paths)| {
+            paths.truncate(PATHS_PER_DIR);
+            paths
+        })
+        .collect()
+}
+
+struct CellResult {
+    /// Mean per-request latency over the measured rounds, ms.
+    mean_ms: f64,
+    /// Merged per-request latency distribution (µs).
+    hist: HistogramSnapshot,
+    wall: Duration,
+    freshens: u64,
+    fresh_hits: u64,
+}
+
+/// One (profile, arm) cell: fresh stack, one unmeasured warmup round that
+/// populates the cache and teaches the volume center the site, then
+/// `rounds` measured all-stale rounds.
+fn run_cell(
+    inventory: &Arc<Inventory>,
+    profile: NetProfile,
+    seed: u64,
+    max_piggy: u32,
+    rounds: usize,
+    paths: &[String],
+) -> CellResult {
+    let pname = profile.name;
+    let replay = start_replay_origin(ReplayConfig {
+        port: 0,
+        inventory: Arc::clone(inventory),
+        timing: ReplayTiming::Immediate,
+    })
+    .expect("replay origin starts");
+    let center = start_volume_center(VolumeCenterConfig {
+        port: 0,
+        origin: replay.addr(),
+        volume_level: VOLUME_LEVEL,
+        shim: Some(ShimConfig { profile, seed }),
+    })
+    .expect("volume center starts");
+    let mut cfg = ProxyConfig::new(center.addr());
+    cfg.freshness = DurationMs::from_millis(FRESHNESS_MS);
+    cfg.filter = ProxyFilter::builder().max_piggy(max_piggy).build();
+    cfg.rpv = None;
+    cfg.report_hits = false;
+    let proxy = start_proxy(cfg).expect("proxy starts");
+
+    let warm = run_sequence(proxy.addr(), paths).expect("warmup round");
+    assert_eq!(warm.ok, paths.len() as u64, "warmup must be all-200");
+
+    let mut hist = HistogramSnapshot::default();
+    let mut mean_sum = 0.0;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        std::thread::sleep(Duration::from_millis(ROUND_GAP_MS));
+        let report = run_sequence(proxy.addr(), paths).expect("measured round");
+        assert_eq!(
+            report.errors, 0,
+            "measured rounds must complete cleanly (profile {pname})"
+        );
+        hist.merge(&report.histogram);
+        mean_sum += report.mean_latency_ms;
+    }
+    let wall = start.elapsed();
+
+    let stats = proxy.stats();
+    assert_eq!(
+        replay.stats().divergences,
+        0,
+        "every proxied request must match the recording"
+    );
+    proxy.stop();
+    center.stop();
+    replay.stop();
+    CellResult {
+        mean_ms: mean_sum / rounds as f64,
+        hist,
+        wall,
+        freshens: stats.piggyback_freshens,
+        fresh_hits: stats.fresh_hits,
+    }
+}
+
+fn main() {
+    banner(
+        "ext-netprofile",
+        "piggyback end-to-end win across network profiles (replayed inventory)",
+    );
+    let inv_path = std::env::var("PB_INVENTORY")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| reference_inventory_path());
+    let inventory = match Inventory::load(&inv_path) {
+        Ok(inv) => Arc::new(inv),
+        Err(e) => {
+            eprintln!(
+                "could not load {} ({e}); run make-inventory first",
+                inv_path.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    let paths = workload(&inventory);
+    let rounds = ((4.0 * scale_factor()).round() as usize).max(2);
+    let scale = netem_scale();
+    println!(
+        "inventory {} ({} entries); workload {} paths across <= {MAX_DIRS} dirs; \
+         {rounds} measured rounds; netem scale {scale}",
+        inventory.name,
+        inventory.entries.len(),
+        paths.len(),
+    );
+
+    let mut rows = Vec::new();
+    let mut wins = Vec::new();
+    for (i, name) in NetProfile::names().iter().enumerate() {
+        let profile = NetProfile::named(name)
+            .expect("built-in profile")
+            .scaled(scale);
+        let seed = cell_seed("ext_netprofile", i);
+        // Both arms run the identical conditioner schedule: same profile,
+        // same seed, and the same per-round request count.
+        let pb = run_cell(&inventory, profile.clone(), seed, 10, rounds, &paths);
+        let nopb = run_cell(&inventory, profile, seed, 0, rounds, &paths);
+        assert!(
+            pb.freshens > 0,
+            "{name}: the pb arm must observe piggyback freshens"
+        );
+        assert!(
+            pb.fresh_hits > nopb.fresh_hits,
+            "{name}: piggybacks must convert validations into fresh hits \
+             (pb {} vs nopb {})",
+            pb.fresh_hits,
+            nopb.fresh_hits
+        );
+        let win = nopb.mean_ms - pb.mean_ms;
+        for (arm, cell) in [("pb", &pb), ("nopb", &nopb)] {
+            let id = format!("ext_netprofile_{name}_{arm}");
+            record_cell_stats(&id, cell.wall, cell.hist.percentiles());
+            let (p50, p90, p99, _) = cell.hist.percentiles();
+            rows.push(vec![
+                id,
+                format!("{:.2}", cell.mean_ms),
+                format!("{:.2}", p50 as f64 / 1000.0),
+                format!("{:.2}", p90 as f64 / 1000.0),
+                format!("{:.2}", p99 as f64 / 1000.0),
+                cell.freshens.to_string(),
+            ]);
+        }
+        println!(
+            "{name}: pb {:.2} ms vs nopb {:.2} ms -> win {win:.2} ms/request",
+            pb.mean_ms, nopb.mean_ms
+        );
+        wins.push((*name, win));
+    }
+
+    println!();
+    print_table(
+        &["cell", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "freshens"],
+        &rows,
+    );
+    let win_of = |n: &str| wins.iter().find(|(name, _)| *name == n).unwrap().1;
+    println!(
+        "\nper-request win: lan {:.2} ms  mobile {:.2} ms  dsl {:.2} ms  dialup {:.2} ms",
+        win_of("lan"),
+        win_of("mobile"),
+        win_of("dsl"),
+        win_of("dialup")
+    );
+
+    // The paper's claim, now checkable off loopback: the end-to-end win
+    // grows with RTT. A small absolute slack absorbs scheduler noise in
+    // the sub-millisecond LAN cell.
+    let slack = 0.5 * netem_scale();
+    for (slower, faster) in [("dsl", "lan"), ("dialup", "dsl")] {
+        if win_of(slower) + slack < win_of(faster) {
+            eprintln!(
+                "FAIL: win({slower}) = {:.2} ms is not >= win({faster}) = {:.2} ms",
+                win_of(slower),
+                win_of(faster)
+            );
+            std::process::exit(1);
+        }
+    }
+    println!("win grows with RTT: lan <= dsl <= dialup");
+}

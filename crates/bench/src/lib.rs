@@ -23,7 +23,8 @@ use piggyback_trace::ServerLog;
 
 pub mod sweep;
 pub use sweep::{
-    cell_seed, pb_threads, record_cell, run_timed, shared_client_trace, shared_server_log, sweep,
+    cell_seed, pb_threads, record_cell, record_cell_stats, run_timed, shared_client_trace,
+    shared_server_log, sweep,
 };
 
 /// Benchmark-scale factors per profile, tuned for ~50k-request logs.

@@ -194,6 +194,30 @@ pub fn record_cell(id: &str, wall: std::time::Duration) {
     }
 }
 
+/// [`record_cell`] with explicit latency percentiles, for benches that
+/// measure per-request latency with their own [`LatencyHistogram`] (rather
+/// than per-cell wall times via [`sweep`]). `percentiles` is the
+/// `(p50, p90, p99, max)` microsecond tuple from
+/// [`HistogramSnapshot::percentiles`].
+pub fn record_cell_stats(id: &str, wall: std::time::Duration, percentiles: (u64, u64, u64, u64)) {
+    let (p50_us, p90_us, p99_us, max_us) = percentiles;
+    let entry = BenchEntry {
+        id: id.to_string(),
+        threads: pb_threads(),
+        wall_ms: wall.as_millis() as u64,
+        peak_rss_kb: peak_rss_kb(),
+        cell_percentiles: Some(CellPercentiles {
+            p50_us,
+            p90_us,
+            p99_us,
+            max_us,
+        }),
+    };
+    if let Err(e) = merge_into_bench_file(&bench_path(), &entry) {
+        eprintln!("warning: could not update {}: {e}", bench_path());
+    }
+}
+
 /// Peak resident set size of this process in KiB, when the platform
 /// exposes it (`VmHWM` in `/proc/self/status` on Linux).
 pub fn peak_rss_kb() -> Option<u64> {

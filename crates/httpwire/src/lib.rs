@@ -36,6 +36,7 @@ pub mod headers;
 pub mod message;
 pub mod parse;
 pub mod scratch;
+pub mod timing;
 
 pub use body::Body;
 pub use chunked::{read_chunked, read_chunked_into, write_chunked};
@@ -43,3 +44,4 @@ pub use error::HttpError;
 pub use headers::{HeaderMap, InvalidHeader};
 pub use message::{reason_phrase, Request, Response, Version};
 pub use scratch::{flush_segments, write_all_parts, ConnScratch, Seg};
+pub use timing::TimedReader;

@@ -1,0 +1,116 @@
+//! Timestamped read hooks for the record/replay harness.
+//!
+//! The record tap needs two wall-clock marks per upstream exchange:
+//! **TTFB** (request forwarded → first response byte available) and
+//! **transfer duration** (first byte → message complete). Parsing happens
+//! inside [`crate::Response::read`], so the tap cannot observe the first
+//! byte directly; [`TimedReader`] wraps the upstream reader and notes the
+//! instant the first byte since the last [`reset`](TimedReader::reset)
+//! became available.
+
+use std::io::{self, BufRead, Read};
+use std::time::Instant;
+
+/// A `Read`/`BufRead` adapter that records when the first byte (since the
+/// last `reset`) was observed.
+#[derive(Debug)]
+pub struct TimedReader<R> {
+    inner: R,
+    first_byte: Option<Instant>,
+}
+
+impl<R> TimedReader<R> {
+    pub fn new(inner: R) -> Self {
+        TimedReader {
+            inner,
+            first_byte: None,
+        }
+    }
+
+    /// Arm the timer for the next exchange on this connection.
+    pub fn reset(&mut self) {
+        self.first_byte = None;
+    }
+
+    /// When the first byte since the last `reset` was observed, if any.
+    pub fn first_byte_at(&self) -> Option<Instant> {
+        self.first_byte
+    }
+
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    fn mark(&mut self) {
+        if self.first_byte.is_none() {
+            self.first_byte = Some(Instant::now());
+        }
+    }
+}
+
+impl<R: Read> Read for TimedReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        if n > 0 {
+            self.mark();
+        }
+        Ok(n)
+    }
+}
+
+impl<R: BufRead> BufRead for TimedReader<R> {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        let available = !self.inner.fill_buf()?.is_empty();
+        if available {
+            self.mark();
+        }
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.inner.consume(amt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn marks_first_byte_once_per_reset() {
+        let data = b"abcdef".to_vec();
+        let mut r = TimedReader::new(BufReader::new(data.as_slice()));
+        assert!(r.first_byte_at().is_none());
+        let mut buf = [0u8; 3];
+        r.read_exact(&mut buf).unwrap();
+        let first = r.first_byte_at().expect("marked on first read");
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(r.first_byte_at(), Some(first), "mark is sticky");
+        r.reset();
+        assert!(r.first_byte_at().is_none());
+    }
+
+    #[test]
+    fn empty_reads_do_not_mark() {
+        let mut r = TimedReader::new(BufReader::new(&b""[..]));
+        let mut buf = [0u8; 4];
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+        assert!(r.first_byte_at().is_none());
+        assert!(r.fill_buf().unwrap().is_empty());
+        assert!(r.first_byte_at().is_none());
+    }
+
+    #[test]
+    fn works_through_bufread_parsing() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi".to_vec();
+        let mut r = TimedReader::new(BufReader::new(wire.as_slice()));
+        let resp = crate::Response::read(&mut r, false).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(r.first_byte_at().is_some());
+    }
+}

@@ -1,0 +1,86 @@
+//! `pb-replay` — serve a recorded inventory as a deterministic origin.
+//!
+//! ```text
+//! pb-replay --inventory traffic.inv [--port 8085] [--timing-scale F]
+//! ```
+//!
+//! Re-serves the recorded exchanges byte-identically: a response is a pure
+//! function of the request (path, `If-Modified-Since`, filter headers),
+//! never of arrival order, so any client/thread mix sees the same bytes
+//! and the same ledger. Unrecorded requests get a `500` with
+//! `X-Replay-Divergence` rather than an improvised answer. With
+//! `--timing-scale`, each entry's recorded TTFB and transfer duration are
+//! replayed (scaled) as well.
+
+use piggyback_proxyd::replay_origin::{start_replay_origin, ReplayConfig, ReplayTiming};
+use piggyback_trace::inventory::Inventory;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn main() {
+    let mut inventory_path: Option<PathBuf> = None;
+    let mut port = 8085u16;
+    let mut timing = ReplayTiming::Immediate;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--inventory" => inventory_path = Some(PathBuf::from(value("--inventory"))),
+            "--port" => port = value("--port").parse().expect("numeric port"),
+            "--timing-scale" => {
+                timing = ReplayTiming::Recorded {
+                    scale: value("--timing-scale").parse().expect("scale factor"),
+                }
+            }
+            "--help" | "-h" => {
+                println!("pb-replay --inventory FILE [--port 8085] [--timing-scale F]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let path = inventory_path.unwrap_or_else(|| {
+        eprintln!("--inventory is required");
+        std::process::exit(2);
+    });
+    let inventory = match Inventory::load(&path) {
+        Ok(inv) => Arc::new(inv),
+        Err(e) => {
+            eprintln!("could not load {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+
+    let replay = start_replay_origin(ReplayConfig {
+        port,
+        inventory,
+        timing,
+    })
+    .expect("failed to start replay origin");
+    eprintln!(
+        "pb-replay serving {} entries from {} on {}",
+        replay.inventory().entries.len(),
+        path.display(),
+        replay.addr()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(10));
+        let s = replay.stats();
+        eprintln!(
+            "requests={} 200={} 304={} divergences={} bytes={} piggybacks={}",
+            s.requests,
+            s.served_200,
+            s.served_304,
+            s.divergences,
+            s.bytes_sent,
+            s.piggybacks_attached
+        );
+    }
+}

@@ -2,12 +2,20 @@
 //!
 //! ```text
 //! pb-volume-center --origin 127.0.0.1:8080 [--port 8082] [--level 1]
+//!                  [--netem PROFILE] [--netem-seed N] [--netem-scale F]
+//!                  [--netem-error-rate R]
 //! ```
 //!
 //! Put it between a piggyback-aware proxy and a piggyback-*oblivious*
 //! origin: the center learns volumes from observed traffic and injects
 //! `P-volume` trailers on the server's behalf.
+//!
+//! `--netem` turns on the adverse-network shim: relayed exchanges pay
+//! seeded-deterministic latency/jitter/bandwidth delays of the named
+//! profile (`lan`, `mobile`, `dsl`, `dialup`) and, with
+//! `--netem-error-rate`, deterministic mid-exchange failures.
 
+use piggyback_proxyd::netem::{NetProfile, ShimConfig};
 use piggyback_proxyd::volume_center::{start_volume_center, VolumeCenterConfig};
 use std::net::SocketAddr;
 
@@ -15,6 +23,10 @@ fn main() {
     let mut origin: Option<SocketAddr> = None;
     let mut port = 8082u16;
     let mut level = 1usize;
+    let mut netem: Option<NetProfile> = None;
+    let mut netem_seed = 1u64;
+    let mut netem_scale = 1.0f64;
+    let mut netem_error_rate: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -26,8 +38,27 @@ fn main() {
             "--origin" => origin = Some(value("--origin").parse().expect("host:port")),
             "--port" => port = value("--port").parse().expect("numeric port"),
             "--level" => level = value("--level").parse().expect("numeric level"),
+            "--netem" => {
+                let name = value("--netem");
+                netem = Some(NetProfile::named(&name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown profile {name:?}; one of {}",
+                        NetProfile::names().join(", ")
+                    );
+                    std::process::exit(2);
+                }));
+            }
+            "--netem-seed" => netem_seed = value("--netem-seed").parse().expect("numeric seed"),
+            "--netem-scale" => netem_scale = value("--netem-scale").parse().expect("scale factor"),
+            "--netem-error-rate" => {
+                netem_error_rate = Some(value("--netem-error-rate").parse().expect("rate 0..=1"))
+            }
             "--help" | "-h" => {
-                println!("pb-volume-center --origin HOST:PORT [--port 8082] [--level 1]");
+                println!(
+                    "pb-volume-center --origin HOST:PORT [--port 8082] [--level 1] \
+                     [--netem {}] [--netem-seed N] [--netem-scale F] [--netem-error-rate R]",
+                    NetProfile::names().join("|")
+                );
                 return;
             }
             other => {
@@ -40,11 +71,22 @@ fn main() {
         eprintln!("--origin is required");
         std::process::exit(2);
     });
+    let shim = netem.map(|p| {
+        let mut profile = p.scaled(netem_scale);
+        if let Some(rate) = netem_error_rate {
+            profile = profile.with_error_rate(rate);
+        }
+        ShimConfig {
+            profile,
+            seed: netem_seed,
+        }
+    });
 
     let center = start_volume_center(VolumeCenterConfig {
         port,
         origin,
         volume_level: level,
+        shim,
     })
     .expect("failed to start volume center");
     eprintln!(
@@ -55,9 +97,18 @@ fn main() {
         std::thread::sleep(std::time::Duration::from_secs(10));
         let s = center.stats();
         let d = center.daemon_stats();
+        let shim_line = match center.shim_stats() {
+            Some(sh) => format!(
+                " | shim exchanges={} failures={} delay_ms={}",
+                sh.exchanges,
+                sh.failures,
+                sh.delay_us / 1000
+            ),
+            None => String::new(),
+        };
         eprintln!(
             "observed={} piggybacks={} elements={} learned_resources={} | \
-             conns={} ok={} 304={} err={} bytes={}",
+             conns={} ok={} 304={} err={} bytes={}{shim_line}",
             s.requests,
             s.piggybacks_sent,
             s.elements_sent,

@@ -11,7 +11,12 @@
 //! * [`volume_center`] — the paper's transparent volume center: an on-path
 //!   relay that learns volumes from observed traffic and piggybacks on
 //!   behalf of an oblivious origin;
-//! * [`client`] — a workload-driver HTTP client.
+//! * [`client`] — a workload-driver HTTP client;
+//! * [`record_tap`] / [`replay_origin`] — the record/replay harness: a
+//!   capture relay writing versioned traffic inventories and a
+//!   deterministic origin re-serving them byte-identically;
+//! * [`netem`] — the seeded adverse-network conditioner (dialup/DSL/LAN
+//!   profiles per the paper's §5) shimmed into the volume-center relay.
 //!
 //! [`obs`] carries the shared observability layer: allocation-free log2
 //! latency histograms and the Prometheus text rendering behind each
@@ -22,17 +27,25 @@
 //! deployments compose in-process (see the `quickstart` example).
 
 pub mod client;
+pub mod netem;
 pub mod obs;
 pub mod origin;
 pub mod proxy;
+pub mod record_tap;
+pub mod replay_origin;
 pub mod stats;
 pub mod util;
 pub mod volume_center;
 
 pub use client::{run_sequence, ClientReport, ConnectionPool, HttpClient, PoolStats, PooledConn};
+pub use netem::{Conditioner, ExchangePlan, NetProfile, ShimConfig, ShimStats};
 pub use obs::{DaemonObs, HistogramSnapshot, LatencyHistogram, ProxyObs};
 pub use origin::{start_origin, OnlineEpochConfig, OriginConfig, OriginHandle, VolumeScheme};
 pub use proxy::{start_proxy, ConcurrencyMode, ProxyConfig, ProxyHandle, ProxyStats, METRICS_PATH};
+pub use record_tap::{start_recorder, RecorderConfig, RecorderHandle};
+pub use replay_origin::{
+    start_replay_origin, ReplayConfig, ReplayHandle, ReplayStats, ReplayTiming, DIVERGENCE_HEADER,
+};
 pub use stats::{AtomicDaemonStats, AtomicProxyStats, DaemonStats};
 pub use util::{peer_source, serve_with, synth_body, Clock, ServeOptions, ServerHandle};
 pub use volume_center::{start_volume_center, VolumeCenterConfig, VolumeCenterHandle};

@@ -1,0 +1,514 @@
+//! Deterministic replay origin: re-serve a recorded inventory.
+//!
+//! Loads an [`Inventory`] captured by [`crate::record_tap`] and serves it
+//! as an origin. Every response is a **pure function of the request**
+//! (path + `If-Modified-Since` + `Piggy-filter`/`TE` presence), never of
+//! arrival order or thread interleaving, so replaying the same request
+//! stream at any concurrency yields byte-identical response streams and an
+//! exactly equal stats ledger — the determinism the replay tests and CI
+//! lane enforce (PROTOCOL.md §11).
+//!
+//! Requests that do not match the recording (a path the inventory never
+//! saw, or a method other than GET/HEAD) are **divergences**: answered
+//! with `500` plus an `X-Replay-Divergence` header and counted, in the
+//! style of wasm-rr's divergence errors, rather than improvised around.
+//!
+//! Optional timing fidelity replays each entry's recorded TTFB and
+//! transfer duration (scaled), so latency distributions — not just bytes —
+//! can be reproduced off loopback.
+
+use crate::obs::render_scalar;
+use crate::proxy::METRICS_PATH;
+use crate::stats::counter_set;
+use crate::util::{serve, ServerHandle};
+use piggyback_core::datetime::parse_rfc1123;
+use piggyback_core::filter::PIGGY_FILTER_HEADER;
+use piggyback_core::wire::P_VOLUME_HEADER;
+use piggyback_httpwire::{Body, Request, Response};
+use piggyback_trace::inventory::Inventory;
+use piggyback_trace::record::RecordedExchange;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The divergence marker header on non-matching requests.
+pub const DIVERGENCE_HEADER: &str = "X-Replay-Divergence";
+
+/// How faithfully to reproduce recorded wire timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplayTiming {
+    /// Serve as fast as loopback allows (the default; determinism tests
+    /// use this).
+    Immediate,
+    /// Sleep each entry's recorded TTFB before the head and its transfer
+    /// duration before the body, both multiplied by `scale`.
+    Recorded { scale: f64 },
+}
+
+/// Replay origin configuration.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// 0 picks an ephemeral port.
+    pub port: u16,
+    pub inventory: Arc<Inventory>,
+    pub timing: ReplayTiming,
+}
+
+counter_set! {
+    /// The replay origin's ledger. Conservation invariant (exact once
+    /// quiescent, same style as [`crate::stats::ProxyStats`]):
+    ///
+    /// ```text
+    /// requests == served_200 + served_304 + divergences
+    /// ```
+    plain ReplayStats;
+    /// Atomic accumulator behind [`ReplayStats`].
+    atomic AtomicReplayStats;
+    {
+        /// GET/HEAD requests accepted (metrics scrapes excluded).
+        requests,
+        /// Full recorded responses served.
+        served_200,
+        /// Validations answered from the recorded Last-Modified.
+        served_304,
+        /// Requests that did not match the recording.
+        divergences,
+        /// Body bytes written (200s only).
+        bytes_sent,
+        /// Recorded piggyback payloads re-attached.
+        piggybacks_attached,
+    }
+}
+
+impl ReplayStats {
+    /// Sum of terminal outcomes; equals `requests` when quiescent.
+    pub fn outcomes(&self) -> u64 {
+        self.served_200 + self.served_304 + self.divergences
+    }
+}
+
+struct ReplayState {
+    inventory: Arc<Inventory>,
+    /// Path → index of its canonical entry (first 200, else first seen).
+    index: HashMap<String, usize>,
+    timing: ReplayTiming,
+    stats: AtomicReplayStats,
+}
+
+/// A running replay origin.
+pub struct ReplayHandle {
+    handle: ServerHandle,
+    state: Arc<ReplayState>,
+}
+
+impl ReplayHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr
+    }
+
+    pub fn stats(&self) -> ReplayStats {
+        self.state.stats.snapshot()
+    }
+
+    pub fn inventory(&self) -> &Inventory {
+        &self.state.inventory
+    }
+
+    pub fn stop(self) {
+        self.handle.stop();
+    }
+}
+
+/// Start a replay origin serving `cfg.inventory`.
+pub fn start_replay_origin(cfg: ReplayConfig) -> io::Result<ReplayHandle> {
+    let mut index: HashMap<String, usize> = HashMap::new();
+    for (i, e) in cfg.inventory.entries.iter().enumerate() {
+        match index.get(&e.path) {
+            None => {
+                index.insert(e.path.clone(), i);
+            }
+            Some(&j) => {
+                // Prefer a full 200 as the canonical recording of a path.
+                if cfg.inventory.entries[j].status != 200 && e.status == 200 {
+                    index.insert(e.path.clone(), i);
+                }
+            }
+        }
+    }
+    let state = Arc::new(ReplayState {
+        inventory: cfg.inventory,
+        index,
+        timing: cfg.timing,
+        stats: AtomicReplayStats::new(),
+    });
+    let state2 = Arc::clone(&state);
+    let handle = serve(cfg.port, "replay-origin", move |stream| {
+        let _ = handle_connection(stream, &state2);
+    })?;
+    Ok(ReplayHandle { handle, state })
+}
+
+fn handle_connection(downstream: TcpStream, state: &ReplayState) -> io::Result<()> {
+    let mut r = BufReader::new(downstream.try_clone()?);
+    let mut w = BufWriter::new(downstream);
+    loop {
+        let req = match Request::read(&mut r) {
+            Ok(q) => q,
+            Err(_) => return Ok(()),
+        };
+        let keep = req.keep_alive();
+        if req.target == METRICS_PATH {
+            metrics_response(state).write(&mut w)?;
+            if !keep {
+                return Ok(());
+            }
+            continue;
+        }
+        state.stats.requests.fetch_add(1, Relaxed);
+        let head = req.method == "HEAD";
+        let entry = if req.method == "GET" || head {
+            state
+                .index
+                .get(&req.target)
+                .map(|&i| &state.inventory.entries[i])
+        } else {
+            None
+        };
+        let Some(entry) = entry else {
+            state.stats.divergences.fetch_add(1, Relaxed);
+            let mut resp = Response::new(500);
+            resp.headers.insert(DIVERGENCE_HEADER, "unrecorded-request");
+            resp.body = Body::from(format!(
+                "replay divergence: {} {} is not in inventory {:?}\n",
+                req.method, req.target, state.inventory.name
+            ));
+            resp.write(&mut w)?;
+            if !keep {
+                return Ok(());
+            }
+            continue;
+        };
+
+        let resp = respond(entry, &req, head, state);
+        write_response(&resp, entry, &mut w, state.timing)?;
+        if !keep {
+            return Ok(());
+        }
+    }
+}
+
+/// Build the replayed response: a pure function of `(entry, request)`.
+fn respond(entry: &RecordedExchange, req: &Request, head: bool, state: &ReplayState) -> Response {
+    let wants_piggyback = req.headers.contains(PIGGY_FILTER_HEADER);
+    let wants_chunked = req.headers.list_contains("TE", "chunked");
+    let recorded_lm = entry.response_header("Last-Modified");
+
+    // If-Modified-Since against the recorded Last-Modified: the replayed
+    // resource never changes, so any IMS at-or-after it validates.
+    let not_modified = match (
+        req.headers.get("If-Modified-Since").and_then(parse_rfc1123),
+        recorded_lm.and_then(parse_rfc1123),
+    ) {
+        (Some(ims), Some(lm)) => entry.status == 200 && lm <= ims,
+        _ => false,
+    };
+
+    if not_modified {
+        let mut resp = Response::new(304);
+        if let Some(lm) = recorded_lm {
+            resp.headers.insert("Last-Modified", lm);
+        }
+        if wants_piggyback {
+            if let Some(pv) = &entry.piggyback {
+                resp.headers.insert(P_VOLUME_HEADER, pv);
+                state.stats.piggybacks_attached.fetch_add(1, Relaxed);
+            }
+        }
+        state.stats.served_304.fetch_add(1, Relaxed);
+        return resp;
+    }
+
+    let mut resp = Response::new(entry.status);
+    for (n, v) in &entry.response_headers {
+        resp.headers.insert(n, v);
+    }
+    if !head {
+        resp.body = Body::from(entry.body.as_slice());
+    }
+    if wants_piggyback {
+        if let Some(pv) = &entry.piggyback {
+            if entry.chunked && wants_chunked && !head && entry.status == 200 {
+                resp.trailers.insert(P_VOLUME_HEADER, pv);
+            } else {
+                resp.headers.insert(P_VOLUME_HEADER, pv);
+            }
+            state.stats.piggybacks_attached.fetch_add(1, Relaxed);
+        }
+    }
+    match entry.status {
+        200 => {
+            state.stats.served_200.fetch_add(1, Relaxed);
+            state
+                .stats
+                .bytes_sent
+                .fetch_add(resp.body.len() as u64, Relaxed);
+        }
+        // Recorded non-200s (404s, control endpoints) replay verbatim and
+        // are ledgered with the full responses.
+        _ => {
+            state.stats.served_200.fetch_add(1, Relaxed);
+        }
+    }
+    resp
+}
+
+/// Write `resp`, optionally reproducing the entry's recorded timing.
+fn write_response<W: Write>(
+    resp: &Response,
+    entry: &RecordedExchange,
+    w: &mut W,
+    timing: ReplayTiming,
+) -> io::Result<()> {
+    let ReplayTiming::Recorded { scale } = timing else {
+        return resp.write(w);
+    };
+    let ttfb = Duration::from_micros(entry.ttfb_us).mul_f64(scale);
+    let xfer = Duration::from_micros(entry.transfer_us).mul_f64(scale);
+    if !ttfb.is_zero() {
+        std::thread::sleep(ttfb);
+    }
+    if resp.trailers.is_empty() && !Response::bodiless_status(resp.status) && !resp.body.is_empty()
+    {
+        // Plain-framed body: hold the head/body boundary for the recorded
+        // transfer duration.
+        write!(
+            w,
+            "{} {} {}\r\n",
+            resp.version.as_str(),
+            resp.status,
+            resp.reason
+        )?;
+        for (name, value) in resp.headers.iter() {
+            if name.eq_ignore_ascii_case("Content-Length")
+                || name.eq_ignore_ascii_case("Transfer-Encoding")
+                || name.eq_ignore_ascii_case("Trailer")
+            {
+                continue;
+            }
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "Content-Length: {}\r\n\r\n", resp.body.len())?;
+        w.flush()?;
+        if !xfer.is_zero() {
+            std::thread::sleep(xfer);
+        }
+        w.write_all(&resp.body)?;
+        w.flush()
+    } else {
+        // Chunked/bodiless: whole-response granularity.
+        if !xfer.is_zero() {
+            std::thread::sleep(xfer);
+        }
+        resp.write(w)
+    }
+}
+
+fn metrics_response(state: &ReplayState) -> Response {
+    let s = state.stats.snapshot();
+    let mut out = String::with_capacity(1024);
+    render_scalar(
+        &mut out,
+        "pb_replay_requests_total",
+        "",
+        "counter",
+        s.requests,
+    );
+    for (label, value) in [
+        ("ok", s.served_200),
+        ("not_modified", s.served_304),
+        ("divergence", s.divergences),
+    ] {
+        render_scalar(
+            &mut out,
+            "pb_replay_responses_total",
+            &format!("class=\"{label}\""),
+            "counter",
+            value,
+        );
+    }
+    render_scalar(
+        &mut out,
+        "pb_replay_bytes_sent_total",
+        "",
+        "counter",
+        s.bytes_sent,
+    );
+    render_scalar(
+        &mut out,
+        "pb_replay_piggybacks_attached_total",
+        "",
+        "counter",
+        s.piggybacks_attached,
+    );
+    render_scalar(
+        &mut out,
+        "pb_replay_inventory_entries",
+        "",
+        "gauge",
+        state.inventory.entries.len() as u64,
+    );
+    let mut resp = Response::new(200);
+    resp.headers
+        .insert("Content-Type", "text/plain; version=0.0.4");
+    resp.body = Body::from(out.into_bytes());
+    resp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piggyback_core::datetime::format_rfc1123;
+
+    fn inventory() -> Arc<Inventory> {
+        let mut inv = Inventory::new("unit");
+        let mut a = RecordedExchange::new(0, "GET", "/docs/a.html", 200, b"alpha".to_vec());
+        a.chunked = true;
+        a.response_headers
+            .push(("Last-Modified".into(), format_rfc1123(886_000_000)));
+        a.piggyback = Some("12; \"/docs/b.html\" 886000000 100".into());
+        inv.entries.push(a);
+        inv.entries.push(RecordedExchange::new(
+            1,
+            "GET",
+            "/plain",
+            200,
+            b"plain".to_vec(),
+        ));
+        Arc::new(inv)
+    }
+
+    fn get(
+        addr: SocketAddr,
+        path: &str,
+        extra: &[(&str, &str)],
+    ) -> Result<Response, piggyback_httpwire::HttpError> {
+        let stream = TcpStream::connect(addr)?;
+        let mut r = BufReader::new(stream.try_clone()?);
+        let mut w = BufWriter::new(stream);
+        let mut req = Request::new("GET", path);
+        req.headers.insert("Host", "t");
+        req.headers.insert("Connection", "close");
+        for (n, v) in extra {
+            req.headers.insert(n, v);
+        }
+        req.write(&mut w)?;
+        Response::read(&mut r, false)
+    }
+
+    #[test]
+    fn serves_recorded_bodies_and_piggybacks() {
+        let replay = start_replay_origin(ReplayConfig {
+            port: 0,
+            inventory: inventory(),
+            timing: ReplayTiming::Immediate,
+        })
+        .unwrap();
+        // Plain GET: recorded body, no piggyback without a filter.
+        let resp = get(replay.addr(), "/docs/a.html", &[]).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"alpha");
+        assert!(resp.headers.get(P_VOLUME_HEADER).is_none());
+        assert!(resp.trailers.get(P_VOLUME_HEADER).is_none());
+        // Filtered chunked GET: the recorded pv rides the trailer.
+        let resp = get(
+            replay.addr(),
+            "/docs/a.html",
+            &[("TE", "chunked"), (PIGGY_FILTER_HEADER, "maxpiggy=10")],
+        )
+        .unwrap();
+        assert_eq!(resp.body, b"alpha");
+        assert_eq!(
+            resp.trailers.get(P_VOLUME_HEADER),
+            Some("12; \"/docs/b.html\" 886000000 100")
+        );
+        // Validation: IMS at the recorded LM comes back 304 with the pv
+        // as a plain header.
+        let lm = format_rfc1123(886_000_000);
+        let resp = get(
+            replay.addr(),
+            "/docs/a.html",
+            &[
+                ("If-Modified-Since", lm.as_str()),
+                (PIGGY_FILTER_HEADER, "maxpiggy=10"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(resp.status, 304);
+        assert!(resp.body.is_empty());
+        assert_eq!(
+            resp.headers.get(P_VOLUME_HEADER),
+            Some("12; \"/docs/b.html\" 886000000 100")
+        );
+        let s = replay.stats();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.served_200, 2);
+        assert_eq!(s.served_304, 1);
+        assert_eq!(s.divergences, 0);
+        assert_eq!(s.outcomes(), s.requests);
+        assert_eq!(s.piggybacks_attached, 2);
+        replay.stop();
+    }
+
+    #[test]
+    fn divergence_on_unrecorded_requests() {
+        let replay = start_replay_origin(ReplayConfig {
+            port: 0,
+            inventory: inventory(),
+            timing: ReplayTiming::Immediate,
+        })
+        .unwrap();
+        let resp = get(replay.addr(), "/never-recorded", &[]).unwrap();
+        assert_eq!(resp.status, 500);
+        assert_eq!(
+            resp.headers.get(DIVERGENCE_HEADER),
+            Some("unrecorded-request")
+        );
+        let s = replay.stats();
+        assert_eq!(s.divergences, 1);
+        assert_eq!(s.outcomes(), s.requests);
+        // Metrics scrapes are not ledgered as requests.
+        let m = get(replay.addr(), METRICS_PATH, &[]).unwrap();
+        assert_eq!(m.status, 200);
+        let text = String::from_utf8(m.body.to_vec()).unwrap();
+        assert!(text.contains("pb_replay_responses_total{class=\"divergence\"} 1"));
+        assert_eq!(replay.stats().requests, s.requests);
+        replay.stop();
+    }
+
+    #[test]
+    fn recorded_timing_delays_but_preserves_bytes() {
+        let mut inv = Inventory::new("timed");
+        let mut e = RecordedExchange::new(0, "GET", "/t", 200, b"body".to_vec());
+        e.ttfb_us = 30_000;
+        e.transfer_us = 20_000;
+        inv.entries.push(e);
+        let replay = start_replay_origin(ReplayConfig {
+            port: 0,
+            inventory: Arc::new(inv),
+            timing: ReplayTiming::Recorded { scale: 1.0 },
+        })
+        .unwrap();
+        let start = std::time::Instant::now();
+        let resp = get(replay.addr(), "/t", &[]).unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(resp.body, b"body");
+        assert!(
+            elapsed >= Duration::from_millis(45),
+            "recorded delays applied: {elapsed:?}"
+        );
+        replay.stop();
+    }
+}

@@ -12,7 +12,7 @@
 //! histograms of [`crate::obs`] — whose totals obey the same
 //! conservation law, so the invariant is checkable from a scrape alone.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
 /// Declares a plain snapshot struct and its atomic twin with `snapshot()`.
 macro_rules! counter_set {
@@ -30,7 +30,7 @@ macro_rules! counter_set {
         $(#[$am])*
         #[derive(Debug, Default)]
         pub struct $Atomic {
-            $( $(#[$fm])* pub $field: AtomicU64, )+
+            $( $(#[$fm])* pub $field: std::sync::atomic::AtomicU64, )+
         }
 
         impl $Atomic {
@@ -41,12 +41,15 @@ macro_rules! counter_set {
             /// Relaxed read of every counter into a plain snapshot.
             pub fn snapshot(&self) -> $Plain {
                 $Plain {
-                    $( $field: self.$field.load(Ordering::Relaxed), )+
+                    $( $field: self.$field.load(std::sync::atomic::Ordering::Relaxed), )+
                 }
             }
         }
     };
 }
+
+// Sibling modules (the replay origin's ledger) declare counter sets too.
+pub(crate) use counter_set;
 
 counter_set! {
     /// Counters exposed by a running proxy.

@@ -8,6 +8,7 @@
 //! header before forwarding upstream, and appends the `P-volume` trailer on
 //! the way back down.
 
+use crate::netem::{Conditioner, ShimStats};
 use crate::origin::strip_origin_form;
 use crate::stats::{AtomicDaemonStats, DaemonStats};
 use crate::util::{serve, Clock, ServerHandle};
@@ -32,6 +33,11 @@ pub struct VolumeCenterConfig {
     pub origin: SocketAddr,
     /// Directory-volume prefix depth for the learned volumes.
     pub volume_level: usize,
+    /// Adverse-network shim on the relay path (`pb-volume-center
+    /// --netem PROFILE`): seeded-deterministic latency/jitter/bandwidth
+    /// conditioning and error injection per [`crate::netem`]. `None`
+    /// relays at loopback speed.
+    pub shim: Option<crate::netem::ShimConfig>,
 }
 
 struct CenterState {
@@ -44,6 +50,7 @@ pub struct VolumeCenterHandle {
     handle: ServerHandle,
     state: Arc<Mutex<CenterState>>,
     daemon: Arc<AtomicDaemonStats>,
+    shim: Option<Arc<Conditioner>>,
 }
 
 impl VolumeCenterHandle {
@@ -58,6 +65,11 @@ impl VolumeCenterHandle {
     /// Lock-free transport counters for the relay itself.
     pub fn daemon_stats(&self) -> DaemonStats {
         self.daemon.snapshot()
+    }
+
+    /// Conditioner counters, when an adverse-network shim is configured.
+    pub fn shim_stats(&self) -> Option<ShimStats> {
+        self.shim.as_ref().map(|c| c.stats())
     }
 
     /// Number of resources learned from observed traffic.
@@ -77,17 +89,39 @@ pub fn start_volume_center(cfg: VolumeCenterConfig) -> io::Result<VolumeCenterHa
         clock: Clock::new(),
     }));
     let daemon = Arc::new(AtomicDaemonStats::new());
+    let shim = cfg
+        .shim
+        .map(|s| Arc::new(Conditioner::new(s.profile, s.seed)));
     let state2 = Arc::clone(&state);
     let daemon2 = Arc::clone(&daemon);
+    let shim2 = shim.clone();
     let origin = cfg.origin;
     let handle = serve(cfg.port, "volume-center", move |stream| {
-        let _ = handle_connection(stream, origin, &state2, &daemon2);
+        let _ = handle_connection(stream, origin, &state2, &daemon2, shim2.as_deref());
     })?;
     Ok(VolumeCenterHandle {
         handle,
         state,
         daemon,
+        shim,
     })
+}
+
+/// Approximate wire size of a request (for upstream bandwidth delay).
+fn request_wire_len(req: &Request) -> usize {
+    let headers: usize = req.headers.iter().map(|(n, v)| n.len() + v.len() + 4).sum();
+    req.method.len() + req.target.len() + 12 + headers + 2 + req.body.len()
+}
+
+/// Approximate wire size of a response (for downstream bandwidth delay).
+fn response_wire_len(resp: &Response) -> usize {
+    let headers: usize = resp
+        .headers
+        .iter()
+        .chain(resp.trailers.iter())
+        .map(|(n, v)| n.len() + v.len() + 4)
+        .sum();
+    17 + headers + 2 + resp.body.len()
 }
 
 fn source_of(stream: &TcpStream) -> SourceId {
@@ -102,6 +136,7 @@ fn handle_connection(
     origin: SocketAddr,
     state: &Arc<Mutex<CenterState>>,
     daemon: &AtomicDaemonStats,
+    shim: Option<&Conditioner>,
 ) -> io::Result<()> {
     use std::sync::atomic::Ordering::Relaxed;
     daemon.connections.fetch_add(1, Relaxed);
@@ -129,6 +164,18 @@ fn handle_connection(
             .get(PIGGY_FILTER_HEADER)
             .and_then(|v| ProxyFilter::parse(v).ok());
         let wants_chunked = req.headers.list_contains("TE", "chunked");
+
+        // Adverse-network conditioning: a failed plan kills the exchange
+        // mid-flight (downstream connection dropped after the request was
+        // read — the proxy's retry-once path must absorb it); a passing
+        // plan pays the upstream direction's delay before forwarding.
+        let plan = shim.map(|c| c.next_plan());
+        if let (Some(cond), Some(plan)) = (shim, &plan) {
+            if plan.fail {
+                return Ok(());
+            }
+            cond.apply(cond.up_delay(plan, request_wire_len(&req)));
+        }
 
         let mut fwd = req.clone();
         fwd.headers.remove(PIGGY_FILTER_HEADER);
@@ -175,6 +222,10 @@ fn handle_connection(
                     }
                 }
             }
+        }
+
+        if let (Some(cond), Some(plan)) = (shim, &plan) {
+            cond.apply(cond.down_delay(plan, response_wire_len(&resp)));
         }
 
         daemon.count_response(resp.status, resp.body.len());
@@ -238,6 +289,7 @@ mod tests {
             port: 0,
             origin: origin.addr,
             volume_level: 1,
+            shim: None,
         })
         .unwrap();
 
@@ -278,6 +330,7 @@ mod tests {
             port: 0,
             origin: origin.addr,
             volume_level: 1,
+            shim: None,
         })
         .unwrap();
         let stream = TcpStream::connect(center.addr()).unwrap();
@@ -306,6 +359,7 @@ mod tests {
             port: 0,
             origin: addr,
             volume_level: 1,
+            shim: None,
         })
         .unwrap();
         match get_with_filter(center.addr(), "/x") {

@@ -1,0 +1,394 @@
+//! Versioned on-disk inventories of recorded wire traffic.
+//!
+//! The record/replay harness (PROTOCOL.md §11) captures live proxy↔origin
+//! exchanges into an **inventory**: a line-oriented, diff-friendly text
+//! file that a replay origin re-serves byte-identically. The format is
+//! versioned (`PBINV 1` magic line) and self-checking — each entry carries
+//! the FNV-1a fingerprint of its body, verified on parse, so a corrupted
+//! or hand-edited inventory is rejected instead of silently replayed.
+//!
+//! Bodies are hex-encoded so arbitrary bytes (CRLF runs, chunk framing,
+//! binary images) round-trip exactly; everything else is human-readable.
+//!
+//! ```
+//! use piggyback_trace::inventory::Inventory;
+//! use piggyback_trace::record::RecordedExchange;
+//!
+//! let mut inv = Inventory::new("demo");
+//! inv.entries.push(RecordedExchange::new(0, "GET", "/a.html", 200, b"hi\r\n".to_vec()));
+//! let text = inv.to_text();
+//! assert_eq!(Inventory::parse(&text).unwrap(), inv);
+//! ```
+
+use crate::record::{body_hash, RecordedExchange};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Current inventory format version (the `PBINV <n>` magic line).
+pub const INVENTORY_VERSION: u32 = 1;
+
+/// A recorded traffic inventory: a name plus capture-ordered exchanges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Inventory {
+    pub name: String,
+    pub entries: Vec<RecordedExchange>,
+}
+
+/// Why an inventory failed to parse. Line numbers are 1-based.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InventoryError {
+    /// The file does not start with a `PBINV <version>` magic line.
+    MissingMagic,
+    /// A `PBINV` line with a version this build does not understand.
+    UnsupportedVersion(u32),
+    /// A malformed line (unknown keyword or bad field value).
+    BadLine { line: usize, text: String },
+    /// An entry ended (`end`) without one of its required fields.
+    MissingField { entry: usize, field: &'static str },
+    /// A stored body hash does not match the stored body bytes.
+    HashMismatch {
+        seq: u32,
+        expected: u64,
+        actual: u64,
+    },
+    /// The file ended inside an entry.
+    TruncatedEntry,
+}
+
+impl fmt::Display for InventoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InventoryError::MissingMagic => write!(f, "missing PBINV magic line"),
+            InventoryError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported inventory version {v} (expected {INVENTORY_VERSION})"
+                )
+            }
+            InventoryError::BadLine { line, text } => {
+                write!(f, "bad inventory line {line}: {text:?}")
+            }
+            InventoryError::MissingField { entry, field } => {
+                write!(f, "entry {entry} is missing required field {field:?}")
+            }
+            InventoryError::HashMismatch {
+                seq,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "entry seq {seq}: body hash {actual:016x} does not match recorded {expected:016x}"
+            ),
+            InventoryError::TruncatedEntry => write!(f, "file ends inside an entry"),
+        }
+    }
+}
+
+impl std::error::Error for InventoryError {}
+
+impl Inventory {
+    pub fn new(name: &str) -> Self {
+        Inventory {
+            name: name.to_owned(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Distinct request paths in first-appearance order.
+    pub fn paths(&self) -> Vec<String> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for e in &self.entries {
+            if seen.insert(e.path.as_str()) {
+                out.push(e.path.clone());
+            }
+        }
+        out
+    }
+
+    /// Serialize to the versioned text format. `parse` inverts this
+    /// exactly (see the round-trip property tests).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("PBINV {INVENTORY_VERSION}\n"));
+        out.push_str(&format!("name {}\n", self.name));
+        for e in &self.entries {
+            out.push_str(&format!("entry {}\n", e.seq));
+            out.push_str(&format!("method {}\n", e.method));
+            out.push_str(&format!("path {}\n", e.path));
+            out.push_str(&format!("status {}\n", e.status));
+            out.push_str(&format!("chunked {}\n", u8::from(e.chunked)));
+            out.push_str(&format!("start_us {}\n", e.start_us));
+            out.push_str(&format!("ttfb_us {}\n", e.ttfb_us));
+            out.push_str(&format!("xfer_us {}\n", e.transfer_us));
+            out.push_str(&format!("hash {:016x}\n", e.body_hash()));
+            for (n, v) in &e.request_headers {
+                out.push_str(&format!("reqh {n}: {v}\n"));
+            }
+            for (n, v) in &e.response_headers {
+                out.push_str(&format!("resph {n}: {v}\n"));
+            }
+            if let Some(pv) = &e.piggyback {
+                out.push_str(&format!("pv {pv}\n"));
+            }
+            out.push_str("body ");
+            if e.body.is_empty() {
+                out.push('-');
+            } else {
+                for b in &e.body {
+                    out.push_str(&format!("{b:02x}"));
+                }
+            }
+            out.push_str("\nend\n");
+        }
+        out
+    }
+
+    /// Parse the text format, verifying per-entry body hashes.
+    pub fn parse(text: &str) -> Result<Inventory, InventoryError> {
+        let mut lines = text.lines().enumerate();
+        // Magic line first (comments and blanks may precede it).
+        let version = loop {
+            match lines.next() {
+                None => return Err(InventoryError::MissingMagic),
+                Some((_, l)) if l.trim().is_empty() || l.starts_with('#') => continue,
+                Some((ln, l)) => match l.strip_prefix("PBINV ") {
+                    Some(v) => {
+                        break v
+                            .trim()
+                            .parse::<u32>()
+                            .map_err(|_| InventoryError::BadLine {
+                                line: ln + 1,
+                                text: l.to_owned(),
+                            })?
+                    }
+                    None => return Err(InventoryError::MissingMagic),
+                },
+            }
+        };
+        if version != INVENTORY_VERSION {
+            return Err(InventoryError::UnsupportedVersion(version));
+        }
+
+        let mut inv = Inventory::default();
+        let mut cur: Option<(RecordedExchange, Option<u64>)> = None;
+        for (ln, raw) in lines {
+            let line = ln + 1;
+            if cur.is_none() && (raw.trim().is_empty() || raw.starts_with('#')) {
+                continue;
+            }
+            let bad = || InventoryError::BadLine {
+                line,
+                text: raw.to_owned(),
+            };
+            let (kw, rest) = match raw.split_once(' ') {
+                Some((k, r)) => (k, r),
+                None => (raw, ""),
+            };
+            match (&mut cur, kw) {
+                (None, "name") => inv.name = rest.to_owned(),
+                (None, "entry") => {
+                    let seq = rest.parse().map_err(|_| bad())?;
+                    cur = Some((RecordedExchange::new(seq, "", "", 0, Vec::new()), None));
+                }
+                (None, _) => return Err(bad()),
+                (Some((e, hash)), kw) => match kw {
+                    "method" => e.method = rest.to_owned(),
+                    "path" => e.path = rest.to_owned(),
+                    "status" => e.status = rest.parse().map_err(|_| bad())?,
+                    "chunked" => e.chunked = rest == "1",
+                    "start_us" => e.start_us = rest.parse().map_err(|_| bad())?,
+                    "ttfb_us" => e.ttfb_us = rest.parse().map_err(|_| bad())?,
+                    "xfer_us" => e.transfer_us = rest.parse().map_err(|_| bad())?,
+                    "hash" => *hash = Some(u64::from_str_radix(rest, 16).map_err(|_| bad())?),
+                    "reqh" => e.request_headers.push(parse_header(rest).ok_or_else(bad)?),
+                    "resph" => e.response_headers.push(parse_header(rest).ok_or_else(bad)?),
+                    "pv" => e.piggyback = Some(rest.to_owned()),
+                    "body" => e.body = parse_hex_body(rest).ok_or_else(bad)?,
+                    "end" => {
+                        let (e, hash) = cur.take().expect("entry in progress");
+                        if e.method.is_empty() {
+                            return Err(InventoryError::MissingField {
+                                entry: inv.entries.len(),
+                                field: "method",
+                            });
+                        }
+                        if e.path.is_empty() {
+                            return Err(InventoryError::MissingField {
+                                entry: inv.entries.len(),
+                                field: "path",
+                            });
+                        }
+                        let expected = hash.ok_or(InventoryError::MissingField {
+                            entry: inv.entries.len(),
+                            field: "hash",
+                        })?;
+                        let actual = body_hash(&e.body);
+                        if actual != expected {
+                            return Err(InventoryError::HashMismatch {
+                                seq: e.seq,
+                                expected,
+                                actual,
+                            });
+                        }
+                        inv.entries.push(e);
+                    }
+                    _ => return Err(bad()),
+                },
+            }
+        }
+        if cur.is_some() {
+            return Err(InventoryError::TruncatedEntry);
+        }
+        Ok(inv)
+    }
+
+    /// Write to `path` (atomically enough for tests: whole-file write).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Read and parse `path`; parse failures surface as `InvalidData`.
+    pub fn load(path: &Path) -> std::io::Result<Inventory> {
+        let text = std::fs::read_to_string(path)?;
+        Inventory::parse(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
+    }
+}
+
+/// `Name: value` with exactly one space after the colon; the value is
+/// otherwise verbatim (header values cannot contain CR/LF).
+fn parse_header(rest: &str) -> Option<(String, String)> {
+    let (name, after) = rest.split_once(':')?;
+    let value = after.strip_prefix(' ').unwrap_or(after);
+    if name.is_empty() || name.contains(' ') {
+        return None;
+    }
+    Some((name.to_owned(), value.to_owned()))
+}
+
+/// Lowercase hex, or `-` for an empty body.
+fn parse_hex_body(rest: &str) -> Option<Vec<u8>> {
+    if rest == "-" {
+        return Some(Vec::new());
+    }
+    if !rest.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(rest.len() / 2);
+    let bytes = rest.as_bytes();
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+/// The committed reference inventory (`crates/trace/testdata/reference.inv`),
+/// regenerated with `make-inventory` (see EXPERIMENTS.md). Resolved from
+/// this crate's manifest directory so tests and bench binaries find it
+/// from any working directory in the workspace.
+pub fn reference_inventory_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("testdata")
+        .join("reference.inv")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Inventory {
+        let mut inv = Inventory::new("sample");
+        let mut a = RecordedExchange::new(
+            0,
+            "GET",
+            "/docs/a.html",
+            200,
+            b"<html>\r\nhi</html>".to_vec(),
+        );
+        a.chunked = true;
+        a.ttfb_us = 812;
+        a.transfer_us = 40;
+        a.request_headers.push(("Host".into(), "origin".into()));
+        a.request_headers.push(("TE".into(), "chunked".into()));
+        a.response_headers.push((
+            "Last-Modified".into(),
+            "Wed, 28 Jan 1998 00:00:00 GMT".into(),
+        ));
+        a.piggyback = Some("12; \"/docs/b.html\" 886000000 100".into());
+        inv.entries.push(a);
+        inv.entries
+            .push(RecordedExchange::new(1, "GET", "/gone", 404, Vec::new()));
+        inv
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let inv = sample();
+        let text = inv.to_text();
+        assert_eq!(Inventory::parse(&text).unwrap(), inv);
+        // Render is deterministic.
+        assert_eq!(Inventory::parse(&text).unwrap().to_text(), text);
+    }
+
+    #[test]
+    fn body_hash_guards_integrity() {
+        let text = sample().to_text();
+        // Flip one body byte (hex digit) without touching the hash.
+        let corrupted = text.replacen("3c68746d6c", "3c68746d6d", 1);
+        assert_ne!(corrupted, text);
+        match Inventory::parse(&corrupted) {
+            Err(InventoryError::HashMismatch { seq: 0, .. }) => {}
+            other => panic!("expected hash mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_and_magic_enforced() {
+        assert_eq!(
+            Inventory::parse("name x\n"),
+            Err(InventoryError::MissingMagic)
+        );
+        assert_eq!(
+            Inventory::parse("PBINV 99\n"),
+            Err(InventoryError::UnsupportedVersion(99))
+        );
+        assert!(matches!(
+            Inventory::parse("PBINV 1\nentry 0\nmethod GET\npath /x\n"),
+            Err(InventoryError::TruncatedEntry)
+        ));
+        // Comments and blank lines are tolerated around the magic line.
+        let ok = Inventory::parse("# comment\n\nPBINV 1\nname c\n").unwrap();
+        assert_eq!(ok.name, "c");
+    }
+
+    #[test]
+    fn paths_dedupe_in_order() {
+        let mut inv = sample();
+        inv.entries.push(RecordedExchange::new(
+            2,
+            "GET",
+            "/docs/a.html",
+            304,
+            Vec::new(),
+        ));
+        assert_eq!(
+            inv.paths(),
+            vec!["/docs/a.html".to_owned(), "/gone".to_owned()]
+        );
+    }
+
+    #[test]
+    fn hex_body_rejects_odd_and_bad_digits() {
+        assert_eq!(parse_hex_body("-"), Some(Vec::new()));
+        assert_eq!(parse_hex_body("0d0a"), Some(vec![b'\r', b'\n']));
+        assert_eq!(parse_hex_body("abc"), None);
+        assert_eq!(parse_hex_body("zz"), None);
+    }
+}

@@ -11,6 +11,8 @@
 //!   with the summary methods the evaluation needs;
 //! * [`clf`] — Common Log Format reading and writing, so real logs can be
 //!   substituted whenever available;
+//! * [`inventory`] — versioned record/replay inventories of captured wire
+//!   traffic, re-served deterministically by the replay origin;
 //! * [`synth`] — generators for synthetic sites, server logs, client
 //!   traces, and resource-modification streams;
 //! * [`profiles`] — named configurations calibrated to the paper's
@@ -30,9 +32,13 @@
 //! ```
 
 pub mod clf;
+pub mod inventory;
 pub mod profiles;
 pub mod record;
 pub mod stats;
 pub mod synth;
 
-pub use record::{ClientTrace, ClientTraceEntry, Method, ServerLog, ServerLogEntry};
+pub use inventory::{reference_inventory_path, Inventory, InventoryError};
+pub use record::{
+    body_hash, ClientTrace, ClientTraceEntry, Method, RecordedExchange, ServerLog, ServerLogEntry,
+};

@@ -1,9 +1,89 @@
-//! Log record types: server logs and multi-server client traces
-//! (paper Appendix A).
+//! Log record types: server logs, multi-server client traces
+//! (paper Appendix A), and recorded wire exchanges for the record/replay
+//! harness (see [`crate::inventory`]).
 
 use piggyback_core::metrics::Request;
 use piggyback_core::table::ResourceTable;
 use piggyback_core::types::{DurationMs, ResourceId, ServerId, SourceId, Timestamp};
+
+/// FNV-1a 64-bit hash — the body-integrity fingerprint stored with each
+/// recorded exchange (PROTOCOL.md §11). Stable across platforms and
+/// releases, so committed inventories verify anywhere.
+pub fn body_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One proxy↔origin exchange captured by the record tap: the request line
+/// and headers, the response status/headers/body, the piggyback payload
+/// (if the origin attached one), and wire timing.
+///
+/// Framing headers (`Content-Length`, `Transfer-Encoding`, `Trailer`) and
+/// hop-by-hop headers (`Connection`) are *not* recorded: the replay origin
+/// recomputes framing, and [`chunked`](Self::chunked) preserves whether
+/// the original response was chunk-encoded (which decides whether a
+/// replayed piggyback rides in the trailer or a header).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedExchange {
+    /// Global capture order (across connections) under the record tap.
+    pub seq: u32,
+    pub method: String,
+    pub path: String,
+    pub status: u16,
+    /// Whether the recorded response was chunk-encoded.
+    pub chunked: bool,
+    /// Microseconds from recorder start to the request being forwarded.
+    pub start_us: u64,
+    /// Time to first response byte from the origin, microseconds.
+    pub ttfb_us: u64,
+    /// First response byte to last, microseconds.
+    pub transfer_us: u64,
+    /// Request headers as sent upstream, in wire order.
+    pub request_headers: Vec<(String, String)>,
+    /// Response headers, in wire order, minus framing/hop-by-hop headers
+    /// and the piggyback (stored separately in [`piggyback`](Self::piggyback)).
+    pub response_headers: Vec<(String, String)>,
+    /// The `P-volume` payload the origin attached, verbatim.
+    pub piggyback: Option<String>,
+    pub body: Vec<u8>,
+}
+
+impl RecordedExchange {
+    /// A minimal entry for tests and builders; timing zero, no headers.
+    pub fn new(seq: u32, method: &str, path: &str, status: u16, body: Vec<u8>) -> Self {
+        RecordedExchange {
+            seq,
+            method: method.to_owned(),
+            path: path.to_owned(),
+            status,
+            chunked: false,
+            start_us: 0,
+            ttfb_us: 0,
+            transfer_us: 0,
+            request_headers: Vec::new(),
+            response_headers: Vec::new(),
+            piggyback: None,
+            body,
+        }
+    }
+
+    /// The FNV-1a fingerprint of this entry's body.
+    pub fn body_hash(&self) -> u64 {
+        body_hash(&self.body)
+    }
+
+    /// Case-insensitive lookup in the recorded response headers.
+    pub fn response_header(&self, name: &str) -> Option<&str> {
+        self.response_headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
 
 /// HTTP method recorded in a log (the subset occurring in the paper's logs;
 /// Marimba's log is "practically all ... POST").

@@ -46,6 +46,7 @@ fn main() {
         port: 0,
         origin: origin.addr,
         volume_level: 1,
+        shim: None,
     })
     .expect("center");
     println!("volume center: {} -> {}", center.addr(), origin.addr);

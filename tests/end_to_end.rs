@@ -124,6 +124,7 @@ fn volume_center_chain_end_to_end() {
         port: 0,
         origin: origin.addr,
         volume_level: 1,
+        shim: None,
     })
     .unwrap();
     let proxy = start_proxy(ProxyConfig::new(center.addr())).unwrap();

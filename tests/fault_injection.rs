@@ -4,10 +4,12 @@
 //! or panic.
 
 use piggyback::httpwire::{Request, Response};
-use piggyback::proxyd::client::HttpClient;
+use piggyback::proxyd::client::{run_sequence, HttpClient};
+use piggyback::proxyd::netem::{Conditioner, NetProfile, ShimConfig};
 use piggyback::proxyd::origin::{start_origin, OriginConfig};
 use piggyback::proxyd::proxy::{start_proxy, ProxyConfig, ProxyHandle};
 use piggyback::proxyd::util::serve;
+use piggyback::proxyd::volume_center::{start_volume_center, VolumeCenterConfig};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -332,6 +334,151 @@ fn pool_sheds_poisoned_connections_under_parallel_load() {
         "the pool must shed poisoned connections: {pool:?} {s:?}"
     );
     proxy.stop();
+    origin.stop();
+}
+
+/// The adverse-network shim is a *schedule*, not a dice roll: the plan for
+/// exchange `i` is a pure function of `(seed, i)`, so two conditioners
+/// built from the same profile and seed agree on every failure decision
+/// and every delay, and a different seed produces a different schedule.
+#[test]
+fn shim_schedule_is_seed_deterministic() {
+    let profile = NetProfile::dsl().with_error_rate(0.3);
+    let a = Conditioner::new(profile.clone(), 42);
+    let b = Conditioner::new(profile.clone(), 42);
+    let other = Conditioner::new(profile, 43);
+    let mut any_differs = false;
+    for i in 0..512u64 {
+        let pa = a.plan_for(i);
+        assert_eq!(pa, b.plan_for(i), "same seed must agree on exchange {i}");
+        assert_eq!(a.up_delay(&pa, 700), b.up_delay(&pa, 700));
+        assert_eq!(a.down_delay(&pa, 9000), b.down_delay(&pa, 9000));
+        any_differs |= pa != other.plan_for(i);
+    }
+    assert!(
+        any_differs,
+        "a different seed must produce a different schedule"
+    );
+}
+
+/// A proxy → shimmed volume center → live origin chain. The profile's time
+/// constants are zeroed (`scaled(0.0)`) so these tests exercise the error
+/// schedule, not the clock.
+fn shimmed_stack(
+    error_rate: f64,
+) -> (
+    piggyback::proxyd::origin::OriginHandle,
+    piggyback::proxyd::volume_center::VolumeCenterHandle,
+    ProxyHandle,
+) {
+    let origin = start_origin(OriginConfig::default()).unwrap();
+    let center = start_volume_center(VolumeCenterConfig {
+        port: 0,
+        origin: origin.addr(),
+        volume_level: 1,
+        shim: Some(ShimConfig {
+            profile: NetProfile::lan().scaled(0.0).with_error_rate(error_rate),
+            seed: 1,
+        }),
+    })
+    .unwrap();
+    let mut cfg = ProxyConfig::new(center.addr());
+    cfg.rpv = None;
+    cfg.report_hits = false;
+    let proxy = start_proxy(cfg).unwrap();
+    (origin, center, proxy)
+}
+
+/// error-rate 1.0 kills every exchange: the proxy's retry-once path runs
+/// (and also dies), every client request surfaces as a 502, and both the
+/// proxy ledger and the shim ledger account for every attempt.
+#[test]
+fn shim_error_rate_one_fails_every_exchange() {
+    let (origin, center, proxy) = shimmed_stack(1.0);
+    let mut client = HttpClient::connect(proxy.addr()).unwrap();
+    let n = 4u64;
+    for i in 0..n {
+        let resp = client.get(&format!("/shim/e{i}.html"), &[]).unwrap();
+        assert_eq!(
+            resp.status, 502,
+            "a fully-adverse network must surface as 502"
+        );
+    }
+    let s = proxy.stats();
+    assert_eq!(s.upstream_errors, n);
+    assert_eq!(
+        s.upstream_retries, n,
+        "every failure must have been retried once"
+    );
+    conserved(&proxy, n);
+    let shim = center.shim_stats().expect("shimmed center reports stats");
+    assert_eq!(
+        shim.exchanges, 0,
+        "nothing may pass through at error rate 1.0"
+    );
+    assert_eq!(
+        shim.failures,
+        2 * n,
+        "both the first attempt and the retry must be killed"
+    );
+    proxy.stop();
+    center.stop();
+    origin.stop();
+}
+
+/// error-rate 0 with zeroed time constants is a transparent relay: every
+/// request succeeds, the shim counts exactly one passed exchange per
+/// upstream fetch, and injects no failures.
+#[test]
+fn shim_error_rate_zero_is_transparent() {
+    let (origin, center, proxy) = shimmed_stack(0.0);
+    let paths: Vec<String> = origin.paths.iter().take(5).cloned().collect();
+    let report = run_sequence(proxy.addr(), &paths).unwrap();
+    assert_eq!(report.ok, 5);
+    assert_eq!(report.errors, 0);
+    conserved(&proxy, 5);
+    let shim = center.shim_stats().expect("shimmed center reports stats");
+    assert_eq!(shim.failures, 0);
+    assert_eq!(shim.exchanges, 5, "one shim exchange per upstream fetch");
+    proxy.stop();
+    center.stop();
+    origin.stop();
+}
+
+/// A non-zero profile actually delays the exchange: one fetch through a
+/// half-scale DSL profile must take at least the profile's RTT.
+#[test]
+fn shim_imposes_profile_latency() {
+    let origin = start_origin(OriginConfig::default()).unwrap();
+    let center = start_volume_center(VolumeCenterConfig {
+        port: 0,
+        origin: origin.addr(),
+        volume_level: 1,
+        shim: Some(ShimConfig {
+            profile: NetProfile::dsl().scaled(0.5),
+            seed: 7,
+        }),
+    })
+    .unwrap();
+    let mut cfg = ProxyConfig::new(center.addr());
+    cfg.rpv = None;
+    cfg.report_hits = false;
+    let proxy = start_proxy(cfg).unwrap();
+    let mut client = HttpClient::connect(proxy.addr()).unwrap();
+    let path = origin.paths[0].clone();
+    let start = std::time::Instant::now();
+    let resp = client.get(&path, &[]).unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(resp.status, 200);
+    // Half-scale DSL is a 20 ms RTT before jitter and serialization.
+    assert!(
+        elapsed >= Duration::from_millis(15),
+        "shim must impose the profile's latency, got {elapsed:?}"
+    );
+    let shim = center.shim_stats().unwrap();
+    assert!(shim.delay_us >= 15_000, "delay must be accounted: {shim:?}");
+    proxy.stop();
+    center.stop();
     origin.stop();
 }
 

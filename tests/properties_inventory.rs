@@ -1,0 +1,130 @@
+//! Property tests over the recorded-traffic inventory format
+//! (PROTOCOL.md §11): serialize → parse round-trips every field exactly —
+//! CRLF-bearing bodies, piggyback payloads, leading-space header values —
+//! and the per-entry body hash rejects corruption instead of replaying it.
+
+use piggyback::trace::inventory::{Inventory, InventoryError};
+use piggyback::trace::record::{body_hash, RecordedExchange};
+use proptest::prelude::*;
+
+/// Header names never contain spaces or colons; values are arbitrary
+/// printable ASCII, including leading/trailing spaces (the format writes
+/// `Name: value` and strips exactly one space after the colon on parse).
+fn arb_headers() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec(("[A-Za-z][A-Za-z0-9-]{0,11}", "[ -~]{0,24}"), 0..5)
+}
+
+fn arb_entry() -> impl Strategy<Value = RecordedExchange> {
+    (
+        (
+            prop_oneof![Just("GET"), Just("POST"), Just("HEAD")],
+            "/[a-zA-Z0-9_./-]{0,24}",
+            100u16..600,
+            any::<bool>(),
+        ),
+        (any::<u32>(), any::<u32>(), any::<u32>()),
+        arb_headers(),
+        arb_headers(),
+        proptest::option::of("[ -~]{0,40}"),
+        proptest::collection::vec(any::<u8>(), 0..300),
+    )
+        .prop_map(
+            |((method, path, status, chunked), times, reqh, resph, piggyback, body)| {
+                RecordedExchange {
+                    seq: 0, // assigned by the caller
+                    method: method.to_owned(),
+                    path,
+                    status,
+                    chunked,
+                    start_us: times.0 as u64,
+                    ttfb_us: times.1 as u64,
+                    transfer_us: times.2 as u64,
+                    request_headers: reqh,
+                    response_headers: resph,
+                    piggyback,
+                    body,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// The core law: `parse(to_text(inv)) == inv` for arbitrary
+    /// inventories, and rendering is a fixed point of the round trip.
+    #[test]
+    fn inventory_round_trips_exactly(
+        name in "[a-z0-9_-]{1,16}",
+        mut entries in proptest::collection::vec(arb_entry(), 0..8),
+    ) {
+        for (i, e) in entries.iter_mut().enumerate() {
+            e.seq = i as u32;
+        }
+        let inv = Inventory { name, entries };
+        let text = inv.to_text();
+        let parsed = Inventory::parse(&text).unwrap();
+        prop_assert_eq!(&parsed, &inv);
+        prop_assert_eq!(parsed.to_text(), text);
+    }
+
+    /// Bodies full of CRLF runs and HTTP framing bytes — the worst case
+    /// for a line-oriented container — survive byte-for-byte.
+    #[test]
+    fn crlf_bodies_survive(extra in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut body =
+            b"0\r\n\r\nHTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        body.extend(extra);
+        let mut inv = Inventory::new("crlf");
+        inv.entries
+            .push(RecordedExchange::new(0, "GET", "/x", 200, body.clone()));
+        let parsed = Inventory::parse(&inv.to_text()).unwrap();
+        prop_assert_eq!(parsed.entries[0].body.clone(), body);
+    }
+
+    /// Flipping any bit of a stored body while keeping the recorded hash
+    /// is detected as a `HashMismatch`, never silently replayed.
+    #[test]
+    fn corrupted_bodies_are_rejected(
+        body in proptest::collection::vec(any::<u8>(), 1..100),
+        at in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut mutated = body.clone();
+        let i = at % mutated.len();
+        mutated[i] ^= 1 << bit;
+        prop_assume!(body_hash(&mutated) != body_hash(&body));
+
+        let mut forged_inv = Inventory::new("forged");
+        forged_inv
+            .entries
+            .push(RecordedExchange::new(0, "GET", "/x", 200, mutated.clone()));
+        // Splice the original (now wrong) hash over the mutated body's.
+        let forged = forged_inv.to_text().replacen(
+            &format!("hash {:016x}", body_hash(&mutated)),
+            &format!("hash {:016x}", body_hash(&body)),
+            1,
+        );
+        prop_assert!(matches!(
+            Inventory::parse(&forged),
+            Err(InventoryError::HashMismatch { seq: 0, .. })
+        ));
+    }
+
+    /// `paths()` lists each recorded path once, in first-appearance order.
+    #[test]
+    fn paths_are_deduped_in_order(
+        mut entries in proptest::collection::vec(arb_entry(), 1..12),
+    ) {
+        for (i, e) in entries.iter_mut().enumerate() {
+            e.seq = i as u32;
+        }
+        let inv = Inventory { name: "p".into(), entries };
+        let paths = inv.paths();
+        let mut expected = Vec::new();
+        for e in &inv.entries {
+            if !expected.contains(&e.path) {
+                expected.push(e.path.clone());
+            }
+        }
+        prop_assert_eq!(paths, expected);
+    }
+}
