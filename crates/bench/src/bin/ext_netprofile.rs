@@ -27,7 +27,10 @@
 //!
 //! Environment: `PB_INVENTORY` overrides the inventory path,
 //! `PB_NETEM_SCALE` (default 0.25) scales the profiles' time constants,
-//! `PB_SCALE` scales the measured round count.
+//! `PB_SCALE` scales the measured round count. `PB_IO=reactor` serves
+//! the proxy from the epoll reactor instead of the threaded pool; cells
+//! are then suffixed `_reactor` and the same win-ordering gate applies,
+//! so a reactor-mode run asserts the piggyback win is I/O-mode-invariant.
 
 use piggyback_bench::{banner, cell_seed, print_table, record_cell_stats, scale_factor};
 use piggyback_core::filter::ProxyFilter;
@@ -38,6 +41,7 @@ use piggyback_proxyd::obs::HistogramSnapshot;
 use piggyback_proxyd::proxy::{start_proxy, ProxyConfig};
 use piggyback_proxyd::replay_origin::{start_replay_origin, ReplayConfig, ReplayTiming};
 use piggyback_proxyd::volume_center::{start_volume_center, VolumeCenterConfig};
+use piggyback_proxyd::IoMode;
 use piggyback_trace::inventory::{reference_inventory_path, Inventory};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -52,6 +56,17 @@ const ROUND_GAP_MS: u64 = 150;
 const VOLUME_LEVEL: usize = 8;
 const MAX_DIRS: usize = 6;
 const PATHS_PER_DIR: usize = 5;
+
+/// `PB_IO` selects the proxy's serving engine (default threaded).
+fn io_mode() -> IoMode {
+    match std::env::var("PB_IO") {
+        Ok(v) => IoMode::parse(&v).unwrap_or_else(|| {
+            eprintln!("PB_IO expects 'threaded' or 'reactor', got {v}");
+            std::process::exit(2);
+        }),
+        Err(_) => IoMode::default(),
+    }
+}
 
 fn netem_scale() -> f64 {
     std::env::var("PB_NETEM_SCALE")
@@ -107,6 +122,7 @@ fn run_cell(
     max_piggy: u32,
     rounds: usize,
     paths: &[String],
+    io: IoMode,
 ) -> CellResult {
     let pname = profile.name;
     let replay = start_replay_origin(ReplayConfig {
@@ -127,6 +143,7 @@ fn run_cell(
     cfg.filter = ProxyFilter::builder().max_piggy(max_piggy).build();
     cfg.rpv = None;
     cfg.report_hits = false;
+    cfg.io = io;
     let proxy = start_proxy(cfg).expect("proxy starts");
 
     let warm = run_sequence(proxy.addr(), paths).expect("warmup round");
@@ -186,12 +203,19 @@ fn main() {
     let paths = workload(&inventory);
     let rounds = ((4.0 * scale_factor()).round() as usize).max(2);
     let scale = netem_scale();
+    let io = io_mode();
+    let cell_suffix = if io.is_reactor() { "_reactor" } else { "" };
     println!(
         "inventory {} ({} entries); workload {} paths across <= {MAX_DIRS} dirs; \
-         {rounds} measured rounds; netem scale {scale}",
+         {rounds} measured rounds; netem scale {scale}; io {}",
         inventory.name,
         inventory.entries.len(),
         paths.len(),
+        if io.is_reactor() {
+            "reactor"
+        } else {
+            "threaded"
+        },
     );
 
     let mut rows = Vec::new();
@@ -203,8 +227,8 @@ fn main() {
         let seed = cell_seed("ext_netprofile", i);
         // Both arms run the identical conditioner schedule: same profile,
         // same seed, and the same per-round request count.
-        let pb = run_cell(&inventory, profile.clone(), seed, 10, rounds, &paths);
-        let nopb = run_cell(&inventory, profile, seed, 0, rounds, &paths);
+        let pb = run_cell(&inventory, profile.clone(), seed, 10, rounds, &paths, io);
+        let nopb = run_cell(&inventory, profile, seed, 0, rounds, &paths, io);
         assert!(
             pb.freshens > 0,
             "{name}: the pb arm must observe piggyback freshens"
@@ -218,7 +242,7 @@ fn main() {
         );
         let win = nopb.mean_ms - pb.mean_ms;
         for (arm, cell) in [("pb", &pb), ("nopb", &nopb)] {
-            let id = format!("ext_netprofile_{name}_{arm}");
+            let id = format!("ext_netprofile_{name}_{arm}{cell_suffix}");
             record_cell_stats(&id, cell.wall, cell.hist.percentiles());
             let (p50, p90, p99, _) = cell.hist.percentiles();
             rows.push(vec![

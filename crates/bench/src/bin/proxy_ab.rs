@@ -25,7 +25,9 @@
 //! `PB_SCALE` scales the request count (site and body sizes stay fixed so
 //! the per-request byte volume is scale-independent).
 
-use piggyback_bench::{banner, print_table, record_cell, scale_factor};
+use piggyback_bench::{
+    banner, browser_get, print_table, record_cell, scale_factor, PipelinedClient,
+};
 use piggyback_core::types::DurationMs;
 use piggyback_proxyd::client::HttpClient;
 use piggyback_proxyd::origin::{start_origin, OriginConfig};
@@ -33,8 +35,7 @@ use piggyback_proxyd::proxy::{start_proxy, ProxyConfig, WireMode};
 use piggyback_trace::synth::samplers::LogNormal;
 use piggyback_trace::synth::site::{Site, SiteConfig};
 use std::collections::HashMap;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::time::Instant;
 
 const PAGES: usize = 64;
@@ -70,86 +71,6 @@ fn page_paths(cfg: &SiteConfig) -> Vec<String> {
         .iter()
         .map(|p| table.path(p.resource).unwrap().to_owned())
         .collect()
-}
-
-/// A pipelined raw-socket client: writes [`BATCH`] pre-serialized GETs in
-/// one syscall, then drains the responses, checking status and `X-Cache`
-/// and using `Content-Length` to frame each body.
-struct PipelinedClient {
-    stream: TcpStream,
-    /// Response bytes; `pos..filled` is the unparsed window.
-    buf: Vec<u8>,
-    pos: usize,
-    filled: usize,
-}
-
-impl PipelinedClient {
-    fn connect(addr: SocketAddr) -> std::io::Result<Self> {
-        Ok(PipelinedClient {
-            stream: TcpStream::connect(addr)?,
-            buf: vec![0u8; 1024 * 1024],
-            pos: 0,
-            filled: 0,
-        })
-    }
-
-    /// Write `reqs` back-to-back, then read exactly `count` responses,
-    /// asserting every one is a `200` cache hit.
-    fn run_batch(&mut self, reqs: &[u8], count: usize) {
-        self.stream.write_all(reqs).expect("write batch");
-        for _ in 0..count {
-            self.read_response();
-        }
-    }
-
-    fn read_response(&mut self) {
-        // Fill until the header block is complete.
-        let head_len = loop {
-            if let Some(p) = find(&self.buf[self.pos..self.filled], b"\r\n\r\n") {
-                break p + 4;
-            }
-            self.fill();
-        };
-        let head = &self.buf[self.pos..self.pos + head_len];
-        assert!(head.starts_with(b"HTTP/1.1 200 OK\r\n"), "not a 200");
-        assert!(find(head, b"X-Cache: HIT\r\n").is_some(), "not a cache hit");
-        let total = head_len + content_length(head);
-        while self.filled - self.pos < total {
-            self.fill();
-        }
-        self.pos += total;
-        if self.pos == self.filled {
-            self.pos = 0;
-            self.filled = 0;
-        }
-    }
-
-    fn fill(&mut self) {
-        if self.filled == self.buf.len() {
-            // Compact the unparsed tail (rare: only when a response spans
-            // the end of the buffer).
-            self.buf.copy_within(self.pos..self.filled, 0);
-            self.filled -= self.pos;
-            self.pos = 0;
-        }
-        let n = self
-            .stream
-            .read(&mut self.buf[self.filled..])
-            .expect("read");
-        assert!(n > 0, "proxy closed mid-response");
-        self.filled += n;
-    }
-}
-
-fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack.windows(needle.len()).position(|w| w == needle)
-}
-
-fn content_length(head: &[u8]) -> usize {
-    let p = find(head, b"Content-Length: ").expect("framed response");
-    let rest = &head[p + 16..];
-    let end = find(rest, b"\r\n").unwrap();
-    std::str::from_utf8(&rest[..end]).unwrap().parse().unwrap()
 }
 
 /// An origin + warmed proxy in `wire` mode, ready to serve pure hits.
@@ -233,23 +154,7 @@ fn run_pair(
                     let mut bytes = Vec::new();
                     for i in 0..BATCH {
                         let path = &paths[(t * 7 + b * BATCH + i) % paths.len()];
-                        // A browser-shaped header block: parse cost (per
-                        // header, allocated by the buffered path, recycled
-                        // by the zero-copy path) matches real traffic.
-                        bytes.extend_from_slice(
-                            format!(
-                                "GET {path} HTTP/1.1\r\n\
-                                 Host: bench\r\n\
-                                 User-Agent: proxy-ab/1.0 (bench; x86_64)\r\n\
-                                 Accept: text/html,application/xhtml+xml,*/*;q=0.8\r\n\
-                                 Accept-Language: en-US,en;q=0.5\r\n\
-                                 Accept-Encoding: identity\r\n\
-                                 Referer: http://bench/index.html\r\n\
-                                 Cookie: session=0123456789abcdef; theme=light\r\n\
-                                 Cache-Control: max-age=3600\r\n\r\n"
-                            )
-                            .as_bytes(),
-                        );
+                        bytes.extend_from_slice(browser_get(path).as_bytes());
                     }
                     bytes
                 })

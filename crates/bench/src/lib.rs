@@ -21,7 +21,9 @@ use piggyback_core::volume::{
 use piggyback_trace::profiles::{self, ServerProfile};
 use piggyback_trace::ServerLog;
 
+pub mod pipelined;
 pub mod sweep;
+pub use pipelined::{browser_get, PipelinedClient};
 pub use sweep::{
     cell_seed, pb_threads, record_cell, record_cell_stats, run_timed, shared_client_trace,
     shared_server_log, sweep,

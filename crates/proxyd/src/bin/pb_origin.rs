@@ -4,6 +4,7 @@
 //! pb-origin [--port 8080] [--pages 60] [--level 1] [--seed 42]
 //!           [--volumes-file volumes.txt] [--print-paths] [--no-metrics]
 //!           [--legacy-origin] [--no-piggyback-cache] [--epoch-secs N]
+//!           [--io threaded|reactor] [--reactors N] [--idle-timeout-secs 120]
 //! ```
 //!
 //! `--volumes-file` loads persisted probability volumes (see the
@@ -14,10 +15,14 @@
 //! `pb-proxy --legacy`); the default is the lock-free snapshot path.
 //! `--no-piggyback-cache` disables the `P-volume` encode cache, and
 //! `--epoch-secs N` enables online probability-volume learning (requires
-//! `--volumes-file`).
+//! `--volumes-file`). `--io reactor` serves connections from the epoll
+//! reactor (Linux; other platforms fall back to the threaded pool) with
+//! `--reactors` SO_REUSEPORT accept shards (0 = auto); wire output is
+//! byte-identical in both modes.
 
 use piggyback_core::types::DurationMs;
 use piggyback_proxyd::origin::{start_origin, OnlineEpochConfig, OriginConfig, VolumeScheme};
+use piggyback_proxyd::IoMode;
 use piggyback_trace::synth::site::SiteConfig;
 
 fn main() {
@@ -30,6 +35,7 @@ fn main() {
         ..Default::default()
     };
     let mut print_paths = false;
+    let mut reactors: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -65,11 +71,24 @@ fn main() {
                     threshold: 0.25,
                 });
             }
+            "--io" => {
+                let v = value("--io");
+                cfg.io = IoMode::parse(&v).unwrap_or_else(|| {
+                    eprintln!("--io expects 'threaded' or 'reactor', got {v}");
+                    std::process::exit(2);
+                });
+            }
+            "--reactors" => reactors = Some(value("--reactors").parse().expect("number")),
+            "--idle-timeout-secs" => {
+                let secs: u64 = value("--idle-timeout-secs").parse().expect("number");
+                cfg.reactor_idle_timeout = std::time::Duration::from_secs(secs);
+            }
             "--help" | "-h" => {
                 println!(
                     "pb-origin [--port 8080] [--pages 60] [--level 1] [--seed 42] \
                      [--print-paths] [--no-metrics] [--legacy-origin] \
-                     [--no-piggyback-cache] [--epoch-secs N]"
+                     [--no-piggyback-cache] [--epoch-secs N] \
+                     [--io threaded|reactor] [--reactors N] [--idle-timeout-secs 120]"
                 );
                 return;
             }
@@ -80,6 +99,9 @@ fn main() {
         }
     }
 
+    if let (IoMode::Reactor { .. }, Some(n)) = (cfg.io, reactors) {
+        cfg.io = IoMode::Reactor { reactors: n };
+    }
     let metrics = cfg.metrics;
     let origin = start_origin(cfg).expect("failed to start origin");
     eprintln!(

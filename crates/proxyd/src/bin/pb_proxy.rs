@@ -4,19 +4,26 @@
 //! pb-proxy --origin 127.0.0.1:8080 [--port 8081] [--capacity-mb 32]
 //!          [--delta-secs 60] [--maxpiggy 10] [--no-rpv]
 //!          [--shards 8] [--legacy] [--pool-idle 32] [--workers 64]
-//!          [--no-metrics] [--buffered-wire]
+//!          [--no-metrics] [--no-report-hits] [--buffered-wire]
+//!          [--io threaded|reactor] [--reactors N] [--idle-timeout-secs 120]
 //! ```
 //!
 //! `--legacy` selects the single-lock, fresh-connection-per-fetch
 //! baseline; the default is the sharded, connection-pooled model.
 //! `--buffered-wire` selects the allocate-per-request buffered writer
 //! path instead of the default zero-copy scratch/writev path.
+//! `--io reactor` serves connections from the epoll reactor (Linux;
+//! other platforms fall back to the threaded pool) with `--reactors`
+//! SO_REUSEPORT accept shards (0 = auto) and an `--idle-timeout-secs`
+//! connection reaper; `--io threaded` (the default) keeps the blocking
+//! worker pool. Wire output is byte-identical in both modes.
 //! Prints statistics every 10 seconds. Unless `--no-metrics` is given,
 //! `GET /__pb/metrics` serves Prometheus counters and latency histograms.
 
 use piggyback_core::filter::ProxyFilter;
 use piggyback_core::types::DurationMs;
 use piggyback_proxyd::proxy::{start_proxy, ConcurrencyMode, ProxyConfig, WireMode};
+use piggyback_proxyd::IoMode;
 use std::net::SocketAddr;
 
 fn main() {
@@ -31,7 +38,11 @@ fn main() {
     let mut pool_idle = 32usize;
     let mut workers = 64usize;
     let mut metrics = true;
+    let mut report_hits = true;
     let mut buffered_wire = false;
+    let mut io = IoMode::default();
+    let mut reactors: Option<usize> = None;
+    let mut idle_timeout_secs = 120u64;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,13 +63,26 @@ fn main() {
             "--workers" => workers = value("--workers").parse().expect("number"),
             "--metrics" => metrics = true,
             "--no-metrics" => metrics = false,
+            "--no-report-hits" => report_hits = false,
             "--buffered-wire" => buffered_wire = true,
+            "--io" => {
+                let v = value("--io");
+                io = IoMode::parse(&v).unwrap_or_else(|| {
+                    eprintln!("--io expects 'threaded' or 'reactor', got {v}");
+                    std::process::exit(2);
+                });
+            }
+            "--reactors" => reactors = Some(value("--reactors").parse().expect("number")),
+            "--idle-timeout-secs" => {
+                idle_timeout_secs = value("--idle-timeout-secs").parse().expect("number");
+            }
             "--help" | "-h" => {
                 println!(
                     "pb-proxy --origin HOST:PORT [--port 8081] [--capacity-mb 32] \
                      [--delta-secs 60] [--maxpiggy 10] [--no-rpv] \
                      [--shards 8] [--legacy] [--pool-idle 32] [--workers 64] \
-                     [--no-metrics] [--buffered-wire]"
+                     [--no-metrics] [--no-report-hits] [--buffered-wire] \
+                     [--io threaded|reactor] [--reactors N] [--idle-timeout-secs 120]"
                 );
                 return;
             }
@@ -89,9 +113,15 @@ fn main() {
     cfg.pool_max_idle = pool_idle;
     cfg.serve.workers = workers;
     cfg.metrics = metrics;
+    cfg.report_hits = report_hits;
     if buffered_wire {
         cfg.wire = WireMode::Buffered;
     }
+    cfg.io = match (io, reactors) {
+        (IoMode::Reactor { .. }, Some(n)) => IoMode::Reactor { reactors: n },
+        (mode, _) => mode,
+    };
+    cfg.reactor_idle_timeout = std::time::Duration::from_secs(idle_timeout_secs);
 
     let proxy = start_proxy(cfg).expect("failed to start proxy");
     if metrics {

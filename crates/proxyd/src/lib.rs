@@ -31,6 +31,8 @@ pub mod netem;
 pub mod obs;
 pub mod origin;
 pub mod proxy;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod record_tap;
 pub mod replay_origin;
 pub mod stats;
@@ -42,10 +44,18 @@ pub use netem::{Conditioner, ExchangePlan, NetProfile, ShimConfig, ShimStats};
 pub use obs::{DaemonObs, HistogramSnapshot, LatencyHistogram, ProxyObs};
 pub use origin::{start_origin, OnlineEpochConfig, OriginConfig, OriginHandle, VolumeScheme};
 pub use proxy::{start_proxy, ConcurrencyMode, ProxyConfig, ProxyHandle, ProxyStats, METRICS_PATH};
+#[cfg(target_os = "linux")]
+pub use reactor::{
+    resolve_reactors, serve_reactor, ReactorMetrics, ReactorOptions, ReactorService,
+    ReactorShardStats, Served,
+};
 pub use record_tap::{start_recorder, RecorderConfig, RecorderHandle};
 pub use replay_origin::{
     start_replay_origin, ReplayConfig, ReplayHandle, ReplayStats, ReplayTiming, DIVERGENCE_HEADER,
 };
 pub use stats::{AtomicDaemonStats, AtomicProxyStats, DaemonStats};
-pub use util::{peer_source, serve_with, synth_body, Clock, ServeOptions, ServerHandle};
+pub use util::{
+    nofile_limits, peer_source, raise_nofile_limit, serve_with, serve_with_stats, set_nofile_soft,
+    source_from_addr, synth_body, Clock, IoMode, IoStats, ServeOptions, ServerHandle,
+};
 pub use volume_center::{start_volume_center, VolumeCenterConfig, VolumeCenterHandle};

@@ -38,7 +38,9 @@
 use crate::obs::{render_histogram, render_scalar, DaemonObs};
 use crate::proxy::METRICS_PATH;
 use crate::stats::{AtomicDaemonStats, DaemonStats};
-use crate::util::{peer_source, serve, synth_body, Clock, ServerHandle};
+use crate::util::{
+    peer_source, serve_with_stats, synth_body, Clock, IoMode, IoStats, ServeOptions, ServerHandle,
+};
 use parking_lot::Mutex;
 use piggyback_core::datetime::{
     format_rfc1123, parse_rfc1123, timestamp_from_unix, unix_from_timestamp,
@@ -149,6 +151,12 @@ pub struct OriginConfig {
     /// Learn probability volumes online from live traffic (requires a
     /// probability `volumes` scheme; ignored in legacy mode).
     pub online_epoch: Option<OnlineEpochConfig>,
+    /// Connection-serving engine: blocking worker pool (default) or the
+    /// epoll reactor (`--io reactor`, Linux only — other platforms fall
+    /// back to the threaded pool). Wire output is byte-identical.
+    pub io: IoMode,
+    /// Reactor mode only: close connections idle for this long.
+    pub reactor_idle_timeout: std::time::Duration,
 }
 
 impl Default for OriginConfig {
@@ -165,6 +173,8 @@ impl Default for OriginConfig {
             legacy: false,
             piggyback_cache: true,
             online_epoch: None,
+            io: IoMode::default(),
+            reactor_idle_timeout: std::time::Duration::from_secs(120),
         }
     }
 }
@@ -210,6 +220,11 @@ struct OriginShared {
     clock: Clock,
     /// Shared synthetic bodies, keyed by resource id (both modes).
     bodies: BodyCache,
+    /// Accept/open-connection counters, fed by whichever I/O engine runs.
+    io_stats: Arc<IoStats>,
+    /// Per-reactor-shard counters (reactor mode only).
+    #[cfg(target_os = "linux")]
+    reactor_metrics: Option<Arc<crate::reactor::ReactorMetrics>>,
 }
 
 /// A running origin.
@@ -398,20 +413,58 @@ pub fn start_origin(cfg: OriginConfig) -> io::Result<OriginHandle> {
         })
     };
 
+    let io_stats = Arc::new(IoStats::default());
+    #[cfg(target_os = "linux")]
+    let reactor_metrics = match cfg.io {
+        IoMode::Reactor { reactors } => Some(Arc::new(crate::reactor::ReactorMetrics::new(
+            crate::reactor::resolve_reactors(reactors),
+        ))),
+        IoMode::Threaded => None,
+    };
     let shared = Arc::new(OriginShared {
         core,
         clock: Clock::new(),
         bodies: BodyCache::new(paths.len()),
+        io_stats: Arc::clone(&io_stats),
+        #[cfg(target_os = "linux")]
+        reactor_metrics: reactor_metrics.clone(),
     });
     let daemon = Arc::new(AtomicDaemonStats::new());
     let obs = Arc::new(DaemonObs::default());
+    let metrics = cfg.metrics;
+    #[cfg(target_os = "linux")]
+    if let Some(rm) = reactor_metrics {
+        let opts = crate::reactor::ReactorOptions {
+            idle_timeout: cfg.reactor_idle_timeout,
+            ..Default::default()
+        };
+        let svc = Arc::new(OriginSvc {
+            shared: Arc::clone(&shared),
+            daemon: Arc::clone(&daemon),
+            obs: Arc::clone(&obs),
+            metrics,
+        });
+        let handle = crate::reactor::serve_reactor(cfg.port, "origin", opts, io_stats, rm, svc)?;
+        return Ok(OriginHandle {
+            handle,
+            shared,
+            daemon,
+            obs,
+            paths,
+        });
+    }
     let shared2 = Arc::clone(&shared);
     let daemon2 = Arc::clone(&daemon);
     let obs2 = Arc::clone(&obs);
-    let metrics = cfg.metrics;
-    let handle = serve(cfg.port, "origin", move |stream| {
-        let _ = handle_connection(stream, &shared2, &daemon2, &obs2, metrics);
-    })?;
+    let handle = serve_with_stats(
+        cfg.port,
+        "origin",
+        ServeOptions::default(),
+        io_stats,
+        move |stream| {
+            let _ = handle_connection(stream, &shared2, &daemon2, &obs2, metrics);
+        },
+    )?;
     Ok(OriginHandle {
         handle,
         shared,
@@ -419,6 +472,45 @@ pub fn start_origin(cfg: OriginConfig) -> io::Result<OriginHandle> {
         obs,
         paths,
     })
+}
+
+/// The origin as a [`ReactorService`](crate::reactor::ReactorService):
+/// every response — site resources, admin endpoints, the metrics scrape —
+/// serializes inline on the reactor thread; the origin has no blocking
+/// upstream work to offload.
+#[cfg(target_os = "linux")]
+struct OriginSvc {
+    shared: Arc<OriginShared>,
+    daemon: Arc<AtomicDaemonStats>,
+    obs: Arc<DaemonObs>,
+    metrics: bool,
+}
+
+#[cfg(target_os = "linux")]
+impl crate::reactor::ReactorService for OriginSvc {
+    fn on_connect(&self, _peer: std::net::SocketAddr) {
+        self.daemon.connections.fetch_add(1, Relaxed);
+    }
+
+    fn handle(
+        &self,
+        req: &Request,
+        peer: std::net::SocketAddr,
+        scratch: &mut ConnScratch,
+        out: &mut Vec<u8>,
+    ) -> io::Result<crate::reactor::Served> {
+        let source = crate::util::source_from_addr(peer);
+        let resp = dispatch_request(
+            req,
+            source,
+            &self.shared,
+            &self.daemon,
+            &self.obs,
+            self.metrics,
+        );
+        resp.write_with(out, scratch)?;
+        Ok(crate::reactor::Served::Inline)
+    }
 }
 
 impl OnlineEpochConfig {
@@ -450,35 +542,41 @@ fn handle_connection(
             return Ok(()); // closed or malformed: drop connection
         }
         let keep = req.keep_alive();
-        // Admin scrape, intercepted before the request/response counters so
-        // scrapes never appear in the ledger they report on. Served from
-        // atomics alone — no serving state is locked.
-        if strip_origin_form(&req.target) == METRICS_PATH {
-            let resp = if metrics {
-                let extras = match &shared.core {
-                    OriginCore::Concurrent(c) => Some(c),
-                    OriginCore::Legacy(_) => None,
-                };
-                origin_metrics_response(daemon, obs, extras)
-            } else {
-                Response::new(404)
-            };
-            resp.write_with(&mut writer, &mut scratch)?;
-            if !keep {
-                return Ok(());
-            }
-            continue;
-        }
-        daemon.requests.fetch_add(1, Relaxed);
-        let start = std::time::Instant::now();
-        let resp = handle_request(&req, source, shared, obs);
-        daemon.count_response(resp.status, resp.body.len());
-        obs.class_for(resp.status).record(start.elapsed());
+        let resp = dispatch_request(&req, source, shared, daemon, obs, metrics);
         resp.write_with(&mut writer, &mut scratch)?;
         if !keep {
             return Ok(());
         }
     }
+}
+
+/// One parsed request to one response, counters included. Shared by the
+/// threaded connection loop and the reactor service so both I/O modes
+/// account (and answer) identically.
+fn dispatch_request(
+    req: &Request,
+    source: SourceId,
+    shared: &OriginShared,
+    daemon: &AtomicDaemonStats,
+    obs: &DaemonObs,
+    metrics: bool,
+) -> Response {
+    // Admin scrape, intercepted before the request/response counters so
+    // scrapes never appear in the ledger they report on. Served from
+    // atomics alone — no serving state is locked.
+    if strip_origin_form(&req.target) == METRICS_PATH {
+        return if metrics {
+            origin_metrics_response(daemon, obs, shared)
+        } else {
+            Response::new(404)
+        };
+    }
+    daemon.requests.fetch_add(1, Relaxed);
+    let start = std::time::Instant::now();
+    let resp = handle_request(req, source, shared, obs);
+    daemon.count_response(resp.status, resp.body.len());
+    obs.class_for(resp.status).record(start.elapsed());
+    resp
 }
 
 /// Render the origin's Prometheus exposition from lock-free counters and
@@ -487,8 +585,12 @@ fn handle_connection(
 fn origin_metrics_response(
     daemon: &AtomicDaemonStats,
     obs: &DaemonObs,
-    extras: Option<&ConcurrentOrigin>,
+    shared: &OriginShared,
 ) -> Response {
+    let extras = match &shared.core {
+        OriginCore::Concurrent(c) => Some(c),
+        OriginCore::Legacy(_) => None,
+    };
     let stats = daemon.snapshot();
     let mut out = String::with_capacity(4 * 1024);
     render_scalar(
@@ -606,6 +708,68 @@ fn origin_metrics_response(
         &obs.piggyback_bytes.snapshot(),
         1.0,
     );
+    render_scalar(
+        &mut out,
+        "pb_origin_accepts_total",
+        "",
+        "counter",
+        shared.io_stats.accepts_total(),
+    );
+    render_scalar(
+        &mut out,
+        "pb_origin_open_connections",
+        "",
+        "gauge",
+        shared.io_stats.open_connections(),
+    );
+    render_scalar(
+        &mut out,
+        "pb_origin_accept_backoffs_total",
+        "",
+        "counter",
+        shared.io_stats.accept_errors_total(),
+    );
+    #[cfg(target_os = "linux")]
+    if let Some(rm) = &shared.reactor_metrics {
+        for (i, s) in rm.shards.iter().enumerate() {
+            let labels = format!("shard=\"{i}\"");
+            render_scalar(
+                &mut out,
+                "pb_origin_reactor_conns",
+                &labels,
+                "gauge",
+                s.conns(),
+            );
+            render_scalar(
+                &mut out,
+                "pb_origin_reactor_accepts_total",
+                &labels,
+                "counter",
+                s.accepts(),
+            );
+            render_scalar(
+                &mut out,
+                "pb_origin_reactor_wakeups_total",
+                &labels,
+                "counter",
+                s.wakeups(),
+            );
+            render_scalar(
+                &mut out,
+                "pb_origin_reactor_timeouts_total",
+                &labels,
+                "counter",
+                s.timeouts(),
+            );
+            render_scalar(
+                &mut out,
+                "pb_origin_reactor_offloads_total",
+                &labels,
+                "counter",
+                s.offloads(),
+            );
+        }
+    }
     let mut resp = Response::new(200);
     resp.headers
         .insert("Content-Type", "text/plain; version=0.0.4");

@@ -29,7 +29,7 @@ use crate::obs::{render_histogram, render_scalar, ProxyObs};
 use crate::origin::strip_origin_form;
 use crate::stats::AtomicProxyStats;
 pub use crate::stats::ProxyStats;
-use crate::util::{serve_with, Clock, ServeOptions, ServerHandle};
+use crate::util::{serve_with_stats, Clock, IoMode, IoStats, ServeOptions, ServerHandle};
 use parking_lot::{Mutex, RwLock};
 use piggyback_core::datetime::{
     format_rfc1123, parse_rfc1123, timestamp_from_unix, unix_from_timestamp, Rfc1123,
@@ -111,12 +111,21 @@ pub struct ProxyConfig {
     pub wire: WireMode,
     /// Idle origin connections the pool retains (Sharded mode only).
     pub pool_max_idle: usize,
-    /// Accept-loop worker/queue sizing.
+    /// Accept-loop worker/queue sizing. In reactor mode `serve.workers`
+    /// sizes the offload pool (blocking upstream exchanges) instead.
     pub serve: ServeOptions,
     /// Serve the Prometheus admin endpoint `GET /__pb/metrics`
     /// (`pb-proxy --no-metrics` disables it; disabled scrapes get a local
     /// 404, never a proxied fetch).
     pub metrics: bool,
+    /// Client-side I/O engine. [`IoMode::Reactor`] (Linux only; silently
+    /// falls back to `Threaded` elsewhere) multiplexes connections on an
+    /// epoll readiness loop instead of pinning a worker thread each.
+    /// Reactor mode always uses the zero-copy serializers, so its wire
+    /// bytes are identical to `WireMode::ZeroCopy`.
+    pub io: IoMode,
+    /// Reactor-mode idle/read deadline for client connections.
+    pub reactor_idle_timeout: std::time::Duration,
 }
 
 impl ProxyConfig {
@@ -135,6 +144,8 @@ impl ProxyConfig {
             pool_max_idle: 32,
             serve: ServeOptions::default(),
             metrics: true,
+            io: IoMode::default(),
+            reactor_idle_timeout: std::time::Duration::from_secs(120),
         }
     }
 }
@@ -163,6 +174,11 @@ struct ProxyShared {
     /// Legacy mode's whole-state serializer, held across each cache phase
     /// the way the original `Mutex<ProxyState>` was.
     global: Option<Mutex<()>>,
+    /// Accept-side counters (both I/O modes), exported at the scrape.
+    io_stats: Arc<IoStats>,
+    /// Per-reactor-shard gauges when running in reactor mode.
+    #[cfg(target_os = "linux")]
+    reactor_metrics: Option<Arc<crate::reactor::ReactorMetrics>>,
 }
 
 impl ProxyShared {
@@ -201,6 +217,11 @@ impl ProxyHandle {
         &self.shared.obs
     }
 
+    /// Accept-side counters: accepts, open connections, accept backoffs.
+    pub fn io_stats(&self) -> &Arc<IoStats> {
+        &self.shared.io_stats
+    }
+
     pub fn stop(self) {
         self.handle.stop();
     }
@@ -220,6 +241,14 @@ pub fn start_proxy(cfg: ProxyConfig) -> io::Result<ProxyHandle> {
         ConcurrencyMode::Legacy => Some(Mutex::new(())),
         ConcurrencyMode::Sharded { .. } => None,
     };
+    let io_stats = Arc::new(IoStats::default());
+    #[cfg(target_os = "linux")]
+    let reactor_metrics = match cfg.io {
+        IoMode::Reactor { reactors } => Some(Arc::new(crate::reactor::ReactorMetrics::new(
+            crate::reactor::resolve_reactors(reactors),
+        ))),
+        IoMode::Threaded => None,
+    };
     let shared = Arc::new(ProxyShared {
         clock: Clock::new(),
         table: RwLock::new(ResourceTable::new()),
@@ -233,13 +262,74 @@ pub fn start_proxy(cfg: ProxyConfig) -> io::Result<ProxyHandle> {
         obs: ProxyObs::default(),
         pool,
         global,
+        io_stats: Arc::clone(&io_stats),
+        #[cfg(target_os = "linux")]
+        reactor_metrics: reactor_metrics.clone(),
         cfg,
     });
+    #[cfg(target_os = "linux")]
+    if let Some(metrics) = reactor_metrics {
+        let opts = crate::reactor::ReactorOptions {
+            offload_workers: shared.cfg.serve.workers.max(1),
+            idle_timeout: shared.cfg.reactor_idle_timeout,
+        };
+        let svc = Arc::new(ProxySvc {
+            shared: Arc::clone(&shared),
+        });
+        let handle =
+            crate::reactor::serve_reactor(shared.cfg.port, "proxy", opts, io_stats, metrics, svc)?;
+        return Ok(ProxyHandle { handle, shared });
+    }
     let shared2 = Arc::clone(&shared);
-    let handle = serve_with(shared.cfg.port, "proxy", shared.cfg.serve, move |stream| {
-        let _ = handle_connection(stream, &shared2);
-    })?;
+    let handle = serve_with_stats(
+        shared.cfg.port,
+        "proxy",
+        shared.cfg.serve,
+        io_stats,
+        move |stream| {
+            let _ = handle_connection(stream, &shared2);
+        },
+    )?;
     Ok(ProxyHandle { handle, shared })
+}
+
+/// The proxy as a [`ReactorService`](crate::reactor::ReactorService):
+/// cache hits, metrics, and synthesized errors serialize inline on the
+/// reactor thread; upstream fetches offload their blocking exchange to
+/// the worker pool and inject the serialized response back.
+#[cfg(target_os = "linux")]
+struct ProxySvc {
+    shared: Arc<ProxyShared>,
+}
+
+#[cfg(target_os = "linux")]
+impl crate::reactor::ReactorService for ProxySvc {
+    fn handle(
+        &self,
+        req: &Request,
+        peer: SocketAddr,
+        scratch: &mut ConnScratch,
+        out: &mut Vec<u8>,
+    ) -> io::Result<crate::reactor::Served> {
+        use crate::reactor::Served;
+        match plan_request(req, &self.shared, peer) {
+            Step::Reply(Reply::Hit { body, lm }) => {
+                write_hit(out, scratch, &body, lm)?;
+                Ok(Served::Inline)
+            }
+            Step::Reply(Reply::Full(resp)) => {
+                resp.write_with(out, scratch)?;
+                Ok(Served::Inline)
+            }
+            Step::Upstream(job) => {
+                let shared = Arc::clone(&self.shared);
+                Ok(Served::Offload(Box::new(move |scratch, out| {
+                    let resp = complete_upstream(&shared, job, scratch);
+                    resp.write_with(out, scratch)
+                })))
+            }
+        }
+    }
 }
 
 fn handle_connection(stream: TcpStream, shared: &Arc<ProxyShared>) -> io::Result<()> {
@@ -314,24 +404,56 @@ enum Reply {
     Full(Response),
 }
 
+/// What the lock-scoped planning phase resolved a request to: an
+/// immediately-serveable reply, or a description of the upstream work
+/// still owed. Splitting here lets the reactor serve `Reply` inline and
+/// ship `UpstreamJob` (self-contained: owned path, filter, drained
+/// report) to an offload worker without borrowing the request.
+enum Step {
+    Reply(Reply),
+    Upstream(UpstreamJob),
+}
+
+/// Everything [`complete_upstream`] needs, detached from the `Request`.
+struct UpstreamJob {
+    path: String,
+    source: SocketAddr,
+    validate_lm: Option<Timestamp>,
+    filter: ProxyFilter,
+    report: Option<String>,
+    start: Instant,
+}
+
+/// The threaded entry point: plan under shard locks, then (if owed) run
+/// the blocking upstream exchange on the calling thread.
 fn handle_request(
     req: &Request,
     shared: &Arc<ProxyShared>,
     source: SocketAddr,
     scratch: &mut ConnScratch,
 ) -> Reply {
+    match plan_request(req, shared, source) {
+        Step::Reply(r) => r,
+        Step::Upstream(job) => Reply::Full(complete_upstream(shared, job, scratch)),
+    }
+}
+
+/// Phase 1: cache consult under shard-scoped locks. Never blocks on the
+/// network, so it is safe on a reactor thread. The fresh-hit path is
+/// allocation-free; only a miss pays for the owned `UpstreamJob`.
+fn plan_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) -> Step {
     if req.method != "GET" {
-        return Reply::Full(Response::new(400));
+        return Step::Reply(Reply::Full(Response::new(400)));
     }
     let path = strip_origin_form(&req.target);
     // Admin scrape, answered before the request counter so scrapes never
     // disturb the conservation invariant they report on.
     if path == METRICS_PATH {
-        return Reply::Full(if shared.cfg.metrics {
+        return Step::Reply(Reply::Full(if shared.cfg.metrics {
             metrics_response(shared)
         } else {
             Response::new(404)
-        });
+        }));
     }
     let start = Instant::now();
 
@@ -383,17 +505,45 @@ fn handle_request(
         }
     };
 
-    let (validate_lm, filter, report) = match plan {
+    match plan {
         Plan::ServeFresh(body, lm) => {
             shared.obs.fresh_hit.record(start.elapsed());
-            return Reply::Hit { body, lm };
+            Step::Reply(Reply::Hit { body, lm })
         }
         Plan::Fetch {
             validate_lm,
             filter,
             report,
-        } => (validate_lm, filter, report),
-    };
+        } => Step::Upstream(UpstreamJob {
+            path: path.to_owned(),
+            source,
+            validate_lm,
+            filter,
+            report,
+            start,
+        }),
+    }
+}
+
+/// Phases 2+3: the blocking upstream exchange and the cache/piggyback
+/// update. Runs on the connection's own thread in threaded mode, on an
+/// offload worker in reactor mode. `job.start` spans planning, any queue
+/// wait, and the exchange, so latency histograms mean the same thing in
+/// both I/O modes.
+fn complete_upstream(
+    shared: &ProxyShared,
+    job: UpstreamJob,
+    scratch: &mut ConnScratch,
+) -> Response {
+    let UpstreamJob {
+        path,
+        source,
+        validate_lm,
+        filter,
+        report,
+        start,
+    } = job;
+    let path = path.as_str();
 
     // Phase 2: upstream exchange (no state locks held).
     let resp = exchange_upstream(
@@ -409,7 +559,7 @@ fn handle_request(
         Err(_) => {
             shared.stats.upstream_errors.fetch_add(1, Relaxed);
             shared.obs.error.record(start.elapsed());
-            return Reply::Full(Response::new(502));
+            return Response::new(502);
         }
     };
 
@@ -532,7 +682,7 @@ fn handle_request(
         _ => &shared.obs.passthrough,
     };
     hist.record(start.elapsed());
-    Reply::Full(result)
+    result
 }
 
 /// Render the proxy's Prometheus exposition. Reads only atomics and the
@@ -658,6 +808,68 @@ fn metrics_response(shared: &ProxyShared) -> Response {
             "counter",
             shard.evictions,
         );
+    }
+    render_scalar(
+        &mut out,
+        "pb_proxy_accepts_total",
+        "",
+        "counter",
+        shared.io_stats.accepts_total(),
+    );
+    render_scalar(
+        &mut out,
+        "pb_proxy_open_connections",
+        "",
+        "gauge",
+        shared.io_stats.open_connections(),
+    );
+    render_scalar(
+        &mut out,
+        "pb_proxy_accept_backoffs_total",
+        "",
+        "counter",
+        shared.io_stats.accept_errors_total(),
+    );
+    #[cfg(target_os = "linux")]
+    if let Some(rm) = &shared.reactor_metrics {
+        for (i, s) in rm.shards.iter().enumerate() {
+            let labels = format!("shard=\"{i}\"");
+            render_scalar(
+                &mut out,
+                "pb_proxy_reactor_conns",
+                &labels,
+                "gauge",
+                s.conns(),
+            );
+            render_scalar(
+                &mut out,
+                "pb_proxy_reactor_accepts_total",
+                &labels,
+                "counter",
+                s.accepts(),
+            );
+            render_scalar(
+                &mut out,
+                "pb_proxy_reactor_wakeups_total",
+                &labels,
+                "counter",
+                s.wakeups(),
+            );
+            render_scalar(
+                &mut out,
+                "pb_proxy_reactor_timeouts_total",
+                &labels,
+                "counter",
+                s.timeouts(),
+            );
+            render_scalar(
+                &mut out,
+                "pb_proxy_reactor_offloads_total",
+                &labels,
+                "counter",
+                s.offloads(),
+            );
+        }
     }
     let mut resp = Response::new(200);
     resp.headers

@@ -1,0 +1,1523 @@
+//! From-scratch epoll reactor: the event-driven I/O core behind
+//! `--io reactor`.
+//!
+//! The threaded serve path ([`crate::util::serve_with`]) pins one blocking
+//! worker thread per live connection, so concurrency is capped by the pool
+//! — not by the (allocation-free) request hot path. This module replaces
+//! the thread-per-connection model with a small fixed set of reactor
+//! threads, each owning:
+//!
+//! - its **own `SO_REUSEPORT` listener** on the shared port, so the kernel
+//!   spreads accepts across reactors with no shared accept lock;
+//! - an **epoll instance** (raw `epoll_create1`/`epoll_ctl`/`epoll_wait`
+//!   through a thin hand-declared FFI layer — no external crates) with
+//!   **edge-triggered** registration: every connection is registered once
+//!   for `IN|OUT|RDHUP` and never re-armed, so steady state does zero
+//!   `epoll_ctl` calls;
+//! - a **slab** of per-connection nonblocking state machines backed by the
+//!   existing [`ConnScratch`] + owned read/write buffers, addressed by
+//!   generation-tagged tokens (index in the low word, generation in the
+//!   high word) so a stale event or late offload completion can never hit
+//!   a recycled slot;
+//! - a **timer wheel** (coarse ticks, lazy revalidation) enforcing idle
+//!   and read (slow-loris) timeouts without per-connection timers;
+//! - an **eventfd-backed injection queue** through which offload workers
+//!   hand completed upstream responses back to the owning reactor.
+//!
+//! Blocking work (the proxy's upstream exchange) never runs on a reactor
+//! thread: the service returns [`Served::Offload`] and a bounded worker
+//! pool executes the closure, serializing the response into a buffer that
+//! is injected back to the reactor. Cache hits, errors, and every
+//! client-side read/write stay on the reactor, so a slow client can stall
+//! only its own connection — readiness on WRITABLE drains the rest.
+//!
+//! The wire output is byte-identical to the threaded path: both funnel
+//! through the same `write_hit`/`Response::write_with` serializers.
+
+use crate::util::{IoStats, OpenGuard, ServerHandle};
+use piggyback_httpwire::{ConnScratch, HttpError, Request};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, FromRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Thin FFI surface over the handful of syscalls the reactor needs. The
+/// workspace deliberately carries no `libc` crate; std already links the
+/// platform libc, so declaring the prototypes is enough.
+mod sys {
+    pub type RawFd = i32;
+
+    // x86_64 is the one Linux ABI where the kernel declares epoll_event
+    // packed; everywhere else it has natural alignment.
+    #[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86_64", target_arch = "x86")), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLET: u32 = 1 << 31;
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+
+    pub const EPOLL_CLOEXEC: i32 = 0x80000;
+    pub const EFD_CLOEXEC: i32 = 0x80000;
+    pub const EFD_NONBLOCK: i32 = 0x800;
+
+    pub const AF_INET: i32 = 2;
+    pub const SOCK_STREAM: i32 = 1;
+    pub const SOCK_CLOEXEC: i32 = 0x80000;
+    pub const SOL_SOCKET: i32 = 1;
+    pub const SO_REUSEADDR: i32 = 2;
+    pub const SO_REUSEPORT: i32 = 15;
+
+    #[repr(C)]
+    pub struct SockAddrIn {
+        pub sin_family: u16,
+        /// Network byte order.
+        pub sin_port: u16,
+        /// Network byte order.
+        pub sin_addr: u32,
+        pub sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> RawFd;
+        pub fn epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(
+            epfd: RawFd,
+            events: *mut EpollEvent,
+            maxevents: i32,
+            timeout: i32,
+        ) -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> RawFd;
+        pub fn socket(domain: i32, ty: i32, protocol: i32) -> RawFd;
+        pub fn setsockopt(
+            fd: RawFd,
+            level: i32,
+            optname: i32,
+            optval: *const u8,
+            optlen: u32,
+        ) -> i32;
+        pub fn bind(fd: RawFd, addr: *const SockAddrIn, len: u32) -> i32;
+        pub fn listen(fd: RawFd, backlog: i32) -> i32;
+        pub fn read(fd: RawFd, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: RawFd, buf: *const u8, count: usize) -> isize;
+        pub fn close(fd: RawFd) -> i32;
+    }
+}
+
+/// Token reserved for the per-reactor listener.
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Token reserved for the eventfd waker.
+const WAKE_TOKEN: u64 = u64::MAX - 1;
+
+/// Bytes read per nonblocking read() call.
+const READ_CHUNK: usize = 16 * 1024;
+/// Hard cap on a connection's buffered request bytes (mirrors the wire
+/// crate's 64 MiB body limit plus framing headroom).
+const MAX_RBUF: usize = 64 * 1024 * 1024 + 64 * 1024;
+/// Stop parsing further pipelined requests while more than this many
+/// response bytes are waiting on a slow client; resume when drained.
+const OUT_HIGH_WATER: usize = 1024 * 1024;
+/// Timer wheel granularity: slots per full idle-timeout revolution.
+const WHEEL_SLOTS: usize = 64;
+/// Cap on accepts drained per readiness event, so one accept storm cannot
+/// starve live connections (the listener is level-triggered and re-fires).
+const ACCEPTS_PER_WAKE: usize = 256;
+
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(200);
+
+// ---------------------------------------------------------------------------
+// fd wrappers
+
+struct EpollFd(RawFd);
+
+impl EpollFd {
+    fn new() -> io::Result<Self> {
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EpollFd(fd))
+    }
+
+    fn add(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token,
+        };
+        if unsafe { sys::epoll_ctl(self.0, sys::EPOLL_CTL_ADD, fd, &mut ev) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn del(&self, fd: RawFd) -> io::Result<()> {
+        let mut ev = sys::EpollEvent { events: 0, data: 0 };
+        if unsafe { sys::epoll_ctl(self.0, sys::EPOLL_CTL_DEL, fd, &mut ev) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn wait(&self, events: &mut [sys::EpollEvent], timeout_ms: i32) -> usize {
+        let n = unsafe {
+            sys::epoll_wait(self.0, events.as_mut_ptr(), events.len() as i32, timeout_ms)
+        };
+        if n < 0 {
+            0 // EINTR: treat as spurious wakeup
+        } else {
+            n as usize
+        }
+    }
+}
+
+impl Drop for EpollFd {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.0) };
+    }
+}
+
+struct EventFd(RawFd);
+
+impl EventFd {
+    fn new() -> io::Result<Self> {
+        let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EventFd(fd))
+    }
+
+    fn wake(&self) {
+        let one: u64 = 1;
+        unsafe { sys::write(self.0, &one as *const u64 as *const u8, 8) };
+    }
+
+    fn drain(&self) {
+        let mut buf = [0u8; 8];
+        while unsafe { sys::read(self.0, buf.as_mut_ptr(), 8) } > 0 {}
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.0) };
+    }
+}
+
+/// Bind a `SO_REUSEPORT` loopback listener on `port` (0 = ephemeral). Each
+/// reactor binds its own; the kernel hashes incoming connections across
+/// all listeners on the port, giving lock-free accept sharding.
+fn bind_reuseport(port: u16) -> io::Result<TcpListener> {
+    let fd = unsafe { sys::socket(sys::AF_INET, sys::SOCK_STREAM | sys::SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let close_on_err = |e: io::Error| {
+        unsafe { sys::close(fd) };
+        e
+    };
+    let one: i32 = 1;
+    for opt in [sys::SO_REUSEADDR, sys::SO_REUSEPORT] {
+        let rc = unsafe {
+            sys::setsockopt(fd, sys::SOL_SOCKET, opt, &one as *const i32 as *const u8, 4)
+        };
+        if rc != 0 {
+            return Err(close_on_err(io::Error::last_os_error()));
+        }
+    }
+    let addr = sys::SockAddrIn {
+        sin_family: sys::AF_INET as u16,
+        sin_port: port.to_be(),
+        sin_addr: u32::from(std::net::Ipv4Addr::LOCALHOST).to_be(),
+        sin_zero: [0; 8],
+    };
+    let len = std::mem::size_of::<sys::SockAddrIn>() as u32;
+    if unsafe { sys::bind(fd, &addr, len) } != 0 {
+        return Err(close_on_err(io::Error::last_os_error()));
+    }
+    if unsafe { sys::listen(fd, 1024) } != 0 {
+        return Err(close_on_err(io::Error::last_os_error()));
+    }
+    let listener = unsafe { TcpListener::from_raw_fd(fd) };
+    listener.set_nonblocking(true)?;
+    Ok(listener)
+}
+
+// ---------------------------------------------------------------------------
+// public surface
+
+/// Per-reactor-shard counters, rendered at `/__pb/metrics` as
+/// `*_reactor_*{shard="i"}` so accept-shard balance is observable.
+#[derive(Debug, Default)]
+pub struct ReactorShardStats {
+    /// epoll_wait returns (readiness batches + timer ticks).
+    pub wakeups: AtomicU64,
+    /// Connections this shard's listener accepted.
+    pub accepts: AtomicU64,
+    /// Connections currently registered with this shard (gauge).
+    pub conns: AtomicU64,
+    /// Connections closed by the idle/read timer wheel.
+    pub timeouts: AtomicU64,
+    /// Requests handed to the offload pool (upstream fetches).
+    pub offloads: AtomicU64,
+}
+
+impl ReactorShardStats {
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
+    pub fn accepts(&self) -> u64 {
+        self.accepts.load(Ordering::Relaxed)
+    }
+    pub fn conns(&self) -> u64 {
+        self.conns.load(Ordering::Relaxed)
+    }
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+    pub fn offloads(&self) -> u64 {
+        self.offloads.load(Ordering::Relaxed)
+    }
+}
+
+/// One [`ReactorShardStats`] per reactor thread, shared with the metrics
+/// renderer.
+#[derive(Debug)]
+pub struct ReactorMetrics {
+    pub shards: Vec<ReactorShardStats>,
+}
+
+impl ReactorMetrics {
+    pub fn new(shards: usize) -> Self {
+        ReactorMetrics {
+            shards: (0..shards).map(|_| ReactorShardStats::default()).collect(),
+        }
+    }
+}
+
+/// Sizing and timeout knobs for [`serve_reactor`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReactorOptions {
+    /// Worker threads executing [`Served::Offload`] closures (blocking
+    /// upstream exchanges). At least one is always spawned.
+    pub offload_workers: usize,
+    /// Close connections with no client activity for this long; also the
+    /// read deadline for an incomplete request (slow-loris guard).
+    pub idle_timeout: Duration,
+}
+
+impl Default for ReactorOptions {
+    fn default() -> Self {
+        ReactorOptions {
+            offload_workers: 16,
+            idle_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Resolve a `--reactors` request (0 = auto) to a concrete shard count.
+pub fn resolve_reactors(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 8)
+}
+
+/// Deferred response production, returned by [`ReactorService::handle`].
+pub enum Served {
+    /// The response was fully serialized into `out` on the reactor thread
+    /// (cache hits, metrics, synthesized errors).
+    Inline,
+    /// The request needs blocking work (an upstream exchange). The closure
+    /// runs on an offload worker, serializes the response into the
+    /// provided buffer, and the bytes are injected back to the reactor.
+    Offload(OffloadFn),
+}
+
+pub type OffloadFn = Box<dyn FnOnce(&mut ConnScratch, &mut Vec<u8>) -> io::Result<()> + Send>;
+
+/// A protocol engine served by the reactor: parse-complete requests in,
+/// serialized response bytes out. Implemented by the proxy and origin.
+pub trait ReactorService: Send + Sync + 'static {
+    /// Called once per accepted connection, on the reactor thread.
+    fn on_connect(&self, _peer: SocketAddr) {}
+
+    /// Handle one parsed request. Serialize the response into `out`
+    /// (append-only; earlier pipelined responses may precede it) and
+    /// return [`Served::Inline`], or return [`Served::Offload`] to run
+    /// blocking work off-reactor. Errors close the connection.
+    fn handle(
+        &self,
+        req: &Request,
+        peer: SocketAddr,
+        scratch: &mut ConnScratch,
+        out: &mut Vec<u8>,
+    ) -> io::Result<Served>;
+}
+
+// ---------------------------------------------------------------------------
+// offload pool + completion injection
+
+struct Completion {
+    token: u64,
+    bytes: Vec<u8>,
+    ok: bool,
+}
+
+/// Cross-thread completion queue into one reactor, woken via eventfd.
+struct Injector {
+    queue: Mutex<Vec<Completion>>,
+    efd: EventFd,
+}
+
+impl Injector {
+    fn new() -> io::Result<Arc<Self>> {
+        Ok(Arc::new(Injector {
+            queue: Mutex::new(Vec::new()),
+            efd: EventFd::new()?,
+        }))
+    }
+
+    fn push(&self, c: Completion) {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).push(c);
+        self.efd.wake();
+    }
+
+    fn drain_into(&self, out: &mut Vec<Completion>) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        out.append(&mut q);
+    }
+}
+
+struct OffloadJob {
+    shard: usize,
+    token: u64,
+    f: OffloadFn,
+}
+
+struct PoolInner {
+    queue: Mutex<PoolQueue>,
+    ready: Condvar,
+}
+
+struct PoolQueue {
+    jobs: VecDeque<OffloadJob>,
+    shutdown: bool,
+}
+
+impl PoolInner {
+    fn submit(&self, job: OffloadJob) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.shutdown {
+            return;
+        }
+        q.jobs.push_back(job);
+        drop(q);
+        self.ready.notify_one();
+    }
+
+    fn pop(&self) -> Option<OffloadJob> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(j) = q.jobs.pop_front() {
+                return Some(j);
+            }
+            if q.shutdown {
+                return None;
+            }
+            q = self.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn shutdown(&self) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.shutdown = true;
+        q.jobs.clear();
+        drop(q);
+        self.ready.notify_all();
+    }
+}
+
+fn start_pool(
+    name: &str,
+    workers: usize,
+    injectors: Vec<Arc<Injector>>,
+) -> io::Result<Arc<PoolInner>> {
+    let pool = Arc::new(PoolInner {
+        queue: Mutex::new(PoolQueue {
+            jobs: VecDeque::new(),
+            shutdown: false,
+        }),
+        ready: Condvar::new(),
+    });
+    for i in 0..workers.max(1) {
+        let pool = Arc::clone(&pool);
+        let injectors = injectors.clone();
+        // Detached like the threaded-mode workers: a worker pinned by a
+        // hung upstream must not block shutdown.
+        std::thread::Builder::new()
+            .name(format!("{name}-offload-{i}"))
+            .spawn(move || {
+                let mut scratch = ConnScratch::new();
+                while let Some(job) = pool.pop() {
+                    let mut out = Vec::new();
+                    let ok = (job.f)(&mut scratch, &mut out).is_ok();
+                    injectors[job.shard].push(Completion {
+                        token: job.token,
+                        bytes: out,
+                        ok,
+                    });
+                }
+            })?;
+    }
+    Ok(pool)
+}
+
+/// Stop-side handle held inside [`ServerHandle`].
+pub(crate) struct ReactorHandle {
+    stop: Arc<AtomicBool>,
+    injectors: Vec<Arc<Injector>>,
+    joins: Vec<JoinHandle<()>>,
+    pool: Arc<PoolInner>,
+}
+
+impl ReactorHandle {
+    pub(crate) fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for inj in &self.injectors {
+            inj.efd.wake();
+        }
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+        self.pool.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// connection state machine
+
+/// Where a connection sits in its request lifecycle. Reading and header/
+/// body assembly are implicit in `Ready` (the parser resumes from the
+/// buffered prefix on every readable edge); `Awaiting` parks the
+/// connection while an offload worker produces the response;
+/// `Closing` drains pending output and then closes.
+enum ConnState {
+    Ready,
+    Awaiting { keep: bool },
+    Closing,
+}
+
+struct Conn {
+    stream: TcpStream,
+    peer: SocketAddr,
+    /// Buffered request bytes not yet consumed by the parser.
+    rbuf: Vec<u8>,
+    /// Parser cursor into `rbuf` (compacted after each pump).
+    rpos: usize,
+    /// Serialized responses awaiting the socket.
+    out: Vec<u8>,
+    /// Write cursor into `out`.
+    opos: usize,
+    scratch: ConnScratch,
+    req: Request,
+    state: ConnState,
+    last_active: Instant,
+    /// First-byte time of a not-yet-complete request (read deadline).
+    req_start: Option<Instant>,
+    read_eof: bool,
+    _guard: OpenGuard,
+}
+
+impl Conn {
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.opos
+    }
+}
+
+/// Slot map with generation-tagged tokens: `token = gen << 32 | index`.
+/// A removed slot bumps its generation, so events and completions that
+/// raced with the close miss (generation mismatch) instead of touching
+/// whatever connection reused the slot.
+struct Slab {
+    entries: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+}
+
+fn token_of(index: u32, gen: u32) -> u64 {
+    (gen as u64) << 32 | index as u64
+}
+
+fn index_of(token: u64) -> u32 {
+    token as u32
+}
+
+fn gen_of(token: u64) -> u32 {
+    (token >> 32) as u32
+}
+
+impl Slab {
+    fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, conn: Conn) -> u64 {
+        match self.free.pop() {
+            Some(i) => {
+                self.entries[i as usize] = Some(conn);
+                token_of(i, self.gens[i as usize])
+            }
+            None => {
+                let i = self.entries.len() as u32;
+                self.entries.push(Some(conn));
+                self.gens.push(0);
+                token_of(i, 0)
+            }
+        }
+    }
+
+    fn get_mut(&mut self, token: u64) -> Option<&mut Conn> {
+        let i = index_of(token) as usize;
+        if i >= self.entries.len() || self.gens[i] != gen_of(token) {
+            return None;
+        }
+        self.entries[i].as_mut()
+    }
+
+    fn remove(&mut self, token: u64) -> Option<Conn> {
+        let i = index_of(token) as usize;
+        if i >= self.entries.len() || self.gens[i] != gen_of(token) {
+            return None;
+        }
+        let conn = self.entries[i].take();
+        if conn.is_some() {
+            self.gens[i] = self.gens[i].wrapping_add(1);
+            self.free.push(i as u32);
+        }
+        conn
+    }
+}
+
+/// Coarse timer wheel: `WHEEL_SLOTS` buckets of (index, gen) pairs, one
+/// bucket drained per tick. Entries are revalidated lazily at expiry —
+/// activity just updates `Conn::last_active`, and a still-fresh connection
+/// is rescheduled for its remaining lifetime. No per-activity bookkeeping
+/// on the hot path.
+struct Wheel {
+    slots: Vec<Vec<(u32, u32)>>,
+    cursor: usize,
+    tick: Duration,
+}
+
+impl Wheel {
+    fn new(idle_timeout: Duration) -> Self {
+        let tick = (idle_timeout / (WHEEL_SLOTS as u32 / 2))
+            .clamp(Duration::from_millis(10), Duration::from_secs(1));
+        Wheel {
+            // Pre-sized so steady-state reschedules of a few connections
+            // never allocate (the alloc-counting suite runs in reactor
+            // mode too).
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::with_capacity(32)).collect(),
+            cursor: 0,
+            tick,
+        }
+    }
+
+    fn ticks_for(&self, remain: Duration) -> usize {
+        let t = self.tick.as_millis().max(1) as u64;
+        let r = remain.as_millis() as u64;
+        (r.div_ceil(t) as usize).clamp(1, WHEEL_SLOTS - 1)
+    }
+
+    fn schedule(&mut self, index: u32, gen: u32, ticks_ahead: usize) {
+        let slot = (self.cursor + ticks_ahead.clamp(1, WHEEL_SLOTS - 1)) % WHEEL_SLOTS;
+        self.slots[slot].push((index, gen));
+    }
+
+    /// Drain the current slot into `out` and advance the cursor.
+    fn advance_into(&mut self, out: &mut Vec<(u32, u32)>) {
+        out.append(&mut self.slots[self.cursor]);
+        self.cursor = (self.cursor + 1) % WHEEL_SLOTS;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// incremental request parsing
+
+/// `BufRead` over the unconsumed prefix of a connection's read buffer,
+/// tracking how many bytes a successful parse consumed.
+struct SliceReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Read for SliceReader<'_> {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        let n = out.len().min(self.buf.len() - self.pos);
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl io::BufRead for SliceReader<'_> {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        Ok(&self.buf[self.pos..])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos += amt;
+    }
+}
+
+enum Parse {
+    /// A full request was parsed, consuming this many bytes.
+    Complete(usize),
+    /// The buffer holds a valid prefix; wait for more bytes.
+    Incomplete,
+    /// The bytes can never become a valid request; close.
+    Malformed,
+}
+
+/// Attempt to parse one request from `buf`. The wire parser signals
+/// "ran out of bytes" as `ConnectionClosed` (EOF on the slice), which for
+/// a live socket means *incomplete* — every other error is terminal.
+fn try_parse(req: &mut Request, buf: &[u8], scratch: &mut ConnScratch) -> Parse {
+    if buf.is_empty() {
+        return Parse::Incomplete;
+    }
+    let mut r = SliceReader { buf, pos: 0 };
+    match req.read_into(&mut r, scratch) {
+        Ok(()) => Parse::Complete(r.pos),
+        Err(HttpError::ConnectionClosed) => Parse::Incomplete,
+        Err(_) => Parse::Malformed,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the reactor proper
+
+struct Reactor<S: ReactorService> {
+    shard: usize,
+    ep: EpollFd,
+    listener: TcpListener,
+    inject: Arc<Injector>,
+    pool: Arc<PoolInner>,
+    svc: Arc<S>,
+    slab: Slab,
+    wheel: Wheel,
+    idle_timeout: Duration,
+    io_stats: Arc<IoStats>,
+    metrics: Arc<ReactorMetrics>,
+    stop: Arc<AtomicBool>,
+    /// When fd exhaustion pauses accepting: the listener is deregistered
+    /// and re-armed once this deadline passes (checked on timer ticks).
+    accept_paused_until: Option<Instant>,
+    accept_backoff: Duration,
+    expired_buf: Vec<(u32, u32)>,
+    comp_buf: Vec<Completion>,
+}
+
+impl<S: ReactorService> Reactor<S> {
+    fn shard_stats(&self) -> &ReactorShardStats {
+        &self.metrics.shards[self.shard]
+    }
+
+    fn run(mut self) {
+        let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 1024];
+        if self
+            .ep
+            .add(self.listener.as_raw_fd(), LISTENER_TOKEN, sys::EPOLLIN)
+            .is_err()
+        {
+            return;
+        }
+        if self
+            .ep
+            .add(self.inject.efd.0, WAKE_TOKEN, sys::EPOLLIN)
+            .is_err()
+        {
+            return;
+        }
+        let tick = self.wheel.tick;
+        let mut next_tick = Instant::now() + tick;
+        loop {
+            let now = Instant::now();
+            let timeout_ms = if next_tick > now {
+                ((next_tick - now).as_millis() as i32).saturating_add(1)
+            } else {
+                0
+            };
+            let n = self.ep.wait(&mut events, timeout_ms);
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            self.shard_stats().wakeups.fetch_add(1, Ordering::Relaxed);
+            let mut accept_ready = false;
+            for ev in &events[..n] {
+                // Field reads copy out of the (possibly packed) struct.
+                let token = ev.data;
+                let mask = ev.events;
+                match token {
+                    LISTENER_TOKEN => accept_ready = true,
+                    WAKE_TOKEN => {
+                        self.inject.efd.drain();
+                        self.drain_completions();
+                    }
+                    _ => self.conn_event(token, mask),
+                }
+            }
+            if accept_ready {
+                self.do_accept();
+            }
+            let mut now = Instant::now();
+            while now >= next_tick {
+                self.on_tick();
+                next_tick += tick;
+                now = Instant::now();
+            }
+        }
+    }
+
+    // -- accept path --------------------------------------------------------
+
+    fn do_accept(&mut self) {
+        if self.accept_paused_until.is_some() {
+            return;
+        }
+        for _ in 0..ACCEPTS_PER_WAKE {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    self.accept_backoff = ACCEPT_BACKOFF_MIN;
+                    self.register(stream, peer);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if matches!(e.raw_os_error(), Some(23) | Some(24)) => {
+                    // EMFILE/ENFILE: deregister the listener and back off;
+                    // spinning on a level-triggered ready listener would
+                    // burn the whole reactor.
+                    self.io_stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = self.ep.del(self.listener.as_raw_fd());
+                    self.accept_paused_until = Some(Instant::now() + self.accept_backoff);
+                    self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    break;
+                }
+                // ECONNABORTED / EINTR and friends: transient, next
+                // iteration retries.
+                Err(_) => continue,
+            }
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream, peer: SocketAddr) {
+        self.io_stats.accepts.fetch_add(1, Ordering::Relaxed);
+        self.shard_stats().accepts.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let fd = stream.as_raw_fd();
+        let guard = OpenGuard::new(&self.io_stats);
+        let conn = Conn {
+            stream,
+            peer,
+            rbuf: Vec::new(),
+            rpos: 0,
+            out: Vec::new(),
+            opos: 0,
+            scratch: ConnScratch::new(),
+            req: Request::empty(),
+            state: ConnState::Ready,
+            last_active: Instant::now(),
+            req_start: None,
+            read_eof: false,
+            _guard: guard,
+        };
+        let token = self.slab.insert(conn);
+        // Registered once, edge-triggered, for the connection's lifetime:
+        // the kernel reports each readable/writable *transition* and the
+        // reactor drains to EAGAIN, so steady state does zero epoll_ctl.
+        let interest = sys::EPOLLIN | sys::EPOLLOUT | sys::EPOLLRDHUP | sys::EPOLLET;
+        if self.ep.add(fd, token, interest).is_err() {
+            self.slab.remove(token);
+            return;
+        }
+        self.shard_stats().conns.fetch_add(1, Ordering::Relaxed);
+        let ticks = self.wheel.ticks_for(self.idle_timeout);
+        self.wheel.schedule(index_of(token), gen_of(token), ticks);
+        self.svc.on_connect(peer);
+        // The socket may have become readable before registration; ET
+        // reports readiness present at ADD time, but pump eagerly anyway.
+        self.conn_event(token, sys::EPOLLIN);
+    }
+
+    // -- timers -------------------------------------------------------------
+
+    fn on_tick(&mut self) {
+        if let Some(until) = self.accept_paused_until {
+            if Instant::now() >= until {
+                self.accept_paused_until = None;
+                if self
+                    .ep
+                    .add(self.listener.as_raw_fd(), LISTENER_TOKEN, sys::EPOLLIN)
+                    .is_err()
+                {
+                    // Re-arm failed (still out of fds): stay paused.
+                    self.accept_paused_until = Some(Instant::now() + self.accept_backoff);
+                } else {
+                    self.do_accept();
+                }
+            }
+        }
+        let mut expired = std::mem::take(&mut self.expired_buf);
+        self.wheel.advance_into(&mut expired);
+        for (index, gen) in expired.drain(..) {
+            let token = token_of(index, gen);
+            let decision = match self.slab.get_mut(token) {
+                None => continue,
+                Some(conn) => {
+                    let idle = conn.last_active.elapsed();
+                    let read_stalled = conn
+                        .req_start
+                        .is_some_and(|t| t.elapsed() >= self.idle_timeout);
+                    // A connection parked on an upstream fetch is not
+                    // idle from the server's perspective.
+                    let awaiting = matches!(conn.state, ConnState::Awaiting { .. });
+                    if !awaiting && (idle >= self.idle_timeout || read_stalled) {
+                        None
+                    } else {
+                        Some(self.idle_timeout.saturating_sub(idle))
+                    }
+                }
+            };
+            match decision {
+                None => {
+                    self.shard_stats().timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.close_conn(token);
+                }
+                Some(remain) => {
+                    let ticks = self.wheel.ticks_for(remain.max(self.wheel.tick));
+                    self.wheel.schedule(index, gen, ticks);
+                }
+            }
+        }
+        self.expired_buf = expired;
+    }
+
+    // -- connection events --------------------------------------------------
+
+    fn conn_event(&mut self, token: u64, mask: u32) {
+        if mask & sys::EPOLLERR != 0 {
+            self.close_conn(token);
+            return;
+        }
+        if mask & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0 && !self.read_conn(token) {
+            return;
+        }
+        self.pump(token);
+    }
+
+    /// Drain the socket into `rbuf` until EAGAIN/EOF. `false` = closed.
+    fn read_conn(&mut self, token: u64) -> bool {
+        let mut fatal = false;
+        {
+            let conn = match self.slab.get_mut(token) {
+                Some(c) => c,
+                None => return false,
+            };
+            loop {
+                let old = conn.rbuf.len();
+                if old >= MAX_RBUF {
+                    fatal = true;
+                    break;
+                }
+                conn.rbuf.resize(old + READ_CHUNK, 0);
+                match conn.stream.read(&mut conn.rbuf[old..]) {
+                    Ok(0) => {
+                        conn.rbuf.truncate(old);
+                        conn.read_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.rbuf.truncate(old + n);
+                        if conn.req_start.is_none() {
+                            conn.req_start = Some(Instant::now());
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        conn.rbuf.truncate(old);
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                        conn.rbuf.truncate(old);
+                        continue;
+                    }
+                    Err(_) => {
+                        conn.rbuf.truncate(old);
+                        fatal = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if fatal {
+            self.close_conn(token);
+            return false;
+        }
+        true
+    }
+
+    /// Advance the connection's state machine: parse and serve as many
+    /// pipelined requests as backpressure allows, flush output, repeat
+    /// while productive. Called on readable, writable, and completion
+    /// events — it is idempotent on a quiescent connection.
+    fn pump(&mut self, token: u64) {
+        loop {
+            let mut submit = None;
+            let mut progressed = false;
+            {
+                let conn = match self.slab.get_mut(token) {
+                    Some(c) => c,
+                    None => return,
+                };
+                while matches!(conn.state, ConnState::Ready)
+                    && conn.pending_out() < OUT_HIGH_WATER
+                    && submit.is_none()
+                {
+                    match try_parse(&mut conn.req, &conn.rbuf[conn.rpos..], &mut conn.scratch) {
+                        Parse::Incomplete => break,
+                        Parse::Malformed => {
+                            // Same contract as the threaded loop: stop
+                            // reading, drain what we owe, close. No 400 —
+                            // byte-identity with the baseline.
+                            conn.state = ConnState::Closing;
+                            conn.rpos = conn.rbuf.len();
+                            break;
+                        }
+                        Parse::Complete(consumed) => {
+                            conn.rpos += consumed;
+                            conn.req_start = None;
+                            progressed = true;
+                            let keep = conn.req.keep_alive();
+                            match self.svc.handle(
+                                &conn.req,
+                                conn.peer,
+                                &mut conn.scratch,
+                                &mut conn.out,
+                            ) {
+                                Ok(Served::Inline) => {
+                                    if !keep {
+                                        conn.state = ConnState::Closing;
+                                    }
+                                }
+                                Ok(Served::Offload(f)) => {
+                                    conn.state = ConnState::Awaiting { keep };
+                                    submit = Some(OffloadJob {
+                                        shard: self.shard,
+                                        token,
+                                        f,
+                                    });
+                                }
+                                Err(_) => {
+                                    conn.state = ConnState::Closing;
+                                }
+                            }
+                        }
+                    }
+                }
+                // Compact the consumed prefix so the buffer never grows
+                // across requests.
+                if conn.rpos > 0 {
+                    if conn.rpos >= conn.rbuf.len() {
+                        conn.rbuf.clear();
+                    } else {
+                        let len = conn.rbuf.len() - conn.rpos;
+                        conn.rbuf.copy_within(conn.rpos.., 0);
+                        conn.rbuf.truncate(len);
+                    }
+                    conn.rpos = 0;
+                }
+                conn.last_active = Instant::now();
+            }
+            if let Some(job) = submit {
+                self.shard_stats().offloads.fetch_add(1, Ordering::Relaxed);
+                self.pool.submit(job);
+            }
+            if self.flush_conn(token) {
+                return;
+            }
+            let conn = match self.slab.get_mut(token) {
+                Some(c) => c,
+                None => return,
+            };
+            let can_continue = progressed
+                && matches!(conn.state, ConnState::Ready)
+                && conn.pending_out() < OUT_HIGH_WATER
+                && conn.rpos < conn.rbuf.len();
+            if !can_continue {
+                // Client half-closed and nothing is owed: done.
+                if conn.read_eof
+                    && matches!(conn.state, ConnState::Ready)
+                    && conn.pending_out() == 0
+                {
+                    self.close_conn(token);
+                }
+                return;
+            }
+        }
+    }
+
+    /// Write pending output until EAGAIN. `true` = connection closed.
+    fn flush_conn(&mut self, token: u64) -> bool {
+        let mut should_close = false;
+        {
+            let conn = match self.slab.get_mut(token) {
+                Some(c) => c,
+                None => return true,
+            };
+            while conn.opos < conn.out.len() {
+                match conn.stream.write(&conn.out[conn.opos..]) {
+                    Ok(0) => {
+                        should_close = true;
+                        break;
+                    }
+                    Ok(n) => conn.opos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        should_close = true;
+                        break;
+                    }
+                }
+            }
+            if !should_close && conn.opos >= conn.out.len() {
+                conn.out.clear();
+                conn.opos = 0;
+                if matches!(conn.state, ConnState::Closing) {
+                    should_close = true;
+                }
+            }
+        }
+        if should_close {
+            self.close_conn(token);
+        }
+        should_close
+    }
+
+    fn drain_completions(&mut self) {
+        let mut comps = std::mem::take(&mut self.comp_buf);
+        self.inject.drain_into(&mut comps);
+        for c in comps.drain(..) {
+            let token = c.token;
+            let alive = match self.slab.get_mut(token) {
+                // Connection died while the fetch was in flight (or the
+                // slot was reused — the generation tag catches that).
+                None => continue,
+                Some(conn) => {
+                    if c.ok {
+                        conn.out.extend_from_slice(&c.bytes);
+                        if let ConnState::Awaiting { keep } = conn.state {
+                            conn.state = if keep {
+                                ConnState::Ready
+                            } else {
+                                ConnState::Closing
+                            };
+                        }
+                        conn.last_active = Instant::now();
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if alive {
+                self.pump(token);
+            } else {
+                self.close_conn(token);
+            }
+        }
+        self.comp_buf = comps;
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.slab.remove(token) {
+            let _ = self.ep.del(conn.stream.as_raw_fd());
+            self.shard_stats().conns.fetch_sub(1, Ordering::Relaxed);
+            // Dropping conn closes the socket and releases the OpenGuard.
+        }
+    }
+}
+
+/// Bind `127.0.0.1:port` (0 = ephemeral) with one `SO_REUSEPORT` listener
+/// per shard in `metrics` and serve `svc` on that many reactor threads
+/// until the handle is stopped. `metrics.shards.len()` is the
+/// authoritative reactor count (size it with [`resolve_reactors`]).
+pub fn serve_reactor<S: ReactorService>(
+    port: u16,
+    name: &'static str,
+    opts: ReactorOptions,
+    io_stats: Arc<IoStats>,
+    metrics: Arc<ReactorMetrics>,
+    svc: Arc<S>,
+) -> io::Result<ServerHandle> {
+    let shards = metrics.shards.len().max(1);
+    let first = bind_reuseport(port)?;
+    let addr = first.local_addr()?;
+    let mut listeners = vec![first];
+    for _ in 1..shards {
+        listeners.push(bind_reuseport(addr.port())?);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let injectors = (0..shards)
+        .map(|_| Injector::new())
+        .collect::<io::Result<Vec<_>>>()?;
+    let pool = start_pool(name, opts.offload_workers, injectors.clone())?;
+    let mut joins = Vec::new();
+    for (shard, listener) in listeners.into_iter().enumerate() {
+        let reactor = Reactor {
+            shard,
+            ep: EpollFd::new()?,
+            listener,
+            inject: Arc::clone(&injectors[shard]),
+            pool: Arc::clone(&pool),
+            svc: Arc::clone(&svc),
+            slab: Slab::new(),
+            wheel: Wheel::new(opts.idle_timeout),
+            idle_timeout: opts.idle_timeout,
+            io_stats: Arc::clone(&io_stats),
+            metrics: Arc::clone(&metrics),
+            stop: Arc::clone(&stop),
+            accept_paused_until: None,
+            accept_backoff: ACCEPT_BACKOFF_MIN,
+            expired_buf: Vec::new(),
+            comp_buf: Vec::new(),
+        };
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("{name}-reactor-{shard}"))
+                .spawn(move || reactor.run())?,
+        );
+    }
+    Ok(ServerHandle::from_reactor(
+        addr,
+        io_stats,
+        ReactorHandle {
+            stop,
+            injectors,
+            joins,
+            pool,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_tokens_survive_aba() {
+        let stats = Arc::new(IoStats::default());
+        let mk = || {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            Conn {
+                peer: stream.peer_addr().unwrap(),
+                stream,
+                rbuf: Vec::new(),
+                rpos: 0,
+                out: Vec::new(),
+                opos: 0,
+                scratch: ConnScratch::new(),
+                req: Request::empty(),
+                state: ConnState::Ready,
+                last_active: Instant::now(),
+                req_start: None,
+                read_eof: false,
+                _guard: OpenGuard::new(&stats),
+            }
+        };
+        let mut slab = Slab::new();
+        let t1 = slab.insert(mk());
+        assert!(slab.get_mut(t1).is_some());
+        assert!(slab.remove(t1).is_some());
+        // Slot reused, generation bumped: the old token must miss.
+        let t2 = slab.insert(mk());
+        assert_eq!(index_of(t1), index_of(t2));
+        assert_ne!(gen_of(t1), gen_of(t2));
+        assert!(slab.get_mut(t1).is_none());
+        assert!(slab.remove(t1).is_none());
+        assert!(slab.get_mut(t2).is_some());
+    }
+
+    #[test]
+    fn wheel_expires_in_order() {
+        let mut w = Wheel::new(Duration::from_secs(64));
+        w.schedule(1, 0, 1);
+        w.schedule(2, 0, 3);
+        let mut out = Vec::new();
+        w.advance_into(&mut out); // cursor slot (empty at schedule time)
+        out.clear();
+        w.advance_into(&mut out);
+        assert_eq!(out, vec![(1, 0)]);
+        out.clear();
+        w.advance_into(&mut out);
+        assert!(out.is_empty());
+        w.advance_into(&mut out);
+        assert_eq!(out, vec![(2, 0)]);
+    }
+
+    #[test]
+    fn try_parse_classifies_split_requests() {
+        let mut req = Request::empty();
+        let mut scratch = ConnScratch::new();
+        let wire = b"GET /a.html HTTP/1.1\r\nHost: x\r\n\r\n";
+        // Every proper prefix is incomplete, never malformed.
+        for cut in 0..wire.len() {
+            match try_parse(&mut req, &wire[..cut], &mut scratch) {
+                Parse::Incomplete => {}
+                Parse::Complete(_) => panic!("prefix of {cut} bytes parsed as complete"),
+                Parse::Malformed => panic!("prefix of {cut} bytes parsed as malformed"),
+            }
+        }
+        match try_parse(&mut req, wire, &mut scratch) {
+            Parse::Complete(n) => assert_eq!(n, wire.len()),
+            _ => panic!("full request must parse"),
+        }
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/a.html");
+        // Garbage is malformed immediately.
+        match try_parse(&mut req, b"NOT AN HTTP LINE\r\n\r\n", &mut scratch) {
+            Parse::Malformed => {}
+            _ => panic!("garbage must be malformed"),
+        }
+    }
+
+    #[test]
+    fn try_parse_consumes_exactly_one_pipelined_request() {
+        let mut req = Request::empty();
+        let mut scratch = ConnScratch::new();
+        let one = b"GET /a HTTP/1.1\r\n\r\n";
+        let mut wire = Vec::new();
+        wire.extend_from_slice(one);
+        wire.extend_from_slice(b"GET /b HTTP/1.1\r\n\r\n");
+        match try_parse(&mut req, &wire, &mut scratch) {
+            Parse::Complete(n) => {
+                assert_eq!(n, one.len());
+                assert_eq!(req.target, "/a");
+            }
+            _ => panic!("first pipelined request must parse"),
+        }
+        match try_parse(&mut req, &wire[one.len()..], &mut scratch) {
+            Parse::Complete(_) => assert_eq!(req.target, "/b"),
+            _ => panic!("second pipelined request must parse"),
+        }
+    }
+
+    /// Minimal service: responds "ok" to every request, inline.
+    struct Echo;
+
+    impl ReactorService for Echo {
+        fn handle(
+            &self,
+            req: &Request,
+            _peer: SocketAddr,
+            _scratch: &mut ConnScratch,
+            out: &mut Vec<u8>,
+        ) -> io::Result<Served> {
+            write!(
+                out,
+                "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{}",
+                req.target.len(),
+                req.target
+            )
+            .unwrap();
+            Ok(Served::Inline)
+        }
+    }
+
+    fn read_response(s: &mut TcpStream, path: &str) -> String {
+        let want = format!(
+            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{}",
+            path.len(),
+            path
+        );
+        let mut buf = vec![0u8; want.len()];
+        s.read_exact(&mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn reactor_serves_keepalive_and_pipelined() {
+        let handle = serve_reactor(
+            0,
+            "echo-reactor",
+            ReactorOptions {
+                offload_workers: 1,
+                idle_timeout: Duration::from_secs(30),
+            },
+            Arc::new(IoStats::default()),
+            Arc::new(ReactorMetrics::new(2)),
+            Arc::new(Echo),
+        )
+        .unwrap();
+        let mut c = TcpStream::connect(handle.addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        // Sequential keep-alive requests on one connection.
+        for path in ["/a", "/bb", "/ccc"] {
+            c.write_all(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes())
+                .unwrap();
+            assert!(read_response(&mut c, path).ends_with(path));
+        }
+        // Pipelined burst: all requests in one write, responses in order.
+        let burst: String = (0..8)
+            .map(|i| format!("GET /p{i} HTTP/1.1\r\n\r\n"))
+            .collect();
+        c.write_all(burst.as_bytes()).unwrap();
+        for i in 0..8 {
+            let path = format!("/p{i}");
+            assert!(read_response(&mut c, &path).ends_with(path.as_str()));
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn reactor_closes_idle_connections() {
+        let stats = Arc::new(IoStats::default());
+        let handle = serve_reactor(
+            0,
+            "idle-reactor",
+            ReactorOptions {
+                offload_workers: 1,
+                idle_timeout: Duration::from_millis(200),
+            },
+            Arc::clone(&stats),
+            Arc::new(ReactorMetrics::new(1)),
+            Arc::new(Echo),
+        )
+        .unwrap();
+        let mut c = TcpStream::connect(handle.addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut buf = [0u8; 1];
+        // The reactor must close us within a few wheel revolutions.
+        match c.read(&mut buf) {
+            Ok(0) => {}
+            other => panic!("expected idle close (EOF), got {other:?}"),
+        }
+        for _ in 0..100 {
+            if stats.open_connections() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(stats.open_connections(), 0);
+        handle.stop();
+    }
+
+    #[test]
+    fn reactor_closes_malformed_connections() {
+        let handle = serve_reactor(
+            0,
+            "bad-reactor",
+            ReactorOptions {
+                offload_workers: 1,
+                idle_timeout: Duration::from_secs(30),
+            },
+            Arc::new(IoStats::default()),
+            Arc::new(ReactorMetrics::new(1)),
+            Arc::new(Echo),
+        )
+        .unwrap();
+        let mut c = TcpStream::connect(handle.addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        c.write_all(b"garbage garbage garbage\r\n\r\n").unwrap();
+        let mut buf = [0u8; 16];
+        match c.read(&mut buf) {
+            Ok(0) => {}
+            other => panic!("expected close on malformed request, got {other:?}"),
+        }
+        handle.stop();
+    }
+
+    /// Offload service: every request's response is produced off-reactor.
+    struct Deferred;
+
+    impl ReactorService for Deferred {
+        fn handle(
+            &self,
+            req: &Request,
+            _peer: SocketAddr,
+            _scratch: &mut ConnScratch,
+            _out: &mut Vec<u8>,
+        ) -> io::Result<Served> {
+            let path = req.target.clone();
+            Ok(Served::Offload(Box::new(move |_scratch, out| {
+                std::thread::sleep(Duration::from_millis(5));
+                write!(
+                    out,
+                    "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{}",
+                    path.len(),
+                    path
+                )
+            })))
+        }
+    }
+
+    #[test]
+    fn offload_completions_return_to_the_right_connection() {
+        let handle = serve_reactor(
+            0,
+            "defer-reactor",
+            ReactorOptions {
+                offload_workers: 4,
+                idle_timeout: Duration::from_secs(30),
+            },
+            Arc::new(IoStats::default()),
+            Arc::new(ReactorMetrics::new(2)),
+            Arc::new(Deferred),
+        )
+        .unwrap();
+        let addr = handle.addr;
+        let clients: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = TcpStream::connect(addr).unwrap();
+                    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                    for round in 0..3 {
+                        let path = format!("/client{i}/round{round}");
+                        c.write_all(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes())
+                            .unwrap();
+                        let got = read_response(&mut c, &path);
+                        assert!(got.ends_with(path.as_str()), "cross-wired response");
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().expect("offload client");
+        }
+        handle.stop();
+    }
+}

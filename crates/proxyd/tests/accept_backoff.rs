@@ -1,0 +1,104 @@
+//! Regression test for the accept loop's fd-exhaustion backoff (ISSUE 7
+//! satellite): when `accept()` hits EMFILE the server must count the
+//! failure, back off instead of spinning or dying, and serve the queued
+//! connection as soon as a descriptor frees up.
+//!
+//! The test lowers the soft RLIMIT_NOFILE, fills the process fd table
+//! with ballast until EMFILE, frees exactly one descriptor for the
+//! client's `connect()` (the kernel completes the handshake from the
+//! listen backlog without an accept), and then watches the accept loop
+//! fail over and recover. It lives in its own test binary because the
+//! rlimit and a full fd table are process-wide state no concurrently
+//! running test could survive.
+
+#![cfg(target_os = "linux")]
+
+use piggyback_proxyd::{nofile_limits, serve_with, set_nofile_soft, ServeOptions};
+use std::fs::File;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const RESPONSE: &[u8] = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok";
+
+/// Restores the original soft limit even if the test panics mid-ballast.
+struct LimitGuard(u64);
+
+impl Drop for LimitGuard {
+    fn drop(&mut self) {
+        let _ = set_nofile_soft(self.0);
+    }
+}
+
+fn open_fds() -> u64 {
+    std::fs::read_dir("/proc/self/fd").unwrap().count() as u64
+}
+
+#[test]
+fn accept_loop_backs_off_on_emfile_and_recovers() {
+    let (orig_soft, _hard) = nofile_limits().unwrap();
+    let _guard = LimitGuard(orig_soft);
+
+    // One request per connection: read up to the header terminator, answer,
+    // close. The client observes recovery as a served response + EOF.
+    let server = serve_with(0, "backoff-test", ServeOptions::default(), |mut stream| {
+        let mut buf = [0u8; 4096];
+        let mut filled = 0;
+        while !buf[..filled].windows(4).any(|w| w == b"\r\n\r\n") {
+            match stream.read(&mut buf[filled..]) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => filled += n,
+            }
+        }
+        let _ = stream.write_all(RESPONSE);
+    })
+    .unwrap();
+    let stats = server.io_stats().clone();
+    let addr = server.addr;
+
+    // Lower the ceiling to just above what's already open, then eat every
+    // remaining descriptor with ballast. The margin only bounds how much
+    // ballast we open; the loop below finds the true edge.
+    set_nofile_soft(open_fds() + 32).unwrap();
+    let mut ballast = Vec::new();
+    loop {
+        match File::open("/dev/null") {
+            Ok(f) => ballast.push(f),
+            Err(e) => {
+                assert_eq!(e.raw_os_error(), Some(24), "expected EMFILE, got {e}");
+                break;
+            }
+        }
+    }
+
+    // Free exactly one descriptor: enough for the client's socket, leaving
+    // none for the server's accept.
+    ballast.pop();
+    let mut client = TcpStream::connect(addr).expect("handshake completes from the backlog");
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // The pending connection now drives accept() into EMFILE. The loop
+    // must register the failure and keep retrying instead of dying.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while stats.accept_errors_total() == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "accept loop never observed fd exhaustion"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(stats.accepts_total(), 0, "nothing acceptable yet");
+
+    // Recovery: descriptors free up, the backed-off accept retries, and
+    // the connection that waited in the backlog the whole time is served.
+    ballast.clear();
+    client.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    let mut got = Vec::new();
+    client.read_to_end(&mut got).expect("served after recovery");
+    assert_eq!(got, RESPONSE, "queued connection must be served intact");
+    assert!(stats.accepts_total() >= 1);
+    assert!(stats.accept_errors_total() >= 1);
+    server.stop();
+}

@@ -16,11 +16,13 @@
 
 use piggyback_proxyd::origin::{start_origin, OriginConfig};
 use piggyback_proxyd::proxy::{start_proxy, ProxyConfig, WireMode};
+use piggyback_proxyd::IoMode;
 use piggyback_trace::synth::site::{Site, SiteConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Counts every allocation and reallocation (frees don't matter for the
 /// steady-state claim; a path that frees without allocating can't leak).
@@ -99,8 +101,27 @@ fn roundtrip(stream: &mut TcpStream, req: &[u8], buf: &mut [u8], expect_hit: boo
     }
 }
 
+/// The allocation counter is process-global, so the two I/O-mode variants
+/// must never overlap: a warmup allocation in one would land in the
+/// other's measured window.
+static WINDOW: Mutex<()> = Mutex::new(());
+
 #[test]
 fn cached_hits_allocate_nothing_after_warmup() {
+    steady_state_is_allocation_free(IoMode::Threaded);
+}
+
+/// The reactor twin: the epoll path must preserve the zero-allocation
+/// guarantee — slab slots, connection scratch, output buffers, and timer
+/// wheel entries all reach steady-state capacity during warmup.
+#[cfg(target_os = "linux")]
+#[test]
+fn reactor_cached_hits_allocate_nothing_after_warmup() {
+    steady_state_is_allocation_free(IoMode::Reactor { reactors: 2 });
+}
+
+fn steady_state_is_allocation_free(io: IoMode) {
+    let _window = WINDOW.lock().unwrap();
     let site_cfg = SiteConfig {
         n_pages: 16,
         images_per_page: (0, 0),
@@ -113,6 +134,7 @@ fn cached_hits_allocate_nothing_after_warmup() {
     .expect("origin starts");
     let mut cfg = ProxyConfig::new(origin.addr());
     cfg.wire = WireMode::ZeroCopy;
+    cfg.io = io;
     // Far longer than the test: every measured request is a fresh hit.
     cfg.freshness = piggyback_core::types::DurationMs::from_secs(3600);
     let proxy = start_proxy(cfg).expect("proxy starts");

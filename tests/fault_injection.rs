@@ -482,6 +482,126 @@ fn shim_imposes_profile_latency() {
     origin.stop();
 }
 
+/// A stalled reader must cost the reactor a buffer, not a thread: with a
+/// SINGLE reactor shard, a client that pipelines a burst of ~12 KiB
+/// cached hits and then refuses to read anything would wedge the whole
+/// proxy if response writes blocked. A second client proves the shard
+/// keeps serving; the stalled client then drains byte-by-byte and must
+/// receive every response intact.
+#[cfg(target_os = "linux")]
+#[test]
+fn slow_reader_does_not_stall_reactor_shard() {
+    use piggyback::proxyd::IoMode;
+    const BODY_LEN: usize = 12 * 1024;
+    const BURST: usize = 64;
+
+    let origin = serve(0, "big-page", |stream| {
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = BufWriter::new(stream);
+        loop {
+            let req = match Request::read(&mut r) {
+                Ok(q) => q,
+                Err(_) => return,
+            };
+            let keep = req.keep_alive();
+            let mut resp = Response::new(200);
+            resp.headers
+                .insert("Last-Modified", "Wed, 28 Jan 1998 00:00:00 GMT");
+            resp.body = vec![b'x'; BODY_LEN].into();
+            if resp.write(&mut w).is_err() || !keep {
+                return;
+            }
+        }
+    })
+    .unwrap();
+
+    let mut cfg = ProxyConfig::new(origin.addr);
+    cfg.io = IoMode::Reactor { reactors: 1 };
+    cfg.freshness = piggyback::core::types::DurationMs::from_secs(3600);
+    cfg.rpv = None;
+    cfg.report_hits = false;
+    let proxy = start_proxy(cfg).unwrap();
+
+    // Warm the page, then capture one cached-hit response verbatim — the
+    // burst must come back as exactly this, BURST times over.
+    let mut warm = HttpClient::connect(proxy.addr()).unwrap();
+    assert_eq!(warm.get("/big.html", &[]).unwrap().status, 200);
+    drop(warm);
+    let req = b"GET /big.html HTTP/1.1\r\nHost: t\r\n\r\n";
+    let one_hit = {
+        let mut probe = std::net::TcpStream::connect(proxy.addr()).unwrap();
+        probe.write_all(req).unwrap();
+        let mut buf = vec![0u8; 64 * 1024];
+        let mut filled = 0;
+        loop {
+            // One cached hit is Content-Length framed; read until the
+            // header block plus BODY_LEN bytes have arrived.
+            if let Some(p) = buf[..filled].windows(4).position(|w| w == b"\r\n\r\n") {
+                if filled >= p + 4 + BODY_LEN {
+                    buf.truncate(p + 4 + BODY_LEN);
+                    break buf;
+                }
+            }
+            let n = probe.read(&mut buf[filled..]).unwrap();
+            assert!(n > 0, "proxy closed the probe");
+            filled += n;
+        }
+    };
+
+    // The slow client: fire the whole burst, then go silent.
+    let mut slow = std::net::TcpStream::connect(proxy.addr()).unwrap();
+    let mut burst = Vec::with_capacity(BURST * req.len());
+    for _ in 0..BURST {
+        burst.extend_from_slice(req);
+    }
+    slow.write_all(&burst).unwrap();
+
+    // While the slow client stalls, the single shard must keep serving
+    // other connections — if any response write blocked the reactor
+    // thread, these would hang (the 10s read timeout turns that into a
+    // failure instead of a wedged test run).
+    let mut live = HttpClient::connect(proxy.addr()).unwrap();
+    for i in 0..50 {
+        let resp = live.get("/big.html", &[]).unwrap();
+        assert_eq!(resp.status, 200, "concurrent request {i} during the stall");
+        assert_eq!(resp.body.len(), BODY_LEN);
+    }
+    drop(live);
+
+    // Drain: first at a trickle (1 byte per read, the pathological
+    // partial-writer case), then in bulk. Every burst response must
+    // arrive byte-identical to the probe's hit.
+    slow.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let want = one_hit.len() * BURST;
+    let mut got = Vec::with_capacity(want);
+    let mut one = [0u8; 1];
+    for _ in 0..4096 {
+        assert_eq!(slow.read(&mut one).unwrap(), 1, "proxy closed mid-trickle");
+        got.push(one[0]);
+    }
+    let mut chunk = [0u8; 16 * 1024];
+    while got.len() < want {
+        let n = slow.read(&mut chunk).unwrap();
+        assert!(n > 0, "proxy closed before the burst was delivered");
+        got.extend_from_slice(&chunk[..n]);
+    }
+    assert_eq!(
+        got.len(),
+        want,
+        "exactly BURST responses, no trailing bytes"
+    );
+    for (i, resp) in got.chunks(one_hit.len()).enumerate() {
+        assert_eq!(resp, &one_hit[..], "burst response {i} corrupt");
+    }
+
+    let s = proxy.stats();
+    assert_eq!(s.outcomes(), s.requests, "counters must conserve: {s:?}");
+    assert_eq!(s.upstream_errors, 0, "{s:?}");
+    proxy.stop();
+    origin.stop();
+}
+
 #[test]
 fn concurrent_load_with_failures_stays_consistent() {
     let origin = start_origin(OriginConfig::default()).unwrap();

@@ -1,0 +1,374 @@
+//! Reactor-mode integration suite (ISSUE 7 tentpole proof): the epoll
+//! reactor must be indistinguishable from the threaded pool on the wire.
+//!
+//! * **Byte identity** — the same request bytes against two proxies (and
+//!   two origins) differing only in `--io` produce byte-identical
+//!   responses, misses and hits alike.
+//! * **Conservation** — 16 concurrent keep-alive clients through a
+//!   reactor proxy leave the lock-free outcome counters balancing
+//!   exactly, same as the threaded suite in `concurrency_stress.rs`.
+//! * **Pipelining, idle reaping, offload errors, metrics** — the
+//!   reactor-specific behaviors observable from outside.
+//!
+//! Linux-only: off Linux `IoMode::Reactor` falls back to the threaded
+//! pool and these tests would prove nothing.
+
+#![cfg(target_os = "linux")]
+
+use piggyback::core::filter::ProxyFilter;
+use piggyback::core::types::DurationMs;
+use piggyback::proxyd::client::HttpClient;
+use piggyback::proxyd::origin::{start_origin, OriginConfig};
+use piggyback::proxyd::proxy::{start_proxy, ProxyConfig, ProxyHandle};
+use piggyback::proxyd::{IoMode, METRICS_PATH};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const REACTOR: IoMode = IoMode::Reactor { reactors: 2 };
+
+/// A proxy over `origin` with deterministic wire output: no piggyback
+/// filter, no RPV, no hit reports, freshness far longer than any test.
+fn quiet_proxy(origin: SocketAddr, io: IoMode) -> ProxyHandle {
+    let mut cfg = ProxyConfig::new(origin);
+    cfg.io = io;
+    cfg.freshness = DurationMs::from_secs(3600);
+    cfg.filter = ProxyFilter::builder().max_piggy(0).build();
+    cfg.rpv = None;
+    cfg.report_hits = false;
+    start_proxy(cfg).unwrap()
+}
+
+/// Write `req` raw and read exactly one `Content-Length`-framed response,
+/// returning its bytes.
+fn raw_roundtrip(stream: &mut TcpStream, req: &[u8]) -> Vec<u8> {
+    stream.write_all(req).unwrap();
+    read_framed(stream, &mut Vec::new())
+}
+
+/// Read one framed response; `carry` holds over-read bytes belonging to
+/// the next pipelined response and must be reused across calls.
+fn read_framed(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Vec<u8> {
+    let mut chunk = [0u8; 16 * 1024];
+    let head_len = loop {
+        if let Some(p) = find(carry, b"\r\n\r\n") {
+            break p + 4;
+        }
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "server closed mid-header");
+        carry.extend_from_slice(&chunk[..n]);
+    };
+    let total = head_len + content_length(&carry[..head_len]);
+    while carry.len() < total {
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "server closed mid-body");
+        carry.extend_from_slice(&chunk[..n]);
+    }
+    let rest = carry.split_off(total);
+    std::mem::replace(carry, rest)
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+fn content_length(head: &[u8]) -> usize {
+    let p = find(head, b"Content-Length: ").expect("framed response");
+    let rest = &head[p + 16..];
+    let end = find(rest, b"\r\n").unwrap();
+    std::str::from_utf8(&rest[..end]).unwrap().parse().unwrap()
+}
+
+fn get_bytes(path: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").into_bytes()
+}
+
+#[test]
+fn reactor_proxy_byte_identical_to_threaded() {
+    let origin = start_origin(OriginConfig::default()).unwrap();
+    let threaded = quiet_proxy(origin.addr(), IoMode::Threaded);
+    let reactor = quiet_proxy(origin.addr(), REACTOR);
+    let paths: Vec<String> = origin.paths.iter().take(12).cloned().collect();
+
+    let mut ct = TcpStream::connect(threaded.addr()).unwrap();
+    let mut cr = TcpStream::connect(reactor.addr()).unwrap();
+    for path in &paths {
+        let req = get_bytes(path);
+        // First exchange is a miss (full upstream fetch, the reactor's
+        // offload path), second a cached hit (inline path). Both must
+        // match the threaded proxy byte for byte.
+        for pass in ["miss", "hit"] {
+            let from_threaded = raw_roundtrip(&mut ct, &req);
+            let from_reactor = raw_roundtrip(&mut cr, &req);
+            assert_eq!(
+                from_threaded, from_reactor,
+                "{pass} response for {path} must be byte-identical across I/O modes"
+            );
+        }
+    }
+    threaded.stop();
+    reactor.stop();
+    origin.stop();
+}
+
+#[test]
+fn sixteen_clients_conserve_counters_in_reactor_mode() {
+    const CLIENTS: usize = 16;
+    const PER_CLIENT: usize = 60;
+    let origin = start_origin(OriginConfig::default()).unwrap();
+    let proxy = quiet_proxy(origin.addr(), REACTOR);
+    let paths = origin.paths.clone();
+
+    // Warm every path once so the timed region is all fresh hits.
+    let mut warm = HttpClient::connect(proxy.addr()).unwrap();
+    for p in &paths {
+        assert_eq!(warm.get(p, &[]).unwrap().status, 200);
+    }
+    drop(warm);
+
+    std::thread::scope(|s| {
+        for t in 0..CLIENTS {
+            let paths = &paths;
+            let addr = proxy.addr();
+            s.spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                for i in 0..PER_CLIENT {
+                    let path = &paths[(t * 7 + i) % paths.len()];
+                    let resp = client.get(path, &[]).unwrap();
+                    assert_eq!(resp.status, 200, "client {t} req {i} ({path})");
+                }
+            });
+        }
+    });
+
+    let s = proxy.stats();
+    let expected = (paths.len() + CLIENTS * PER_CLIENT) as u64;
+    assert_eq!(s.requests, expected);
+    assert_eq!(
+        s.outcomes(),
+        s.requests,
+        "outcome counters must conserve requests exactly: {s:?}"
+    );
+    assert_eq!(s.upstream_errors, 0, "healthy origin: {s:?}");
+    assert_eq!(
+        s.fresh_hits,
+        (CLIENTS * PER_CLIENT) as u64,
+        "warm cache: the timed region is all fresh hits: {s:?}"
+    );
+    proxy.stop();
+    origin.stop();
+}
+
+#[test]
+fn reactor_serves_pipelined_bursts_in_order() {
+    let origin = start_origin(OriginConfig::default()).unwrap();
+    let proxy = quiet_proxy(origin.addr(), REACTOR);
+    let paths: Vec<String> = origin.paths.iter().take(8).cloned().collect();
+
+    // Warm, then fire all 8 GETs in one write and read 8 responses back.
+    let mut warm = HttpClient::connect(proxy.addr()).unwrap();
+    let expected: Vec<Vec<u8>> = paths
+        .iter()
+        .map(|p| {
+            assert_eq!(warm.get(p, &[]).unwrap().status, 200);
+            let mut c = TcpStream::connect(proxy.addr()).unwrap();
+            raw_roundtrip(&mut c, &get_bytes(p))
+        })
+        .collect();
+
+    let mut burst = Vec::new();
+    for p in &paths {
+        burst.extend_from_slice(&get_bytes(p));
+    }
+    let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+    conn.write_all(&burst).unwrap();
+    let mut carry = Vec::new();
+    for (i, want) in expected.iter().enumerate() {
+        let got = read_framed(&mut conn, &mut carry);
+        assert_eq!(&got, want, "pipelined response {i} out of order or corrupt");
+    }
+    assert!(carry.is_empty(), "no trailing bytes after the burst");
+    proxy.stop();
+    origin.stop();
+}
+
+#[test]
+fn reactor_reaps_idle_connections() {
+    let origin = start_origin(OriginConfig::default()).unwrap();
+    let mut cfg = ProxyConfig::new(origin.addr());
+    cfg.io = REACTOR;
+    cfg.freshness = DurationMs::from_secs(3600);
+    cfg.reactor_idle_timeout = Duration::from_millis(250);
+    let proxy = start_proxy(cfg).unwrap();
+
+    let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+    let resp = raw_roundtrip(&mut conn, &get_bytes(&origin.paths[0]));
+    assert!(resp.starts_with(b"HTTP/1.1 200"));
+
+    // Served, then silent: the timer wheel must close us.
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let start = Instant::now();
+    let n = conn.read(&mut [0u8; 64]).expect("expected EOF, not error");
+    assert_eq!(n, 0, "idle connection must be closed by the reaper");
+    assert!(
+        start.elapsed() >= Duration::from_millis(100),
+        "must not close a live connection instantly"
+    );
+    proxy.stop();
+    origin.stop();
+}
+
+#[test]
+fn reactor_survives_dead_origin_with_502s() {
+    let origin = start_origin(OriginConfig::default()).unwrap();
+    let mut cfg = ProxyConfig::new(origin.addr());
+    cfg.io = REACTOR;
+    cfg.freshness = DurationMs::from_secs(3600);
+    cfg.filter = ProxyFilter::builder().max_piggy(0).build();
+    cfg.rpv = None;
+    cfg.report_hits = false;
+    // No idle upstream connections retained: once the origin dies, the
+    // next fetch must dial it fresh and fail, not ride a stale pooled
+    // keep-alive the origin's draining worker still answers.
+    cfg.pool_max_idle = 0;
+    let proxy = start_proxy(cfg).unwrap();
+    let warm_path = origin.paths[0].clone();
+    let cold_path = origin.paths[1].clone();
+
+    let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+    assert!(raw_roundtrip(&mut conn, &get_bytes(&warm_path)).starts_with(b"HTTP/1.1 200"));
+    origin.stop();
+
+    // Uncached path: the offload worker's upstream exchange fails and the
+    // injected completion must carry a 502 — not close the connection.
+    let resp = raw_roundtrip(&mut conn, &get_bytes(&cold_path));
+    assert!(
+        resp.starts_with(b"HTTP/1.1 502"),
+        "dead origin must surface as 502: {:?}",
+        String::from_utf8_lossy(&resp[..40.min(resp.len())])
+    );
+    // Same connection, cached-fresh path: still serving.
+    assert!(raw_roundtrip(&mut conn, &get_bytes(&warm_path)).starts_with(b"HTTP/1.1 200"));
+
+    let s = proxy.stats();
+    assert_eq!(s.upstream_errors, 1, "{s:?}");
+    assert_eq!(s.outcomes(), s.requests, "{s:?}");
+    proxy.stop();
+}
+
+#[test]
+fn reactor_metrics_expose_io_and_shard_gauges() {
+    let origin = start_origin(OriginConfig::default()).unwrap();
+    let proxy = quiet_proxy(origin.addr(), REACTOR);
+
+    let mut client = HttpClient::connect(proxy.addr()).unwrap();
+    assert_eq!(client.get(&origin.paths[0], &[]).unwrap().status, 200);
+    let resp = client.get(METRICS_PATH, &[]).unwrap();
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8(resp.body.to_vec()).unwrap();
+
+    let scalar = |name: &str| -> u64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|r| r.strip_prefix(' ')))
+            .unwrap_or_else(|| panic!("{name} missing from scrape:\n{text}"))
+            .parse()
+            .unwrap()
+    };
+    assert!(scalar("pb_proxy_accepts_total") >= 1);
+    assert!(
+        scalar("pb_proxy_open_connections") >= 1,
+        "the scraping connection itself is open"
+    );
+    // Per-shard reactor gauges, one set per configured shard.
+    for shard in 0..2 {
+        for metric in [
+            "pb_proxy_reactor_conns",
+            "pb_proxy_reactor_accepts_total",
+            "pb_proxy_reactor_wakeups_total",
+            "pb_proxy_reactor_timeouts_total",
+            "pb_proxy_reactor_offloads_total",
+        ] {
+            let line = format!("{metric}{{shard=\"{shard}\"}}");
+            assert!(text.contains(&line), "{line} missing from scrape:\n{text}");
+        }
+    }
+    // Accept-shard balance is observable: the accepts sum to the total.
+    let shard_accepts: u64 = text
+        .lines()
+        .filter(|l| l.starts_with("pb_proxy_reactor_accepts_total"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(shard_accepts, scalar("pb_proxy_accepts_total"));
+    proxy.stop();
+    origin.stop();
+}
+
+#[test]
+fn origin_reactor_mode_byte_identical_and_piggybacking() {
+    let threaded = start_origin(OriginConfig::default()).unwrap();
+    let reactor = start_origin(OriginConfig {
+        io: REACTOR,
+        ..Default::default()
+    })
+    .unwrap();
+    assert_eq!(threaded.paths, reactor.paths, "same seed, same site");
+
+    // Identical request sequences (including a piggyback-soliciting pair
+    // in one directory) must produce byte-identical response streams —
+    // trailers included, so frame with a real Response reader.
+    let dir_pair: Vec<&String> = {
+        let mut pair = Vec::new();
+        for p in &threaded.paths {
+            if pair.is_empty() {
+                pair.push(p);
+            } else if p.rsplit_once('/').map(|(d, _)| d) == pair[0].rsplit_once('/').map(|(d, _)| d)
+            {
+                pair.push(p);
+                break;
+            }
+        }
+        pair
+    };
+    assert_eq!(dir_pair.len(), 2, "site has a two-resource directory");
+
+    let exchange = |addr: SocketAddr| -> Vec<piggyback::httpwire::Response> {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = BufWriter::new(stream);
+        dir_pair
+            .iter()
+            .map(|path| {
+                let mut req = piggyback::httpwire::Request::new("GET", path);
+                req.headers.insert("Host", "t");
+                req.headers.insert("TE", "chunked");
+                req.headers.insert("Piggy-filter", "maxpiggy=10");
+                req.write(&mut w).unwrap();
+                piggyback::httpwire::Response::read(&mut r, false).unwrap()
+            })
+            .collect()
+    };
+    let from_threaded = exchange(threaded.addr());
+    let from_reactor = exchange(reactor.addr());
+    for (i, (a, b)) in from_threaded.iter().zip(&from_reactor).enumerate() {
+        assert_eq!(a.status, b.status, "response {i}");
+        assert_eq!(a.body, b.body, "response {i} body");
+        assert_eq!(
+            a.trailers.get("P-volume"),
+            b.trailers.get("P-volume"),
+            "response {i} piggyback"
+        );
+    }
+    assert!(
+        from_reactor[1].trailers.get("P-volume").is_some(),
+        "second request in the directory must carry the piggyback trailer"
+    );
+
+    // Both origins account identically.
+    let (st, sr) = (threaded.stats(), reactor.stats());
+    assert_eq!(st.requests, sr.requests);
+    assert_eq!(st.piggybacks_sent, sr.piggybacks_sent);
+    assert_eq!(reactor.daemon_stats().connections, 1);
+    threaded.stop();
+    reactor.stop();
+}

@@ -13,6 +13,7 @@ use piggyback::proxyd::proxy::{start_proxy, ProxyConfig, ProxyStats};
 use piggyback::proxyd::replay_origin::{
     start_replay_origin, ReplayConfig, ReplayHandle, ReplayStats, ReplayTiming, DIVERGENCE_HEADER,
 };
+use piggyback::proxyd::IoMode;
 use piggyback::trace::inventory::{reference_inventory_path, Inventory};
 use piggyback::trace::record::body_hash;
 use std::collections::BTreeMap;
@@ -197,11 +198,16 @@ fn divergences_are_flagged_not_improvised() {
 /// partition of the recorded paths twice in a row, so the first pass
 /// full-fetches and the second is answered from the warm cache.
 fn drive_proxy(inv: &Arc<Inventory>, threads: usize) -> ProxyStats {
+    drive_proxy_io(inv, threads, IoMode::Threaded)
+}
+
+fn drive_proxy_io(inv: &Arc<Inventory>, threads: usize, io: IoMode) -> ProxyStats {
     let replay = start(inv);
     let mut cfg = ProxyConfig::new(replay.addr());
     cfg.freshness = DurationMs::from_millis(3_600_000);
     cfg.rpv = None;
     cfg.report_hits = false;
+    cfg.io = io;
     let proxy = start_proxy(cfg).expect("proxy starts");
     let paths = inv.paths();
     std::thread::scope(|s| {
@@ -255,6 +261,33 @@ fn proxy_ledger_is_thread_count_invariant_without_piggybacks() {
         "stripped inventory carries no pv"
     );
     assert_eq!(one.outcomes(), one.requests);
+}
+
+/// The I/O-mode invariance lane (ISSUE 7): the serving engine is not
+/// allowed to leak into the ledger. With piggybacks stripped (so the
+/// ledger is a pure function of the request multiset), the epoll reactor
+/// and the threaded pool must land on the *exact same* `ProxyStats`, at
+/// 1 client and at 16 — misses through the reactor's offload path and
+/// hits through its inline path included.
+#[cfg(target_os = "linux")]
+#[test]
+fn proxy_ledger_is_io_mode_invariant() {
+    let mut stripped = (*reference()).clone();
+    for e in &mut stripped.entries {
+        e.piggyback = None;
+    }
+    let stripped = Arc::new(stripped);
+    const REACTOR: IoMode = IoMode::Reactor { reactors: 2 };
+
+    for threads in [1, 16] {
+        let threaded = drive_proxy_io(&stripped, threads, IoMode::Threaded);
+        let reactor = drive_proxy_io(&stripped, threads, REACTOR);
+        assert_eq!(
+            threaded, reactor,
+            "{threads}-client ledger must not depend on the I/O engine"
+        );
+        assert_eq!(reactor.outcomes(), reactor.requests);
+    }
 }
 
 /// With the full inventory (piggybacks intact), the order-invariant parts
