@@ -479,7 +479,21 @@ fn start_pool(
                 let mut scratch = ConnScratch::new();
                 while let Some(job) = pool.pop() {
                     let mut out = Vec::new();
-                    let ok = (job.f)(&mut scratch, &mut out).is_ok();
+                    // Workers are detached and never respawned, so a
+                    // panicking handler must neither kill the thread nor
+                    // strand its connection in `Awaiting`: catch it and
+                    // inject a failed completion (which closes the
+                    // connection), discarding the possibly-inconsistent
+                    // scratch.
+                    let ok = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || (job.f)(&mut scratch, &mut out).is_ok(),
+                    )) {
+                        Ok(ok) => ok,
+                        Err(_) => {
+                            scratch = ConnScratch::new();
+                            false
+                        }
+                    };
                     injectors[job.shard].push(Completion {
                         token: job.token,
                         bytes: out,
@@ -903,10 +917,14 @@ impl<S: ReactorService> Reactor<S> {
                     let read_stalled = conn
                         .req_start
                         .is_some_and(|t| t.elapsed() >= self.idle_timeout);
-                    // A connection parked on an upstream fetch is not
-                    // idle from the server's perspective.
-                    let awaiting = matches!(conn.state, ConnState::Awaiting { .. });
-                    if !awaiting && (idle >= self.idle_timeout || read_stalled) {
+                    // A connection parked on an upstream fetch gets the
+                    // same deadline: if no completion arrives within the
+                    // idle window the offload is presumed lost (job
+                    // dropped at pool shutdown, worker gone) and the
+                    // connection is closed rather than rescheduled
+                    // forever. A late completion for a closed slot is
+                    // discarded by the slab generation check.
+                    if idle >= self.idle_timeout || read_stalled {
                         None
                     } else {
                         Some(self.idle_timeout.saturating_sub(idle))
@@ -998,6 +1016,7 @@ impl<S: ReactorService> Reactor<S> {
         loop {
             let mut submit = None;
             let mut progressed = false;
+            let pre_flush_pending;
             {
                 let conn = match self.slab.get_mut(token) {
                     Some(c) => c,
@@ -1061,6 +1080,7 @@ impl<S: ReactorService> Reactor<S> {
                     conn.rpos = 0;
                 }
                 conn.last_active = Instant::now();
+                pre_flush_pending = conn.pending_out();
             }
             if let Some(job) = submit {
                 self.shard_stats().offloads.fetch_add(1, Ordering::Relaxed);
@@ -1073,7 +1093,17 @@ impl<S: ReactorService> Reactor<S> {
                 Some(c) => c,
                 None => return,
             };
-            let can_continue = progressed
+            // Flushing counts as progress when it frees write capacity the
+            // parse loop was blocked on: if pump() entered under
+            // backpressure (e.g. on a WRITABLE edge), `progressed` stays
+            // false even though rbuf may hold complete pipelined requests
+            // — and with edge-triggered registration no further event ever
+            // arrives for bytes already buffered, so failing to re-enter
+            // here would strand them until the idle timer kills the
+            // connection.
+            let flush_freed =
+                pre_flush_pending >= OUT_HIGH_WATER && conn.pending_out() < OUT_HIGH_WATER;
+            let can_continue = (progressed || flush_freed)
                 && matches!(conn.state, ConnState::Ready)
                 && conn.pending_out() < OUT_HIGH_WATER
                 && conn.rpos < conn.rbuf.len();
@@ -1197,29 +1227,46 @@ pub fn serve_reactor<S: ReactorService>(
     let pool = start_pool(name, opts.offload_workers, injectors.clone())?;
     let mut joins = Vec::new();
     for (shard, listener) in listeners.into_iter().enumerate() {
-        let reactor = Reactor {
-            shard,
-            ep: EpollFd::new()?,
-            listener,
-            inject: Arc::clone(&injectors[shard]),
-            pool: Arc::clone(&pool),
-            svc: Arc::clone(&svc),
-            slab: Slab::new(),
-            wheel: Wheel::new(opts.idle_timeout),
-            idle_timeout: opts.idle_timeout,
-            io_stats: Arc::clone(&io_stats),
-            metrics: Arc::clone(&metrics),
-            stop: Arc::clone(&stop),
-            accept_paused_until: None,
-            accept_backoff: ACCEPT_BACKOFF_MIN,
-            expired_buf: Vec::new(),
-            comp_buf: Vec::new(),
-        };
-        joins.push(
+        let spawned = EpollFd::new().and_then(|ep| {
+            let reactor = Reactor {
+                shard,
+                ep,
+                listener,
+                inject: Arc::clone(&injectors[shard]),
+                pool: Arc::clone(&pool),
+                svc: Arc::clone(&svc),
+                slab: Slab::new(),
+                wheel: Wheel::new(opts.idle_timeout),
+                idle_timeout: opts.idle_timeout,
+                io_stats: Arc::clone(&io_stats),
+                metrics: Arc::clone(&metrics),
+                stop: Arc::clone(&stop),
+                accept_paused_until: None,
+                accept_backoff: ACCEPT_BACKOFF_MIN,
+                expired_buf: Vec::new(),
+                comp_buf: Vec::new(),
+            };
             std::thread::Builder::new()
                 .name(format!("{name}-reactor-{shard}"))
-                .spawn(move || reactor.run())?,
-        );
+                .spawn(move || reactor.run())
+        });
+        match spawned {
+            Ok(j) => joins.push(j),
+            Err(e) => {
+                // Shards spawned before the failure are already accepting
+                // on their SO_REUSEPORT listeners; tear them down instead
+                // of leaking threads bound to the port with no stop
+                // handle.
+                ReactorHandle {
+                    stop,
+                    injectors,
+                    joins,
+                    pool,
+                }
+                .stop();
+                return Err(e);
+            }
+        }
     }
     Ok(ServerHandle::from_reactor(
         addr,
@@ -1461,6 +1508,72 @@ mod tests {
         handle.stop();
     }
 
+    /// Service whose responses are large enough to trip `OUT_HIGH_WATER`
+    /// when pipelined: each carries a 64 KiB body.
+    struct Big;
+
+    const BIG_BODY: usize = 64 * 1024;
+
+    impl ReactorService for Big {
+        fn handle(
+            &self,
+            _req: &Request,
+            _peer: SocketAddr,
+            _scratch: &mut ConnScratch,
+            out: &mut Vec<u8>,
+        ) -> io::Result<Served> {
+            write!(out, "HTTP/1.1 200 OK\r\nContent-Length: {BIG_BODY}\r\n\r\n").unwrap();
+            out.resize(out.len() + BIG_BODY, b'x');
+            Ok(Served::Inline)
+        }
+    }
+
+    /// Regression: a pipelined burst whose responses exceed the write
+    /// high-water mark must be served to completion. Before the
+    /// flush-freed re-entry in `pump`, a WRITABLE-edge pump entered with
+    /// `pending_out >= OUT_HIGH_WATER` skipped the parse loop, flushed,
+    /// and then returned with `progressed == false` — stranding the
+    /// still-buffered requests (edge-triggered epoll delivers no further
+    /// event) until the idle timer closed the connection.
+    #[test]
+    fn pipelined_burst_survives_write_backpressure() {
+        let handle = serve_reactor(
+            0,
+            "burst-reactor",
+            ReactorOptions {
+                offload_workers: 1,
+                idle_timeout: Duration::from_secs(30),
+            },
+            Arc::new(IoStats::default()),
+            Arc::new(ReactorMetrics::new(1)),
+            Arc::new(Big),
+        )
+        .unwrap();
+        const REQS: usize = 200;
+        let mut c = TcpStream::connect(handle.addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let burst: String = (0..REQS)
+            .map(|i| format!("GET /b{i} HTTP/1.1\r\n\r\n"))
+            .collect();
+        c.write_all(burst.as_bytes()).unwrap();
+        // Give the reactor time to fill its output buffer past the
+        // high-water mark while we are not reading.
+        std::thread::sleep(Duration::from_millis(150));
+        let header = format!("HTTP/1.1 200 OK\r\nContent-Length: {BIG_BODY}\r\n\r\n");
+        let want = REQS * (header.len() + BIG_BODY);
+        let mut total = 0usize;
+        let mut buf = vec![0u8; 8 * 1024];
+        while total < want {
+            match c.read(&mut buf) {
+                Ok(0) => panic!("connection closed after {total}/{want} bytes"),
+                Ok(n) => total += n,
+                Err(e) => panic!("read stalled after {total}/{want} bytes: {e}"),
+            }
+        }
+        assert_eq!(total, want);
+        handle.stop();
+    }
+
     /// Offload service: every request's response is produced off-reactor.
     struct Deferred;
 
@@ -1518,6 +1631,65 @@ mod tests {
         for c in clients {
             c.join().expect("offload client");
         }
+        handle.stop();
+    }
+
+    /// Offload service that panics for `/panic` and answers normally
+    /// otherwise.
+    struct Panicky;
+
+    impl ReactorService for Panicky {
+        fn handle(
+            &self,
+            req: &Request,
+            _peer: SocketAddr,
+            _scratch: &mut ConnScratch,
+            _out: &mut Vec<u8>,
+        ) -> io::Result<Served> {
+            let path = req.target.clone();
+            Ok(Served::Offload(Box::new(move |_scratch, out| {
+                if path == "/panic" {
+                    panic!("offload handler panic (expected by test)");
+                }
+                write!(
+                    out,
+                    "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{}",
+                    path.len(),
+                    path
+                )
+            })))
+        }
+    }
+
+    /// A panicking offload must close its connection (failed completion)
+    /// without killing the worker thread — with a single worker, the
+    /// follow-up request only succeeds if that worker survived.
+    #[test]
+    fn offload_panic_closes_connection_and_worker_survives() {
+        let handle = serve_reactor(
+            0,
+            "panic-reactor",
+            ReactorOptions {
+                offload_workers: 1,
+                idle_timeout: Duration::from_secs(30),
+            },
+            Arc::new(IoStats::default()),
+            Arc::new(ReactorMetrics::new(1)),
+            Arc::new(Panicky),
+        )
+        .unwrap();
+        let mut bad = TcpStream::connect(handle.addr).unwrap();
+        bad.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        bad.write_all(b"GET /panic HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = [0u8; 16];
+        match bad.read(&mut buf) {
+            Ok(0) => {}
+            other => panic!("expected close after offload panic, got {other:?}"),
+        }
+        let mut good = TcpStream::connect(handle.addr).unwrap();
+        good.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        good.write_all(b"GET /ok HTTP/1.1\r\n\r\n").unwrap();
+        assert!(read_response(&mut good, "/ok").ends_with("/ok"));
         handle.stop();
     }
 }

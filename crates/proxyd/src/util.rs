@@ -437,7 +437,9 @@ pub fn set_nofile_soft(soft: u64) -> io::Result<()> {
 }
 
 /// Best-effort raise of the soft fd limit to at least `want`; returns the
-/// effective soft limit afterwards. A privileged process may push the
+/// effective soft limit afterwards, or 0 when the limits cannot even be
+/// queried (so a caller's `effective < want` check fires rather than
+/// silently assuming an ample limit). A privileged process may push the
 /// *hard* limit too (bounded by `fs.nr_open`) — the c10k bench holds both
 /// ends of every connection in one process, which can exceed a container's
 /// default hard cap; unprivileged processes clamp to the hard limit.
@@ -463,7 +465,7 @@ pub fn raise_nofile_limit(want: u64) -> u64 {
                 Err(_) => soft,
             }
         }
-        Err(_) => u64::MAX,
+        Err(_) => 0,
     }
 }
 
