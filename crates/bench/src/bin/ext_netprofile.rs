@@ -136,6 +136,7 @@ fn run_cell(
         origin: replay.addr(),
         volume_level: VOLUME_LEVEL,
         shim: Some(ShimConfig { profile, seed }),
+        transparent: false,
     })
     .expect("volume center starts");
     let mut cfg = ProxyConfig::new(center.addr());

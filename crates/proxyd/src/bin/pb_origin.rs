@@ -5,6 +5,7 @@
 //!           [--volumes-file volumes.txt] [--print-paths] [--no-metrics]
 //!           [--legacy-origin] [--no-piggyback-cache] [--epoch-secs N]
 //!           [--io threaded|reactor] [--reactors N] [--idle-timeout-secs 120]
+//!           [--push N]
 //! ```
 //!
 //! `--volumes-file` loads persisted probability volumes (see the
@@ -18,7 +19,10 @@
 //! `--volumes-file`). `--io reactor` serves connections from the epoll
 //! reactor (Linux; other platforms fall back to the threaded pool) with
 //! `--reactors` SO_REUSEPORT accept shards (0 = auto); wire output is
-//! byte-identical in both modes.
+//! byte-identical in both modes. `--push N` enables the server-push
+//! baseline: after a full 200 to a `Piggy-push: accept` peer, up to N
+//! volume members stream as complete responses on the same connection
+//! (snapshot path only — incompatible with `--legacy-origin`).
 
 use piggyback_core::types::DurationMs;
 use piggyback_proxyd::origin::{start_origin, OnlineEpochConfig, OriginConfig, VolumeScheme};
@@ -78,6 +82,7 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--push" => cfg.push_max = value("--push").parse().expect("number"),
             "--reactors" => reactors = Some(value("--reactors").parse().expect("number")),
             "--idle-timeout-secs" => {
                 let secs: u64 = value("--idle-timeout-secs").parse().expect("number");
@@ -88,7 +93,8 @@ fn main() {
                     "pb-origin [--port 8080] [--pages 60] [--level 1] [--seed 42] \
                      [--print-paths] [--no-metrics] [--legacy-origin] \
                      [--no-piggyback-cache] [--epoch-secs N] \
-                     [--io threaded|reactor] [--reactors N] [--idle-timeout-secs 120]"
+                     [--io threaded|reactor] [--reactors N] [--idle-timeout-secs 120] \
+                     [--push N]"
                 );
                 return;
             }
@@ -101,6 +107,10 @@ fn main() {
 
     if let (IoMode::Reactor { .. }, Some(n)) = (cfg.io, reactors) {
         cfg.io = IoMode::Reactor { reactors: n };
+    }
+    if cfg.legacy && cfg.push_max > 0 {
+        eprintln!("--push needs the snapshot origin (drop --legacy-origin)");
+        std::process::exit(2);
     }
     let metrics = cfg.metrics;
     let origin = start_origin(cfg).expect("failed to start origin");
@@ -132,7 +142,8 @@ fn main() {
         let s = origin.stats();
         let d = origin.daemon_stats();
         eprintln!(
-            "req={} piggybacks={} elements={} | conns={} ok={} 304={} err={} bytes={}",
+            "req={} piggybacks={} elements={} | conns={} ok={} 304={} err={} bytes={} \
+             pushes={} push_bytes={}",
             s.requests,
             s.piggybacks_sent,
             s.elements_sent,
@@ -140,7 +151,9 @@ fn main() {
             d.responses_ok,
             d.responses_not_modified,
             d.responses_error,
-            d.bytes_sent
+            d.bytes_sent,
+            d.pushes_sent,
+            d.push_bytes_sent
         );
     }
 }

@@ -6,6 +6,7 @@
 //!          [--shards 8] [--legacy] [--pool-idle 32] [--workers 64]
 //!          [--no-metrics] [--no-report-hits] [--buffered-wire]
 //!          [--io threaded|reactor] [--reactors N] [--idle-timeout-secs 120]
+//!          [--prefetch-budget N] [--accept-push]
 //! ```
 //!
 //! `--legacy` selects the single-lock, fresh-connection-per-fetch
@@ -17,6 +18,10 @@
 //! SO_REUSEPORT accept shards (0 = auto) and an `--idle-timeout-secs`
 //! connection reaper; `--io threaded` (the default) keeps the blocking
 //! worker pool. Wire output is byte-identical in both modes.
+//! `--prefetch-budget N` turns piggybacked `PrefetchCandidate` elements
+//! into at most N concurrent speculative origin fetches (0, the default,
+//! only counts candidates); `--accept-push` opts in to the server-push
+//! baseline (`Piggy-push: accept` upstream, pushed bodies cached).
 //! Prints statistics every 10 seconds. Unless `--no-metrics` is given,
 //! `GET /__pb/metrics` serves Prometheus counters and latency histograms.
 
@@ -43,6 +48,8 @@ fn main() {
     let mut io = IoMode::default();
     let mut reactors: Option<usize> = None;
     let mut idle_timeout_secs = 120u64;
+    let mut prefetch_budget = 0usize;
+    let mut accept_push = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -76,13 +83,18 @@ fn main() {
             "--idle-timeout-secs" => {
                 idle_timeout_secs = value("--idle-timeout-secs").parse().expect("number");
             }
+            "--prefetch-budget" => {
+                prefetch_budget = value("--prefetch-budget").parse().expect("number");
+            }
+            "--accept-push" => accept_push = true,
             "--help" | "-h" => {
                 println!(
                     "pb-proxy --origin HOST:PORT [--port 8081] [--capacity-mb 32] \
                      [--delta-secs 60] [--maxpiggy 10] [--no-rpv] \
                      [--shards 8] [--legacy] [--pool-idle 32] [--workers 64] \
                      [--no-metrics] [--no-report-hits] [--buffered-wire] \
-                     [--io threaded|reactor] [--reactors N] [--idle-timeout-secs 120]"
+                     [--io threaded|reactor] [--reactors N] [--idle-timeout-secs 120] \
+                     [--prefetch-budget N] [--accept-push]"
                 );
                 return;
             }
@@ -122,6 +134,12 @@ fn main() {
         (mode, _) => mode,
     };
     cfg.reactor_idle_timeout = std::time::Duration::from_secs(idle_timeout_secs);
+    cfg.prefetch_budget = prefetch_budget;
+    cfg.accept_push = accept_push;
+    if legacy && prefetch_budget > 0 {
+        eprintln!("--prefetch-budget needs the pooled (non --legacy) proxy");
+        std::process::exit(2);
+    }
 
     let proxy = start_proxy(cfg).expect("failed to start proxy");
     if metrics {
@@ -162,6 +180,20 @@ fn main() {
             eprintln!(
                 "pool: connects={} reuses={} evicted={} dirty={} full={}",
                 p.connects, p.reuses, p.evicted_unhealthy, p.discarded_dirty, p.discarded_full
+            );
+        }
+        if prefetch_budget > 0 || accept_push {
+            eprintln!(
+                "prefetch: issued={} used={} wasted={} inflight={} cancelled={} \
+                 used_bytes={} wasted_bytes={} pushes_accepted={}",
+                s.prefetch_issued,
+                s.prefetch_used,
+                s.prefetch_wasted,
+                s.prefetch_inflight,
+                s.prefetch_cancelled,
+                s.prefetch_used_bytes,
+                s.prefetch_wasted_bytes,
+                s.pushes_accepted
             );
         }
     }

@@ -87,6 +87,7 @@ fn main() {
         origin,
         volume_level: level,
         shim,
+        transparent: false,
     })
     .expect("failed to start volume center");
     eprintln!(

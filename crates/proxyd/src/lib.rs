@@ -30,6 +30,7 @@ pub mod client;
 pub mod netem;
 pub mod obs;
 pub mod origin;
+pub mod prefetch;
 pub mod proxy;
 #[cfg(target_os = "linux")]
 pub mod reactor;

@@ -36,6 +36,7 @@
 //! history.
 
 use crate::obs::{render_histogram, render_scalar, DaemonObs};
+use crate::prefetch::{PIGGY_PUSH_HEADER, PUSH_COUNT_HEADER, PUSH_PATH_HEADER};
 use crate::proxy::METRICS_PATH;
 use crate::stats::{AtomicDaemonStats, DaemonStats};
 use crate::util::{
@@ -59,7 +60,7 @@ use piggyback_core::types::{DurationMs, ResourceId, SourceId, Timestamp};
 use piggyback_core::volume::{
     DirectoryVolumes, ProbabilityVolumes, ProbabilityVolumesBuilder, SamplingMode,
 };
-use piggyback_core::wire::{encode_p_volume, P_VOLUME_HEADER};
+use piggyback_core::wire::{decode_p_volume, encode_p_volume, P_VOLUME_HEADER};
 use piggyback_httpwire::{Body, ConnScratch, Request, Response};
 use piggyback_trace::synth::site::{Site, SiteConfig};
 use std::collections::HashMap;
@@ -157,6 +158,13 @@ pub struct OriginConfig {
     pub io: IoMode,
     /// Reactor mode only: close connections idle for this long.
     pub reactor_idle_timeout: std::time::Duration,
+    /// Server-push baseline (`--push N`): when a request carries
+    /// `Piggy-push: accept`, stream up to N volume members as full pushed
+    /// responses after the main 200 (the main response announces them
+    /// with `X-Push-Count`, each pushed response names its resource with
+    /// `X-Push-Path`). 0 disables pushing. Snapshot path only — the
+    /// legacy origin never pushes.
+    pub push_max: usize,
 }
 
 impl Default for OriginConfig {
@@ -175,6 +183,7 @@ impl Default for OriginConfig {
             online_epoch: None,
             io: IoMode::default(),
             reactor_idle_timeout: std::time::Duration::from_secs(120),
+            push_max: 0,
         }
     }
 }
@@ -220,6 +229,8 @@ struct OriginShared {
     clock: Clock,
     /// Shared synthetic bodies, keyed by resource id (both modes).
     bodies: BodyCache,
+    /// Most volume members pushed after one main response (0 = never).
+    push_max: usize,
     /// Accept/open-connection counters, fed by whichever I/O engine runs.
     io_stats: Arc<IoStats>,
     /// Per-reactor-shard counters (reactor mode only).
@@ -425,6 +436,7 @@ pub fn start_origin(cfg: OriginConfig) -> io::Result<OriginHandle> {
         core,
         clock: Clock::new(),
         bodies: BodyCache::new(paths.len()),
+        push_max: cfg.push_max,
         io_stats: Arc::clone(&io_stats),
         #[cfg(target_os = "linux")]
         reactor_metrics: reactor_metrics.clone(),
@@ -500,6 +512,7 @@ impl crate::reactor::ReactorService for OriginSvc {
         out: &mut Vec<u8>,
     ) -> io::Result<crate::reactor::Served> {
         let source = crate::util::source_from_addr(peer);
+        let mut pushed = Vec::new();
         let resp = dispatch_request(
             req,
             source,
@@ -507,8 +520,12 @@ impl crate::reactor::ReactorService for OriginSvc {
             &self.daemon,
             &self.obs,
             self.metrics,
+            &mut pushed,
         );
         resp.write_with(out, scratch)?;
+        for p in &pushed {
+            p.write_with(out, scratch)?;
+        }
         Ok(crate::reactor::Served::Inline)
     }
 }
@@ -537,13 +554,20 @@ fn handle_connection(
     let mut writer = stream;
     let mut scratch = ConnScratch::new();
     let mut req = Request::empty();
+    let mut pushed: Vec<Response> = Vec::new();
     loop {
         if req.read_into(&mut reader, &mut scratch).is_err() {
             return Ok(()); // closed or malformed: drop connection
         }
         let keep = req.keep_alive();
-        let resp = dispatch_request(&req, source, shared, daemon, obs, metrics);
+        pushed.clear();
+        let resp = dispatch_request(&req, source, shared, daemon, obs, metrics, &mut pushed);
         resp.write_with(&mut writer, &mut scratch)?;
+        // Pushed volume members ride the same stream, right behind the
+        // main response they were announced on.
+        for p in &pushed {
+            p.write_with(&mut writer, &mut scratch)?;
+        }
         if !keep {
             return Ok(());
         }
@@ -552,7 +576,10 @@ fn handle_connection(
 
 /// One parsed request to one response, counters included. Shared by the
 /// threaded connection loop and the reactor service so both I/O modes
-/// account (and answer) identically.
+/// account (and answer) identically. Pushed volume-member responses (if
+/// the origin runs with `push_max > 0` and the request opted in) are
+/// appended to `push_out`; the caller writes them after the main
+/// response, in order.
 fn dispatch_request(
     req: &Request,
     source: SourceId,
@@ -560,6 +587,7 @@ fn dispatch_request(
     daemon: &AtomicDaemonStats,
     obs: &DaemonObs,
     metrics: bool,
+    push_out: &mut Vec<Response>,
 ) -> Response {
     // Admin scrape, intercepted before the request/response counters so
     // scrapes never appear in the ledger they report on. Served from
@@ -573,8 +601,16 @@ fn dispatch_request(
     }
     daemon.requests.fetch_add(1, Relaxed);
     let start = std::time::Instant::now();
-    let resp = handle_request(req, source, shared, obs);
+    let resp = handle_request(req, source, shared, obs, push_out);
     daemon.count_response(resp.status, resp.body.len());
+    for p in push_out.iter() {
+        daemon.pushes_sent.fetch_add(1, Relaxed);
+        daemon
+            .push_bytes_sent
+            .fetch_add(p.body.len() as u64, Relaxed);
+        // Pushed bodies are response bytes on the wire too.
+        daemon.bytes_sent.fetch_add(p.body.len() as u64, Relaxed);
+    }
     obs.class_for(resp.status).record(start.elapsed());
     resp
 }
@@ -626,6 +662,20 @@ fn origin_metrics_response(
         "",
         "counter",
         stats.bytes_sent,
+    );
+    render_scalar(
+        &mut out,
+        "pb_origin_pushes_sent_total",
+        "",
+        "counter",
+        stats.pushes_sent,
+    );
+    render_scalar(
+        &mut out,
+        "pb_origin_push_bytes_sent_total",
+        "",
+        "counter",
+        stats.push_bytes_sent,
     );
     if let Some(c) = extras {
         let pb = c.stats.snapshot();
@@ -808,6 +858,7 @@ fn handle_request(
     source: SourceId,
     shared: &OriginShared,
     obs: &DaemonObs,
+    push_out: &mut Vec<Response>,
 ) -> Response {
     if req.method != "GET" && req.method != "HEAD" {
         let mut resp = Response::new(405);
@@ -816,12 +867,22 @@ fn handle_request(
     }
     let path = strip_origin_form(&req.target);
     match &shared.core {
+        // The legacy origin never pushes: push is a snapshot-path-only
+        // baseline, gated below on `push_max`.
         OriginCore::Legacy(state) => {
             handle_request_legacy(req, path, source, state, &shared.clock, &shared.bodies, obs)
         }
-        OriginCore::Concurrent(c) => {
-            handle_request_concurrent(req, path, source, c, &shared.clock, &shared.bodies, obs)
-        }
+        OriginCore::Concurrent(c) => handle_request_concurrent(
+            req,
+            path,
+            source,
+            c,
+            &shared.clock,
+            &shared.bodies,
+            obs,
+            shared.push_max,
+            push_out,
+        ),
     }
 }
 
@@ -896,6 +957,7 @@ fn handle_request_legacy(
     respond(req, path, resource, meta, piggyback.as_deref(), bodies, obs)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_request_concurrent(
     req: &Request,
     path: &str,
@@ -904,6 +966,8 @@ fn handle_request_concurrent(
     clock: &Clock,
     bodies: &BodyCache,
     obs: &DaemonObs,
+    push_max: usize,
+    push_out: &mut Vec<Response>,
 ) -> Response {
     if path == "/_pb/stats" {
         let snap = c.snapshot.load();
@@ -945,7 +1009,80 @@ fn handle_request_concurrent(
                 None
             }
         };
-    respond(req, path, resource, meta, piggyback.as_deref(), bodies, obs)
+    let mut resp = respond(req, path, resource, meta, piggyback.as_deref(), bodies, obs);
+
+    // Server-push baseline (`--push N`): after a full 200 to a peer that
+    // opted in with `Piggy-push: accept`, stream up to `push_max` volume
+    // members as complete responses on the same connection. The main
+    // response announces the count so the receiver knows how many
+    // responses to read before its next request.
+    if push_max > 0
+        && resp.status == 200
+        && req.method != "HEAD"
+        && req.headers.get(PIGGY_PUSH_HEADER).is_some()
+    {
+        if let Some(pv) = piggyback.as_deref() {
+            build_pushes(pv, &snap, &c.access, bodies, push_max, push_out);
+            if !push_out.is_empty() {
+                resp.headers
+                    .insert(PUSH_COUNT_HEADER, &push_out.len().to_string());
+            }
+        }
+    }
+    resp
+}
+
+/// Materialize full pushed responses for the members of an encoded
+/// `P-volume`: each carries `X-Push-Path` naming the resource it answers,
+/// plus the same Last-Modified/Content-Type/body a demand GET would get.
+/// Members that vanished from the snapshot between encoding and push are
+/// skipped silently — the announced count is taken from the output after
+/// this returns, so the wire never promises more than it delivers.
+fn build_pushes(
+    pv: &str,
+    snap: &OriginSnapshot,
+    access: &AccessState,
+    bodies: &BodyCache,
+    push_max: usize,
+    out: &mut Vec<Response>,
+) {
+    let Ok(wire) = decode_p_volume(pv) else {
+        return;
+    };
+    // The wire sorts elements by ascending resource id (delta encoding),
+    // discarding the piggyback's priority order. Re-rank by live access
+    // recency — most recent first, ties by ascending id, the same order
+    // the piggyback was built in — so a small push budget lands on the
+    // members a client is most likely to request next.
+    let mut ranked: Vec<(ResourceId, u64, &piggyback_core::wire::WireElement)> = wire
+        .elements
+        .iter()
+        .filter_map(|e| {
+            snap.table
+                .lookup(&e.path)
+                .map(|r| (r, access.recency_raw(r), e))
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+    for (r, _, e) in ranked.into_iter().take(push_max) {
+        let Some(meta) = snap.table.meta(r) else {
+            continue;
+        };
+        let meta = *meta;
+        let mut p = Response::new(200);
+        p.headers.insert(PUSH_PATH_HEADER, &e.path);
+        p.headers.insert(
+            "Last-Modified",
+            &format_rfc1123(unix_from_timestamp(
+                meta.last_modified,
+                DEFAULT_TRACE_EPOCH_UNIX,
+            )),
+        );
+        p.headers
+            .insert("Content-Type", content_type_str(meta.content_type));
+        p.body = bodies.get(r, &e.path, meta.size);
+        out.push(p);
+    }
 }
 
 /// Build the HTTP response for a resolved resource: conditional handling,
@@ -1294,6 +1431,90 @@ mod tests {
     #[test]
     fn serves_site_resources_with_piggyback_trailer() {
         piggyback_trailer_flow(OriginConfig::default());
+    }
+
+    #[test]
+    fn push_mode_streams_volume_mates_after_main_response() {
+        let origin = start_origin(OriginConfig {
+            push_max: 4,
+            ..OriginConfig::default()
+        })
+        .unwrap();
+        let paths = origin.paths.clone();
+        let (mut r, mut w) = connect(&origin);
+
+        // Same-directory pair, as in the trailer-flow test: the second
+        // request's piggyback names the first, so the push stream must
+        // carry the first resource's full body.
+        let same_dir: Vec<&String> = {
+            use std::collections::HashMap;
+            let mut by_dir: HashMap<&str, Vec<&String>> = HashMap::new();
+            for p in &paths {
+                by_dir
+                    .entry(piggyback_core::intern::directory_prefix(p, 1))
+                    .or_default()
+                    .push(p);
+            }
+            by_dir
+                .into_values()
+                .find(|v| v.len() >= 2)
+                .expect("some directory has two resources")
+        };
+
+        let resp1 = get(
+            &mut r,
+            &mut w,
+            same_dir[0],
+            &[("TE", "chunked"), ("Piggy-filter", "maxpiggy=10")],
+        );
+        assert_eq!(resp1.status, 200);
+
+        let resp2 = get(
+            &mut r,
+            &mut w,
+            same_dir[1],
+            &[
+                ("TE", "chunked"),
+                ("Piggy-filter", "maxpiggy=10"),
+                (PIGGY_PUSH_HEADER, "accept"),
+            ],
+        );
+        assert_eq!(resp2.status, 200);
+        let n: usize = resp2
+            .headers
+            .get(PUSH_COUNT_HEADER)
+            .expect("push count announced")
+            .parse()
+            .unwrap();
+        assert!(n >= 1, "at least the volume mate pushed");
+
+        // Exactly `n` full responses follow on the same stream, each
+        // naming its resource. The volume mate's pushed body must be
+        // byte-identical to what a demand GET returned.
+        let mut pushed_mate = None;
+        for _ in 0..n {
+            let p = Response::read(&mut r, false).unwrap();
+            assert_eq!(p.status, 200);
+            let path = p
+                .headers
+                .get(PUSH_PATH_HEADER)
+                .expect("push path")
+                .to_owned();
+            if path == *same_dir[0] {
+                pushed_mate = Some(p);
+            }
+        }
+        let mate = pushed_mate.expect("volume mate was pushed");
+        assert_eq!(mate.body, resp1.body);
+
+        // The stream stays usable after the push burst.
+        let resp3 = get(&mut r, &mut w, same_dir[0], &[]);
+        assert_eq!(resp3.status, 200);
+
+        let daemon = origin.daemon_stats();
+        assert_eq!(daemon.pushes_sent, n as u64);
+        assert!(daemon.push_bytes_sent > 0);
+        origin.stop();
     }
 
     #[test]

@@ -27,6 +27,7 @@
 use crate::client::{ConnectionPool, PoolStats, PooledConn};
 use crate::obs::{render_histogram, render_scalar, ProxyObs};
 use crate::origin::strip_origin_form;
+use crate::prefetch::{self, Prefetcher, PIGGY_PUSH_HEADER, PUSH_COUNT_HEADER};
 use crate::stats::AtomicProxyStats;
 pub use crate::stats::ProxyStats;
 use crate::util::{serve_with_stats, Clock, IoMode, IoStats, ServeOptions, ServerHandle};
@@ -47,7 +48,7 @@ use piggyback_webcache::{CacheEntry, PolicyKind, ShardedBodyStore, ShardedCache}
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::Ordering::Relaxed;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Admin path the proxy answers locally (never forwarded upstream).
@@ -126,6 +127,15 @@ pub struct ProxyConfig {
     pub io: IoMode,
     /// Reactor-mode idle/read deadline for client connections.
     pub reactor_idle_timeout: std::time::Duration,
+    /// Maximum concurrent speculative fetches acting on piggybacked
+    /// `PrefetchCandidate` elements; 0 disables the prefetcher (the seed
+    /// behavior: candidates are only counted). Sharded mode only — the
+    /// prefetcher fetches through the origin pool.
+    pub prefetch_budget: usize,
+    /// Send `Piggy-push: accept` upstream and cache full volume-member
+    /// responses a `--push` origin streams after the main response (the
+    /// server-push baseline the paper's Section 5 compares against).
+    pub accept_push: bool,
 }
 
 impl ProxyConfig {
@@ -146,34 +156,42 @@ impl ProxyConfig {
             metrics: true,
             io: IoMode::default(),
             reactor_idle_timeout: std::time::Duration::from_secs(120),
+            prefetch_budget: 0,
+            accept_push: false,
         }
     }
 }
 
 /// Shared proxy state; every piece locks independently (or not at all).
-struct ProxyShared {
-    cfg: ProxyConfig,
-    clock: Clock,
+/// `pub(crate)` because the prefetch workers ([`crate::prefetch`]) operate
+/// on the same cache/table/pool/stats the request path does.
+pub(crate) struct ProxyShared {
+    pub(crate) cfg: ProxyConfig,
+    pub(crate) clock: Clock,
     /// Path ↔ id mapping. Grows monotonically (ids are never removed), so
     /// lookups take the read lock and only first-registrations write.
-    table: RwLock<ResourceTable>,
-    cache: ShardedCache,
+    pub(crate) table: RwLock<ResourceTable>,
+    pub(crate) cache: ShardedCache,
     /// Cached bodies as shared [`Body`]s, co-sharded with `cache` via the
     /// same hash so shard i of the cache and shard i of the bodies cover
     /// the same resources. A hit clones the `Body` (a refcount bump) —
     /// the stored bytes are never copied again after the retain-time copy.
-    bodies: ShardedBodyStore,
+    pub(crate) bodies: ShardedBodyStore,
     /// Per-source RPV lists keyed by client peer address.
     rpv: Option<Mutex<RpvTable<SocketAddr>>>,
     reporter: Mutex<HitReporter>,
-    stats: AtomicProxyStats,
+    pub(crate) stats: AtomicProxyStats,
     /// Latency histograms + piggyback-overhead accounting (lock-free).
     obs: ProxyObs,
     /// Keep-alive origin pool (Sharded mode; Legacy connects per fetch).
-    pool: Option<ConnectionPool>,
+    pub(crate) pool: Option<ConnectionPool>,
     /// Legacy mode's whole-state serializer, held across each cache phase
     /// the way the original `Mutex<ProxyState>` was.
     global: Option<Mutex<()>>,
+    /// The speculative fetch engine (`--prefetch-budget > 0`, Sharded
+    /// mode only). `OnceLock` because it is started after the `Arc` is
+    /// built — the workers hold a `Weak` back-reference.
+    prefetcher: OnceLock<Arc<Prefetcher>>,
     /// Accept-side counters (both I/O modes), exported at the scrape.
     io_stats: Arc<IoStats>,
     /// Per-reactor-shard gauges when running in reactor mode.
@@ -223,6 +241,11 @@ impl ProxyHandle {
     }
 
     pub fn stop(self) {
+        // Drain the speculative fetchers first so no prefetch worker is
+        // mid-exchange while the listener tears down.
+        if let Some(p) = self.shared.prefetcher.get() {
+            p.shutdown();
+        }
         self.handle.stop();
     }
 }
@@ -262,11 +285,16 @@ pub fn start_proxy(cfg: ProxyConfig) -> io::Result<ProxyHandle> {
         obs: ProxyObs::default(),
         pool,
         global,
+        prefetcher: OnceLock::new(),
         io_stats: Arc::clone(&io_stats),
         #[cfg(target_os = "linux")]
         reactor_metrics: reactor_metrics.clone(),
         cfg,
     });
+    if shared.cfg.prefetch_budget > 0 && shared.pool.is_some() {
+        let p = Prefetcher::start(shared.cfg.prefetch_budget, Arc::downgrade(&shared));
+        let _ = shared.prefetcher.set(Arc::new(p));
+    }
     #[cfg(target_os = "linux")]
     if let Some(metrics) = reactor_metrics {
         let opts = crate::reactor::ReactorOptions {
@@ -468,6 +496,12 @@ fn plan_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) ->
             .read()
             .lookup(path)
             .and_then(|r| shared.cache.lookup(r, now).map(|snap| (r, snap)));
+        // First client contact with a prefetched entry settles the
+        // speculation as used — whatever the request then resolves to —
+        // because the lookup above already flipped its `used` mark.
+        if let Some((_, snap)) = &cached {
+            prefetch::note_speculative_hit(&shared.stats, snap);
+        }
         match cached {
             Some((r, snap)) if snap.is_fresh(now) => {
                 // A fresh entry whose body was invalidated underneath us
@@ -545,6 +579,39 @@ fn complete_upstream(
     } = job;
     let path = path.as_str();
 
+    // A plain miss may be racing a speculative fetch of the same path:
+    // cancel it while still queued (the demand fetch wins outright), or
+    // join it once on the wire — park until the speculation lands and
+    // serve its entry, so the origin sees exactly one fetch either way.
+    if validate_lm.is_none() {
+        if let Some(p) = shared.prefetcher.get() {
+            if p.claim_or_join(shared, path) {
+                let now = shared.clock.now();
+                let cached = shared
+                    .table
+                    .read()
+                    .lookup(path)
+                    .and_then(|r| shared.cache.lookup(r, now).map(|snap| (r, snap)));
+                if let Some((r, snap)) = cached {
+                    // The lookup flipped `used`; settle the speculation
+                    // even if the body vanishes before we can serve it.
+                    prefetch::note_speculative_hit(&shared.stats, &snap);
+                    if let Some(body) = shared.bodies.get(r) {
+                        shared.stats.cache_hits.fetch_add(1, Relaxed);
+                        shared.stats.fresh_hits.fetch_add(1, Relaxed);
+                        if shared.cfg.report_hits {
+                            shared.reporter.lock().record_hit(path);
+                        }
+                        shared.obs.fresh_hit.record(start.elapsed());
+                        return cached_response(&body, snap.last_modified, "HIT");
+                    }
+                }
+                // The speculation resolved without a servable entry
+                // (fetch failed, or already displaced): fetch normally.
+            }
+        }
+    }
+
     // Phase 2: upstream exchange (no state locks held).
     let resp = exchange_upstream(
         shared,
@@ -554,7 +621,7 @@ fn complete_upstream(
         report.as_deref(),
         scratch,
     );
-    let resp = match resp {
+    let (resp, mut pushed) = match resp {
         Ok(r) => r,
         Err(_) => {
             shared.stats.upstream_errors.fetch_add(1, Relaxed);
@@ -564,125 +631,227 @@ fn complete_upstream(
     };
 
     // Phase 3: update cache state and answer the client.
-    let _g = shared.global.as_ref().map(|m| m.lock());
+    let mut guard = shared.global.as_ref().map(|m| m.lock());
     let now = shared.clock.now();
     let delta = shared.cfg.freshness;
-    let result = match resp.status {
+    // A refetch response whose piggyback still needs processing, and the
+    // histogram matching the request's *final* outcome (a 304 that had to
+    // be refetched records as a full fetch, not a validation).
+    let mut refetch_resp = None;
+    let (result, hist) = match resp.status {
         304 => {
-            shared.stats.not_modified.fetch_add(1, Relaxed);
             // The table never forgets ids, so the validated path resolves;
-            // the body may have been evicted concurrently (served empty,
-            // exactly as the original did).
+            // the body may have been evicted or invalidated mid-flight.
             let r = shared.table.read().lookup(path);
-            let body = r
-                .and_then(|r| {
-                    shared.cache.freshen(r, now + delta);
-                    shared.bodies.get(r)
-                })
-                .unwrap_or_default();
-            let lm = validate_lm.unwrap_or(Timestamp::ZERO);
-            cached_response(&body, lm, "VALIDATED")
-        }
-        200 => {
-            shared.stats.full_fetches.fetch_add(1, Relaxed);
-            shared
-                .stats
-                .bytes_from_origin
-                .fetch_add(resp.body.len() as u64, Relaxed);
-            let lm = resp
-                .headers
-                .get("Last-Modified")
-                .and_then(parse_rfc1123)
-                .map(|u| timestamp_from_unix(u, DEFAULT_TRACE_EPOCH_UNIX))
-                .unwrap_or(now);
-            let size = resp.body.len() as u64;
-            let r = shared.table.write().register_path(path, size, lm);
-            // Retain the fetched bytes once; every hit from here on is a
-            // refcount bump on this same allocation.
-            let body = resp.body.clone();
-            // Body first, then the entry: a concurrent lookup never sees
-            // an entry without its body (the reverse order could). The
-            // evictees share r's shard (the stores are co-sharded), so
-            // insert and cleanup stay under one body-shard lock each.
-            shared.bodies.insert(r, body.clone());
-            let evicted = shared.cache.insert(
-                r,
-                CacheEntry {
-                    size,
-                    last_modified: lm,
-                    expires: now + delta,
-                    prefetched: false,
-                    used: true,
-                },
-                now,
-            );
-            if !evicted.is_empty() {
-                shared.bodies.with_resource_shard(r, |bodies| {
-                    for v in evicted {
-                        bodies.remove(&v);
+            let body = r.and_then(|r| {
+                shared.cache.freshen(r, now + delta);
+                shared.bodies.get(r)
+            });
+            match body {
+                Some(body) => {
+                    shared.stats.not_modified.fetch_add(1, Relaxed);
+                    let lm = validate_lm.unwrap_or(Timestamp::ZERO);
+                    (
+                        cached_response(&body, lm, "VALIDATED"),
+                        &shared.obs.not_modified,
+                    )
+                }
+                None => {
+                    // The 304 validated an entry whose body is gone
+                    // (evicted between planning and now): serving the
+                    // validation would hand the client an empty 200 with
+                    // an epoch Last-Modified. Refetch in full instead —
+                    // unconditional, no If-Modified-Since — releasing the
+                    // Legacy serializer across the network round trip.
+                    drop(guard.take());
+                    let refetch = exchange_upstream(shared, path, None, &filter, None, scratch);
+                    guard = shared.global.as_ref().map(|m| m.lock());
+                    match refetch {
+                        Ok((r2, more)) if r2.status == 200 => {
+                            pushed.extend(more);
+                            let now = shared.clock.now();
+                            let out = store_full_response(shared, path, &r2, now);
+                            refetch_resp = Some(r2);
+                            (out, &shared.obs.full_fetch)
+                        }
+                        Ok((r2, more)) => {
+                            pushed.extend(more);
+                            shared.stats.upstream_passthrough.fetch_add(1, Relaxed);
+                            let mut out = Response::new(r2.status);
+                            out.body = r2.body.clone();
+                            refetch_resp = Some(r2);
+                            (out, &shared.obs.passthrough)
+                        }
+                        Err(_) => {
+                            shared.stats.upstream_errors.fetch_add(1, Relaxed);
+                            (Response::new(502), &shared.obs.error)
+                        }
                     }
-                });
+                }
             }
-            cached_response(&body, lm, "MISS")
         }
+        200 => (
+            store_full_response(shared, path, &resp, now),
+            &shared.obs.full_fetch,
+        ),
         _ => {
             // Pass through errors untouched (and uncached).
             shared.stats.upstream_passthrough.fetch_add(1, Relaxed);
             let mut out = Response::new(resp.status);
             out.body = resp.body.clone();
-            out
+            (out, &shared.obs.passthrough)
         }
     };
 
-    // Piggyback processing (trailer on 200, header on 304).
+    // Server-pushed volume members enter the cache before piggyback
+    // classification, so the piggyback below sees them as cached entries
+    // (Freshen) instead of re-queueing them as prefetch candidates.
+    for p in &pushed {
+        prefetch::accept_push(shared, p, now);
+    }
+
+    // Piggyback processing (trailer on 200, header on 304) — for the
+    // original exchange and, when the evicted-body fallback refetched,
+    // for the refetch response too.
+    process_piggyback(shared, &resp, source, now);
+    if let Some(r2) = &refetch_resp {
+        process_piggyback(shared, r2, source, now);
+    }
+    drop(guard);
+    hist.record(start.elapsed());
+    result
+}
+
+/// Store a 200 upstream response: register the path, retain the body
+/// once, insert the entry, and settle/clean up everything the insert
+/// displaced. Shared by the miss path and the 304-with-evicted-body
+/// refetch fallback.
+fn store_full_response(
+    shared: &ProxyShared,
+    path: &str,
+    resp: &Response,
+    now: Timestamp,
+) -> Response {
+    shared.stats.full_fetches.fetch_add(1, Relaxed);
+    shared
+        .stats
+        .bytes_from_origin
+        .fetch_add(resp.body.len() as u64, Relaxed);
+    let lm = resp
+        .headers
+        .get("Last-Modified")
+        .and_then(parse_rfc1123)
+        .map(|u| timestamp_from_unix(u, DEFAULT_TRACE_EPOCH_UNIX))
+        .unwrap_or(now);
+    let size = resp.body.len() as u64;
+    let r = shared.table.write().register_path(path, size, lm);
+    // Retain the fetched bytes once; every hit from here on is a
+    // refcount bump on this same allocation.
+    let body = resp.body.clone();
+    // Body first, then the entry: a concurrent lookup never sees
+    // an entry without its body (the reverse order could). The
+    // evictees share r's shard (the stores are co-sharded), so
+    // insert and cleanup stay under one body-shard lock each.
+    shared.bodies.insert(r, body.clone());
+    let out = shared.cache.insert_accounted(
+        r,
+        CacheEntry {
+            size,
+            last_modified: lm,
+            expires: now + shared.cfg.freshness,
+            prefetched: false,
+            used: true,
+        },
+        now,
+    );
+    if let Some(old) = &out.replaced {
+        // A still-unused speculative entry displaced by the demand fetch
+        // it raced: settle it as wasted.
+        prefetch::settle_displaced(&shared.stats, old);
+    }
+    if !out.evicted.is_empty() {
+        for (_, old) in &out.evicted {
+            prefetch::settle_displaced(&shared.stats, old);
+        }
+        shared.bodies.with_resource_shard(r, |bodies| {
+            for (v, _) in &out.evicted {
+                bodies.remove(v);
+            }
+        });
+    }
+    if !out.inserted {
+        // Oversized for its shard: drop the orphan body so the store
+        // cannot hold bytes the cache will never serve.
+        shared.bodies.remove(r);
+    }
+    cached_response(&body, lm, "MISS")
+}
+
+/// Apply one response's `P-volume` piggyback (trailer on 200, header on
+/// 304) to the cache, and feed the prefetcher: `PrefetchCandidate`
+/// elements are queued for speculative fetch, and invalidated entries are
+/// re-queued so coherency misses turn into refreshed cache entries.
+fn process_piggyback(shared: &ProxyShared, resp: &Response, source: SocketAddr, now: Timestamp) {
+    let delta = shared.cfg.freshness;
     let pv = resp
         .trailers
         .get(P_VOLUME_HEADER)
         .or_else(|| resp.headers.get(P_VOLUME_HEADER));
-    if let Some(pv) = pv {
-        shared.obs.piggyback_bytes.record_value(pv.len() as u64);
-        if let Ok(wire) = decode_p_volume(pv) {
-            shared.stats.piggyback_messages.fetch_add(1, Relaxed);
-            shared
-                .stats
-                .piggybacked_elements
-                .fetch_add(wire.elements.len() as u64, Relaxed);
-            if let Some(rpv) = &shared.rpv {
-                rpv.lock().record(&source, wire.volume, now);
+    let Some(pv) = pv else {
+        return;
+    };
+    shared.obs.piggyback_bytes.record_value(pv.len() as u64);
+    let Ok(wire) = decode_p_volume(pv) else {
+        return;
+    };
+    shared.stats.piggyback_messages.fetch_add(1, Relaxed);
+    shared
+        .stats
+        .piggybacked_elements
+        .fetch_add(wire.elements.len() as u64, Relaxed);
+    if let Some(rpv) = &shared.rpv {
+        rpv.lock().record(&source, wire.volume, now);
+    }
+    // Register the whole batch under one write acquisition: per-element
+    // write locks let the writer-preference queue interleave a planner
+    // between every element, convoying both sides.
+    let ids: Vec<_> = {
+        let mut table = shared.table.write();
+        wire.elements
+            .iter()
+            .map(|e| table.register_path(&e.path, e.size, e.last_modified))
+            .collect()
+    };
+    for (e, r) in wire.elements.iter().zip(ids) {
+        let cached_lm = shared.cache.peek(r).map(|c| c.last_modified);
+        match classify_element(cached_lm, e.last_modified) {
+            ElementAction::Freshen => {
+                shared.cache.freshen(r, now + delta);
+                shared.cache.note_piggyback_mention(r, now);
+                shared.stats.piggyback_freshens.fetch_add(1, Relaxed);
             }
-            for e in &wire.elements {
-                let r = shared
-                    .table
-                    .write()
-                    .register_path(&e.path, e.size, e.last_modified);
-                let cached_lm = shared.cache.peek(r).map(|c| c.last_modified);
-                match classify_element(cached_lm, e.last_modified) {
-                    ElementAction::Freshen => {
-                        shared.cache.freshen(r, now + delta);
-                        shared.cache.note_piggyback_mention(r, now);
-                        shared.stats.piggyback_freshens.fetch_add(1, Relaxed);
-                    }
-                    ElementAction::Invalidate => {
-                        // Entry first, then body: a concurrent lookup that
-                        // wins the entry also finds the body still there.
-                        shared.cache.remove(r);
-                        shared.bodies.remove(r);
-                        shared.stats.piggyback_invalidations.fetch_add(1, Relaxed);
-                    }
-                    ElementAction::PrefetchCandidate => {
-                        shared.stats.prefetch_candidates.fetch_add(1, Relaxed);
-                    }
+            ElementAction::Invalidate => {
+                // Entry first, then body: a concurrent lookup that
+                // wins the entry also finds the body still there.
+                if let Some(old) = shared.cache.take(r) {
+                    prefetch::settle_displaced(&shared.stats, &old);
+                }
+                shared.bodies.remove(r);
+                shared.stats.piggyback_invalidations.fetch_add(1, Relaxed);
+                // Coherency-driven refresh: the origin just told us the
+                // current version exists — refetch it ahead of demand.
+                if let Some(p) = shared.prefetcher.get() {
+                    p.enqueue(shared, r, &e.path);
+                }
+            }
+            ElementAction::PrefetchCandidate => {
+                shared.stats.prefetch_candidates.fetch_add(1, Relaxed);
+                if let Some(p) = shared.prefetcher.get() {
+                    p.enqueue(shared, r, &e.path);
                 }
             }
         }
     }
-    let hist = match resp.status {
-        304 => &shared.obs.not_modified,
-        200 => &shared.obs.full_fetch,
-        _ => &shared.obs.passthrough,
-    };
-    hist.record(start.elapsed());
-    result
 }
 
 /// Render the proxy's Prometheus exposition. Reads only atomics and the
@@ -737,10 +906,40 @@ fn metrics_response(shared: &ProxyShared) -> Response {
             "pb_proxy_prefetch_candidates_total",
             stats.prefetch_candidates,
         ),
+        ("pb_proxy_prefetch_issued_total", stats.prefetch_issued),
+        ("pb_proxy_prefetch_used_total", stats.prefetch_used),
+        ("pb_proxy_prefetch_wasted_total", stats.prefetch_wasted),
+        (
+            "pb_proxy_prefetch_wasted_bytes_total",
+            stats.prefetch_wasted_bytes,
+        ),
+        (
+            "pb_proxy_prefetch_fetched_bytes_total",
+            stats.prefetch_fetched_bytes,
+        ),
+        (
+            "pb_proxy_prefetch_used_bytes_total",
+            stats.prefetch_used_bytes,
+        ),
+        (
+            "pb_proxy_prefetch_cancelled_total",
+            stats.prefetch_cancelled,
+        ),
+        ("pb_proxy_prefetch_retries_total", stats.prefetch_retries),
+        ("pb_proxy_pushes_accepted_total", stats.pushes_accepted),
         ("pb_proxy_upstream_retries_total", stats.upstream_retries),
     ] {
         render_scalar(&mut out, name, "", "counter", value);
     }
+    // Issued-but-unresolved speculations: in-flight fetches plus resident
+    // never-hit prefetched entries (a gauge, not a counter).
+    render_scalar(
+        &mut out,
+        "pb_proxy_prefetch_inflight",
+        "",
+        "gauge",
+        stats.prefetch_inflight,
+    );
     for (outcome, hist) in shared.obs.outcomes() {
         render_histogram(
             &mut out,
@@ -880,10 +1079,15 @@ fn metrics_response(shared: &ProxyShared) -> Response {
 
 /// One upstream request/response exchange. Sharded mode checks a
 /// connection out of the pool and returns it only after the response —
-/// trailers included — was read to completion. A mid-exchange failure
-/// (stale keep-alive race, or an origin that died under the first
-/// request) retries once on a fresh connection; Legacy mode opens a
-/// fresh connection per fetch but keeps the same retry-once contract.
+/// trailers and any server-pushed responses included — was read to
+/// completion. A mid-exchange failure (stale keep-alive race, or an
+/// origin that died under the first request) retries once on a fresh
+/// connection; Legacy mode opens a fresh connection per fetch but keeps
+/// the same retry-once contract.
+///
+/// With `accept_push` the request carries `Piggy-push: accept`, and the
+/// returned `Vec` holds the full pushed responses the origin streamed
+/// after the main one (announced by its `X-Push-Count` header).
 fn exchange_upstream(
     shared: &ProxyShared,
     path: &str,
@@ -891,7 +1095,7 @@ fn exchange_upstream(
     filter: &ProxyFilter,
     report: Option<&str>,
     scratch: &mut ConnScratch,
-) -> Result<Response, piggyback_httpwire::HttpError> {
+) -> Result<(Response, Vec<Response>), piggyback_httpwire::HttpError> {
     for attempt in 0..2 {
         if attempt == 1 {
             shared.stats.upstream_retries.fetch_add(1, Relaxed);
@@ -906,6 +1110,9 @@ fn exchange_upstream(
         req.headers.insert("TE", "chunked");
         req.headers
             .insert(PIGGY_FILTER_HEADER, &filter.to_header_value());
+        if shared.cfg.accept_push {
+            req.headers.insert(PIGGY_PUSH_HEADER, "accept");
+        }
         if let Some(r) = report {
             req.headers.insert(PIGGY_REPORT_HEADER, r);
         }
@@ -920,10 +1127,33 @@ fn exchange_upstream(
             .and_then(|()| Response::read(&mut conn.reader, false));
         match io_result {
             Ok(resp) => {
+                // Drain any pushed responses before the connection is
+                // reusable: they follow the main response on the same
+                // stream.
+                let announced = if shared.cfg.accept_push {
+                    resp.headers
+                        .get(PUSH_COUNT_HEADER)
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .unwrap_or(0)
+                } else {
+                    0
+                };
+                let mut pushed = Vec::with_capacity(announced);
+                for _ in 0..announced {
+                    match Response::read(&mut conn.reader, false) {
+                        Ok(p) => pushed.push(p),
+                        Err(_) => {
+                            // Mid-push failure: keep what landed and drop
+                            // the connection (read position unknown) —
+                            // the main exchange already succeeded.
+                            return Ok((resp, pushed));
+                        }
+                    }
+                }
                 if let Some(pool) = &shared.pool {
                     pool.checkin(conn);
                 }
-                return Ok(resp);
+                return Ok((resp, pushed));
             }
             Err(_) if attempt == 0 => {
                 // Stale pooled connection or a flaky first exchange:
@@ -981,7 +1211,25 @@ pub fn piggyback_request_headers(filter: &ProxyFilter) -> HeaderMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::origin::{start_origin, OriginConfig};
+    use crate::origin::{start_origin, OriginConfig, OriginHandle};
+
+    /// Drive the whole site once directly (no proxy), so the origin's
+    /// access state covers every resource. Piggybacks only name volume
+    /// mates with recorded accesses, so a cold proxy talking to a cold
+    /// origin never sees a prefetch candidate — the paper's scenario is
+    /// a fresh proxy joining an origin other clients already warmed.
+    fn warm_origin(origin: &OriginHandle) {
+        let stream = TcpStream::connect(origin.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        for p in &origin.paths {
+            let mut req = Request::new("GET", p);
+            req.headers.insert("Host", "origin.test");
+            req.write(&mut writer).unwrap();
+            let resp = Response::read(&mut reader, false).unwrap();
+            assert_eq!(resp.status, 200);
+        }
+    }
 
     fn get(addr: SocketAddr, path: &str) -> Response {
         let stream = TcpStream::connect(addr).unwrap();
@@ -1281,6 +1529,130 @@ mod tests {
         assert_eq!(m.status, 404, "disabled scrape is a local 404");
         let stats = proxy.stats();
         assert_eq!(stats.requests, 0, "never proxied, never counted");
+        proxy.stop();
+        origin.stop();
+    }
+
+    #[test]
+    fn validated_hit_with_evicted_body_refetches_instead_of_empty_200() {
+        // Regression: when a 304 lands but the cached body was evicted
+        // between planning (which saw the entry) and completion, the old
+        // code served an empty 200 with an epoch-zero Last-Modified.
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        let mut cfg = ProxyConfig::new(origin.addr());
+        cfg.freshness = DurationMs::from_millis(1);
+        let proxy = start_proxy(cfg).unwrap();
+        let path = origin.paths[0].clone();
+
+        let r1 = get(proxy.addr(), &path);
+        assert_eq!(r1.headers.get("X-Cache"), Some("MISS"));
+        assert!(!r1.body.is_empty());
+
+        // Force the race deterministically: the table entry stays (so the
+        // next request validates) but the body is gone by the time the
+        // 304 arrives.
+        let r = proxy.shared.table.read().lookup(&path).unwrap();
+        proxy.shared.bodies.remove(r);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+
+        let r2 = get(proxy.addr(), &path);
+        assert_eq!(r2.status, 200);
+        assert_eq!(
+            r2.headers.get("X-Cache"),
+            Some("MISS"),
+            "a body-less validation must refetch, not fabricate a hit"
+        );
+        assert_eq!(r2.body, r1.body, "refetched body, not an empty 200");
+
+        let stats = proxy.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.validations, 1);
+        assert_eq!(
+            stats.not_modified, 0,
+            "a 304 we could not serve is not a validated hit"
+        );
+        assert_eq!(stats.full_fetches, 2);
+        assert_eq!(stats.outcomes(), stats.requests, "conservation");
+        proxy.stop();
+        origin.stop();
+    }
+
+    #[test]
+    fn prefetcher_fetches_piggyback_candidates_and_serves_them() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        warm_origin(&origin);
+        let mut cfg = ProxyConfig::new(origin.addr());
+        cfg.prefetch_budget = 2;
+        let proxy = start_proxy(cfg).unwrap();
+
+        // First walk: responses carry piggybacked volume mates; uncached
+        // candidates become speculative fetches in the background.
+        for p in &origin.paths {
+            assert_eq!(get(proxy.addr(), p).status, 200);
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while proxy.stats().prefetch_issued == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(
+            proxy.stats().prefetch_issued > 0,
+            "walking the whole site must surface prefetch candidates: {:?}",
+            proxy.stats()
+        );
+
+        // Second walk: every path is demanded, so each speculative entry
+        // resolves — used on a hit, joined if still in flight, cancelled
+        // if still queued (never issued).
+        for p in &origin.paths {
+            assert_eq!(get(proxy.addr(), p).status, 200);
+        }
+        let s = proxy.stats();
+        assert!(
+            s.prefetch_used >= 1,
+            "a prefetched entry served a hit: {s:?}"
+        );
+        assert_eq!(
+            s.prefetch_issued,
+            s.prefetch_used + s.prefetch_wasted + s.prefetch_inflight,
+            "ledger conservation at quiescence: {s:?}"
+        );
+        assert_eq!(s.outcomes(), s.requests, "request conservation: {s:?}");
+        proxy.stop();
+        origin.stop();
+    }
+
+    #[test]
+    fn pushed_volume_members_land_in_the_cache() {
+        let origin = start_origin(OriginConfig {
+            push_max: 4,
+            ..OriginConfig::default()
+        })
+        .unwrap();
+        warm_origin(&origin);
+        let mut cfg = ProxyConfig::new(origin.addr());
+        cfg.accept_push = true;
+        let proxy = start_proxy(cfg).unwrap();
+
+        for p in &origin.paths {
+            assert_eq!(get(proxy.addr(), p).status, 200);
+        }
+        let s = proxy.stats();
+        assert!(s.pushes_accepted > 0, "origin pushed, proxy cached: {s:?}");
+        assert!(
+            s.prefetch_used >= 1,
+            "a pushed member was demanded later in the walk: {s:?}"
+        );
+        assert_eq!(
+            s.prefetch_issued,
+            s.prefetch_used + s.prefetch_wasted + s.prefetch_inflight,
+            "push ledger conservation: {s:?}"
+        );
+        assert!(
+            s.fresh_hits > 0,
+            "pushed members must serve as cache hits: {s:?}"
+        );
+        assert_eq!(s.outcomes(), s.requests, "request conservation: {s:?}");
+        assert!(origin.daemon_stats().pushes_sent >= s.pushes_accepted);
         proxy.stop();
         origin.stop();
     }

@@ -485,9 +485,9 @@ fn start_pool(
                     // inject a failed completion (which closes the
                     // connection), discarding the possibly-inconsistent
                     // scratch.
-                    let ok = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                        || (job.f)(&mut scratch, &mut out).is_ok(),
-                    )) {
+                    let ok = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        (job.f)(&mut scratch, &mut out).is_ok()
+                    })) {
                         Ok(ok) => ok,
                         Err(_) => {
                             scratch = ConnScratch::new();
@@ -1687,7 +1687,8 @@ mod tests {
             other => panic!("expected close after offload panic, got {other:?}"),
         }
         let mut good = TcpStream::connect(handle.addr).unwrap();
-        good.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        good.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
         good.write_all(b"GET /ok HTTP/1.1\r\n\r\n").unwrap();
         assert!(read_response(&mut good, "/ok").ends_with("/ok"));
         handle.stop();

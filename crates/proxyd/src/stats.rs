@@ -79,6 +79,39 @@ counter_set! {
         piggyback_freshens,
         piggyback_invalidations,
         prefetch_candidates,
+        /// Speculative fetches actually started (candidates that survived
+        /// the dedup/cache/queue gates), plus accepted server pushes.
+        /// Conservation (exact at quiescence):
+        /// `prefetch_issued == prefetch_used + prefetch_wasted +
+        /// prefetch_inflight`.
+        prefetch_issued,
+        /// Issued speculations whose entry a client later hit.
+        prefetch_used,
+        /// Issued speculations that terminated unused: fetch failures,
+        /// non-200s, entries displaced by a demand fetch, evicted, or
+        /// invalidated before any client asked.
+        prefetch_wasted,
+        /// Body bytes of `prefetch_wasted` resolutions (the paper's
+        /// wasted-bandwidth concern; 0-byte wastes are failures).
+        prefetch_wasted_bytes,
+        /// Body bytes fetched speculatively (all issued 200s + pushes).
+        prefetch_fetched_bytes,
+        /// Body bytes of prefetched entries that a client used.
+        prefetch_used_bytes,
+        /// Queued speculations cancelled because a client demand-fetched
+        /// the resource first (never issued, so outside the ledger).
+        prefetch_cancelled,
+        /// Speculative exchanges retried on a fresh connection (mirrors
+        /// `upstream_retries` for the demand path).
+        prefetch_retries,
+        /// Issued speculations not yet resolved to used/wasted: in-flight
+        /// fetches plus resident never-hit prefetched entries. A gauge in
+        /// counter clothing: incremented at issue, decremented at
+        /// resolution.
+        prefetch_inflight,
+        /// Server-push bodies accepted into the cache (`--accept-push`);
+        /// each also counts in `prefetch_issued`/`..._inflight`.
+        pushes_accepted,
         upstream_errors,
         /// Upstream statuses other than 200/304 relayed to the client
         /// uncached (404s, origin control endpoints, ...).
@@ -118,6 +151,11 @@ counter_set! {
         responses_error,
         /// Response body bytes written.
         bytes_sent,
+        /// Full volume-member responses pushed after a main response
+        /// (`--push N` origins answering a `Piggy-push: accept` proxy).
+        pushes_sent,
+        /// Body bytes of `pushes_sent` (also included in `bytes_sent`).
+        push_bytes_sent,
     }
 }
 

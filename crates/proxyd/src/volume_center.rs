@@ -10,6 +10,7 @@
 
 use crate::netem::{Conditioner, ShimStats};
 use crate::origin::strip_origin_form;
+use crate::prefetch::{PIGGY_PUSH_HEADER, PUSH_COUNT_HEADER};
 use crate::stats::{AtomicDaemonStats, DaemonStats};
 use crate::util::{serve, Clock, ServerHandle};
 use parking_lot::Mutex;
@@ -38,6 +39,14 @@ pub struct VolumeCenterConfig {
     /// conditioning and error injection per [`crate::netem`]. `None`
     /// relays at loopback speed.
     pub shim: Option<crate::netem::ShimConfig>,
+    /// Pure conditioner mode: forward `Piggy-filter`/`Piggy-push`
+    /// verbatim, relay the origin's own piggybacks and pushed responses
+    /// downstream (paying the shim's per-response delay on each), and do
+    /// no volume learning of its own. `false` is the paper's oblivious-
+    /// origin deployment: consume the filter, learn from traffic, strip
+    /// `Piggy-push` (a volume-oblivious origin cannot push), and append
+    /// locally-generated piggybacks.
+    pub transparent: bool,
 }
 
 struct CenterState {
@@ -96,8 +105,16 @@ pub fn start_volume_center(cfg: VolumeCenterConfig) -> io::Result<VolumeCenterHa
     let daemon2 = Arc::clone(&daemon);
     let shim2 = shim.clone();
     let origin = cfg.origin;
+    let transparent = cfg.transparent;
     let handle = serve(cfg.port, "volume-center", move |stream| {
-        let _ = handle_connection(stream, origin, &state2, &daemon2, shim2.as_deref());
+        let _ = handle_connection(
+            stream,
+            origin,
+            &state2,
+            &daemon2,
+            shim2.as_deref(),
+            transparent,
+        );
     })?;
     Ok(VolumeCenterHandle {
         handle,
@@ -137,6 +154,7 @@ fn handle_connection(
     state: &Arc<Mutex<CenterState>>,
     daemon: &AtomicDaemonStats,
     shim: Option<&Conditioner>,
+    transparent: bool,
 ) -> io::Result<()> {
     use std::sync::atomic::Ordering::Relaxed;
     daemon.connections.fetch_add(1, Relaxed);
@@ -178,7 +196,13 @@ fn handle_connection(
         }
 
         let mut fwd = req.clone();
-        fwd.headers.remove(PIGGY_FILTER_HEADER);
+        if !transparent {
+            // The oblivious origin understands neither header; a leaked
+            // `Piggy-push` could even solicit pushes the relay would then
+            // misparse as pipelined responses.
+            fwd.headers.remove(PIGGY_FILTER_HEADER);
+            fwd.headers.remove(PIGGY_PUSH_HEADER);
+        }
         fwd.write(&mut up_w)?;
         let mut resp = match Response::read(&mut up_r, head) {
             Ok(r) => r,
@@ -189,8 +213,38 @@ fn handle_connection(
             }
         };
 
-        // Learn from the observed exchange and generate the piggyback.
-        if resp.status == 200 || resp.status == 304 {
+        // Transparent mode: drain any announced push burst from upstream
+        // before touching the downstream, so a mid-burst upstream failure
+        // can be patched over by rewriting the announced count to what
+        // actually arrived — the downstream never blocks on promised
+        // responses that will not come.
+        let mut pushed: Vec<Response> = Vec::new();
+        if transparent {
+            let announced = resp
+                .headers
+                .get(PUSH_COUNT_HEADER)
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(0);
+            for _ in 0..announced {
+                match Response::read(&mut up_r, false) {
+                    Ok(p) => pushed.push(p),
+                    Err(_) => break,
+                }
+            }
+            if pushed.len() != announced {
+                if pushed.is_empty() {
+                    resp.headers.remove(PUSH_COUNT_HEADER);
+                } else {
+                    resp.headers
+                        .insert(PUSH_COUNT_HEADER, &pushed.len().to_string());
+                }
+            }
+        }
+
+        // Learn from the observed exchange and generate the piggyback
+        // (oblivious-origin mode only: a transparent relay neither learns
+        // nor rewrites — the origin's own piggybacks pass through).
+        if !transparent && (resp.status == 200 || resp.status == 304) {
             let mut st = state.lock();
             let now = st.clock.now();
             let lm = resp
@@ -230,6 +284,17 @@ fn handle_connection(
 
         daemon.count_response(resp.status, resp.body.len());
         resp.write(&mut down_w)?;
+        for p in &pushed {
+            if let (Some(cond), Some(plan)) = (shim, &plan) {
+                cond.apply(cond.down_delay(plan, response_wire_len(p)));
+            }
+            daemon.pushes_sent.fetch_add(1, Relaxed);
+            daemon
+                .push_bytes_sent
+                .fetch_add(p.body.len() as u64, Relaxed);
+            daemon.bytes_sent.fetch_add(p.body.len() as u64, Relaxed);
+            p.write(&mut down_w)?;
+        }
         if !keep {
             return Ok(());
         }
@@ -290,6 +355,7 @@ mod tests {
             origin: origin.addr,
             volume_level: 1,
             shim: None,
+            transparent: false,
         })
         .unwrap();
 
@@ -331,6 +397,7 @@ mod tests {
             origin: origin.addr,
             volume_level: 1,
             shim: None,
+            transparent: false,
         })
         .unwrap();
         let stream = TcpStream::connect(center.addr()).unwrap();
@@ -349,6 +416,77 @@ mod tests {
     }
 
     #[test]
+    fn transparent_center_relays_piggybacks_and_pushes() {
+        use crate::origin::{start_origin, OriginConfig};
+        let origin = start_origin(OriginConfig {
+            push_max: 4,
+            ..OriginConfig::default()
+        })
+        .unwrap();
+        // Warm the origin's access state so piggybacks (and pushes) name
+        // volume mates a cold downstream has not requested yet.
+        {
+            let stream = TcpStream::connect(origin.addr()).unwrap();
+            let mut r = BufReader::new(stream.try_clone().unwrap());
+            let mut w = BufWriter::new(stream);
+            for p in &origin.paths {
+                let mut req = Request::new("GET", p);
+                req.headers.insert("Host", "t");
+                req.write(&mut w).unwrap();
+                assert_eq!(Response::read(&mut r, false).unwrap().status, 200);
+            }
+        }
+        let center = start_volume_center(VolumeCenterConfig {
+            port: 0,
+            origin: origin.addr(),
+            volume_level: 1,
+            shim: None,
+            transparent: true,
+        })
+        .unwrap();
+
+        let stream = TcpStream::connect(center.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let mut saw_piggyback = false;
+        let mut pushes = 0usize;
+        for p in origin.paths.iter().take(8) {
+            let mut req = Request::new("GET", p);
+            req.headers.insert("Host", "t");
+            req.headers.insert("TE", "chunked");
+            req.headers.insert(PIGGY_FILTER_HEADER, "maxpiggy=10");
+            req.headers.insert(PIGGY_PUSH_HEADER, "accept");
+            req.write(&mut writer).unwrap();
+            let resp = Response::read(&mut reader, false).unwrap();
+            assert_eq!(resp.status, 200);
+            saw_piggyback |= resp.trailers.get(P_VOLUME_HEADER).is_some()
+                || resp.headers.get(P_VOLUME_HEADER).is_some();
+            let n: usize = resp
+                .headers
+                .get(PUSH_COUNT_HEADER)
+                .map_or(0, |v| v.parse().unwrap());
+            for _ in 0..n {
+                let pushed = Response::read(&mut reader, false).unwrap();
+                assert_eq!(pushed.status, 200);
+                assert!(pushed.headers.get("X-Push-Path").is_some());
+                pushes += 1;
+            }
+        }
+        assert!(saw_piggyback, "origin piggybacks must pass through");
+        assert!(pushes > 0, "announced pushes must be relayed");
+        assert_eq!(
+            center.learned_resources(),
+            0,
+            "a transparent relay learns nothing"
+        );
+        let d = center.daemon_stats();
+        assert_eq!(d.pushes_sent, pushes as u64);
+        assert!(d.push_bytes_sent > 0);
+        center.stop();
+        origin.stop();
+    }
+
+    #[test]
     fn center_502s_when_origin_dies() {
         let origin = start_dumb_origin();
         let addr = origin.addr;
@@ -360,6 +498,7 @@ mod tests {
             origin: addr,
             volume_level: 1,
             shim: None,
+            transparent: false,
         })
         .unwrap();
         match get_with_filter(center.addr(), "/x") {

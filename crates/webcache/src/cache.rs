@@ -3,7 +3,7 @@
 
 use crate::policy::ReplacementPolicy;
 use piggyback_core::types::{ResourceId, Timestamp};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Metadata for one cached resource.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +27,20 @@ impl CacheEntry {
     }
 }
 
+/// What [`Cache::insert_accounted`] displaced: the full entries, not just
+/// ids, so callers keeping an external ledger (e.g. the proxy's
+/// prefetch used/wasted split) can settle displaced speculations.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// The previous entry for the inserted resource, if it was replaced.
+    pub replaced: Option<CacheEntry>,
+    /// Entries evicted to make room, with their ids (same shard).
+    pub evicted: Vec<(ResourceId, CacheEntry)>,
+    /// Whether the new entry is actually resident; `false` only for
+    /// objects too large to cache (callers must drop the orphan body).
+    pub inserted: bool,
+}
+
 /// A byte-capacity cache with policy-driven eviction.
 pub struct Cache {
     entries: HashMap<ResourceId, CacheEntry>,
@@ -34,6 +48,12 @@ pub struct Cache {
     capacity: u64,
     policy: Box<dyn ReplacementPolicy + Send>,
     evictions: u64,
+    /// Resources whose entry is `prefetched && !used`: speculative bytes
+    /// no client has asked for yet. Evicted before anything the policy
+    /// nominates — the paper's wasted-bytes concern says unproven
+    /// speculation must never displace demand-fetched content. BTreeSet
+    /// so victim choice is deterministic (smallest id first).
+    speculative: BTreeSet<ResourceId>,
 }
 
 impl Cache {
@@ -44,6 +64,7 @@ impl Cache {
             capacity,
             policy,
             evictions: 0,
+            speculative: BTreeSet::new(),
         }
     }
 
@@ -80,6 +101,7 @@ impl Cache {
         let entry = self.entries.get_mut(&r)?;
         let snapshot = *entry;
         entry.used = true;
+        self.speculative.remove(&r);
         self.policy.on_access(r, snapshot.size, now);
         Some(snapshot)
     }
@@ -88,20 +110,46 @@ impl Cache {
     /// evicted resources. Objects larger than the whole cache are not
     /// cached (returned untouched, no eviction storm).
     pub fn insert(&mut self, r: ResourceId, entry: CacheEntry, now: Timestamp) -> Vec<ResourceId> {
+        self.insert_accounted(r, entry, now)
+            .evicted
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// [`Cache::insert`] that also reports *what* it displaced — the
+    /// replaced previous entry and each evicted entry — so callers can
+    /// settle external per-entry accounting (the prefetch ledger).
+    pub fn insert_accounted(
+        &mut self,
+        r: ResourceId,
+        entry: CacheEntry,
+        now: Timestamp,
+    ) -> InsertOutcome {
         if entry.size > self.capacity {
             // Uncachable: also drop any stale previous copy.
-            self.remove(r);
-            return Vec::new();
+            let replaced = self.take(r);
+            return InsertOutcome {
+                replaced,
+                evicted: Vec::new(),
+                inserted: false,
+            };
         }
-        if let Some(old) = self.entries.remove(&r) {
+        let replaced = self.entries.remove(&r);
+        if let Some(old) = &replaced {
             self.used_bytes -= old.size;
             self.policy.remove(r);
+            self.speculative.remove(&r);
         }
         let mut evicted = Vec::new();
         while self.used_bytes + entry.size > self.capacity {
+            // Unused prefetched entries go first — speculation that never
+            // paid off must not displace demand-fetched content.
             let victim = self
-                .policy
-                .evict_candidate()
+                .speculative
+                .first()
+                .copied()
+                .or_else(|| self.policy.evict_candidate())
                 .expect("policy must track every cached entry");
             debug_assert_ne!(victim, r);
             let old = self
@@ -110,25 +158,36 @@ impl Cache {
                 .expect("policy nominated an uncached victim");
             self.used_bytes -= old.size;
             self.policy.remove(victim);
+            self.speculative.remove(&victim);
             self.evictions += 1;
-            evicted.push(victim);
+            evicted.push((victim, old));
         }
         self.used_bytes += entry.size;
         self.entries.insert(r, entry);
+        if entry.prefetched && !entry.used {
+            self.speculative.insert(r);
+        }
         self.policy.on_insert(r, entry.size, now);
-        evicted
+        InsertOutcome {
+            replaced,
+            evicted,
+            inserted: true,
+        }
     }
 
     /// Remove an entry (invalidation). Returns whether it was present.
     pub fn remove(&mut self, r: ResourceId) -> bool {
-        match self.entries.remove(&r) {
-            Some(e) => {
-                self.used_bytes -= e.size;
-                self.policy.remove(r);
-                true
-            }
-            None => false,
-        }
+        self.take(r).is_some()
+    }
+
+    /// Remove an entry and return it, so the caller can inspect what was
+    /// dropped (e.g. settle a still-unused prefetched entry as wasted).
+    pub fn take(&mut self, r: ResourceId) -> Option<CacheEntry> {
+        let e = self.entries.remove(&r)?;
+        self.used_bytes -= e.size;
+        self.policy.remove(r);
+        self.speculative.remove(&r);
+        Some(e)
     }
 
     /// Extend an entry's expiration (piggyback freshen or 304 validation).
@@ -161,6 +220,20 @@ impl Cache {
         assert_eq!(total, self.used_bytes, "byte accounting drifted");
         assert!(self.used_bytes <= self.capacity, "over capacity");
         assert_eq!(self.policy.len(), self.entries.len(), "policy desync");
+        for r in &self.speculative {
+            let e = self.entries.get(r).expect("speculative ghost");
+            assert!(e.prefetched && !e.used, "speculative set desync");
+        }
+        let unused_prefetched = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.prefetched && !e.used)
+            .count();
+        assert_eq!(
+            unused_prefetched,
+            self.speculative.len(),
+            "speculative miss"
+        );
     }
 }
 
@@ -281,6 +354,76 @@ mod tests {
         assert_eq!(evicted.len(), 5, "needs almost the whole cache");
         c.check_invariants();
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn unused_prefetched_entries_evict_first() {
+        let mut c = lru_cache(1000);
+        c.insert(r(1), entry(400, 100), ts(1));
+        let spec = CacheEntry {
+            prefetched: true,
+            ..entry(400, 100)
+        };
+        c.insert(r(2), spec, ts(2));
+        // LRU order says r1 is the victim, but r2 is unproven speculation.
+        let out = c.insert_accounted(r(3), entry(400, 100), ts(3));
+        assert_eq!(out.evicted.len(), 1);
+        assert_eq!(out.evicted[0].0, r(2));
+        assert!(out.evicted[0].1.prefetched);
+        assert!(c.peek(r(1)).is_some(), "demand entry survives");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn used_prefetched_entries_lose_eviction_bias() {
+        let mut c = lru_cache(1000);
+        let spec = CacheEntry {
+            prefetched: true,
+            ..entry(400, 100)
+        };
+        c.insert(r(1), spec, ts(1));
+        c.insert(r(2), entry(400, 100), ts(2));
+        // A client hit proves the speculation; r1 is now plain LRU.
+        c.lookup(r(1), ts(3));
+        let out = c.insert_accounted(r(4), entry(400, 100), ts(4));
+        assert_eq!(out.evicted[0].0, r(2), "normal LRU order once used");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn insert_accounted_reports_replaced_entry() {
+        let mut c = lru_cache(1000);
+        let spec = CacheEntry {
+            prefetched: true,
+            ..entry(300, 100)
+        };
+        c.insert(r(1), spec, ts(0));
+        let out = c.insert_accounted(r(1), entry(500, 200), ts(1));
+        let old = out.replaced.expect("old entry reported");
+        assert!(old.prefetched && !old.used);
+        assert_eq!(old.size, 300);
+        assert!(out.evicted.is_empty());
+        assert!(out.inserted);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn take_returns_entry_and_uncachable_insert_reports_displaced() {
+        let mut c = lru_cache(100);
+        let spec = CacheEntry {
+            prefetched: true,
+            ..entry(50, 100)
+        };
+        c.insert(r(1), spec, ts(0));
+        // Oversized replacement still surfaces the dropped previous copy.
+        let out = c.insert_accounted(r(1), entry(500, 100), ts(1));
+        assert_eq!(out.replaced.map(|e| e.size), Some(50));
+        assert!(!out.inserted, "oversized object reported non-resident");
+        assert!(c.peek(r(1)).is_none());
+        c.insert(r(2), spec, ts(2));
+        assert_eq!(c.take(r(2)).map(|e| e.size), Some(50));
+        assert_eq!(c.take(r(2)), None);
+        c.check_invariants();
     }
 
     #[test]

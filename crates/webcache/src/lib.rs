@@ -51,7 +51,7 @@ pub mod sim;
 
 pub use adaptive::{ChangeEstimator, FreshnessPolicy};
 pub use bodies::ShardedBodyStore;
-pub use cache::{Cache, CacheEntry};
+pub use cache::{Cache, CacheEntry, InsertOutcome};
 pub use hierarchy::{simulate_hierarchy, HierarchyConfig, HierarchyReport};
 pub use informed::{simulate_fetch_queue, FetchJob, QueueReport, SchedulingOrder};
 pub use policy::{GdSize, Lru, PiggybackAware, PolicyKind, ReplacementPolicy};

@@ -18,7 +18,7 @@
 //!   approximate across shards while writers run — fine for statistics,
 //!   which is all they are used for.
 
-use crate::cache::{Cache, CacheEntry};
+use crate::cache::{Cache, CacheEntry, InsertOutcome};
 use crate::policy::PolicyKind;
 use parking_lot::Mutex;
 use piggyback_core::types::{ResourceId, Timestamp};
@@ -147,9 +147,25 @@ impl ShardedCache {
         self.with_resource_shard(r, |c| c.insert(r, entry, now))
     }
 
+    /// [`ShardedCache::insert`] that reports the displaced entries (same
+    /// shard), matching [`Cache::insert_accounted`].
+    pub fn insert_accounted(
+        &self,
+        r: ResourceId,
+        entry: CacheEntry,
+        now: Timestamp,
+    ) -> InsertOutcome {
+        self.with_resource_shard(r, |c| c.insert_accounted(r, entry, now))
+    }
+
     /// Remove an entry (invalidation). Returns whether it was present.
     pub fn remove(&self, r: ResourceId) -> bool {
         self.with_resource_shard(r, |c| c.remove(r))
+    }
+
+    /// Remove an entry and return it, matching [`Cache::take`].
+    pub fn take(&self, r: ResourceId) -> Option<CacheEntry> {
+        self.with_resource_shard(r, |c| c.take(r))
     }
 
     /// Extend an entry's expiration (piggyback freshen or 304 validation).
@@ -262,6 +278,38 @@ mod tests {
         assert!(c.remove(r));
         assert!(!c.remove(r));
         assert!(c.is_empty());
+    }
+
+    /// The eviction bias survives sharding: within a shard, an unused
+    /// prefetched entry is evicted before demand-fetched LRU victims, and
+    /// a used one is not. Single shard pins all ids to one eviction arena.
+    #[test]
+    fn sharded_eviction_prefers_unused_prefetched() {
+        let c = ShardedCache::new(1200, 1, PolicyKind::Lru);
+        c.insert(ResourceId(1), entry(400, 100), ts(1));
+        let spec = CacheEntry {
+            prefetched: true,
+            ..entry(400, 100)
+        };
+        c.insert(ResourceId(2), spec, ts(2));
+        c.insert(ResourceId(3), entry(400, 100), ts(3));
+        // r1 is the LRU victim, but r2 is speculative and unproven.
+        let out = c.insert_accounted(ResourceId(4), entry(400, 100), ts(4));
+        assert_eq!(out.evicted.len(), 1);
+        assert_eq!(out.evicted[0].0, ResourceId(2));
+        assert!(out.evicted[0].1.prefetched && !out.evicted[0].1.used);
+        assert!(c.peek(ResourceId(1)).is_some());
+
+        // A client hit removes the bias: next eviction is plain LRU (r1).
+        assert!(c.take(ResourceId(4)).is_some());
+        c.insert(ResourceId(2), spec, ts(5));
+        assert!(c.lookup(ResourceId(2), ts(6)).is_some());
+        let out = c.insert_accounted(ResourceId(5), entry(400, 100), ts(7));
+        assert_eq!(
+            out.evicted.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+            vec![ResourceId(1)]
+        );
+        c.with_shard(0, |shard| shard.check_invariants());
     }
 
     /// Deterministic seeded-interleaving check: replay the same randomized

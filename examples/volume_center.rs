@@ -47,6 +47,7 @@ fn main() {
         origin: origin.addr,
         volume_level: 1,
         shim: None,
+        transparent: false,
     })
     .expect("center");
     println!("volume center: {} -> {}", center.addr(), origin.addr);

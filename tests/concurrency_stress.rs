@@ -20,13 +20,19 @@
 //! throughputs. Sharded must win strictly.
 
 use piggyback::core::datetime::{format_rfc1123, DEFAULT_TRACE_EPOCH_UNIX};
+use piggyback::core::filter::{ProxyFilter, PIGGY_FILTER_HEADER};
 use piggyback::core::intern::directory_prefix;
 use piggyback::core::types::{DurationMs, SourceId, Timestamp};
 use piggyback::core::volume::{write_volumes, ProbabilityVolumesBuilder, SamplingMode};
 use piggyback::proxyd::client::HttpClient;
+use piggyback::proxyd::netem::{NetProfile, ShimConfig};
 use piggyback::proxyd::origin::{start_origin, OriginConfig, OriginHandle, VolumeScheme};
 use piggyback::proxyd::proxy::{start_proxy, ConcurrencyMode, ProxyConfig, ProxyHandle};
-use piggyback::proxyd::{DaemonStats, ProxyStats};
+use piggyback::proxyd::record_tap::{start_recorder, RecorderConfig};
+use piggyback::proxyd::replay_origin::{start_replay_origin, ReplayConfig, ReplayTiming};
+use piggyback::proxyd::volume_center::{start_volume_center, VolumeCenterConfig};
+use piggyback::proxyd::{DaemonStats, IoMode, ProxyStats};
+use piggyback::trace::synth::samplers::LogNormal;
 use piggyback::trace::synth::site::{Site, SiteConfig};
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -792,4 +798,311 @@ fn ab_concurrent_origin_beats_legacy_throughput() {
         }
     }
     panic!("the lock-free origin must out-serve the legacy mutex: {summary}");
+}
+
+// ---------------------------------------------------------------------------
+// Prefetch lane: demand fetches racing the speculative crew. The
+// exactly-one-origin-fetch guarantee of `Prefetcher::claim_or_join` (a
+// queued speculation is cancelled, an on-the-wire one is joined) is proved
+// by cross-daemon accounting: the origin's independent request counter
+// must equal the proxy's demand exchanges plus its speculative ones, with
+// no duplicates. The speculation ledger itself must conserve exactly:
+// `prefetch_issued == prefetch_used + prefetch_wasted + prefetch_inflight`.
+// ---------------------------------------------------------------------------
+
+/// Wait until the prefetch crew drains (its counters stop moving), then
+/// return the quiescent stats snapshot. Demand traffic has already
+/// stopped; only speculative fetches can still be in flight.
+fn quiesce_prefetcher(proxy: &ProxyHandle) -> ProxyStats {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut prev = proxy.stats();
+    loop {
+        std::thread::sleep(Duration::from_millis(150));
+        let cur = proxy.stats();
+        let key = |s: &ProxyStats| {
+            (
+                s.prefetch_issued,
+                s.prefetch_used,
+                s.prefetch_wasted,
+                s.prefetch_cancelled,
+            )
+        };
+        if key(&cur) == key(&prev) {
+            return cur;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "prefetch crew did not quiesce: {cur:?}"
+        );
+        prev = cur;
+    }
+}
+
+/// [`assert_origin_accounting`] extended for an active prefetcher: every
+/// speculative fetch (and its retry) is one more exchange the origin saw,
+/// and a demand that cancelled or joined a speculation adds nothing.
+fn assert_prefetch_origin_accounting(s: &ProxyStats, before: &DaemonStats, after: &DaemonStats) {
+    let seen_by_origin = after.requests - before.requests;
+    let sent_by_proxy =
+        s.requests - s.fresh_hits + s.upstream_retries + s.prefetch_issued + s.prefetch_retries;
+    assert_eq!(
+        seen_by_origin, sent_by_proxy,
+        "a demand racing a speculation must cost exactly one origin fetch: {s:?}"
+    );
+}
+
+/// 16 clients hammer a warmed origin through a prefetching proxy with no
+/// think time, so demand fetches constantly race the speculative crew
+/// (cancelling queued jobs, joining in-flight ones, deduping installed
+/// entries). Driven in rounds until the race is observed both ways.
+fn prefetch_race_run(io: IoMode) {
+    let done = watchdog(Duration::from_secs(120));
+    let origin = start_origin(OriginConfig::default()).unwrap();
+    let paths: Vec<String> = origin.paths.clone();
+    // Ground truth doubles as the origin warm-up: piggybacks only name
+    // volume mates with recorded accesses, so a cold origin would give
+    // the prefetcher nothing to race against.
+    let reference = reference_bodies(origin.addr(), &paths);
+    let baseline = origin.daemon_stats();
+
+    let mut cfg = ProxyConfig::new(origin.addr());
+    cfg.mode = ConcurrencyMode::Sharded { shards: 8 };
+    cfg.freshness = DurationMs::from_secs(60);
+    cfg.capacity_bytes = 64 * 1024 * 1024;
+    cfg.serve.workers = 64;
+    cfg.prefetch_budget = 4;
+    cfg.io = io;
+    let proxy = start_proxy(cfg).unwrap();
+
+    const PER_CLIENT: usize = 25;
+    let mut rounds = 0u64;
+    let s = loop {
+        drive(proxy.addr(), &paths, &reference, CLIENTS, PER_CLIENT);
+        rounds += 1;
+        let s = quiesce_prefetcher(&proxy);
+        // The race must have materialized at least once in either
+        // direction — a speculation used by a demand, or a queued one
+        // cancelled by it — before the ledger means anything.
+        if s.prefetch_used + s.prefetch_cancelled > 0 || rounds == 10 {
+            break s;
+        }
+    };
+
+    assert_conserved(&s, rounds * (CLIENTS * PER_CLIENT) as u64);
+    assert!(s.prefetch_issued > 0, "warmed origin must speculate: {s:?}");
+    assert!(
+        s.prefetch_used + s.prefetch_cancelled > 0,
+        "no demand ever raced a speculation in {rounds} rounds: {s:?}"
+    );
+    assert_eq!(
+        s.prefetch_issued,
+        s.prefetch_used + s.prefetch_wasted + s.prefetch_inflight,
+        "speculation ledger must conserve exactly: {s:?}"
+    );
+    assert_prefetch_origin_accounting(&s, &baseline, &origin.daemon_stats());
+
+    proxy.stop();
+    origin.stop();
+    done.store(true, Ordering::SeqCst);
+}
+
+#[test]
+fn prefetch_demand_race_costs_one_origin_fetch_threaded() {
+    prefetch_race_run(IoMode::Threaded);
+}
+
+#[test]
+fn prefetch_demand_race_costs_one_origin_fetch_reactor() {
+    prefetch_race_run(IoMode::Reactor { reactors: 2 });
+}
+
+// ---------------------------------------------------------------------------
+// Recorded-timing lane: the prefetch win must survive `ReplayTiming::
+// Recorded` — real recorded TTFBs replayed faithfully, not loopback's
+// microseconds. An inventory is captured through the record tap behind a
+// shimmed link, then both arms replay against it.
+// ---------------------------------------------------------------------------
+
+/// A small site whose directories fit entirely under `maxpiggy`, so every
+/// index piggyback names all of its directory mates and page-load
+/// coverage is deterministic.
+fn small_site() -> SiteConfig {
+    SiteConfig {
+        n_pages: 12,
+        n_dirs: 4,
+        max_depth: 1,
+        images_per_page: (0, 0),
+        shared_images: 0,
+        links_per_page: (1, 2),
+        page_size: LogNormal::new(900.0f64.ln(), 0.3),
+        seed: 11,
+        ..Default::default()
+    }
+}
+
+/// Per-directory page loads over `paths`: directories with at least two
+/// members, each an index plus its mates.
+fn dir_pages(paths: &[String]) -> Vec<Vec<String>> {
+    let mut dirs: Vec<(&str, Vec<String>)> = Vec::new();
+    for p in paths {
+        let d = directory_prefix(p, 1);
+        match dirs.iter_mut().find(|(k, _)| *k == d) {
+            Some((_, v)) => v.push(p.clone()),
+            None => dirs.push((d, vec![p.clone()])),
+        }
+    }
+    dirs.retain(|(_, v)| v.len() >= 2);
+    dirs.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Replay one arm against the recorded inventory and return the mean mate
+/// latency plus the proxy's quiescent stats. `budget > 0` enables the
+/// prefetcher (with a filter soliciting piggybacks); `budget == 0` is the
+/// no-piggyback baseline.
+fn replay_page_loads(
+    inv: &Arc<piggyback::trace::inventory::Inventory>,
+    pages: &[Vec<String>],
+    budget: usize,
+    think: Duration,
+) -> (Duration, ProxyStats) {
+    let replay = start_replay_origin(ReplayConfig {
+        port: 0,
+        inventory: Arc::clone(inv),
+        timing: ReplayTiming::Recorded { scale: 1.0 },
+    })
+    .unwrap();
+    let mut cfg = ProxyConfig::new(replay.addr());
+    cfg.mode = ConcurrencyMode::Sharded { shards: 4 };
+    cfg.freshness = DurationMs::from_secs(60);
+    cfg.rpv = None;
+    cfg.report_hits = false;
+    cfg.filter = ProxyFilter::builder()
+        .max_piggy(if budget > 0 { 10 } else { 0 })
+        .build();
+    cfg.prefetch_budget = budget;
+    let proxy = start_proxy(cfg).unwrap();
+
+    let mut client = HttpClient::connect(proxy.addr()).unwrap();
+    let mut mate_total = Duration::ZERO;
+    let mut mates = 0u32;
+    for page in pages {
+        let (index, rest) = page.split_first().unwrap();
+        let resp = client.get(index, &[]).unwrap();
+        assert_eq!(resp.status, 200, "{index}");
+        std::thread::sleep(think);
+        for m in rest {
+            let t = Instant::now();
+            let resp = client.get(m, &[]).unwrap();
+            mate_total += t.elapsed();
+            mates += 1;
+            assert_eq!(resp.status, 200, "{m}");
+        }
+    }
+    let s = quiesce_prefetcher(&proxy);
+    assert_eq!(
+        s.prefetch_issued,
+        s.prefetch_used + s.prefetch_wasted + s.prefetch_inflight,
+        "speculation ledger must conserve under recorded timing: {s:?}"
+    );
+    let divergences = replay.stats().divergences;
+    assert_eq!(
+        divergences, 0,
+        "every demand and speculative fetch must match the recording"
+    );
+    proxy.stop();
+    replay.stop();
+    (mate_total / mates.max(1), s)
+}
+
+/// Record a page-load workload through a shimmed link (30 ms RTT), then
+/// replay it with recorded timing against a prefetching proxy and the
+/// no-piggyback baseline. The prefetch arm's mates must hit the cache and
+/// beat the baseline's recorded round trips — the paper's latency win,
+/// reproduced off loopback.
+#[test]
+fn prefetch_win_survives_recorded_timing() {
+    let done = watchdog(Duration::from_secs(120));
+    let origin = start_origin(OriginConfig {
+        site: small_site(),
+        ..Default::default()
+    })
+    .unwrap();
+    // Warm every path first (piggybacks only name accessed mates), then
+    // record the full walk through a 30 ms-RTT shimmed relay so every
+    // entry carries a real TTFB for `ReplayTiming::Recorded` to honor.
+    {
+        let mut c = HttpClient::connect(origin.addr()).unwrap();
+        for p in &origin.paths {
+            assert_eq!(c.get(p, &[]).unwrap().status, 200);
+        }
+    }
+    let profile = NetProfile {
+        name: "stress-recorded",
+        rtt: Duration::from_millis(30),
+        jitter: Duration::ZERO,
+        down_bps: 0,
+        up_bps: 0,
+        error_rate: 0.0,
+    };
+    let center = start_volume_center(VolumeCenterConfig {
+        port: 0,
+        origin: origin.addr(),
+        volume_level: 1,
+        shim: Some(ShimConfig { profile, seed: 7 }),
+        transparent: true,
+    })
+    .unwrap();
+    let rec = start_recorder(RecorderConfig {
+        port: 0,
+        origin: center.addr(),
+    })
+    .unwrap();
+    {
+        let mut c = HttpClient::connect(rec.addr()).unwrap();
+        for p in &origin.paths {
+            let resp = c
+                .get(
+                    p,
+                    &[("TE", "chunked"), (PIGGY_FILTER_HEADER, "maxpiggy=10")],
+                )
+                .unwrap();
+            assert_eq!(resp.status, 200, "recording {p}");
+        }
+    }
+    let inv = Arc::new(rec.finish("stress-recorded"));
+    center.stop();
+    origin.stop();
+    assert!(
+        inv.entries.iter().any(|e| e.ttfb_us >= 10_000),
+        "the shimmed recording must carry real TTFBs"
+    );
+    assert!(
+        inv.entries.iter().any(|e| e.piggyback.is_some()),
+        "the warmed recording must carry piggybacks"
+    );
+
+    let pages = dir_pages(&inv.paths());
+    assert!(!pages.is_empty(), "small site must have multi-member dirs");
+    // Think long enough for a budget-4 crew to clear a directory's mates
+    // over the recorded 30 ms TTFBs.
+    let think = Duration::from_millis(300);
+    let (nopb_mate, nopb_stats) = replay_page_loads(&inv, &pages, 0, think);
+    let (pf_mate, pf_stats) = replay_page_loads(&inv, &pages, 4, think);
+
+    assert_eq!(nopb_stats.prefetch_issued, 0, "baseline must not speculate");
+    assert!(
+        pf_stats.prefetch_used > 0,
+        "the prefetch arm must serve mates speculatively: {pf_stats:?}"
+    );
+    println!(
+        "recorded-timing mate latency: nopb={nopb_mate:?} prefetch={pf_mate:?} \
+         (used={} issued={})",
+        pf_stats.prefetch_used, pf_stats.prefetch_issued
+    );
+    assert!(
+        pf_mate * 2 < nopb_mate,
+        "prefetch must at least halve mean mate latency under recorded \
+         timing: prefetch={pf_mate:?} nopb={nopb_mate:?}"
+    );
+    done.store(true, Ordering::SeqCst);
 }

@@ -125,6 +125,7 @@ fn volume_center_chain_end_to_end() {
         origin: origin.addr,
         volume_level: 1,
         shim: None,
+        transparent: false,
     })
     .unwrap();
     let proxy = start_proxy(ProxyConfig::new(center.addr())).unwrap();

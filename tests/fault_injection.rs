@@ -380,6 +380,7 @@ fn shimmed_stack(
             profile: NetProfile::lan().scaled(0.0).with_error_rate(error_rate),
             seed: 1,
         }),
+        transparent: false,
     })
     .unwrap();
     let mut cfg = ProxyConfig::new(center.addr());
@@ -458,6 +459,7 @@ fn shim_imposes_profile_latency() {
             profile: NetProfile::dsl().scaled(0.5),
             seed: 7,
         }),
+        transparent: false,
     })
     .unwrap();
     let mut cfg = ProxyConfig::new(center.addr());
