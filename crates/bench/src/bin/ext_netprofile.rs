@@ -31,6 +31,11 @@
 //! the proxy from the epoll reactor instead of the threaded pool; cells
 //! are then suffixed `_reactor` and the same win-ordering gate applies,
 //! so a reactor-mode run asserts the piggyback win is I/O-mode-invariant.
+//! A reactor run additionally replays every cell through the threaded
+//! pool as a control (recorded under the unsuffixed ids) and fails if
+//! the reactor's active wall — sleep gaps excluded — exceeds the
+//! threaded wall by more than 15% on any profile: the nonblocking
+//! upstream path must be a perf win, never a regression.
 
 use piggyback_bench::{banner, cell_seed, print_table, record_cell_stats, scale_factor};
 use piggyback_core::filter::ProxyFilter;
@@ -229,7 +234,7 @@ fn main() {
         // Both arms run the identical conditioner schedule: same profile,
         // same seed, and the same per-round request count.
         let pb = run_cell(&inventory, profile.clone(), seed, 10, rounds, &paths, io);
-        let nopb = run_cell(&inventory, profile, seed, 0, rounds, &paths, io);
+        let nopb = run_cell(&inventory, profile.clone(), seed, 0, rounds, &paths, io);
         assert!(
             pb.freshens > 0,
             "{name}: the pb arm must observe piggyback freshens"
@@ -260,6 +265,53 @@ fn main() {
             pb.mean_ms, nopb.mean_ms
         );
         wins.push((*name, win));
+
+        if io.is_reactor() {
+            // Reactor-vs-threaded gate: the same profile, seed, and
+            // workload through the threaded pool as a control. Compare
+            // active wall (the fixed inter-round sleeps carry no signal
+            // and would dilute any regression by a constant).
+            let tpb = run_cell(
+                &inventory,
+                profile.clone(),
+                seed,
+                10,
+                rounds,
+                &paths,
+                IoMode::Threaded,
+            );
+            let tnopb = run_cell(
+                &inventory,
+                profile,
+                seed,
+                0,
+                rounds,
+                &paths,
+                IoMode::Threaded,
+            );
+            for (arm, cell) in [("pb", &tpb), ("nopb", &tnopb)] {
+                let id = format!("ext_netprofile_{name}_{arm}");
+                record_cell_stats(&id, cell.wall, cell.hist.percentiles());
+            }
+            let sleeps = rounds as f64 * ROUND_GAP_MS as f64 / 1000.0;
+            let active = |c: &CellResult| (c.wall.as_secs_f64() - sleeps).max(0.0);
+            let reactor_wall = active(&pb) + active(&nopb);
+            let threaded_wall = active(&tpb) + active(&tnopb);
+            // 15% relative plus a small absolute floor so near-zero LAN
+            // cells don't gate on scheduler noise.
+            let limit = threaded_wall * 1.15 + 0.2;
+            println!(
+                "{name}: io gate: reactor active wall {reactor_wall:.2} s vs \
+                 threaded {threaded_wall:.2} s (limit {limit:.2} s)"
+            );
+            if reactor_wall > limit {
+                eprintln!(
+                    "FAIL: {name}: reactor active wall {reactor_wall:.2} s exceeds \
+                     threaded {threaded_wall:.2} s by more than 15%"
+                );
+                std::process::exit(1);
+            }
+        }
     }
 
     println!();

@@ -6,7 +6,7 @@
 //!          [--shards 8] [--legacy] [--pool-idle 32] [--workers 64]
 //!          [--no-metrics] [--no-report-hits] [--buffered-wire]
 //!          [--io threaded|reactor] [--reactors N] [--idle-timeout-secs 120]
-//!          [--prefetch-budget N] [--accept-push]
+//!          [--upstream-timeout-secs 30] [--prefetch-budget N] [--accept-push]
 //! ```
 //!
 //! `--legacy` selects the single-lock, fresh-connection-per-fetch
@@ -48,6 +48,7 @@ fn main() {
     let mut io = IoMode::default();
     let mut reactors: Option<usize> = None;
     let mut idle_timeout_secs = 120u64;
+    let mut upstream_timeout_secs = 30u64;
     let mut prefetch_budget = 0usize;
     let mut accept_push = false;
 
@@ -83,6 +84,9 @@ fn main() {
             "--idle-timeout-secs" => {
                 idle_timeout_secs = value("--idle-timeout-secs").parse().expect("number");
             }
+            "--upstream-timeout-secs" => {
+                upstream_timeout_secs = value("--upstream-timeout-secs").parse().expect("number");
+            }
             "--prefetch-budget" => {
                 prefetch_budget = value("--prefetch-budget").parse().expect("number");
             }
@@ -94,7 +98,7 @@ fn main() {
                      [--shards 8] [--legacy] [--pool-idle 32] [--workers 64] \
                      [--no-metrics] [--no-report-hits] [--buffered-wire] \
                      [--io threaded|reactor] [--reactors N] [--idle-timeout-secs 120] \
-                     [--prefetch-budget N] [--accept-push]"
+                     [--upstream-timeout-secs 30] [--prefetch-budget N] [--accept-push]"
                 );
                 return;
             }
@@ -134,6 +138,7 @@ fn main() {
         (mode, _) => mode,
     };
     cfg.reactor_idle_timeout = std::time::Duration::from_secs(idle_timeout_secs);
+    cfg.upstream_timeout = std::time::Duration::from_secs(upstream_timeout_secs);
     cfg.prefetch_budget = prefetch_budget;
     cfg.accept_push = accept_push;
     if legacy && prefetch_budget > 0 {

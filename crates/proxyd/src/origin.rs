@@ -500,6 +500,10 @@ struct OriginSvc {
 
 #[cfg(target_os = "linux")]
 impl crate::reactor::ReactorService for OriginSvc {
+    type Ctx = ();
+
+    fn make_ctx(&self, _shard: usize) {}
+
     fn on_connect(&self, _peer: std::net::SocketAddr) {
         self.daemon.connections.fetch_add(1, Relaxed);
     }
@@ -508,6 +512,7 @@ impl crate::reactor::ReactorService for OriginSvc {
         &self,
         req: &Request,
         peer: std::net::SocketAddr,
+        _ctx: &mut (),
         scratch: &mut ConnScratch,
         out: &mut Vec<u8>,
     ) -> io::Result<crate::reactor::Served> {

@@ -81,6 +81,18 @@ const QUEUE_CAP: usize = 4096;
 /// worker always resolves its job, so this only fires if a fetch wedges).
 const JOIN_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// What [`Prefetcher::try_claim`] resolved a demand miss to.
+pub(crate) enum TryClaim {
+    /// No unresolved speculation for the path (or a queued one was just
+    /// cancelled): the demand fetch proceeds.
+    Fetch,
+    /// A speculative fetch is on the wire; joining it requires parking.
+    InFlight,
+    /// The speculation resolved while we looked: re-consult the cache
+    /// before fetching.
+    Resolved,
+}
+
 /// Lifecycle of one speculative fetch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum JobState {
@@ -220,6 +232,36 @@ impl Prefetcher {
         }
     }
 
+    /// Nonblocking twin of [`claim_or_join`](Self::claim_or_join) for
+    /// reactor threads, which must never park: a still-queued speculation
+    /// is cancelled outright (the demand fetch wins), one already on the
+    /// wire is reported as [`TryClaim::InFlight`] so the caller can fall
+    /// back to a blocking join off the reactor thread.
+    pub(crate) fn try_claim(&self, shared: &ProxyShared, path: &str) -> TryClaim {
+        let Some(r) = shared.table.read().lookup(path) else {
+            return TryClaim::Fetch;
+        };
+        let job = self.inner.state.lock().unwrap().jobs.get(&r).cloned();
+        let Some(job) = job else {
+            return TryClaim::Fetch;
+        };
+        let mut st = job.state.lock().unwrap();
+        match *st {
+            JobState::Queued => {
+                *st = JobState::Cancelled;
+                drop(st);
+                // Same discipline as claim_or_join: never hold a job lock
+                // while taking the state lock.
+                self.inner.state.lock().unwrap().jobs.remove(&r);
+                shared.stats.prefetch_cancelled.fetch_add(1, Relaxed);
+                TryClaim::Fetch
+            }
+            JobState::Fetching => TryClaim::InFlight,
+            JobState::Done => TryClaim::Resolved,
+            JobState::Cancelled => TryClaim::Fetch,
+        }
+    }
+
     /// Stop accepting work, wake and join every worker.
     pub(crate) fn shutdown(&self) {
         self.inner.shutdown.store(true, Relaxed);
@@ -254,7 +296,7 @@ fn worker_loop(inner: &Arc<PrefetchInner>, shared: &Weak<ProxyShared>) {
 
 fn run_candidate(
     inner: &PrefetchInner,
-    shared: &ProxyShared,
+    shared: &Arc<ProxyShared>,
     cand: Candidate,
     scratch: &mut ConnScratch,
 ) {
@@ -279,11 +321,27 @@ fn run_candidate(
 
 /// Fetch `path` speculatively and install it. Every early return after
 /// the `issued` increment settles the ledger exactly once.
-fn fetch_and_install(shared: &ProxyShared, r: ResourceId, path: &str, scratch: &mut ConnScratch) {
+fn fetch_and_install(
+    shared: &Arc<ProxyShared>,
+    r: ResourceId,
+    path: &str,
+    scratch: &mut ConnScratch,
+) {
     // Last-second dedup: a demand fetch or an accepted push may have
     // landed the entry since this candidate was queued. Skipping here is
     // free — the fetch was never issued.
     if shared.cache.peek(r).is_some() {
+        return;
+    }
+    // Reactor mode: the speculative GET rides the same nonblocking
+    // upstream legs as demand misses. The worker still parks on its
+    // budget slot until the exchange lands — bounding concurrent
+    // speculation is the whole point of `--prefetch-budget` — but the
+    // exchange itself is driven by a reactor shard, and ALL ledger
+    // settlement happens in the continuation on that reactor thread.
+    #[cfg(target_os = "linux")]
+    if let Some(sub) = shared.upstream_submit.get() {
+        fetch_and_install_reactor(shared, sub, r, path, scratch);
         return;
     }
     let stats = &shared.stats;
@@ -296,6 +354,103 @@ fn fetch_and_install(shared: &ProxyShared, r: ResourceId, path: &str, scratch: &
             stats.prefetch_inflight.fetch_sub(1, Relaxed);
             return;
         }
+    };
+    let size = resp.body.len() as u64;
+    stats.prefetch_fetched_bytes.fetch_add(size, Relaxed);
+    if resp.status != 200 {
+        stats.prefetch_wasted.fetch_add(1, Relaxed);
+        stats.prefetch_wasted_bytes.fetch_add(size, Relaxed);
+        stats.prefetch_inflight.fetch_sub(1, Relaxed);
+        return;
+    }
+    let now = shared.clock.now();
+    let lm = resp
+        .headers
+        .get("Last-Modified")
+        .and_then(parse_rfc1123)
+        .map(|u| timestamp_from_unix(u, DEFAULT_TRACE_EPOCH_UNIX))
+        .unwrap_or(now);
+    shared.table.write().register_path(path, size, lm);
+    install_speculative(shared, r, resp.body.clone(), size, lm, now);
+}
+
+/// How long a prefetch worker waits for a reactor-driven speculation to
+/// land before releasing its budget slot anyway (belt-and-suspenders:
+/// the reactor always resolves an exchange — the upstream timeout wheel
+/// guarantees it — so this only fires if a shard wedges).
+#[cfg(target_os = "linux")]
+const LAND_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Submit the speculative GET to a reactor shard and park until its
+/// continuation settles the ledger. Counter order matches the blocking
+/// path exactly: `issued`/`inflight` before the exchange starts, the
+/// resolution in the continuation.
+#[cfg(target_os = "linux")]
+fn fetch_and_install_reactor(
+    shared: &Arc<ProxyShared>,
+    sub: &crate::reactor::ReactorSubmitter,
+    r: ResourceId,
+    path: &str,
+    scratch: &mut ConnScratch,
+) {
+    use crate::reactor::{UpstreamNext, UpstreamOutcome, UpstreamPlan};
+    let stats = &shared.stats;
+    stats.prefetch_issued.fetch_add(1, Relaxed);
+    stats.prefetch_inflight.fetch_add(1, Relaxed);
+    // The same deliberately plain GET as `fetch_with_retry`: no
+    // Piggy-filter (speculation must not snowball), no IMS, no report.
+    let mut req = Request::new("GET", path);
+    req.headers.insert("Host", "origin");
+    let mut request = Vec::with_capacity(64);
+    req.write_with(&mut request, scratch)
+        .expect("serializing to a Vec cannot fail");
+    let landed = Arc::new((Mutex::new(false), Condvar::new()));
+    let finish_shared = Arc::clone(shared);
+    let finish_landed = Arc::clone(&landed);
+    let retry_shared = Arc::clone(shared);
+    let path_owned = path.to_owned();
+    sub.submit(UpstreamPlan {
+        origin: shared.cfg.origin,
+        request,
+        retry: Box::new(move || {
+            retry_shared.stats.prefetch_retries.fetch_add(1, Relaxed);
+        }),
+        finish: Box::new(move |_scratch, _out, outcome: UpstreamOutcome| {
+            settle_speculative_outcome(&finish_shared, r, &path_owned, outcome);
+            let (flag, cv) = &*finish_landed;
+            *flag.lock().unwrap() = true;
+            cv.notify_all();
+            Ok(UpstreamNext::Done)
+        }),
+    });
+    let (flag, cv) = &*landed;
+    let mut done = flag.lock().unwrap();
+    while !*done {
+        let (guard, timeout) = cv.wait_timeout(done, LAND_TIMEOUT).unwrap();
+        done = guard;
+        if timeout.timed_out() {
+            break;
+        }
+    }
+}
+
+/// Resolve a reactor-driven speculation: the continuation-side mirror of
+/// [`fetch_and_install`]'s post-exchange tail.
+#[cfg(target_os = "linux")]
+fn settle_speculative_outcome(
+    shared: &Arc<ProxyShared>,
+    r: ResourceId,
+    path: &str,
+    outcome: crate::reactor::UpstreamOutcome,
+) {
+    let stats = &shared.stats;
+    let resp = match outcome {
+        crate::reactor::UpstreamOutcome::Failed => {
+            stats.prefetch_wasted.fetch_add(1, Relaxed);
+            stats.prefetch_inflight.fetch_sub(1, Relaxed);
+            return;
+        }
+        crate::reactor::UpstreamOutcome::Response(resp) => resp,
     };
     let size = resp.body.len() as u64;
     stats.prefetch_fetched_bytes.fetch_add(size, Relaxed);

@@ -127,6 +127,11 @@ pub struct ProxyConfig {
     pub io: IoMode,
     /// Reactor-mode idle/read deadline for client connections.
     pub reactor_idle_timeout: std::time::Duration,
+    /// Reactor-mode per-attempt deadline for a nonblocking upstream
+    /// exchange (`--upstream-timeout-secs`); a stalled origin leg is
+    /// killed when it fires (retried once, then 502). Also the idle
+    /// reaping horizon for parked upstream connections.
+    pub upstream_timeout: std::time::Duration,
     /// Maximum concurrent speculative fetches acting on piggybacked
     /// `PrefetchCandidate` elements; 0 disables the prefetcher (the seed
     /// behavior: candidates are only counted). Sharded mode only — the
@@ -156,6 +161,7 @@ impl ProxyConfig {
             metrics: true,
             io: IoMode::default(),
             reactor_idle_timeout: std::time::Duration::from_secs(120),
+            upstream_timeout: std::time::Duration::from_secs(30),
             prefetch_budget: 0,
             accept_push: false,
         }
@@ -197,6 +203,13 @@ pub(crate) struct ProxyShared {
     /// Per-reactor-shard gauges when running in reactor mode.
     #[cfg(target_os = "linux")]
     reactor_metrics: Option<Arc<crate::reactor::ReactorMetrics>>,
+    /// Injects detached upstream exchanges (speculative prefetch GETs)
+    /// into the reactor shards, so speculation rides the same nonblocking
+    /// upstream legs as demand misses. Set once the reactor is up;
+    /// `None`/unset in threaded mode (the prefetcher then blocks on the
+    /// pool as before).
+    #[cfg(target_os = "linux")]
+    pub(crate) upstream_submit: OnceLock<crate::reactor::ReactorSubmitter>,
 }
 
 impl ProxyShared {
@@ -289,6 +302,8 @@ pub fn start_proxy(cfg: ProxyConfig) -> io::Result<ProxyHandle> {
         io_stats: Arc::clone(&io_stats),
         #[cfg(target_os = "linux")]
         reactor_metrics: reactor_metrics.clone(),
+        #[cfg(target_os = "linux")]
+        upstream_submit: OnceLock::new(),
         cfg,
     });
     if shared.cfg.prefetch_budget > 0 && shared.pool.is_some() {
@@ -300,12 +315,24 @@ pub fn start_proxy(cfg: ProxyConfig) -> io::Result<ProxyHandle> {
         let opts = crate::reactor::ReactorOptions {
             offload_workers: shared.cfg.serve.workers.max(1),
             idle_timeout: shared.cfg.reactor_idle_timeout,
+            upstream_timeout: shared.cfg.upstream_timeout,
+            // The same retention knob as the threaded pool, so
+            // `pool_max_idle: 0` forbids upstream keep-alives in both
+            // I/O modes (per reactor shard here, globally there).
+            upstream_max_idle: shared.cfg.pool_max_idle,
         };
         let svc = Arc::new(ProxySvc {
             shared: Arc::clone(&shared),
         });
         let handle =
             crate::reactor::serve_reactor(shared.cfg.port, "proxy", opts, io_stats, metrics, svc)?;
+        // Speculative prefetch GETs ride the reactor's nonblocking
+        // upstream legs instead of blocking a worker on the pool.
+        if shared.pool.is_some() {
+            if let Some(sub) = handle.reactor_submitter() {
+                let _ = shared.upstream_submit.set(sub);
+            }
+        }
         return Ok(ProxyHandle { handle, shared });
     }
     let shared2 = Arc::clone(&shared);
@@ -323,25 +350,132 @@ pub fn start_proxy(cfg: ProxyConfig) -> io::Result<ProxyHandle> {
 
 /// The proxy as a [`ReactorService`](crate::reactor::ReactorService):
 /// cache hits, metrics, and synthesized errors serialize inline on the
-/// reactor thread; upstream fetches offload their blocking exchange to
-/// the worker pool and inject the serialized response back.
+/// reactor thread; upstream fetches become nonblocking
+/// [`UpstreamPlan`](crate::reactor::UpstreamPlan)s driven on the same
+/// epoll loop — no offload-pool hop. The offload pool survives only for
+/// genuinely blocking work: Legacy mode's global-lock exchanges,
+/// `--accept-push` (which drains pushed responses synchronously off the
+/// origin stream), and demand requests that must park to join an
+/// in-flight speculative fetch.
 #[cfg(target_os = "linux")]
 struct ProxySvc {
     shared: Arc<ProxyShared>,
 }
 
+/// A reactor shard's lock-free affine L1: the last fresh hits this shard
+/// served, revalidated by the cache's global
+/// [`mutation_epoch`](piggyback_webcache::ShardedCache::mutation_epoch)
+/// so a repeat hit costs zero shard-lock acquisitions while the cache is
+/// quiescent. An entry is serveable only while (a) the mutation epoch
+/// still equals the epoch certified around the locked lookup that filled
+/// it, and (b) the entry is still fresh by the shared clock. Any cache
+/// mutation anywhere invalidates the whole L1 — conservative, but what
+/// makes the shortcut correct without per-entry coherence.
+///
+/// Accepted divergence from the locked path: an L1 hit does not touch
+/// LRU recency (the filling lookup already did, and eviction order is
+/// not part of the wire contract). Wire bytes are identical.
+#[cfg(target_os = "linux")]
+pub(crate) struct ProxyCtx {
+    l1: std::collections::HashMap<String, L1Hit>,
+}
+
+#[cfg(target_os = "linux")]
+struct L1Hit {
+    body: Body,
+    lm: Timestamp,
+    expires: Timestamp,
+    epoch: u64,
+}
+
+/// Paths the affine L1 retains before clearing itself wholesale — a tiny
+/// bound; the point is repeat hits on a shard's hot set, not a second
+/// cache tier.
+#[cfg(target_os = "linux")]
+const L1_CAP: usize = 1024;
+
 #[cfg(target_os = "linux")]
 impl crate::reactor::ReactorService for ProxySvc {
+    type Ctx = ProxyCtx;
+
+    fn make_ctx(&self, _shard: usize) -> ProxyCtx {
+        ProxyCtx {
+            l1: std::collections::HashMap::new(),
+        }
+    }
+
     fn handle(
         &self,
         req: &Request,
         peer: SocketAddr,
+        ctx: &mut ProxyCtx,
         scratch: &mut ConnScratch,
         out: &mut Vec<u8>,
     ) -> io::Result<crate::reactor::Served> {
         use crate::reactor::Served;
-        match plan_request(req, &self.shared, peer) {
-            Step::Reply(Reply::Hit { body, lm }) => {
+        let shared = &self.shared;
+        if req.method == "GET" {
+            let path = strip_origin_form(&req.target);
+            if path != METRICS_PATH {
+                enum L1Verdict {
+                    Serve(Body, Timestamp),
+                    Drop,
+                    Miss,
+                }
+                let start = Instant::now();
+                let verdict = match ctx.l1.get(path) {
+                    Some(hit) if hit.epoch == shared.cache.mutation_epoch() => {
+                        if shared.clock.now() < hit.expires {
+                            L1Verdict::Serve(hit.body.clone(), hit.lm)
+                        } else {
+                            // Expired: the locked path counts the
+                            // validation; drop the stale copy.
+                            L1Verdict::Drop
+                        }
+                    }
+                    Some(_) => L1Verdict::Drop,
+                    None => L1Verdict::Miss,
+                };
+                match verdict {
+                    L1Verdict::Serve(body, lm) => {
+                        let stats = &shared.stats;
+                        stats.requests.fetch_add(1, Relaxed);
+                        stats.cache_hits.fetch_add(1, Relaxed);
+                        stats.fresh_hits.fetch_add(1, Relaxed);
+                        stats.affine_hits.fetch_add(1, Relaxed);
+                        if shared.cfg.report_hits {
+                            shared.reporter.lock().record_hit(path);
+                        }
+                        shared.obs.fresh_hit.record(start.elapsed());
+                        write_hit(out, scratch, &body, lm)?;
+                        return Ok(Served::Inline);
+                    }
+                    L1Verdict::Drop => {
+                        ctx.l1.remove(path);
+                    }
+                    L1Verdict::Miss => {}
+                }
+            }
+        }
+        let epoch = shared.cache.mutation_epoch();
+        match plan_request(req, shared, peer) {
+            Step::Reply(Reply::Hit { body, lm, expires }) => {
+                // Fill the L1 only when nothing mutated around the locked
+                // lookup — then `epoch` certifies the snapshot is current.
+                if shared.cache.mutation_epoch() == epoch {
+                    if ctx.l1.len() >= L1_CAP {
+                        ctx.l1.clear();
+                    }
+                    ctx.l1.insert(
+                        strip_origin_form(&req.target).to_owned(),
+                        L1Hit {
+                            body: body.clone(),
+                            lm,
+                            expires,
+                            epoch,
+                        },
+                    );
+                }
                 write_hit(out, scratch, &body, lm)?;
                 Ok(Served::Inline)
             }
@@ -349,14 +483,276 @@ impl crate::reactor::ReactorService for ProxySvc {
                 resp.write_with(out, scratch)?;
                 Ok(Served::Inline)
             }
-            Step::Upstream(job) => {
-                let shared = Arc::clone(&self.shared);
-                Ok(Served::Offload(Box::new(move |scratch, out| {
-                    let resp = complete_upstream(&shared, job, scratch);
-                    resp.write_with(out, scratch)
-                })))
+            Step::Upstream(job) => self.plan_upstream(job, scratch, out),
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl ProxySvc {
+    /// The blocking fallback: ship the whole exchange (phases 2+3) to the
+    /// offload pool, exactly as every reactor-mode miss did before the
+    /// nonblocking upstream existed.
+    fn offload(&self, job: UpstreamJob) -> crate::reactor::Served {
+        let shared = Arc::clone(&self.shared);
+        crate::reactor::Served::Offload(Box::new(move |scratch, out| {
+            let resp = complete_upstream(&shared, job, scratch);
+            resp.write_with(out, scratch)
+        }))
+    }
+
+    fn plan_upstream(
+        &self,
+        job: UpstreamJob,
+        scratch: &mut ConnScratch,
+        out: &mut Vec<u8>,
+    ) -> io::Result<crate::reactor::Served> {
+        use crate::reactor::Served;
+        let shared = &self.shared;
+        // Legacy mode serializes behind the global lock and accept-push
+        // drains pushed responses synchronously mid-exchange; both stay
+        // on the offload pool.
+        if shared.pool.is_none() || shared.cfg.accept_push {
+            return Ok(self.offload(job));
+        }
+        // A plain miss racing a speculative fetch of the same path:
+        // cancel a still-queued job outright, serve a landed one, but
+        // park (offload) to join one already on the wire — the reactor
+        // thread itself must never block.
+        if job.validate_lm.is_none() {
+            if let Some(p) = shared.prefetcher.get() {
+                match p.try_claim(shared, &job.path) {
+                    prefetch::TryClaim::Fetch => {}
+                    prefetch::TryClaim::InFlight => return Ok(self.offload(job)),
+                    prefetch::TryClaim::Resolved => {
+                        if let Some(served) = serve_settled_speculation(shared, &job, scratch, out)?
+                        {
+                            return Ok(served);
+                        }
+                    }
+                }
             }
         }
+        Ok(Served::Upstream(first_exchange_plan(
+            Arc::clone(shared),
+            job,
+            scratch,
+        )))
+    }
+}
+
+/// Serve the entry a just-landed speculation installed (the reactor
+/// analog of [`complete_upstream`]'s `claim_or_join == true` path);
+/// `None` when the speculation resolved without a serveable entry and the
+/// demand fetch should proceed.
+#[cfg(target_os = "linux")]
+fn serve_settled_speculation(
+    shared: &Arc<ProxyShared>,
+    job: &UpstreamJob,
+    scratch: &mut ConnScratch,
+    out: &mut Vec<u8>,
+) -> io::Result<Option<crate::reactor::Served>> {
+    let now = shared.clock.now();
+    let path = job.path.as_str();
+    let cached = shared
+        .table
+        .read()
+        .lookup(path)
+        .and_then(|r| shared.cache.lookup(r, now).map(|snap| (r, snap)));
+    let Some((r, snap)) = cached else {
+        return Ok(None);
+    };
+    // The lookup flipped `used`; settle the speculation even if the body
+    // vanishes before we can serve it.
+    prefetch::note_speculative_hit(&shared.stats, &snap);
+    let Some(body) = shared.bodies.get(r) else {
+        return Ok(None);
+    };
+    shared.stats.cache_hits.fetch_add(1, Relaxed);
+    shared.stats.fresh_hits.fetch_add(1, Relaxed);
+    if shared.cfg.report_hits {
+        shared.reporter.lock().record_hit(path);
+    }
+    shared.obs.fresh_hit.record(job.start.elapsed());
+    write_hit(out, scratch, &body, snap.last_modified)?;
+    Ok(Some(crate::reactor::Served::Inline))
+}
+
+/// Serialize the upstream GET exactly as [`exchange_upstream`] puts it on
+/// the wire — same serializer, same header order — so the origin sees
+/// identical bytes from both I/O modes.
+#[cfg(target_os = "linux")]
+fn serialize_upstream_request(
+    path: &str,
+    validate_lm: Option<Timestamp>,
+    filter: &ProxyFilter,
+    report: Option<&str>,
+    scratch: &mut ConnScratch,
+) -> Vec<u8> {
+    let mut req = Request::new("GET", path);
+    req.headers.insert("Host", "origin");
+    req.headers.insert("TE", "chunked");
+    req.headers
+        .insert(PIGGY_FILTER_HEADER, &filter.to_header_value());
+    // `accept_push` never reaches the nonblocking path (it needs the
+    // synchronous pushed-response drain), so no `Piggy-push` here.
+    if let Some(r) = report {
+        req.headers.insert(PIGGY_REPORT_HEADER, r);
+    }
+    if let Some(lm) = validate_lm {
+        let unix = unix_from_timestamp(lm, DEFAULT_TRACE_EPOCH_UNIX);
+        req.headers
+            .insert("If-Modified-Since", &format_rfc1123(unix));
+    }
+    let mut buf = Vec::with_capacity(256);
+    req.write_with(&mut buf, scratch)
+        .expect("serializing to a Vec cannot fail");
+    buf
+}
+
+/// Build the nonblocking plan for a miss/validation. The reactor dials
+/// (or reuses) a shard-owned origin connection and runs the continuation
+/// on the reactor thread once the exchange resolves; the continuation
+/// replays [`complete_upstream`]'s phase 3 — same counters, same
+/// piggyback order, same histograms — so the two I/O modes stay
+/// observationally identical.
+#[cfg(target_os = "linux")]
+fn first_exchange_plan(
+    shared: Arc<ProxyShared>,
+    job: UpstreamJob,
+    scratch: &mut ConnScratch,
+) -> crate::reactor::UpstreamPlan {
+    use crate::reactor::{UpstreamNext, UpstreamOutcome, UpstreamPlan};
+    let request = serialize_upstream_request(
+        &job.path,
+        job.validate_lm,
+        &job.filter,
+        job.report.as_deref(),
+        scratch,
+    );
+    let origin = shared.cfg.origin;
+    let retry_stats = Arc::clone(&shared);
+    UpstreamPlan {
+        origin,
+        request,
+        retry: Box::new(move || {
+            retry_stats.stats.upstream_retries.fetch_add(1, Relaxed);
+        }),
+        finish: Box::new(move |scratch, out, outcome| {
+            let resp = match outcome {
+                UpstreamOutcome::Failed => {
+                    shared.stats.upstream_errors.fetch_add(1, Relaxed);
+                    shared.obs.error.record(job.start.elapsed());
+                    Response::new(502).write_with(out, scratch)?;
+                    return Ok(UpstreamNext::Done);
+                }
+                UpstreamOutcome::Response(resp) => resp,
+            };
+            // Phase 3, reactor edition.
+            let now = shared.clock.now();
+            let delta = shared.cfg.freshness;
+            match resp.status {
+                304 => {
+                    let r = shared.table.read().lookup(&job.path);
+                    let body = r.and_then(|r| {
+                        shared.cache.freshen(r, now + delta);
+                        shared.bodies.get(r)
+                    });
+                    match body {
+                        Some(body) => {
+                            shared.stats.not_modified.fetch_add(1, Relaxed);
+                            let lm = job.validate_lm.unwrap_or(Timestamp::ZERO);
+                            let result = cached_response(&body, lm, "VALIDATED");
+                            process_piggyback(&shared, &resp, job.source, now);
+                            shared.obs.not_modified.record(job.start.elapsed());
+                            result.write_with(out, scratch)?;
+                            Ok(UpstreamNext::Done)
+                        }
+                        None => {
+                            // The 304 validated an entry whose body is
+                            // gone (evicted mid-flight): chain an
+                            // unconditional refetch — same filter, no
+                            // report, no If-Modified-Since — exactly like
+                            // the threaded fallback.
+                            Ok(UpstreamNext::Again(refetch_plan(
+                                shared, job, resp, now, scratch,
+                            )))
+                        }
+                    }
+                }
+                200 => {
+                    let result = store_full_response(&shared, &job.path, &resp, now);
+                    process_piggyback(&shared, &resp, job.source, now);
+                    shared.obs.full_fetch.record(job.start.elapsed());
+                    result.write_with(out, scratch)?;
+                    Ok(UpstreamNext::Done)
+                }
+                _ => {
+                    shared.stats.upstream_passthrough.fetch_add(1, Relaxed);
+                    let mut result = Response::new(resp.status);
+                    result.body = resp.body.clone();
+                    process_piggyback(&shared, &resp, job.source, now);
+                    shared.obs.passthrough.record(job.start.elapsed());
+                    result.write_with(out, scratch)?;
+                    Ok(UpstreamNext::Done)
+                }
+            }
+        }),
+    }
+}
+
+/// The chained second exchange for a 304 whose body was evicted.
+/// `piggy_now` is the first continuation's phase-3 timestamp: the
+/// threaded path processes both responses' piggybacks with it, so the
+/// reactor does too. The original 304's piggyback is processed even when
+/// the refetch fails.
+#[cfg(target_os = "linux")]
+fn refetch_plan(
+    shared: Arc<ProxyShared>,
+    job: UpstreamJob,
+    original: Response,
+    piggy_now: Timestamp,
+    scratch: &mut ConnScratch,
+) -> crate::reactor::UpstreamPlan {
+    use crate::reactor::{UpstreamNext, UpstreamOutcome, UpstreamPlan};
+    let request = serialize_upstream_request(&job.path, None, &job.filter, None, scratch);
+    let origin = shared.cfg.origin;
+    let retry_stats = Arc::clone(&shared);
+    UpstreamPlan {
+        origin,
+        request,
+        retry: Box::new(move || {
+            retry_stats.stats.upstream_retries.fetch_add(1, Relaxed);
+        }),
+        finish: Box::new(move |scratch, out, outcome| {
+            let mut refetch_resp = None;
+            let (result, hist) = match outcome {
+                UpstreamOutcome::Response(r2) if r2.status == 200 => {
+                    let now = shared.clock.now();
+                    let result = store_full_response(&shared, &job.path, &r2, now);
+                    refetch_resp = Some(r2);
+                    (result, &shared.obs.full_fetch)
+                }
+                UpstreamOutcome::Response(r2) => {
+                    shared.stats.upstream_passthrough.fetch_add(1, Relaxed);
+                    let mut result = Response::new(r2.status);
+                    result.body = r2.body.clone();
+                    refetch_resp = Some(r2);
+                    (result, &shared.obs.passthrough)
+                }
+                UpstreamOutcome::Failed => {
+                    shared.stats.upstream_errors.fetch_add(1, Relaxed);
+                    (Response::new(502), &shared.obs.error)
+                }
+            };
+            process_piggyback(&shared, &original, job.source, piggy_now);
+            if let Some(r2) = &refetch_resp {
+                process_piggyback(&shared, r2, job.source, piggy_now);
+            }
+            hist.record(job.start.elapsed());
+            result.write_with(out, scratch)?;
+            Ok(UpstreamNext::Done)
+        }),
     }
 }
 
@@ -381,7 +777,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ProxyShared>) -> io::Result
                 }
                 let keep = req.keep_alive();
                 match handle_request(&req, shared, source, &mut scratch) {
-                    Reply::Hit { body, lm } => write_hit(&mut writer, &mut scratch, &body, lm)?,
+                    Reply::Hit { body, lm, .. } => write_hit(&mut writer, &mut scratch, &body, lm)?,
                     Reply::Full(resp) => resp.write_with(&mut writer, &mut scratch)?,
                 }
                 if !keep {
@@ -400,7 +796,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ProxyShared>) -> io::Result
                 let resp = match handle_request(&req, shared, source, &mut scratch) {
                     // Replicate the seed hit cost: an owned copy of the
                     // cached bytes into the response.
-                    Reply::Hit { body, lm } => {
+                    Reply::Hit { body, lm, .. } => {
                         cached_response(&Body::from(body.as_slice()), lm, "HIT")
                     }
                     Reply::Full(resp) => resp,
@@ -416,7 +812,9 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ProxyShared>) -> io::Result
 
 /// The plan phase 1 hands to the rest of the request.
 enum Plan {
-    ServeFresh(Body, Timestamp),
+    /// Body, `Last-Modified`, and the entry's expiry (the reactor's
+    /// affine L1 needs the expiry to re-check freshness at serve time).
+    ServeFresh(Body, Timestamp, Timestamp),
     Fetch {
         validate_lm: Option<Timestamp>,
         filter: ProxyFilter,
@@ -428,7 +826,12 @@ enum Plan {
 /// shared body (no `Response` is built, no headers are allocated), or a
 /// full response for every other outcome.
 enum Reply {
-    Hit { body: Body, lm: Timestamp },
+    Hit {
+        body: Body,
+        lm: Timestamp,
+        /// When the served entry stops being fresh (feeds the affine L1).
+        expires: Timestamp,
+    },
     Full(Response),
 }
 
@@ -513,7 +916,7 @@ fn plan_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) ->
                         if shared.cfg.report_hits {
                             shared.reporter.lock().record_hit(path);
                         }
-                        Plan::ServeFresh(body, snap.last_modified)
+                        Plan::ServeFresh(body, snap.last_modified, snap.expires)
                     }
                     None => Plan::Fetch {
                         validate_lm: None,
@@ -540,9 +943,9 @@ fn plan_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) ->
     };
 
     match plan {
-        Plan::ServeFresh(body, lm) => {
+        Plan::ServeFresh(body, lm, expires) => {
             shared.obs.fresh_hit.record(start.elapsed());
-            Step::Reply(Reply::Hit { body, lm })
+            Step::Reply(Reply::Hit { body, lm, expires })
         }
         Plan::Fetch {
             validate_lm,
@@ -884,6 +1287,7 @@ fn metrics_response(shared: &ProxyShared) -> Response {
     }
     for (name, value) in [
         ("pb_proxy_cache_hits_total", stats.cache_hits),
+        ("pb_proxy_affine_hits_total", stats.affine_hits),
         ("pb_proxy_validations_total", stats.validations),
         ("pb_proxy_bytes_from_origin_total", stats.bytes_from_origin),
         (
@@ -1067,6 +1471,34 @@ fn metrics_response(shared: &ProxyShared) -> Response {
                 &labels,
                 "counter",
                 s.offloads(),
+            );
+            render_scalar(
+                &mut out,
+                "pb_proxy_reactor_upstream_dials_total",
+                &labels,
+                "counter",
+                s.upstream_dials(),
+            );
+            render_scalar(
+                &mut out,
+                "pb_proxy_reactor_upstream_reuses_total",
+                &labels,
+                "counter",
+                s.upstream_reuses(),
+            );
+            render_scalar(
+                &mut out,
+                "pb_proxy_reactor_upstream_inflight",
+                &labels,
+                "gauge",
+                s.upstream_inflight(),
+            );
+            render_scalar(
+                &mut out,
+                "pb_proxy_reactor_upstream_timeouts_total",
+                &labels,
+                "counter",
+                s.upstream_timeouts(),
             );
         }
     }

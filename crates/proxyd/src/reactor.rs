@@ -24,18 +24,29 @@
 //! - an **eventfd-backed injection queue** through which offload workers
 //!   hand completed upstream responses back to the owning reactor.
 //!
-//! Blocking work (the proxy's upstream exchange) never runs on a reactor
-//! thread: the service returns [`Served::Offload`] and a bounded worker
-//! pool executes the closure, serializing the response into a buffer that
-//! is injected back to the reactor. Cache hits, errors, and every
-//! client-side read/write stay on the reactor, so a slow client can stall
-//! only its own connection — readiness on WRITABLE drains the rest.
+//! The upstream leg (a proxy cache miss fetching from the origin) is a
+//! first-class nonblocking state machine on the same epoll loop: the
+//! service returns [`Served::Upstream`] with a serialized request and a
+//! continuation, the reactor parks the client connection, dials the origin
+//! with a nonblocking `connect` (completion reported via `EPOLLOUT`),
+//! drives the write/read exchange edge-triggered, and runs the
+//! continuation on the reactor thread once a complete response (or a
+//! terminal failure) is in hand. Upstream connections are kept alive in a
+//! per-shard idle list, so a warm miss path does zero dials. A bounded
+//! offload pool survives ([`Served::Offload`]) for genuinely blocking work
+//! — multi-response drains (`--accept-push`), legacy fresh-connection
+//! mode, and joining an in-flight speculation — serializing the response
+//! into a buffer that is injected back to the reactor.
+//!
+//! Cache hits, errors, and every client-side read/write stay on the
+//! reactor, so a slow client can stall only its own connection —
+//! readiness on WRITABLE drains the rest.
 //!
 //! The wire output is byte-identical to the threaded path: both funnel
 //! through the same `write_hit`/`Response::write_with` serializers.
 
 use crate::util::{IoStats, OpenGuard, ServerHandle};
-use piggyback_httpwire::{ConnScratch, HttpError, Request};
+use piggyback_httpwire::{ConnScratch, HttpError, Request, Response};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -78,9 +89,14 @@ mod sys {
     pub const AF_INET: i32 = 2;
     pub const SOCK_STREAM: i32 = 1;
     pub const SOCK_CLOEXEC: i32 = 0x80000;
+    pub const SOCK_NONBLOCK: i32 = 0x800;
     pub const SOL_SOCKET: i32 = 1;
     pub const SO_REUSEADDR: i32 = 2;
     pub const SO_REUSEPORT: i32 = 15;
+    pub const SO_ERROR: i32 = 4;
+
+    pub const EINPROGRESS: i32 = 115;
+    pub const EINTR: i32 = 4;
 
     #[repr(C)]
     pub struct SockAddrIn {
@@ -93,6 +109,14 @@ mod sys {
     }
 
     extern "C" {
+        pub fn connect(fd: RawFd, addr: *const SockAddrIn, len: u32) -> i32;
+        pub fn getsockopt(
+            fd: RawFd,
+            level: i32,
+            optname: i32,
+            optval: *mut u8,
+            optlen: *mut u32,
+        ) -> i32;
         pub fn epoll_create1(flags: i32) -> RawFd;
         pub fn epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, event: *mut EpollEvent) -> i32;
         pub fn epoll_wait(
@@ -122,6 +146,14 @@ mod sys {
 const LISTENER_TOKEN: u64 = u64::MAX;
 /// Token reserved for the eventfd waker.
 const WAKE_TOKEN: u64 = u64::MAX - 1;
+
+/// Distinguishes upstream-connection tokens from client-connection tokens
+/// in the shared epoll/timer-wheel token space. Generations are masked to
+/// 31 bits so no client token can ever set this bit (and the reserved
+/// `LISTENER_TOKEN`/`WAKE_TOKEN` values are matched before dispatch).
+const UPSTREAM_BIT: u64 = 1 << 63;
+/// Generation mask keeping slab tokens clear of [`UPSTREAM_BIT`].
+const GEN_MASK: u32 = 0x7FFF_FFFF;
 
 /// Bytes read per nonblocking read() call.
 const READ_CHUNK: usize = 16 * 1024;
@@ -273,8 +305,17 @@ pub struct ReactorShardStats {
     pub conns: AtomicU64,
     /// Connections closed by the idle/read timer wheel.
     pub timeouts: AtomicU64,
-    /// Requests handed to the offload pool (upstream fetches).
+    /// Requests handed to the offload pool (blocking work only: push
+    /// drains, legacy mode, speculative joins — a plain miss stays at 0).
     pub offloads: AtomicU64,
+    /// Fresh nonblocking TCP dials to the origin from this shard.
+    pub upstream_dials: AtomicU64,
+    /// Upstream exchanges served by a kept-alive idle connection.
+    pub upstream_reuses: AtomicU64,
+    /// Upstream exchanges currently dialing or mid-exchange (gauge).
+    pub upstream_inflight: AtomicU64,
+    /// Upstream exchanges killed by the `--upstream-timeout-secs` wheel.
+    pub upstream_timeouts: AtomicU64,
 }
 
 impl ReactorShardStats {
@@ -292,6 +333,18 @@ impl ReactorShardStats {
     }
     pub fn offloads(&self) -> u64 {
         self.offloads.load(Ordering::Relaxed)
+    }
+    pub fn upstream_dials(&self) -> u64 {
+        self.upstream_dials.load(Ordering::Relaxed)
+    }
+    pub fn upstream_reuses(&self) -> u64 {
+        self.upstream_reuses.load(Ordering::Relaxed)
+    }
+    pub fn upstream_inflight(&self) -> u64 {
+        self.upstream_inflight.load(Ordering::Relaxed)
+    }
+    pub fn upstream_timeouts(&self) -> u64 {
+        self.upstream_timeouts.load(Ordering::Relaxed)
     }
 }
 
@@ -319,6 +372,12 @@ pub struct ReactorOptions {
     /// Close connections with no client activity for this long; also the
     /// read deadline for an incomplete request (slow-loris guard).
     pub idle_timeout: Duration,
+    /// Per-attempt deadline for a nonblocking upstream exchange; a stalled
+    /// exchange is killed (and retried once, then failed) when it fires.
+    /// Idle kept-alive upstream connections are reaped on the same clock.
+    pub upstream_timeout: Duration,
+    /// Kept-alive idle upstream connections retained per reactor shard.
+    pub upstream_max_idle: usize,
 }
 
 impl Default for ReactorOptions {
@@ -326,6 +385,8 @@ impl Default for ReactorOptions {
         ReactorOptions {
             offload_workers: 16,
             idle_timeout: Duration::from_secs(120),
+            upstream_timeout: Duration::from_secs(30),
+            upstream_max_idle: 8,
         }
     }
 }
@@ -346,28 +407,85 @@ pub enum Served {
     /// The response was fully serialized into `out` on the reactor thread
     /// (cache hits, metrics, synthesized errors).
     Inline,
-    /// The request needs blocking work (an upstream exchange). The closure
-    /// runs on an offload worker, serializes the response into the
-    /// provided buffer, and the bytes are injected back to the reactor.
+    /// The request needs blocking work (push drains, legacy mode,
+    /// speculative joins). The closure runs on an offload worker,
+    /// serializes the response into the provided buffer, and the bytes
+    /// are injected back to the reactor.
     Offload(OffloadFn),
+    /// The request needs an origin exchange: the reactor parks the client
+    /// connection, drives the nonblocking exchange itself, and calls the
+    /// plan's continuation with the outcome. No pool handoff.
+    Upstream(UpstreamPlan),
 }
 
 pub type OffloadFn = Box<dyn FnOnce(&mut ConnScratch, &mut Vec<u8>) -> io::Result<()> + Send>;
 
+/// One nonblocking origin exchange: pre-serialized request bytes out, a
+/// parsed [`Response`] (or failure) into the continuation.
+pub struct UpstreamPlan {
+    /// Origin to dial (or reuse a kept-alive connection to).
+    pub origin: SocketAddr,
+    /// The full serialized request (same `Request::write_with` serializer
+    /// as the threaded path, so the origin sees identical bytes).
+    pub request: Vec<u8>,
+    /// Continuation run on the reactor thread with the outcome. It must
+    /// serialize the client-facing response into `out` (append-only) and
+    /// may return [`UpstreamNext::Again`] to chain a follow-up exchange
+    /// (the threaded path's refetch-after-304 loop).
+    pub finish: FinishFn,
+    /// Side-effect hook invoked exactly once if the exchange is retried on
+    /// a fresh connection (mirrors the threaded `upstream_retries` bump).
+    pub retry: RetryFn,
+}
+
+/// How a nonblocking upstream exchange ended.
+pub enum UpstreamOutcome {
+    /// A complete response was parsed off the origin connection.
+    Response(Response),
+    /// The exchange failed terminally (dial failure, second-attempt I/O
+    /// error, or timeout); the continuation should synthesize a 502.
+    Failed,
+}
+
+/// What the continuation wants next.
+pub enum UpstreamNext {
+    /// The response bytes are in `out`; unpark the client connection.
+    Done,
+    /// Run another exchange (fresh attempt counter) before unparking.
+    Again(UpstreamPlan),
+}
+
+pub type FinishFn = Box<
+    dyn FnOnce(&mut ConnScratch, &mut Vec<u8>, UpstreamOutcome) -> io::Result<UpstreamNext> + Send,
+>;
+pub type RetryFn = Box<dyn Fn() + Send>;
+
 /// A protocol engine served by the reactor: parse-complete requests in,
 /// serialized response bytes out. Implemented by the proxy and origin.
 pub trait ReactorService: Send + Sync + 'static {
+    /// Per-reactor-shard service state, owned by the reactor thread and
+    /// passed mutably to every [`handle`](Self::handle) call — a lock-free
+    /// home for shard-affine caches (the proxy's L1). Use `()` when the
+    /// service is stateless per shard.
+    type Ctx: Send + 'static;
+
+    /// Build the shard-affine context for reactor `shard`.
+    fn make_ctx(&self, shard: usize) -> Self::Ctx;
+
     /// Called once per accepted connection, on the reactor thread.
     fn on_connect(&self, _peer: SocketAddr) {}
 
     /// Handle one parsed request. Serialize the response into `out`
     /// (append-only; earlier pipelined responses may precede it) and
-    /// return [`Served::Inline`], or return [`Served::Offload`] to run
-    /// blocking work off-reactor. Errors close the connection.
+    /// return [`Served::Inline`]; return [`Served::Upstream`] to drive a
+    /// nonblocking origin exchange on the reactor; or return
+    /// [`Served::Offload`] to run blocking work off-reactor. Errors close
+    /// the connection.
     fn handle(
         &self,
         req: &Request,
         peer: SocketAddr,
+        ctx: &mut Self::Ctx,
         scratch: &mut ConnScratch,
         out: &mut Vec<u8>,
     ) -> io::Result<Served>;
@@ -382,9 +500,29 @@ struct Completion {
     ok: bool,
 }
 
-/// Cross-thread completion queue into one reactor, woken via eventfd.
+/// Work injected into a reactor from another thread (or deferred by the
+/// reactor itself to break re-entrancy).
+enum Inbound {
+    /// An offload worker finished serializing a response.
+    Completion(Completion),
+    /// Start an upstream exchange. `client` is the parked client token;
+    /// None for detached prefetch plans, whose continuation settles the
+    /// speculation ledger. Routed through the queue (even shard-locally)
+    /// so exchange continuations always run at top level — never inside
+    /// the `pump` that produced the plan.
+    Start {
+        plan: UpstreamPlan,
+        client: Option<u64>,
+    },
+    /// An exchange failed before it could touch the event loop (instant
+    /// dial failure); finish it at top level instead of recursing into
+    /// `pump` from inside `pump`.
+    Failed(Exchange),
+}
+
+/// Cross-thread injection queue into one reactor, woken via eventfd.
 struct Injector {
-    queue: Mutex<Vec<Completion>>,
+    queue: Mutex<Vec<Inbound>>,
     efd: EventFd,
 }
 
@@ -396,14 +534,34 @@ impl Injector {
         }))
     }
 
-    fn push(&self, c: Completion) {
+    fn push(&self, c: Inbound) {
         self.queue.lock().unwrap_or_else(|e| e.into_inner()).push(c);
         self.efd.wake();
     }
 
-    fn drain_into(&self, out: &mut Vec<Completion>) {
+    fn drain_into(&self, out: &mut Vec<Inbound>) {
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         out.append(&mut q);
+    }
+}
+
+/// Cloneable handle for submitting detached [`UpstreamPlan`]s to the
+/// reactor fleet (round-robin across shards). Obtained from
+/// [`ServerHandle::reactor_submitter`]; used by the prefetcher so
+/// speculative GETs ride the same nonblocking upstream connections as
+/// demand misses instead of burning a blocking pool thread.
+#[derive(Clone)]
+pub struct ReactorSubmitter {
+    injectors: Vec<Arc<Injector>>,
+    next: Arc<AtomicU64>,
+}
+
+impl ReactorSubmitter {
+    /// Hand `plan` to the next reactor shard; its continuation runs on
+    /// that reactor thread.
+    pub fn submit(&self, plan: UpstreamPlan) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) as usize % self.injectors.len();
+        self.injectors[i].push(Inbound::Start { plan, client: None });
     }
 }
 
@@ -494,11 +652,11 @@ fn start_pool(
                             false
                         }
                     };
-                    injectors[job.shard].push(Completion {
+                    injectors[job.shard].push(Inbound::Completion(Completion {
                         token: job.token,
                         bytes: out,
                         ok,
-                    });
+                    }));
                 }
             })?;
     }
@@ -514,6 +672,14 @@ pub(crate) struct ReactorHandle {
 }
 
 impl ReactorHandle {
+    /// A cloneable submitter for detached upstream plans.
+    pub(crate) fn submitter(&self) -> ReactorSubmitter {
+        ReactorSubmitter {
+            injectors: self.injectors.clone(),
+            next: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
     pub(crate) fn stop(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         for inj in &self.injectors {
@@ -533,10 +699,13 @@ impl ReactorHandle {
 /// body assembly are implicit in `Ready` (the parser resumes from the
 /// buffered prefix on every readable edge); `Awaiting` parks the
 /// connection while an offload worker produces the response;
-/// `Closing` drains pending output and then closes.
+/// `AwaitingUpstream` parks it while the reactor itself drives a
+/// nonblocking origin exchange; `Closing` drains pending output and then
+/// closes.
 enum ConnState {
     Ready,
     Awaiting { keep: bool },
+    AwaitingUpstream { keep: bool },
     Closing,
 }
 
@@ -567,18 +736,21 @@ impl Conn {
     }
 }
 
-/// Slot map with generation-tagged tokens: `token = gen << 32 | index`.
-/// A removed slot bumps its generation, so events and completions that
-/// raced with the close miss (generation mismatch) instead of touching
-/// whatever connection reused the slot.
-struct Slab {
-    entries: Vec<Option<Conn>>,
+/// Slot map with generation-tagged tokens: `token = gen << 32 | index`
+/// (generation masked to 31 bits so bit 63 stays free for
+/// [`UPSTREAM_BIT`]). A removed slot bumps its generation, so events and
+/// completions that raced with the close miss (generation mismatch)
+/// instead of touching whatever connection reused the slot. Generic over
+/// the slot payload: client [`Conn`]s and upstream [`UpConn`]s each get
+/// their own slab (and token space).
+struct Slab<T> {
+    entries: Vec<Option<T>>,
     gens: Vec<u32>,
     free: Vec<u32>,
 }
 
 fn token_of(index: u32, gen: u32) -> u64 {
-    (gen as u64) << 32 | index as u64
+    ((gen & GEN_MASK) as u64) << 32 | index as u64
 }
 
 fn index_of(token: u64) -> u32 {
@@ -586,10 +758,10 @@ fn index_of(token: u64) -> u32 {
 }
 
 fn gen_of(token: u64) -> u32 {
-    (token >> 32) as u32
+    (token >> 32) as u32 & GEN_MASK
 }
 
-impl Slab {
+impl<T> Slab<T> {
     fn new() -> Self {
         Slab {
             entries: Vec::new(),
@@ -598,7 +770,7 @@ impl Slab {
         }
     }
 
-    fn insert(&mut self, conn: Conn) -> u64 {
+    fn insert(&mut self, conn: T) -> u64 {
         match self.free.pop() {
             Some(i) => {
                 self.entries[i as usize] = Some(conn);
@@ -613,17 +785,17 @@ impl Slab {
         }
     }
 
-    fn get_mut(&mut self, token: u64) -> Option<&mut Conn> {
+    fn get_mut(&mut self, token: u64) -> Option<&mut T> {
         let i = index_of(token) as usize;
-        if i >= self.entries.len() || self.gens[i] != gen_of(token) {
+        if i >= self.entries.len() || self.gens[i] & GEN_MASK != gen_of(token) {
             return None;
         }
         self.entries[i].as_mut()
     }
 
-    fn remove(&mut self, token: u64) -> Option<Conn> {
+    fn remove(&mut self, token: u64) -> Option<T> {
         let i = index_of(token) as usize;
-        if i >= self.entries.len() || self.gens[i] != gen_of(token) {
+        if i >= self.entries.len() || self.gens[i] & GEN_MASK != gen_of(token) {
             return None;
         }
         let conn = self.entries[i].take();
@@ -635,13 +807,14 @@ impl Slab {
     }
 }
 
-/// Coarse timer wheel: `WHEEL_SLOTS` buckets of (index, gen) pairs, one
-/// bucket drained per tick. Entries are revalidated lazily at expiry —
-/// activity just updates `Conn::last_active`, and a still-fresh connection
-/// is rescheduled for its remaining lifetime. No per-activity bookkeeping
-/// on the hot path.
+/// Coarse timer wheel: `WHEEL_SLOTS` buckets of raw tokens (client or
+/// upstream — bit 63 dispatches at expiry), one bucket drained per tick.
+/// Entries are revalidated lazily at expiry — activity just updates the
+/// connection's `last_active`, and a still-fresh connection is
+/// rescheduled for its remaining lifetime. No per-activity bookkeeping on
+/// the hot path.
 struct Wheel {
-    slots: Vec<Vec<(u32, u32)>>,
+    slots: Vec<Vec<u64>>,
     cursor: usize,
     tick: Duration,
 }
@@ -666,13 +839,13 @@ impl Wheel {
         (r.div_ceil(t) as usize).clamp(1, WHEEL_SLOTS - 1)
     }
 
-    fn schedule(&mut self, index: u32, gen: u32, ticks_ahead: usize) {
+    fn schedule(&mut self, token: u64, ticks_ahead: usize) {
         let slot = (self.cursor + ticks_ahead.clamp(1, WHEEL_SLOTS - 1)) % WHEEL_SLOTS;
-        self.slots[slot].push((index, gen));
+        self.slots[slot].push(token);
     }
 
     /// Drain the current slot into `out` and advance the cursor.
-    fn advance_into(&mut self, out: &mut Vec<(u32, u32)>) {
+    fn advance_into(&mut self, out: &mut Vec<u64>) {
         out.append(&mut self.slots[self.cursor]);
         self.cursor = (self.cursor + 1) % WHEEL_SLOTS;
     }
@@ -732,6 +905,137 @@ fn try_parse(req: &mut Request, buf: &[u8], scratch: &mut ConnScratch) -> Parse 
 }
 
 // ---------------------------------------------------------------------------
+// incremental response parsing (nonblocking upstream leg)
+
+enum ParseResp {
+    /// A full response was parsed, consuming this many bytes.
+    Complete(Box<Response>, usize),
+    /// A valid prefix; wait for more origin bytes.
+    Incomplete,
+    /// The bytes can never become a valid response (or EOF truncated one).
+    Malformed,
+}
+
+/// Find the end of the header block (index just past `\r\n\r\n`).
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Exact-case header scan within the head block. The upstream peer is
+/// always this workspace's own origin/volume daemons, whose serializer
+/// emits canonical casing; a miss here only costs a deferred parse.
+fn scan_header<'a>(head: &'a [u8], name: &str) -> Option<&'a [u8]> {
+    let pat = name.as_bytes();
+    let mut pos = 0;
+    while let Some(nl) = head[pos..].windows(2).position(|w| w == b"\r\n") {
+        let line = &head[pos..pos + nl];
+        if line.len() > pat.len() && line[..pat.len()].eq_ignore_ascii_case(pat) {
+            return Some(
+                line[pat.len()..]
+                    .strip_prefix(b" ")
+                    .unwrap_or(&line[pat.len()..]),
+            );
+        }
+        pos += nl + 2;
+    }
+    None
+}
+
+/// Is `buf` known to hold a complete response? A cheap gate run before the
+/// real parser so a response arriving in many small reads (netem pacing)
+/// is not re-parsed quadratically — and so a Content-Length body is never
+/// parsed early (the wire parser would misreport a short body as a
+/// connection error).
+fn response_looks_complete(buf: &[u8], eof: bool) -> bool {
+    let Some(he) = head_end(buf) else { return eof };
+    // "HTTP/1.1 NNN ..." — status in bytes 9..12.
+    let status: u16 = buf
+        .get(9..12)
+        .and_then(|b| std::str::from_utf8(b).ok())
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0);
+    if Response::bodiless_status(status) {
+        return true;
+    }
+    let head = &buf[..he];
+    if let Some(v) = scan_header(head, "Content-Length:") {
+        let n: usize = std::str::from_utf8(v)
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(usize::MAX);
+        return n != usize::MAX && buf.len() >= he.saturating_add(n);
+    }
+    if scan_header(head, "Transfer-Encoding:").is_some_and(|v| v.starts_with(b"chunked")) {
+        // Terminal 0-chunk present? (Trailers may still be partial; the
+        // real parser reports that as incomplete and we wait for more.)
+        return buf[he - 2..].windows(5).any(|w| w == b"\r\n0\r\n") || eof;
+    }
+    // No framing header: HTTP/1.0-style read-to-EOF body; complete only
+    // when the origin half-closes.
+    eof
+}
+
+/// Attempt to parse one response from `buf`. `eof` means the origin
+/// half-closed, so "ran out of bytes" is truncation, not "wait for more".
+fn try_parse_response(buf: &[u8], eof: bool) -> ParseResp {
+    if buf.is_empty() {
+        return if eof {
+            ParseResp::Malformed
+        } else {
+            ParseResp::Incomplete
+        };
+    }
+    if !response_looks_complete(buf, eof) {
+        return ParseResp::Incomplete;
+    }
+    let mut r = SliceReader { buf, pos: 0 };
+    match Response::read(&mut r, false) {
+        Ok(resp) => ParseResp::Complete(Box::new(resp), r.pos),
+        Err(HttpError::ConnectionClosed) if !eof => ParseResp::Incomplete,
+        Err(_) => ParseResp::Malformed,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// upstream connection state machine
+
+/// Lifecycle of one nonblocking origin connection.
+enum UpPhase {
+    /// `connect()` returned `EINPROGRESS`; completion arrives as
+    /// `EPOLLOUT` (success/failure read via `SO_ERROR`).
+    Dialing,
+    /// Driving an exchange: writing the request and/or reading the
+    /// response.
+    Busy,
+    /// Kept alive in the shard's idle list awaiting the next miss.
+    Idle,
+}
+
+/// One in-flight upstream exchange, attached to a [`UpConn`].
+struct Exchange {
+    plan: UpstreamPlan,
+    /// Parked client connection token (None for detached prefetch plans).
+    client: Option<u64>,
+    /// 0 = first attempt; 1 = retry on a fresh connection.
+    attempt: u8,
+    /// Write cursor into `plan.request`.
+    wpos: usize,
+    /// Per-attempt deadline base for the upstream timeout wheel.
+    started: Instant,
+}
+
+/// A nonblocking origin connection owned by one reactor shard.
+struct UpConn {
+    stream: TcpStream,
+    phase: UpPhase,
+    /// Buffered response bytes not yet parsed.
+    rbuf: Vec<u8>,
+    read_eof: bool,
+    last_active: Instant,
+    ex: Option<Exchange>,
+}
+
+// ---------------------------------------------------------------------------
 // the reactor proper
 
 struct Reactor<S: ReactorService> {
@@ -741,9 +1045,18 @@ struct Reactor<S: ReactorService> {
     inject: Arc<Injector>,
     pool: Arc<PoolInner>,
     svc: Arc<S>,
-    slab: Slab,
+    /// Shard-affine service state (the proxy's lock-free L1 cache).
+    ctx: S::Ctx,
+    slab: Slab<Conn>,
+    /// Nonblocking origin connections, in their own token space
+    /// ([`UPSTREAM_BIT`]).
+    upstreams: Slab<UpConn>,
+    /// Kept-alive idle upstream tokens (all phase `Idle`).
+    idle_ups: VecDeque<u64>,
     wheel: Wheel,
     idle_timeout: Duration,
+    upstream_timeout: Duration,
+    upstream_max_idle: usize,
     io_stats: Arc<IoStats>,
     metrics: Arc<ReactorMetrics>,
     stop: Arc<AtomicBool>,
@@ -751,8 +1064,13 @@ struct Reactor<S: ReactorService> {
     /// and re-armed once this deadline passes (checked on timer ticks).
     accept_paused_until: Option<Instant>,
     accept_backoff: Duration,
-    expired_buf: Vec<(u32, u32)>,
-    comp_buf: Vec<Completion>,
+    expired_buf: Vec<u64>,
+    comp_buf: Vec<Inbound>,
+    /// Scratch + sink for continuations whose client connection died
+    /// mid-exchange (the continuation must still run: request counters
+    /// were bumped at plan time and conservation needs the outcome).
+    spare_scratch: ConnScratch,
+    spare_out: Vec<u8>,
 }
 
 impl<S: ReactorService> Reactor<S> {
@@ -801,6 +1119,7 @@ impl<S: ReactorService> Reactor<S> {
                         self.inject.efd.drain();
                         self.drain_completions();
                     }
+                    t if t & UPSTREAM_BIT != 0 => self.upstream_event(token, mask),
                     _ => self.conn_event(token, mask),
                 }
             }
@@ -881,7 +1200,7 @@ impl<S: ReactorService> Reactor<S> {
         }
         self.shard_stats().conns.fetch_add(1, Ordering::Relaxed);
         let ticks = self.wheel.ticks_for(self.idle_timeout);
-        self.wheel.schedule(index_of(token), gen_of(token), ticks);
+        self.wheel.schedule(token, ticks);
         self.svc.on_connect(peer);
         // The socket may have become readable before registration; ET
         // reports readiness present at ADD time, but pump eagerly anyway.
@@ -908,8 +1227,11 @@ impl<S: ReactorService> Reactor<S> {
         }
         let mut expired = std::mem::take(&mut self.expired_buf);
         self.wheel.advance_into(&mut expired);
-        for (index, gen) in expired.drain(..) {
-            let token = token_of(index, gen);
+        for token in expired.drain(..) {
+            if token & UPSTREAM_BIT != 0 {
+                self.upstream_tick(token);
+                continue;
+            }
             let decision = match self.slab.get_mut(token) {
                 None => continue,
                 Some(conn) => {
@@ -923,7 +1245,9 @@ impl<S: ReactorService> Reactor<S> {
                     // dropped at pool shutdown, worker gone) and the
                     // connection is closed rather than rescheduled
                     // forever. A late completion for a closed slot is
-                    // discarded by the slab generation check.
+                    // discarded by the slab generation check. (A parked
+                    // nonblocking exchange has its own, tighter wheel
+                    // entry via the upstream token.)
                     if idle >= self.idle_timeout || read_stalled {
                         None
                     } else {
@@ -938,11 +1262,61 @@ impl<S: ReactorService> Reactor<S> {
                 }
                 Some(remain) => {
                     let ticks = self.wheel.ticks_for(remain.max(self.wheel.tick));
-                    self.wheel.schedule(index, gen, ticks);
+                    self.wheel.schedule(token, ticks);
                 }
             }
         }
         self.expired_buf = expired;
+    }
+
+    /// Lazy expiry for an upstream token: reap idle connections past the
+    /// upstream timeout, kill stalled exchanges (counted, then treated as
+    /// an exchange I/O error: one retry on a fresh connection, then
+    /// failure), reschedule everything still fresh.
+    fn upstream_tick(&mut self, token: u64) {
+        enum Verdict {
+            Reschedule(Duration),
+            Reap,
+            Stalled,
+        }
+        let verdict = match self.upstreams.get_mut(token & !UPSTREAM_BIT) {
+            None => return,
+            Some(up) => match up.phase {
+                UpPhase::Idle => {
+                    let idle = up.last_active.elapsed();
+                    if idle >= self.upstream_timeout {
+                        Verdict::Reap
+                    } else {
+                        Verdict::Reschedule(self.upstream_timeout.saturating_sub(idle))
+                    }
+                }
+                UpPhase::Dialing | UpPhase::Busy => {
+                    let ran = up
+                        .ex
+                        .as_ref()
+                        .map(|ex| ex.started.elapsed())
+                        .unwrap_or_default();
+                    if ran >= self.upstream_timeout {
+                        Verdict::Stalled
+                    } else {
+                        Verdict::Reschedule(self.upstream_timeout.saturating_sub(ran))
+                    }
+                }
+            },
+        };
+        match verdict {
+            Verdict::Reschedule(remain) => {
+                let ticks = self.wheel.ticks_for(remain.max(self.wheel.tick));
+                self.wheel.schedule(token, ticks);
+            }
+            Verdict::Reap => self.close_upstream(token),
+            Verdict::Stalled => {
+                self.shard_stats()
+                    .upstream_timeouts
+                    .fetch_add(1, Ordering::Relaxed);
+                self.upstream_exchange_error(token);
+            }
+        }
     }
 
     // -- connection events --------------------------------------------------
@@ -1015,6 +1389,7 @@ impl<S: ReactorService> Reactor<S> {
     fn pump(&mut self, token: u64) {
         loop {
             let mut submit = None;
+            let mut upstream = None;
             let mut progressed = false;
             let pre_flush_pending;
             {
@@ -1025,6 +1400,7 @@ impl<S: ReactorService> Reactor<S> {
                 while matches!(conn.state, ConnState::Ready)
                     && conn.pending_out() < OUT_HIGH_WATER
                     && submit.is_none()
+                    && upstream.is_none()
                 {
                     match try_parse(&mut conn.req, &conn.rbuf[conn.rpos..], &mut conn.scratch) {
                         Parse::Incomplete => break,
@@ -1044,6 +1420,7 @@ impl<S: ReactorService> Reactor<S> {
                             match self.svc.handle(
                                 &conn.req,
                                 conn.peer,
+                                &mut self.ctx,
                                 &mut conn.scratch,
                                 &mut conn.out,
                             ) {
@@ -1059,6 +1436,10 @@ impl<S: ReactorService> Reactor<S> {
                                         token,
                                         f,
                                     });
+                                }
+                                Ok(Served::Upstream(plan)) => {
+                                    conn.state = ConnState::AwaitingUpstream { keep };
+                                    upstream = Some(plan);
                                 }
                                 Err(_) => {
                                     conn.state = ConnState::Closing;
@@ -1085,6 +1466,15 @@ impl<S: ReactorService> Reactor<S> {
             if let Some(job) = submit {
                 self.shard_stats().offloads.fetch_add(1, Ordering::Relaxed);
                 self.pool.submit(job);
+            }
+            if let Some(plan) = upstream {
+                // Deferred through the shard-local queue: the exchange
+                // starts (and may instantly fail) at top level, never
+                // re-entering this pump.
+                self.inject.push(Inbound::Start {
+                    plan,
+                    client: Some(token),
+                });
             }
             if self.flush_conn(token) {
                 return;
@@ -1160,7 +1550,18 @@ impl<S: ReactorService> Reactor<S> {
     fn drain_completions(&mut self) {
         let mut comps = std::mem::take(&mut self.comp_buf);
         self.inject.drain_into(&mut comps);
-        for c in comps.drain(..) {
+        for inbound in comps.drain(..) {
+            let c = match inbound {
+                Inbound::Completion(c) => c,
+                Inbound::Start { plan, client } => {
+                    self.start_upstream(plan, client, 0);
+                    continue;
+                }
+                Inbound::Failed(ex) => {
+                    self.finish_exchange(ex, UpstreamOutcome::Failed);
+                    continue;
+                }
+            };
             let token = c.token;
             let alive = match self.slab.get_mut(token) {
                 // Connection died while the fetch was in flight (or the
@@ -1199,6 +1600,445 @@ impl<S: ReactorService> Reactor<S> {
             // Dropping conn closes the socket and releases the OpenGuard.
         }
     }
+
+    // -- nonblocking upstream leg --------------------------------------------
+
+    /// Begin (or continue, on retry) an upstream exchange: reuse a healthy
+    /// kept-alive connection or dial fresh. `client` is the parked client
+    /// token (None for detached prefetch plans); `attempt` 1 marks the
+    /// one-shot retry on a fresh connection.
+    fn start_upstream(&mut self, plan: UpstreamPlan, client: Option<u64>, attempt: u8) {
+        let ex = Exchange {
+            plan,
+            client,
+            attempt,
+            wpos: 0,
+            started: Instant::now(),
+        };
+        if attempt == 0 {
+            self.shard_stats()
+                .upstream_inflight
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        // Reuse: pop idle connections to this origin until one passes the
+        // quiet-peek health check (WouldBlock ⇔ open and silent — the same
+        // probe as the threaded pool's checkout).
+        if attempt == 0 {
+            let mut reuse = None;
+            while let Some(utoken) = self.idle_ups.pop_front() {
+                let healthy = match self.upstreams.get_mut(utoken & !UPSTREAM_BIT) {
+                    None => false,
+                    Some(up) => {
+                        let mut probe = [0u8; 1];
+                        matches!(
+                            up.stream.peek(&mut probe),
+                            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock
+                        )
+                    }
+                };
+                if healthy {
+                    reuse = Some(utoken);
+                    break;
+                }
+                self.close_upstream(utoken);
+            }
+            if let Some(utoken) = reuse {
+                self.shard_stats()
+                    .upstream_reuses
+                    .fetch_add(1, Ordering::Relaxed);
+                let up = self
+                    .upstreams
+                    .get_mut(utoken & !UPSTREAM_BIT)
+                    .expect("healthy idle upstream");
+                up.phase = UpPhase::Busy;
+                up.rbuf.clear();
+                up.read_eof = false;
+                up.last_active = Instant::now();
+                up.ex = Some(ex);
+                // The single wheel entry created at dial time is still
+                // live (lazy revalidation reschedules it for the life of
+                // the connection), so no new entry here — duplicates
+                // would accumulate one per reuse.
+                self.drive_upstream(utoken);
+                return;
+            }
+        }
+        self.dial_upstream(ex);
+    }
+
+    /// Fresh nonblocking dial for `ex`. Instant failures are deferred
+    /// through the injector so the continuation never runs inside `pump`.
+    fn dial_upstream(&mut self, ex: Exchange) {
+        self.shard_stats()
+            .upstream_dials
+            .fetch_add(1, Ordering::Relaxed);
+        match dial_nonblocking(ex.plan.origin) {
+            Err(_) => {
+                // Mirrors the threaded path: a connect error propagates
+                // immediately (no retry), on either attempt.
+                self.inject.push(Inbound::Failed(ex));
+            }
+            Ok((stream, connected)) => {
+                let up = UpConn {
+                    stream,
+                    phase: if connected {
+                        UpPhase::Busy
+                    } else {
+                        UpPhase::Dialing
+                    },
+                    rbuf: Vec::new(),
+                    read_eof: false,
+                    last_active: Instant::now(),
+                    ex: Some(ex),
+                };
+                let fd = up.stream.as_raw_fd();
+                let utoken = self.upstreams.insert(up) | UPSTREAM_BIT;
+                let interest = sys::EPOLLIN | sys::EPOLLOUT | sys::EPOLLRDHUP | sys::EPOLLET;
+                if self.ep.add(fd, utoken, interest).is_err() {
+                    let up = self.upstreams.remove(utoken & !UPSTREAM_BIT);
+                    if let Some(ex) = up.and_then(|u| u.ex) {
+                        self.inject.push(Inbound::Failed(ex));
+                    }
+                    return;
+                }
+                let ticks = self.wheel.ticks_for(self.upstream_timeout);
+                self.wheel.schedule(utoken, ticks);
+                if connected {
+                    self.drive_upstream(utoken);
+                }
+            }
+        }
+    }
+
+    /// Readiness on an upstream token: finish dialing, write the request,
+    /// read/parse the response.
+    fn upstream_event(&mut self, utoken: u64, mask: u32) {
+        let phase = match self.upstreams.get_mut(utoken & !UPSTREAM_BIT) {
+            None => return,
+            Some(up) => match up.phase {
+                UpPhase::Dialing => 0,
+                UpPhase::Busy => 1,
+                UpPhase::Idle => 2,
+            },
+        };
+        match phase {
+            0 => {
+                // Dial completion: EPOLLOUT on success, EPOLLOUT|ERR|HUP
+                // on failure — SO_ERROR tells which.
+                if mask & (sys::EPOLLOUT | sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+                    let fd = self
+                        .upstreams
+                        .get_mut(utoken & !UPSTREAM_BIT)
+                        .map(|up| up.stream.as_raw_fd());
+                    let Some(fd) = fd else { return };
+                    if so_error(fd) == 0 {
+                        if let Some(up) = self.upstreams.get_mut(utoken & !UPSTREAM_BIT) {
+                            up.phase = UpPhase::Busy;
+                            up.last_active = Instant::now();
+                        }
+                        self.drive_upstream(utoken);
+                    } else {
+                        // Connect failed: no retry, same as the threaded
+                        // pool's checkout error propagating.
+                        self.fail_upstream(utoken);
+                    }
+                }
+            }
+            1 => {
+                if mask & sys::EPOLLERR != 0 {
+                    self.upstream_exchange_error(utoken);
+                    return;
+                }
+                self.drive_upstream(utoken);
+            }
+            _ => {
+                // Any event on a parked idle connection (origin FIN,
+                // unsolicited bytes) poisons it.
+                if mask & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0 {
+                    self.close_upstream(utoken);
+                }
+            }
+        }
+    }
+
+    /// Write request bytes / read response bytes until EAGAIN, then try to
+    /// parse. Terminal conditions route to resolve/retry/fail.
+    fn drive_upstream(&mut self, utoken: u64) {
+        enum Out {
+            Wait,
+            Error,
+            Resolved(Box<Response>, bool),
+        }
+        let out = {
+            let up = match self.upstreams.get_mut(utoken & !UPSTREAM_BIT) {
+                Some(u) => u,
+                None => return,
+            };
+            let Some(ex) = up.ex.as_mut() else { return };
+            let mut verdict = Out::Wait;
+            // Write leg.
+            while ex.wpos < ex.plan.request.len() {
+                match up.stream.write(&ex.plan.request[ex.wpos..]) {
+                    Ok(0) => {
+                        verdict = Out::Error;
+                        break;
+                    }
+                    Ok(n) => ex.wpos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        verdict = Out::Error;
+                        break;
+                    }
+                }
+            }
+            // Read leg (only meaningful once the request is fully out,
+            // but draining early bytes is harmless and keeps ET armed).
+            if matches!(verdict, Out::Wait) {
+                loop {
+                    let old = up.rbuf.len();
+                    if old >= MAX_RBUF {
+                        verdict = Out::Error;
+                        break;
+                    }
+                    up.rbuf.resize(old + READ_CHUNK, 0);
+                    match up.stream.read(&mut up.rbuf[old..]) {
+                        Ok(0) => {
+                            up.rbuf.truncate(old);
+                            up.read_eof = true;
+                            break;
+                        }
+                        Ok(n) => up.rbuf.truncate(old + n),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            up.rbuf.truncate(old);
+                            break;
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                            up.rbuf.truncate(old);
+                            continue;
+                        }
+                        Err(_) => {
+                            up.rbuf.truncate(old);
+                            verdict = Out::Error;
+                            break;
+                        }
+                    }
+                }
+            }
+            if matches!(verdict, Out::Wait) {
+                match try_parse_response(&up.rbuf, up.read_eof) {
+                    ParseResp::Incomplete => {
+                        if up.read_eof {
+                            // EOF with no parsable response: stale
+                            // keep-alive or origin kill mid-exchange.
+                            verdict = Out::Error;
+                        }
+                    }
+                    ParseResp::Malformed => verdict = Out::Error,
+                    ParseResp::Complete(resp, consumed) => {
+                        // Leftover bytes after a complete response poison
+                        // the framing; such a connection must not be
+                        // parked (same contract as the pool's dirty
+                        // checkin refusal).
+                        let dirty = consumed < up.rbuf.len() || up.read_eof;
+                        verdict = Out::Resolved(resp, dirty);
+                    }
+                }
+            }
+            up.last_active = Instant::now();
+            verdict
+        };
+        match out {
+            Out::Wait => {}
+            Out::Error => self.upstream_exchange_error(utoken),
+            Out::Resolved(resp, dirty) => self.resolve_upstream(utoken, *resp, dirty),
+        }
+    }
+
+    /// Mid-exchange failure (I/O error, EOF, malformed response, timeout):
+    /// retry once on a fresh connection, then fail terminally. The dead
+    /// connection is always closed.
+    fn upstream_exchange_error(&mut self, utoken: u64) {
+        let ex = self
+            .upstreams
+            .get_mut(utoken & !UPSTREAM_BIT)
+            .and_then(|up| up.ex.take());
+        self.close_upstream(utoken);
+        let Some(ex) = ex else { return };
+        if ex.attempt == 0 {
+            (ex.plan.retry)();
+            let Exchange { plan, client, .. } = ex;
+            self.start_upstream(plan, client, 1);
+        } else {
+            self.finish_exchange(ex, UpstreamOutcome::Failed);
+        }
+    }
+
+    /// Terminal failure with no retry (dial errors).
+    fn fail_upstream(&mut self, utoken: u64) {
+        let ex = self
+            .upstreams
+            .get_mut(utoken & !UPSTREAM_BIT)
+            .and_then(|up| up.ex.take());
+        self.close_upstream(utoken);
+        if let Some(ex) = ex {
+            self.finish_exchange(ex, UpstreamOutcome::Failed);
+        }
+    }
+
+    /// A complete response arrived: park or close the origin connection,
+    /// then run the continuation.
+    fn resolve_upstream(&mut self, utoken: u64, resp: Response, dirty: bool) {
+        let ex = self
+            .upstreams
+            .get_mut(utoken & !UPSTREAM_BIT)
+            .and_then(|up| up.ex.take());
+        if dirty || self.idle_ups.len() >= self.upstream_max_idle {
+            self.close_upstream(utoken);
+        } else if let Some(up) = self.upstreams.get_mut(utoken & !UPSTREAM_BIT) {
+            up.phase = UpPhase::Idle;
+            up.rbuf.clear();
+            up.last_active = Instant::now();
+            self.idle_ups.push_back(utoken);
+        }
+        if let Some(ex) = ex {
+            self.finish_exchange(ex, UpstreamOutcome::Response(resp));
+        }
+    }
+
+    /// Run the continuation with the outcome, writing into the parked
+    /// client's buffers (or the spare set if the client died — the
+    /// continuation's counter updates must happen regardless), then unpark
+    /// and pump the client or chain the follow-up exchange.
+    fn finish_exchange(&mut self, ex: Exchange, outcome: UpstreamOutcome) {
+        let Exchange {
+            plan,
+            client,
+            attempt: _,
+            wpos: _,
+            started: _,
+        } = ex;
+        let client = client.filter(|t| self.slab.get_mut(*t).is_some());
+        let next = match client {
+            Some(token) => {
+                let conn = self.slab.get_mut(token).expect("checked above");
+                (plan.finish)(&mut conn.scratch, &mut conn.out, outcome)
+            }
+            None => {
+                self.spare_out.clear();
+                (plan.finish)(&mut self.spare_scratch, &mut self.spare_out, outcome)
+            }
+        };
+        match next {
+            Ok(UpstreamNext::Again(plan2)) => {
+                // A chained exchange (refetch after a 304 whose body was
+                // evicted) gets its own two attempts, matching the
+                // threaded path's per-exchange retry loop.
+                self.shard_stats()
+                    .upstream_inflight
+                    .fetch_sub(1, Ordering::Relaxed);
+                self.start_upstream(plan2, client, 0);
+            }
+            Ok(UpstreamNext::Done) => {
+                self.shard_stats()
+                    .upstream_inflight
+                    .fetch_sub(1, Ordering::Relaxed);
+                if let Some(token) = client {
+                    if let Some(conn) = self.slab.get_mut(token) {
+                        if let ConnState::AwaitingUpstream { keep } = conn.state {
+                            conn.state = if keep {
+                                ConnState::Ready
+                            } else {
+                                ConnState::Closing
+                            };
+                        }
+                        conn.last_active = Instant::now();
+                    }
+                    self.pump(token);
+                }
+            }
+            Err(_) => {
+                self.shard_stats()
+                    .upstream_inflight
+                    .fetch_sub(1, Ordering::Relaxed);
+                if let Some(token) = client {
+                    self.close_conn(token);
+                }
+            }
+        }
+    }
+
+    fn close_upstream(&mut self, utoken: u64) {
+        if let Some(up) = self.upstreams.remove(utoken & !UPSTREAM_BIT) {
+            let _ = self.ep.del(up.stream.as_raw_fd());
+        }
+        // O(idle list) removal; the list is capped at upstream_max_idle.
+        self.idle_ups.retain(|t| *t != utoken);
+    }
+}
+
+/// Nonblocking IPv4 connect. Returns the stream and whether the TCP
+/// handshake already completed (loopback often connects synchronously);
+/// otherwise completion is reported by `EPOLLOUT` + `SO_ERROR`.
+fn dial_nonblocking(addr: SocketAddr) -> io::Result<(TcpStream, bool)> {
+    let SocketAddr::V4(v4) = addr else {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "reactor upstream requires IPv4",
+        ));
+    };
+    let fd = unsafe {
+        sys::socket(
+            sys::AF_INET,
+            sys::SOCK_STREAM | sys::SOCK_CLOEXEC | sys::SOCK_NONBLOCK,
+            0,
+        )
+    };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let sa = sys::SockAddrIn {
+        sin_family: sys::AF_INET as u16,
+        sin_port: v4.port().to_be(),
+        sin_addr: u32::from(*v4.ip()).to_be(),
+        sin_zero: [0; 8],
+    };
+    let len = std::mem::size_of::<sys::SockAddrIn>() as u32;
+    let rc = unsafe { sys::connect(fd, &sa, len) };
+    let connected = if rc == 0 {
+        true
+    } else {
+        let e = io::Error::last_os_error();
+        match e.raw_os_error() {
+            Some(sys::EINPROGRESS) | Some(sys::EINTR) => false,
+            _ => {
+                unsafe { sys::close(fd) };
+                return Err(e);
+            }
+        }
+    };
+    let stream = unsafe { TcpStream::from_raw_fd(fd) };
+    let _ = stream.set_nodelay(true);
+    Ok((stream, connected))
+}
+
+/// Read a socket's pending async error (`SO_ERROR`); 0 means none.
+fn so_error(fd: RawFd) -> i32 {
+    let mut err: i32 = 0;
+    let mut len: u32 = 4;
+    let rc = unsafe {
+        sys::getsockopt(
+            fd,
+            sys::SOL_SOCKET,
+            sys::SO_ERROR,
+            &mut err as *mut i32 as *mut u8,
+            &mut len,
+        )
+    };
+    if rc != 0 {
+        return -1;
+    }
+    err
 }
 
 /// Bind `127.0.0.1:port` (0 = ephemeral) with one `SO_REUSEPORT` listener
@@ -1234,10 +2074,15 @@ pub fn serve_reactor<S: ReactorService>(
                 listener,
                 inject: Arc::clone(&injectors[shard]),
                 pool: Arc::clone(&pool),
+                ctx: svc.make_ctx(shard),
                 svc: Arc::clone(&svc),
                 slab: Slab::new(),
+                upstreams: Slab::new(),
+                idle_ups: VecDeque::new(),
                 wheel: Wheel::new(opts.idle_timeout),
                 idle_timeout: opts.idle_timeout,
+                upstream_timeout: opts.upstream_timeout,
+                upstream_max_idle: opts.upstream_max_idle,
                 io_stats: Arc::clone(&io_stats),
                 metrics: Arc::clone(&metrics),
                 stop: Arc::clone(&stop),
@@ -1245,6 +2090,8 @@ pub fn serve_reactor<S: ReactorService>(
                 accept_backoff: ACCEPT_BACKOFF_MIN,
                 expired_buf: Vec::new(),
                 comp_buf: Vec::new(),
+                spare_scratch: ConnScratch::new(),
+                spare_out: Vec::new(),
             };
             std::thread::Builder::new()
                 .name(format!("{name}-reactor-{shard}"))
@@ -1322,18 +2169,18 @@ mod tests {
     #[test]
     fn wheel_expires_in_order() {
         let mut w = Wheel::new(Duration::from_secs(64));
-        w.schedule(1, 0, 1);
-        w.schedule(2, 0, 3);
+        w.schedule(1, 1);
+        w.schedule(UPSTREAM_BIT | 2, 3);
         let mut out = Vec::new();
         w.advance_into(&mut out); // cursor slot (empty at schedule time)
         out.clear();
         w.advance_into(&mut out);
-        assert_eq!(out, vec![(1, 0)]);
+        assert_eq!(out, vec![1]);
         out.clear();
         w.advance_into(&mut out);
         assert!(out.is_empty());
         w.advance_into(&mut out);
-        assert_eq!(out, vec![(2, 0)]);
+        assert_eq!(out, vec![UPSTREAM_BIT | 2]);
     }
 
     #[test]
@@ -1387,10 +2234,15 @@ mod tests {
     struct Echo;
 
     impl ReactorService for Echo {
+        type Ctx = ();
+
+        fn make_ctx(&self, _shard: usize) {}
+
         fn handle(
             &self,
             req: &Request,
             _peer: SocketAddr,
+            _ctx: &mut (),
             _scratch: &mut ConnScratch,
             out: &mut Vec<u8>,
         ) -> io::Result<Served> {
@@ -1424,6 +2276,7 @@ mod tests {
             ReactorOptions {
                 offload_workers: 1,
                 idle_timeout: Duration::from_secs(30),
+                ..ReactorOptions::default()
             },
             Arc::new(IoStats::default()),
             Arc::new(ReactorMetrics::new(2)),
@@ -1459,6 +2312,7 @@ mod tests {
             ReactorOptions {
                 offload_workers: 1,
                 idle_timeout: Duration::from_millis(200),
+                ..ReactorOptions::default()
             },
             Arc::clone(&stats),
             Arc::new(ReactorMetrics::new(1)),
@@ -1491,6 +2345,7 @@ mod tests {
             ReactorOptions {
                 offload_workers: 1,
                 idle_timeout: Duration::from_secs(30),
+                ..ReactorOptions::default()
             },
             Arc::new(IoStats::default()),
             Arc::new(ReactorMetrics::new(1)),
@@ -1515,10 +2370,15 @@ mod tests {
     const BIG_BODY: usize = 64 * 1024;
 
     impl ReactorService for Big {
+        type Ctx = ();
+
+        fn make_ctx(&self, _shard: usize) {}
+
         fn handle(
             &self,
             _req: &Request,
             _peer: SocketAddr,
+            _ctx: &mut (),
             _scratch: &mut ConnScratch,
             out: &mut Vec<u8>,
         ) -> io::Result<Served> {
@@ -1543,6 +2403,7 @@ mod tests {
             ReactorOptions {
                 offload_workers: 1,
                 idle_timeout: Duration::from_secs(30),
+                ..ReactorOptions::default()
             },
             Arc::new(IoStats::default()),
             Arc::new(ReactorMetrics::new(1)),
@@ -1578,10 +2439,15 @@ mod tests {
     struct Deferred;
 
     impl ReactorService for Deferred {
+        type Ctx = ();
+
+        fn make_ctx(&self, _shard: usize) {}
+
         fn handle(
             &self,
             req: &Request,
             _peer: SocketAddr,
+            _ctx: &mut (),
             _scratch: &mut ConnScratch,
             _out: &mut Vec<u8>,
         ) -> io::Result<Served> {
@@ -1606,6 +2472,7 @@ mod tests {
             ReactorOptions {
                 offload_workers: 4,
                 idle_timeout: Duration::from_secs(30),
+                ..ReactorOptions::default()
             },
             Arc::new(IoStats::default()),
             Arc::new(ReactorMetrics::new(2)),
@@ -1639,10 +2506,15 @@ mod tests {
     struct Panicky;
 
     impl ReactorService for Panicky {
+        type Ctx = ();
+
+        fn make_ctx(&self, _shard: usize) {}
+
         fn handle(
             &self,
             req: &Request,
             _peer: SocketAddr,
+            _ctx: &mut (),
             _scratch: &mut ConnScratch,
             _out: &mut Vec<u8>,
         ) -> io::Result<Served> {
@@ -1672,6 +2544,7 @@ mod tests {
             ReactorOptions {
                 offload_workers: 1,
                 idle_timeout: Duration::from_secs(30),
+                ..ReactorOptions::default()
             },
             Arc::new(IoStats::default()),
             Arc::new(ReactorMetrics::new(1)),
@@ -1692,5 +2565,254 @@ mod tests {
         good.write_all(b"GET /ok HTTP/1.1\r\n\r\n").unwrap();
         assert!(read_response(&mut good, "/ok").ends_with("/ok"));
         handle.stop();
+    }
+
+    #[test]
+    fn response_completeness_gate_covers_all_framings() {
+        // Content-Length: incomplete until the body is fully buffered.
+        let full = b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nbody";
+        for cut in 0..full.len() {
+            assert!(
+                matches!(
+                    try_parse_response(&full[..cut], false),
+                    ParseResp::Incomplete
+                ),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        match try_parse_response(full, false) {
+            ParseResp::Complete(resp, n) => {
+                assert_eq!(resp.status, 200);
+                assert_eq!(&*resp.body, b"body");
+                assert_eq!(n, full.len());
+            }
+            _ => panic!("full CL response must parse"),
+        }
+        // Bodiless 304 completes at the blank line.
+        let nm = b"HTTP/1.1 304 Not Modified\r\nX-A: b\r\n\r\n";
+        assert!(matches!(
+            try_parse_response(nm, false),
+            ParseResp::Complete(_, _)
+        ));
+        // Chunked: incomplete until the terminal 0-chunk + trailer end.
+        let chunked =
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nbody\r\n0\r\n\r\n";
+        for cut in 0..chunked.len() - 5 {
+            assert!(
+                matches!(
+                    try_parse_response(&chunked[..cut], false),
+                    ParseResp::Incomplete
+                ),
+                "chunked prefix of {cut} bytes must be incomplete"
+            );
+        }
+        match try_parse_response(chunked, false) {
+            ParseResp::Complete(resp, n) => {
+                assert_eq!(&*resp.body, b"body");
+                assert_eq!(n, chunked.len());
+            }
+            _ => panic!("full chunked response must parse"),
+        }
+        // Unframed (read-to-EOF) body: only complete once the origin
+        // half-closes, never before.
+        let unframed = b"HTTP/1.1 200 OK\r\n\r\nstreaming";
+        assert!(matches!(
+            try_parse_response(unframed, false),
+            ParseResp::Incomplete
+        ));
+        match try_parse_response(unframed, true) {
+            ParseResp::Complete(resp, _) => assert_eq!(&*resp.body, b"streaming"),
+            _ => panic!("unframed response must complete at EOF"),
+        }
+        // EOF mid-header is truncation.
+        assert!(matches!(
+            try_parse_response(b"HTTP/1.1 200 OK\r\nCont", true),
+            ParseResp::Malformed | ParseResp::Incomplete
+        ));
+    }
+
+    /// Forwarding service: every request becomes a nonblocking upstream
+    /// exchange against a real (blocking, keep-alive) origin.
+    struct Fwd {
+        origin: SocketAddr,
+    }
+
+    impl ReactorService for Fwd {
+        type Ctx = ();
+
+        fn make_ctx(&self, _shard: usize) {}
+
+        fn handle(
+            &self,
+            req: &Request,
+            _peer: SocketAddr,
+            _ctx: &mut (),
+            _scratch: &mut ConnScratch,
+            _out: &mut Vec<u8>,
+        ) -> io::Result<Served> {
+            let request = format!("GET {} HTTP/1.1\r\nHost: fwd\r\n\r\n", req.target).into_bytes();
+            Ok(Served::Upstream(UpstreamPlan {
+                origin: self.origin,
+                request,
+                finish: Box::new(|_scratch, out, outcome| {
+                    match outcome {
+                        UpstreamOutcome::Response(resp) => {
+                            write!(
+                                out,
+                                "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n",
+                                resp.body.len()
+                            )?;
+                            out.extend_from_slice(&resp.body);
+                        }
+                        UpstreamOutcome::Failed => {
+                            write!(out, "HTTP/1.1 502 Bad Gateway\r\nContent-Length: 0\r\n\r\n")?;
+                        }
+                    }
+                    Ok(UpstreamNext::Done)
+                }),
+                retry: Box::new(|| {}),
+            }))
+        }
+    }
+
+    /// Keep-alive echo origin for the forwarding tests.
+    fn spawn_echo_origin() -> crate::util::ServerHandle {
+        crate::util::serve(0, "fwd-origin", |stream| {
+            let mut r = std::io::BufReader::new(stream.try_clone().unwrap());
+            let mut w = std::io::BufWriter::new(stream);
+            while let Ok(req) = Request::read(&mut r) {
+                let mut resp = Response::new(200);
+                resp.body = req.target.clone().into_bytes().into();
+                if resp.write(&mut w).is_err() {
+                    break;
+                }
+            }
+        })
+        .unwrap()
+    }
+
+    /// The nonblocking upstream leg serves misses on the reactor (zero
+    /// offloads) and keeps the origin connection alive across exchanges
+    /// (second request reuses, no second dial).
+    #[test]
+    fn nonblocking_upstream_roundtrip_reuses_connections() {
+        let origin = spawn_echo_origin();
+        let metrics = Arc::new(ReactorMetrics::new(1));
+        let handle = serve_reactor(
+            0,
+            "fwd-reactor",
+            ReactorOptions {
+                offload_workers: 1,
+                idle_timeout: Duration::from_secs(30),
+                ..ReactorOptions::default()
+            },
+            Arc::new(IoStats::default()),
+            Arc::clone(&metrics),
+            Arc::new(Fwd {
+                origin: origin.addr,
+            }),
+        )
+        .unwrap();
+        let mut c = TcpStream::connect(handle.addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        for path in ["/up1", "/up2", "/up3"] {
+            c.write_all(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes())
+                .unwrap();
+            assert!(read_response(&mut c, path).ends_with(path));
+        }
+        let s = &metrics.shards[0];
+        assert_eq!(s.offloads(), 0, "misses must not touch the offload pool");
+        assert_eq!(s.upstream_dials(), 1, "one dial, then keep-alive reuse");
+        assert_eq!(s.upstream_reuses(), 2);
+        assert_eq!(s.upstream_inflight(), 0, "gauge must settle to zero");
+        handle.stop();
+        origin.stop();
+    }
+
+    /// A dead origin (connection refused) fails the exchange without a
+    /// retry — same contract as the threaded pool's checkout error — and
+    /// the continuation synthesizes the 502.
+    #[test]
+    fn upstream_dial_failure_yields_502() {
+        let dead = {
+            // Grab a port that is certainly closed.
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let handle = serve_reactor(
+            0,
+            "dead-fwd-reactor",
+            ReactorOptions {
+                offload_workers: 1,
+                idle_timeout: Duration::from_secs(30),
+                ..ReactorOptions::default()
+            },
+            Arc::new(IoStats::default()),
+            Arc::new(ReactorMetrics::new(1)),
+            Arc::new(Fwd { origin: dead }),
+        )
+        .unwrap();
+        let mut c = TcpStream::connect(handle.addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        c.write_all(b"GET /x HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        let mut tmp = [0u8; 1024];
+        loop {
+            match c.read(&mut tmp) {
+                Ok(0) => break,
+                Ok(n) => {
+                    buf.extend_from_slice(&tmp[..n]);
+                    if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                        break;
+                    }
+                }
+                Err(e) => panic!("read: {e}"),
+            }
+        }
+        let got = String::from_utf8_lossy(&buf);
+        assert!(got.starts_with("HTTP/1.1 502"), "got: {got}");
+        handle.stop();
+    }
+
+    /// A stalled origin (accepts, never answers) trips the upstream
+    /// timeout wheel: one counted kill per attempt, retry once, then 502.
+    #[test]
+    fn upstream_timeout_kills_stalled_exchanges() {
+        let stall = crate::util::serve(0, "stall-origin", |stream| {
+            let mut r = std::io::BufReader::new(stream);
+            let _ = Request::read(&mut r);
+            std::thread::sleep(Duration::from_secs(30));
+        })
+        .unwrap();
+        let metrics = Arc::new(ReactorMetrics::new(1));
+        let handle = serve_reactor(
+            0,
+            "stall-fwd-reactor",
+            ReactorOptions {
+                offload_workers: 1,
+                idle_timeout: Duration::from_secs(30),
+                upstream_timeout: Duration::from_millis(300),
+                ..ReactorOptions::default()
+            },
+            Arc::new(IoStats::default()),
+            Arc::clone(&metrics),
+            Arc::new(Fwd { origin: stall.addr }),
+        )
+        .unwrap();
+        let mut c = TcpStream::connect(handle.addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+        c.write_all(b"GET /stall HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = [0u8; 64];
+        let n = c.read(&mut buf).unwrap();
+        assert!(
+            buf[..n].starts_with(b"HTTP/1.1 502"),
+            "got: {}",
+            String::from_utf8_lossy(&buf[..n])
+        );
+        let s = &metrics.shards[0];
+        assert_eq!(s.upstream_timeouts(), 2, "both attempts timed out");
+        assert_eq!(s.upstream_inflight(), 0);
+        handle.stop();
+        stall.stop();
     }
 }

@@ -70,6 +70,9 @@ counter_set! {
         requests,
         cache_hits,
         fresh_hits,
+        /// Fresh hits served from a reactor shard's lock-free affine L1
+        /// (a subset of `fresh_hits`; outside the conservation sum).
+        affine_hits,
         validations,
         not_modified,
         full_fetches,

@@ -120,6 +120,95 @@ fn reactor_cached_hits_allocate_nothing_after_warmup() {
     steady_state_is_allocation_free(IoMode::Reactor { reactors: 2 });
 }
 
+/// ISSUE 9 satellite: the reactor's nonblocking miss path must also hit
+/// an allocation *steady state*. With freshness zero every request is
+/// stale, so each one drives a full upstream exchange on the reactor —
+/// serialize the validation request, ride the per-shard keep-alive
+/// upstream connection, parse the 304, re-serve from cache. That path
+/// legitimately allocates (plan closures, response headers), but the
+/// per-request count must be a small bounded constant, not grow with
+/// connection lifetime, and never fall back to the offload pool.
+#[cfg(target_os = "linux")]
+#[test]
+fn reactor_miss_path_allocations_stay_bounded() {
+    let _window = WINDOW.lock().unwrap();
+    let site_cfg = SiteConfig {
+        n_pages: 8,
+        images_per_page: (0, 0),
+        ..Default::default()
+    };
+    let origin = start_origin(OriginConfig {
+        site: site_cfg.clone(),
+        ..Default::default()
+    })
+    .expect("origin starts");
+    let mut cfg = ProxyConfig::new(origin.addr());
+    cfg.wire = WireMode::ZeroCopy;
+    cfg.io = IoMode::Reactor { reactors: 2 };
+    // Always stale: every measured request is an upstream validation.
+    cfg.freshness = piggyback_core::types::DurationMs::from_millis(0);
+    cfg.filter = piggyback_core::filter::ProxyFilter::builder()
+        .max_piggy(0)
+        .build();
+    cfg.rpv = None;
+    cfg.report_hits = false;
+    let proxy = start_proxy(cfg).expect("proxy starts");
+
+    let (table, site) = Site::generate(&site_cfg);
+    let reqs: Vec<Vec<u8>> = site
+        .pages
+        .iter()
+        .map(|p| {
+            format!(
+                "GET {} HTTP/1.1\r\nHost: alloc-test\r\n\r\n",
+                table.path(p.resource).unwrap()
+            )
+            .into_bytes()
+        })
+        .collect();
+    let mut buf = vec![0u8; 512 * 1024];
+
+    let mut stream = TcpStream::connect(proxy.addr()).expect("connect");
+    // Warmup: first round fills the cache (200s), later rounds settle the
+    // upstream connection, scratch, and slab capacities.
+    for _ in 0..4 {
+        for req in &reqs {
+            roundtrip(&mut stream, req, &mut buf, false);
+        }
+    }
+
+    const ROUNDS: usize = 10;
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..ROUNDS {
+        for req in &reqs {
+            roundtrip(&mut stream, req, &mut buf, false);
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    let total_reqs = (ROUNDS * reqs.len()) as u64;
+    let per_request = (after - before) / total_reqs;
+    // Measured ~49 on the current implementation; the bound leaves
+    // headroom for allocator jitter while catching any O(n) regression
+    // (per-request buffer churn lands at hundreds per exchange).
+    assert!(
+        per_request <= 96,
+        "reactor miss path allocates too much: {} allocations / {} requests = {} per request",
+        after - before,
+        total_reqs,
+        per_request
+    );
+
+    let s = proxy.stats();
+    assert_eq!(s.requests, 14 * reqs.len() as u64);
+    assert!(
+        s.not_modified >= 13 * reqs.len() as u64,
+        "every post-fill request must be an upstream validation: {s:?}"
+    );
+    assert_eq!(s.upstream_errors, 0, "{s:?}");
+    proxy.stop();
+    origin.stop();
+}
+
 fn steady_state_is_allocation_free(io: IoMode) {
     let _window = WINDOW.lock().unwrap();
     let site_cfg = SiteConfig {

@@ -68,6 +68,15 @@ pub struct ShardOccupancy {
 pub struct ShardedCache {
     shards: Vec<Mutex<Cache>>,
     gauges: Vec<ShardGauges>,
+    /// Bumped (Release) by every mutating operation — insert, remove,
+    /// take, freshen — and read (Acquire) by [`mutation_epoch`]. Lets a
+    /// lock-free reader (a reactor shard's affine L1) prove "nothing in
+    /// the cache changed between these two samples" without touching any
+    /// shard lock. Lookups don't bump it: the `used`/recency marks they
+    /// write never change what a hit would serve.
+    ///
+    /// [`mutation_epoch`]: ShardedCache::mutation_epoch
+    epoch: AtomicU64,
 }
 
 impl ShardedCache {
@@ -84,7 +93,25 @@ impl ShardedCache {
             })
             .collect();
         let gauges = (0..shards.len()).map(|_| ShardGauges::default()).collect();
-        ShardedCache { shards, gauges }
+        ShardedCache {
+            shards,
+            gauges,
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Current mutation epoch: unchanged between two samples ⇔ no entry
+    /// was inserted, removed, invalidated, or re-freshened in between.
+    /// Pair with [`bump`](Self::bump_epoch)-on-mutate to validate
+    /// lock-free snapshots (acquire/release so an observed bump also
+    /// publishes the mutation that caused it).
+    pub fn mutation_epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
     }
 
     pub fn shard_count(&self) -> usize {
@@ -144,6 +171,7 @@ impl ShardedCache {
     /// Returns the evicted resources — all from the same shard, so a
     /// co-sharded side table can clean up under one lock.
     pub fn insert(&self, r: ResourceId, entry: CacheEntry, now: Timestamp) -> Vec<ResourceId> {
+        self.bump_epoch();
         self.with_resource_shard(r, |c| c.insert(r, entry, now))
     }
 
@@ -155,21 +183,25 @@ impl ShardedCache {
         entry: CacheEntry,
         now: Timestamp,
     ) -> InsertOutcome {
+        self.bump_epoch();
         self.with_resource_shard(r, |c| c.insert_accounted(r, entry, now))
     }
 
     /// Remove an entry (invalidation). Returns whether it was present.
     pub fn remove(&self, r: ResourceId) -> bool {
+        self.bump_epoch();
         self.with_resource_shard(r, |c| c.remove(r))
     }
 
     /// Remove an entry and return it, matching [`Cache::take`].
     pub fn take(&self, r: ResourceId) -> Option<CacheEntry> {
+        self.bump_epoch();
         self.with_resource_shard(r, |c| c.take(r))
     }
 
     /// Extend an entry's expiration (piggyback freshen or 304 validation).
     pub fn freshen(&self, r: ResourceId, expires: Timestamp) -> bool {
+        self.bump_epoch();
         self.with_resource_shard(r, |c| c.freshen(r, expires))
     }
 

@@ -604,6 +604,106 @@ fn slow_reader_does_not_stall_reactor_shard() {
     origin.stop();
 }
 
+/// An origin that consumes the request, then closes the connection
+/// without answering — a clean mid-exchange kill after the proxy has
+/// committed its request bytes.
+fn accept_then_close_origin() -> piggyback::proxyd::util::ServerHandle {
+    serve(0, "accept-close", |stream| {
+        let mut r = BufReader::new(stream);
+        let _ = Request::read(&mut r);
+        // Drop: FIN after the request was read, before any response.
+    })
+    .unwrap()
+}
+
+/// ISSUE 9 satellite: an origin killed mid-exchange costs exactly one
+/// retry on a fresh connection and then a 502 — identically in both
+/// I/O modes (the reactor's nonblocking upstream state machine must
+/// replicate the threaded pool's retry-once semantics).
+fn origin_kill_run(io: piggyback::proxyd::IoMode) {
+    let origin = accept_then_close_origin();
+    let mut cfg = ProxyConfig::new(origin.addr);
+    cfg.io = io;
+    let proxy = start_proxy(cfg).unwrap();
+
+    let n = 6u64;
+    let mut client = HttpClient::connect(proxy.addr()).unwrap();
+    for i in 0..n {
+        let resp = client.get(&format!("/kill{i}.html"), &[]).unwrap();
+        assert_eq!(resp.status, 502, "request {i}");
+    }
+
+    let s = proxy.stats();
+    assert_eq!(s.upstream_errors, n, "{s:?}");
+    assert_eq!(
+        s.upstream_retries, n,
+        "exactly one fresh-connection retry per killed exchange: {s:?}"
+    );
+    conserved(&proxy, n);
+    proxy.stop();
+    origin.stop();
+}
+
+#[test]
+fn origin_killed_mid_exchange_retries_once_then_502_threaded() {
+    origin_kill_run(piggyback::proxyd::IoMode::Threaded);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn origin_killed_mid_exchange_retries_once_then_502_reactor() {
+    origin_kill_run(piggyback::proxyd::IoMode::Reactor { reactors: 2 });
+}
+
+/// ISSUE 9 satellite: a stalled origin (accepts, reads the request,
+/// never answers) must be reaped by the reactor's upstream timer wheel
+/// under `--upstream-timeout-secs` — once on the first attempt, once on
+/// the retry — and surface as a 502, with the per-shard timeout counter
+/// visible on the metrics endpoint.
+#[cfg(target_os = "linux")]
+#[test]
+fn stalled_origin_hits_reactor_upstream_timeout() {
+    let origin = serve(0, "stalled", |stream| {
+        let mut r = BufReader::new(stream);
+        let _ = Request::read(&mut r);
+        // Never answer; hold the socket long past the proxy's timeout.
+        std::thread::sleep(Duration::from_secs(8));
+    })
+    .unwrap();
+
+    let mut cfg = ProxyConfig::new(origin.addr);
+    cfg.io = piggyback::proxyd::IoMode::Reactor { reactors: 1 };
+    cfg.upstream_timeout = Duration::from_millis(300);
+    let proxy = start_proxy(cfg).unwrap();
+
+    let mut client = HttpClient::connect(proxy.addr()).unwrap();
+    let resp = client.get("/stall.html", &[]).unwrap();
+    assert_eq!(resp.status, 502, "stalled origin must time out into a 502");
+
+    let s = proxy.stats();
+    assert_eq!(s.upstream_errors, 1, "{s:?}");
+    assert_eq!(
+        s.upstream_retries, 1,
+        "one fresh-conn retry, also reaped: {s:?}"
+    );
+    conserved(&proxy, 1);
+
+    let scrape = client.get(piggyback::proxyd::METRICS_PATH, &[]).unwrap();
+    assert_eq!(scrape.status, 200);
+    let text = String::from_utf8(scrape.body.to_vec()).unwrap();
+    let timeouts: u64 = text
+        .lines()
+        .filter(|l| l.starts_with("pb_proxy_reactor_upstream_timeouts_total{shard="))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert!(
+        timeouts >= 2,
+        "both the first attempt and the retry must be wheel-reaped:\n{text}"
+    );
+    proxy.stop();
+    origin.stop();
+}
+
 #[test]
 fn concurrent_load_with_failures_stays_consistent() {
     let origin = start_origin(OriginConfig::default()).unwrap();

@@ -288,6 +288,10 @@ fn reactor_metrics_expose_io_and_shard_gauges() {
             "pb_proxy_reactor_wakeups_total",
             "pb_proxy_reactor_timeouts_total",
             "pb_proxy_reactor_offloads_total",
+            "pb_proxy_reactor_upstream_dials_total",
+            "pb_proxy_reactor_upstream_reuses_total",
+            "pb_proxy_reactor_upstream_inflight",
+            "pb_proxy_reactor_upstream_timeouts_total",
         ] {
             let line = format!("{metric}{{shard=\"{shard}\"}}");
             assert!(text.contains(&line), "{line} missing from scrape:\n{text}");
@@ -300,6 +304,60 @@ fn reactor_metrics_expose_io_and_shard_gauges() {
         .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
         .sum();
     assert_eq!(shard_accepts, scalar("pb_proxy_accepts_total"));
+    proxy.stop();
+    origin.stop();
+}
+
+/// ISSUE 9 tentpole proof: a plain miss workload never leaves the
+/// reactor. Every cold fetch is driven as a nonblocking upstream
+/// exchange on the shard's own epoll loop — zero offload-pool handoffs
+/// — and sequential misses on one client connection reuse the shard's
+/// parked upstream keep-alive instead of redialing the origin.
+#[test]
+fn reactor_misses_dial_upstream_without_offloads() {
+    let origin = start_origin(OriginConfig::default()).unwrap();
+    let proxy = quiet_proxy(origin.addr(), REACTOR);
+    let paths: Vec<String> = origin.paths.iter().take(8).cloned().collect();
+
+    let mut client = HttpClient::connect(proxy.addr()).unwrap();
+    for p in &paths {
+        assert_eq!(client.get(p, &[]).unwrap().status, 200);
+    }
+    let resp = client.get(METRICS_PATH, &[]).unwrap();
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8(resp.body.to_vec()).unwrap();
+
+    let shard_sum = |metric: &str| -> u64 {
+        let tagged = format!("{metric}{{shard=");
+        text.lines()
+            .filter(|l| l.starts_with(&tagged))
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum()
+    };
+    assert_eq!(
+        shard_sum("pb_proxy_reactor_offloads_total"),
+        0,
+        "plain misses must stay on the reactor, not hop to the offload pool:\n{text}"
+    );
+    let dials = shard_sum("pb_proxy_reactor_upstream_dials_total");
+    let reuses = shard_sum("pb_proxy_reactor_upstream_reuses_total");
+    assert!(dials >= 1, "cold misses must dial the origin:\n{text}");
+    assert_eq!(
+        dials + reuses,
+        paths.len() as u64,
+        "every miss is exactly one dial or one keep-alive reuse:\n{text}"
+    );
+    assert_eq!(
+        shard_sum("pb_proxy_reactor_upstream_inflight"),
+        0,
+        "quiescent proxy holds no in-flight upstream exchanges:\n{text}"
+    );
+
+    let s = proxy.stats();
+    assert_eq!(s.full_fetches, paths.len() as u64, "{s:?}");
+    assert_eq!(s.upstream_errors, 0, "{s:?}");
+    assert_eq!(s.upstream_retries, 0, "{s:?}");
+    assert_eq!(s.outcomes(), s.requests, "{s:?}");
     proxy.stop();
     origin.stop();
 }
