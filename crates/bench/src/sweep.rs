@@ -218,6 +218,22 @@ pub fn record_cell_stats(id: &str, wall: std::time::Duration, percentiles: (u64,
     }
 }
 
+/// [`record_cell`] with an explicitly measured peak RSS — for benches
+/// whose subject runs out-of-process (a child proxy's `VmHWM`), where
+/// this process's own high-water mark would be the wrong number.
+pub fn record_cell_rss(id: &str, wall: std::time::Duration, peak_rss_kb: u64) {
+    let entry = BenchEntry {
+        id: id.to_string(),
+        threads: pb_threads(),
+        wall_ms: wall.as_millis() as u64,
+        peak_rss_kb: Some(peak_rss_kb),
+        cell_percentiles: None,
+    };
+    if let Err(e) = merge_into_bench_file(&bench_path(), &entry) {
+        eprintln!("warning: could not update {}: {e}", bench_path());
+    }
+}
+
 /// Peak resident set size of this process in KiB, when the platform
 /// exposes it (`VmHWM` in `/proc/self/status` on Linux).
 pub fn peak_rss_kb() -> Option<u64> {

@@ -28,6 +28,14 @@ pub struct Body {
 enum Repr {
     Static(&'static [u8]),
     Shared(Arc<[u8]>),
+    /// The first bytes of a larger object (prefix caching): `head` is
+    /// what we retained, `total_len` the full object length recorded at
+    /// capture time. Serving a prefix hit validates the streamed suffix
+    /// against `total_len`.
+    Prefix {
+        head: Arc<[u8]>,
+        total_len: usize,
+    },
 }
 
 impl Body {
@@ -46,11 +54,42 @@ impl Body {
         }
     }
 
+    /// A prefix body: the first `head.len()` bytes of a `total_len`-byte
+    /// object. The stored bytes are shared (`Arc`), so prefix hits serve
+    /// the head zero-copy. Panics if `total_len < head.len()`.
+    pub fn prefix(head: impl Into<Arc<[u8]>>, total_len: usize) -> Self {
+        let head: Arc<[u8]> = head.into();
+        assert!(
+            total_len >= head.len(),
+            "prefix head longer than the object it prefixes"
+        );
+        Body {
+            start: 0,
+            end: head.len(),
+            repr: Repr::Prefix { head, total_len },
+        }
+    }
+
+    /// Is this body a retained prefix of a larger object?
+    pub fn is_prefix(&self) -> bool {
+        matches!(self.repr, Repr::Prefix { .. })
+    }
+
+    /// The full length of the object this body belongs to: `total_len`
+    /// for a prefix, the body's own length otherwise.
+    pub fn total_len(&self) -> usize {
+        match self.repr {
+            Repr::Prefix { total_len, .. } => total_len,
+            _ => self.len(),
+        }
+    }
+
     /// The full backing slice (ignoring this body's sub-range).
     fn backing(&self) -> &[u8] {
         match &self.repr {
             Repr::Static(s) => s,
             Repr::Shared(a) => a,
+            Repr::Prefix { head, .. } => head,
         }
     }
 
@@ -82,8 +121,14 @@ impl Body {
         };
         let hi = hi.min(self.len());
         let lo = lo.min(hi);
+        // A slice of a prefix is just bytes: the prefix marker describes
+        // the whole retained head, not arbitrary sub-ranges of it.
+        let repr = match &self.repr {
+            Repr::Prefix { head, .. } => Repr::Shared(Arc::clone(head)),
+            other => other.clone(),
+        };
         Body {
-            repr: self.repr.clone(),
+            repr,
             start: self.start + lo,
             end: self.start + hi,
         }
@@ -157,13 +202,26 @@ impl From<&str> for Body {
 
 impl std::fmt::Debug for Body {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Body({} bytes)", self.len())
+        if self.is_prefix() {
+            write!(
+                f,
+                "Body({} bytes, prefix of {})",
+                self.len(),
+                self.total_len()
+            )
+        } else {
+            write!(f, "Body({} bytes)", self.len())
+        }
     }
 }
 
 impl PartialEq for Body {
     fn eq(&self, other: &Self) -> bool {
-        self.as_slice() == other.as_slice()
+        // A prefix is not equal to a full body with the same head bytes:
+        // equality covers the object it claims to represent.
+        self.is_prefix() == other.is_prefix()
+            && self.total_len() == other.total_len()
+            && self.as_slice() == other.as_slice()
     }
 }
 
@@ -264,6 +322,37 @@ mod tests {
         assert_eq!(v.to_vec(), b"abc");
         assert_ne!(v, Body::empty());
         assert_eq!(format!("{v:?}"), "Body(3 bytes)");
+    }
+
+    #[test]
+    fn prefix_bodies_carry_total_len_and_share_head_bytes() {
+        let head: Arc<[u8]> = Arc::from(&b"first 8 b"[..9]);
+        let p = Body::prefix(Arc::clone(&head), 1_000_000);
+        assert!(p.is_prefix());
+        assert_eq!(p.len(), 9);
+        assert_eq!(p.total_len(), 1_000_000);
+        // Zero-copy: clone and as_slice point at the shared head.
+        assert_eq!(p.clone().as_slice().as_ptr(), head.as_ptr());
+        // Slicing yields plain bytes, not a prefix claim.
+        let s = p.slice(..5);
+        assert!(!s.is_prefix());
+        assert_eq!(s.total_len(), 5);
+        assert_eq!(s.as_slice().as_ptr(), head.as_ptr());
+        // Equality distinguishes a prefix from a full body with the same
+        // bytes, and prefixes of different objects from each other.
+        let full: Body = b"first 8 b".into();
+        assert_ne!(p, full);
+        assert_ne!(p, Body::prefix(Arc::clone(&head), 2_000_000));
+        assert_eq!(p, Body::prefix(head, 1_000_000));
+        // Byte-level comparisons stay byte-level.
+        assert_eq!(p, b"first 8 b");
+        assert!(format!("{p:?}").contains("prefix of 1000000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix head longer")]
+    fn prefix_total_len_must_cover_head() {
+        let _ = Body::prefix(&b"123456"[..], 3);
     }
 
     #[test]

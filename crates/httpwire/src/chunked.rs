@@ -47,6 +47,20 @@ pub fn read_chunked_into<R: BufRead>(
     trailers: &mut HeaderMap,
     line: &mut Vec<u8>,
 ) -> Result<(), HttpError> {
+    read_chunked_into_capped(r, body, trailers, line, MAX_BODY)
+}
+
+/// [`read_chunked_into`] with a caller-chosen body cap (at most
+/// [`MAX_BODY`]). The proxy uses this to bound what a client or origin
+/// can make it buffer.
+pub fn read_chunked_into_capped<R: BufRead>(
+    r: &mut R,
+    body: &mut Vec<u8>,
+    trailers: &mut HeaderMap,
+    line: &mut Vec<u8>,
+    cap: usize,
+) -> Result<(), HttpError> {
+    let cap = cap.min(MAX_BODY);
     body.clear();
     trailers.reset();
     loop {
@@ -58,11 +72,7 @@ pub fn read_chunked_into<R: BufRead>(
         // checked_add: an adversarial chunk-size line like
         // "ffffffffffffffff" must hit the limit, not wrap the sum in
         // release mode and bypass it into a huge allocation.
-        if body
-            .len()
-            .checked_add(size)
-            .is_none_or(|total| total > MAX_BODY)
-        {
+        if body.len().checked_add(size).is_none_or(|total| total > cap) {
             return Err(HttpError::LimitExceeded("chunked body size"));
         }
         if size == 0 {
@@ -206,6 +216,24 @@ mod tests {
             read_chunked(&mut r),
             Err(HttpError::LimitExceeded("chunked body size"))
         ));
+    }
+
+    #[test]
+    fn caller_cap_tightens_the_limit() {
+        let mut wire = Vec::new();
+        write_chunked(&mut wire, &vec![b'x'; 100], &HeaderMap::new(), 16).unwrap();
+        let mut body = Vec::new();
+        let mut trailers = HeaderMap::new();
+        let mut line = Vec::new();
+        let mut r = BufReader::new(wire.as_slice());
+        assert!(matches!(
+            read_chunked_into_capped(&mut r, &mut body, &mut trailers, &mut line, 50),
+            Err(HttpError::LimitExceeded("chunked body size"))
+        ));
+        // Under the cap it decodes normally.
+        let mut r = BufReader::new(wire.as_slice());
+        read_chunked_into_capped(&mut r, &mut body, &mut trailers, &mut line, 100).unwrap();
+        assert_eq!(body.len(), 100);
     }
 
     #[test]

@@ -26,6 +26,21 @@ pub enum HttpError {
     LimitExceeded(&'static str),
 }
 
+impl HttpError {
+    /// Did this error come from a body exceeding a size limit? Servers
+    /// answer these with `413 Payload Too Large` instead of a generic
+    /// `400`; clients treat them as a protocol error from the peer.
+    pub fn body_too_large(&self) -> bool {
+        matches!(
+            self,
+            HttpError::LimitExceeded("body cap")
+                | HttpError::LimitExceeded("content length")
+                | HttpError::LimitExceeded("chunked body size")
+                | HttpError::LimitExceeded("body size")
+        )
+    }
+}
+
 impl fmt::Display for HttpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -36,12 +36,14 @@ pub mod headers;
 pub mod message;
 pub mod parse;
 pub mod scratch;
+pub mod stream;
 pub mod timing;
 
 pub use body::Body;
-pub use chunked::{read_chunked, read_chunked_into, write_chunked};
+pub use chunked::{read_chunked, read_chunked_into, read_chunked_into_capped, write_chunked};
 pub use error::HttpError;
 pub use headers::{HeaderMap, InvalidHeader};
 pub use message::{reason_phrase, Request, Response, Version};
 pub use scratch::{flush_segments, write_all_parts, ConnScratch, Seg};
+pub use stream::{encode_stream_head, BodyReader, BodyWriter, StreamFraming, STREAM_CHUNK};
 pub use timing::TimedReader;

@@ -1,7 +1,7 @@
 //! HTTP request and response messages: types, serialization, and parsing.
 
 use crate::body::Body;
-use crate::chunked::{read_chunked, read_chunked_into, write_chunked};
+use crate::chunked::{read_chunked_into_capped, write_chunked};
 use crate::error::HttpError;
 use crate::headers::HeaderMap;
 use crate::parse::{
@@ -9,6 +9,24 @@ use crate::parse::{
 };
 use crate::scratch::{flush_segments, ConnScratch, Seg};
 use std::io::{BufRead, Read, Write};
+
+/// Read a declared-length body in bounded windows instead of one
+/// `read_exact` into a `resize(n)` buffer. A `Content-Length` header is
+/// attacker-controlled: trusting it with an up-front allocation lets a
+/// peer that never sends a byte pin `n` bytes of memory per connection.
+/// Windowed growth allocates only for bytes that actually arrived
+/// (plus at most one 64 KiB window).
+fn read_body_windowed<R: Read>(r: &mut R, buf: &mut Vec<u8>, n: usize) -> Result<(), HttpError> {
+    const WINDOW: usize = 64 * 1024;
+    buf.clear();
+    while buf.len() < n {
+        let at = buf.len();
+        let take = (n - at).min(WINDOW);
+        buf.resize(at + take, 0);
+        r.read_exact(&mut buf[at..])?;
+    }
+    Ok(())
+}
 
 /// HTTP protocol version.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,6 +174,19 @@ impl Request {
         r: &mut R,
         scratch: &mut ConnScratch,
     ) -> Result<(), HttpError> {
+        self.read_into_capped(r, scratch, MAX_BODY)
+    }
+
+    /// [`read_into`](Self::read_into) with a caller-chosen body cap: a
+    /// declared or chunked body larger than `cap` is rejected with
+    /// [`HttpError::LimitExceeded`]`("body cap")` before any large
+    /// allocation happens. The proxy maps this to a `413` response.
+    pub fn read_into_capped<R: BufRead>(
+        &mut self,
+        r: &mut R,
+        scratch: &mut ConnScratch,
+        cap: usize,
+    ) -> Result<(), HttpError> {
         {
             let line = read_line_into(r, &mut scratch.line)?;
             let mut parts = line.split_ascii_whitespace();
@@ -174,19 +205,21 @@ impl Request {
         if self.headers.list_contains("Transfer-Encoding", "chunked") {
             // Request trailers are read (into scratch) and discarded,
             // matching the original parser.
-            read_chunked_into(
+            read_chunked_into_capped(
                 r,
                 &mut scratch.body_vec,
                 &mut scratch.trailers,
                 &mut scratch.line,
+                cap,
             )?;
             self.body = Body::from(scratch.body_vec.as_slice());
         } else {
             match content_length(&self.headers)? {
                 Some(n) if n > 0 => {
-                    scratch.body_vec.clear();
-                    scratch.body_vec.resize(n, 0);
-                    r.read_exact(&mut scratch.body_vec)?;
+                    if n > cap {
+                        return Err(HttpError::LimitExceeded("body cap"));
+                    }
+                    read_body_windowed(r, &mut scratch.body_vec, n)?;
                     self.body = Body::from(scratch.body_vec.as_slice());
                 }
                 _ => self.body = Body::empty(),
@@ -361,6 +394,77 @@ impl Response {
     /// Parse a response. `head_request` suppresses body reading (responses
     /// to HEAD carry headers only).
     pub fn read<R: BufRead>(r: &mut R, head_request: bool) -> Result<Response, HttpError> {
+        Self::read_capped(r, head_request, MAX_BODY)
+    }
+
+    /// Parse only the status line and headers, leaving the body (and any
+    /// trailers) unread on `r`. The streaming relay uses this to decide —
+    /// from `Content-Length`/`Transfer-Encoding` alone — whether to
+    /// buffer the body as usual or cut it through segment by segment with
+    /// a [`BodyReader`](crate::stream::BodyReader).
+    pub fn read_head<R: BufRead>(r: &mut R) -> Result<Response, HttpError> {
+        let line = read_line(r)?;
+        let mut parts = line.splitn(3, ' ');
+        let version = Version::parse(parts.next().unwrap_or(""))
+            .map_err(|_| HttpError::BadStatusLine(line.clone()))?;
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| HttpError::BadStatusLine(line.clone()))?;
+        let reason = parts.next().unwrap_or("").to_owned();
+        let headers = read_headers(r)?;
+        Ok(Response {
+            version,
+            status,
+            reason,
+            headers,
+            body: Body::empty(),
+            trailers: HeaderMap::new(),
+        })
+    }
+
+    /// Read the body (and trailers) that follow a [`read_head`](Self::read_head)
+    /// call into `self`, honoring `cap` exactly like
+    /// [`read_capped`](Self::read_capped). The buffered fallback for
+    /// responses the streaming relay decides not to cut through.
+    pub fn read_rest<R: BufRead>(&mut self, r: &mut R, cap: usize) -> Result<(), HttpError> {
+        let cap = cap.min(MAX_BODY);
+        if Self::bodiless_status(self.status) {
+            self.body = Body::empty();
+        } else if self.headers.list_contains("Transfer-Encoding", "chunked") {
+            let mut body = Vec::new();
+            let mut line = Vec::with_capacity(64);
+            read_chunked_into_capped(r, &mut body, &mut self.trailers, &mut line, cap)?;
+            self.body = body.into();
+        } else if let Some(n) = content_length(&self.headers)? {
+            if n > cap {
+                return Err(HttpError::LimitExceeded("body cap"));
+            }
+            let mut body = Vec::new();
+            read_body_windowed(r, &mut body, n)?;
+            self.body = body.into();
+        } else {
+            let mut body = Vec::new();
+            r.take(cap as u64 + 1).read_to_end(&mut body)?;
+            if body.len() > cap {
+                return Err(HttpError::LimitExceeded("body size"));
+            }
+            self.body = body.into();
+        }
+        Ok(())
+    }
+
+    /// [`read`](Self::read) with a caller-chosen body cap: a body larger
+    /// than `cap` is a protocol error
+    /// ([`HttpError::LimitExceeded`]`("body cap")`) rather than an
+    /// allocation. A declared `Content-Length` is also read in bounded
+    /// windows, so a lying peer can't pin `cap` bytes without sending
+    /// them.
+    pub fn read_capped<R: BufRead>(
+        r: &mut R,
+        head_request: bool,
+        cap: usize,
+    ) -> Result<Response, HttpError> {
         let line = read_line(r)?;
         let mut parts = line.splitn(3, ' ');
         let version = Version::parse(parts.next().unwrap_or(""))
@@ -372,22 +476,27 @@ impl Response {
         let reason = parts.next().unwrap_or("").to_owned();
         let headers = read_headers(r)?;
 
+        let cap = cap.min(MAX_BODY);
         let mut trailers = HeaderMap::new();
         let body = if head_request || Self::bodiless_status(status) {
             Body::empty()
         } else if headers.list_contains("Transfer-Encoding", "chunked") {
-            let (body, t) = read_chunked(r)?;
-            trailers = t;
+            let mut body = Vec::new();
+            let mut line = Vec::with_capacity(64);
+            read_chunked_into_capped(r, &mut body, &mut trailers, &mut line, cap)?;
             body.into()
         } else if let Some(n) = content_length(&headers)? {
-            let mut body = vec![0u8; n];
-            r.read_exact(&mut body)?;
+            if n > cap {
+                return Err(HttpError::LimitExceeded("body cap"));
+            }
+            let mut body = Vec::new();
+            read_body_windowed(r, &mut body, n)?;
             body.into()
         } else {
             // HTTP/1.0 style: body delimited by connection close.
             let mut body = Vec::new();
-            r.take(MAX_BODY as u64 + 1).read_to_end(&mut body)?;
-            if body.len() > MAX_BODY {
+            r.take(cap as u64 + 1).read_to_end(&mut body)?;
+            if body.len() > cap {
                 return Err(HttpError::LimitExceeded("body size"));
             }
             body.into()
@@ -411,6 +520,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         304 => "Not Modified",
         400 => "Bad Request",
         404 => "Not Found",
+        413 => "Payload Too Large",
         500 => "Internal Server Error",
         502 => "Bad Gateway",
         _ => "Unknown",
@@ -667,6 +777,94 @@ mod tests {
             let mut fast = Vec::new();
             req.write_with(&mut fast, &mut scratch).unwrap();
             assert_eq!(fast, seed, "{} {}", req.method, req.target);
+        }
+    }
+
+    /// Regression: a `Content-Length` larger than the cap is rejected
+    /// *before* any body-sized allocation, and a peer that declares a big
+    /// body but never sends it can't pin more than one read window.
+    #[test]
+    fn adversarial_content_length_cannot_force_a_huge_allocation() {
+        // Over the cap: rejected up front.
+        let wire = b"POST /x HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n";
+        let mut req = Request::empty();
+        let mut scratch = ConnScratch::new();
+        let err = req
+            .read_into_capped(&mut BufReader::new(&wire[..]), &mut scratch, 64 * 1024)
+            .unwrap_err();
+        assert!(matches!(err, HttpError::LimitExceeded("body cap")));
+        assert!(err.body_too_large());
+        assert_eq!(scratch.body_vec.capacity(), 0, "no allocation happened");
+
+        // Under the cap but the peer hangs up after 10 bytes: the buffer
+        // only ever grew by bounded windows, not the full claim.
+        let mut wire = b"POST /x HTTP/1.1\r\nContent-Length: 50000000\r\n\r\n".to_vec();
+        wire.extend_from_slice(&[b'a'; 10]);
+        let err = req
+            .read_into(&mut BufReader::new(wire.as_slice()), &mut scratch)
+            .unwrap_err();
+        assert!(matches!(err, HttpError::ConnectionClosed));
+        assert!(
+            scratch.body_vec.capacity() <= 256 * 1024,
+            "windowed read allocated {} for a 50 MB claim",
+            scratch.body_vec.capacity()
+        );
+
+        // Same guarantee on the response side.
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 1000000\r\n\r\n";
+        let err =
+            Response::read_capped(&mut BufReader::new(&wire[..]), false, 64 * 1024).unwrap_err();
+        assert!(matches!(err, HttpError::LimitExceeded("body cap")));
+        assert!(err.body_too_large());
+
+        // Chunked bodies honor the same cap.
+        let mut wire = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        crate::chunked::write_chunked(&mut wire, &vec![b'x'; 100_000], &HeaderMap::new(), 8 * 1024)
+            .unwrap();
+        let err = Response::read_capped(&mut BufReader::new(wire.as_slice()), false, 64 * 1024)
+            .unwrap_err();
+        assert!(err.body_too_large());
+    }
+
+    #[test]
+    fn capped_reads_accept_bodies_under_the_cap() {
+        let wire = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nwxyz";
+        let mut req = Request::empty();
+        let mut scratch = ConnScratch::new();
+        req.read_into_capped(&mut BufReader::new(&wire[..]), &mut scratch, 64)
+            .unwrap();
+        assert_eq!(req.body, b"wxyz");
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi";
+        let resp = Response::read_capped(&mut BufReader::new(&wire[..]), false, 64).unwrap();
+        assert_eq!(resp.body, b"hi");
+        assert_eq!(reason_phrase(413), "Payload Too Large");
+    }
+
+    /// `read_head` + `read_rest` must reconstruct exactly what one-shot
+    /// `read` parses, across every framing mode.
+    #[test]
+    fn split_head_rest_reads_match_read() {
+        let mut responses = Vec::new();
+        let mut cl = Response::new(200);
+        cl.headers.insert("Content-Type", "text/html");
+        cl.body = vec![b'y'; 20_000].into();
+        responses.push(cl);
+        let mut chunked = Response::new(200);
+        chunked.body = vec![b'z'; 30_000].into();
+        chunked
+            .trailers
+            .insert("P-volume", "3; \"/v.html\" 886000000 64");
+        responses.push(chunked);
+        responses.push(Response::new(304));
+        for resp in &responses {
+            let mut wire = Vec::new();
+            resp.write(&mut wire).unwrap();
+            let whole = Response::read(&mut BufReader::new(wire.as_slice()), false).unwrap();
+            let mut r = BufReader::new(wire.as_slice());
+            let mut split = Response::read_head(&mut r).unwrap();
+            assert!(split.body.is_empty(), "head read must not consume the body");
+            split.read_rest(&mut r, MAX_BODY).unwrap();
+            assert_eq!(split, whole, "status {}", resp.status);
         }
     }
 

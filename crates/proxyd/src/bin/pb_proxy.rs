@@ -7,6 +7,7 @@
 //!          [--no-metrics] [--no-report-hits] [--buffered-wire]
 //!          [--io threaded|reactor] [--reactors N] [--idle-timeout-secs 120]
 //!          [--upstream-timeout-secs 30] [--prefetch-budget N] [--accept-push]
+//!          [--stream-threshold-kb 256] [--prefix-kb 64] [--client-body-cap-kb N]
 //! ```
 //!
 //! `--legacy` selects the single-lock, fresh-connection-per-fetch
@@ -22,6 +23,12 @@
 //! into at most N concurrent speculative origin fetches (0, the default,
 //! only counts candidates); `--accept-push` opts in to the server-push
 //! baseline (`Piggy-push: accept` upstream, pushed bodies cached).
+//! `--stream-threshold-kb N` cuts large-object misses through segment by
+//! segment instead of buffering them (0 disables streaming entirely);
+//! `--prefix-kb N` keeps the first N KiB of each streamed object so a
+//! repeat request serves its head at hit latency while the rest streams
+//! from the origin (0 disables prefix retention). `--client-body-cap-kb`
+//! rejects request bodies above the cap with `413` before buffering them.
 //! Prints statistics every 10 seconds. Unless `--no-metrics` is given,
 //! `GET /__pb/metrics` serves Prometheus counters and latency histograms.
 
@@ -51,6 +58,9 @@ fn main() {
     let mut upstream_timeout_secs = 30u64;
     let mut prefetch_budget = 0usize;
     let mut accept_push = false;
+    let mut stream_threshold_kb = 256usize;
+    let mut prefix_kb = 64usize;
+    let mut client_body_cap_kb: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -91,6 +101,13 @@ fn main() {
                 prefetch_budget = value("--prefetch-budget").parse().expect("number");
             }
             "--accept-push" => accept_push = true,
+            "--stream-threshold-kb" => {
+                stream_threshold_kb = value("--stream-threshold-kb").parse().expect("number");
+            }
+            "--prefix-kb" => prefix_kb = value("--prefix-kb").parse().expect("number"),
+            "--client-body-cap-kb" => {
+                client_body_cap_kb = Some(value("--client-body-cap-kb").parse().expect("number"));
+            }
             "--help" | "-h" => {
                 println!(
                     "pb-proxy --origin HOST:PORT [--port 8081] [--capacity-mb 32] \
@@ -98,7 +115,8 @@ fn main() {
                      [--shards 8] [--legacy] [--pool-idle 32] [--workers 64] \
                      [--no-metrics] [--no-report-hits] [--buffered-wire] \
                      [--io threaded|reactor] [--reactors N] [--idle-timeout-secs 120] \
-                     [--upstream-timeout-secs 30] [--prefetch-budget N] [--accept-push]"
+                     [--upstream-timeout-secs 30] [--prefetch-budget N] [--accept-push] \
+                     [--stream-threshold-kb 256] [--prefix-kb 64] [--client-body-cap-kb N]"
                 );
                 return;
             }
@@ -141,6 +159,11 @@ fn main() {
     cfg.upstream_timeout = std::time::Duration::from_secs(upstream_timeout_secs);
     cfg.prefetch_budget = prefetch_budget;
     cfg.accept_push = accept_push;
+    cfg.stream_threshold = stream_threshold_kb * 1024;
+    cfg.prefix_bytes = prefix_kb * 1024;
+    if let Some(kb) = client_body_cap_kb {
+        cfg.client_body_cap = kb * 1024;
+    }
     if legacy && prefetch_budget > 0 {
         eprintln!("--prefetch-budget needs the pooled (non --legacy) proxy");
         std::process::exit(2);
@@ -167,11 +190,13 @@ fn main() {
         std::thread::sleep(std::time::Duration::from_secs(10));
         let s = proxy.stats();
         eprintln!(
-            "req={} hit={} fresh={} valid={} 304={} pb_msgs={} freshened={} invalidated={} \
-             errs={} passthru={} retries={}",
+            "req={} hit={} fresh={} prefix={} streamed={} valid={} 304={} pb_msgs={} \
+             freshened={} invalidated={} errs={} passthru={} retries={}",
             s.requests,
             s.cache_hits,
             s.fresh_hits,
+            s.prefix_hits,
+            s.streamed_misses,
             s.validations,
             s.not_modified,
             s.piggyback_messages,

@@ -177,12 +177,16 @@ impl HistogramSnapshot {
 /// Per-outcome request timing plus piggyback-overhead accounting for the
 /// caching proxy. One histogram per terminal outcome, mirroring the
 /// conservation invariant of [`ProxyStats`](crate::stats::ProxyStats):
-/// when the proxy is quiescent, the five outcome histogram counts sum to
+/// when the proxy is quiescent, the six outcome histogram counts sum to
 /// exactly `requests`.
 #[derive(Debug, Default)]
 pub struct ProxyObs {
     /// Served from cache, fresh — no upstream exchange.
     pub fresh_hit: LatencyHistogram,
+    /// Head served from a retained large-object prefix, suffix streamed
+    /// from the origin. Timed to completion of the whole transfer (the
+    /// TTFB win shows up in the bench's first-byte timings, not here).
+    pub prefix_hit: LatencyHistogram,
     /// Validated upstream, origin answered 304.
     pub not_modified: LatencyHistogram,
     /// Full 200 fetch from the origin.
@@ -199,9 +203,10 @@ pub struct ProxyObs {
 
 impl ProxyObs {
     /// `(outcome_label, histogram)` pairs, in conservation order.
-    pub fn outcomes(&self) -> [(&'static str, &LatencyHistogram); 5] {
+    pub fn outcomes(&self) -> [(&'static str, &LatencyHistogram); 6] {
         [
             ("fresh_hit", &self.fresh_hit),
+            ("prefix_hit", &self.prefix_hit),
             ("not_modified", &self.not_modified),
             ("full_fetch", &self.full_fetch),
             ("error", &self.error),

@@ -422,6 +422,9 @@ fn fetch_and_install_reactor(
             cv.notify_all();
             Ok(UpstreamNext::Done)
         }),
+        // Speculative fetches never stream: the body must be buffered to
+        // install into the cache.
+        stream: None,
     });
     let (flag, cv) = &*landed;
     let mut done = flag.lock().unwrap();
@@ -445,7 +448,11 @@ fn settle_speculative_outcome(
 ) {
     let stats = &shared.stats;
     let resp = match outcome {
-        crate::reactor::UpstreamOutcome::Failed => {
+        // Streamed/StreamFailed can't occur (the plan carries no
+        // StreamSpec); route them with Failed defensively.
+        crate::reactor::UpstreamOutcome::Failed
+        | crate::reactor::UpstreamOutcome::Streamed { .. }
+        | crate::reactor::UpstreamOutcome::StreamFailed { .. } => {
             stats.prefetch_wasted.fetch_add(1, Relaxed);
             stats.prefetch_inflight.fetch_sub(1, Relaxed);
             return;
@@ -514,7 +521,7 @@ pub(crate) fn install_speculative(
         }
         shared.bodies.with_resource_shard(r, |bodies| {
             for (v, _) in &out.evicted {
-                bodies.remove(v);
+                bodies.remove(*v);
             }
         });
     }

@@ -41,9 +41,12 @@ use piggyback_core::proxy::{classify_element, ElementAction};
 use piggyback_core::report::{HitReporter, PIGGY_REPORT_HEADER};
 use piggyback_core::rpv::RpvTable;
 use piggyback_core::table::ResourceTable;
-use piggyback_core::types::{DurationMs, Timestamp};
+use piggyback_core::types::{DurationMs, ResourceId, Timestamp};
 use piggyback_core::wire::{decode_p_volume, P_VOLUME_HEADER};
-use piggyback_httpwire::{write_all_parts, Body, ConnScratch, HeaderMap, Request, Response};
+use piggyback_httpwire::{
+    encode_stream_head, write_all_parts, Body, BodyReader, BodyWriter, ConnScratch, HeaderMap,
+    HttpError, Request, Response, StreamFraming,
+};
 use piggyback_webcache::{CacheEntry, PolicyKind, ShardedBodyStore, ShardedCache};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -141,6 +144,20 @@ pub struct ProxyConfig {
     /// responses a `--push` origin streams after the main response (the
     /// server-push baseline the paper's Section 5 compares against).
     pub accept_push: bool,
+    /// Response bodies at or above this many bytes take the streaming
+    /// cut-through path on a miss: relayed to the client in bounded
+    /// segments as they arrive from the origin, never materialized or
+    /// cached whole. 0 disables streaming (every miss buffers, the seed
+    /// behavior).
+    pub stream_threshold: usize,
+    /// Leading bytes of each streamed object teed into the body store as
+    /// a [`Body::prefix`] entry, so a repeat request serves the head at
+    /// cache-hit latency while only the suffix streams from the origin.
+    /// 0 disables prefix caching.
+    pub prefix_bytes: usize,
+    /// Largest client request body accepted; beyond it the proxy answers
+    /// `413 Payload Too Large` instead of buffering without bound.
+    pub client_body_cap: usize,
 }
 
 impl ProxyConfig {
@@ -164,6 +181,9 @@ impl ProxyConfig {
             upstream_timeout: std::time::Duration::from_secs(30),
             prefetch_budget: 0,
             accept_push: false,
+            stream_threshold: 256 * 1024,
+            prefix_bytes: 64 * 1024,
+            client_body_cap: piggyback_httpwire::parse::MAX_BODY,
         }
     }
 }
@@ -289,7 +309,10 @@ pub fn start_proxy(cfg: ProxyConfig) -> io::Result<ProxyHandle> {
         clock: Clock::new(),
         table: RwLock::new(ResourceTable::new()),
         cache: ShardedCache::new(cfg.capacity_bytes, shards, cfg.policy),
-        bodies: ShardedBodyStore::new(shards),
+        // Prefix heads live under their own byte economy: an eighth of
+        // the metadata cache's capacity, split per shard, retained by
+        // recency (hits and piggybacked volume mentions both refresh).
+        bodies: ShardedBodyStore::with_prefix_budget(shards, cfg.capacity_bytes / 8),
         rpv: cfg
             .rpv
             .map(|(len, t)| Mutex::new(RpvTable::new(RPV_MAX_SOURCES, len, t))),
@@ -533,11 +556,132 @@ impl ProxySvc {
                 }
             }
         }
+        // Streaming cut-through (mirrors the threaded engine): a retained
+        // prefix serves its head right now — the client's first byte never
+        // waits on the origin — and the suffix relays in behind it.
+        if reactor_streaming_eligible(shared, &job) {
+            let hit = shared
+                .table
+                .read()
+                .lookup(&job.path)
+                .and_then(|r| shared.bodies.get_prefix(r).map(|b| (r, b)));
+            if let Some((r, head)) = hit {
+                let total = head.total_len();
+                let head_len = head.len();
+                // Same bytes as the threaded `serve_prefix_hit` head; the
+                // reactor flushes `out` even while AwaitingUpstream, so
+                // TTFB is one pump away.
+                write!(
+                    out,
+                    "HTTP/1.1 200 OK\r\nX-Cache: PREFIX\r\nContent-Length: {total}\r\n\r\n"
+                )?;
+                out.extend_from_slice(head.as_slice());
+                return Ok(Served::Upstream(suffix_relay_plan(
+                    Arc::clone(shared),
+                    job,
+                    r,
+                    total,
+                    head_len,
+                    scratch,
+                )));
+            }
+        }
         Ok(Served::Upstream(first_exchange_plan(
             Arc::clone(shared),
             job,
             scratch,
         )))
+    }
+}
+
+/// Reactor-mode streaming eligibility: the same gates as the threaded
+/// [`streaming_eligible`] minus the pool check — `plan_upstream` already
+/// routed legacy mode (no pool) and `--accept-push` to the offload pool,
+/// and the reactor owns its origin connections.
+#[cfg(target_os = "linux")]
+fn reactor_streaming_eligible(shared: &ProxyShared, job: &UpstreamJob) -> bool {
+    shared.cfg.stream_threshold > 0
+        && job.validate_lm.is_none()
+        && !shared.cfg.accept_push
+        && shared.prefetcher.get().is_none()
+}
+
+/// The reactor plan relaying a prefix hit's suffix: a plain CL-framed GET
+/// (no `TE: chunked`, no `Piggy-filter` — same request as the threaded
+/// suffix refetch) whose declared length must equal the recorded total,
+/// or the object changed underneath the prefix and the relay fails with a
+/// mismatch. `skip` drops the head bytes the client already has. Retry is
+/// safe until the relay engages: only the cache-served head is out.
+#[cfg(target_os = "linux")]
+fn suffix_relay_plan(
+    shared: Arc<ProxyShared>,
+    job: UpstreamJob,
+    r: ResourceId,
+    total: usize,
+    head_len: usize,
+    scratch: &mut ConnScratch,
+) -> crate::reactor::UpstreamPlan {
+    use crate::reactor::{StreamSpec, UpstreamNext, UpstreamOutcome, UpstreamPlan};
+    let mut req = Request::new("GET", &job.path);
+    req.headers.insert("Host", "origin");
+    let mut request = Vec::with_capacity(128);
+    req.write_with(&mut request, scratch)
+        .expect("serializing to a Vec cannot fail");
+    let origin = shared.cfg.origin;
+    let retry_stats = Arc::clone(&shared);
+    UpstreamPlan {
+        origin,
+        request,
+        retry: Box::new(move || {
+            retry_stats.stats.upstream_retries.fetch_add(1, Relaxed);
+        }),
+        stream: Some(StreamSpec {
+            threshold: 0,
+            prefix_bytes: 0,
+            skip: head_len,
+            expect_total: Some(total),
+            // The client head went out at plan time; nothing more to send
+            // when the relay engages.
+            head: Box::new(|_resp, _scratch, _out| Ok(())),
+        }),
+        finish: Box::new(move |_scratch, _out, outcome| match outcome {
+            UpstreamOutcome::Streamed { total, .. } => {
+                shared.stats.cache_hits.fetch_add(1, Relaxed);
+                shared.stats.prefix_hits.fetch_add(1, Relaxed);
+                // Range-free refetch: the origin resent the whole object
+                // (bandwidth unchanged; TTFB is what the prefix buys).
+                shared
+                    .stats
+                    .bytes_from_origin
+                    .fetch_add(total as u64, Relaxed);
+                shared.obs.prefix_hit.record(job.start.elapsed());
+                Ok(UpstreamNext::Done)
+            }
+            UpstreamOutcome::StreamFailed { mismatch } => {
+                if mismatch {
+                    // New length or status: the head already sent is
+                    // stale. Drop the poisoned prefix; the next request
+                    // misses and re-primes.
+                    shared.bodies.remove(r);
+                }
+                count_relay_error(&shared, &job);
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "suffix relay failed",
+                ))
+            }
+            // `expect_total` forces every parsed head through the relay
+            // decision, so a buffered Response cannot arrive; Failed
+            // (dial error, pre-engage I/O death) is terminal too — the
+            // prefix head is already on the wire, no 502 may follow it.
+            UpstreamOutcome::Failed | UpstreamOutcome::Response(_) => {
+                count_relay_error(&shared, &job);
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "suffix exchange failed",
+                ))
+            }
+        }),
     }
 }
 
@@ -565,7 +709,7 @@ fn serve_settled_speculation(
     // The lookup flipped `used`; settle the speculation even if the body
     // vanishes before we can serve it.
     prefetch::note_speculative_hit(&shared.stats, &snap);
-    let Some(body) = shared.bodies.get(r) else {
+    let Some(body) = shared.bodies.get(r).filter(|b| !b.is_prefix()) else {
         return Ok(None);
     };
     shared.stats.cache_hits.fetch_add(1, Relaxed);
@@ -610,6 +754,55 @@ fn serialize_upstream_request(
     buf
 }
 
+/// The [`StreamSpec`] a reactor-mode demand miss carries when streaming
+/// is enabled: engage on CL-framed 200s at or above the threshold, tee
+/// the configured prefix, and serialize the same client head as the
+/// threaded cut-through. Chunked origin responses stay buffered in
+/// reactor mode — the piggyback rides chunked trailers, and those bodies
+/// fit the buffered exchange; the threaded engine covers chunked
+/// streaming.
+#[cfg(target_os = "linux")]
+fn reactor_stream_spec(
+    shared: &Arc<ProxyShared>,
+    job: &UpstreamJob,
+) -> Option<crate::reactor::StreamSpec> {
+    use crate::reactor::StreamSpec;
+    if !reactor_streaming_eligible(shared, job) {
+        return None;
+    }
+    let sh = Arc::clone(shared);
+    Some(StreamSpec {
+        threshold: shared.cfg.stream_threshold,
+        prefix_bytes: shared.cfg.prefix_bytes,
+        skip: 0,
+        expect_total: None,
+        head: Box::new(move |resp, _scratch, out| {
+            // Same head as the threaded `stream_miss`: `Last-Modified` +
+            // `X-Cache: MISS`, Content-Length framing (the relay only
+            // engages on CL-framed 200s).
+            let now = sh.clock.now();
+            let lm = resp
+                .headers
+                .get("Last-Modified")
+                .and_then(parse_rfc1123)
+                .map(|u| timestamp_from_unix(u, DEFAULT_TRACE_EPOCH_UNIX))
+                .unwrap_or(now);
+            let mut client_head = Response::new(200);
+            let unix = unix_from_timestamp(lm, DEFAULT_TRACE_EPOCH_UNIX);
+            client_head
+                .headers
+                .insert("Last-Modified", &format_rfc1123(unix));
+            client_head.headers.insert("X-Cache", "MISS");
+            let total = piggyback_httpwire::parse::content_length(&resp.headers)
+                .ok()
+                .flatten()
+                .expect("relay engages only with a declared length");
+            encode_stream_head(&client_head, StreamFraming::Length(total), out);
+            Ok(())
+        }),
+    })
+}
+
 /// Build the nonblocking plan for a miss/validation. The reactor dials
 /// (or reuses) a shard-owned origin connection and runs the continuation
 /// on the reactor thread once the exchange resolves; the continuation
@@ -632,12 +825,14 @@ fn first_exchange_plan(
     );
     let origin = shared.cfg.origin;
     let retry_stats = Arc::clone(&shared);
+    let stream = reactor_stream_spec(&shared, &job);
     UpstreamPlan {
         origin,
         request,
         retry: Box::new(move || {
             retry_stats.stats.upstream_retries.fetch_add(1, Relaxed);
         }),
+        stream,
         finish: Box::new(move |scratch, out, outcome| {
             let resp = match outcome {
                 UpstreamOutcome::Failed => {
@@ -645,6 +840,50 @@ fn first_exchange_plan(
                     shared.obs.error.record(job.start.elapsed());
                     Response::new(502).write_with(out, scratch)?;
                     return Ok(UpstreamNext::Done);
+                }
+                UpstreamOutcome::Streamed {
+                    head,
+                    total,
+                    prefix,
+                } => {
+                    // The relay already delivered head + body; this is the
+                    // threaded `stream_miss` completion tail: counters,
+                    // registration, prefix retention, piggyback order.
+                    let now = shared.clock.now();
+                    let lm = head
+                        .headers
+                        .get("Last-Modified")
+                        .and_then(parse_rfc1123)
+                        .map(|u| timestamp_from_unix(u, DEFAULT_TRACE_EPOCH_UNIX))
+                        .unwrap_or(now);
+                    shared.stats.full_fetches.fetch_add(1, Relaxed);
+                    shared.stats.streamed_misses.fetch_add(1, Relaxed);
+                    shared
+                        .stats
+                        .bytes_from_origin
+                        .fetch_add(total as u64, Relaxed);
+                    let r = shared
+                        .table
+                        .write()
+                        .register_path(&job.path, total as u64, lm);
+                    if !prefix.is_empty() && prefix.len() < total {
+                        shared.bodies.insert(r, Body::prefix(prefix, total));
+                    }
+                    // CL-framed responses carry no trailers, so no
+                    // piggyback rode this exchange; process the empty
+                    // message for ordering parity with the threaded path.
+                    process_piggyback(&shared, &head, job.source, now);
+                    shared.obs.full_fetch.record(job.start.elapsed());
+                    return Ok(UpstreamNext::Done);
+                }
+                UpstreamOutcome::StreamFailed { .. } => {
+                    // Bytes already reached the client: no 502 may follow.
+                    // Count the terminal outcome and truncate.
+                    count_relay_error(&shared, &job);
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "streaming relay failed",
+                    ));
                 }
                 UpstreamOutcome::Response(resp) => resp,
             };
@@ -744,6 +983,9 @@ fn refetch_plan(
                     shared.stats.upstream_errors.fetch_add(1, Relaxed);
                     (Response::new(502), &shared.obs.error)
                 }
+                UpstreamOutcome::Streamed { .. } | UpstreamOutcome::StreamFailed { .. } => {
+                    unreachable!("refetch plan carries no StreamSpec")
+                }
             };
             process_piggyback(&shared, &original, job.source, piggy_now);
             if let Some(r2) = &refetch_resp {
@@ -753,6 +995,8 @@ fn refetch_plan(
             result.write_with(out, scratch)?;
             Ok(UpstreamNext::Done)
         }),
+        // The refetch materializes a cacheable body; never streamed.
+        stream: None,
     }
 }
 
@@ -772,13 +1016,31 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ProxyShared>) -> io::Result
             let mut writer = stream;
             let mut req = Request::empty();
             loop {
-                if req.read_into(&mut reader, &mut scratch).is_err() {
-                    return Ok(());
+                match req.read_into_capped(&mut reader, &mut scratch, shared.cfg.client_body_cap) {
+                    Ok(()) => {}
+                    Err(e) if e.body_too_large() => {
+                        // An oversized request body is the client's
+                        // mistake, not a dead connection: say so (413)
+                        // before closing, instead of silently hanging up
+                        // mid-upload.
+                        let _ = Response::new(413).write_with(&mut writer, &mut scratch);
+                        return Ok(());
+                    }
+                    Err(_) => return Ok(()),
                 }
                 let keep = req.keep_alive();
-                match handle_request(&req, shared, source, &mut scratch) {
-                    Reply::Hit { body, lm, .. } => write_hit(&mut writer, &mut scratch, &body, lm)?,
-                    Reply::Full(resp) => resp.write_with(&mut writer, &mut scratch)?,
+                match plan_request(&req, shared, source) {
+                    Step::Reply(Reply::Hit { body, lm, .. }) => {
+                        write_hit(&mut writer, &mut scratch, &body, lm)?
+                    }
+                    Step::Reply(Reply::Full(resp)) => resp.write_with(&mut writer, &mut scratch)?,
+                    Step::Upstream(job) if streaming_eligible(shared, &job) => {
+                        stream_exchange(shared, job, &mut writer, &mut scratch)?
+                    }
+                    Step::Upstream(job) => {
+                        let resp = complete_upstream(shared, job, &mut scratch);
+                        resp.write_with(&mut writer, &mut scratch)?
+                    }
                 }
                 if !keep {
                     return Ok(());
@@ -788,9 +1050,19 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ProxyShared>) -> io::Result
         WireMode::Buffered => {
             let mut writer = BufWriter::new(stream);
             loop {
-                let req = match Request::read(&mut reader) {
-                    Ok(r) => r,
-                    Err(_) => return Ok(()),
+                // Seed-cost parse (fresh allocations per request), but
+                // honoring the configured client body cap.
+                let req = {
+                    let mut req = Request::empty();
+                    let mut rs = ConnScratch::new();
+                    match req.read_into_capped(&mut reader, &mut rs, shared.cfg.client_body_cap) {
+                        Ok(()) => req,
+                        Err(e) if e.body_too_large() => {
+                            let _ = Response::new(413).write(&mut writer);
+                            return Ok(());
+                        }
+                        Err(_) => return Ok(()),
+                    }
                 };
                 let keep = req.keep_alive();
                 let resp = match handle_request(&req, shared, source, &mut scratch) {
@@ -808,6 +1080,413 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ProxyShared>) -> io::Result
             }
         }
     }
+}
+
+/// Decoded-payload bytes each streaming relay segment targets before the
+/// bytes move downstream (the origin-side `BufReader` can top a segment
+/// up by at most its own buffer). Bounds proxy memory per in-flight
+/// relay: the whole body is never resident.
+const STREAM_SEGMENT: usize = 16 * 1024;
+
+/// Whether `job` may take the streaming cut-through path: plain demand
+/// misses only. Validations stay buffered (a 304 needs the full-response
+/// exchange), Legacy mode has no pool to keep suffix connections on,
+/// `--accept-push` drains pushed responses synchronously off the origin
+/// stream mid-exchange, and an active prefetcher's claim/join protocol
+/// expects every miss to materialize a cacheable body — all of those
+/// keep the buffered path.
+fn streaming_eligible(shared: &ProxyShared, job: &UpstreamJob) -> bool {
+    shared.cfg.stream_threshold > 0
+        && job.validate_lm.is_none()
+        && shared.pool.is_some()
+        && !shared.cfg.accept_push
+        && shared.prefetcher.get().is_none()
+}
+
+/// A miss on the streaming path: probe for a retained prefix first (serve
+/// the head immediately, relay only the suffix), else run the streaming
+/// miss exchange. An `Err` from here means origin-derived bytes already
+/// reached the client and the transfer cannot be completed — the caller
+/// drops the connection, the only honest signal left (a `Content-Length`
+/// client sees the truncation; a chunked client sees the missing terminal
+/// chunk).
+fn stream_exchange<W: Write>(
+    shared: &Arc<ProxyShared>,
+    job: UpstreamJob,
+    w: &mut W,
+    scratch: &mut ConnScratch,
+) -> io::Result<()> {
+    let prefix = shared
+        .table
+        .read()
+        .lookup(&job.path)
+        .and_then(|r| shared.bodies.get_prefix(r).map(|b| (r, b)));
+    match prefix {
+        Some((r, head)) => serve_prefix_hit(shared, job, r, head, w, scratch),
+        None => stream_miss(shared, job, w, scratch),
+    }
+}
+
+/// Append the leading bytes of `seg` into `prefix` until it holds `want`.
+fn tee_prefix(prefix: &mut Vec<u8>, want: usize, seg: &[u8]) {
+    if prefix.len() < want {
+        let take = (want - prefix.len()).min(seg.len());
+        prefix.extend_from_slice(&seg[..take]);
+    }
+}
+
+/// Serve a prefix hit: the retained head goes out immediately — no origin
+/// round trip gates the client's first byte, which is the whole TTFB win —
+/// then the suffix is refetched over the keep-alive pool and relayed. The
+/// refetch is a plain GET (no `TE: chunked`, no `Piggy-filter`), so the
+/// origin answers with `Content-Length` framing and no piggyback, and the
+/// declared length validates the prefix against the recorded total: any
+/// mismatch means the object changed underneath the prefix, which is then
+/// dropped as stale.
+fn serve_prefix_hit<W: Write>(
+    shared: &Arc<ProxyShared>,
+    job: UpstreamJob,
+    r: ResourceId,
+    head: Body,
+    w: &mut W,
+    scratch: &mut ConnScratch,
+) -> io::Result<()> {
+    let pool = shared.pool.as_ref().expect("streaming requires the pool");
+    let total = head.total_len();
+    let head_len = head.len();
+    scratch.out.clear();
+    write!(
+        scratch.out,
+        "HTTP/1.1 200 OK\r\nX-Cache: PREFIX\r\nContent-Length: {total}\r\n\r\n"
+    )?;
+    write_all_parts(w, &[scratch.out.as_slice(), head.as_slice()])
+        .map_err(|e| client_relay_err(shared, &job, e))?;
+    w.flush().map_err(|e| client_relay_err(shared, &job, e))?;
+    // Suffix exchange. Retrying is safe until origin payload bytes are
+    // relayed: only request bytes and the cache-served head are out.
+    let mut exchange = None;
+    for attempt in 0..2 {
+        if attempt == 1 {
+            shared.stats.upstream_retries.fetch_add(1, Relaxed);
+        }
+        let dial = if attempt == 0 {
+            pool.checkout()
+        } else {
+            pool.connect_fresh()
+        };
+        let Ok(mut c) = dial else { continue };
+        let mut req = Request::new("GET", &job.path);
+        req.headers.insert("Host", "origin");
+        let sent = req
+            .write_with(&mut c.writer, scratch)
+            .map_err(HttpError::from)
+            .and_then(|()| Response::read_head(&mut c.reader));
+        match sent {
+            Ok(resp) => {
+                exchange = Some((c, resp));
+                break;
+            }
+            Err(_) => continue,
+        }
+    }
+    let Some((mut conn, resp)) = exchange else {
+        return relay_abort(shared, &job, "suffix exchange failed");
+    };
+    let declared = (resp.status == 200
+        && !resp.headers.list_contains("Transfer-Encoding", "chunked"))
+    .then(|| piggyback_httpwire::parse::content_length(&resp.headers))
+    .and_then(|cl| cl.ok().flatten());
+    if declared != Some(total) {
+        // New length or status: the head already sent is stale. Drop the
+        // poisoned prefix with the client connection; the next request
+        // misses and re-primes.
+        shared.bodies.remove(r);
+        return relay_abort(shared, &job, "prefix no longer matches the origin object");
+    }
+    // Decode `total` payload bytes, drop the first `head_len` (already
+    // served from cache), forward the rest as it arrives.
+    let mut reader = BodyReader::length(total);
+    let mut seg = Vec::new();
+    let mut seen = 0usize;
+    while !reader.is_done() {
+        match reader.read_segment(&mut conn.reader, &mut seg, STREAM_SEGMENT) {
+            Ok(0) => break,
+            Ok(n) => {
+                let skip = head_len.saturating_sub(seen).min(n);
+                w.write_all(&seg[skip..])
+                    .map_err(|e| client_relay_err(shared, &job, e))?;
+                w.flush().map_err(|e| client_relay_err(shared, &job, e))?;
+                seen += n;
+            }
+            // The origin died mid-suffix: the prefix itself is still
+            // valid (nothing contradicted it) — keep it; only the
+            // transfer failed.
+            Err(_) => return relay_abort(shared, &job, "origin died mid-suffix"),
+        }
+    }
+    pool.checkin(conn);
+    shared.stats.cache_hits.fetch_add(1, Relaxed);
+    shared.stats.prefix_hits.fetch_add(1, Relaxed);
+    // Range-free refetch: the origin resent the whole object (bandwidth
+    // is unchanged; latency-to-first-byte is what the prefix buys).
+    shared
+        .stats
+        .bytes_from_origin
+        .fetch_add(total as u64, Relaxed);
+    shared.obs.prefix_hit.record(job.start.elapsed());
+    Ok(())
+}
+
+/// Terminal failure after relay bytes reached the client: count the one
+/// terminal outcome and hand the caller an `Err` so the (now truncated)
+/// client connection closes. The origin connection is dropped by the
+/// caller simply by not checking it in.
+fn relay_abort(shared: &ProxyShared, job: &UpstreamJob, why: &'static str) -> io::Result<()> {
+    count_relay_error(shared, job);
+    Err(io::Error::new(io::ErrorKind::UnexpectedEof, why))
+}
+
+/// The single terminal outcome for a mid-relay failure on *either* side.
+/// `requests` was counted at plan time, so every streaming client write
+/// routes its error through here exactly once — conservation
+/// (`requests == Σ outcomes`) holds even when the client dies mid-body.
+fn count_relay_error(shared: &ProxyShared, job: &UpstreamJob) {
+    shared.stats.upstream_errors.fetch_add(1, Relaxed);
+    shared.obs.error.record(job.start.elapsed());
+}
+
+/// `map_err` adapter for client-side writes inside a relay: count the
+/// terminal outcome, pass the error through (the caller's `?` drops the
+/// connection).
+fn client_relay_err(shared: &ProxyShared, job: &UpstreamJob, e: io::Error) -> io::Error {
+    count_relay_error(shared, job);
+    e
+}
+
+/// A streaming-eligible miss: run the usual piggyback GET, decide from
+/// the response head alone whether to cut through. Small objects and
+/// non-200s fall back to the buffered store-and-serve path with exactly
+/// the counters and piggyback processing [`complete_upstream`] applies;
+/// large ones relay segment by segment while the first `--prefix-bytes`
+/// tee into the body store as a [`Body::prefix`] entry. Streamed objects
+/// are deliberately never cached whole.
+fn stream_miss<W: Write>(
+    shared: &Arc<ProxyShared>,
+    job: UpstreamJob,
+    w: &mut W,
+    scratch: &mut ConnScratch,
+) -> io::Result<()> {
+    let pool = shared.pool.as_ref().expect("streaming requires the pool");
+    let threshold = shared.cfg.stream_threshold;
+    let mut exchange = None;
+    for attempt in 0..2 {
+        if attempt == 1 {
+            shared.stats.upstream_retries.fetch_add(1, Relaxed);
+        }
+        let dial = if attempt == 0 {
+            pool.checkout()
+        } else {
+            pool.connect_fresh()
+        };
+        let Ok(mut c) = dial else { continue };
+        let mut req = Request::new("GET", &job.path);
+        req.headers.insert("Host", "origin");
+        req.headers.insert("TE", "chunked");
+        req.headers
+            .insert(PIGGY_FILTER_HEADER, &job.filter.to_header_value());
+        if let Some(rep) = &job.report {
+            req.headers.insert(PIGGY_REPORT_HEADER, rep);
+        }
+        let sent = req
+            .write_with(&mut c.writer, scratch)
+            .map_err(HttpError::from)
+            .and_then(|()| Response::read_head(&mut c.reader));
+        match sent {
+            Ok(resp) => {
+                exchange = Some((c, resp));
+                break;
+            }
+            Err(_) => continue,
+        }
+    }
+    let Some((mut conn, mut resp)) = exchange else {
+        // No client byte has moved: a clean 502, like the buffered path.
+        shared.stats.upstream_errors.fetch_add(1, Relaxed);
+        shared.obs.error.record(job.start.elapsed());
+        return Response::new(502).write_with(w, scratch);
+    };
+    let now = shared.clock.now();
+    let chunked = resp.headers.list_contains("Transfer-Encoding", "chunked");
+    let declared = if chunked {
+        None
+    } else {
+        match piggyback_httpwire::parse::content_length(&resp.headers) {
+            Ok(cl) => cl,
+            Err(_) => {
+                shared.stats.upstream_errors.fetch_add(1, Relaxed);
+                shared.obs.error.record(job.start.elapsed());
+                return Response::new(502).write_with(w, scratch);
+            }
+        }
+    };
+    let large_cl = resp.status == 200 && declared.is_some_and(|n| n >= threshold);
+    let chunked_200 = resp.status == 200 && chunked;
+    if !large_cl && !chunked_200 {
+        // Small fixed-length 200s, bodiless statuses, passthrough errors:
+        // buffer the rest and rejoin the stock phase-3 path.
+        if resp
+            .read_rest(&mut conn.reader, piggyback_httpwire::parse::MAX_BODY)
+            .is_err()
+        {
+            shared.stats.upstream_errors.fetch_add(1, Relaxed);
+            shared.obs.error.record(job.start.elapsed());
+            return Response::new(502).write_with(w, scratch);
+        }
+        pool.checkin(conn);
+        return finish_buffered_miss(shared, &job, resp, now, w, scratch);
+    }
+    // A 200 whose body may be large. Fixed-length bodies know their size
+    // up front; chunked ones accumulate until the threshold proves the
+    // object large (or the body ends first, staying buffered).
+    let mut reader = match declared {
+        Some(n) => BodyReader::length(n),
+        None => BodyReader::chunked(),
+    };
+    let mut buffered: Vec<u8> = Vec::new();
+    if !large_cl {
+        let mut seg = Vec::new();
+        while !reader.is_done() && buffered.len() < threshold {
+            match reader.read_segment(&mut conn.reader, &mut seg, STREAM_SEGMENT) {
+                Ok(0) => break,
+                Ok(_) => buffered.extend_from_slice(&seg),
+                Err(_) => {
+                    shared.stats.upstream_errors.fetch_add(1, Relaxed);
+                    shared.obs.error.record(job.start.elapsed());
+                    return Response::new(502).write_with(w, scratch);
+                }
+            }
+        }
+        if reader.is_done() {
+            // Small chunked object: exactly the buffered path.
+            resp.body = Body::from(buffered);
+            for (n, v) in reader.trailers().iter() {
+                resp.trailers.insert(n, v);
+            }
+            pool.checkin(conn);
+            return finish_buffered_miss(shared, &job, resp, now, w, scratch);
+        }
+    }
+    // Cut through. The client head carries the same headers as a buffered
+    // MISS (`Last-Modified` + `X-Cache: MISS`), framed by what we know:
+    // `Content-Length` when the origin declared one, chunked otherwise.
+    // From here on a failure truncates the client — see [`relay_abort`].
+    let lm = resp
+        .headers
+        .get("Last-Modified")
+        .and_then(parse_rfc1123)
+        .map(|u| timestamp_from_unix(u, DEFAULT_TRACE_EPOCH_UNIX))
+        .unwrap_or(now);
+    let mut client_head = Response::new(200);
+    let unix = unix_from_timestamp(lm, DEFAULT_TRACE_EPOCH_UNIX);
+    client_head
+        .headers
+        .insert("Last-Modified", &format_rfc1123(unix));
+    client_head.headers.insert("X-Cache", "MISS");
+    let framing = match declared {
+        Some(n) => StreamFraming::Length(n),
+        None => StreamFraming::Chunked,
+    };
+    scratch.out.clear();
+    encode_stream_head(&client_head, framing, &mut scratch.out);
+    w.write_all(&scratch.out)
+        .map_err(|e| client_relay_err(shared, &job, e))?;
+    let mut writer = match declared {
+        Some(n) => BodyWriter::length(n),
+        None => BodyWriter::chunked(),
+    };
+    let prefix_want = shared.cfg.prefix_bytes;
+    let mut prefix = Vec::with_capacity(prefix_want.min(1 << 20));
+    if !buffered.is_empty() {
+        tee_prefix(&mut prefix, prefix_want, &buffered);
+        writer
+            .push(&buffered, w)
+            .map_err(|e| client_relay_err(shared, &job, e))?;
+    }
+    w.flush().map_err(|e| client_relay_err(shared, &job, e))?;
+    drop(buffered);
+    let mut seg = Vec::new();
+    while !reader.is_done() {
+        match reader.read_segment(&mut conn.reader, &mut seg, STREAM_SEGMENT) {
+            Ok(0) => break,
+            Ok(_) => {
+                tee_prefix(&mut prefix, prefix_want, &seg);
+                writer
+                    .push(&seg, w)
+                    .map_err(|e| client_relay_err(shared, &job, e))?;
+                w.flush().map_err(|e| client_relay_err(shared, &job, e))?;
+            }
+            Err(_) => return relay_abort(shared, &job, "origin died mid-relay"),
+        }
+    }
+    // The origin's piggyback rode the chunked trailers (if any); the
+    // client gets a clean end of body — the proxy consumes the trailer,
+    // exactly like the buffered path.
+    writer
+        .finish(&HeaderMap::new(), w)
+        .map_err(|e| client_relay_err(shared, &job, e))?;
+    w.flush().map_err(|e| client_relay_err(shared, &job, e))?;
+    pool.checkin(conn);
+    let total = reader.decoded();
+    shared.stats.full_fetches.fetch_add(1, Relaxed);
+    shared.stats.streamed_misses.fetch_add(1, Relaxed);
+    shared
+        .stats
+        .bytes_from_origin
+        .fetch_add(total as u64, Relaxed);
+    let r = shared
+        .table
+        .write()
+        .register_path(&job.path, total as u64, lm);
+    if prefix_want > 0 && prefix.len() < total {
+        // The tee becomes a prefix entry — never a whole-object body.
+        shared.bodies.insert(r, Body::prefix(prefix, total));
+    }
+    let mut shell = Response::new(200);
+    for (n, v) in reader.trailers().iter() {
+        shell.trailers.insert(n, v);
+    }
+    process_piggyback(shared, &shell, job.source, now);
+    shared.obs.full_fetch.record(job.start.elapsed());
+    Ok(())
+}
+
+/// Rejoin the stock miss path for a response the streaming engine ended
+/// up buffering (small object or passthrough status): same counters,
+/// same piggyback ordering, same histograms as [`complete_upstream`].
+/// A 304 cannot reach here — the streaming path never sends
+/// `If-Modified-Since`.
+fn finish_buffered_miss<W: Write>(
+    shared: &Arc<ProxyShared>,
+    job: &UpstreamJob,
+    resp: Response,
+    now: Timestamp,
+    w: &mut W,
+    scratch: &mut ConnScratch,
+) -> io::Result<()> {
+    let (result, hist) = if resp.status == 200 {
+        (
+            store_full_response(shared, &job.path, &resp, now),
+            &shared.obs.full_fetch,
+        )
+    } else {
+        shared.stats.upstream_passthrough.fetch_add(1, Relaxed);
+        let mut out = Response::new(resp.status);
+        out.body = resp.body.clone();
+        (out, &shared.obs.passthrough)
+    };
+    process_piggyback(shared, &resp, job.source, now);
+    hist.record(job.start.elapsed());
+    result.write_with(w, scratch)
 }
 
 /// The plan phase 1 hands to the rest of the request.
@@ -908,8 +1587,11 @@ fn plan_request(req: &Request, shared: &Arc<ProxyShared>, source: SocketAddr) ->
         match cached {
             Some((r, snap)) if snap.is_fresh(now) => {
                 // A fresh entry whose body was invalidated underneath us
-                // (concurrent piggyback) degrades to a plain fetch.
-                match shared.bodies.get(r) {
+                // (concurrent piggyback) degrades to a plain fetch. A
+                // prefix entry is never a full body — serving it here
+                // would truncate the object — so it degrades the same
+                // way (the streaming path probes prefixes separately).
+                match shared.bodies.get(r).filter(|b| !b.is_prefix()) {
                     Some(body) => {
                         shared.stats.cache_hits.fetch_add(1, Relaxed);
                         shared.stats.fresh_hits.fetch_add(1, Relaxed);
@@ -999,7 +1681,7 @@ fn complete_upstream(
                     // The lookup flipped `used`; settle the speculation
                     // even if the body vanishes before we can serve it.
                     prefetch::note_speculative_hit(&shared.stats, &snap);
-                    if let Some(body) = shared.bodies.get(r) {
+                    if let Some(body) = shared.bodies.get(r).filter(|b| !b.is_prefix()) {
                         shared.stats.cache_hits.fetch_add(1, Relaxed);
                         shared.stats.fresh_hits.fetch_add(1, Relaxed);
                         if shared.cfg.report_hits {
@@ -1178,7 +1860,7 @@ fn store_full_response(
         }
         shared.bodies.with_resource_shard(r, |bodies| {
             for (v, _) in &out.evicted {
-                bodies.remove(v);
+                bodies.remove(*v);
             }
         });
     }
@@ -1231,6 +1913,10 @@ fn process_piggyback(shared: &ProxyShared, resp: &Response, source: SocketAddr, 
             ElementAction::Freshen => {
                 shared.cache.freshen(r, now + delta);
                 shared.cache.note_piggyback_mention(r, now);
+                // Volume mentions also bias prefix retention: a prefix of
+                // a resource the origin still groups into active volumes
+                // earns its bytes (the VoD prefix-retention signal).
+                shared.bodies.note_mention(r);
                 shared.stats.piggyback_freshens.fetch_add(1, Relaxed);
             }
             ElementAction::Invalidate => {
@@ -1272,6 +1958,7 @@ fn metrics_response(shared: &ProxyShared) -> Response {
     );
     for (label, value) in [
         ("fresh_hit", stats.fresh_hits),
+        ("prefix_hit", stats.prefix_hits),
         ("not_modified", stats.not_modified),
         ("full_fetch", stats.full_fetches),
         ("error", stats.upstream_errors),
@@ -1288,6 +1975,7 @@ fn metrics_response(shared: &ProxyShared) -> Response {
     for (name, value) in [
         ("pb_proxy_cache_hits_total", stats.cache_hits),
         ("pb_proxy_affine_hits_total", stats.affine_hits),
+        ("pb_proxy_streamed_misses_total", stats.streamed_misses),
         ("pb_proxy_validations_total", stats.validations),
         ("pb_proxy_bytes_from_origin_total", stats.bytes_from_origin),
         (
@@ -1412,6 +2100,19 @@ fn metrics_response(shared: &ProxyShared) -> Response {
             shard.evictions,
         );
     }
+    // Body-store occupancy (full bodies + prefix entries), per shard,
+    // from the lock-free mirror gauges.
+    for (i, shard) in shared.bodies.occupancy().iter().enumerate() {
+        let labels = format!("shard=\"{i}\"");
+        for (name, value) in [
+            ("pb_proxy_body_bytes", shard.bytes),
+            ("pb_proxy_body_entries", shard.entries),
+            ("pb_proxy_prefix_bytes", shard.prefix_bytes),
+            ("pb_proxy_prefix_entries", shard.prefix_entries),
+        ] {
+            render_scalar(&mut out, name, &labels, "gauge", value);
+        }
+    }
     render_scalar(
         &mut out,
         "pb_proxy_accepts_total",
@@ -1499,6 +2200,20 @@ fn metrics_response(shared: &ProxyShared) -> Response {
                 &labels,
                 "counter",
                 s.upstream_timeouts(),
+            );
+            render_scalar(
+                &mut out,
+                "pb_proxy_reactor_relays_total",
+                &labels,
+                "counter",
+                s.relays(),
+            );
+            render_scalar(
+                &mut out,
+                "pb_proxy_reactor_relay_paused_total",
+                &labels,
+                "counter",
+                s.relay_paused(),
             );
         }
     }
@@ -1644,6 +2359,7 @@ pub fn piggyback_request_headers(filter: &ProxyFilter) -> HeaderMap {
 mod tests {
     use super::*;
     use crate::origin::{start_origin, OriginConfig, OriginHandle};
+    use std::net::TcpListener;
 
     /// Drive the whole site once directly (no proxy), so the origin's
     /// access state covers every resource. Piggybacks only name volume
@@ -1934,6 +2650,11 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("pb_proxy_cache_capacity_bytes"), "{text}");
+        assert!(text.contains("pb_proxy_body_bytes{shard=\"0\"}"), "{text}");
+        assert!(
+            text.contains("pb_proxy_prefix_entries{shard=\"0\"}"),
+            "{text}"
+        );
         // Conservation is checkable from the scrape alone.
         let outcome_total: u64 = text
             .lines()
@@ -2099,5 +2820,134 @@ mod tests {
         assert_eq!(stats.upstream_errors, 1);
         assert_eq!(stats.outcomes(), stats.requests, "conservation");
         proxy.stop();
+    }
+
+    /// A hand-rolled keep-alive origin serving one deterministic body
+    /// under `Content-Length` framing for every path — the shape of a
+    /// real large-object origin, with none of the replay origin's
+    /// piggyback or volume machinery. The listener thread leaks with the
+    /// test process, like every other fixture here that outlives its
+    /// assertions.
+    fn start_big_origin(body: Arc<Vec<u8>>) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { continue };
+                let body = Arc::clone(&body);
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = BufWriter::new(stream);
+                    while Request::read(&mut reader).is_ok() {
+                        let head = format!(
+                            "HTTP/1.1 200 OK\r\nLast-Modified: Thu, 01 Jan 1970 00:00:00 GMT\r\nContent-Length: {}\r\n\r\n",
+                            body.len()
+                        );
+                        if writer.write_all(head.as_bytes()).is_err()
+                            || writer.write_all(&body).is_err()
+                            || writer.flush().is_err()
+                        {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    fn deterministic_body(len: usize) -> Arc<Vec<u8>> {
+        Arc::new((0..len).map(|i| (i % 251) as u8).collect())
+    }
+
+    #[test]
+    fn large_object_streams_then_hits_prefix() {
+        let body = deterministic_body(600 * 1024);
+        let addr = start_big_origin(Arc::clone(&body));
+        let mut cfg = ProxyConfig::new(addr);
+        cfg.stream_threshold = 256 * 1024;
+        cfg.prefix_bytes = 64 * 1024;
+        let proxy = start_proxy(cfg).unwrap();
+
+        let r1 = get(proxy.addr(), "/big.bin");
+        assert_eq!(r1.status, 200);
+        assert_eq!(r1.headers.get("X-Cache"), Some("MISS"));
+        assert_eq!(
+            r1.body.as_slice(),
+            body.as_slice(),
+            "streamed body must be byte-identical"
+        );
+
+        let r2 = get(proxy.addr(), "/big.bin");
+        assert_eq!(r2.status, 200);
+        assert_eq!(r2.headers.get("X-Cache"), Some("PREFIX"));
+        assert_eq!(
+            r2.body.as_slice(),
+            body.as_slice(),
+            "prefix-hit body must be byte-identical"
+        );
+
+        let stats = proxy.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.full_fetches, 1);
+        assert_eq!(stats.streamed_misses, 1);
+        assert_eq!(stats.prefix_hits, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.outcomes(), stats.requests, "conservation");
+
+        let occ = proxy.shared.bodies.occupancy();
+        let prefixes: u64 = occ.iter().map(|s| s.prefix_entries).sum();
+        let entries: u64 = occ.iter().map(|s| s.entries).sum();
+        assert_eq!(prefixes, 1, "exactly one prefix entry retained");
+        assert_eq!(entries, 1, "streamed object must not be cached whole");
+        let bytes: u64 = occ.iter().map(|s| s.bytes).sum();
+        assert_eq!(bytes, 64 * 1024, "only the prefix head is resident");
+        proxy.stop();
+    }
+
+    #[test]
+    fn small_object_stays_on_the_buffered_path() {
+        let body = deterministic_body(10 * 1024);
+        let addr = start_big_origin(Arc::clone(&body));
+        let proxy = start_proxy(ProxyConfig::new(addr)).unwrap();
+        let r1 = get(proxy.addr(), "/small.bin");
+        assert_eq!(r1.headers.get("X-Cache"), Some("MISS"));
+        let r2 = get(proxy.addr(), "/small.bin");
+        assert_eq!(
+            r2.headers.get("X-Cache"),
+            Some("HIT"),
+            "sub-threshold objects cache whole and serve as plain hits"
+        );
+        assert_eq!(r2.body.as_slice(), body.as_slice());
+        let stats = proxy.stats();
+        assert_eq!(stats.streamed_misses, 0);
+        assert_eq!(stats.fresh_hits, 1);
+        assert_eq!(stats.outcomes(), stats.requests, "conservation");
+        proxy.stop();
+    }
+
+    #[test]
+    fn oversized_client_body_gets_413() {
+        let origin = start_origin(OriginConfig::default()).unwrap();
+        for wire in [WireMode::ZeroCopy, WireMode::Buffered] {
+            let mut cfg = ProxyConfig::new(origin.addr());
+            cfg.client_body_cap = 1024;
+            cfg.wire = wire;
+            let proxy = start_proxy(cfg).unwrap();
+            let stream = TcpStream::connect(proxy.addr()).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = BufWriter::new(stream);
+            writer
+                .write_all(b"GET /a.html HTTP/1.1\r\nHost: p\r\nContent-Length: 4096\r\n\r\n")
+                .unwrap();
+            // The proxy may reject before draining; ignore write errors.
+            let _ = writer.write_all(&[b'x'; 4096]);
+            let _ = writer.flush();
+            let resp = Response::read(&mut reader, false).unwrap();
+            assert_eq!(resp.status, 413, "wire mode {wire:?}");
+            assert_eq!(proxy.stats().requests, 0, "rejected before accounting");
+            proxy.stop();
+        }
+        origin.stop();
     }
 }

@@ -46,7 +46,7 @@
 //! through the same `write_hit`/`Response::write_with` serializers.
 
 use crate::util::{IoStats, OpenGuard, ServerHandle};
-use piggyback_httpwire::{ConnScratch, HttpError, Request, Response};
+use piggyback_httpwire::{parse, ConnScratch, HttpError, Request, Response};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -316,6 +316,13 @@ pub struct ReactorShardStats {
     pub upstream_inflight: AtomicU64,
     /// Upstream exchanges killed by the `--upstream-timeout-secs` wheel.
     pub upstream_timeouts: AtomicU64,
+    /// Streaming relays engaged (large-object cut-through exchanges).
+    pub relays: AtomicU64,
+    /// Times a streaming relay paused its upstream reads because the
+    /// client's output buffer hit the high-water mark — the slow-reader
+    /// backpressure proof: a lagging client throttles the origin leg
+    /// instead of ballooning the proxy's buffers.
+    pub relay_paused: AtomicU64,
 }
 
 impl ReactorShardStats {
@@ -345,6 +352,12 @@ impl ReactorShardStats {
     }
     pub fn upstream_timeouts(&self) -> u64 {
         self.upstream_timeouts.load(Ordering::Relaxed)
+    }
+    pub fn relays(&self) -> u64 {
+        self.relays.load(Ordering::Relaxed)
+    }
+    pub fn relay_paused(&self) -> u64 {
+        self.relay_paused.load(Ordering::Relaxed)
     }
 }
 
@@ -436,7 +449,41 @@ pub struct UpstreamPlan {
     /// Side-effect hook invoked exactly once if the exchange is retried on
     /// a fresh connection (mirrors the threaded `upstream_retries` bump).
     pub retry: RetryFn,
+    /// Opt-in large-object cut-through: when set, the exchange relays
+    /// payload bytes straight into the parked client's output buffer as
+    /// soon as the response head qualifies, instead of buffering the whole
+    /// body. `None` keeps the classic buffered exchange.
+    pub stream: Option<StreamSpec>,
 }
+
+/// Large-object cut-through parameters for one upstream exchange. The
+/// relay engages only for `Content-Length`-framed 200s (chunked origin
+/// responses stay buffered in reactor mode; the threaded engine streams
+/// them) — once engaged, payload segments move origin buffer → client
+/// output buffer with O(segment) memory, pausing origin reads while the
+/// client sits above the output high-water mark.
+pub struct StreamSpec {
+    /// Engage when the declared length is at least this many bytes
+    /// (ignored when `expect_total` pins an exact length).
+    pub threshold: usize,
+    /// Tee the first N payload bytes, handed back through
+    /// [`UpstreamOutcome::Streamed`] for the caller's prefix store.
+    pub prefix_bytes: usize,
+    /// Drop this many leading payload bytes instead of forwarding them —
+    /// the suffix relay behind a cache-served prefix head.
+    pub skip: usize,
+    /// Require exactly this declared length; any other head is a
+    /// [`UpstreamOutcome::StreamFailed`] mismatch, because the head bytes
+    /// already sent to the client promised this length.
+    pub expect_total: Option<usize>,
+    /// Serialize the client-facing response head into `out` the moment
+    /// the relay engages (runs on the reactor thread with the parked
+    /// client's scratch and output buffer).
+    pub head: HeadFn,
+}
+
+pub type HeadFn =
+    Box<dyn FnOnce(&Response, &mut ConnScratch, &mut Vec<u8>) -> io::Result<()> + Send>;
 
 /// How a nonblocking upstream exchange ended.
 pub enum UpstreamOutcome {
@@ -445,6 +492,20 @@ pub enum UpstreamOutcome {
     /// The exchange failed terminally (dial failure, second-attempt I/O
     /// error, or timeout); the continuation should synthesize a 502.
     Failed,
+    /// A streaming relay delivered the entire declared payload to the
+    /// client. `head` is the origin's parsed response head (body empty),
+    /// `prefix` the teed leading bytes per the [`StreamSpec`].
+    Streamed {
+        head: Box<Response>,
+        total: usize,
+        prefix: Vec<u8>,
+    },
+    /// A streaming exchange died after bytes (head or payload) may have
+    /// reached the client: no retry is possible and no error response may
+    /// be written — the continuation should account the failure and return
+    /// `Err` so the truncated client connection closes. `mismatch` marks a
+    /// response head that contradicted `expect_total`.
+    StreamFailed { mismatch: bool },
 }
 
 /// What the continuation wants next.
@@ -727,6 +788,10 @@ struct Conn {
     /// First-byte time of a not-yet-complete request (read deadline).
     req_start: Option<Instant>,
     read_eof: bool,
+    /// Upstream token of a streaming relay feeding this connection's
+    /// output buffer. When the buffer drains below the high-water mark,
+    /// the flush path re-drives that upstream (backpressure release).
+    relay_up: Option<u64>,
     _guard: OpenGuard,
 }
 
@@ -1022,6 +1087,119 @@ struct Exchange {
     wpos: usize,
     /// Per-attempt deadline base for the upstream timeout wheel.
     started: Instant,
+    /// Engaged streaming relay (the plan's [`StreamSpec`] accepted the
+    /// response head). Once set, the exchange is unretryable.
+    relay: Option<Relay>,
+}
+
+/// Relay-mode bookkeeping for a streaming exchange.
+struct Relay {
+    /// The parsed response head (continuation needs its headers).
+    head: Box<Response>,
+    /// Declared payload length.
+    total: usize,
+    /// Payload bytes consumed off the origin so far (forwarded + skipped).
+    seen: usize,
+    /// Leading payload bytes dropped instead of forwarded (the prefix the
+    /// client already received from the cache).
+    skip: usize,
+    /// Tee of the first `prefix_want` payload bytes.
+    prefix: Vec<u8>,
+    prefix_want: usize,
+}
+
+/// Head-only parse outcome for a pending [`StreamSpec`] decision.
+enum ParseHead {
+    Incomplete,
+    Malformed,
+    /// Parsed head plus the byte count it consumed from the buffer.
+    Complete(Box<Response>, usize),
+}
+
+/// Attempt to parse just the response head (status line + headers) from
+/// `buf`. Unlike [`try_parse_response`] this never waits for the body —
+/// the relay decision only needs the framing headers.
+fn try_parse_response_head(buf: &[u8], eof: bool) -> ParseHead {
+    if buf.is_empty() {
+        return if eof {
+            ParseHead::Malformed
+        } else {
+            ParseHead::Incomplete
+        };
+    }
+    let mut r = SliceReader { buf, pos: 0 };
+    match Response::read_head(&mut r) {
+        Ok(resp) => ParseHead::Complete(Box::new(resp), r.pos),
+        Err(HttpError::ConnectionClosed) if !eof => ParseHead::Incomplete,
+        Err(_) => ParseHead::Malformed,
+    }
+}
+
+/// What a response head means for a pending [`StreamSpec`]: relay it,
+/// fall back to the buffered exchange, or fail a pinned-length relay.
+enum StreamDecision {
+    Engage(usize),
+    Buffer,
+    Mismatch,
+}
+
+fn stream_decision(head: &Response, spec: &StreamSpec) -> StreamDecision {
+    let declared = if head.headers.list_contains("Transfer-Encoding", "chunked") {
+        None
+    } else {
+        match parse::content_length(&head.headers) {
+            Ok(cl) => cl,
+            // A malformed Content-Length: let the buffered parser produce
+            // the error (or fail a pinned relay outright).
+            Err(_) => {
+                return if spec.expect_total.is_some() {
+                    StreamDecision::Mismatch
+                } else {
+                    StreamDecision::Buffer
+                };
+            }
+        }
+    };
+    match spec.expect_total {
+        Some(want) => {
+            if head.status == 200 && declared == Some(want) {
+                StreamDecision::Engage(want)
+            } else {
+                StreamDecision::Mismatch
+            }
+        }
+        None => match declared {
+            Some(n) if head.status == 200 && n >= spec.threshold => StreamDecision::Engage(n),
+            _ => StreamDecision::Buffer,
+        },
+    }
+}
+
+/// Move CL-framed payload bytes from the origin's read buffer into the
+/// parked client's output buffer: drop the relay's skip prefix (already
+/// served from cache), tee the leading `prefix_want` bytes, and never
+/// push the client past the output high-water mark.
+fn relay_move(relay: &mut Relay, rbuf: &mut Vec<u8>, conn: &mut Conn) {
+    let avail = rbuf.len().min(relay.total - relay.seen);
+    if avail == 0 {
+        return;
+    }
+    let skip_now = relay.skip.saturating_sub(relay.seen).min(avail);
+    let room = OUT_HIGH_WATER.saturating_sub(conn.pending_out());
+    let fwd = (avail - skip_now).min(room);
+    let consumed = skip_now + fwd;
+    if consumed == 0 {
+        return;
+    }
+    // `prefix.len() == min(seen, prefix_want)` holds across calls, so the
+    // tee always takes from the front of this segment.
+    if relay.prefix.len() < relay.prefix_want {
+        let take = (relay.prefix_want - relay.prefix.len()).min(consumed);
+        relay.prefix.extend_from_slice(&rbuf[..take]);
+    }
+    conn.out.extend_from_slice(&rbuf[skip_now..consumed]);
+    rbuf.drain(..consumed);
+    relay.seen += consumed;
 }
 
 /// A nonblocking origin connection owned by one reactor shard.
@@ -1187,6 +1365,7 @@ impl<S: ReactorService> Reactor<S> {
             last_active: Instant::now(),
             req_start: None,
             read_eof: false,
+            relay_up: None,
             _guard: guard,
         };
         let token = self.slab.insert(conn);
@@ -1497,12 +1676,21 @@ impl<S: ReactorService> Reactor<S> {
                 && matches!(conn.state, ConnState::Ready)
                 && conn.pending_out() < OUT_HIGH_WATER
                 && conn.rpos < conn.rbuf.len();
+            // A relay paused on this client's backpressure resumes the
+            // moment a flush frees output capacity (the client is parked
+            // AwaitingUpstream, so this is disjoint from `can_continue`).
+            let resume = match conn.relay_up {
+                Some(u) if conn.pending_out() < OUT_HIGH_WATER => Some(u),
+                _ => None,
+            };
             if !can_continue {
                 // Client half-closed and nothing is owed: done.
-                if conn.read_eof
+                let done = conn.read_eof
                     && matches!(conn.state, ConnState::Ready)
-                    && conn.pending_out() == 0
-                {
+                    && conn.pending_out() == 0;
+                if let Some(u) = resume {
+                    self.drive_upstream(u);
+                } else if done {
                     self.close_conn(token);
                 }
                 return;
@@ -1597,6 +1785,11 @@ impl<S: ReactorService> Reactor<S> {
         if let Some(conn) = self.slab.remove(token) {
             let _ = self.ep.del(conn.stream.as_raw_fd());
             self.shard_stats().conns.fetch_sub(1, Ordering::Relaxed);
+            // A relay feeding this client has nowhere to write: abort it
+            // now instead of waiting for the upstream timeout wheel.
+            if let Some(u) = conn.relay_up {
+                self.abort_stream(u, false);
+            }
             // Dropping conn closes the socket and releases the OpenGuard.
         }
     }
@@ -1614,6 +1807,7 @@ impl<S: ReactorService> Reactor<S> {
             attempt,
             wpos: 0,
             started: Instant::now(),
+            relay: None,
         };
         if attempt == 0 {
             self.shard_stats()
@@ -1762,103 +1956,276 @@ impl<S: ReactorService> Reactor<S> {
     }
 
     /// Write request bytes / read response bytes until EAGAIN, then try to
-    /// parse. Terminal conditions route to resolve/retry/fail.
+    /// parse. A plan carrying a [`StreamSpec`] switches to relay mode as
+    /// soon as the response head qualifies: payload segments move from the
+    /// origin buffer straight into the parked client's output buffer,
+    /// pausing origin reads while the client sits above the high-water
+    /// mark. Terminal conditions route to resolve/retry/fail.
     fn drive_upstream(&mut self, utoken: u64) {
         enum Out {
             Wait,
             Error,
             Resolved(Box<Response>, bool),
+            /// Relay delivered the last payload byte; park/close by dirty.
+            StreamDone {
+                dirty: bool,
+            },
+            /// The response head contradicted the relay's pinned length:
+            /// terminal — the head already sent promised something else.
+            StreamMismatch,
+            /// The parked client vanished around a relay: terminal, never
+            /// retried.
+            ClientGone,
         }
-        let out = {
-            let up = match self.upstreams.get_mut(utoken & !UPSTREAM_BIT) {
-                Some(u) => u,
-                None => return,
-            };
-            let Some(ex) = up.ex.as_mut() else { return };
-            let mut verdict = Out::Wait;
-            // Write leg.
-            while ex.wpos < ex.plan.request.len() {
-                match up.stream.write(&ex.plan.request[ex.wpos..]) {
-                    Ok(0) => {
-                        verdict = Out::Error;
-                        break;
-                    }
-                    Ok(n) => ex.wpos += n,
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                    Err(_) => {
-                        verdict = Out::Error;
-                        break;
+        loop {
+            let mut flush_client = None;
+            let mut backpressured = false;
+            let out = {
+                let Reactor {
+                    upstreams,
+                    slab,
+                    metrics,
+                    shard,
+                    ..
+                } = self;
+                let stats = &metrics.shards[*shard];
+                let up = match upstreams.get_mut(utoken & !UPSTREAM_BIT) {
+                    Some(u) => u,
+                    None => return,
+                };
+                let Some(ex) = up.ex.as_mut() else { return };
+                let mut verdict = Out::Wait;
+                // Write leg.
+                while ex.wpos < ex.plan.request.len() {
+                    match up.stream.write(&ex.plan.request[ex.wpos..]) {
+                        Ok(0) => {
+                            verdict = Out::Error;
+                            break;
+                        }
+                        Ok(n) => ex.wpos += n,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            verdict = Out::Error;
+                            break;
+                        }
                     }
                 }
-            }
-            // Read leg (only meaningful once the request is fully out,
-            // but draining early bytes is harmless and keeps ET armed).
-            if matches!(verdict, Out::Wait) {
-                loop {
-                    let old = up.rbuf.len();
-                    if old >= MAX_RBUF {
-                        verdict = Out::Error;
-                        break;
+                // Read leg (only meaningful once the request is fully out,
+                // but draining early bytes is harmless and keeps ET armed).
+                if matches!(verdict, Out::Wait) {
+                    'read: loop {
+                        // Relay mode: move buffered payload to the client
+                        // before (and instead of) growing rbuf.
+                        if let Some(relay) = ex.relay.as_mut() {
+                            let Some(conn) = ex.client.and_then(|t| slab.get_mut(t)) else {
+                                verdict = Out::ClientGone;
+                                break 'read;
+                            };
+                            relay_move(relay, &mut up.rbuf, conn);
+                            flush_client = ex.client;
+                            if relay.seen == relay.total {
+                                verdict = Out::StreamDone {
+                                    dirty: !up.rbuf.is_empty() || up.read_eof,
+                                };
+                                break 'read;
+                            }
+                            if conn.pending_out() >= OUT_HIGH_WATER {
+                                // Slow reader: stop pulling from the origin
+                                // until the client drains (the flush path
+                                // re-drives this exchange).
+                                stats.relay_paused.fetch_add(1, Ordering::Relaxed);
+                                backpressured = true;
+                                break 'read;
+                            }
+                            if up.read_eof && up.rbuf.is_empty() {
+                                // Origin died before the declared length.
+                                verdict = Out::Error;
+                                break 'read;
+                            }
+                        } else if ex.plan.stream.is_some() && !up.rbuf.is_empty() {
+                            // A pending StreamSpec decides from the head
+                            // alone, before the body is buffered.
+                            match try_parse_response_head(&up.rbuf, up.read_eof) {
+                                ParseHead::Incomplete => {
+                                    if up.read_eof {
+                                        verdict = Out::Error;
+                                        break 'read;
+                                    }
+                                }
+                                ParseHead::Malformed => {
+                                    verdict = Out::Error;
+                                    break 'read;
+                                }
+                                ParseHead::Complete(head, consumed) => {
+                                    let spec = ex.plan.stream.as_ref().expect("checked");
+                                    match stream_decision(&head, spec) {
+                                        StreamDecision::Engage(total) => {
+                                            let Some(conn) =
+                                                ex.client.and_then(|t| slab.get_mut(t))
+                                            else {
+                                                verdict = Out::ClientGone;
+                                                break 'read;
+                                            };
+                                            let spec = ex.plan.stream.take().expect("checked");
+                                            if (spec.head)(&head, &mut conn.scratch, &mut conn.out)
+                                                .is_err()
+                                            {
+                                                verdict = Out::ClientGone;
+                                                break 'read;
+                                            }
+                                            conn.relay_up = Some(utoken);
+                                            up.rbuf.drain(..consumed);
+                                            stats.relays.fetch_add(1, Ordering::Relaxed);
+                                            ex.relay = Some(Relay {
+                                                head,
+                                                total,
+                                                seen: 0,
+                                                skip: spec.skip,
+                                                prefix: Vec::new(),
+                                                prefix_want: spec.prefix_bytes.min(total),
+                                            });
+                                            continue 'read;
+                                        }
+                                        StreamDecision::Buffer => {
+                                            // Small / non-200 / chunked:
+                                            // fall back to the buffered
+                                            // exchange for this response.
+                                            ex.plan.stream = None;
+                                        }
+                                        StreamDecision::Mismatch => {
+                                            verdict = Out::StreamMismatch;
+                                            break 'read;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        let old = up.rbuf.len();
+                        if old >= MAX_RBUF {
+                            verdict = Out::Error;
+                            break 'read;
+                        }
+                        up.rbuf.resize(old + READ_CHUNK, 0);
+                        match up.stream.read(&mut up.rbuf[old..]) {
+                            Ok(0) => {
+                                up.rbuf.truncate(old);
+                                up.read_eof = true;
+                                if ex.relay.is_some() || !up.rbuf.is_empty() {
+                                    // Let the relay / head decision see EOF.
+                                    continue 'read;
+                                }
+                                if ex.plan.stream.is_some() {
+                                    // EOF before any response byte: the head
+                                    // decision (gated on buffered bytes) can
+                                    // never run — a dead exchange, same as
+                                    // the buffered path's EOF-without-head.
+                                    verdict = Out::Error;
+                                }
+                                break 'read;
+                            }
+                            Ok(n) => up.rbuf.truncate(old + n),
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                up.rbuf.truncate(old);
+                                break 'read;
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                                up.rbuf.truncate(old);
+                                continue 'read;
+                            }
+                            Err(_) => {
+                                up.rbuf.truncate(old);
+                                verdict = Out::Error;
+                                break 'read;
+                            }
+                        }
                     }
-                    up.rbuf.resize(old + READ_CHUNK, 0);
-                    match up.stream.read(&mut up.rbuf[old..]) {
-                        Ok(0) => {
-                            up.rbuf.truncate(old);
-                            up.read_eof = true;
-                            break;
+                }
+                if matches!(verdict, Out::Wait) && ex.relay.is_none() && ex.plan.stream.is_none() {
+                    match try_parse_response(&up.rbuf, up.read_eof) {
+                        ParseResp::Incomplete => {
+                            if up.read_eof {
+                                // EOF with no parsable response: stale
+                                // keep-alive or origin kill mid-exchange.
+                                verdict = Out::Error;
+                            }
                         }
-                        Ok(n) => up.rbuf.truncate(old + n),
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            up.rbuf.truncate(old);
-                            break;
+                        ParseResp::Malformed => verdict = Out::Error,
+                        ParseResp::Complete(resp, consumed) => {
+                            // Leftover bytes after a complete response poison
+                            // the framing; such a connection must not be
+                            // parked (same contract as the pool's dirty
+                            // checkin refusal).
+                            let dirty = consumed < up.rbuf.len() || up.read_eof;
+                            verdict = Out::Resolved(resp, dirty);
                         }
-                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
-                            up.rbuf.truncate(old);
+                    }
+                }
+                up.last_active = Instant::now();
+                verdict
+            };
+            match out {
+                Out::Wait => {
+                    if let Some(ct) = flush_client {
+                        // Relay bytes were enqueued: flush now — with
+                        // edge-triggered registration, no EPOLLOUT arrives
+                        // for a socket that was already writable.
+                        if self.flush_conn(ct) {
+                            // Client closed while flushing; re-enter so the
+                            // relay step observes ClientGone.
                             continue;
                         }
-                        Err(_) => {
-                            up.rbuf.truncate(old);
-                            verdict = Out::Error;
-                            break;
+                        if backpressured {
+                            let freed = self
+                                .slab
+                                .get_mut(ct)
+                                .is_some_and(|c| c.pending_out() < OUT_HIGH_WATER);
+                            if freed {
+                                continue;
+                            }
                         }
                     }
+                    return;
+                }
+                Out::Error => {
+                    self.upstream_exchange_error(utoken);
+                    return;
+                }
+                Out::Resolved(resp, dirty) => {
+                    self.resolve_upstream(utoken, *resp, dirty);
+                    return;
+                }
+                Out::StreamDone { dirty } => {
+                    self.resolve_stream(utoken, dirty);
+                    return;
+                }
+                Out::StreamMismatch => {
+                    self.abort_stream(utoken, true);
+                    return;
+                }
+                Out::ClientGone => {
+                    self.abort_stream(utoken, false);
+                    return;
                 }
             }
-            if matches!(verdict, Out::Wait) {
-                match try_parse_response(&up.rbuf, up.read_eof) {
-                    ParseResp::Incomplete => {
-                        if up.read_eof {
-                            // EOF with no parsable response: stale
-                            // keep-alive or origin kill mid-exchange.
-                            verdict = Out::Error;
-                        }
-                    }
-                    ParseResp::Malformed => verdict = Out::Error,
-                    ParseResp::Complete(resp, consumed) => {
-                        // Leftover bytes after a complete response poison
-                        // the framing; such a connection must not be
-                        // parked (same contract as the pool's dirty
-                        // checkin refusal).
-                        let dirty = consumed < up.rbuf.len() || up.read_eof;
-                        verdict = Out::Resolved(resp, dirty);
-                    }
-                }
-            }
-            up.last_active = Instant::now();
-            verdict
-        };
-        match out {
-            Out::Wait => {}
-            Out::Error => self.upstream_exchange_error(utoken),
-            Out::Resolved(resp, dirty) => self.resolve_upstream(utoken, *resp, dirty),
         }
     }
 
     /// Mid-exchange failure (I/O error, EOF, malformed response, timeout):
     /// retry once on a fresh connection, then fail terminally. The dead
-    /// connection is always closed.
+    /// connection is always closed. An engaged relay is never retried —
+    /// payload bytes already reached the client, and a second attempt
+    /// would splice a second body into the stream.
     fn upstream_exchange_error(&mut self, utoken: u64) {
+        let relaying = self
+            .upstreams
+            .get_mut(utoken & !UPSTREAM_BIT)
+            .and_then(|up| up.ex.as_ref())
+            .is_some_and(|ex| ex.relay.is_some());
+        if relaying {
+            self.abort_stream(utoken, false);
+            return;
+        }
         let ex = self
             .upstreams
             .get_mut(utoken & !UPSTREAM_BIT)
@@ -1872,6 +2239,57 @@ impl<S: ReactorService> Reactor<S> {
         } else {
             self.finish_exchange(ex, UpstreamOutcome::Failed);
         }
+    }
+
+    /// Unlink a (possibly engaged) relay from its client connection.
+    fn clear_relay_link(&mut self, ex: &Exchange) {
+        if let Some(conn) = ex.client.and_then(|t| self.slab.get_mut(t)) {
+            conn.relay_up = None;
+        }
+    }
+
+    /// Terminally abort a streaming exchange: no retry — relay bytes may
+    /// already sit in the client's buffer, so the only honest end is a
+    /// truncated close. `mismatch` tells the continuation the response
+    /// head contradicted the relay's pinned length.
+    fn abort_stream(&mut self, utoken: u64, mismatch: bool) {
+        let ex = self
+            .upstreams
+            .get_mut(utoken & !UPSTREAM_BIT)
+            .and_then(|up| up.ex.take());
+        self.close_upstream(utoken);
+        let Some(ex) = ex else { return };
+        self.clear_relay_link(&ex);
+        self.finish_exchange(ex, UpstreamOutcome::StreamFailed { mismatch });
+    }
+
+    /// A relay delivered its last payload byte: park or close the origin
+    /// connection (same dirty contract as [`resolve_upstream`]), then run
+    /// the continuation with the relay's bookkeeping.
+    fn resolve_stream(&mut self, utoken: u64, dirty: bool) {
+        let ex = self
+            .upstreams
+            .get_mut(utoken & !UPSTREAM_BIT)
+            .and_then(|up| up.ex.take());
+        if dirty || self.idle_ups.len() >= self.upstream_max_idle {
+            self.close_upstream(utoken);
+        } else if let Some(up) = self.upstreams.get_mut(utoken & !UPSTREAM_BIT) {
+            up.phase = UpPhase::Idle;
+            up.rbuf.clear();
+            up.last_active = Instant::now();
+            self.idle_ups.push_back(utoken);
+        }
+        let Some(mut ex) = ex else { return };
+        self.clear_relay_link(&ex);
+        let relay = ex.relay.take().expect("resolve_stream requires a relay");
+        self.finish_exchange(
+            ex,
+            UpstreamOutcome::Streamed {
+                head: relay.head,
+                total: relay.total,
+                prefix: relay.prefix,
+            },
+        );
     }
 
     /// Terminal failure with no retry (dial errors).
@@ -1917,6 +2335,7 @@ impl<S: ReactorService> Reactor<S> {
             attempt: _,
             wpos: _,
             started: _,
+            relay: _,
         } = ex;
         let client = client.filter(|t| self.slab.get_mut(*t).is_some());
         let next = match client {
@@ -2150,6 +2569,7 @@ mod tests {
                 last_active: Instant::now(),
                 req_start: None,
                 read_eof: false,
+                relay_up: None,
                 _guard: OpenGuard::new(&stats),
             }
         };
@@ -2664,13 +3084,16 @@ mod tests {
                             )?;
                             out.extend_from_slice(&resp.body);
                         }
-                        UpstreamOutcome::Failed => {
+                        UpstreamOutcome::Failed
+                        | UpstreamOutcome::Streamed { .. }
+                        | UpstreamOutcome::StreamFailed { .. } => {
                             write!(out, "HTTP/1.1 502 Bad Gateway\r\nContent-Length: 0\r\n\r\n")?;
                         }
                     }
                     Ok(UpstreamNext::Done)
                 }),
                 retry: Box::new(|| {}),
+                stream: None,
             }))
         }
     }

@@ -57,7 +57,7 @@ counter_set! {
     /// Conservation invariant (exact once the proxy is quiescent):
     ///
     /// ```text
-    /// requests == fresh_hits + not_modified + full_fetches
+    /// requests == fresh_hits + prefix_hits + not_modified + full_fetches
     ///           + upstream_errors + upstream_passthrough
     /// ```
     ///
@@ -70,6 +70,14 @@ counter_set! {
         requests,
         cache_hits,
         fresh_hits,
+        /// Large-object requests answered from a retained prefix entry:
+        /// the head served zero-copy from the body store while the suffix
+        /// streamed from the origin. A terminal outcome (in the
+        /// conservation sum), distinct from `fresh_hits`.
+        prefix_hits,
+        /// Large-object misses relayed by the streaming cut-through path
+        /// (a subset of `full_fetches`; outside the conservation sum).
+        streamed_misses,
         /// Fresh hits served from a reactor shard's lock-free affine L1
         /// (a subset of `fresh_hits`; outside the conservation sum).
         affine_hits,
@@ -130,6 +138,7 @@ impl ProxyStats {
     /// proxy is quiescent (see the conservation invariant above).
     pub fn outcomes(&self) -> u64 {
         self.fresh_hits
+            + self.prefix_hits
             + self.not_modified
             + self.full_fetches
             + self.upstream_errors

@@ -21,7 +21,7 @@ use piggyback_core::types::{SourceId, Timestamp};
 use piggyback_core::volume::DirectoryVolumes;
 use piggyback_core::wire::{encode_p_volume, P_VOLUME_HEADER};
 use piggyback_httpwire::{Request, Response};
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 
@@ -130,15 +130,42 @@ fn request_wire_len(req: &Request) -> usize {
     req.method.len() + req.target.len() + 12 + headers + 2 + req.body.len()
 }
 
-/// Approximate wire size of a response (for downstream bandwidth delay).
-fn response_wire_len(resp: &Response) -> usize {
-    let headers: usize = resp
-        .headers
-        .iter()
-        .chain(resp.trailers.iter())
-        .map(|(n, v)| n.len() + v.len() + 4)
-        .sum();
-    17 + headers + 2 + resp.body.len()
+/// Bytes per paced downstream chunk. Matches the proxy's streaming
+/// segment granularity so the shim spreads serialization delay the way a
+/// real link would, instead of store-and-forwarding whole responses.
+const PACE_CHUNK: usize = 16 * 1024;
+
+/// Relay a fully-serialized response downstream in paced chunks.
+///
+/// Store-and-forward (one `down_delay` sleep, then one write) pushes
+/// time-to-first-byte out to the full-transfer time, hiding any TTFB
+/// advantage of a streaming downstream. Pacing applies cumulative-delay
+/// *increments* instead: the first chunk pays the propagation half-RTT,
+/// jitter share, and its own serialization time; each later chunk only
+/// its serialization share. Increments telescope, so the total injected
+/// delay stays exactly `down_delay(plan, wire.len())`.
+fn write_paced<W: io::Write>(
+    w: &mut W,
+    wire: &[u8],
+    shim: Option<(&Conditioner, &crate::netem::ExchangePlan)>,
+) -> io::Result<()> {
+    let Some((cond, plan)) = shim else {
+        return w.write_all(wire);
+    };
+    let mut sent = 0usize;
+    let mut paid = std::time::Duration::ZERO;
+    loop {
+        let next = (sent + PACE_CHUNK).min(wire.len());
+        let due = cond.down_delay(plan, next);
+        cond.apply(due.saturating_sub(paid));
+        paid = due;
+        w.write_all(&wire[sent..next])?;
+        w.flush()?;
+        sent = next;
+        if sent == wire.len() {
+            return Ok(());
+        }
+    }
 }
 
 fn source_of(stream: &TcpStream) -> SourceId {
@@ -278,23 +305,22 @@ fn handle_connection(
             }
         }
 
-        if let (Some(cond), Some(plan)) = (shim, &plan) {
-            cond.apply(cond.down_delay(plan, response_wire_len(&resp)));
-        }
-
+        let paced_shim = shim.zip(plan.as_ref());
         daemon.count_response(resp.status, resp.body.len());
-        resp.write(&mut down_w)?;
+        let mut wire = Vec::with_capacity(resp.body.len() + 256);
+        resp.write(&mut wire)?;
+        write_paced(&mut down_w, &wire, paced_shim)?;
         for p in &pushed {
-            if let (Some(cond), Some(plan)) = (shim, &plan) {
-                cond.apply(cond.down_delay(plan, response_wire_len(p)));
-            }
             daemon.pushes_sent.fetch_add(1, Relaxed);
             daemon
                 .push_bytes_sent
                 .fetch_add(p.body.len() as u64, Relaxed);
             daemon.bytes_sent.fetch_add(p.body.len() as u64, Relaxed);
-            p.write(&mut down_w)?;
+            wire.clear();
+            p.write(&mut wire)?;
+            write_paced(&mut down_w, &wire, paced_shim)?;
         }
+        down_w.flush()?;
         if !keep {
             return Ok(());
         }

@@ -152,6 +152,9 @@ fn reactor_miss_path_allocations_stay_bounded() {
         .build();
     cfg.rpv = None;
     cfg.report_hits = false;
+    // Keep threshold-capped synth bodies on the buffered validation path
+    // (see steady_state_is_allocation_free).
+    cfg.stream_threshold = 512 * 1024;
     let proxy = start_proxy(cfg).expect("proxy starts");
 
     let (table, site) = Site::generate(&site_cfg);
@@ -209,6 +212,92 @@ fn reactor_miss_path_allocations_stay_bounded() {
     origin.stop();
 }
 
+/// ISSUE 10 satellite: the streaming prefix-hit relay must allocate O(1)
+/// per 16 KiB relay segment, never O(body). Each measured request serves
+/// a 64 KiB cached prefix and then relays a 1 MiB suffix from the origin
+/// in ~64 segments through one reused segment buffer; a regression that
+/// builds fresh per-segment vectors (or re-buffers the whole object) is
+/// a multiple of this bound. The origin serves a single pre-serialized
+/// response and reads request heads into a stack buffer, so it is quiet
+/// in the measured window too.
+#[test]
+fn streaming_prefix_relay_allocations_are_constant_per_segment() {
+    let _window = WINDOW.lock().unwrap();
+    const TOTAL: usize = 1024 * 1024;
+    const SEGMENT: usize = 16 * 1024; // proxy::STREAM_SEGMENT
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind origin");
+    let origin_addr = listener.local_addr().expect("origin addr");
+    let mut canned = format!(
+        "HTTP/1.1 200 OK\r\n\
+         Last-Modified: Mon, 01 Jan 2024 00:00:00 GMT\r\n\
+         Content-Length: {TOTAL}\r\n\r\n"
+    )
+    .into_bytes();
+    canned.extend((0..TOTAL).map(|i| (i % 251) as u8));
+    let canned = std::sync::Arc::new(canned);
+    std::thread::spawn(move || {
+        while let Ok((mut conn, _)) = listener.accept() {
+            let canned = std::sync::Arc::clone(&canned);
+            std::thread::spawn(move || {
+                let mut head = [0u8; 2048];
+                loop {
+                    let mut filled = 0usize;
+                    while find(&head[..filled], b"\r\n\r\n").is_none() {
+                        match conn.read(&mut head[filled..]) {
+                            Ok(0) | Err(_) => return,
+                            Ok(n) => filled += n,
+                        }
+                    }
+                    if conn.write_all(&canned).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    let mut cfg = ProxyConfig::new(origin_addr);
+    cfg.wire = WireMode::ZeroCopy;
+    cfg.freshness = piggyback_core::types::DurationMs::from_secs(3600);
+    cfg.rpv = None;
+    cfg.report_hits = false;
+    let proxy = start_proxy(cfg).expect("proxy starts");
+
+    let req = b"GET /large/alloc.bin HTTP/1.1\r\nHost: alloc-test\r\n\r\n";
+    let mut buf = vec![0u8; TOTAL + 8 * 1024];
+    let mut stream = TcpStream::connect(proxy.addr()).expect("connect");
+    // Warmup: streamed miss creates the prefix entry, then prefix hits
+    // settle the pooled upstream connection and scratch capacities.
+    for _ in 0..3 {
+        roundtrip(&mut stream, req, &mut buf, false);
+    }
+
+    const ROUNDS: usize = 6;
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..ROUNDS {
+        roundtrip(&mut stream, req, &mut buf, false);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    let segments = (ROUNDS * (TOTAL / SEGMENT)) as u64;
+    let per_segment = (after - before) as f64 / segments as f64;
+    assert!(
+        per_segment <= 2.0,
+        "streaming relay allocates per byte, not per segment: \
+         {} allocations / {} segments = {:.2} per segment",
+        after - before,
+        segments,
+        per_segment
+    );
+
+    let s = proxy.stats();
+    assert_eq!(s.requests, (3 + ROUNDS) as u64, "{s:?}");
+    assert_eq!(s.streamed_misses, 1, "{s:?}");
+    assert_eq!(s.prefix_hits, (2 + ROUNDS) as u64, "{s:?}");
+    assert_eq!(s.upstream_errors, 0, "{s:?}");
+    proxy.stop();
+}
+
 fn steady_state_is_allocation_free(io: IoMode) {
     let _window = WINDOW.lock().unwrap();
     let site_cfg = SiteConfig {
@@ -226,6 +315,10 @@ fn steady_state_is_allocation_free(io: IoMode) {
     cfg.io = io;
     // Far longer than the test: every measured request is a fresh hit.
     cfg.freshness = piggyback_core::types::DurationMs::from_secs(3600);
+    // Synth bodies cap at exactly the default stream threshold (256 KiB),
+    // and threshold-sized objects stream; keep this lane's heavy-tail
+    // pages whole-cached so every measured request is a zero-alloc hit.
+    cfg.stream_threshold = 512 * 1024;
     let proxy = start_proxy(cfg).expect("proxy starts");
 
     // Pre-serialize one request per page, browser-shaped headers included,

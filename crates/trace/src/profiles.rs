@@ -279,9 +279,103 @@ pub fn digital(scale: f64) -> ClientProfile {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Large-object streaming workload (extension: streaming cut-through bench)
+// ---------------------------------------------------------------------------
+
+/// Smallest object in the large-object population.
+pub const LARGE_MIN_BYTES: usize = 256 * 1024;
+/// Largest object in the large-object population.
+pub const LARGE_MAX_BYTES: usize = 8 * 1024 * 1024;
+
+/// A large-object population for the streaming/prefix-cache experiments:
+/// fixed paths with sizes log-spaced over 256 KiB..=8 MiB and a
+/// Zipf-skewed request schedule, so repeats concentrate on a few hot
+/// objects — exactly the traffic a prefix cache serves at hit latency
+/// while the suffix streams from the origin.
+#[derive(Debug, Clone)]
+pub struct LargeObjectProfile {
+    pub name: &'static str,
+    /// `(path, size_bytes)` per object, smallest first.
+    pub objects: Vec<(String, usize)>,
+    /// Request schedule as indices into `objects` (Zipf popularity,
+    /// decoupled from size by a seeded permutation).
+    pub requests: Vec<usize>,
+}
+
+impl LargeObjectProfile {
+    /// Total bytes a full replay of the schedule transfers.
+    pub fn total_request_bytes(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|&i| self.objects[i].1 as u64)
+            .sum()
+    }
+}
+
+/// `scale` multiplies the request count; the object population is fixed
+/// (12 objects log-spaced 256 KiB → 8 MiB) so cells at different scales
+/// sample the same universe.
+pub fn large_objects(scale: f64) -> LargeObjectProfile {
+    use crate::synth::samplers::Zipf;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    const N: usize = 12;
+    let objects: Vec<(String, usize)> = (0..N)
+        .map(|i| {
+            let frac = i as f64 / (N - 1) as f64;
+            let size = (LARGE_MIN_BYTES as f64
+                * (LARGE_MAX_BYTES as f64 / LARGE_MIN_BYTES as f64).powf(frac))
+            .round() as usize;
+            (format!("/large/obj{i:02}.bin"), size)
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(0x1A26E);
+    // Popularity rank -> object index, shuffled so hot objects are not
+    // systematically the small ones.
+    let mut perm: Vec<usize> = (0..N).collect();
+    for i in (1..N).rev() {
+        perm.swap(i, rng.random_range(0..=i));
+    }
+    let zipf = Zipf::new(N, 1.0);
+    let n_requests = ((48.0 * scale).round() as usize).max(8);
+    let requests = (0..n_requests)
+        .map(|_| perm[zipf.sample(&mut rng)])
+        .collect();
+    LargeObjectProfile {
+        name: "large",
+        objects,
+        requests,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn large_objects_spans_the_size_range_with_skew() {
+        let p = large_objects(1.0);
+        assert_eq!(p.objects.first().unwrap().1, LARGE_MIN_BYTES);
+        assert_eq!(p.objects.last().unwrap().1, LARGE_MAX_BYTES);
+        assert!(p.objects.windows(2).all(|w| w[0].1 < w[1].1));
+        assert_eq!(p.requests.len(), 48);
+        assert!(p.requests.iter().all(|&i| i < p.objects.len()));
+        // Zipf skew: the hottest object gets well above a uniform share.
+        let mut counts = vec![0usize; p.objects.len()];
+        for &i in &p.requests {
+            counts[i] += 1;
+        }
+        let hottest = *counts.iter().max().unwrap();
+        assert!(
+            hottest * p.objects.len() >= 2 * p.requests.len(),
+            "hottest {hottest}/{} requests over {} objects",
+            p.requests.len(),
+            p.objects.len()
+        );
+        // Determinism: the schedule is a pure function of scale.
+        assert_eq!(p.requests, large_objects(1.0).requests);
+    }
 
     #[test]
     fn aiusa_small_scale_matches_shape() {

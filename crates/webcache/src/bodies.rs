@@ -10,24 +10,215 @@
 //! refcount bump, so a proxy cache hit serves the stored bytes without
 //! copying them. The bytes were copied exactly once, when the resource
 //! was fetched and retained.
+//!
+//! ## Prefix entries
+//!
+//! Large objects are not cached whole. The streaming cut-through path
+//! tees the first `--prefix-bytes` of any body above `--stream-threshold`
+//! into a [`Body::prefix`] entry here: a prefix hit serves the head
+//! zero-copy at cache-hit latency while only the suffix streams from the
+//! origin. Prefix entries live under a separate per-shard byte budget
+//! with recency-biased retention — every prefix hit *and* every
+//! piggybacked volume mention ([`note_mention`]) bumps an entry's
+//! recency, so the volume metadata the paper piggybacks decides which
+//! prefixes stay, exactly like it biases the metadata cache's policy.
+//!
+//! Each shard keeps exact byte occupancy (full + prefix) and mirrors it
+//! into lock-free gauges on lock release, in the same pattern as the
+//! metadata cache's `ShardGauges`, so `/__pb/metrics` scrapes never take
+//! a shard lock.
+//!
+//! [`note_mention`]: ShardedBodyStore::note_mention
 
 use crate::sharded::shard_index;
 use parking_lot::Mutex;
 use piggyback_core::types::ResourceId;
 use piggyback_httpwire::Body;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+struct Stored {
+    body: Body,
+    /// Recency stamp (global store clock) — only consulted for prefix
+    /// entries, whose retention is recency-biased within the budget.
+    seq: u64,
+}
+
+/// One shard's bodies plus exact occupancy accounting. Exposed (via
+/// [`ShardedBodyStore::with_resource_shard`]) so multi-step updates —
+/// insert the new body, drop the evictees — run under one lock *and*
+/// keep the accounting true; the raw map is never handed out.
+pub struct BodyShard {
+    map: HashMap<ResourceId, Stored>,
+    bytes: u64,
+    prefix_bytes: u64,
+    prefix_entries: u64,
+    /// Per-shard prefix byte budget (u64::MAX = unbounded).
+    prefix_budget: u64,
+    /// Recency stamp for entries inserted/touched during this lock hold;
+    /// refreshed from the store clock on every lock acquisition.
+    clock: u64,
+}
+
+impl BodyShard {
+    fn account_remove(&mut self, stored: &Stored) {
+        self.bytes -= stored.body.len() as u64;
+        if stored.body.is_prefix() {
+            self.prefix_bytes -= stored.body.len() as u64;
+            self.prefix_entries -= 1;
+        }
+    }
+
+    /// Insert (or replace) `r`'s body. A prefix body that would overflow
+    /// the shard's prefix budget first evicts the least-recently-touched
+    /// prefix entries; if it can't fit even then (head larger than the
+    /// whole budget) it is not retained. Returns whether the body was
+    /// stored.
+    pub fn insert(&mut self, r: ResourceId, body: Body) -> bool {
+        if let Some(old) = self.map.remove(&r) {
+            self.account_remove(&old);
+        }
+        let len = body.len() as u64;
+        if body.is_prefix() {
+            if len > self.prefix_budget {
+                return false;
+            }
+            while self.prefix_bytes + len > self.prefix_budget {
+                let victim = self
+                    .map
+                    .iter()
+                    .filter(|(_, s)| s.body.is_prefix())
+                    .min_by_key(|(_, s)| s.seq)
+                    .map(|(&k, _)| k);
+                match victim {
+                    Some(v) => {
+                        let old = self.map.remove(&v).expect("victim present");
+                        self.account_remove(&old);
+                    }
+                    None => break, // nothing left to evict
+                }
+            }
+            self.prefix_bytes += len;
+            self.prefix_entries += 1;
+        }
+        self.bytes += len;
+        self.map.insert(
+            r,
+            Stored {
+                body,
+                seq: self.clock,
+            },
+        );
+        true
+    }
+
+    /// Remove `r`'s body (invalidation); returns whether it was present.
+    pub fn remove(&mut self, r: ResourceId) -> bool {
+        match self.map.remove(&r) {
+            Some(old) => {
+                self.account_remove(&old);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The stored body, as a zero-copy clone. Touches recency for prefix
+    /// entries (a prefix hit is evidence the prefix earns its bytes).
+    pub fn get(&mut self, r: ResourceId) -> Option<Body> {
+        let clock = self.clock;
+        self.map.get_mut(&r).map(|s| {
+            if s.body.is_prefix() {
+                s.seq = clock;
+            }
+            s.body.clone()
+        })
+    }
+
+    pub fn contains(&self, r: ResourceId) -> bool {
+        self.map.contains_key(&r)
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Exact bytes stored in this shard (full bodies + prefix heads).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Lock-free occupancy gauges mirrored out of one body shard (same
+/// discipline as the metadata cache's `ShardGauges`: stored while the
+/// shard lock is still held, read without it).
+#[derive(Debug, Default)]
+struct BodyShardGauges {
+    bytes: AtomicU64,
+    entries: AtomicU64,
+    prefix_bytes: AtomicU64,
+    prefix_entries: AtomicU64,
+}
+
+/// A plain snapshot of one body shard's occupancy.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BodyShardOccupancy {
+    /// Bytes stored in this shard (full bodies + prefix heads).
+    pub bytes: u64,
+    /// Entries stored in this shard.
+    pub entries: u64,
+    /// Bytes held by prefix entries.
+    pub prefix_bytes: u64,
+    /// Prefix entries in this shard.
+    pub prefix_entries: u64,
+}
 
 /// Sharded `ResourceId → Body` map; all methods take `&self`.
 pub struct ShardedBodyStore {
-    shards: Vec<Mutex<HashMap<ResourceId, Body>>>,
+    shards: Vec<Mutex<BodyShard>>,
+    gauges: Vec<BodyShardGauges>,
+    /// Global recency clock for prefix retention.
+    seq: AtomicU64,
 }
 
 impl ShardedBodyStore {
-    /// Build with `shards` shards (at least 1). Use the same shard count
-    /// as the metadata cache to keep the two co-sharded.
+    /// Build with `shards` shards (at least 1) and no prefix budget. Use
+    /// the same shard count as the metadata cache to keep the two
+    /// co-sharded.
     pub fn new(shards: usize) -> Self {
+        Self::with_prefix_budget(shards, u64::MAX)
+    }
+
+    /// [`new`](Self::new) with a total byte budget for prefix entries,
+    /// split evenly across shards (full bodies are budgeted by the
+    /// metadata cache's eviction policy instead; prefixes have no
+    /// metadata entry, so the budget lives here).
+    pub fn with_prefix_budget(shards: usize, prefix_budget: u64) -> Self {
+        let n = shards.max(1);
+        let per = if prefix_budget == u64::MAX {
+            u64::MAX
+        } else {
+            (prefix_budget / n as u64).max(1)
+        };
         ShardedBodyStore {
-            shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+            shards: (0..n)
+                .map(|_| {
+                    Mutex::new(BodyShard {
+                        map: HashMap::new(),
+                        bytes: 0,
+                        prefix_bytes: 0,
+                        prefix_entries: 0,
+                        prefix_budget: per,
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            gauges: (0..n).map(|_| BodyShardGauges::default()).collect(),
+            seq: AtomicU64::new(0),
         }
     }
 
@@ -37,37 +228,87 @@ impl ShardedBodyStore {
 
     /// Run `f` with the shard that owns `r` locked — for multi-step
     /// updates (insert the new body, drop the evictees) under one lock.
-    pub fn with_resource_shard<T>(
-        &self,
-        r: ResourceId,
-        f: impl FnOnce(&mut HashMap<ResourceId, Body>) -> T,
-    ) -> T {
-        let mut guard = self.shards[shard_index(r, self.shards.len())].lock();
-        f(&mut guard)
+    /// Occupancy gauges are refreshed on release.
+    pub fn with_resource_shard<T>(&self, r: ResourceId, f: impl FnOnce(&mut BodyShard) -> T) -> T {
+        let i = shard_index(r, self.shards.len());
+        let mut guard = self.shards[i].lock();
+        guard.clock = self.seq.fetch_add(1, Relaxed);
+        let out = f(&mut guard);
+        // Mirror occupancy into the lock-free gauges while still holding
+        // the lock, so each store publishes a state the shard really had.
+        let g = &self.gauges[i];
+        g.bytes.store(guard.bytes, Relaxed);
+        g.entries.store(guard.map.len() as u64, Relaxed);
+        g.prefix_bytes.store(guard.prefix_bytes, Relaxed);
+        g.prefix_entries.store(guard.prefix_entries, Relaxed);
+        out
     }
 
     /// The stored body for `r`, as a zero-copy clone (refcount bump).
+    /// Prefix entries get their recency touched.
     pub fn get(&self, r: ResourceId) -> Option<Body> {
-        self.with_resource_shard(r, |m| m.get(&r).cloned())
+        self.with_resource_shard(r, |s| s.get(r))
     }
 
-    pub fn insert(&self, r: ResourceId, body: Body) {
-        self.with_resource_shard(r, |m| m.insert(r, body));
+    /// The stored body only if it is a retained prefix (the streaming
+    /// path's hit probe: full bodies are found via the metadata cache).
+    pub fn get_prefix(&self, r: ResourceId) -> Option<Body> {
+        self.with_resource_shard(r, |s| {
+            let body = s.get(r)?;
+            body.is_prefix().then_some(body)
+        })
+    }
+
+    pub fn insert(&self, r: ResourceId, body: Body) -> bool {
+        self.with_resource_shard(r, |s| s.insert(r, body))
     }
 
     /// Remove `r`'s body (invalidation); returns whether it was present.
     pub fn remove(&self, r: ResourceId) -> bool {
-        self.with_resource_shard(r, |m| m.remove(&r).is_some())
+        self.with_resource_shard(r, |s| s.remove(r))
+    }
+
+    /// A piggybacked volume mentioned `r`: bump its prefix entry's
+    /// recency so volume metadata keeps popular prefixes retained (the
+    /// VoD prefix-retention signal, fed from `P-volume`).
+    pub fn note_mention(&self, r: ResourceId) {
+        self.with_resource_shard(r, |s| {
+            let clock = s.clock;
+            if let Some(stored) = s.map.get_mut(&r) {
+                if stored.body.is_prefix() {
+                    stored.seq = clock;
+                }
+            }
+        });
+    }
+
+    /// Per-shard occupancy, read entirely from atomic gauges — no shard
+    /// lock taken, so a metrics scrape never contends with the hot path.
+    pub fn occupancy(&self) -> Vec<BodyShardOccupancy> {
+        self.gauges
+            .iter()
+            .map(|g| BodyShardOccupancy {
+                bytes: g.bytes.load(Relaxed),
+                entries: g.entries.load(Relaxed),
+                prefix_bytes: g.prefix_bytes.load(Relaxed),
+                prefix_entries: g.prefix_entries.load(Relaxed),
+            })
+            .collect()
     }
 
     /// Total stored bodies (locks shards one at a time; approximate under
     /// concurrent writers, like the cache's aggregate accessors).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Total stored bytes (approximate across shards under writers).
+    pub fn used_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().bytes).sum()
     }
 }
 
@@ -76,6 +317,7 @@ impl std::fmt::Debug for ShardedBodyStore {
         f.debug_struct("ShardedBodyStore")
             .field("shards", &self.shards.len())
             .field("bodies", &self.len())
+            .field("bytes", &self.used_bytes())
             .finish()
     }
 }
@@ -83,6 +325,10 @@ impl std::fmt::Debug for ShardedBodyStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn prefix_body(fill: u8, head: usize, total: usize) -> Body {
+        Body::prefix(vec![fill; head], total)
+    }
 
     #[test]
     fn get_returns_shared_bytes_without_copy() {
@@ -112,28 +358,130 @@ mod tests {
         for &r in &mates {
             store.insert(r, Body::from(b"old".to_vec()));
         }
-        store.with_resource_shard(mates[0], |m| {
-            m.insert(mates[0], Body::from(b"new".to_vec()));
-            m.remove(&mates[1]);
-            m.remove(&mates[2]);
+        store.with_resource_shard(mates[0], |s| {
+            s.insert(mates[0], Body::from(b"new".to_vec()));
+            s.remove(mates[1]);
+            s.remove(mates[2]);
         });
         assert_eq!(store.get(mates[0]).unwrap(), b"new");
         assert!(store.get(mates[1]).is_none());
         assert_eq!(store.len(), 1);
+        assert_eq!(store.used_bytes(), 3);
+    }
+
+    #[test]
+    fn byte_accounting_is_exact_and_mirrored() {
+        let store = ShardedBodyStore::new(4);
+        for i in 0..32u32 {
+            store.insert(ResourceId(i), Body::from(vec![b'x'; 100 + i as usize]));
+        }
+        // Replace some, remove some: accounting must track exactly.
+        for i in 0..8u32 {
+            store.insert(ResourceId(i), Body::from(vec![b'y'; 10]));
+        }
+        for i in 8..16u32 {
+            store.remove(ResourceId(i));
+        }
+        let expect_bytes: u64 = (0..8u32).map(|_| 10u64).sum::<u64>()
+            + (16..32u32).map(|i| 100 + u64::from(i)).sum::<u64>();
+        assert_eq!(store.used_bytes(), expect_bytes);
+        assert_eq!(store.len(), 24);
+        // Quiescent gauges match the locked state per shard.
+        let occ = store.occupancy();
+        assert_eq!(occ.iter().map(|o| o.bytes).sum::<u64>(), expect_bytes);
+        assert_eq!(occ.iter().map(|o| o.entries).sum::<u64>(), 24);
+        assert_eq!(occ.iter().map(|o| o.prefix_entries).sum::<u64>(), 0);
+        for (i, o) in occ.iter().enumerate() {
+            let (bytes, entries) = {
+                let g = store.shards[i].lock();
+                (g.bytes, g.map.len() as u64)
+            };
+            assert_eq!(o.bytes, bytes, "shard {i}");
+            assert_eq!(o.entries, entries, "shard {i}");
+        }
+    }
+
+    #[test]
+    fn prefix_entries_are_tracked_and_probed_separately() {
+        let store = ShardedBodyStore::new(2);
+        store.insert(ResourceId(1), Body::from(b"full body".to_vec()));
+        store.insert(ResourceId(2), prefix_body(b'p', 64, 1 << 20));
+        assert!(
+            store.get_prefix(ResourceId(1)).is_none(),
+            "full is not a prefix"
+        );
+        let p = store.get_prefix(ResourceId(2)).expect("prefix probe hits");
+        assert!(p.is_prefix());
+        assert_eq!(p.len(), 64);
+        assert_eq!(p.total_len(), 1 << 20);
+        let occ = store.occupancy();
+        assert_eq!(occ.iter().map(|o| o.prefix_entries).sum::<u64>(), 1);
+        assert_eq!(occ.iter().map(|o| o.prefix_bytes).sum::<u64>(), 64);
+        assert_eq!(occ.iter().map(|o| o.bytes).sum::<u64>(), 64 + 9);
+        // Invalidation clears the prefix accounting too.
+        store.remove(ResourceId(2));
+        let occ = store.occupancy();
+        assert_eq!(occ.iter().map(|o| o.prefix_entries).sum::<u64>(), 0);
+        assert_eq!(occ.iter().map(|o| o.prefix_bytes).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn prefix_budget_evicts_least_recent_and_mentions_protect() {
+        // One shard so every prefix competes for the same budget.
+        let store = ShardedBodyStore::with_prefix_budget(1, 3 * 64);
+        let (a, b, c, d) = (ResourceId(1), ResourceId(2), ResourceId(3), ResourceId(4));
+        store.insert(a, prefix_body(b'a', 64, 1000));
+        store.insert(b, prefix_body(b'b', 64, 1000));
+        store.insert(c, prefix_body(b'c', 64, 1000));
+        // `a` is oldest — but a piggybacked volume mention refreshes it.
+        store.note_mention(a);
+        store.insert(d, prefix_body(b'd', 64, 1000));
+        assert!(store.get_prefix(a).is_some(), "mention kept `a` retained");
+        assert!(store.get_prefix(b).is_none(), "LRU prefix evicted");
+        assert!(store.get_prefix(c).is_some());
+        assert!(store.get_prefix(d).is_some());
+        let occ = store.occupancy();
+        assert_eq!(occ[0].prefix_entries, 3);
+        assert_eq!(occ[0].prefix_bytes, 3 * 64);
+        // A head larger than the whole budget is simply not retained.
+        assert!(!store.insert(ResourceId(9), prefix_body(b'z', 1024, 4096)));
+        assert!(store.get_prefix(ResourceId(9)).is_none());
+        // Full bodies are never budget-evicted.
+        store.insert(ResourceId(10), Body::from(vec![b'f'; 10_000]));
+        assert!(store.get(ResourceId(10)).is_some());
+    }
+
+    #[test]
+    fn prefix_hits_refresh_recency() {
+        let store = ShardedBodyStore::with_prefix_budget(1, 2 * 64);
+        let (a, b, c) = (ResourceId(1), ResourceId(2), ResourceId(3));
+        store.insert(a, prefix_body(b'a', 64, 1000));
+        store.insert(b, prefix_body(b'b', 64, 1000));
+        // Hit `a`, making `b` the eviction victim.
+        assert!(store.get_prefix(a).is_some());
+        store.insert(c, prefix_body(b'c', 64, 1000));
+        assert!(store.get_prefix(a).is_some());
+        assert!(store.get_prefix(b).is_none());
+        assert!(store.get_prefix(c).is_some());
     }
 
     #[test]
     fn concurrent_access_is_safe() {
-        let store = std::sync::Arc::new(ShardedBodyStore::new(8));
+        let store = std::sync::Arc::new(ShardedBodyStore::with_prefix_budget(8, 1 << 16));
         let mut handles = Vec::new();
         for t in 0..8u32 {
             let store = std::sync::Arc::clone(&store);
             handles.push(std::thread::spawn(move || {
                 for i in 0..200u32 {
                     let r = ResourceId((t * 31 + i) % 64);
-                    match i % 3 {
-                        0 => store.insert(r, Body::from(b"x".to_vec())),
+                    match i % 4 {
+                        0 => {
+                            store.insert(r, Body::from(b"x".to_vec()));
+                        }
                         1 => {
+                            store.insert(r, Body::prefix(vec![b'p'; 32], 4096));
+                        }
+                        2 => {
                             store.get(r);
                         }
                         _ => {
@@ -147,5 +495,17 @@ mod tests {
             h.join().unwrap();
         }
         assert!(store.len() <= 64);
+        // Accounting still balances: recompute from the maps.
+        let recount: u64 = store
+            .shards
+            .iter()
+            .map(|s| {
+                let g = s.lock();
+                let sum: u64 = g.map.values().map(|s| s.body.len() as u64).sum();
+                assert_eq!(sum, g.bytes);
+                sum
+            })
+            .sum();
+        assert_eq!(recount, store.used_bytes());
     }
 }

@@ -50,7 +50,7 @@ pub mod sharded;
 pub mod sim;
 
 pub use adaptive::{ChangeEstimator, FreshnessPolicy};
-pub use bodies::ShardedBodyStore;
+pub use bodies::{BodyShard, BodyShardOccupancy, ShardedBodyStore};
 pub use cache::{Cache, CacheEntry, InsertOutcome};
 pub use hierarchy::{simulate_hierarchy, HierarchyConfig, HierarchyReport};
 pub use informed::{simulate_fetch_queue, FetchJob, QueueReport, SchedulingOrder};

@@ -736,3 +736,129 @@ fn concurrent_load_with_failures_stays_consistent() {
     proxy.stop();
     origin.stop();
 }
+
+// ---------------------------------------------------------------------------
+// Streaming relay faults (PROTOCOL.md §14)
+// ---------------------------------------------------------------------------
+
+/// An origin serving one large object fully — except for the request at
+/// index `die_on`, which gets a complete head and a truncated body before
+/// the connection drops.
+fn big_origin_dying_mid_body(
+    total: usize,
+    die_on: usize,
+) -> (piggyback::proxyd::util::ServerHandle, Arc<AtomicUsize>) {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&counter);
+    let handle = serve(0, "big-dying-origin", move |stream| {
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = BufWriter::new(stream);
+        while Request::read(&mut r).is_ok() {
+            let n = seen.fetch_add(1, Ordering::SeqCst);
+            let body: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+            let head = format!(
+                "HTTP/1.1 200 OK\r\nLast-Modified: Thu, 01 Jan 1998 00:00:00 GMT\r\n\
+                 Content-Length: {total}\r\n\r\n"
+            );
+            if w.write_all(head.as_bytes()).is_err() {
+                return;
+            }
+            if n == die_on {
+                let _ = w.write_all(&body[..total / 3]);
+                let _ = w.flush();
+                return; // die mid-body
+            }
+            if w.write_all(&body).is_err() || w.flush().is_err() {
+                return;
+            }
+        }
+    })
+    .unwrap();
+    (handle, counter)
+}
+
+/// One fresh-connection GET, raw: returns the response head and however
+/// many body bytes arrived before the connection closed.
+fn raw_get(addr: SocketAddr, path: &str) -> (String, Vec<u8>) {
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    let _ = stream.read_to_end(&mut raw); // truncation closes mid-body
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head arrives intact")
+        + 4;
+    (
+        String::from_utf8_lossy(&raw[..head_end]).to_string(),
+        raw[head_end..].to_vec(),
+    )
+}
+
+/// The origin dies mid-suffix during a prefix-hit relay. The head and
+/// cached prefix are already on the client wire, so the proxy cannot
+/// 502: it must truncate the client connection, count exactly one
+/// terminal outcome, and keep the (still-valid) prefix — the next
+/// request prefix-hits again and completes.
+#[test]
+fn origin_dies_mid_suffix_truncates_client_and_keeps_prefix() {
+    const TOTAL: usize = 600 * 1024;
+    let (origin, origin_requests) = big_origin_dying_mid_body(TOTAL, 1);
+    let mut cfg = ProxyConfig::new(origin.addr);
+    cfg.report_hits = false;
+    cfg.rpv = None;
+    let proxy = start_proxy(cfg).unwrap();
+    let expect: Vec<u8> = (0..TOTAL).map(|i| (i % 251) as u8).collect();
+
+    // Miss: streamed through, the first 64 KiB retained as a prefix.
+    let (head, body) = raw_get(proxy.addr(), "/big.bin");
+    assert!(head.contains("X-Cache: MISS"), "{head}");
+    assert_eq!(body, expect);
+
+    // Prefix hit whose suffix refetch dies mid-body: the client gets the
+    // promised head plus a truncated-but-clean body prefix, never a 502.
+    let (head, body) = raw_get(proxy.addr(), "/big.bin");
+    assert!(head.contains("X-Cache: PREFIX"), "{head}");
+    assert!(head.contains(&format!("Content-Length: {TOTAL}")), "{head}");
+    assert!(
+        body.len() < TOTAL,
+        "body must be truncated, got {}",
+        body.len()
+    );
+    assert!(
+        body.len() >= 64 * 1024,
+        "the cached prefix was flushed before the fault"
+    );
+    assert_eq!(
+        &body[..],
+        &expect[..body.len()],
+        "whatever arrived must be a clean prefix of the object"
+    );
+
+    // The prefix was not poisoned: with the origin healthy again, the
+    // next request is a complete, byte-identical prefix hit.
+    let (head, body) = raw_get(proxy.addr(), "/big.bin");
+    assert!(head.contains("X-Cache: PREFIX"), "{head}");
+    assert_eq!(body, expect);
+
+    let s = proxy.stats();
+    assert_eq!(s.requests, 3);
+    assert_eq!(
+        s.outcomes(),
+        3,
+        "exact conservation through the fault: {s:?}"
+    );
+    assert_eq!(s.streamed_misses, 1);
+    assert_eq!(s.prefix_hits, 1, "only the clean repeat is a hit: {s:?}");
+    assert_eq!(
+        s.upstream_errors, 1,
+        "mid-suffix death is one terminal error"
+    );
+    assert_eq!(origin_requests.load(Ordering::SeqCst), 3);
+    proxy.stop();
+    origin.stop();
+}

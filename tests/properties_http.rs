@@ -2,7 +2,9 @@
 //! must never panic or hang the parser, and every serializable message
 //! must round-trip exactly.
 
-use piggyback::httpwire::{read_chunked, ConnScratch, HeaderMap, Request, Response};
+use piggyback::httpwire::{
+    read_chunked, BodyReader, BodyWriter, ConnScratch, HeaderMap, Request, Response,
+};
 use proptest::prelude::*;
 use std::io::BufReader;
 
@@ -242,5 +244,51 @@ proptest! {
             }
             prop_assert_eq!(map.len(), model.len());
         }
+    }
+
+    /// The streaming body encoders are segmentation-transparent
+    /// (PROTOCOL.md §14): however a body is cut into `push` segments,
+    /// Content-Length framing emits exactly the body bytes, and chunked
+    /// framing decodes back to them with trailers intact.
+    #[test]
+    fn segmented_body_writer_is_byte_identical(
+        body in proptest::collection::vec(any::<u8>(), 0..4096),
+        cuts in proptest::collection::vec(0usize..4097, 0..8),
+    ) {
+        let mut splits: Vec<usize> = cuts.iter().map(|&c| c.min(body.len())).collect();
+        splits.push(body.len());
+        splits.sort_unstable();
+        splits.dedup();
+
+        // Content-Length framing: the wire IS the body.
+        let mut lw = BodyWriter::length(body.len());
+        let mut wire = Vec::new();
+        let mut prev = 0;
+        for &cut in &splits {
+            lw.push(&body[prev..cut], &mut wire).unwrap();
+            prev = cut;
+        }
+        lw.finish(&HeaderMap::new(), &mut wire).unwrap();
+        prop_assert_eq!(lw.written(), body.len());
+        prop_assert_eq!(&wire, &body);
+
+        // Chunked framing: any segmentation decodes back to the body.
+        let mut cw = BodyWriter::chunked();
+        let mut wire = Vec::new();
+        let mut prev = 0;
+        for &cut in &splits {
+            cw.push(&body[prev..cut], &mut wire).unwrap();
+            prev = cut;
+        }
+        let mut trailers = HeaderMap::new();
+        trailers.insert("X-Probe", "v");
+        cw.finish(&trailers, &mut wire).unwrap();
+        let mut rd = BodyReader::chunked();
+        let mut decoded = Vec::new();
+        let consumed = rd.push(&wire, &mut decoded).unwrap();
+        prop_assert_eq!(consumed, wire.len());
+        prop_assert!(rd.is_done());
+        prop_assert_eq!(&decoded, &body);
+        prop_assert_eq!(rd.trailers().get("X-Probe"), Some("v"));
     }
 }
